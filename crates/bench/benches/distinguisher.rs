@@ -1,0 +1,47 @@
+//! Benchmark for the Section IV machinery: construction of distinguishers
+//! and selective families, and the distinguisher-driven weak nontrivial-move
+//! protocol on adversarial (balanced) rings — the quantity whose
+//! Θ(n·log(N/n)/log n) growth is the paper's key lower bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_bench::balanced_deployment;
+use ring_combinat::{Distinguisher, SelectiveFamily};
+use ring_protocols::coordination::nontrivial::weak_nontrivial_move_even_distinguisher;
+use ring_protocols::Network;
+use ring_sim::Model;
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distinguisher/construction");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &[8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("distinguisher", n), &n, |b, &n| {
+            b.iter(|| Distinguisher::random(1 << 12, n, 7))
+        });
+        group.bench_with_input(BenchmarkId::new("selective_family", n), &n, |b, &n| {
+            b.iter(|| SelectiveFamily::random(1 << 12, n, 7))
+        });
+    }
+    group.finish();
+}
+
+fn bench_weak_nontrivial_move(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distinguisher/weak_nontrivial_move");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &[8usize, 16, 32] {
+        let (config, ids) = balanced_deployment(n, 64, 500 + n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut net = Network::new(&config, ids.clone(), Model::Basic).unwrap();
+                weak_nontrivial_move_even_distinguisher(&mut net, 3).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constructions, bench_weak_nontrivial_move);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benchmark regenerating Figures 1 and 2: the reduction edges between the
+//! coordination problems (leader election ↔ nontrivial move ↔ direction
+//! agreement), in the easy settings (Figure 1) and in the basic model with
+//! even n (Figure 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_bench::{balanced_deployment, deployment};
+use ring_experiments::reductions::EDGES;
+use ring_experiments::{reductions::reductions, SweepSpec};
+use ring_sim::Model;
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_reductions");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    // Figure 1: odd ring in the basic model, even ring in the perceptive
+    // model. Figure 2: even ring in the basic model.
+    let cases = [
+        ("fig1/basic-odd", Model::Basic, 15usize),
+        ("fig1/perceptive-even", Model::Perceptive, 16),
+        ("fig2/basic-even", Model::Basic, 16),
+    ];
+    for (label, model, n) in cases {
+        let spec = SweepSpec {
+            sizes: vec![n],
+            universe_factors: vec![4],
+            repetitions: 1,
+            seed: 17,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &n, |b, _| {
+            b.iter(|| {
+                let m = reductions(&spec, model);
+                assert_eq!(m.len(), EDGES.len());
+                m
+            })
+        });
+    }
+
+    // Keep the helper functions exercised so the benchmark matches the
+    // harness exactly.
+    let _ = (deployment(8, 4, 1), balanced_deployment(8, 4, 1));
+    group.finish();
+}
+
+criterion_group!(benches, bench_reductions);
+criterion_main!(benches);

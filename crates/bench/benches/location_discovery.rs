@@ -1,0 +1,35 @@
+//! Benchmark for the paper's headline result (Theorem 42 and Lemma 16):
+//! location discovery in n/2 + o(n) rounds in the perceptive model versus
+//! n + o(n) in the lazy model / basic model with odd n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_bench::deployment;
+use ring_protocols::locate::discover_locations;
+use ring_protocols::Network;
+use ring_sim::Model;
+
+fn bench_location_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("location_discovery");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &(n, model) in &[
+        (15usize, Model::Basic),
+        (16, Model::Lazy),
+        (16, Model::Perceptive),
+        (32, Model::Perceptive),
+    ] {
+        let (config, ids) = deployment(n, 8, 900 + n as u64);
+        let label = format!("{model}/n={n}");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &n, |b, _| {
+            b.iter(|| {
+                let mut net = Network::new(&config, ids.clone(), model).unwrap();
+                discover_locations(&mut net).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_location_discovery);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ablation benchmark for the substrate: the exact analytic engine versus
+//! the event-driven reference engine, per simulated round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_sim::prelude::*;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &[64usize, 256, 1024] {
+        let config = RingConfig::builder(n).random_positions(n as u64).build().unwrap();
+        let dirs: Vec<ObjectiveDirection> = (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    ObjectiveDirection::Anticlockwise
+                } else {
+                    ObjectiveDirection::Clockwise
+                }
+            })
+            .collect();
+        let slots: Vec<usize> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::new("analytic", n), &n, |b, _| {
+            b.iter(|| AnalyticEngine::new().execute(&config, &slots, &dirs))
+        });
+        if n <= 256 {
+            group.bench_with_input(BenchmarkId::new("event", n), &n, |b, _| {
+                b.iter(|| EventEngine::new().simulate(&config, &slots, &dirs))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmark regenerating Table I: the cost of each coordination problem and
+//! of location discovery in the general setting (no common sense of
+//! direction), for odd and even ring sizes in every model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_bench::{balanced_deployment, deployment};
+use ring_protocols::pipeline::{measure_problem, Problem};
+use ring_sim::Model;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &[15usize, 16, 32] {
+        let (config, ids) = if n % 2 == 0 {
+            balanced_deployment(n, 4, 100 + n as u64)
+        } else {
+            deployment(n, 4, 100 + n as u64)
+        };
+        let models: &[Model] = if n % 2 == 1 {
+            &[Model::Basic]
+        } else {
+            &[Model::Basic, Model::Lazy, Model::Perceptive]
+        };
+        for &model in models {
+            for problem in Problem::ALL {
+                if problem == Problem::LocationDiscovery && model == Model::Basic && n % 2 == 0 {
+                    continue; // unsolvable (Lemma 5)
+                }
+                let label = format!("{model}/{problem}/n={n}");
+                group.bench_with_input(BenchmarkId::from_parameter(label), &n, |b, _| {
+                    b.iter(|| {
+                        measure_problem(&config, &ids, model, problem).expect("solvable")
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Benchmark regenerating Table II: coordination and location discovery when
+//! the agents share a common sense of direction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_protocols::coordination::leader::elect_leader_with_common_direction;
+use ring_protocols::coordination::nontrivial::nontrivial_move_with_leader;
+use ring_protocols::{IdAssignment, Network};
+use ring_sim::{Frame, Model, RingConfig};
+
+fn common_direction_deployment(n: usize, seed: u64) -> (RingConfig, IdAssignment) {
+    let config = RingConfig::builder(n)
+        .random_positions(seed)
+        .aligned_chirality()
+        .build()
+        .unwrap();
+    (config, IdAssignment::random(n, 4 * n as u64, seed + 1))
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &[15usize, 16, 32] {
+        let (config, ids) = common_direction_deployment(n, 300 + n as u64);
+        for model in [Model::Basic, Model::Lazy, Model::Perceptive] {
+            let label = format!("{model}/leader+nontrivial-move/n={n}");
+            group.bench_with_input(BenchmarkId::from_parameter(label), &n, |b, _| {
+                b.iter(|| {
+                    let mut net = Network::new(&config, ids.clone(), model).unwrap();
+                    let frames = vec![Frame::identity(); n];
+                    let election = elect_leader_with_common_direction(&mut net, &frames).unwrap();
+                    nontrivial_move_with_leader(&mut net, election.leader_flags()).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

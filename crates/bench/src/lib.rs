@@ -1,0 +1,31 @@
+//! Shared helpers for the Criterion benchmarks.
+//!
+//! Every benchmark file regenerates one evaluation artefact of the paper
+//! (a table or a figure); the heavy lifting lives in `ring-experiments`,
+//! and these helpers only build the deployments the benches iterate over.
+
+use ring_protocols::IdAssignment;
+use ring_sim::RingConfig;
+
+/// A reproducible deployment with mixed chirality (the general setting).
+pub fn deployment(n: usize, universe_factor: u64, seed: u64) -> (RingConfig, IdAssignment) {
+    let config = RingConfig::builder(n)
+        .random_positions(seed + 1)
+        .random_chirality(seed + 2)
+        .build()
+        .expect("benchmark configurations are valid");
+    let ids = IdAssignment::random(n, universe_factor * n as u64, seed + 3);
+    (config, ids)
+}
+
+/// A reproducible deployment with perfectly balanced chirality — the
+/// adversarial case for symmetry breaking on even rings.
+pub fn balanced_deployment(n: usize, universe_factor: u64, seed: u64) -> (RingConfig, IdAssignment) {
+    let config = RingConfig::builder(n)
+        .random_positions(seed + 1)
+        .alternating_chirality()
+        .build()
+        .expect("benchmark configurations are valid");
+    let ids = IdAssignment::random(n, universe_factor * n as u64, seed + 3);
+    (config, ids)
+}

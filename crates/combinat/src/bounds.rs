@@ -1,0 +1,156 @@
+//! Closed-form evaluation of the paper's bound formulas.
+//!
+//! These functions return `f64` estimates of the asymptotic expressions in
+//! the paper (with all constants set to 1 unless stated otherwise). They are
+//! used by the experiment harness to plot measured round counts against the
+//! theoretical shapes, and by the constructions in this crate to size their
+//! random families.
+
+/// `n · log₂(N/n) / log₂ n` — the lower bound on the size of any
+/// `(N, n)`-distinguisher (Lemma 23) and hence on the round complexity of
+/// the (weak) nontrivial-move problem in the basic model with even `n`
+/// (Corollary 26). Degenerate parameters are clamped so the expression is
+/// always finite and at least 1.
+pub fn distinguisher_size_lower_bound(universe: u64, n: usize) -> f64 {
+    let n = n.max(2) as f64;
+    let ratio = (universe as f64 / n).max(2.0);
+    (n * ratio.log2() / n.log2()).max(1.0)
+}
+
+/// `n · log₂(N/n) / log₂ n` — the matching upper bound of Theorem 27 on the
+/// number of rounds needed to obtain a nontrivial move in the basic model
+/// (even `n`), i.e. the same expression as
+/// [`distinguisher_size_lower_bound`], exposed under the name used when
+/// talking about protocol rounds.
+pub fn nontrivial_move_round_bound(universe: u64, n: usize) -> f64 {
+    distinguisher_size_lower_bound(universe, n)
+}
+
+/// `n · log₂(N/n)` — the classical bound on the size of `(N, n)`-selective
+/// families (Clementi–Monti–Silvestri, used in Definition 35 / Lemma 36).
+pub fn selective_family_size_bound(universe: u64, n: usize) -> f64 {
+    let n = n.max(2) as f64;
+    let ratio = (universe as f64 / n).max(2.0);
+    (n * ratio.log2()).max(1.0)
+}
+
+/// `(11k/12) · log₂(N/k)` — Fact 25: an upper bound on `log₂ |F|` for any
+/// `(N, k, k/2)`-intersection-free family (k a power of two, `k ≤ N/64`).
+pub fn intersection_free_log_bound(universe: u64, k: usize) -> f64 {
+    let k = k.max(2) as f64;
+    let ratio = (universe as f64 / k).max(2.0);
+    11.0 * k / 12.0 * ratio.log2()
+}
+
+/// `√n · log₂ N` — the perceptive-model nontrivial-move upper bound of
+/// Lemma 36 (Algorithm `NMoveS`).
+pub fn perceptive_nontrivial_move_bound(universe: u64, n: usize) -> f64 {
+    (n as f64).sqrt() * (universe as f64).log2().max(1.0)
+}
+
+/// `n/2 + √n · log₂² N` — the perceptive-model location-discovery bound of
+/// Theorem 42 (up to constants).
+pub fn perceptive_location_discovery_bound(universe: u64, n: usize) -> f64 {
+    let log_n = (universe as f64).log2().max(1.0);
+    n as f64 / 2.0 + (n as f64).sqrt() * log_n * log_n
+}
+
+/// `n + log₂ N` — the lazy-model / odd-`n` location-discovery bound of
+/// Lemma 16.
+pub fn lazy_location_discovery_bound(universe: u64, n: usize) -> f64 {
+    n as f64 + (universe as f64).log2().max(1.0)
+}
+
+/// `log₂(binomial(N, n))/log₂(n+1)` — the counting lower bound on strong
+/// distinguishers (Lemma 43), useful as a sanity check that it is dominated
+/// by [`distinguisher_size_lower_bound`].
+pub fn strong_distinguisher_counting_bound(universe: u64, n: usize) -> f64 {
+    let log_binom = log2_binomial(universe, n as u64);
+    log_binom / ((n as f64 + 1.0).log2()).max(1.0)
+}
+
+/// `log₂ C(n, k)` computed via log-gamma-free summation (exact enough for
+/// plotting purposes).
+pub fn log2_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 0.0f64;
+    for i in 0..k {
+        acc += ((n - i) as f64).log2() - ((i + 1) as f64).log2();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinguisher_bound_is_monotone_in_n_for_fixed_large_universe() {
+        let universe = 1 << 20;
+        let small = distinguisher_size_lower_bound(universe, 8);
+        let large = distinguisher_size_lower_bound(universe, 256);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn distinguisher_bound_shrinks_when_ids_are_dense() {
+        // For n close to N the log(N/n) factor collapses.
+        let sparse = distinguisher_size_lower_bound(1 << 20, 64);
+        let dense = distinguisher_size_lower_bound(128, 64);
+        assert!(sparse > dense);
+    }
+
+    #[test]
+    fn log2_binomial_matches_known_values() {
+        assert!((log2_binomial(4, 2) - (6.0f64).log2()).abs() < 1e-9);
+        assert!((log2_binomial(10, 0) - 0.0).abs() < 1e-9);
+        assert!((log2_binomial(10, 10) - 0.0).abs() < 1e-9);
+        assert!((log2_binomial(52, 5) - (2_598_960.0f64).log2()).abs() < 1e-6);
+        assert_eq!(log2_binomial(3, 5), 0.0);
+    }
+
+    #[test]
+    fn counting_bound_is_dominated_by_main_bound() {
+        // Lemma 23 strengthens Lemma 43, so the main bound should not be
+        // (asymptotically) smaller; check a few concrete points allowing a
+        // constant factor.
+        for &(universe, n) in &[(1u64 << 16, 32usize), (1 << 20, 128), (1 << 12, 16)] {
+            let main = distinguisher_size_lower_bound(universe, n);
+            let counting = strong_distinguisher_counting_bound(universe, n);
+            assert!(main * 2.0 > counting, "main {main} vs counting {counting}");
+        }
+    }
+
+    #[test]
+    fn perceptive_bounds_have_expected_orderings() {
+        let universe = 1 << 16;
+        // For large n the perceptive NM bound beats the basic-model bound.
+        let n = 4096;
+        assert!(
+            perceptive_nontrivial_move_bound(universe, n)
+                < nontrivial_move_round_bound(universe, n)
+        );
+        // Location discovery bounds: perceptive is roughly half of lazy once
+        // log²N = o(√n) kicks in.
+        let big_n = 1usize << 30;
+        let lazy = lazy_location_discovery_bound(1 << 32, big_n);
+        let perc = perceptive_location_discovery_bound(1 << 32, big_n);
+        assert!(perc < lazy);
+    }
+
+    #[test]
+    fn degenerate_parameters_do_not_blow_up() {
+        for f in [
+            distinguisher_size_lower_bound,
+            nontrivial_move_round_bound,
+            selective_family_size_bound,
+        ] {
+            let v = f(2, 1);
+            assert!(v.is_finite() && v >= 1.0);
+        }
+        assert!(intersection_free_log_bound(4, 1).is_finite());
+    }
+}

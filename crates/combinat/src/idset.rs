@@ -1,0 +1,297 @@
+//! Compact sets of agent identifiers.
+//!
+//! Identifiers are natural numbers in `[1, N]` (the paper's ID universe).
+//! [`IdSet`] stores membership as a bitset and remembers the universe size,
+//! so set operations can validate that both operands talk about the same
+//! universe.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A subset of the identifier universe `[1, N]`.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IdSet {
+    universe: u64,
+    words: Vec<u64>,
+}
+
+impl IdSet {
+    /// Creates an empty set over the universe `[1, universe]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe` is zero.
+    pub fn empty(universe: u64) -> Self {
+        assert!(universe > 0, "the identifier universe must be nonempty");
+        let words = vec![0u64; (universe as usize + 64) / 64 + 1];
+        IdSet { universe, words }
+    }
+
+    /// Creates the full set `[1, universe]`.
+    pub fn full(universe: u64) -> Self {
+        let mut s = Self::empty(universe);
+        for id in 1..=universe {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Creates a set from an iterator of identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any identifier lies outside `[1, universe]`.
+    pub fn from_ids<I>(universe: u64, ids: I) -> Self
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let mut s = Self::empty(universe);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Creates the set of identifiers in `[1, universe]` whose `bit`-th bit
+    /// (0-indexed, least significant first) equals `value` — the bit-bucket
+    /// sets driving the binary-search leader elections (Algorithm 2,
+    /// Lemma 13).
+    pub fn with_bit(universe: u64, bit: u32, value: bool) -> Self {
+        let mut s = Self::empty(universe);
+        for id in 1..=universe {
+            if ((id >> bit) & 1 == 1) == value {
+                s.insert(id);
+            }
+        }
+        s
+    }
+
+    /// The universe size `N`.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// Inserts an identifier; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` lies outside `[1, universe]`.
+    pub fn insert(&mut self, id: u64) -> bool {
+        self.check(id);
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        let had = self.words[w] >> b & 1 == 1;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes an identifier; returns whether it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` lies outside `[1, universe]`.
+    pub fn remove(&mut self, id: u64) -> bool {
+        self.check(id);
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        let had = self.words[w] >> b & 1 == 1;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Whether the set contains `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` lies outside `[1, universe]`.
+    pub fn contains(&self, id: u64) -> bool {
+        self.check(id);
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        self.words[w] >> b & 1 == 1
+    }
+
+    /// Number of identifiers in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the identifiers in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (1..=self.universe).filter(move |&id| self.contains(id))
+    }
+
+    /// Size of the intersection with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersection_len(&self, other: &IdSet) -> usize {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether the two sets are disjoint.
+    pub fn is_disjoint(&self, other: &IdSet) -> bool {
+        self.intersection_len(other) == 0
+    }
+
+    /// The complement within the universe.
+    pub fn complement(&self) -> IdSet {
+        let mut out = Self::full(self.universe);
+        for (o, s) in out.words.iter_mut().zip(&self.words) {
+            *o &= !s;
+        }
+        out
+    }
+
+    /// Set difference `self \ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn difference(&self, other: &IdSet) -> IdSet {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let mut out = self.clone();
+        for (o, s) in out.words.iter_mut().zip(&other.words) {
+            *o &= !s;
+        }
+        out
+    }
+
+    /// Set intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersection(&self, other: &IdSet) -> IdSet {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let mut out = self.clone();
+        for (o, s) in out.words.iter_mut().zip(&other.words) {
+            *o &= s;
+        }
+        out
+    }
+
+    /// Set union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union(&self, other: &IdSet) -> IdSet {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let mut out = self.clone();
+        for (o, s) in out.words.iter_mut().zip(&other.words) {
+            *o |= s;
+        }
+        out
+    }
+
+    fn check(&self, id: u64) {
+        assert!(
+            id >= 1 && id <= self.universe,
+            "identifier {id} outside the universe [1, {}]",
+            self.universe
+        );
+    }
+}
+
+impl fmt::Debug for IdSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IdSet[1..={}]{{", self.universe)?;
+        let mut first = true;
+        for id in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{id}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<u64> for IdSet {
+    /// Collects identifiers into a set whose universe is the maximum
+    /// identifier seen (or 1 for an empty iterator).
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let ids: Vec<u64> = iter.into_iter().collect();
+        let universe = ids.iter().copied().max().unwrap_or(1).max(1);
+        IdSet::from_ids(universe, ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = IdSet::empty(100);
+        assert!(s.is_empty());
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(7));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(7));
+        assert!(!s.remove(7));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the universe")]
+    fn out_of_universe_ids_panic() {
+        let mut s = IdSet::empty(10);
+        s.insert(11);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = IdSet::from_ids(16, [1, 2, 3, 8]);
+        let b = IdSet::from_ids(16, [3, 8, 9]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert!(!a.is_disjoint(&b));
+        assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![3, 8]);
+        assert_eq!(
+            a.union(&b).iter().collect::<Vec<_>>(),
+            vec![1, 2, 3, 8, 9]
+        );
+        assert_eq!(a.complement().len(), 16 - 4);
+        assert_eq!(IdSet::full(16).len(), 16);
+    }
+
+    #[test]
+    fn bit_bucket_sets() {
+        // Bit 0 = 1 picks the odd identifiers.
+        let odd = IdSet::with_bit(10, 0, true);
+        assert_eq!(odd.iter().collect::<Vec<_>>(), vec![1, 3, 5, 7, 9]);
+        let low = IdSet::with_bit(10, 3, false);
+        assert!(low.contains(7));
+        assert!(!low.contains(8));
+        // The two buckets of a bit partition the universe.
+        let hi = IdSet::with_bit(10, 2, true);
+        let lo = IdSet::with_bit(10, 2, false);
+        assert!(hi.is_disjoint(&lo));
+        assert_eq!(hi.len() + lo.len(), 10);
+    }
+
+    #[test]
+    fn from_iterator_uses_max_as_universe() {
+        let s: IdSet = [4u64, 9, 2].into_iter().collect();
+        assert_eq!(s.universe(), 9);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn debug_rendering_is_nonempty() {
+        let s = IdSet::from_ids(8, [1, 5]);
+        assert_eq!(format!("{s:?}"), "IdSet[1..=8]{1, 5}");
+    }
+}

@@ -1,0 +1,207 @@
+//! `(N, n)`-selective families (Definition 35 of the paper, after
+//! Clementi, Monti and Silvestri).
+//!
+//! A family `F` of subsets of `[N]` is `(N, n)`-selective if for every
+//! nonempty `Z ⊆ [N]` with `|Z| ≤ n` there is an `F ∈ F` with
+//! `|Z ∩ F| = 1`. Selective families of size `O(n · log(N/n))` exist; the
+//! perceptive-model nontrivial-move algorithm `NMoveS` (Algorithm 4)
+//! executes one on the current set of local leaders so that in some round a
+//! *single* leader deviates, which changes the rotation index by exactly 2
+//! and therefore produces a nontrivial move.
+
+use crate::bounds::selective_family_size_bound;
+use crate::idset::IdSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A family of ID sets intended to be `(N, n)`-selective.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectiveFamily {
+    universe: u64,
+    target_n: usize,
+    sets: Vec<IdSet>,
+}
+
+impl SelectiveFamily {
+    /// Builds an `(N, n)`-selective family with the standard probabilistic
+    /// construction: for every scale `j ≤ ⌈log₂ n⌉` it draws a batch of sets
+    /// in which each identifier appears independently with probability
+    /// `2^{-j}`; a set of the right scale isolates a given `Z` with constant
+    /// probability, so logarithmically many sets per scale suffice with high
+    /// probability. Deterministic given `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n as u64 > universe`.
+    pub fn random(universe: u64, n: usize, seed: u64) -> Self {
+        assert!(n > 0, "selective families need a positive target size");
+        assert!(n as u64 <= universe, "target size exceeds the universe");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sets = Vec::new();
+        let max_scale = (usize::BITS - (n - 1).leading_zeros()) as u32; // ceil(log2 n), 0 for n=1
+        for scale in 0..=max_scale {
+            let p = 1.0 / f64::from(1u32 << scale);
+            let width = (universe as f64 / f64::from(1u32 << scale)).max(2.0);
+            let batch = (6.0 * f64::from(1u32 << scale) * width.log2().max(1.0)).ceil() as usize;
+            for _ in 0..batch.max(4) {
+                let mut s = IdSet::empty(universe);
+                for id in 1..=universe {
+                    if rng.gen::<f64>() < p {
+                        s.insert(id);
+                    }
+                }
+                sets.push(s);
+            }
+        }
+        SelectiveFamily {
+            universe,
+            target_n: n,
+            sets,
+        }
+    }
+
+    /// Wraps an explicit family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets do not all share the universe `universe`.
+    pub fn from_sets(universe: u64, target_n: usize, sets: Vec<IdSet>) -> Self {
+        assert!(sets.iter().all(|s| s.universe() == universe));
+        SelectiveFamily {
+            universe,
+            target_n,
+            sets,
+        }
+    }
+
+    /// The identifier universe size `N`.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// The maximum size of sets this family is designed to select from.
+    pub fn target_n(&self) -> usize {
+        self.target_n
+    }
+
+    /// Number of sets in the family.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The sets of the family in execution order.
+    pub fn sets(&self) -> &[IdSet] {
+        &self.sets
+    }
+
+    /// The `i`-th set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn set(&self, i: usize) -> &IdSet {
+        &self.sets[i]
+    }
+
+    /// Index of the first set that intersects `z` in exactly one element,
+    /// or `None` if the family fails to select `z`.
+    pub fn selects(&self, z: &IdSet) -> Option<usize> {
+        self.sets.iter().position(|s| s.intersection_len(z) == 1)
+    }
+
+    /// Exhaustively verifies selectivity for all nonempty subsets of size at
+    /// most `n`. Exponential in the universe; intended for tests with tiny
+    /// universes.
+    pub fn verify_exhaustive(&self, n: usize) -> bool {
+        let universe = self.universe as usize;
+        // Iterate over all nonempty bitmasks with at most n bits set.
+        for mask in 1u64..(1u64 << universe) {
+            if mask.count_ones() as usize > n {
+                continue;
+            }
+            let z = IdSet::from_ids(
+                self.universe,
+                (0..universe as u64).filter(|b| mask >> b & 1 == 1).map(|b| b + 1),
+            );
+            if self.selects(&z).is_none() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Spot-checks selectivity on `samples` random subsets with sizes drawn
+    /// uniformly from `[1, n]`; returns the number of failures.
+    pub fn verify_sampled(&self, n: usize, samples: usize, seed: u64) -> usize {
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut failures = 0;
+        for _ in 0..samples {
+            let size = rng.gen_range(1..=n);
+            let mut ids: Vec<u64> = (1..=self.universe).collect();
+            ids.shuffle(&mut rng);
+            let z = IdSet::from_ids(self.universe, ids[..size].iter().copied());
+            if self.selects(&z).is_none() {
+                failures += 1;
+            }
+        }
+        failures
+    }
+
+    /// The classical `O(n log(N/n))` size bound, for comparison against
+    /// [`SelectiveFamily::len`].
+    pub fn size_bound(&self) -> f64 {
+        selective_family_size_bound(self.universe, self.target_n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_family_is_selective_on_tiny_universe() {
+        let f = SelectiveFamily::random(10, 4, 42);
+        assert!(f.verify_exhaustive(4));
+    }
+
+    #[test]
+    fn random_family_passes_sampling_on_larger_universe() {
+        let f = SelectiveFamily::random(256, 16, 3);
+        assert_eq!(f.verify_sampled(16, 300, 11), 0);
+    }
+
+    #[test]
+    fn selects_reports_first_isolating_set() {
+        let sets = vec![
+            IdSet::from_ids(8, [1, 2]),
+            IdSet::from_ids(8, [3]),
+            IdSet::from_ids(8, [2]),
+        ];
+        let f = SelectiveFamily::from_sets(8, 2, sets);
+        let z = IdSet::from_ids(8, [1, 2]);
+        // Set 0 intersects in two elements, set 1 in zero, set 2 in one.
+        assert_eq!(f.selects(&z), Some(2));
+        let z = IdSet::from_ids(8, [5]);
+        assert_eq!(f.selects(&z), None);
+    }
+
+    #[test]
+    fn singletons_form_a_selective_family() {
+        let sets: Vec<IdSet> = (1..=6).map(|i| IdSet::from_ids(6, [i])).collect();
+        let f = SelectiveFamily::from_sets(6, 6, sets);
+        assert!(f.verify_exhaustive(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive target size")]
+    fn zero_target_panics() {
+        let _ = SelectiveFamily::random(8, 0, 0);
+    }
+}

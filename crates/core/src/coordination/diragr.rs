@@ -1,0 +1,213 @@
+//! Direction agreement (Algorithm 1 of the paper).
+//!
+//! Given a direction assignment that induces a *nontrivial move* (rotation
+//! index outside `{0, n/2}`), two rounds suffice for every agent to commit
+//! to a common sense of direction: each agent executes the assignment twice
+//! and flips its logical frame exactly when its two `dist()` readings add up
+//! to more than one circumference. Whether that happens depends only on
+//! whether the agent's own clockwise direction agrees with the direction of
+//! the (global) rotation, so afterwards all logical frames coincide.
+
+use crate::coordination::nontrivial::{solve_nontrivial_move, NontrivialMove};
+use crate::error::ProtocolError;
+use crate::exec::Network;
+use ring_sim::{Frame, LocalDirection, CIRCUMFERENCE};
+
+/// The result of a direction-agreement protocol.
+#[derive(Clone, Debug)]
+pub struct DirectionAgreement {
+    frames: Vec<Frame>,
+    rounds: u64,
+}
+
+impl DirectionAgreement {
+    pub(crate) fn new(frames: Vec<Frame>, rounds: u64) -> Self {
+        DirectionAgreement { frames, rounds }
+    }
+
+    /// The logical frame each agent has committed to. After agreement, the
+    /// logical "right" of every agent denotes the same physical direction.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// The frame of a single agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    pub fn frame(&self, agent: usize) -> Frame {
+        self.frames[agent]
+    }
+
+    /// Rounds consumed by the agreement (including any rounds used to first
+    /// obtain a nontrivial move).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+/// Algorithm 1: direction agreement from an already-known nontrivial move.
+/// Costs exactly two rounds.
+///
+/// # Errors
+///
+/// Propagates substrate errors; returns [`ProtocolError::Internal`] if the
+/// supplied assignment turns out not to rotate the ring at all (which would
+/// mean it was not a nontrivial move).
+pub fn agree_direction_with_move(
+    net: &mut Network<'_>,
+    nontrivial_directions: &[LocalDirection],
+) -> Result<DirectionAgreement, ProtocolError> {
+    let start = net.rounds_used();
+    let first = net.step(nontrivial_directions)?;
+    let second = net.step(nontrivial_directions)?;
+    if first[0].dist.is_zero() {
+        return Err(ProtocolError::Internal {
+            protocol: "direction-agreement",
+            reason: "the supplied assignment has rotation index 0".into(),
+        });
+    }
+    let frames = first
+        .iter()
+        .zip(&second)
+        .map(|(a, b)| {
+            let wrapped = a.dist.ticks() + b.dist.ticks() > CIRCUMFERENCE;
+            Frame::new(wrapped)
+        })
+        .collect();
+    Ok(DirectionAgreement::new(frames, net.rounds_used() - start))
+}
+
+/// Full direction agreement: first obtains a nontrivial move appropriate for
+/// the model and parity (Theorem 7's reductions), then applies Algorithm 1.
+///
+/// # Errors
+///
+/// Propagates errors from the nontrivial-move subroutine and the substrate.
+pub fn agree_direction(net: &mut Network<'_>) -> Result<DirectionAgreement, ProtocolError> {
+    let nm = solve_nontrivial_move(net)?;
+    agree_direction_from(net, &nm)
+}
+
+/// Applies Algorithm 1 to a previously computed [`NontrivialMove`],
+/// accumulating its round count into the result.
+///
+/// # Errors
+///
+/// Same as [`agree_direction_with_move`].
+pub fn agree_direction_from(
+    net: &mut Network<'_>,
+    nm: &NontrivialMove,
+) -> Result<DirectionAgreement, ProtocolError> {
+    let agreement = agree_direction_with_move(net, nm.directions())?;
+    Ok(DirectionAgreement::new(
+        agreement.frames,
+        agreement.rounds + nm.rounds(),
+    ))
+}
+
+/// Ground-truth check used by tests and the experiment harness: whether the
+/// frames produced by an agreement indeed point every agent's logical
+/// "right" at the same objective direction.
+pub fn frames_are_coherent(net: &Network<'_>, frames: &[Frame]) -> bool {
+    let config = net.ground_truth_config();
+    let objective: Vec<_> = (0..net.len())
+        .map(|agent| {
+            frames[agent]
+                .to_physical(LocalDirection::Right)
+                .to_objective(config.chirality(agent))
+        })
+        .collect();
+    objective.iter().all(|d| *d == objective[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::IdAssignment;
+    use ring_sim::{Chirality, Model, RingConfig};
+
+    #[test]
+    fn agreement_from_explicit_nontrivial_move() {
+        // 7 agents, mixed chirality; a single deviator from all-right gives
+        // a nontrivial move regardless of the chirality pattern.
+        let config = RingConfig::builder(7)
+            .random_positions(5)
+            .random_chirality(6)
+            .build()
+            .unwrap();
+        let mut net = Network::new(&config, IdAssignment::consecutive(7), Model::Basic).unwrap();
+        let mut dirs = vec![LocalDirection::Right; 7];
+        dirs[2] = LocalDirection::Left;
+        let agreement = agree_direction_with_move(&mut net, &dirs).unwrap();
+        assert_eq!(agreement.rounds(), 2);
+        assert!(frames_are_coherent(&net, agreement.frames()));
+    }
+
+    #[test]
+    fn agreement_rejects_zero_rotation_assignments() {
+        let config = RingConfig::builder(6)
+            .random_positions(8)
+            .aligned_chirality()
+            .build()
+            .unwrap();
+        let mut net = Network::new(&config, IdAssignment::consecutive(6), Model::Basic).unwrap();
+        let err = agree_direction_with_move(&mut net, &[LocalDirection::Right; 6]).unwrap_err();
+        assert!(matches!(err, ProtocolError::Internal { .. }));
+    }
+
+    #[test]
+    fn agreement_is_coherent_for_every_chirality_pattern_on_small_rings() {
+        // Exhaustive over all chirality patterns of a 5-agent ring. The test
+        // plays the adversary: it picks local directions whose *objective*
+        // effect is "four agents clockwise, one anticlockwise", a nontrivial
+        // move for every pattern, and checks that Algorithm 1 still aligns
+        // everybody.
+        for pattern in 0u32..32 {
+            let chirality: Vec<Chirality> = (0..5)
+                .map(|i| {
+                    if pattern >> i & 1 == 1 {
+                        Chirality::Reversed
+                    } else {
+                        Chirality::Aligned
+                    }
+                })
+                .collect();
+            let config = RingConfig::builder(5)
+                .random_positions(9)
+                .explicit_chirality(chirality.clone())
+                .build()
+                .unwrap();
+            let mut net =
+                Network::new(&config, IdAssignment::consecutive(5), Model::Basic).unwrap();
+            let dirs: Vec<LocalDirection> = (0..5)
+                .map(|agent| {
+                    let wants_clockwise = agent != 4;
+                    match (wants_clockwise, chirality[agent].is_aligned()) {
+                        (true, true) | (false, false) => LocalDirection::Right,
+                        _ => LocalDirection::Left,
+                    }
+                })
+                .collect();
+            let agreement = agree_direction_with_move(&mut net, &dirs).unwrap();
+            assert!(
+                frames_are_coherent(&net, agreement.frames()),
+                "pattern {pattern:05b}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_agreement_solves_the_nontrivial_move_first() {
+        let config = RingConfig::builder(9)
+            .random_positions(11)
+            .random_chirality(13)
+            .build()
+            .unwrap();
+        let mut net = Network::new(&config, IdAssignment::random(9, 128, 17), Model::Basic).unwrap();
+        let agreement = agree_direction(&mut net).unwrap();
+        assert!(frames_are_coherent(&net, agreement.frames()));
+        assert_eq!(agreement.rounds(), net.rounds_used());
+    }
+}

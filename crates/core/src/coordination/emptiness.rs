@@ -1,0 +1,249 @@
+//! Emptiness testing (Lemma 12 of the paper).
+//!
+//! Given a publicly known predicate `B ⊆ [N]` on identifiers and a common
+//! sense of direction, the agents decide whether any agent of the network
+//! carries an identifier in `B`. An agent whose own identifier is in `B`
+//! knows the answer trivially; the interesting part is letting everybody
+//! else observe it physically:
+//!
+//! * **lazy model** — members of `B` move (logically) right while everybody
+//!   else idles; the ring rotates iff some member exists: 1 round;
+//! * **perceptive model** — members move right, non-members left; either the
+//!   ring rotates or (when exactly `n/2` members exist) everybody collides:
+//!   1 round;
+//! * **basic model, odd `n`** — members right, non-members left; an exact
+//!   `n/2` split is impossible, so rotation occurs iff members exist:
+//!   1 round;
+//! * **basic model, even `n`** — the `n/2` split is indistinguishable from
+//!   emptiness in a single round, so the members are additionally split by
+//!   each identifier bit; some split must be unbalanced unless there is at
+//!   most one member, which cannot hide an `n/2`-sized membership for
+//!   `n > 4`: `1 + ⌈log₂ N⌉` rounds.
+
+use crate::error::ProtocolError;
+use crate::exec::Network;
+use crate::ids::AgentId;
+use ring_sim::{Frame, LocalDirection, Model, Parity};
+
+/// Outcome of an emptiness test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmptinessOutcome {
+    /// Whether some agent of the network has an identifier in `B`.
+    pub nonempty: bool,
+    /// Rounds consumed by the test.
+    pub rounds: u64,
+}
+
+/// Tests whether any agent's identifier satisfies `in_b`, assuming the
+/// supplied frames realise a common sense of direction.
+///
+/// # Errors
+///
+/// Propagates substrate errors; returns [`ProtocolError::LengthMismatch`] if
+/// the frame vector has the wrong length.
+pub fn test_emptiness(
+    net: &mut Network<'_>,
+    frames: &[Frame],
+    in_b: &dyn Fn(AgentId) -> bool,
+) -> Result<EmptinessOutcome, ProtocolError> {
+    let n = net.len();
+    if frames.len() != n {
+        return Err(ProtocolError::LengthMismatch {
+            what: "frames",
+            got: frames.len(),
+            expected: n,
+        });
+    }
+    let start = net.rounds_used();
+    let membership: Vec<bool> = (0..n).map(|agent| in_b(net.id_of(agent))).collect();
+
+    let nonempty = match (net.model(), net.parity()) {
+        (Model::Lazy, _) => {
+            let dirs: Vec<LocalDirection> = (0..n)
+                .map(|agent| {
+                    if membership[agent] {
+                        frames[agent].to_physical(LocalDirection::Right)
+                    } else {
+                        LocalDirection::Idle
+                    }
+                })
+                .collect();
+            let obs = net.step(&dirs)?;
+            decide(&membership, |agent| !obs[agent].dist.is_zero())
+        }
+        (Model::Perceptive, _) => {
+            let dirs = member_split(&membership, frames);
+            let obs = net.step(&dirs)?;
+            decide(&membership, |agent| {
+                !obs[agent].dist.is_zero() || obs[agent].coll.is_some()
+            })
+        }
+        (Model::Basic, Parity::Odd) => {
+            let dirs = member_split(&membership, frames);
+            let obs = net.step(&dirs)?;
+            decide(&membership, |agent| !obs[agent].dist.is_zero())
+        }
+        (Model::Basic, Parity::Even) => {
+            let mut observed_motion = vec![false; n];
+            // Round 0: the member set itself.
+            run_split(net, frames, &membership, &mut observed_motion)?;
+            // Rounds 1..: members split by each identifier bit.
+            for bit in 0..net.id_bits() {
+                let sub: Vec<bool> = (0..n)
+                    .map(|agent| membership[agent] && net.id_of(agent).bit(bit))
+                    .collect();
+                run_split(net, frames, &sub, &mut observed_motion)?;
+            }
+            decide(&membership, |agent| observed_motion[agent])
+        }
+    };
+
+    Ok(EmptinessOutcome {
+        nonempty,
+        rounds: net.rounds_used() - start,
+    })
+}
+
+/// Directions for a round in which members move logically right and
+/// non-members logically left.
+fn member_split(membership: &[bool], frames: &[Frame]) -> Vec<LocalDirection> {
+    membership
+        .iter()
+        .zip(frames)
+        .map(|(&member, frame)| {
+            frame.to_physical(if member {
+                LocalDirection::Right
+            } else {
+                LocalDirection::Left
+            })
+        })
+        .collect()
+}
+
+fn run_split(
+    net: &mut Network<'_>,
+    frames: &[Frame],
+    membership: &[bool],
+    observed_motion: &mut [bool],
+) -> Result<(), ProtocolError> {
+    let dirs = member_split(membership, frames);
+    let obs = net.step(&dirs)?;
+    for (flag, o) in observed_motion.iter_mut().zip(&obs) {
+        *flag |= !o.dist.is_zero();
+    }
+    Ok(())
+}
+
+/// Combines the per-agent verdicts: members know the answer, everyone else
+/// relies on having observed motion. The debug assertion documents that all
+/// agents reach the same conclusion.
+fn decide(membership: &[bool], saw_evidence: impl Fn(usize) -> bool) -> bool {
+    let verdicts: Vec<bool> = membership
+        .iter()
+        .enumerate()
+        .map(|(agent, &member)| member || saw_evidence(agent))
+        .collect();
+    debug_assert!(
+        verdicts.iter().all(|&v| v == verdicts[0]),
+        "agents disagree on emptiness"
+    );
+    verdicts[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::IdAssignment;
+    use ring_sim::{Chirality, Model, RingConfig};
+
+    fn run(model: Model, n: usize, threshold: u64) -> EmptinessOutcome {
+        let config = RingConfig::builder(n)
+            .random_positions(3)
+            .aligned_chirality()
+            .build()
+            .unwrap();
+        let mut net = Network::new(&config, IdAssignment::consecutive(n), model).unwrap();
+        let frames = vec![Frame::identity(); n];
+        test_emptiness(&mut net, &frames, &|id| id.value() > threshold).unwrap()
+    }
+
+    #[test]
+    fn lazy_model_takes_one_round() {
+        let out = run(Model::Lazy, 8, 100);
+        assert!(!out.nonempty);
+        assert_eq!(out.rounds, 1);
+        let out = run(Model::Lazy, 8, 4);
+        assert!(out.nonempty);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn perceptive_model_detects_the_balanced_split() {
+        // Exactly half the agents are members: rotation index 0, but the
+        // collisions give the answer away.
+        let out = run(Model::Perceptive, 8, 4);
+        assert!(out.nonempty);
+        assert_eq!(out.rounds, 1);
+        assert!(!run(Model::Perceptive, 8, 99).nonempty);
+    }
+
+    #[test]
+    fn basic_model_odd_takes_one_round() {
+        let out = run(Model::Basic, 9, 0);
+        assert!(out.nonempty);
+        assert_eq!(out.rounds, 1);
+        assert!(!run(Model::Basic, 9, 9).nonempty);
+    }
+
+    #[test]
+    fn basic_model_even_needs_the_bit_splits() {
+        // Balanced membership in the basic model: the extra rounds are what
+        // detect it.
+        let out = run(Model::Basic, 8, 4);
+        assert!(out.nonempty);
+        assert!(out.rounds > 1);
+        let empty = run(Model::Basic, 8, 1000);
+        assert!(!empty.nonempty);
+    }
+
+    #[test]
+    fn works_with_mixed_chirality_given_coherent_frames() {
+        let n = 10;
+        let chirality: Vec<Chirality> = (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Chirality::Reversed
+                } else {
+                    Chirality::Aligned
+                }
+            })
+            .collect();
+        let config = RingConfig::builder(n)
+            .random_positions(5)
+            .explicit_chirality(chirality.clone())
+            .build()
+            .unwrap();
+        let mut net =
+            Network::new(&config, IdAssignment::consecutive(n), Model::Basic).unwrap();
+        // Frames that align every agent's logical right with the objective
+        // clockwise direction.
+        let frames: Vec<Frame> = chirality
+            .iter()
+            .map(|c| Frame::new(!c.is_aligned()))
+            .collect();
+        let out = test_emptiness(&mut net, &frames, &|id| id.value() == 3).unwrap();
+        assert!(out.nonempty);
+        let out = test_emptiness(&mut net, &frames, &|id| id.value() > 100).unwrap();
+        assert!(!out.nonempty);
+    }
+
+    #[test]
+    fn frame_length_is_validated() {
+        let config = RingConfig::builder(6).build().unwrap();
+        let mut net = Network::new(&config, IdAssignment::consecutive(6), Model::Basic).unwrap();
+        assert!(matches!(
+            test_emptiness(&mut net, &[Frame::identity(); 2], &|_| false),
+            Err(ProtocolError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,270 @@
+//! Leader election (Algorithm 2 and Lemma 13 of the paper).
+//!
+//! Two routes are provided:
+//!
+//! * [`elect_leader_with_move`] — Algorithm 2: given a nontrivial move,
+//!   agree on a direction (2 rounds) and then binary-search over identifier
+//!   bits, each step probing the rotation index of one candidate subset:
+//!   `O(log N)` rounds in every model.
+//! * [`elect_leader_with_common_direction`] — Lemma 13: when a common sense
+//!   of direction is already available (Table II), binary-search for the
+//!   maximum identifier using emptiness tests; `O(log N)` rounds in the
+//!   lazy/perceptive models and for odd `n`, `O(log² N)` in the basic model
+//!   with even `n`.
+//!
+//! [`elect_leader`] composes the appropriate nontrivial-move algorithm with
+//! Algorithm 2, which is the reduction chain of Theorem 7 and the "leader
+//! election" column of Table I.
+
+use crate::coordination::diragr::{agree_direction_with_move, DirectionAgreement};
+use crate::coordination::emptiness::test_emptiness;
+use crate::coordination::nontrivial::{solve_nontrivial_move, NontrivialMove};
+use crate::error::ProtocolError;
+use crate::exec::Network;
+use ring_sim::{Frame, LocalDirection};
+
+/// The result of a leader election.
+#[derive(Clone, Debug)]
+pub struct LeaderElection {
+    is_leader: Vec<bool>,
+    frames: Vec<Frame>,
+    rounds: u64,
+}
+
+impl LeaderElection {
+    pub(crate) fn new(is_leader: Vec<bool>, frames: Vec<Frame>, rounds: u64) -> Self {
+        LeaderElection {
+            is_leader,
+            frames,
+            rounds,
+        }
+    }
+
+    /// Whether `agent` holds the leader status.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    pub fn is_leader(&self, agent: usize) -> bool {
+        self.is_leader[agent]
+    }
+
+    /// Leader flags in agent order.
+    pub fn leader_flags(&self) -> &[bool] {
+        &self.is_leader
+    }
+
+    /// Iterator over the indices of agents holding the leader status
+    /// (exactly one for a correct election).
+    pub fn leaders(&self) -> impl Iterator<Item = usize> + '_ {
+        self.is_leader
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l)
+            .map(|(i, _)| i)
+    }
+
+    /// The common frames established as a by-product of the election.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Rounds consumed, including prerequisite sub-protocols.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+/// Algorithm 2: leader election from a nontrivial move.
+///
+/// # Errors
+///
+/// Propagates substrate errors and direction-agreement failures.
+pub fn elect_leader_with_move(
+    net: &mut Network<'_>,
+    nm: &NontrivialMove,
+) -> Result<LeaderElection, ProtocolError> {
+    let n = net.len();
+    let start = net.rounds_used();
+
+    // Step 1: common sense of direction from the nontrivial move.
+    let agreement: DirectionAgreement = agree_direction_with_move(net, nm.directions())?;
+    let frames = agreement.frames().to_vec();
+
+    // Step 2: X = agents that moved logically right in the nontrivial move.
+    // RI(X) ≠ 0 because the move was nontrivial.
+    let mut in_x: Vec<bool> = (0..n)
+        .map(|agent| frames[agent].to_logical(nm.directions()[agent]) == LocalDirection::Right)
+        .collect();
+
+    // Step 3: binary search over identifier bits, maintaining RI(X) ≠ 0.
+    for bit in 0..net.id_bits() {
+        let in_x0: Vec<bool> = (0..n)
+            .map(|agent| in_x[agent] && !net.id_of(agent).bit(bit))
+            .collect();
+        let dirs: Vec<LocalDirection> = (0..n)
+            .map(|agent| {
+                frames[agent].to_physical(if in_x0[agent] {
+                    LocalDirection::Right
+                } else {
+                    LocalDirection::Left
+                })
+            })
+            .collect();
+        let obs = net.step(&dirs)?;
+        let nonzero = !obs[0].dist.is_zero();
+        debug_assert!(obs.iter().all(|o| !o.dist.is_zero() == nonzero));
+        for agent in 0..n {
+            in_x[agent] = if nonzero {
+                in_x0[agent]
+            } else {
+                in_x[agent] && !in_x0[agent]
+            };
+        }
+    }
+
+    Ok(LeaderElection::new(
+        in_x,
+        frames,
+        net.rounds_used() - start + nm.rounds(),
+    ))
+}
+
+/// Lemma 13: leader election under a common sense of direction, by binary
+/// search for the maximum identifier present in the network, one emptiness
+/// test per identifier bit.
+///
+/// # Errors
+///
+/// Propagates substrate errors.
+pub fn elect_leader_with_common_direction(
+    net: &mut Network<'_>,
+    frames: &[Frame],
+) -> Result<LeaderElection, ProtocolError> {
+    let n = net.len();
+    if frames.len() != n {
+        return Err(ProtocolError::LengthMismatch {
+            what: "frames",
+            got: frames.len(),
+            expected: n,
+        });
+    }
+    let start = net.rounds_used();
+    let bits = net.id_bits();
+    let mut prefix: u64 = 0;
+    for bit in (0..bits).rev() {
+        let candidate_floor = prefix | (1 << bit);
+        // B = identifiers matching the chosen prefix above `bit` and having
+        // this bit set.
+        let outcome = test_emptiness(net, frames, &move |id| {
+            let v = id.value();
+            (v >> (bit + 1)) == (candidate_floor >> (bit + 1)) && (v >> bit) & 1 == 1
+        })?;
+        if outcome.nonempty {
+            prefix = candidate_floor;
+        }
+    }
+    let is_leader: Vec<bool> = (0..n).map(|agent| net.id_of(agent).value() == prefix).collect();
+    Ok(LeaderElection::new(
+        is_leader,
+        frames.to_vec(),
+        net.rounds_used() - start,
+    ))
+}
+
+/// Leader election in the general setting (Table I): obtains a nontrivial
+/// move with the strategy appropriate for the model and parity, then runs
+/// Algorithm 2.
+///
+/// # Errors
+///
+/// Propagates errors from the underlying sub-protocols.
+pub fn elect_leader(net: &mut Network<'_>) -> Result<LeaderElection, ProtocolError> {
+    let nm = solve_nontrivial_move(net)?;
+    elect_leader_with_move(net, &nm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordination::diragr::frames_are_coherent;
+    use crate::ids::IdAssignment;
+    use ring_sim::{Model, RingConfig};
+
+    fn assert_unique_leader(election: &LeaderElection) {
+        let leaders: Vec<usize> = election.leaders().collect();
+        assert_eq!(leaders.len(), 1, "expected exactly one leader");
+    }
+
+    #[test]
+    fn algorithm_2_elects_the_maximum_id_on_odd_rings() {
+        let config = RingConfig::builder(9)
+            .random_positions(31)
+            .random_chirality(32)
+            .build()
+            .unwrap();
+        let mut net =
+            Network::new(&config, IdAssignment::random(9, 1 << 10, 33), Model::Basic).unwrap();
+        let election = elect_leader(&mut net).unwrap();
+        assert_unique_leader(&election);
+        assert!(frames_are_coherent(&net, election.frames()));
+        // O(log N) rounds: nontrivial move (≤ id_bits+1) + 2 + id_bits.
+        assert!(election.rounds() <= 3 * net.id_bits() as u64 + 8);
+    }
+
+    #[test]
+    fn algorithm_2_elects_the_maximum_id_on_even_rings() {
+        let config = RingConfig::builder(10)
+            .random_positions(34)
+            .alternating_chirality()
+            .build()
+            .unwrap();
+        let mut net =
+            Network::new(&config, IdAssignment::random(10, 1 << 8, 35), Model::Basic).unwrap();
+        let election = elect_leader(&mut net).unwrap();
+        assert_unique_leader(&election);
+    }
+
+    #[test]
+    fn common_direction_variant_matches_lemma_13() {
+        for model in [Model::Basic, Model::Lazy, Model::Perceptive] {
+            for n in [9usize, 10] {
+                let config = RingConfig::builder(n)
+                    .random_positions(36 + n as u64)
+                    .aligned_chirality()
+                    .build()
+                    .unwrap();
+                let mut net =
+                    Network::new(&config, IdAssignment::random(n, 1 << 9, 37), model).unwrap();
+                let frames = vec![Frame::identity(); n];
+                let election = elect_leader_with_common_direction(&mut net, &frames).unwrap();
+                assert_unique_leader(&election);
+                // Lemma 13 elects the agent with the maximum identifier.
+                assert_eq!(
+                    election.leaders().next().unwrap(),
+                    net.ground_truth_ids().max_id_agent()
+                );
+                let bits = net.id_bits() as u64;
+                let bound = match (model, n % 2) {
+                    (Model::Basic, 0) => bits * (bits + 2),
+                    _ => bits + 2,
+                };
+                assert!(
+                    election.rounds() <= bound.max(bits),
+                    "model {model}, n {n}: {} rounds > bound {bound}",
+                    election.rounds()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frame_length_is_validated() {
+        let config = RingConfig::builder(6).build().unwrap();
+        let mut net = Network::new(&config, IdAssignment::consecutive(6), Model::Basic).unwrap();
+        assert!(matches!(
+            elect_leader_with_common_direction(&mut net, &[Frame::identity(); 2]),
+            Err(ProtocolError::LengthMismatch { .. })
+        ));
+    }
+}

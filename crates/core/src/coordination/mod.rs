@@ -1,0 +1,9 @@
+//! The paper's coordination problems: probing rounds, direction agreement,
+//! the nontrivial-move problem, leader election and emptiness testing
+//! (Sections II–IV).
+
+pub mod diragr;
+pub mod emptiness;
+pub mod leader;
+pub mod nontrivial;
+pub mod probe;

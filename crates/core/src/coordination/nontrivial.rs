@@ -1,0 +1,503 @@
+//! The nontrivial-move problem (Sections III–V of the paper).
+//!
+//! A direction assignment is a *nontrivial move* if the rotation index of
+//! the induced round lies outside `{0, n/2}`. Producing one is the central
+//! symmetry-breaking step: once some asymmetry in the agents' behaviour is
+//! physically observable, direction agreement costs O(1) rounds
+//! (Algorithm 1) and leader election O(log N) rounds (Algorithm 2).
+//!
+//! The cost of the nontrivial-move problem depends dramatically on the
+//! setting:
+//!
+//! | setting                       | rounds                        | implementation |
+//! |-------------------------------|-------------------------------|----------------|
+//! | odd `n`                       | `Θ(log(N/n))`                 | [`nontrivial_move_odd`] |
+//! | basic / lazy model, even `n`  | `Θ(n·log(N/n)/log n)`         | [`nontrivial_move_even_distinguisher`] |
+//! | perceptive model, even `n`    | `O(√n · log N)`               | [`crate::perceptive::nmove::nmove_s`] |
+//! | leader already known          | `O(1)` (Lemma 10)             | [`nontrivial_move_with_leader`] |
+//! | common direction, randomized  | `O(log N)` w.h.p. (Lemma 15)  | [`nontrivial_move_common_randomized`] |
+
+use crate::coordination::probe::{probe_move, probe_nonzero, MoveClass};
+use crate::error::ProtocolError;
+use crate::exec::Network;
+use ring_combinat::StrongDistinguisher;
+use ring_sim::{Frame, LocalDirection, Model, Parity};
+
+/// Which strategy produced a nontrivial move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NontrivialStrategy {
+    /// Every agent moving its own "right" already induced a nontrivial move.
+    AllRight,
+    /// Splitting the agents by one bit of their identifier (odd `n`).
+    IdBitSplit {
+        /// The identifier bit used (counted from the most significant).
+        bit: u32,
+    },
+    /// A set of a strong `(N, n)`-distinguisher (basic/lazy model, even `n`).
+    Distinguisher {
+        /// Index of the successful set within the strong distinguisher.
+        set_index: usize,
+    },
+    /// The unique leader deviated from the all-right round (Lemma 10).
+    LeaderDeviation,
+    /// A random subset of the identifier space, executed with a common sense
+    /// of direction (Lemma 15).
+    RandomizedCommon {
+        /// Index of the successful random set.
+        set_index: usize,
+    },
+    /// The perceptive-model `NMoveS` algorithm isolated a single local
+    /// leader through a selective family (Algorithm 4).
+    SelectiveFamily {
+        /// The neighbourhood radius at which the isolation succeeded.
+        radius: usize,
+    },
+}
+
+/// A solved instance of the nontrivial-move problem.
+#[derive(Clone, Debug)]
+pub struct NontrivialMove {
+    directions: Vec<LocalDirection>,
+    rounds: u64,
+    strategy: NontrivialStrategy,
+}
+
+impl NontrivialMove {
+    pub(crate) fn new(
+        directions: Vec<LocalDirection>,
+        rounds: u64,
+        strategy: NontrivialStrategy,
+    ) -> Self {
+        NontrivialMove {
+            directions,
+            rounds,
+            strategy,
+        }
+    }
+
+    /// The per-agent directions (in each agent's own frame) that induce a
+    /// nontrivial move when executed together.
+    pub fn directions(&self) -> &[LocalDirection] {
+        &self.directions
+    }
+
+    /// Rounds spent finding the move.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The strategy that succeeded.
+    pub fn strategy(&self) -> NontrivialStrategy {
+        self.strategy
+    }
+}
+
+/// Solves the nontrivial-move problem with the strategy appropriate for the
+/// parity of `n` and the model in force (the routing of Tables I and II).
+///
+/// # Errors
+///
+/// Propagates substrate errors; returns [`ProtocolError::RoundBudgetExceeded`]
+/// if a randomized construction fails to break symmetry within a generous
+/// budget (which has negligible probability for valid inputs).
+pub fn solve_nontrivial_move(net: &mut Network<'_>) -> Result<NontrivialMove, ProtocolError> {
+    match (net.parity(), net.model()) {
+        (Parity::Odd, _) => nontrivial_move_odd(net),
+        (Parity::Even, Model::Perceptive) => crate::perceptive::nmove::nmove_s(net, 0x5eed),
+        (Parity::Even, _) => nontrivial_move_even_distinguisher(net, 0x5eed),
+    }
+}
+
+/// Nontrivial move for odd `n` (Propositions 17 and 19): if the all-right
+/// round moves somebody it is already nontrivial (odd `n` has no half turn);
+/// otherwise every agent shares the same chirality and the first identifier
+/// bit (scanning from the most significant) on which the agents disagree
+/// yields a nontrivial split. Because `n` distinct identifiers cannot agree
+/// on more than `log₂(N/n)` leading bits, this takes `O(log(N/n))` rounds.
+///
+/// # Errors
+///
+/// Propagates substrate errors; returns [`ProtocolError::Internal`] if no
+/// identifier bit splits the agents (impossible for distinct identifiers).
+pub fn nontrivial_move_odd(net: &mut Network<'_>) -> Result<NontrivialMove, ProtocolError> {
+    let n = net.len();
+    let start = net.rounds_used();
+    let all_right = vec![LocalDirection::Right; n];
+    if probe_nonzero(net, &all_right)? {
+        return Ok(NontrivialMove::new(
+            all_right,
+            net.rounds_used() - start,
+            NontrivialStrategy::AllRight,
+        ));
+    }
+    // All agents share one chirality; scan identifier bits from the most
+    // significant downwards.
+    for bit in (0..net.id_bits()).rev() {
+        let dirs: Vec<LocalDirection> = (0..n)
+            .map(|agent| LocalDirection::from_bit(net.id_of(agent).bit(bit)))
+            .collect();
+        if probe_nonzero(net, &dirs)? {
+            return Ok(NontrivialMove::new(
+                dirs,
+                net.rounds_used() - start,
+                NontrivialStrategy::IdBitSplit {
+                    bit: net.id_bits() - 1 - bit,
+                },
+            ));
+        }
+    }
+    Err(ProtocolError::Internal {
+        protocol: "nontrivial-move-odd",
+        reason: "distinct identifiers must disagree on some bit".into(),
+    })
+}
+
+/// Nontrivial move in the basic or lazy model with even `n` (Theorem 27):
+/// execute the sets of a seeded strong `(N, ·)`-distinguisher until a round
+/// is observed to be nontrivial. Requires `Θ(n·log(N/n)/log n)` rounds in
+/// the worst case (Corollary 28), and that many in expectation only when the
+/// chirality split is perfectly balanced — otherwise the initial all-right
+/// round already succeeds.
+///
+/// # Errors
+///
+/// Propagates substrate errors; returns [`ProtocolError::RoundBudgetExceeded`]
+/// if no nontrivial move is found within a generous multiple of the
+/// theoretical bound.
+pub fn nontrivial_move_even_distinguisher(
+    net: &mut Network<'_>,
+    seed: u64,
+) -> Result<NontrivialMove, ProtocolError> {
+    let n = net.len();
+    let start = net.rounds_used();
+    let all_right = vec![LocalDirection::Right; n];
+    if probe_move(net, &all_right)? == MoveClass::Nontrivial {
+        return Ok(NontrivialMove::new(
+            all_right,
+            net.rounds_used() - start,
+            NontrivialStrategy::AllRight,
+        ));
+    }
+    let mut strong = StrongDistinguisher::new(net.universe(), seed);
+    // The budget is a harness-level safety net, not agent knowledge.
+    let budget = 32 * strong.prefix_size_for(n.max(2)) + 256;
+    for set_index in 0..budget {
+        let set = strong.set(set_index).clone();
+        let dirs: Vec<LocalDirection> = (0..n)
+            .map(|agent| LocalDirection::from_bit(set.contains(net.id_of(agent).value())))
+            .collect();
+        if probe_move(net, &dirs)? == MoveClass::Nontrivial {
+            return Ok(NontrivialMove::new(
+                dirs,
+                net.rounds_used() - start,
+                NontrivialStrategy::Distinguisher { set_index },
+            ));
+        }
+    }
+    Err(ProtocolError::RoundBudgetExceeded {
+        protocol: "nontrivial-move-even",
+        budget: budget as u64,
+    })
+}
+
+/// Weak variant of [`nontrivial_move_even_distinguisher`] accepting rotation
+/// index `n/2` (one probing round per set). This matches the *weak
+/// nontrivial move* problem that Proposition 22 relates to distinguishers,
+/// and is used by the experiment harness to measure distinguisher execution
+/// lengths in isolation.
+///
+/// # Errors
+///
+/// Same as [`nontrivial_move_even_distinguisher`].
+pub fn weak_nontrivial_move_even_distinguisher(
+    net: &mut Network<'_>,
+    seed: u64,
+) -> Result<NontrivialMove, ProtocolError> {
+    let n = net.len();
+    let start = net.rounds_used();
+    let all_right = vec![LocalDirection::Right; n];
+    if probe_nonzero(net, &all_right)? {
+        return Ok(NontrivialMove::new(
+            all_right,
+            net.rounds_used() - start,
+            NontrivialStrategy::AllRight,
+        ));
+    }
+    let mut strong = StrongDistinguisher::new(net.universe(), seed);
+    let budget = 32 * strong.prefix_size_for(n.max(2)) + 256;
+    for set_index in 0..budget {
+        let set = strong.set(set_index).clone();
+        let dirs: Vec<LocalDirection> = (0..n)
+            .map(|agent| LocalDirection::from_bit(set.contains(net.id_of(agent).value())))
+            .collect();
+        if probe_nonzero(net, &dirs)? {
+            return Ok(NontrivialMove::new(
+                dirs,
+                net.rounds_used() - start,
+                NontrivialStrategy::Distinguisher { set_index },
+            ));
+        }
+    }
+    Err(ProtocolError::RoundBudgetExceeded {
+        protocol: "weak-nontrivial-move-even",
+        budget: budget as u64,
+    })
+}
+
+/// Nontrivial move given an elected leader (Lemma 10): the all-right round
+/// and the round in which only the leader deviates have rotation indices
+/// differing by 2, so for `n > 4` at least one of them is nontrivial; both
+/// are probed in O(1) rounds.
+///
+/// # Errors
+///
+/// Propagates substrate errors; returns [`ProtocolError::Internal`] if
+/// neither probe is nontrivial, which is impossible when exactly one agent
+/// is flagged as leader and `n > 4`.
+pub fn nontrivial_move_with_leader(
+    net: &mut Network<'_>,
+    is_leader: &[bool],
+) -> Result<NontrivialMove, ProtocolError> {
+    let n = net.len();
+    if is_leader.len() != n {
+        return Err(ProtocolError::LengthMismatch {
+            what: "leader flags",
+            got: is_leader.len(),
+            expected: n,
+        });
+    }
+    let start = net.rounds_used();
+    let all_right = vec![LocalDirection::Right; n];
+    if probe_move(net, &all_right)? == MoveClass::Nontrivial {
+        return Ok(NontrivialMove::new(
+            all_right,
+            net.rounds_used() - start,
+            NontrivialStrategy::AllRight,
+        ));
+    }
+    let deviated: Vec<LocalDirection> = (0..n)
+        .map(|agent| {
+            if is_leader[agent] {
+                LocalDirection::Left
+            } else {
+                LocalDirection::Right
+            }
+        })
+        .collect();
+    if probe_move(net, &deviated)? == MoveClass::Nontrivial {
+        return Ok(NontrivialMove::new(
+            deviated,
+            net.rounds_used() - start,
+            NontrivialStrategy::LeaderDeviation,
+        ));
+    }
+    Err(ProtocolError::Internal {
+        protocol: "nontrivial-move-with-leader",
+        reason: "two assignments whose rotation indices differ by 2 were both trivial".into(),
+    })
+}
+
+/// Randomized nontrivial move with a common sense of direction (Lemma 15):
+/// random identifier subsets are executed (members move logically right)
+/// until one is observed to be nontrivial. With a shared frame a random set
+/// succeeds with constant probability, so `O(log N)` rounds suffice with
+/// high probability.
+///
+/// # Errors
+///
+/// Propagates substrate errors; returns [`ProtocolError::RoundBudgetExceeded`]
+/// with negligible probability.
+pub fn nontrivial_move_common_randomized(
+    net: &mut Network<'_>,
+    frames: &[Frame],
+    seed: u64,
+) -> Result<NontrivialMove, ProtocolError> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let n = net.len();
+    if frames.len() != n {
+        return Err(ProtocolError::LengthMismatch {
+            what: "frames",
+            got: frames.len(),
+            expected: n,
+        });
+    }
+    let start = net.rounds_used();
+    let budget = 64 * (net.id_bits() as usize + 1);
+    for set_index in 0..budget {
+        // Pseudo-random membership of each identifier, derived from the
+        // public seed so that all agents agree on the set.
+        let mut dirs = Vec::with_capacity(n);
+        for agent in 0..n {
+            let id = net.id_of(agent).value();
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (set_index as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ id.wrapping_mul(0xc2b2ae3d27d4eb4f),
+            );
+            let member: bool = rng.gen();
+            let logical = LocalDirection::from_bit(member);
+            dirs.push(frames[agent].to_physical(logical));
+        }
+        if probe_move(net, &dirs)? == MoveClass::Nontrivial {
+            return Ok(NontrivialMove::new(
+                dirs,
+                net.rounds_used() - start,
+                NontrivialStrategy::RandomizedCommon { set_index },
+            ));
+        }
+    }
+    Err(ProtocolError::RoundBudgetExceeded {
+        protocol: "nontrivial-move-common-randomized",
+        budget: budget as u64,
+    })
+}
+
+/// Ground-truth verification used by tests: re-executes the returned
+/// directions and checks that the rotation index is indeed outside
+/// `{0, n/2}`.
+pub fn verify_nontrivial(net: &mut Network<'_>, nm: &NontrivialMove) -> bool {
+    match probe_move(net, nm.directions()) {
+        Ok(class) => class == MoveClass::Nontrivial,
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::IdAssignment;
+    use ring_sim::{Model, RingConfig};
+
+    fn mixed_config(n: usize, pos_seed: u64, chir_seed: u64) -> RingConfig {
+        RingConfig::builder(n)
+            .random_positions(pos_seed)
+            .random_chirality(chir_seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn odd_ring_with_mixed_chirality_uses_all_right() {
+        let config = mixed_config(9, 1, 2);
+        let mut net = Network::new(&config, IdAssignment::random(9, 512, 3), Model::Basic).unwrap();
+        let nm = nontrivial_move_odd(&mut net).unwrap();
+        assert!(verify_nontrivial(&mut net, &nm));
+        assert_eq!(nm.strategy(), NontrivialStrategy::AllRight);
+        assert_eq!(nm.rounds(), 1);
+    }
+
+    #[test]
+    fn odd_ring_with_uniform_chirality_uses_an_id_bit() {
+        let config = RingConfig::builder(7)
+            .random_positions(4)
+            .aligned_chirality()
+            .build()
+            .unwrap();
+        let mut net =
+            Network::new(&config, IdAssignment::random(7, 1 << 12, 5), Model::Basic).unwrap();
+        let nm = nontrivial_move_odd(&mut net).unwrap();
+        assert!(matches!(nm.strategy(), NontrivialStrategy::IdBitSplit { .. }));
+        assert!(verify_nontrivial(&mut net, &nm));
+        // Θ(log(N/n)): with N = 4096 and n = 7 this is at most ~12 rounds.
+        assert!(nm.rounds() <= 1 + net.id_bits() as u64);
+    }
+
+    #[test]
+    fn even_ring_distinguisher_strategy_breaks_balanced_chirality() {
+        // Perfectly balanced chirality: the all-right round is trivial and
+        // the distinguisher sets must break the tie.
+        let config = RingConfig::builder(8)
+            .random_positions(6)
+            .alternating_chirality()
+            .build()
+            .unwrap();
+        let mut net =
+            Network::new(&config, IdAssignment::random(8, 256, 7), Model::Basic).unwrap();
+        let nm = nontrivial_move_even_distinguisher(&mut net, 42).unwrap();
+        assert!(matches!(nm.strategy(), NontrivialStrategy::Distinguisher { .. }));
+        assert!(verify_nontrivial(&mut net, &nm));
+    }
+
+    #[test]
+    fn weak_variant_accepts_half_turns() {
+        let config = RingConfig::builder(8)
+            .random_positions(6)
+            .alternating_chirality()
+            .build()
+            .unwrap();
+        let mut net =
+            Network::new(&config, IdAssignment::random(8, 256, 7), Model::Basic).unwrap();
+        let nm = weak_nontrivial_move_even_distinguisher(&mut net, 42).unwrap();
+        // At the very least the returned assignment rotates the ring.
+        assert!(probe_nonzero(&mut net, nm.directions()).unwrap());
+    }
+
+    #[test]
+    fn leader_deviation_is_constant_rounds() {
+        let config = RingConfig::builder(10)
+            .random_positions(8)
+            .aligned_chirality()
+            .build()
+            .unwrap();
+        let mut net = Network::new(&config, IdAssignment::consecutive(10), Model::Basic).unwrap();
+        let mut leaders = vec![false; 10];
+        leaders[4] = true;
+        let nm = nontrivial_move_with_leader(&mut net, &leaders).unwrap();
+        assert!(nm.rounds() <= 4);
+        assert!(verify_nontrivial(&mut net, &nm));
+        assert_eq!(nm.strategy(), NontrivialStrategy::LeaderDeviation);
+    }
+
+    #[test]
+    fn randomized_common_direction_strategy_succeeds() {
+        let config = RingConfig::builder(12)
+            .random_positions(9)
+            .aligned_chirality()
+            .build()
+            .unwrap();
+        let mut net =
+            Network::new(&config, IdAssignment::random(12, 1 << 10, 11), Model::Basic).unwrap();
+        let frames = vec![Frame::identity(); 12];
+        let nm = nontrivial_move_common_randomized(&mut net, &frames, 3).unwrap();
+        assert!(verify_nontrivial(&mut net, &nm));
+    }
+
+    #[test]
+    fn dispatcher_routes_by_parity() {
+        let config = mixed_config(11, 21, 22);
+        let mut net =
+            Network::new(&config, IdAssignment::random(11, 256, 23), Model::Basic).unwrap();
+        let nm = solve_nontrivial_move(&mut net).unwrap();
+        assert!(verify_nontrivial(&mut net, &nm));
+
+        let config = mixed_config(12, 24, 25);
+        let mut net =
+            Network::new(&config, IdAssignment::random(12, 256, 26), Model::Lazy).unwrap();
+        let nm = solve_nontrivial_move(&mut net).unwrap();
+        assert!(verify_nontrivial(&mut net, &nm));
+    }
+
+    #[test]
+    fn leader_flag_length_is_validated() {
+        let config = mixed_config(8, 30, 31);
+        let mut net = Network::new(&config, IdAssignment::consecutive(8), Model::Basic).unwrap();
+        assert!(matches!(
+            nontrivial_move_with_leader(&mut net, &[true; 3]),
+            Err(ProtocolError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn all_aligned_even_ring_still_finds_a_nontrivial_move() {
+        let config = RingConfig::builder(10)
+            .random_positions(40)
+            .aligned_chirality()
+            .build()
+            .unwrap();
+        let mut net =
+            Network::new(&config, IdAssignment::random(10, 1 << 14, 41), Model::Basic).unwrap();
+        let nm = nontrivial_move_even_distinguisher(&mut net, 1).unwrap();
+        assert!(verify_nontrivial(&mut net, &nm));
+    }
+}

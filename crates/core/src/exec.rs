@@ -1,0 +1,305 @@
+//! The synchronous protocol executor.
+//!
+//! [`Network`] is the only interface protocol code has to the physical
+//! world. It binds a [`RingConfig`] (hidden ground truth), an
+//! [`IdAssignment`] and a [`Model`], and exposes
+//!
+//! * the public knowledge every agent shares — the identifier universe `N`,
+//!   the parity of `n`, and the model;
+//! * each agent's private input — its own identifier;
+//! * [`Network::step`], which executes one synchronised round: it takes the
+//!   direction chosen by every agent *in that agent's own frame*, enforces
+//!   the model's restrictions, and returns every agent's [`Observation`],
+//!   again in the agent's own frame, with collision information stripped
+//!   unless the model is perceptive.
+//!
+//! Protocol implementations in this crate are written as lockstep drivers:
+//! the same local rule is evaluated for every agent using only that agent's
+//! state, and the chosen directions are submitted together through `step`.
+//! Tests validate the outputs against the ground truth, which remains
+//! accessible through the `ground_truth_*` methods (never used by protocol
+//! logic).
+
+use crate::error::ProtocolError;
+use crate::ids::{AgentId, IdAssignment};
+use ring_sim::{
+    EngineKind, LocalDirection, Model, Observation, Parity, RingConfig, RingState, RotationIndex,
+};
+
+/// The executor: hidden ground truth plus the round interface.
+#[derive(Clone, Debug)]
+pub struct Network<'a> {
+    ring: RingState<'a>,
+    ids: IdAssignment,
+    model: Model,
+    engine: EngineKind,
+    rounds: u64,
+    last_rotation: Option<RotationIndex>,
+    cumulative_dist: Vec<u64>,
+}
+
+impl<'a> Network<'a> {
+    /// Creates an executor over the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the identifier assignment does not cover exactly
+    /// the agents of the configuration.
+    pub fn new(
+        config: &'a RingConfig,
+        ids: IdAssignment,
+        model: Model,
+    ) -> Result<Self, ProtocolError> {
+        if ids.len() != config.len() {
+            return Err(ProtocolError::LengthMismatch {
+                what: "identifiers",
+                got: ids.len(),
+                expected: config.len(),
+            });
+        }
+        Ok(Network {
+            cumulative_dist: vec![0; config.len()],
+            ring: RingState::new(config),
+            ids,
+            model,
+            engine: EngineKind::Analytic,
+            rounds: 0,
+            last_rotation: None,
+        })
+    }
+
+    /// Selects the physics engine (the analytic engine is the default; the
+    /// event-driven engine is available for validation runs).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Public knowledge (available to every agent).
+    // ------------------------------------------------------------------
+
+    /// The identifier universe size `N`.
+    pub fn universe(&self) -> u64 {
+        self.ids.universe()
+    }
+
+    /// Number of bits needed to address the identifier universe.
+    pub fn id_bits(&self) -> u32 {
+        self.ids.id_bits()
+    }
+
+    /// The parity of the (otherwise unknown) ring size.
+    pub fn parity(&self) -> Parity {
+        Parity::of(self.ring.len())
+    }
+
+    /// The model in force.
+    pub fn model(&self) -> Model {
+        self.model
+    }
+
+    // ------------------------------------------------------------------
+    // Private inputs (agent `i` may only look at index `i`).
+    // ------------------------------------------------------------------
+
+    /// The identifier of `agent` — that agent's private input.
+    pub fn id_of(&self, agent: usize) -> AgentId {
+        self.ids.id(agent)
+    }
+
+    // ------------------------------------------------------------------
+    // Round execution.
+    // ------------------------------------------------------------------
+
+    /// Number of agents; used by the lockstep drivers to size their per-agent
+    /// state vectors (an agent itself never learns `n`, only its parity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring is empty (never true for valid configurations).
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Number of rounds executed so far.
+    pub fn rounds_used(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Executes one round.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the direction vector has the wrong length or an
+    /// agent idles in a non-lazy model.
+    pub fn step(
+        &mut self,
+        directions: &[LocalDirection],
+    ) -> Result<Vec<Observation>, ProtocolError> {
+        if directions.len() != self.ring.len() {
+            return Err(ProtocolError::LengthMismatch {
+                what: "directions",
+                got: directions.len(),
+                expected: self.ring.len(),
+            });
+        }
+        if !self.model.allows_idle() {
+            if let Some(agent) = directions.iter().position(|d| !d.is_moving()) {
+                return Err(ProtocolError::IdleForbidden {
+                    agent,
+                    model: self.model,
+                });
+            }
+        }
+        let outcome = self.ring.execute_round(directions, self.engine)?;
+        self.rounds += 1;
+        self.last_rotation = Some(outcome.rotation);
+        for (acc, obs) in self.cumulative_dist.iter_mut().zip(&outcome.observations) {
+            *acc = (*acc + obs.dist.ticks()) % ring_sim::CIRCUMFERENCE;
+        }
+        let observations = outcome
+            .observations
+            .into_iter()
+            .map(|obs| {
+                if self.model.observes_collisions() {
+                    obs
+                } else {
+                    obs.without_coll()
+                }
+            })
+            .collect();
+        Ok(observations)
+    }
+
+    /// Executes one round in which every agent moves opposite to
+    /// `directions` (the paper's `REVERSEDROUND`), restoring the positions
+    /// reached before the matching `step`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::step`].
+    pub fn step_reversed(
+        &mut self,
+        directions: &[LocalDirection],
+    ) -> Result<Vec<Observation>, ProtocolError> {
+        let reversed: Vec<LocalDirection> = directions.iter().map(|d| d.opposite()).collect();
+        self.step(&reversed)
+    }
+
+    /// The sum (modulo the circumference) of all `dist()` observations the
+    /// agent has made so far, i.e. the agent's displacement from its initial
+    /// position measured in its own clockwise direction.
+    ///
+    /// This is information the agent could trivially maintain itself by
+    /// summing its observations; it is tracked centrally purely for
+    /// convenience and is legitimate agent-local knowledge.
+    pub fn observed_cumulative_dist(&self, agent: usize) -> ring_sim::ArcLength {
+        ring_sim::ArcLength::from_ticks(self.cumulative_dist[agent])
+    }
+
+    // ------------------------------------------------------------------
+    // Ground truth (tests and experiment harness only).
+    // ------------------------------------------------------------------
+
+    /// Ground truth: the underlying configuration.
+    pub fn ground_truth_config(&self) -> &RingConfig {
+        self.ring.config()
+    }
+
+    /// Ground truth: the slot currently occupied by each agent.
+    pub fn ground_truth_slots(&self) -> &[usize] {
+        self.ring.slots()
+    }
+
+    /// Ground truth: the rotation index of the last executed round.
+    pub fn ground_truth_last_rotation(&self) -> Option<RotationIndex> {
+        self.last_rotation
+    }
+
+    /// Ground truth: the identifier assignment.
+    pub fn ground_truth_ids(&self) -> &IdAssignment {
+        &self.ids
+    }
+
+    /// Ground truth: whether every agent is back at its initial position.
+    pub fn ground_truth_at_initial_positions(&self) -> bool {
+        self.ring.config().len() == self.ring.slots().len()
+            && self.ring.slots().iter().enumerate().all(|(a, &s)| a == s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring_sim::RingConfig;
+
+    fn network(_model: Model) -> (RingConfig, IdAssignment) {
+        let config = RingConfig::builder(6)
+            .random_positions(1)
+            .random_chirality(2)
+            .build()
+            .unwrap();
+        let ids = IdAssignment::consecutive(6);
+        (config, ids)
+    }
+
+    #[test]
+    fn idle_is_rejected_outside_the_lazy_model() {
+        let (config, ids) = network(Model::Basic);
+        let mut net = Network::new(&config, ids.clone(), Model::Basic).unwrap();
+        let mut dirs = vec![LocalDirection::Right; 6];
+        dirs[3] = LocalDirection::Idle;
+        assert!(matches!(
+            net.step(&dirs),
+            Err(ProtocolError::IdleForbidden { agent: 3, .. })
+        ));
+
+        let mut lazy = Network::new(&config, ids, Model::Lazy).unwrap();
+        assert!(lazy.step(&dirs).is_ok());
+    }
+
+    #[test]
+    fn collision_information_is_gated_by_the_model() {
+        let (config, ids) = network(Model::Basic);
+        let dirs: Vec<LocalDirection> = (0..6)
+            .map(|i| {
+                if i % 2 == 0 {
+                    LocalDirection::Right
+                } else {
+                    LocalDirection::Left
+                }
+            })
+            .collect();
+
+        let mut basic = Network::new(&config, ids.clone(), Model::Basic).unwrap();
+        let obs = basic.step(&dirs).unwrap();
+        assert!(obs.iter().all(|o| o.coll.is_none()));
+
+        let mut perceptive = Network::new(&config, ids, Model::Perceptive).unwrap();
+        let obs = perceptive.step(&dirs).unwrap();
+        assert!(obs.iter().any(|o| o.coll.is_some()));
+    }
+
+    #[test]
+    fn round_counting_and_reversal() {
+        let (config, ids) = network(Model::Basic);
+        let mut net = Network::new(&config, ids, Model::Basic).unwrap();
+        let dirs = vec![LocalDirection::Right; 6];
+        net.step(&dirs).unwrap();
+        net.step_reversed(&dirs).unwrap();
+        assert_eq!(net.rounds_used(), 2);
+        assert!(net.ground_truth_at_initial_positions());
+    }
+
+    #[test]
+    fn id_assignment_must_match_ring_size() {
+        let (config, _) = network(Model::Basic);
+        let short = IdAssignment::consecutive(4);
+        assert!(matches!(
+            Network::new(&config, short, Model::Basic),
+            Err(ProtocolError::LengthMismatch { .. })
+        ));
+    }
+}

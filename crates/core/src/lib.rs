@@ -1,0 +1,91 @@
+//! # ring-protocols
+//!
+//! Deterministic symmetry-breaking protocols for bouncing mobile agents on a
+//! ring — a faithful implementation of the algorithms of
+//! "Deterministic Symmetry Breaking in Ring Networks"
+//! (Gąsieniec, Jurdziński, Martin, Stachowiak; ICDCS 2015).
+//!
+//! The crate is organised around the problems studied in the paper:
+//!
+//! * **Coordination problems** ([`coordination`]): the nontrivial-move
+//!   problem, direction agreement, leader election and emptiness testing, in
+//!   the basic, lazy and perceptive models, with and without a common sense
+//!   of direction, for odd and even ring sizes.
+//! * **Location discovery** ([`locate`]): each agent determines the initial
+//!   position of every other agent. `n + O(log N)` rounds in the lazy model
+//!   (or the basic model with odd `n`).
+//! * **The perceptive-model stack** ([`perceptive`]): neighbour discovery,
+//!   a 1-bit-per-round communication layer built purely out of collision
+//!   observations, information dissemination, the `NMoveS` nontrivial-move
+//!   algorithm, ring-distance discovery (`RingDist`) and the
+//!   `n/2 + o(n)`-round location discovery (`Distances`).
+//! * **Pipelines** ([`pipeline`]): ready-made end-to-end flows matching the
+//!   rows of Tables I and II of the paper, with per-phase round accounting.
+//!
+//! The physical substrate (positions, rounds, collisions, observations)
+//! lives in the companion crate [`ring_sim`]; combinatorial machinery
+//! (distinguishers and selective families) lives in [`ring_combinat`].
+//!
+//! # Example
+//!
+//! ```
+//! use ring_protocols::prelude::*;
+//! use ring_sim::prelude::*;
+//!
+//! # fn main() -> Result<(), ProtocolError> {
+//! // A ring of 9 agents with random positions, random chirality and random
+//! // identifiers from the universe [1, 64].
+//! let config = RingConfig::builder(9)
+//!     .random_positions(1)
+//!     .random_chirality(2)
+//!     .build()
+//!     .expect("valid configuration");
+//! let ids = IdAssignment::random(9, 64, 3);
+//! let mut net = Network::new(&config, ids, Model::Basic)?;
+//!
+//! // Elect a leader (odd ring size: O(log N) rounds).
+//! let election = elect_leader(&mut net)?;
+//! assert_eq!(election.leaders().count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod coordination;
+pub mod error;
+pub mod exec;
+pub mod ids;
+pub mod knowledge;
+pub mod locate;
+pub mod perceptive;
+pub mod pipeline;
+
+pub use coordination::diragr::{agree_direction, DirectionAgreement};
+pub use coordination::emptiness::{test_emptiness, EmptinessOutcome};
+pub use coordination::leader::{elect_leader, elect_leader_with_common_direction, LeaderElection};
+pub use coordination::nontrivial::{solve_nontrivial_move, NontrivialMove};
+pub use coordination::probe::{probe_move, MoveClass};
+pub use error::ProtocolError;
+pub use exec::Network;
+pub use ids::{AgentId, IdAssignment};
+pub use knowledge::{GapKnowledge, KnowledgeConflict};
+pub use locate::{discover_locations, LocationDiscovery};
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::coordination::diragr::{agree_direction, DirectionAgreement};
+    pub use crate::coordination::emptiness::{test_emptiness, EmptinessOutcome};
+    pub use crate::coordination::leader::{
+        elect_leader, elect_leader_with_common_direction, LeaderElection,
+    };
+    pub use crate::coordination::nontrivial::{solve_nontrivial_move, NontrivialMove};
+    pub use crate::coordination::probe::{probe_move, MoveClass};
+    pub use crate::error::ProtocolError;
+    pub use crate::exec::Network;
+    pub use crate::ids::{AgentId, IdAssignment};
+    pub use crate::knowledge::GapKnowledge;
+    pub use crate::locate::{discover_locations, LocationDiscovery};
+    pub use crate::pipeline::{run_pipeline, PipelineReport};
+}

@@ -1,0 +1,184 @@
+//! Location discovery in the basic model with odd `n` (Lemma 16): after the
+//! leader is elected, every agent but the leader moves logically clockwise
+//! each round, giving a rotation of two positions per round. Each round's
+//! `dist()` observation is therefore the sum of two consecutive gaps; over
+//! one full revolution (exactly `n` rounds, because `gcd(2, n) = 1`) every
+//! adjacent pair-sum is observed, and for odd `n` the pair-sum system pins
+//! every gap — this is precisely where the even-`n` impossibility of
+//! Lemma 5 shows up as a singular system.
+
+use crate::coordination::leader::elect_leader;
+use crate::error::ProtocolError;
+use crate::exec::Network;
+use crate::knowledge::GapKnowledge;
+use crate::locate::{cumulative_dist_logical, AgentView, LocationDiscovery, LocationMethod};
+use ring_sim::{ArcLength, LocalDirection, CIRCUMFERENCE};
+
+/// Location discovery in the basic model with odd `n` (also valid, and used
+/// as the odd-`n` fallback, in the perceptive model).
+///
+/// # Errors
+///
+/// Propagates sub-protocol and substrate errors.
+pub fn discover_locations_basic_odd(
+    net: &mut Network<'_>,
+) -> Result<LocationDiscovery, ProtocolError> {
+    let election = elect_leader(net)?;
+    discover_locations_basic_odd_with_leader(net, &election)
+}
+
+/// The measurement sweep of the basic-model odd-`n` location discovery,
+/// starting from an already-elected leader (used for the Table II row).
+///
+/// The reported round count includes the rounds of the supplied election.
+///
+/// # Errors
+///
+/// Propagates sub-protocol and substrate errors.
+pub fn discover_locations_basic_odd_with_leader(
+    net: &mut Network<'_>,
+    election: &crate::coordination::leader::LeaderElection,
+) -> Result<LocationDiscovery, ProtocolError> {
+    let n = net.len();
+    let start = net.rounds_used() - election.rounds();
+
+    let frames = election.frames().to_vec();
+
+    let delta_start: Vec<ArcLength> = (0..n)
+        .map(|agent| cumulative_dist_logical(net, &frames, agent))
+        .collect();
+
+    // Sweep: everybody but the leader moves logically clockwise; the leader
+    // moves logically anticlockwise. Logical rotation index = n − 2 ≡ −2.
+    let dirs: Vec<LocalDirection> = (0..n)
+        .map(|agent| {
+            let logical = if election.is_leader(agent) {
+                LocalDirection::Left
+            } else {
+                LocalDirection::Right
+            };
+            frames[agent].to_physical(logical)
+        })
+        .collect();
+
+    // Per agent: pair-sum equations indexed relative to the agent's own
+    // measurement-start position; `offset` tracks how many positions the
+    // agent has moved (logically anticlockwise) so far.
+    let mut knowledge: Vec<GapKnowledge> = (0..n).map(|_| GapKnowledge::new(n)).collect();
+    let mut travelled: Vec<u64> = vec![0; n];
+    let mut steps: Vec<usize> = vec![0; n];
+    let round_budget = 4 * n as u64 + 16;
+    let mut finished = false;
+    for _ in 0..round_budget {
+        let obs = net.step(&dirs)?;
+        let mut all_back = true;
+        for agent in 0..n {
+            let logical = frames[agent].observation_to_logical(obs[agent]);
+            // Moving two positions anticlockwise: the traversed arc is the
+            // complement of the reported clockwise displacement.
+            let traversed = if logical.dist.is_zero() {
+                0
+            } else {
+                CIRCUMFERENCE - logical.dist.ticks()
+            };
+            let t = steps[agent];
+            // The two gaps crossed lie at relative indices n−2t−2 and
+            // n−2t−1 (modulo n).
+            let from = (2 * n - 2 * t - 2) % n;
+            let to = (from + 2) % n;
+            knowledge[agent]
+                .add_cw_arc(from, to, ArcLength::from_ticks(traversed))
+                .map_err(|e| ProtocolError::Internal {
+                    protocol: "location-discovery-basic-odd",
+                    reason: e.to_string(),
+                })?;
+            steps[agent] += 1;
+            travelled[agent] = (travelled[agent] + traversed) % CIRCUMFERENCE;
+            if travelled[agent] != 0 {
+                all_back = false;
+            }
+        }
+        if all_back {
+            finished = true;
+            break;
+        }
+    }
+    if !finished {
+        return Err(ProtocolError::Internal {
+            protocol: "location-discovery-basic-odd",
+            reason: "the sweep never returned every agent to its starting position".into(),
+        });
+    }
+
+    let views = (0..n)
+        .map(|agent| {
+            let gaps = knowledge[agent].gaps().ok_or_else(|| ProtocolError::Internal {
+                protocol: "location-discovery-basic-odd",
+                reason: format!("agent {agent} finished with incomplete knowledge"),
+            })?;
+            AgentView::from_measurement(&gaps, delta_start[agent])
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(LocationDiscovery::new(
+        views,
+        frames,
+        net.rounds_used() - start,
+        LocationMethod::BasicOdd,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::IdAssignment;
+    use crate::locate::verify_location_discovery;
+    use ring_sim::{Model, RingConfig};
+
+    #[test]
+    fn basic_odd_discovery_recovers_all_positions() {
+        for &(n, seed) in &[(5usize, 1u64), (7, 2), (9, 3), (13, 4)] {
+            let config = RingConfig::builder(n)
+                .random_positions(seed * 13 + 1)
+                .random_chirality(seed * 17 + 2)
+                .build()
+                .unwrap();
+            let ids = IdAssignment::random(n, 8 * n as u64, seed + 9);
+            let mut net = Network::new(&config, ids, Model::Basic).unwrap();
+            let discovery = discover_locations_basic_odd(&mut net).unwrap();
+            assert!(
+                verify_location_discovery(&net, &discovery),
+                "n={n} seed={seed}"
+            );
+            assert!(
+                discovery.rounds() <= n as u64 + 10 * net.id_bits() as u64 + 20,
+                "n={n}: {} rounds",
+                discovery.rounds()
+            );
+        }
+    }
+
+    #[test]
+    fn dispatcher_rejects_basic_even_and_routes_basic_odd() {
+        use crate::locate::discover_locations;
+
+        let config = RingConfig::builder(8).random_positions(3).build().unwrap();
+        let ids = IdAssignment::consecutive(8);
+        let mut net = Network::new(&config, ids, Model::Basic).unwrap();
+        assert!(matches!(
+            discover_locations(&mut net),
+            Err(ProtocolError::Unsolvable { .. })
+        ));
+
+        let config = RingConfig::builder(7)
+            .random_positions(4)
+            .random_chirality(5)
+            .build()
+            .unwrap();
+        let ids = IdAssignment::random(7, 64, 6);
+        let mut net = Network::new(&config, ids, Model::Basic).unwrap();
+        let discovery = discover_locations(&mut net).unwrap();
+        assert_eq!(discovery.method(), LocationMethod::BasicOdd);
+        assert!(verify_location_discovery(&net, &discovery));
+    }
+}

@@ -1,0 +1,149 @@
+//! Location discovery in the lazy model (Lemma 16): once a leader and a
+//! common sense of direction are available, a round in which only the leader
+//! moves has rotation index 1, so every agent walks the whole ring one
+//! position per round and reads every gap off its own `dist()`
+//! observations. The sweep ends — simultaneously for every agent — when the
+//! accumulated distance reaches one full circumference, i.e. after exactly
+//! `n` rounds, which also reveals `n` itself.
+
+use crate::coordination::leader::elect_leader;
+use crate::error::ProtocolError;
+use crate::exec::Network;
+use crate::locate::{cumulative_dist_logical, AgentView, LocationDiscovery, LocationMethod};
+use ring_sim::{ArcLength, LocalDirection, CIRCUMFERENCE};
+
+/// Location discovery in the lazy model: leader election, direction
+/// agreement (both bundled in [`elect_leader`]) and an `n`-round rotation-1
+/// sweep.
+///
+/// # Errors
+///
+/// Propagates sub-protocol and substrate errors.
+pub fn discover_locations_lazy(net: &mut Network<'_>) -> Result<LocationDiscovery, ProtocolError> {
+    let election = elect_leader(net)?;
+    discover_locations_lazy_with_leader(net, &election)
+}
+
+/// The measurement sweep of the lazy-model location discovery, starting from
+/// an already-elected leader (used to reproduce the Table II row, where the
+/// leader comes from the cheaper common-sense-of-direction election).
+///
+/// The reported round count includes the rounds of the supplied election.
+///
+/// # Errors
+///
+/// Propagates sub-protocol and substrate errors.
+pub fn discover_locations_lazy_with_leader(
+    net: &mut Network<'_>,
+    election: &crate::coordination::leader::LeaderElection,
+) -> Result<LocationDiscovery, ProtocolError> {
+    let n = net.len();
+    let start = net.rounds_used() - election.rounds();
+
+    let frames = election.frames().to_vec();
+
+    // Logical displacement accumulated so far: needed to convert the
+    // measured arrangement back to initial positions.
+    let delta_start: Vec<ArcLength> = (0..n)
+        .map(|agent| cumulative_dist_logical(net, &frames, agent))
+        .collect();
+
+    // The sweep: only the leader moves (logically clockwise); everybody
+    // idles. Each agent appends the observed gap until a full circle has
+    // been covered.
+    let dirs: Vec<LocalDirection> = (0..n)
+        .map(|agent| {
+            if election.is_leader(agent) {
+                frames[agent].to_physical(LocalDirection::Right)
+            } else {
+                LocalDirection::Idle
+            }
+        })
+        .collect();
+
+    let mut gaps: Vec<Vec<ArcLength>> = vec![Vec::new(); n];
+    let mut covered: Vec<u64> = vec![0; n];
+    let round_budget = 4 * n as u64 + 16;
+    for _ in 0..round_budget {
+        let obs = net.step(&dirs)?;
+        let mut all_done = true;
+        for agent in 0..n {
+            if covered[agent] >= CIRCUMFERENCE {
+                continue;
+            }
+            let logical = frames[agent].observation_to_logical(obs[agent]);
+            gaps[agent].push(logical.dist);
+            covered[agent] += logical.dist.ticks();
+            if covered[agent] < CIRCUMFERENCE {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+    }
+    if covered.iter().any(|&c| c != CIRCUMFERENCE) {
+        return Err(ProtocolError::Internal {
+            protocol: "location-discovery-lazy",
+            reason: "the sweep did not cover exactly one circumference".into(),
+        });
+    }
+
+    let views = (0..n)
+        .map(|agent| AgentView::from_measurement(&gaps[agent], delta_start[agent]))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(LocationDiscovery::new(
+        views,
+        frames,
+        net.rounds_used() - start,
+        LocationMethod::Lazy,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::IdAssignment;
+    use crate::locate::verify_location_discovery;
+    use ring_sim::{Model, RingConfig};
+
+    #[test]
+    fn lazy_discovery_recovers_all_positions() {
+        for &(n, seed) in &[(6usize, 1u64), (9, 2), (12, 3)] {
+            let config = RingConfig::builder(n)
+                .random_positions(seed * 7 + 1)
+                .random_chirality(seed * 11 + 2)
+                .build()
+                .unwrap();
+            let ids = IdAssignment::random(n, 4 * n as u64, seed + 5);
+            let mut net = Network::new(&config, ids, Model::Lazy).unwrap();
+            let discovery = discover_locations_lazy(&mut net).unwrap();
+            assert!(
+                verify_location_discovery(&net, &discovery),
+                "n={n} seed={seed}"
+            );
+            // n + O(log N) rounds.
+            assert!(
+                discovery.rounds() <= n as u64 + 10 * net.id_bits() as u64 + 20,
+                "n={n}: {} rounds",
+                discovery.rounds()
+            );
+        }
+    }
+
+    #[test]
+    fn even_lazy_rings_pay_the_distinguisher_price_but_still_succeed() {
+        let n = 8;
+        let config = RingConfig::builder(n)
+            .random_positions(77)
+            .alternating_chirality()
+            .build()
+            .unwrap();
+        let ids = IdAssignment::random(n, 256, 9);
+        let mut net = Network::new(&config, ids, Model::Lazy).unwrap();
+        let discovery = discover_locations_lazy(&mut net).unwrap();
+        assert_eq!(discovery.views().len(), n);
+        assert!(discovery.views().iter().all(|v| v.len() == n));
+    }
+}

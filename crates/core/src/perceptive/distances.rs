@@ -1,0 +1,377 @@
+//! `Distances`: perceptive-model location discovery in `n/2 + o(n)` rounds
+//! (Algorithm 6, Proposition 40, Lemma 41, Theorem 42).
+//!
+//! Prerequisites (all built here): a nontrivial move (`NMoveS`), a leader
+//! and a common sense of direction (Algorithm 2), the collision link, and
+//! every agent's ring distance from the leader in **both** directions
+//! (`RingDist` run twice), from which every agent also learns `n`.
+//!
+//! The measurement phase then alternates agents by label parity
+//! (`Convolution` rounds, rotation index 2), sweeping a single exception
+//! agent so that the collision and displacement observations of each round
+//! contribute two fresh linear equations per agent; a handful of `Pivot`
+//! rounds (rotation index 0, one half of the ring against the other) tie
+//! the two parity classes together. Every observation is a
+//! contiguous-interval equation over the gap vector, so each agent tracks
+//! its knowledge with the union–find structure of
+//! [`crate::knowledge::GapKnowledge`] and is done when a single component
+//! remains — after `n/2` Convolution rounds plus O(1) pivots.
+
+use crate::coordination::leader::elect_leader_with_move;
+use crate::error::ProtocolError;
+use crate::exec::Network;
+use crate::knowledge::GapKnowledge;
+use crate::locate::{
+    cumulative_dist_logical, AgentView, LocationDiscovery, LocationMethod,
+};
+use crate::perceptive::link::RingLink;
+use crate::perceptive::nmove::nmove_s;
+use crate::perceptive::ringdist::ring_distances;
+use ring_sim::{ArcLength, Frame, LocalDirection, Observation};
+
+/// The logical direction an agent with a given label takes in a Convolution
+/// round with the given exception label: odd labels move clockwise, even
+/// labels anticlockwise, except the exception (always even) which also moves
+/// clockwise.
+fn convolution_direction(label: usize, exception: usize) -> LocalDirection {
+    if label % 2 == 1 || label == exception {
+        LocalDirection::Right
+    } else {
+        LocalDirection::Left
+    }
+}
+
+/// The logical direction in a Pivot round anchored at label `c`: the `n/2`
+/// labels following `c` clockwise move anticlockwise (towards `c`) and the
+/// rest move clockwise, so the rotation index is 0.
+fn pivot_direction(label: usize, c: usize, n: usize) -> LocalDirection {
+    // Hops from c+1 to label going clockwise.
+    let offset = (label + n - 1 - (c % n)) % n;
+    if offset < n / 2 {
+        LocalDirection::Left
+    } else {
+        LocalDirection::Right
+    }
+}
+
+/// For every label, the number of label-steps to the nearest agent ahead
+/// (clockwise) that moves anticlockwise, and to the nearest agent behind
+/// (anticlockwise) that moves clockwise — under the given per-label rule.
+/// These determine which contiguous gap interval a first-collision
+/// observation spans (Proposition 4).
+fn collision_spans(rule: &dyn Fn(usize) -> LocalDirection, n: usize) -> (Vec<usize>, Vec<usize>) {
+    let dirs: Vec<LocalDirection> = (1..=n).map(|l| rule(l)).collect();
+    let mut ahead = vec![0usize; n + 1];
+    let mut behind = vec![0usize; n + 1];
+    for label in 1..=n {
+        let mut d = 0;
+        for step in 1..=n {
+            if dirs[(label - 1 + step) % n] == LocalDirection::Left {
+                d = step;
+                break;
+            }
+        }
+        ahead[label] = d;
+        let mut d = 0;
+        for step in 1..=n {
+            if dirs[(label + n - 1 - step) % n] == LocalDirection::Right {
+                d = step;
+                break;
+            }
+        }
+        behind[label] = d;
+    }
+    (ahead, behind)
+}
+
+/// Records the equations contributed by one round of the measurement phase
+/// for one agent.
+#[allow(clippy::too_many_arguments)]
+fn record_equations(
+    knowledge: &mut GapKnowledge,
+    n: usize,
+    label: usize,
+    site: usize,
+    logical_obs: &Observation,
+    direction: LocalDirection,
+    ahead: &[usize],
+    behind: &[usize],
+) -> Result<(), ProtocolError> {
+    let fail = |reason: String| ProtocolError::Internal {
+        protocol: "location-discovery-perceptive",
+        reason,
+    };
+    // Displacement equation (only when the round rotated the ring).
+    if !logical_obs.dist.is_zero() {
+        // Rotation index 2: the agent moved two sites clockwise.
+        knowledge
+            .add_cw_arc((site - 1) % n, (site + 1) % n, logical_obs.dist)
+            .map_err(|e| fail(e.to_string()))?;
+    }
+    // Collision equation.
+    if let Some(coll) = logical_obs.coll {
+        let doubled = ArcLength::from_ticks(coll.doubled_ticks());
+        match direction {
+            LocalDirection::Right => {
+                let span = ahead[label];
+                if span > 0 && span < n {
+                    knowledge
+                        .add_cw_arc((site - 1) % n, (site - 1 + span) % n, doubled)
+                        .map_err(|e| fail(e.to_string()))?;
+                }
+            }
+            LocalDirection::Left => {
+                let span = behind[label];
+                if span > 0 && span < n {
+                    knowledge
+                        .add_cw_arc((site - 1 + n - span) % n, (site - 1) % n, doubled)
+                        .map_err(|e| fail(e.to_string()))?;
+                }
+            }
+            LocalDirection::Idle => {}
+        }
+    }
+    Ok(())
+}
+
+/// Location discovery in the perceptive model with even `n`
+/// (Theorem 42): `n/2 + O(√n log² N)` rounds.
+///
+/// # Errors
+///
+/// Propagates sub-protocol and substrate errors; returns
+/// [`ProtocolError::Internal`] if the measurement schedule ends with
+/// incomplete knowledge (which the tests show does not happen).
+pub fn discover_locations_perceptive(
+    net: &mut Network<'_>,
+) -> Result<LocationDiscovery, ProtocolError> {
+    let n = net.len();
+    let start = net.rounds_used();
+
+    // Phase 1: coordination — nontrivial move, common direction, leader.
+    let nm = nmove_s(net, 0x5eed)?;
+    let election = elect_leader_with_move(net, &nm)?;
+    let frames = election.frames().to_vec();
+    let leader_flags = election.leader_flags().to_vec();
+
+    // Phase 2: the collision link (established after the coordination phase
+    // so that its gap table matches the positions used from now on).
+    let (link, _) = RingLink::establish(net)?;
+
+    // Phase 3: ring distances in both directions; every agent learns n.
+    let cw = ring_distances(net, &link, &frames, &leader_flags)?;
+    let mirrored: Vec<Frame> = frames
+        .iter()
+        .map(|f| {
+            let mut g = *f;
+            g.flip();
+            g
+        })
+        .collect();
+    let acw = ring_distances(net, &link, &mirrored, &leader_flags)?;
+    let mut known_n: Vec<Option<u64>> = (0..n)
+        .map(|agent| {
+            if leader_flags[agent] {
+                None
+            } else {
+                Some((cw.label(agent) + acw.label(agent) - 2) as u64)
+            }
+        })
+        .collect();
+    // The leader learns n from either neighbour.
+    let exchanged = link.exchange_frames(net, &known_n, net.id_bits() + 1)?;
+    for agent in 0..n {
+        if known_n[agent].is_none() {
+            known_n[agent] = exchanged[agent].from_right.or(exchanged[agent].from_left);
+        }
+    }
+    for (agent, k) in known_n.iter().enumerate() {
+        if *k != Some(n as u64) {
+            return Err(ProtocolError::Internal {
+                protocol: "location-discovery-perceptive",
+                reason: format!("agent {agent} believes n = {k:?}, actual n = {n}"),
+            });
+        }
+    }
+
+    // Phase 4: the measurement schedule.
+    let labels = cw.labels().to_vec();
+    let delta_start: Vec<ArcLength> = (0..n)
+        .map(|agent| cumulative_dist_logical(net, &frames, agent))
+        .collect();
+
+    let mut knowledge: Vec<GapKnowledge> = (0..n).map(|_| GapKnowledge::new(n)).collect();
+    let mut rotations = 0usize;
+
+    // Convolution sweep: n/2 rounds of rotation index 2, the exception agent
+    // sweeping the even labels downwards.
+    for i in 1..=n / 2 {
+        let exception = n - 2 * (i - 1);
+        let rule = move |label: usize| convolution_direction(label, exception);
+        run_measurement_round(
+            net,
+            &frames,
+            &labels,
+            n,
+            &rule,
+            rotations,
+            &mut knowledge,
+        )?;
+        rotations += 2;
+    }
+
+    // Pivot rounds (rotation index 0) to tie the parity classes together.
+    let mut pivot_anchor = n;
+    for _ in 0..6 {
+        if knowledge.iter().all(|k| k.is_complete()) {
+            break;
+        }
+        let c = pivot_anchor;
+        pivot_anchor = if pivot_anchor <= 1 { n } else { pivot_anchor - 1 };
+        let rule = move |label: usize| pivot_direction(label, c, n);
+        run_measurement_round(
+            net,
+            &frames,
+            &labels,
+            n,
+            &rule,
+            rotations,
+            &mut knowledge,
+        )?;
+    }
+
+    if let Some(agent) = knowledge.iter().position(|k| !k.is_complete()) {
+        return Err(ProtocolError::Internal {
+            protocol: "location-discovery-perceptive",
+            reason: format!(
+                "agent {agent} has incomplete knowledge after the measurement schedule"
+            ),
+        });
+    }
+
+    // Phase 5: assemble the per-agent views. Knowledge is indexed by label
+    // sites; re-index it relative to each agent before applying the
+    // displacement correction.
+    let views = (0..n)
+        .map(|agent| {
+            let gaps = knowledge[agent].gaps().expect("checked complete");
+            let m = labels[agent];
+            let relative: Vec<ArcLength> =
+                (0..n).map(|t| gaps[(m - 1 + t) % n]).collect();
+            AgentView::from_measurement(&relative, delta_start[agent])
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(LocationDiscovery::new(
+        views,
+        frames,
+        net.rounds_used() - start,
+        LocationMethod::PerceptiveConvolution,
+    ))
+}
+
+/// Executes one measurement round under the given per-label direction rule
+/// and records every agent's equations.
+fn run_measurement_round(
+    net: &mut Network<'_>,
+    frames: &[Frame],
+    labels: &[usize],
+    n: usize,
+    rule: &dyn Fn(usize) -> LocalDirection,
+    rotations: usize,
+    knowledge: &mut [GapKnowledge],
+) -> Result<(), ProtocolError> {
+    let dirs: Vec<LocalDirection> = (0..n)
+        .map(|agent| frames[agent].to_physical(rule(labels[agent])))
+        .collect();
+    let (ahead, behind) = collision_spans(rule, n);
+    let obs = net.step(&dirs)?;
+    for agent in 0..n {
+        let logical = frames[agent].observation_to_logical(obs[agent]);
+        let label = labels[agent];
+        let site = (label - 1 + rotations) % n + 1;
+        record_equations(
+            &mut knowledge[agent],
+            n,
+            label,
+            site,
+            &logical,
+            rule(label),
+            &ahead,
+            &behind,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::IdAssignment;
+    use crate::locate::verify_location_discovery;
+    use ring_sim::{Model, RingConfig};
+
+    #[test]
+    fn convolution_and_pivot_rules_have_expected_rotation() {
+        let n = 10;
+        // Convolution: n/2 + 1 agents move right.
+        let rights = (1..=n)
+            .filter(|&l| convolution_direction(l, 6) == LocalDirection::Right)
+            .count();
+        assert_eq!(rights, n / 2 + 1);
+        // Pivot: exactly half move each way.
+        for c in [n, n - 1, n - 2] {
+            let rights = (1..=n)
+                .filter(|&l| pivot_direction(l, c, n) == LocalDirection::Right)
+                .count();
+            assert_eq!(rights, n / 2, "pivot {c}");
+        }
+    }
+
+    #[test]
+    fn collision_spans_match_the_pattern() {
+        let n = 8;
+        let rule = |label: usize| convolution_direction(label, 8);
+        let (ahead, behind) = collision_spans(&rule, n);
+        // Label 1 moves right; label 2 moves left: span 1.
+        assert_eq!(ahead[1], 1);
+        // Label 7 moves right, label 8 is the exception (right), label 1 is
+        // odd (right), label 2 left: span 3.
+        assert_eq!(ahead[7], 3);
+        // Label 2 moves left; label 1 (behind it) moves right: span 1.
+        assert_eq!(behind[2], 1);
+    }
+
+    #[test]
+    fn perceptive_discovery_recovers_all_positions_small() {
+        for &(n, seed) in &[(6usize, 1u64), (8, 2), (10, 3)] {
+            let config = RingConfig::builder(n)
+                .random_positions(seed * 19 + 5)
+                .random_chirality(seed * 23 + 7)
+                .build()
+                .unwrap();
+            let ids = IdAssignment::random(n, 8 * n as u64, seed + 11);
+            let mut net = Network::new(&config, ids, Model::Perceptive).unwrap();
+            let discovery = discover_locations_perceptive(&mut net).unwrap();
+            assert!(
+                verify_location_discovery(&net, &discovery),
+                "n={n} seed={seed}"
+            );
+            assert_eq!(discovery.method(), LocationMethod::PerceptiveConvolution);
+        }
+    }
+
+    #[test]
+    fn perceptive_discovery_on_a_larger_even_ring() {
+        let n = 26;
+        let config = RingConfig::builder(n)
+            .random_positions(97)
+            .random_chirality(98)
+            .build()
+            .unwrap();
+        let ids = IdAssignment::random(n, 1 << 9, 99);
+        let mut net = Network::new(&config, ids, Model::Perceptive).unwrap();
+        let discovery = discover_locations_perceptive(&mut net).unwrap();
+        assert!(verify_location_discovery(&net, &discovery));
+    }
+}

@@ -1,0 +1,342 @@
+//! The collision-based communication layer (Proposition 31 / Corollary 32).
+//!
+//! Once an agent knows the gaps to its neighbours and their relative
+//! chirality (from [`crate::perceptive::neighbors`]), two rounds suffice to
+//! exchange one bit with **both** neighbours simultaneously: an agent
+//! encodes its bit in its direction of movement, moves once each way (the
+//! second round is the reversal of the first, which also restores all
+//! positions), and decodes each neighbour's bit from whether its first
+//! collision on that side happened at exactly half the known gap.
+//!
+//! On top of the bit exchange, [`RingLink::exchange_frames`] ships
+//! fixed-width optional values (a presence bit plus a payload), which is the
+//! unit the dissemination primitives are built from.
+
+use crate::error::ProtocolError;
+use crate::exec::Network;
+use crate::perceptive::neighbors::{discover_neighbors, NeighborInfo, NeighborMap};
+use ring_sim::{LocalDirection, Observation};
+
+/// Bits received from the two neighbours in one exchange slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NeighborBits {
+    /// Bit sent by the neighbour on the agent's right.
+    pub from_right: bool,
+    /// Bit sent by the neighbour on the agent's left.
+    pub from_left: bool,
+}
+
+/// Optional values received from the two neighbours in one frame exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NeighborFrames {
+    /// Value sent by the neighbour on the agent's right, if it had one.
+    pub from_right: Option<u64>,
+    /// Value sent by the neighbour on the agent's left, if it had one.
+    pub from_left: Option<u64>,
+}
+
+/// A communication link between ring neighbours, built purely out of
+/// collisions.
+#[derive(Clone, Debug)]
+pub struct RingLink {
+    infos: Vec<NeighborInfo>,
+}
+
+impl RingLink {
+    /// Establishes the link by running neighbour discovery. Returns the link
+    /// together with the number of rounds spent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from neighbour discovery.
+    pub fn establish(net: &mut Network<'_>) -> Result<(Self, u64), ProtocolError> {
+        let map = discover_neighbors(net)?;
+        let rounds = map.rounds();
+        Ok((Self::from_neighbor_map(&map), rounds))
+    }
+
+    /// Builds a link from an existing neighbour map.
+    pub fn from_neighbor_map(map: &NeighborMap) -> Self {
+        RingLink {
+            infos: map.infos().to_vec(),
+        }
+    }
+
+    /// Number of agents on the link.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// Whether the link is empty (never true for valid rings).
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+
+    /// Per-agent neighbour information the link was built from.
+    pub fn infos(&self) -> &[NeighborInfo] {
+        &self.infos
+    }
+
+    /// Exchanges one bit with both neighbours (Proposition 31). `bits[i]` is
+    /// the bit agent `i` transmits; the result contains the bits each agent
+    /// received. Costs 4 rounds (each of the two information rounds is
+    /// followed by its reversal, so both start from — and the exchange ends
+    /// at — the same positions, which is what makes the gap comparison in
+    /// the decoder valid).
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors; returns [`ProtocolError::LengthMismatch`]
+    /// if `bits` has the wrong length.
+    pub fn exchange_bits(
+        &self,
+        net: &mut Network<'_>,
+        bits: &[bool],
+    ) -> Result<Vec<NeighborBits>, ProtocolError> {
+        let n = self.infos.len();
+        if bits.len() != n {
+            return Err(ProtocolError::LengthMismatch {
+                what: "bits",
+                got: bits.len(),
+                expected: n,
+            });
+        }
+        // Round A: bit 1 ↦ right, bit 0 ↦ left; round B: the opposite
+        // encoding. Each is undone immediately so that both information
+        // rounds see the same neighbour gaps.
+        let dirs_a: Vec<LocalDirection> = bits.iter().map(|&b| LocalDirection::from_bit(b)).collect();
+        let obs_a = net.step(&dirs_a)?;
+        net.step_reversed(&dirs_a)?;
+        let dirs_b: Vec<LocalDirection> = dirs_a.iter().map(|d| d.opposite()).collect();
+        let obs_b = net.step(&dirs_b)?;
+        net.step_reversed(&dirs_b)?;
+
+        let mut out = Vec::with_capacity(n);
+        for agent in 0..n {
+            let info = self.infos[agent];
+            // Observations of the rounds in which this agent moved right and
+            // left respectively.
+            let (obs_when_right, obs_when_left): (&Observation, &Observation) = if bits[agent] {
+                (&obs_a[agent], &obs_b[agent])
+            } else {
+                (&obs_b[agent], &obs_a[agent])
+            };
+            let right_round_is_a = bits[agent];
+            let left_round_is_a = !bits[agent];
+
+            let right_approached = obs_when_right.coll == Some(info.right_gap.half());
+            let left_approached = obs_when_left.coll == Some(info.left_gap.half());
+
+            // The right neighbour approached iff it physically moved towards
+            // this agent, i.e. (same chirality ⇒ it moved left, opposite ⇒ it
+            // moved right). In round A it moved right iff its bit is 1.
+            let right_moved_right_in_that_round = if info.right_same_chirality {
+                !right_approached
+            } else {
+                right_approached
+            };
+            let from_right = if right_round_is_a {
+                right_moved_right_in_that_round
+            } else {
+                !right_moved_right_in_that_round
+            };
+
+            // The left neighbour approached iff it physically moved towards
+            // this agent, i.e. (same chirality ⇒ it moved right, opposite ⇒
+            // it moved left).
+            let left_moved_right_in_that_round = if info.left_same_chirality {
+                left_approached
+            } else {
+                !left_approached
+            };
+            let from_left = if left_round_is_a {
+                left_moved_right_in_that_round
+            } else {
+                !left_moved_right_in_that_round
+            };
+
+            out.push(NeighborBits {
+                from_right,
+                from_left,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Exchanges a fixed-width optional value with both neighbours: one
+    /// presence bit followed by `bits` payload bits (most significant
+    /// first). Costs `4 · (bits + 1)` rounds and restores all positions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors; returns [`ProtocolError::LengthMismatch`]
+    /// if `values` has the wrong length.
+    pub fn exchange_frames(
+        &self,
+        net: &mut Network<'_>,
+        values: &[Option<u64>],
+        bits: u32,
+    ) -> Result<Vec<NeighborFrames>, ProtocolError> {
+        let n = self.infos.len();
+        if values.len() != n {
+            return Err(ProtocolError::LengthMismatch {
+                what: "frame values",
+                got: values.len(),
+                expected: n,
+            });
+        }
+        // Presence bit.
+        let presence: Vec<bool> = values.iter().map(|v| v.is_some()).collect();
+        let mut right_present = Vec::with_capacity(n);
+        let mut left_present = Vec::with_capacity(n);
+        for nb in self.exchange_bits(net, &presence)? {
+            right_present.push(nb.from_right);
+            left_present.push(nb.from_left);
+        }
+        // Payload bits, most significant first.
+        let mut right_value = vec![0u64; n];
+        let mut left_value = vec![0u64; n];
+        for bit in (0..bits).rev() {
+            let payload: Vec<bool> = values
+                .iter()
+                .map(|v| v.map_or(false, |x| (x >> bit) & 1 == 1))
+                .collect();
+            let exchanged = self.exchange_bits(net, &payload)?;
+            for agent in 0..n {
+                if exchanged[agent].from_right {
+                    right_value[agent] |= 1 << bit;
+                }
+                if exchanged[agent].from_left {
+                    left_value[agent] |= 1 << bit;
+                }
+            }
+        }
+        Ok((0..n)
+            .map(|agent| NeighborFrames {
+                from_right: right_present[agent].then_some(right_value[agent]),
+                from_left: left_present[agent].then_some(left_value[agent]),
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::IdAssignment;
+    use ring_sim::{Chirality, Model, RingConfig};
+
+    /// Ground-truth expectation: what each agent should receive given who its
+    /// physical neighbours are and everybody's chirality.
+    fn expected_bits(net: &Network<'_>, bits: &[bool]) -> Vec<NeighborBits> {
+        let config = net.ground_truth_config();
+        let n = net.len();
+        (0..n)
+            .map(|agent| {
+                let (right_neighbor, left_neighbor) = if config.chirality(agent).is_aligned() {
+                    ((agent + 1) % n, (agent + n - 1) % n)
+                } else {
+                    ((agent + n - 1) % n, (agent + 1) % n)
+                };
+                NeighborBits {
+                    from_right: bits[right_neighbor],
+                    from_left: bits[left_neighbor],
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bit_exchange_delivers_both_neighbours_bits() {
+        for seed in 0..8u64 {
+            let n = 6 + (seed as usize % 3);
+            let config = RingConfig::builder(n)
+                .random_positions(seed + 11)
+                .random_chirality(seed + 29)
+                .build()
+                .unwrap();
+            let mut net = Network::new(
+                &config,
+                IdAssignment::random(n, 128, seed + 5),
+                Model::Perceptive,
+            )
+            .unwrap();
+            let (link, _) = RingLink::establish(&mut net).unwrap();
+            // An arbitrary but varied bit pattern.
+            let bits: Vec<bool> = (0..n).map(|i| (i as u64 * 7 + seed) % 3 == 1).collect();
+            let received = link.exchange_bits(&mut net, &bits).unwrap();
+            assert_eq!(received, expected_bits(&net, &bits), "seed {seed}");
+            assert!(net.ground_truth_at_initial_positions());
+        }
+    }
+
+    #[test]
+    fn frame_exchange_delivers_optional_values() {
+        let n = 8;
+        let config = RingConfig::builder(n)
+            .random_positions(3)
+            .explicit_chirality(vec![
+                Chirality::Aligned,
+                Chirality::Reversed,
+                Chirality::Aligned,
+                Chirality::Aligned,
+                Chirality::Reversed,
+                Chirality::Reversed,
+                Chirality::Aligned,
+                Chirality::Reversed,
+            ])
+            .build()
+            .unwrap();
+        let mut net =
+            Network::new(&config, IdAssignment::random(n, 64, 9), Model::Perceptive).unwrap();
+        let (link, _) = RingLink::establish(&mut net).unwrap();
+        let values: Vec<Option<u64>> = (0..n as u64)
+            .map(|i| if i % 3 == 0 { Some(i * 13 + 5) } else { None })
+            .collect();
+        let rounds_before = net.rounds_used();
+        let frames = link.exchange_frames(&mut net, &values, 10).unwrap();
+        assert_eq!(net.rounds_used() - rounds_before, 4 * 11);
+
+        let config = net.ground_truth_config();
+        for agent in 0..n {
+            let (right_neighbor, left_neighbor) = if config.chirality(agent).is_aligned() {
+                ((agent + 1) % n, (agent + n - 1) % n)
+            } else {
+                ((agent + n - 1) % n, (agent + 1) % n)
+            };
+            assert_eq!(frames[agent].from_right, values[right_neighbor]);
+            assert_eq!(frames[agent].from_left, values[left_neighbor]);
+        }
+    }
+
+    #[test]
+    fn wrong_lengths_are_rejected() {
+        let config = RingConfig::builder(6).random_positions(1).build().unwrap();
+        let mut net =
+            Network::new(&config, IdAssignment::consecutive(6), Model::Perceptive).unwrap();
+        let (link, _) = RingLink::establish(&mut net).unwrap();
+        assert!(matches!(
+            link.exchange_bits(&mut net, &[true, false]),
+            Err(ProtocolError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            link.exchange_frames(&mut net, &[None, None], 4),
+            Err(ProtocolError::LengthMismatch { .. })
+        ));
+    }
+
+    /// `ArcLength::half` is what the decoder compares against; make sure the
+    /// gap parity invariant that makes it exact really holds in discovery.
+    #[test]
+    fn observed_gaps_are_even() {
+        let config = RingConfig::builder(7).random_positions(4).build().unwrap();
+        let mut net =
+            Network::new(&config, IdAssignment::consecutive(7), Model::Perceptive).unwrap();
+        let (link, _) = RingLink::establish(&mut net).unwrap();
+        for info in link.infos() {
+            assert_eq!(info.right_gap.ticks() % 2, 0);
+            assert_eq!(info.left_gap.ticks() % 2, 0);
+            let _ = info.right_gap.half();
+        }
+    }
+}

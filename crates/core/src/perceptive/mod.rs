@@ -1,0 +1,25 @@
+//! The perceptive-model stack (Section V of the paper).
+//!
+//! In the perceptive model an agent additionally observes `coll()`, the
+//! distance to its first collision in a round. This turns collisions into a
+//! communication medium:
+//!
+//! * [`neighbors`] — each agent learns the distance to (and relative
+//!   orientation of) both ring neighbours (Algorithm 3);
+//! * [`link`] — a 1-bit-per-slot communication layer with both neighbours
+//!   (Proposition 31), plus fixed-width frame exchange;
+//! * [`dissemination`] — flooding of values over bounded ring distances
+//!   (Corollaries 33 and 34);
+//! * [`nmove`] — the `NMoveS` nontrivial-move algorithm: local leaders at
+//!   exponentially growing radii plus selective families (Algorithm 4);
+//! * [`ringdist`] — `RingDist`: every agent learns its ring distance from
+//!   the leader in `O(√n log N)` rounds (Algorithm 5);
+//! * [`distances`] — `Distances`: location discovery in `n/2 + o(n)` rounds
+//!   via `Convolution` and `Pivot` rounds (Algorithm 6).
+
+pub mod dissemination;
+pub mod distances;
+pub mod link;
+pub mod neighbors;
+pub mod nmove;
+pub mod ringdist;

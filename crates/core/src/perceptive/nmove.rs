@@ -1,0 +1,221 @@
+//! `NMoveS`: the perceptive-model nontrivial-move algorithm (Algorithm 4,
+//! Lemma 36).
+//!
+//! The idea: if the all-right round is trivial, then any round in which
+//! **exactly one** agent deviates from it has a rotation index differing by
+//! exactly 2 and is therefore nontrivial (the same observation as Lemma 10).
+//! The problem reduces to isolating a single deviator without knowing who
+//! is present — which is what selective families are for. To keep the
+//! families small the algorithm first thins the agents to *local leaders* at
+//! exponentially growing radii: a level-`k` leader is a level-`(k−1)` leader
+//! whose identifier beats every other level-`(k−1)` leader within ring
+//! distance `2^k`, so level-`k` leaders are more than `2^k` apart and at
+//! most `n/2^k` of them remain. Once the selective family's target size
+//! catches up with the number of surviving leaders (`2^k ≈ √n`), some set
+//! selects exactly one leader and the induced round is nontrivial. Total
+//! cost `O(√n · log N)` rounds.
+//!
+//! The selective family is realised *implicitly*: membership of an
+//! identifier in a set is a pseudo-random function of the public seed, the
+//! level, the set index and the identifier, so no `Θ(N)` structure is ever
+//! materialised (the explicit, verifiable construction lives in
+//! [`ring_combinat::SelectiveFamily`] and is exercised by the experiment
+//! harness).
+
+use crate::coordination::nontrivial::{NontrivialMove, NontrivialStrategy};
+use crate::coordination::probe::{probe_move, MoveClass};
+use crate::error::ProtocolError;
+use crate::exec::Network;
+use crate::perceptive::dissemination::flood_max;
+use crate::perceptive::link::RingLink;
+use ring_sim::LocalDirection;
+
+/// Pseudo-random membership test of `id` in set `set_index` at `scale`
+/// (inclusion probability `2^{-scale}`), derived from a public seed so that
+/// every agent evaluates it identically.
+fn implicit_member(seed: u64, level: u32, scale: u32, set_index: u64, id: u64) -> bool {
+    // SplitMix64-style mixing.
+    let mut x = seed
+        ^ (u64::from(level)).wrapping_mul(0x9e3779b97f4a7c15)
+        ^ (u64::from(scale)).wrapping_mul(0xc2b2ae3d27d4eb4f)
+        ^ set_index.wrapping_mul(0xd6e8feb86659fd93)
+        ^ id.wrapping_mul(0xa0761d6478bd642f);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    x ^= x >> 31;
+    if scale >= 64 {
+        return false;
+    }
+    x & ((1u64 << scale) - 1) == 0
+}
+
+/// Number of sets executed per scale at a given level.
+fn sets_per_scale(universe: u64, scale: u32) -> u64 {
+    let width = (universe as f64 / f64::from(1u32 << scale.min(31))).max(2.0);
+    (4.0 * f64::from(1u32 << scale.min(31)) * width.log2().max(1.0)).ceil() as u64
+}
+
+/// Algorithm 4: solves the nontrivial-move problem in the perceptive model
+/// in `O(√n · log N)` rounds.
+///
+/// # Errors
+///
+/// Propagates substrate errors; returns [`ProtocolError::RoundBudgetExceeded`]
+/// if no nontrivial move is found after the maximum level (which would
+/// require the pseudo-random selective families to fail at every level and
+/// has negligible probability).
+pub fn nmove_s(net: &mut Network<'_>, seed: u64) -> Result<NontrivialMove, ProtocolError> {
+    let n = net.len();
+    let start = net.rounds_used();
+
+    // Step 1: maybe the all-right round is already nontrivial.
+    let all_right = vec![LocalDirection::Right; n];
+    if probe_move(net, &all_right)? == MoveClass::Nontrivial {
+        return Ok(NontrivialMove::new(
+            all_right,
+            net.rounds_used() - start,
+            NontrivialStrategy::AllRight,
+        ));
+    }
+
+    // Step 2: establish the collision link (Algorithm 3).
+    let (link, _) = RingLink::establish(net)?;
+    let id_bits = net.id_bits();
+
+    // Step 3: local leaders at exponentially growing radii.
+    let mut candidate: Vec<bool> = vec![true; n];
+    let max_level = id_bits + 1;
+    for level in 0..=max_level {
+        let radius = 1usize << level.min(20);
+
+        // Thin the candidates: a candidate survives iff its identifier is
+        // the maximum among candidates within ring distance `radius`.
+        let values: Vec<Option<u64>> = (0..n)
+            .map(|agent| candidate[agent].then(|| net.id_of(agent).value()))
+            .collect();
+        let (best, _) = flood_max(net, &link, &values, id_bits, radius)?;
+        for agent in 0..n {
+            candidate[agent] =
+                candidate[agent] && best[agent] == Some(net.id_of(agent).value());
+        }
+
+        // Execute an implicit (N, 2^level)-selective family on the
+        // surviving candidates: a selected candidate deviates (moves left)
+        // from the all-right pattern.
+        for scale in 0..=level {
+            let sets = sets_per_scale(net.universe(), scale);
+            for set_index in 0..sets {
+                let dirs: Vec<LocalDirection> = (0..n)
+                    .map(|agent| {
+                        let id = net.id_of(agent).value();
+                        if candidate[agent]
+                            && implicit_member(seed, level, scale, set_index, id)
+                        {
+                            LocalDirection::Left
+                        } else {
+                            LocalDirection::Right
+                        }
+                    })
+                    .collect();
+                if probe_move(net, &dirs)? == MoveClass::Nontrivial {
+                    return Ok(NontrivialMove::new(
+                        dirs,
+                        net.rounds_used() - start,
+                        NontrivialStrategy::SelectiveFamily { radius },
+                    ));
+                }
+            }
+        }
+    }
+
+    Err(ProtocolError::RoundBudgetExceeded {
+        protocol: "nmove-s",
+        budget: net.rounds_used() - start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordination::nontrivial::verify_nontrivial;
+    use crate::ids::IdAssignment;
+    use ring_sim::{Model, RingConfig};
+
+    #[test]
+    fn nmove_s_succeeds_on_balanced_chirality() {
+        // Alternating chirality on an even ring: the all-right round is
+        // trivial and the selective machinery must isolate a deviator.
+        let n = 12;
+        let config = RingConfig::builder(n)
+            .random_positions(3)
+            .alternating_chirality()
+            .build()
+            .unwrap();
+        let mut net =
+            Network::new(&config, IdAssignment::random(n, 1 << 10, 4), Model::Perceptive).unwrap();
+        let nm = nmove_s(&mut net, 99).unwrap();
+        assert!(verify_nontrivial(&mut net, &nm));
+    }
+
+    #[test]
+    fn nmove_s_shortcuts_when_all_right_already_works() {
+        let n = 10;
+        let config = RingConfig::builder(n)
+            .random_positions(5)
+            .explicit_chirality(
+                (0..n)
+                    .map(|i| {
+                        if i < 3 {
+                            ring_sim::Chirality::Reversed
+                        } else {
+                            ring_sim::Chirality::Aligned
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .build()
+            .unwrap();
+        let mut net =
+            Network::new(&config, IdAssignment::random(n, 256, 6), Model::Perceptive).unwrap();
+        let nm = nmove_s(&mut net, 7).unwrap();
+        assert_eq!(nm.strategy(), NontrivialStrategy::AllRight);
+        assert!(nm.rounds() <= 2);
+        assert!(verify_nontrivial(&mut net, &nm));
+    }
+
+    #[test]
+    fn nmove_s_handles_uniform_chirality_even_rings() {
+        let n = 8;
+        let config = RingConfig::builder(n)
+            .random_positions(8)
+            .aligned_chirality()
+            .build()
+            .unwrap();
+        let mut net =
+            Network::new(&config, IdAssignment::random(n, 128, 9), Model::Perceptive).unwrap();
+        let nm = nmove_s(&mut net, 11).unwrap();
+        assert!(verify_nontrivial(&mut net, &nm));
+        assert!(matches!(
+            nm.strategy(),
+            NontrivialStrategy::SelectiveFamily { .. }
+        ));
+    }
+
+    #[test]
+    fn implicit_membership_is_deterministic_and_scale_sensitive() {
+        let a = implicit_member(1, 2, 3, 4, 5);
+        let b = implicit_member(1, 2, 3, 4, 5);
+        assert_eq!(a, b);
+        // Scale 0 includes everything.
+        for id in 1..100 {
+            assert!(implicit_member(9, 0, 0, 0, id));
+        }
+        // Large scales include almost nothing.
+        let dense: usize = (1..=1000u64)
+            .filter(|&id| implicit_member(9, 0, 10, 0, id))
+            .count();
+        assert!(dense < 30, "expected ~1/1024 density, got {dense}/1000");
+    }
+}

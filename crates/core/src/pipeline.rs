@@ -1,0 +1,235 @@
+//! End-to-end pipelines and round accounting.
+//!
+//! The experiment harness regenerates Tables I and II of the paper by
+//! measuring, for many configurations, how many rounds each coordination
+//! problem takes in each setting. [`measure_problem`] solves one problem on
+//! a fresh executor and reports the cost; [`run_pipeline`] does so for all
+//! four problems of Table I.
+
+use crate::coordination::diragr::agree_direction;
+use crate::coordination::leader::elect_leader;
+use crate::coordination::nontrivial::solve_nontrivial_move;
+use crate::error::ProtocolError;
+use crate::exec::Network;
+use crate::ids::IdAssignment;
+use crate::locate::{discover_locations, verify_location_discovery};
+use ring_sim::{Model, Parity, RingConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four problems of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Problem {
+    /// Exactly one agent ends with the leader status.
+    LeaderElection,
+    /// Find a direction assignment whose rotation index is outside `{0, n/2}`.
+    NontrivialMove,
+    /// All agents agree on which direction is clockwise.
+    DirectionAgreement,
+    /// Every agent learns the initial position of every other agent.
+    LocationDiscovery,
+}
+
+impl Problem {
+    /// All problems, in the column order of Table I.
+    pub const ALL: [Problem; 4] = [
+        Problem::LeaderElection,
+        Problem::NontrivialMove,
+        Problem::DirectionAgreement,
+        Problem::LocationDiscovery,
+    ];
+}
+
+impl fmt::Display for Problem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Problem::LeaderElection => "leader election",
+            Problem::NontrivialMove => "nontrivial move",
+            Problem::DirectionAgreement => "direction agreement",
+            Problem::LocationDiscovery => "location discovery",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The measured cost of solving one problem on one configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProblemCost {
+    /// Which problem was solved.
+    pub problem: Problem,
+    /// Whether the problem is solvable at all in this setting.
+    pub solvable: bool,
+    /// Rounds used (`None` when unsolvable).
+    pub rounds: Option<u64>,
+    /// Whether the result was verified against the hidden ground truth
+    /// (always attempted when applicable).
+    pub verified: bool,
+}
+
+/// Round counts for all four problems of Table I on one configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// The model the measurements were taken in.
+    pub model: Model,
+    /// Parity of the ring size.
+    pub parity: Parity,
+    /// Ring size.
+    pub n: usize,
+    /// Identifier universe size.
+    pub universe: u64,
+    /// Per-problem costs, in the order of [`Problem::ALL`].
+    pub costs: Vec<ProblemCost>,
+}
+
+impl PipelineReport {
+    /// The cost entry for a given problem.
+    pub fn cost(&self, problem: Problem) -> Option<&ProblemCost> {
+        self.costs.iter().find(|c| c.problem == problem)
+    }
+}
+
+/// Solves `problem` from scratch on a fresh executor over `config`/`ids` in
+/// `model`, verifying the result against the ground truth.
+///
+/// # Errors
+///
+/// Propagates protocol errors other than the expected
+/// [`ProtocolError::Unsolvable`] for location discovery in the basic model
+/// with even `n` (which is reported as `solvable: false`).
+pub fn measure_problem(
+    config: &RingConfig,
+    ids: &IdAssignment,
+    model: Model,
+    problem: Problem,
+) -> Result<ProblemCost, ProtocolError> {
+    let mut net = Network::new(config, ids.clone(), model)?;
+    match problem {
+        Problem::LeaderElection => {
+            let election = elect_leader(&mut net)?;
+            let verified = election.leaders().count() == 1;
+            Ok(ProblemCost {
+                problem,
+                solvable: true,
+                rounds: Some(election.rounds()),
+                verified,
+            })
+        }
+        Problem::NontrivialMove => {
+            let nm = solve_nontrivial_move(&mut net)?;
+            let verified =
+                crate::coordination::nontrivial::verify_nontrivial(&mut net, &nm);
+            Ok(ProblemCost {
+                problem,
+                solvable: true,
+                rounds: Some(nm.rounds()),
+                verified,
+            })
+        }
+        Problem::DirectionAgreement => {
+            let agreement = agree_direction(&mut net)?;
+            let verified =
+                crate::coordination::diragr::frames_are_coherent(&net, agreement.frames());
+            Ok(ProblemCost {
+                problem,
+                solvable: true,
+                rounds: Some(agreement.rounds()),
+                verified,
+            })
+        }
+        Problem::LocationDiscovery => match discover_locations(&mut net) {
+            Ok(discovery) => {
+                let verified = verify_location_discovery(&net, &discovery);
+                Ok(ProblemCost {
+                    problem,
+                    solvable: true,
+                    rounds: Some(discovery.rounds()),
+                    verified,
+                })
+            }
+            Err(ProtocolError::Unsolvable { .. }) => Ok(ProblemCost {
+                problem,
+                solvable: false,
+                rounds: None,
+                verified: true,
+            }),
+            Err(e) => Err(e),
+        },
+    }
+}
+
+/// Measures all four problems of Table I on one configuration.
+///
+/// # Errors
+///
+/// Propagates errors from [`measure_problem`].
+pub fn run_pipeline(
+    config: &RingConfig,
+    ids: &IdAssignment,
+    model: Model,
+) -> Result<PipelineReport, ProtocolError> {
+    let costs = Problem::ALL
+        .iter()
+        .map(|&p| measure_problem(config, ids, model, p))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(PipelineReport {
+        model,
+        parity: Parity::of(config.len()),
+        n: config.len(),
+        universe: ids.universe(),
+        costs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_covers_all_problems_for_an_odd_basic_ring() {
+        let config = RingConfig::builder(9)
+            .random_positions(7)
+            .random_chirality(8)
+            .build()
+            .unwrap();
+        let ids = IdAssignment::random(9, 256, 9);
+        let report = run_pipeline(&config, &ids, Model::Basic).unwrap();
+        assert_eq!(report.costs.len(), 4);
+        assert!(report.costs.iter().all(|c| c.verified));
+        assert!(report
+            .cost(Problem::LocationDiscovery)
+            .unwrap()
+            .rounds
+            .unwrap()
+            >= 9);
+    }
+
+    #[test]
+    fn pipeline_marks_basic_even_location_discovery_unsolvable() {
+        let config = RingConfig::builder(8)
+            .random_positions(5)
+            .random_chirality(6)
+            .build()
+            .unwrap();
+        let ids = IdAssignment::random(8, 128, 7);
+        let report = run_pipeline(&config, &ids, Model::Basic).unwrap();
+        let ld = report.cost(Problem::LocationDiscovery).unwrap();
+        assert!(!ld.solvable);
+        assert!(ld.rounds.is_none());
+        // The coordination problems are still solvable.
+        assert!(report.cost(Problem::LeaderElection).unwrap().solvable);
+    }
+
+    #[test]
+    fn pipeline_runs_in_the_lazy_and_perceptive_models() {
+        let config = RingConfig::builder(8)
+            .random_positions(15)
+            .alternating_chirality()
+            .build()
+            .unwrap();
+        let ids = IdAssignment::random(8, 128, 17);
+        for model in [Model::Lazy, Model::Perceptive] {
+            let report = run_pipeline(&config, &ids, model).unwrap();
+            assert!(report.costs.iter().all(|c| c.solvable && c.verified), "{model}");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates Figure 1: reduction overheads among the coordination
+//! problems when n is odd or the model is lazy / perceptive.
+
+use ring_experiments::reductions::reductions;
+use ring_experiments::report::{aggregate, format_markdown_table};
+use ring_experiments::SweepSpec;
+use ring_sim::Model;
+
+fn main() {
+    let spec = if std::env::args().any(|a| a == "--quick") {
+        SweepSpec::quick()
+    } else {
+        SweepSpec::standard()
+    };
+    let mut measurements = Vec::new();
+    for model in [Model::Lazy, Model::Perceptive] {
+        measurements.extend(reductions(&spec, model));
+    }
+    // Odd sizes in the basic model also belong to Figure 1.
+    let odd_spec = SweepSpec {
+        sizes: spec.sizes.iter().copied().filter(|n| n % 2 == 1).collect(),
+        ..spec
+    };
+    measurements.extend(reductions(&odd_spec, Model::Basic));
+    let fig1: Vec<_> = measurements
+        .into_iter()
+        .filter(|m| m.experiment == "fig1")
+        .collect();
+    println!("# Figure 1 — reductions among coordination problems (odd n / lazy / perceptive)\n");
+    println!("{}", format_markdown_table(&aggregate(&fig1)));
+    if let Ok(json) = serde_json::to_string_pretty(&fig1) {
+        let _ = std::fs::write("results/fig1_reductions.json", json);
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Figure 2: reduction overheads in the basic model with even n,
+//! including the non-constructive (randomized) direction-agreement →
+//! nontrivial-move edge of Lemma 15.
+
+use ring_experiments::reductions::{randomized_da_to_nm, reductions};
+use ring_experiments::report::{aggregate, format_markdown_table};
+use ring_experiments::SweepSpec;
+use ring_sim::Model;
+
+fn main() {
+    let base = if std::env::args().any(|a| a == "--quick") {
+        SweepSpec::quick()
+    } else {
+        SweepSpec::standard()
+    };
+    let spec = SweepSpec {
+        sizes: base.sizes.iter().copied().filter(|n| n % 2 == 0).collect(),
+        ..base
+    };
+    let mut measurements = reductions(&spec, Model::Basic);
+    measurements.extend(randomized_da_to_nm(&spec, Model::Basic));
+    println!("# Figure 2 — reductions among coordination problems (basic model, even n)\n");
+    println!("{}", format_markdown_table(&aggregate(&measurements)));
+    if let Ok(json) = serde_json::to_string_pretty(&measurements) {
+        let _ = std::fs::write("results/fig2_reductions.json", json);
+    }
+}

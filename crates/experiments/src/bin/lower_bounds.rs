@@ -1,0 +1,24 @@
+//! Audits the impossibility result (Lemma 5) and the location-discovery
+//! round floors (Lemma 6).
+
+use ring_experiments::lower_bounds::{lemma5_parity_audit, lemma6_round_floors};
+use ring_experiments::report::format_markdown_table;
+use ring_experiments::SweepSpec;
+
+fn main() {
+    let mut measurements = vec![
+        lemma5_parity_audit(16, 256, 2000, 1),
+        lemma5_parity_audit(64, 4096, 2000, 2),
+    ];
+    let spec = if std::env::args().any(|a| a == "--quick") {
+        SweepSpec::quick()
+    } else {
+        SweepSpec::standard()
+    };
+    measurements.extend(lemma6_round_floors(&spec));
+    println!("# Lower-bound audits (Lemmas 5 and 6)\n");
+    println!("{}", format_markdown_table(&measurements));
+    if let Ok(json) = serde_json::to_string_pretty(&measurements) {
+        let _ = std::fs::write("results/lower_bounds.json", json);
+    }
+}

@@ -1,0 +1,51 @@
+//! Runs every experiment of the reproduction in one go and prints the
+//! markdown tables that EXPERIMENTS.md records.
+
+use ring_experiments::distinguisher_scaling::{family_sizes, weak_nontrivial_move_rounds, ScalingSpec};
+use ring_experiments::lower_bounds::{lemma5_parity_audit, lemma6_round_floors};
+use ring_experiments::reductions::{randomized_da_to_nm, reductions};
+use ring_experiments::report::{aggregate, format_markdown_table};
+use ring_experiments::tables::{table1, table2};
+use ring_experiments::SweepSpec;
+use ring_sim::Model;
+
+fn main() {
+    let spec = if std::env::args().any(|a| a == "--quick") {
+        SweepSpec::quick()
+    } else {
+        SweepSpec::standard()
+    };
+
+    println!("# Table I\n");
+    println!("{}", format_markdown_table(&aggregate(&table1(&spec))));
+
+    println!("\n# Table II\n");
+    println!("{}", format_markdown_table(&aggregate(&table2(&spec))));
+
+    println!("\n# Figure 1 (lazy / perceptive / odd n reductions)\n");
+    let mut fig1 = Vec::new();
+    for model in [Model::Lazy, Model::Perceptive] {
+        fig1.extend(reductions(&spec, model));
+    }
+    println!("{}", format_markdown_table(&aggregate(&fig1)));
+
+    println!("\n# Figure 2 (basic model, even n reductions)\n");
+    let even_spec = SweepSpec {
+        sizes: spec.sizes.iter().copied().filter(|n| n % 2 == 0).collect(),
+        ..spec.clone()
+    };
+    let mut fig2 = reductions(&even_spec, Model::Basic);
+    fig2.extend(randomized_da_to_nm(&even_spec, Model::Basic));
+    println!("{}", format_markdown_table(&aggregate(&fig2)));
+
+    println!("\n# Distinguisher / selective family scaling\n");
+    let scaling = ScalingSpec::standard();
+    let mut ds = family_sizes(&scaling);
+    ds.extend(weak_nontrivial_move_rounds(&scaling));
+    println!("{}", format_markdown_table(&ds));
+
+    println!("\n# Lower-bound audits\n");
+    let mut lb = vec![lemma5_parity_audit(16, 256, 2000, 1)];
+    lb.extend(lemma6_round_floors(&spec));
+    println!("{}", format_markdown_table(&lb));
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table I of the paper (general setting: no common sense of
+//! direction): measured rounds of leader election, nontrivial move,
+//! direction agreement and location discovery in every setting.
+
+use ring_experiments::report::{aggregate, format_markdown_table};
+use ring_experiments::tables::table1;
+use ring_experiments::SweepSpec;
+
+fn main() {
+    let spec = if std::env::args().any(|a| a == "--quick") {
+        SweepSpec::quick()
+    } else {
+        SweepSpec::standard()
+    };
+    let measurements = table1(&spec);
+    println!("# Table I — deterministic solutions in the general setting\n");
+    println!("{}", format_markdown_table(&aggregate(&measurements)));
+    if let Ok(json) = serde_json::to_string_pretty(&measurements) {
+        let _ = std::fs::write("results/table1.json", json);
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Table II of the paper (agents share a common sense of
+//! direction).
+
+use ring_experiments::report::{aggregate, format_markdown_table};
+use ring_experiments::tables::table2;
+use ring_experiments::SweepSpec;
+
+fn main() {
+    let spec = if std::env::args().any(|a| a == "--quick") {
+        SweepSpec::quick()
+    } else {
+        SweepSpec::standard()
+    };
+    let measurements = table2(&spec);
+    println!("# Table II — deterministic solutions with a common sense of direction\n");
+    println!("{}", format_markdown_table(&aggregate(&measurements)));
+    if let Ok(json) = serde_json::to_string_pretty(&measurements) {
+        let _ = std::fs::write("results/table2.json", json);
+    }
+}

@@ -1,0 +1,27 @@
+//! # ring-experiments
+//!
+//! Experiment harness that regenerates the evaluation artefacts of
+//! "Deterministic Symmetry Breaking in Ring Networks": the complexity
+//! tables (Tables I and II), the reduction figures (Figures 1 and 2), the
+//! distinguisher-size scaling of Section IV and the impossibility /
+//! lower-bound audits of Section II.
+//!
+//! Each experiment is a pure function from a [`SweepSpec`] to a set of
+//! [`Measurement`]s, so the same code backs the command-line binaries
+//! (`table1`, `table2`, `fig1_reductions`, `fig2_reductions`,
+//! `distinguisher_scaling`, `lower_bounds`, `repro_all`) and the Criterion
+//! benchmarks in the `ring-bench` crate. Results are printed as markdown
+//! tables and can be serialised to JSON for archival in `EXPERIMENTS.md`.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod distinguisher_scaling;
+pub mod lower_bounds;
+pub mod reductions;
+pub mod report;
+pub mod sweep;
+pub mod tables;
+
+pub use report::{format_markdown_table, Measurement};
+pub use sweep::{Case, SweepSpec};

@@ -1,0 +1,128 @@
+//! Sweep specifications: which configurations an experiment runs over.
+
+use ring_protocols::IdAssignment;
+use ring_sim::RingConfig;
+use serde::{Deserialize, Serialize};
+
+/// One concrete configuration of an experiment sweep.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Case {
+    /// Ring size.
+    pub n: usize,
+    /// Identifier universe size.
+    pub universe: u64,
+    /// Seed from which positions, chirality and identifiers are derived.
+    pub seed: u64,
+}
+
+impl Case {
+    /// Materialises the hidden configuration of this case.
+    pub fn config(&self) -> RingConfig {
+        RingConfig::builder(self.n)
+            .random_positions(self.seed.wrapping_mul(3) + 1)
+            .random_chirality(self.seed.wrapping_mul(5) + 2)
+            .build()
+            .expect("sweep cases are always valid")
+    }
+
+    /// A worst-case variant of the configuration with a perfectly balanced
+    /// chirality assignment (the adversarial case for even `n`).
+    pub fn config_balanced(&self) -> RingConfig {
+        RingConfig::builder(self.n)
+            .random_positions(self.seed.wrapping_mul(3) + 1)
+            .alternating_chirality()
+            .build()
+            .expect("sweep cases are always valid")
+    }
+
+    /// The identifier assignment of this case.
+    pub fn ids(&self) -> IdAssignment {
+        IdAssignment::random(self.n, self.universe, self.seed.wrapping_mul(7) + 3)
+    }
+}
+
+/// A sweep: ring sizes × identifier-universe scalings × repetitions.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Ring sizes to test.
+    pub sizes: Vec<usize>,
+    /// Universe sizes expressed as multiples of `n` (e.g. 4 means `N = 4n`).
+    pub universe_factors: Vec<u64>,
+    /// Number of random repetitions per (size, universe) pair.
+    pub repetitions: u64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// The default sweep used by the table experiments: a few odd and even
+    /// ring sizes, sparse and dense identifier universes, three repetitions.
+    pub fn standard() -> Self {
+        SweepSpec {
+            sizes: vec![15, 16, 31, 32, 63, 64],
+            universe_factors: vec![4, 64],
+            repetitions: 3,
+            seed: 2015,
+        }
+    }
+
+    /// A reduced sweep for quick smoke tests and benchmarks.
+    pub fn quick() -> Self {
+        SweepSpec {
+            sizes: vec![15, 16, 32],
+            universe_factors: vec![4],
+            repetitions: 1,
+            seed: 7,
+        }
+    }
+
+    /// Enumerates the concrete cases of the sweep.
+    pub fn cases(&self) -> Vec<Case> {
+        let mut out = Vec::new();
+        for &n in &self.sizes {
+            for &factor in &self.universe_factors {
+                for rep in 0..self.repetitions {
+                    out.push(Case {
+                        n,
+                        universe: factor * n as u64,
+                        seed: self
+                            .seed
+                            .wrapping_add(rep)
+                            .wrapping_add((n as u64) << 20)
+                            .wrapping_add(factor << 40),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_sweep_enumerates_all_cases() {
+        let spec = SweepSpec::standard();
+        let cases = spec.cases();
+        assert_eq!(
+            cases.len(),
+            spec.sizes.len() * spec.universe_factors.len() * spec.repetitions as usize
+        );
+        for case in &cases {
+            assert!(case.universe >= case.n as u64);
+            let config = case.config();
+            assert_eq!(config.len(), case.n);
+            assert_eq!(case.ids().len(), case.n);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = SweepSpec::quick().cases();
+        let b = SweepSpec::quick().cases();
+        assert_eq!(a, b);
+        assert_eq!(a[0].config(), b[0].config());
+    }
+}

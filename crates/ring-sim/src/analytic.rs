@@ -1,0 +1,270 @@
+//! The analytic round engine.
+//!
+//! Uses the rotation-index lemma (Lemma 1) to compute the end-of-round
+//! permutation in O(n), and the collision-cascade formula (Proposition 4) to
+//! compute every agent's first-collision distance in O(n log n). All
+//! arithmetic is exact (integer ticks).
+//!
+//! First collisions are only defined here for rounds in which **every**
+//! agent moves (the basic and perceptive models); for rounds containing idle
+//! agents the analytic engine reports `None` for every agent and the
+//! event-driven engine ([`crate::events`]) can be consulted instead. This is
+//! sufficient for the paper's algorithms because `coll()` is only available
+//! in the perceptive model, which does not allow idling.
+
+use crate::config::RingConfig;
+use crate::direction::ObjectiveDirection;
+use crate::geometry::ArcLength;
+use crate::rotation::{rotation_index, RotationIndex};
+
+/// Result of analytically executing one round.
+#[derive(Clone, Debug)]
+pub struct AnalyticRound {
+    /// Rotation index of the round.
+    pub rotation: RotationIndex,
+    /// For each *agent*, the objective clockwise distance between its start
+    /// and end position (zero iff the rotation index is zero).
+    pub cw_displacement: Vec<ArcLength>,
+    /// For each *agent*, the distance travelled until its first collision,
+    /// or `None` if the agent never collides (or the round contains idle
+    /// agents, for which the analytic engine does not model collisions).
+    pub first_collision: Vec<Option<ArcLength>>,
+    /// The new slot of each agent after the round.
+    pub new_slot_of_agent: Vec<usize>,
+}
+
+/// Stateless analytic engine.
+///
+/// The engine is deliberately trivial to construct; it exists as a type so
+/// that benchmarks can name it and so that alternative engines (the
+/// event-driven one) can be swapped in behind the same [`crate::state::RingState`]
+/// interface.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalyticEngine;
+
+impl AnalyticEngine {
+    /// Creates a new engine.
+    pub fn new() -> Self {
+        AnalyticEngine
+    }
+
+    /// Executes one round.
+    ///
+    /// * `config` — the ground-truth configuration (initial slot positions).
+    /// * `slot_of_agent` — the slot currently occupied by each agent.
+    /// * `directions` — the objective direction chosen by each agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have inconsistent lengths (the caller,
+    /// [`crate::state::RingState`], validates its inputs).
+    pub fn execute(
+        &self,
+        config: &RingConfig,
+        slot_of_agent: &[usize],
+        directions: &[ObjectiveDirection],
+    ) -> AnalyticRound {
+        let n = config.len();
+        assert_eq!(slot_of_agent.len(), n);
+        assert_eq!(directions.len(), n);
+
+        let rotation = rotation_index(directions);
+        let r = rotation.shift;
+
+        let mut cw_displacement = vec![ArcLength::ZERO; n];
+        let mut new_slot_of_agent = vec![0usize; n];
+        for agent in 0..n {
+            let slot = slot_of_agent[agent];
+            let new_slot = (slot + r) % n;
+            new_slot_of_agent[agent] = new_slot;
+            cw_displacement[agent] = config.cw_arc(slot, new_slot);
+        }
+
+        let first_collision = if directions.iter().all(|d| d.is_moving()) {
+            self.first_collisions(config, slot_of_agent, directions)
+        } else {
+            vec![None; n]
+        };
+
+        AnalyticRound {
+            rotation,
+            cw_displacement,
+            first_collision,
+            new_slot_of_agent,
+        }
+    }
+
+    /// Computes every agent's first-collision distance for an all-moving
+    /// round (Proposition 4: an agent's first collision happens after it has
+    /// travelled half the arc separating it from the nearest agent ahead of
+    /// it — in its direction of travel — that moves in the opposite
+    /// direction).
+    fn first_collisions(
+        &self,
+        config: &RingConfig,
+        slot_of_agent: &[usize],
+        directions: &[ObjectiveDirection],
+    ) -> Vec<Option<ArcLength>> {
+        let n = config.len();
+
+        // Direction of the agent sitting at each slot.
+        let mut dir_at_slot = vec![ObjectiveDirection::Idle; n];
+        for agent in 0..n {
+            dir_at_slot[slot_of_agent[agent]] = directions[agent];
+        }
+
+        // Sorted slot indices of clockwise and anticlockwise movers.
+        let cw_slots: Vec<usize> = (0..n)
+            .filter(|&s| matches!(dir_at_slot[s], ObjectiveDirection::Clockwise))
+            .collect();
+        let acw_slots: Vec<usize> = (0..n)
+            .filter(|&s| matches!(dir_at_slot[s], ObjectiveDirection::Anticlockwise))
+            .collect();
+
+        let mut out = vec![None; n];
+        if cw_slots.is_empty() || acw_slots.is_empty() {
+            // Everybody moves the same way: no collisions at all.
+            return out;
+        }
+
+        for agent in 0..n {
+            let slot = slot_of_agent[agent];
+            let coll = match directions[agent] {
+                ObjectiveDirection::Clockwise => {
+                    // Nearest anticlockwise mover strictly ahead (clockwise).
+                    let target = next_strictly_after(&acw_slots, slot, n);
+                    config.cw_arc(slot, target).half()
+                }
+                ObjectiveDirection::Anticlockwise => {
+                    // Nearest clockwise mover strictly behind (anticlockwise).
+                    let target = prev_strictly_before(&cw_slots, slot, n);
+                    config.cw_arc(target, slot).half()
+                }
+                ObjectiveDirection::Idle => unreachable!("all-moving round"),
+            };
+            out[agent] = Some(coll);
+        }
+        out
+    }
+}
+
+/// Smallest element of the (sorted, nonempty) cyclic set `sorted` that is
+/// strictly after `slot` in clockwise order.
+fn next_strictly_after(sorted: &[usize], slot: usize, _n: usize) -> usize {
+    match sorted.binary_search(&(slot + 1)) {
+        Ok(i) => sorted[i],
+        Err(i) => {
+            if i < sorted.len() {
+                sorted[i]
+            } else {
+                sorted[0]
+            }
+        }
+    }
+}
+
+/// Largest element of the (sorted, nonempty) cyclic set `sorted` that is
+/// strictly before `slot` in clockwise order.
+fn prev_strictly_before(sorted: &[usize], slot: usize, _n: usize) -> usize {
+    match sorted.binary_search(&slot) {
+        Ok(i) | Err(i) => {
+            if i > 0 {
+                sorted[i - 1]
+            } else {
+                *sorted.last().expect("nonempty")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RingConfig;
+    use crate::geometry::Point;
+    use ObjectiveDirection::{Anticlockwise as A, Clockwise as C, Idle as I};
+
+    fn config_with_positions(ticks: &[u64]) -> RingConfig {
+        RingConfig::builder(ticks.len())
+            .explicit_positions(ticks.iter().copied().map(Point::from_ticks))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn all_clockwise_round_has_no_collisions_and_no_displacement() {
+        let config = config_with_positions(&[0, 100, 220, 400, 900]);
+        let slots: Vec<usize> = (0..5).collect();
+        let round = AnalyticEngine::new().execute(&config, &slots, &[C; 5]);
+        assert!(round.rotation.is_zero());
+        assert!(round.cw_displacement.iter().all(|d| d.is_zero()));
+        assert!(round.first_collision.iter().all(|c| c.is_none()));
+        assert_eq!(round.new_slot_of_agent, slots);
+    }
+
+    #[test]
+    fn single_anticlockwise_agent_rotates_everyone() {
+        let config = config_with_positions(&[0, 100, 220, 400, 900]);
+        let slots: Vec<usize> = (0..5).collect();
+        let dirs = [C, C, C, C, A];
+        let round = AnalyticEngine::new().execute(&config, &slots, &dirs);
+        // r = (4 - 1) mod 5 = 3.
+        assert_eq!(round.rotation.shift, 3);
+        assert_eq!(round.new_slot_of_agent, vec![3, 4, 0, 1, 2]);
+        // Agent 0 ends at slot 3 (tick 400): displacement 400.
+        assert_eq!(round.cw_displacement[0].ticks(), 400);
+        // Agent 4 (tick 900) ends at slot 2 (tick 220): cw distance wraps.
+        assert_eq!(
+            round.cw_displacement[4].ticks(),
+            config.cw_arc(4, 2).ticks()
+        );
+    }
+
+    #[test]
+    fn first_collision_matches_proposition_4() {
+        // Agents at 0, 100, 220, 400, 900; agent 3 (tick 400) moves
+        // anticlockwise, everyone else clockwise.
+        let config = config_with_positions(&[0, 100, 220, 400, 900]);
+        let slots: Vec<usize> = (0..5).collect();
+        let dirs = [C, C, C, A, C];
+        let round = AnalyticEngine::new().execute(&config, &slots, &dirs);
+
+        // Agent 0 moves clockwise; the nearest anticlockwise mover ahead is
+        // at tick 400, so it collides after (400 - 0)/2 = 200.
+        assert_eq!(round.first_collision[0].unwrap().ticks(), 200);
+        // Agent 2 (tick 220) collides after (400 - 220)/2 = 90.
+        assert_eq!(round.first_collision[2].unwrap().ticks(), 90);
+        // Agent 3 moves anticlockwise; the nearest clockwise mover behind is
+        // at tick 220, so it also collides after 90.
+        assert_eq!(round.first_collision[3].unwrap().ticks(), 90);
+        // Agent 4 (tick 900) moves clockwise; nearest anticlockwise mover
+        // ahead (wrapping) is at tick 400: arc = (400 + CIRC - 900) mod CIRC.
+        let expected = config.cw_arc(4, 3).half();
+        assert_eq!(round.first_collision[4].unwrap(), expected);
+    }
+
+    #[test]
+    fn idle_rounds_have_no_analytic_collisions_but_correct_rotation() {
+        let config = config_with_positions(&[0, 100, 220, 400, 900]);
+        let slots: Vec<usize> = (0..5).collect();
+        let dirs = [C, I, I, I, I];
+        let round = AnalyticEngine::new().execute(&config, &slots, &dirs);
+        assert_eq!(round.rotation.shift, 1);
+        assert!(round.first_collision.iter().all(|c| c.is_none()));
+        assert_eq!(round.new_slot_of_agent, vec![1, 2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn displacement_uses_current_slots_not_agent_ids() {
+        let config = config_with_positions(&[0, 100, 220, 400, 900]);
+        // Agents already rotated by 2: agent i occupies slot i+2.
+        let slots: Vec<usize> = (0..5).map(|i| (i + 2) % 5).collect();
+        let dirs = [C, C, C, C, A];
+        let round = AnalyticEngine::new().execute(&config, &slots, &dirs);
+        assert_eq!(round.rotation.shift, 3);
+        for agent in 0..5 {
+            let expected = config.cw_arc(slots[agent], (slots[agent] + 3) % 5);
+            assert_eq!(round.cw_displacement[agent], expected);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Error types for the ring substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building configurations or executing rounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RingError {
+    /// The requested number of agents is too small for the model
+    /// (the paper assumes `n > 4`).
+    TooFewAgents {
+        /// Number of agents requested.
+        n: usize,
+        /// Minimum supported number of agents.
+        min: usize,
+    },
+    /// Two agents were placed at the same position.
+    DuplicatePosition {
+        /// The offending position (ticks).
+        ticks: u64,
+    },
+    /// A position was not an even number of ticks, which would break the
+    /// exact-midpoint invariant used for collision arithmetic.
+    OddPosition {
+        /// The offending position (ticks).
+        ticks: u64,
+    },
+    /// The number of supplied directions does not match the number of agents.
+    DirectionCountMismatch {
+        /// Number of directions supplied.
+        got: usize,
+        /// Number of agents in the ring.
+        expected: usize,
+    },
+    /// An idle direction was used in a model that forbids idling.
+    IdleNotAllowed {
+        /// Index of the offending agent.
+        agent: usize,
+    },
+    /// The number of supplied items (positions, chirality flags, IDs…)
+    /// does not match the number of agents.
+    LengthMismatch {
+        /// What was being supplied.
+        what: &'static str,
+        /// Number of items supplied.
+        got: usize,
+        /// Number of agents in the ring.
+        expected: usize,
+    },
+    /// Could not generate distinct random positions with the requested
+    /// minimum gap.
+    PositionGeneration {
+        /// Number of agents requested.
+        n: usize,
+    },
+}
+
+impl fmt::Display for RingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingError::TooFewAgents { n, min } => {
+                write!(f, "too few agents: {n} (the model requires at least {min})")
+            }
+            RingError::DuplicatePosition { ticks } => {
+                write!(f, "duplicate agent position at tick {ticks}")
+            }
+            RingError::OddPosition { ticks } => {
+                write!(f, "agent position {ticks} is not an even number of ticks")
+            }
+            RingError::DirectionCountMismatch { got, expected } => {
+                write!(f, "expected {expected} directions, got {got}")
+            }
+            RingError::IdleNotAllowed { agent } => {
+                write!(f, "agent {agent} chose to idle in a model without idling")
+            }
+            RingError::LengthMismatch {
+                what,
+                got,
+                expected,
+            } => write!(f, "expected {expected} {what}, got {got}"),
+            RingError::PositionGeneration { n } => {
+                write!(f, "could not generate {n} distinct positions")
+            }
+        }
+    }
+}
+
+impl Error for RingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            RingError::TooFewAgents { n: 2, min: 5 },
+            RingError::DuplicatePosition { ticks: 10 },
+            RingError::OddPosition { ticks: 11 },
+            RingError::DirectionCountMismatch { got: 1, expected: 2 },
+            RingError::IdleNotAllowed { agent: 3 },
+            RingError::LengthMismatch {
+                what: "ids",
+                got: 1,
+                expected: 2,
+            },
+            RingError::PositionGeneration { n: 1000 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

