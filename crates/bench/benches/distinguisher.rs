@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ring_bench::balanced_deployment;
-use ring_combinat::{Distinguisher, SelectiveFamily};
+use ring_combinat::{reference, Distinguisher, SelectiveFamily};
 use ring_protocols::coordination::nontrivial::weak_nontrivial_move_even_distinguisher;
 use ring_protocols::Network;
 use ring_sim::Model;
@@ -26,6 +26,35 @@ fn bench_constructions(c: &mut Criterion) {
     group.finish();
 }
 
+/// The word-parallel constructions at large universes (N ≥ 10⁵), against
+/// the element-wise reference implementations they replaced — the speedup
+/// the `BENCH_combinat.json` trajectory tracks.
+fn bench_constructions_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distinguisher/construction_large");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let universe = 100_000u64;
+    for &n in &[64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("distinguisher", n), &n, |b, &n| {
+            b.iter(|| Distinguisher::random(universe, n, 7))
+        });
+        group.bench_with_input(BenchmarkId::new("selective_family", n), &n, |b, &n| {
+            b.iter(|| SelectiveFamily::random(universe, n, 7))
+        });
+    }
+    // The reference paths are too slow to sweep; one size anchors the ratio.
+    group.bench_with_input(BenchmarkId::new("distinguisher_reference", 64), &64, |b, &n| {
+        b.iter(|| reference::distinguisher_random_reference(universe, n, 7))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("selective_family_reference", 64),
+        &64,
+        |b, &n| b.iter(|| reference::selective_random_reference(universe, n, 7)),
+    );
+    group.finish();
+}
+
 fn bench_weak_nontrivial_move(c: &mut Criterion) {
     let mut group = c.benchmark_group("distinguisher/weak_nontrivial_move");
     group.sample_size(10);
@@ -43,5 +72,10 @@ fn bench_weak_nontrivial_move(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_constructions, bench_weak_nontrivial_move);
+criterion_group!(
+    benches,
+    bench_constructions,
+    bench_constructions_large,
+    bench_weak_nontrivial_move
+);
 criterion_main!(benches);

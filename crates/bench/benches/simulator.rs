@@ -33,5 +33,48 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engines);
+/// The zero-alloc batched round path against the allocating one, at ring
+/// sizes up to 10⁵ (scratch reuse via `AnalyticScratch`/`RoundBuffers`).
+fn bench_batched_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/batched_rounds");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(2000));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &n in &[64usize, 1024, 100_000] {
+        let config = RingConfig::builder(n).random_positions(n as u64).build().unwrap();
+        let dirs: Vec<LocalDirection> = (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    LocalDirection::Left
+                } else {
+                    LocalDirection::Right
+                }
+            })
+            .collect();
+        let rounds = (1 << 14) / n.max(64) + 4;
+        group.bench_with_input(BenchmarkId::new("buffered", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ring = RingState::new(&config);
+                let mut bufs = RoundBuffers::new();
+                for _ in 0..rounds {
+                    ring.execute_round_into(&dirs, EngineKind::Analytic, &mut bufs)
+                        .unwrap();
+                }
+                ring.rounds_executed()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("allocating", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ring = RingState::new(&config);
+                for _ in 0..rounds {
+                    ring.execute_round(&dirs, EngineKind::Analytic).unwrap();
+                }
+                ring.rounds_executed()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_batched_rounds);
 criterion_main!(benches);

@@ -1,0 +1,280 @@
+//! Word-parallel combinatorics speedup trajectory.
+//!
+//! Times the word-parallel hot paths introduced by the performance PR
+//! against their element-wise reference implementations (kept verbatim in
+//! `ring_combinat::reference`), and writes the results to
+//! `BENCH_combinat.json`. The file is regenerated from scratch on every
+//! run and committed; the *trajectory* across PRs is its git history, so a
+//! regression shows up as a worsened speedup in the diff.
+//!
+//! Run with `cargo run --release -p ring-bench --bin bench_combinat`
+//! (optionally `-- --quick` for a CI smoke pass, `-- --out <path>` to
+//! redirect the report).
+
+use ring_combinat::{reference, Distinguisher, IdSet, SelectiveFamily};
+use ring_protocols::coordination::nontrivial::weak_nontrivial_move_even_distinguisher;
+use ring_protocols::{IdAssignment, Network};
+use ring_sim::{
+    EngineKind, LocalDirection, Model, RingConfig, RingState, RoundBuffers,
+};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One timed entry of the report.
+#[derive(Clone, Debug, Serialize)]
+struct Entry {
+    name: String,
+    /// Problem size the timing refers to (universe or ring size).
+    n: u64,
+    /// Median wall-clock nanoseconds per repetition.
+    median_ns: u64,
+    reps: usize,
+}
+
+/// A fast-path/reference pair with its speedup.
+#[derive(Clone, Debug, Serialize)]
+struct Speedup {
+    name: String,
+    fast_ns: u64,
+    reference_ns: u64,
+    speedup: f64,
+}
+
+#[derive(Clone, Debug, Serialize)]
+struct Report {
+    schema: String,
+    mode: String,
+    entries: Vec<Entry>,
+    speedups: Vec<Speedup>,
+}
+
+/// Median wall-clock nanoseconds of `reps` runs of `f` (one warm-up run).
+fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> u64 {
+    std::hint::black_box(f());
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_combinat.json".to_string());
+
+    // --quick shrinks the sizes enough for a CI smoke run while exercising
+    // every measured code path.
+    let (universe, n, reps) = if quick {
+        (10_000u64, 32usize, 3usize)
+    } else {
+        (100_000u64, 64usize, 5usize)
+    };
+    // Small ring × many rounds: the regime of the paper's protocols, where
+    // per-round allocation is a constant fraction of the round cost.
+    let ring_n = if quick { 32 } else { 64 };
+    let rounds = if quick { 256 } else { 2048 };
+
+    let mut entries = Vec::new();
+    let mut speedups = Vec::new();
+    let record_pair = |entries: &mut Vec<Entry>,
+                           speedups: &mut Vec<Speedup>,
+                           name: &str,
+                           size: u64,
+                           fast_ns: u64,
+                           reference_ns: u64,
+                           reps: usize| {
+        entries.push(Entry {
+            name: format!("{name}/word_parallel"),
+            n: size,
+            median_ns: fast_ns,
+            reps,
+        });
+        entries.push(Entry {
+            name: format!("{name}/reference"),
+            n: size,
+            median_ns: reference_ns,
+            reps,
+        });
+        speedups.push(Speedup {
+            name: name.to_string(),
+            fast_ns,
+            reference_ns,
+            speedup: reference_ns as f64 / fast_ns.max(1) as f64,
+        });
+    };
+
+    // 1. Distinguisher construction (Theorem 27) at large N.
+    let fast = time_median(reps, || Distinguisher::random(universe, n, 7));
+    let slow = time_median(reps, || {
+        reference::distinguisher_random_reference(universe, n, 7)
+    });
+    record_pair(
+        &mut entries,
+        &mut speedups,
+        "distinguisher_random",
+        universe,
+        fast,
+        slow,
+        reps,
+    );
+    println!(
+        "distinguisher_random      N={universe} n={n}: {:>12} ns vs {:>12} ns  ({:.1}x)",
+        fast,
+        slow,
+        slow as f64 / fast.max(1) as f64
+    );
+
+    // 2. Selective-family construction (Definition 35) at large N.
+    let fast = time_median(reps, || SelectiveFamily::random(universe, n, 7));
+    let slow = time_median(reps, || {
+        reference::selective_random_reference(universe, n, 7)
+    });
+    record_pair(
+        &mut entries,
+        &mut speedups,
+        "selective_random",
+        universe,
+        fast,
+        slow,
+        reps,
+    );
+    println!(
+        "selective_random          N={universe} n={n}: {:>12} ns vs {:>12} ns  ({:.1}x)",
+        fast,
+        slow,
+        slow as f64 / fast.max(1) as f64
+    );
+
+    // 3. Bulk IdSet constructors against per-identifier loops.
+    let big = 1_000_000u64;
+    let fast = time_median(reps, || IdSet::full(big));
+    let slow = time_median(reps, || IdSet::from_ids(big, 1..=big));
+    record_pair(&mut entries, &mut speedups, "idset_full", big, fast, slow, reps);
+    println!(
+        "idset_full                N={big}:       {:>12} ns vs {:>12} ns  ({:.1}x)",
+        fast,
+        slow,
+        slow as f64 / fast.max(1) as f64
+    );
+
+    let fast = time_median(reps, || IdSet::with_bit(big, 3, true));
+    let slow = time_median(reps, || {
+        IdSet::from_ids(big, (1..=big).filter(|id| (id >> 3) & 1 == 1))
+    });
+    record_pair(
+        &mut entries,
+        &mut speedups,
+        "idset_with_bit",
+        big,
+        fast,
+        slow,
+        reps,
+    );
+    println!(
+        "idset_with_bit            N={big}:       {:>12} ns vs {:>12} ns  ({:.1}x)",
+        fast,
+        slow,
+        slow as f64 / fast.max(1) as f64
+    );
+
+    // 4. Batched round execution against the allocating path.
+    let config = RingConfig::builder(ring_n)
+        .random_positions(9)
+        .random_chirality(10)
+        .build()
+        .expect("valid benchmark ring");
+    let dirs: Vec<LocalDirection> = (0..ring_n)
+        .map(|i| {
+            if i % 3 == 0 {
+                LocalDirection::Left
+            } else {
+                LocalDirection::Right
+            }
+        })
+        .collect();
+    let fast = time_median(reps, || {
+        let mut ring = RingState::new(&config);
+        let mut bufs = RoundBuffers::new();
+        for _ in 0..rounds {
+            ring.execute_round_into(&dirs, EngineKind::Analytic, &mut bufs)
+                .expect("valid round");
+        }
+        ring.rounds_executed()
+    });
+    let slow = time_median(reps, || {
+        let mut ring = RingState::new(&config);
+        for _ in 0..rounds {
+            ring.execute_round(&dirs, EngineKind::Analytic).expect("valid round");
+        }
+        ring.rounds_executed()
+    });
+    record_pair(
+        &mut entries,
+        &mut speedups,
+        "execute_rounds_batched",
+        ring_n as u64,
+        fast,
+        slow,
+        reps,
+    );
+    println!(
+        "execute_rounds_batched    n={ring_n} r={rounds}:  {:>12} ns vs {:>12} ns  ({:.1}x)",
+        fast,
+        slow,
+        slow as f64 / fast.max(1) as f64
+    );
+
+    // 5. End-to-end: the distinguisher-driven weak nontrivial move on a
+    //    balanced ring, now running as one batched schedule over the
+    //    word-parallel strong distinguisher (absolute time only — the whole
+    //    stack changed, so there is no isolated reference path).
+    let proto_n = if quick { 16 } else { 32 };
+    let config = RingConfig::builder(proto_n)
+        .random_positions(500)
+        .alternating_chirality()
+        .build()
+        .expect("valid benchmark ring");
+    let ids = IdAssignment::random(proto_n, 64 * proto_n as u64, 501);
+    let t = time_median(reps, || {
+        let mut net = Network::new(&config, ids.clone(), Model::Basic).expect("valid network");
+        weak_nontrivial_move_even_distinguisher(&mut net, 3).expect("solvable")
+    });
+    entries.push(Entry {
+        name: "weak_nontrivial_move_batched".to_string(),
+        n: proto_n as u64,
+        median_ns: t,
+        reps,
+    });
+    println!("weak_nontrivial_batched   n={proto_n}:        {t:>12} ns");
+
+    let report = Report {
+        schema: "bench-combinat/v1".to_string(),
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        entries,
+        speedups,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    std::fs::write(&out_path, json + "\n").expect("writable report path");
+    println!("\nwrote {out_path}");
+
+    let floor = 5.0;
+    for s in &report.speedups {
+        if ["distinguisher_random", "selective_random"].contains(&s.name.as_str())
+            && s.speedup < floor
+        {
+            eprintln!(
+                "WARNING: {} speedup {:.1}x is below the {floor}x acceptance floor",
+                s.name, s.speedup
+            );
+        }
+    }
+}

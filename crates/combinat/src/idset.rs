@@ -4,6 +4,16 @@
 //! [`IdSet`] stores membership as a bitset and remembers the universe size,
 //! so set operations can validate that both operands talk about the same
 //! universe.
+//!
+//! Everything on the hot paths is word-parallel: bulk constructors fill
+//! whole 64-bit words ([`IdSet::full`], [`IdSet::with_bit`],
+//! [`IdSet::fill_with_words`]), iteration walks set bits with
+//! `trailing_zeros`, intersections are popcounts, and the `*_with` methods
+//! update a set in place without reallocating. Identifier `id` lives at bit
+//! `id % 64` of word `id / 64`; bit 0 of word 0 (the nonexistent
+//! identifier 0) and the bits above `universe` in the last word are kept
+//! zero — the *canonical form* that the word-parallel operations rely on
+//! and debug builds assert.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -18,21 +28,24 @@ pub struct IdSet {
 impl IdSet {
     /// Creates an empty set over the universe `[1, universe]`.
     ///
+    /// The backing store is sized exactly: identifier `N` lives at bit
+    /// `N % 64` of word `N / 64`, so `N / 64 + 1` words suffice.
+    ///
     /// # Panics
     ///
     /// Panics if `universe` is zero.
     pub fn empty(universe: u64) -> Self {
         assert!(universe > 0, "the identifier universe must be nonempty");
-        let words = vec![0u64; (universe as usize + 64) / 64 + 1];
+        let words = vec![0u64; universe as usize / 64 + 1];
         IdSet { universe, words }
     }
 
-    /// Creates the full set `[1, universe]`.
+    /// Creates the full set `[1, universe]` by whole-word fills.
     pub fn full(universe: u64) -> Self {
         let mut s = Self::empty(universe);
-        for id in 1..=universe {
-            s.insert(id);
-        }
+        s.words.fill(!0u64);
+        s.canonicalize();
+        s.debug_assert_canonical();
         s
     }
 
@@ -56,14 +69,51 @@ impl IdSet {
     /// (0-indexed, least significant first) equals `value` — the bit-bucket
     /// sets driving the binary-search leader elections (Algorithm 2,
     /// Lemma 13).
+    ///
+    /// Runs in O(N/64): for `bit < 6` the membership pattern repeats with a
+    /// period dividing 64, so one precomputed pattern word fills the whole
+    /// set; for `bit ≥ 6` every word is uniformly all-members or
+    /// all-excluded.
     pub fn with_bit(universe: u64, bit: u32, value: bool) -> Self {
         let mut s = Self::empty(universe);
-        for id in 1..=universe {
-            if ((id >> bit) & 1 == 1) == value {
-                s.insert(id);
+        if bit < 6 {
+            // (w·64 + j) >> bit has the same low bit as j >> bit because 64
+            // is a multiple of 2^(bit+1); the per-word pattern is universal.
+            let mut pattern = 0u64;
+            for j in 0..64u64 {
+                if ((j >> bit) & 1 == 1) == value {
+                    pattern |= 1 << j;
+                }
+            }
+            s.words.fill(pattern);
+        } else {
+            // Bits ≥ 6 are constant across a word.
+            for (w, word) in s.words.iter_mut().enumerate() {
+                let base = (w as u64) << 6;
+                if ((base >> bit) & 1 == 1) == value {
+                    *word = !0u64;
+                }
             }
         }
+        s.canonicalize();
+        s.debug_assert_canonical();
         s
+    }
+
+    /// Fills the set by assigning every backing word from `f` (word index →
+    /// word value) and re-canonicalizing. This is the word-parallel entry
+    /// point used by the probabilistic constructions: a membership
+    /// probability of `2^-j` for every identifier is the AND of `j` random
+    /// words, with zero per-identifier work.
+    pub fn fill_with_words<F>(&mut self, mut f: F)
+    where
+        F: FnMut(usize) -> u64,
+    {
+        for (w, word) in self.words.iter_mut().enumerate() {
+            *word = f(w);
+        }
+        self.canonicalize();
+        self.debug_assert_canonical();
     }
 
     /// The universe size `N`.
@@ -108,7 +158,7 @@ impl IdSet {
         self.words[w] >> b & 1 == 1
     }
 
-    /// Number of identifiers in the set.
+    /// Number of identifiers in the set (a popcount over the words).
     pub fn len(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
@@ -118,17 +168,24 @@ impl IdSet {
         self.words.iter().all(|&w| w == 0)
     }
 
-    /// Iterates over the identifiers in increasing order.
-    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
-        (1..=self.universe).filter(move |&id| self.contains(id))
+    /// Iterates over the identifiers in increasing order, skipping from set
+    /// bit to set bit with `trailing_zeros` — O(words + members), not
+    /// O(universe).
+    pub fn iter(&self) -> SetBitIter<'_> {
+        SetBitIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
-    /// Size of the intersection with `other`.
+    /// Size of the intersection with `other` — a fused popcount without
+    /// materialising the intersection.
     ///
     /// # Panics
     ///
     /// Panics if the universes differ.
-    pub fn intersection_len(&self, other: &IdSet) -> usize {
+    pub fn intersection_count(&self, other: &IdSet) -> usize {
         assert_eq!(self.universe, other.universe, "universe mismatch");
         self.words
             .iter()
@@ -139,16 +196,23 @@ impl IdSet {
 
     /// Whether the two sets are disjoint.
     pub fn is_disjoint(&self, other: &IdSet) -> bool {
-        self.intersection_len(other) == 0
+        self.intersection_count(other) == 0
     }
 
     /// The complement within the universe.
     pub fn complement(&self) -> IdSet {
-        let mut out = Self::full(self.universe);
-        for (o, s) in out.words.iter_mut().zip(&self.words) {
-            *o &= !s;
-        }
+        let mut out = self.clone();
+        out.complement_in_place();
         out
+    }
+
+    /// Complements the set in place (no reallocation).
+    pub fn complement_in_place(&mut self) {
+        for word in &mut self.words {
+            *word = !*word;
+        }
+        self.canonicalize();
+        self.debug_assert_canonical();
     }
 
     /// Set difference `self \ other`.
@@ -157,12 +221,22 @@ impl IdSet {
     ///
     /// Panics if the universes differ.
     pub fn difference(&self, other: &IdSet) -> IdSet {
-        assert_eq!(self.universe, other.universe, "universe mismatch");
         let mut out = self.clone();
-        for (o, s) in out.words.iter_mut().zip(&other.words) {
+        out.difference_with(other);
+        out
+    }
+
+    /// In-place set difference `self \= other` (no reallocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn difference_with(&mut self, other: &IdSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (o, s) in self.words.iter_mut().zip(&other.words) {
             *o &= !s;
         }
-        out
+        self.debug_assert_canonical();
     }
 
     /// Set intersection.
@@ -171,12 +245,22 @@ impl IdSet {
     ///
     /// Panics if the universes differ.
     pub fn intersection(&self, other: &IdSet) -> IdSet {
-        assert_eq!(self.universe, other.universe, "universe mismatch");
         let mut out = self.clone();
-        for (o, s) in out.words.iter_mut().zip(&other.words) {
+        out.intersect_with(other);
+        out
+    }
+
+    /// In-place set intersection `self &= other` (no reallocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersect_with(&mut self, other: &IdSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (o, s) in self.words.iter_mut().zip(&other.words) {
             *o &= s;
         }
-        out
+        self.debug_assert_canonical();
     }
 
     /// Set union.
@@ -185,12 +269,49 @@ impl IdSet {
     ///
     /// Panics if the universes differ.
     pub fn union(&self, other: &IdSet) -> IdSet {
-        assert_eq!(self.universe, other.universe, "universe mismatch");
         let mut out = self.clone();
-        for (o, s) in out.words.iter_mut().zip(&other.words) {
+        out.union_with(other);
+        out
+    }
+
+    /// In-place set union `self |= other` (no reallocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &IdSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (o, s) in self.words.iter_mut().zip(&other.words) {
             *o |= s;
         }
-        out
+        self.debug_assert_canonical();
+    }
+
+    /// Clears the always-zero positions: bit 0 of word 0 (identifier 0 does
+    /// not exist) and the bits above `universe` in the last word.
+    fn canonicalize(&mut self) {
+        self.words[0] &= !1u64;
+        let last = self.words.len() - 1;
+        let r = self.universe % 64;
+        if r != 63 {
+            self.words[last] &= (1u64 << (r + 1)) - 1;
+        }
+    }
+
+    /// Debug-build check that the canonical form holds (trailing bits and
+    /// the identifier-0 bit stay zero).
+    #[inline]
+    fn debug_assert_canonical(&self) {
+        debug_assert_eq!(self.words.len(), self.universe as usize / 64 + 1);
+        debug_assert_eq!(self.words[0] & 1, 0, "bit for nonexistent id 0 is set");
+        let r = self.universe % 64;
+        if r != 63 {
+            debug_assert_eq!(
+                self.words[self.words.len() - 1] & !((1u64 << (r + 1)) - 1),
+                0,
+                "bits beyond the universe are set"
+            );
+        }
     }
 
     fn check(&self, id: u64) {
@@ -199,6 +320,30 @@ impl IdSet {
             "identifier {id} outside the universe [1, {}]",
             self.universe
         );
+    }
+}
+
+/// Iterator over the members of an [`IdSet`], in increasing order.
+pub struct SetBitIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SetBitIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as u64;
+        self.current &= self.current - 1;
+        Some((self.word_idx as u64) * 64 + bit)
     }
 }
 
@@ -252,10 +397,22 @@ mod tests {
     }
 
     #[test]
+    fn word_count_is_exact() {
+        // Identifier N lives at bit N % 64 of word N / 64.
+        for (universe, words) in [(1u64, 1usize), (63, 1), (64, 2), (127, 2), (128, 3)] {
+            let s = IdSet::empty(universe);
+            assert_eq!(s.words.len(), words, "universe {universe}");
+            let f = IdSet::full(universe);
+            assert_eq!(f.words.len(), words, "universe {universe}");
+            assert_eq!(f.len() as u64, universe, "universe {universe}");
+        }
+    }
+
+    #[test]
     fn set_algebra() {
         let a = IdSet::from_ids(16, [1, 2, 3, 8]);
         let b = IdSet::from_ids(16, [3, 8, 9]);
-        assert_eq!(a.intersection_len(&b), 2);
+        assert_eq!(a.intersection_count(&b), 2);
         assert!(!a.is_disjoint(&b));
         assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![1, 2]);
         assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![3, 8]);
@@ -265,6 +422,26 @@ mod tests {
         );
         assert_eq!(a.complement().len(), 16 - 4);
         assert_eq!(IdSet::full(16).len(), 16);
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        let a = IdSet::from_ids(200, (1..=200).filter(|i| i % 3 == 0));
+        let b = IdSet::from_ids(200, (1..=200).filter(|i| i % 5 == 0));
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u, a.union(&b));
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i, a.intersection(&b));
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d, a.difference(&b));
+        let mut c = a.clone();
+        c.complement_in_place();
+        assert_eq!(c, a.complement());
+        assert_eq!(c.intersection_count(&a), 0);
+        assert_eq!(c.len() + a.len(), 200);
     }
 
     #[test]
@@ -280,6 +457,47 @@ mod tests {
         let lo = IdSet::with_bit(10, 2, false);
         assert!(hi.is_disjoint(&lo));
         assert_eq!(hi.len() + lo.len(), 10);
+    }
+
+    #[test]
+    fn word_filled_bit_buckets_match_the_scalar_rule() {
+        // Cross-check the word-parallel fill against the per-identifier
+        // definition, across word boundaries and for low and high bits.
+        for universe in [63u64, 64, 65, 130, 700] {
+            for bit in [0u32, 1, 5, 6, 7, 9] {
+                for value in [false, true] {
+                    let s = IdSet::with_bit(universe, bit, value);
+                    for id in 1..=universe {
+                        assert_eq!(
+                            s.contains(id),
+                            ((id >> bit) & 1 == 1) == value,
+                            "universe {universe}, bit {bit}, value {value}, id {id}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_with_words_masks_the_tail() {
+        let mut s = IdSet::empty(70);
+        s.fill_with_words(|_| !0u64);
+        assert_eq!(s.len(), 70);
+        assert!(!s.iter().any(|id| id == 0 || id > 70));
+        assert_eq!(s, IdSet::full(70));
+    }
+
+    #[test]
+    fn iterator_matches_scan_on_sparse_and_dense_sets() {
+        let sparse = IdSet::from_ids(1000, [1, 64, 65, 127, 128, 999, 1000]);
+        assert_eq!(
+            sparse.iter().collect::<Vec<_>>(),
+            vec![1, 64, 65, 127, 128, 999, 1000]
+        );
+        let dense = IdSet::full(129);
+        assert_eq!(dense.iter().collect::<Vec<_>>(), (1..=129).collect::<Vec<_>>());
+        assert_eq!(IdSet::empty(500).iter().count(), 0);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 pub mod bounds;
 pub mod distinguisher;
 pub mod idset;
+pub mod reference;
 pub mod selective;
 
 pub use bounds::{

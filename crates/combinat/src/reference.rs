@@ -1,0 +1,102 @@
+//! Element-wise reference implementations of the probabilistic
+//! constructions.
+//!
+//! These are the pre-word-parallel builders, kept verbatim as (a) baselines
+//! for the `bench_combinat` speedup trajectory (`BENCH_combinat.json`) and
+//! (b) oracles for property tests: the word-parallel constructions must
+//! produce families that pass exactly the same validity verifiers. They are
+//! **not** part of the performance surface — never call them from protocol
+//! code.
+
+use crate::bounds::nontrivial_move_round_bound;
+use crate::distinguisher::Distinguisher;
+use crate::idset::IdSet;
+use crate::selective::SelectiveFamily;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-identifier coin-flip subset draw (the old `random_set`): one RNG
+/// call and one branch per identifier.
+pub fn random_set_reference(universe: u64, rng: &mut StdRng) -> IdSet {
+    let mut s = IdSet::empty(universe);
+    for id in 1..=universe {
+        if rng.gen::<bool>() {
+            s.insert(id);
+        }
+    }
+    s
+}
+
+/// Element-by-element `Distinguisher::random` (Theorem 27) with O(N) RNG
+/// calls per set.
+pub fn distinguisher_random_reference(universe: u64, n: usize, seed: u64) -> Distinguisher {
+    assert!(n > 0, "distinguishers for empty sets are vacuous");
+    assert!(
+        2 * n as u64 <= universe,
+        "two disjoint sets of size {n} do not fit in a universe of {universe}"
+    );
+    let size = reference_recommended_size(universe, n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sets = (0..size)
+        .map(|_| random_set_reference(universe, &mut rng))
+        .collect();
+    Distinguisher::from_sets(universe, n, sets)
+}
+
+/// Element-by-element `SelectiveFamily::random` (Definition 35) with an
+/// `f64` comparison per identifier per set.
+pub fn selective_random_reference(universe: u64, n: usize, seed: u64) -> SelectiveFamily {
+    assert!(n > 0, "selective families need a positive target size");
+    assert!(n as u64 <= universe, "target size exceeds the universe");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sets = Vec::new();
+    let max_scale = usize::BITS - (n - 1).leading_zeros();
+    for scale in 0..=max_scale {
+        let p = 1.0 / f64::from(1u32 << scale);
+        let width = (universe as f64 / f64::from(1u32 << scale)).max(2.0);
+        let batch = (6.0 * f64::from(1u32 << scale) * width.log2().max(1.0)).ceil() as usize;
+        for _ in 0..batch.max(4) {
+            let mut s = IdSet::empty(universe);
+            for id in 1..=universe {
+                if rng.gen::<f64>() < p {
+                    s.insert(id);
+                }
+            }
+            sets.push(s);
+        }
+    }
+    SelectiveFamily::from_sets(universe, n, sets)
+}
+
+/// Mirror of `distinguisher::recommended_size`, duplicated so that the
+/// reference path cannot silently drift when the tuned path changes.
+fn reference_recommended_size(universe: u64, n: usize) -> usize {
+    let bound = nontrivial_move_round_bound(universe, 2 * n);
+    let log_n = ((universe as f64).log2()).max(1.0);
+    (8.0 * bound + 8.0 * log_n + 32.0).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_families_have_the_same_shape_as_the_fast_ones() {
+        let fast = Distinguisher::random(256, 4, 9);
+        let slow = distinguisher_random_reference(256, 4, 9);
+        assert_eq!(fast.len(), slow.len());
+        assert_eq!(fast.universe(), slow.universe());
+
+        let fast = SelectiveFamily::random(256, 8, 9);
+        let slow = selective_random_reference(256, 8, 9);
+        assert_eq!(fast.len(), slow.len());
+    }
+
+    #[test]
+    fn reference_families_are_valid() {
+        let d = distinguisher_random_reference(10, 2, 4);
+        assert!(d.verify_exhaustive(2));
+        let f = selective_random_reference(10, 4, 4);
+        assert!(f.verify_exhaustive(4));
+    }
+}

@@ -31,6 +31,11 @@ impl SelectiveFamily {
     /// probability, so logarithmically many sets per scale suffice with high
     /// probability. Deterministic given `seed`.
     ///
+    /// Membership with probability exactly `2^{-j}` is the AND of `j`
+    /// independent uniform words, so a scale-`j` set costs `j·⌈N/64⌉` RNG
+    /// calls instead of `N` floating-point draws (and is exact, where the
+    /// old `f64` comparison merely approximated `2^{-j}`).
+    ///
     /// # Panics
     ///
     /// Panics if `n == 0` or `n as u64 > universe`.
@@ -39,18 +44,17 @@ impl SelectiveFamily {
         assert!(n as u64 <= universe, "target size exceeds the universe");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut sets = Vec::new();
-        let max_scale = (usize::BITS - (n - 1).leading_zeros()) as u32; // ceil(log2 n), 0 for n=1
+        let max_scale = usize::BITS - (n - 1).leading_zeros(); // ceil(log2 n), 0 for n=1
         for scale in 0..=max_scale {
-            let p = 1.0 / f64::from(1u32 << scale);
             let width = (universe as f64 / f64::from(1u32 << scale)).max(2.0);
             let batch = (6.0 * f64::from(1u32 << scale) * width.log2().max(1.0)).ceil() as usize;
             for _ in 0..batch.max(4) {
                 let mut s = IdSet::empty(universe);
-                for id in 1..=universe {
-                    if rng.gen::<f64>() < p {
-                        s.insert(id);
-                    }
-                }
+                // AND of `scale` uniform words ⇒ each bit survives with
+                // probability 2^-scale; zero words ⇒ the full universe.
+                s.fill_with_words(|_| {
+                    (0..scale).fold(!0u64, |acc, _| acc & rng.gen::<u64>())
+                });
                 sets.push(s);
             }
         }
@@ -112,7 +116,7 @@ impl SelectiveFamily {
     /// Index of the first set that intersects `z` in exactly one element,
     /// or `None` if the family fails to select `z`.
     pub fn selects(&self, z: &IdSet) -> Option<usize> {
-        self.sets.iter().position(|s| s.intersection_len(z) == 1)
+        self.sets.iter().position(|s| s.intersection_count(z) == 1)
     }
 
     /// Exhaustively verifies selectivity for all nonempty subsets of size at

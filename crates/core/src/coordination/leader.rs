@@ -113,7 +113,7 @@ pub fn elect_leader_with_move(
             .collect();
         let obs = net.step(&dirs)?;
         let nonzero = !obs[0].dist.is_zero();
-        debug_assert!(obs.iter().all(|o| !o.dist.is_zero() == nonzero));
+        debug_assert!(obs.iter().all(|o| o.dist.is_zero() != nonzero));
         for agent in 0..n {
             in_x[agent] = if nonzero {
                 in_x0[agent]

@@ -17,9 +17,9 @@
 //! | leader already known          | `O(1)` (Lemma 10)             | [`nontrivial_move_with_leader`] |
 //! | common direction, randomized  | `O(log N)` w.h.p. (Lemma 15)  | [`nontrivial_move_common_randomized`] |
 
-use crate::coordination::probe::{probe_move, probe_nonzero, MoveClass};
+use crate::coordination::probe::{probe_move_with, probe_nonzero_with, MoveClass};
 use crate::error::ProtocolError;
-use crate::exec::Network;
+use crate::exec::{Network, StepBuffers};
 use ring_combinat::StrongDistinguisher;
 use ring_sim::{Frame, LocalDirection, Model, Parity};
 
@@ -123,8 +123,9 @@ pub fn solve_nontrivial_move(net: &mut Network<'_>) -> Result<NontrivialMove, Pr
 pub fn nontrivial_move_odd(net: &mut Network<'_>) -> Result<NontrivialMove, ProtocolError> {
     let n = net.len();
     let start = net.rounds_used();
+    let mut bufs = StepBuffers::new();
     let all_right = vec![LocalDirection::Right; n];
-    if probe_nonzero(net, &all_right)? {
+    if probe_nonzero_with(net, &all_right, &mut bufs)? {
         return Ok(NontrivialMove::new(
             all_right,
             net.rounds_used() - start,
@@ -132,12 +133,13 @@ pub fn nontrivial_move_odd(net: &mut Network<'_>) -> Result<NontrivialMove, Prot
         ));
     }
     // All agents share one chirality; scan identifier bits from the most
-    // significant downwards.
+    // significant downwards, refilling one direction buffer per probe.
+    let mut dirs = all_right;
     for bit in (0..net.id_bits()).rev() {
-        let dirs: Vec<LocalDirection> = (0..n)
-            .map(|agent| LocalDirection::from_bit(net.id_of(agent).bit(bit)))
-            .collect();
-        if probe_nonzero(net, &dirs)? {
+        for (agent, dir) in dirs.iter_mut().enumerate() {
+            *dir = LocalDirection::from_bit(net.id_of(agent).bit(bit));
+        }
+        if probe_nonzero_with(net, &dirs, &mut bufs)? {
             return Ok(NontrivialMove::new(
                 dirs,
                 net.rounds_used() - start,
@@ -171,8 +173,9 @@ pub fn nontrivial_move_even_distinguisher(
 ) -> Result<NontrivialMove, ProtocolError> {
     let n = net.len();
     let start = net.rounds_used();
+    let mut bufs = StepBuffers::new();
     let all_right = vec![LocalDirection::Right; n];
-    if probe_move(net, &all_right)? == MoveClass::Nontrivial {
+    if probe_move_with(net, &all_right, &mut bufs)? == MoveClass::Nontrivial {
         return Ok(NontrivialMove::new(
             all_right,
             net.rounds_used() - start,
@@ -182,12 +185,16 @@ pub fn nontrivial_move_even_distinguisher(
     let mut strong = StrongDistinguisher::new(net.universe(), seed);
     // The budget is a harness-level safety net, not agent knowledge.
     let budget = 32 * strong.prefix_size_for(n.max(2)) + 256;
+    // Identifier values are fixed for the whole schedule; membership tests
+    // write into one reusable direction buffer (no per-set clones).
+    let id_values: Vec<u64> = (0..n).map(|agent| net.id_of(agent).value()).collect();
+    let mut dirs = all_right;
     for set_index in 0..budget {
-        let set = strong.set(set_index).clone();
-        let dirs: Vec<LocalDirection> = (0..n)
-            .map(|agent| LocalDirection::from_bit(set.contains(net.id_of(agent).value())))
-            .collect();
-        if probe_move(net, &dirs)? == MoveClass::Nontrivial {
+        let set = strong.set(set_index);
+        for (dir, &id) in dirs.iter_mut().zip(&id_values) {
+            *dir = LocalDirection::from_bit(set.contains(id));
+        }
+        if probe_move_with(net, &dirs, &mut bufs)? == MoveClass::Nontrivial {
             return Ok(NontrivialMove::new(
                 dirs,
                 net.rounds_used() - start,
@@ -216,8 +223,9 @@ pub fn weak_nontrivial_move_even_distinguisher(
 ) -> Result<NontrivialMove, ProtocolError> {
     let n = net.len();
     let start = net.rounds_used();
+    let mut bufs = StepBuffers::new();
     let all_right = vec![LocalDirection::Right; n];
-    if probe_nonzero(net, &all_right)? {
+    if probe_nonzero_with(net, &all_right, &mut bufs)? {
         return Ok(NontrivialMove::new(
             all_right,
             net.rounds_used() - start,
@@ -226,23 +234,58 @@ pub fn weak_nontrivial_move_even_distinguisher(
     }
     let mut strong = StrongDistinguisher::new(net.universe(), seed);
     let budget = 32 * strong.prefix_size_for(n.max(2)) + 256;
-    for set_index in 0..budget {
-        let set = strong.set(set_index).clone();
-        let dirs: Vec<LocalDirection> = (0..n)
-            .map(|agent| LocalDirection::from_bit(set.contains(net.id_of(agent).value())))
-            .collect();
-        if probe_nonzero(net, &dirs)? {
-            return Ok(NontrivialMove::new(
+    let id_values: Vec<u64> = (0..n).map(|agent| net.id_of(agent).value()).collect();
+    // The weak variant needs exactly one probing round per set, so the whole
+    // family runs as one batched schedule: set k's membership pattern is
+    // round k's direction assignment, and the first observably rotating
+    // round stops the schedule.
+    let hit = net.run_schedule(
+        &mut bufs,
+        |k, dirs| {
+            if k as usize >= budget {
+                return false;
+            }
+            set_directions(strong.set(k as usize), &id_values, dirs);
+            true
+        },
+        |obs| {
+            let nonzero = !obs[0].dist.is_zero();
+            debug_assert!(
+                obs.iter().all(|o| o.dist.is_zero() != nonzero),
+                "agents disagree on a zero-rotation probe"
+            );
+            nonzero
+        },
+    )?;
+    match hit {
+        Some(k) => {
+            let set_index = k as usize;
+            let mut dirs = Vec::with_capacity(n);
+            set_directions(strong.set(set_index), &id_values, &mut dirs);
+            Ok(NontrivialMove::new(
                 dirs,
                 net.rounds_used() - start,
                 NontrivialStrategy::Distinguisher { set_index },
-            ));
+            ))
         }
+        None => Err(ProtocolError::RoundBudgetExceeded {
+            protocol: "weak-nontrivial-move-even",
+            budget: budget as u64,
+        }),
     }
-    Err(ProtocolError::RoundBudgetExceeded {
-        protocol: "weak-nontrivial-move-even",
-        budget: budget as u64,
-    })
+}
+
+/// Appends the direction assignment induced by a distinguisher set: members
+/// move their own right, everyone else left (`dirs` is cleared first, so
+/// the schedule's fill closure and the winning-round reconstruction share
+/// one mapping).
+fn set_directions(set: &ring_combinat::IdSet, id_values: &[u64], dirs: &mut Vec<LocalDirection>) {
+    dirs.clear();
+    dirs.extend(
+        id_values
+            .iter()
+            .map(|&id| LocalDirection::from_bit(set.contains(id))),
+    );
 }
 
 /// Nontrivial move given an elected leader (Lemma 10): the all-right round
@@ -268,8 +311,9 @@ pub fn nontrivial_move_with_leader(
         });
     }
     let start = net.rounds_used();
+    let mut bufs = StepBuffers::new();
     let all_right = vec![LocalDirection::Right; n];
-    if probe_move(net, &all_right)? == MoveClass::Nontrivial {
+    if probe_move_with(net, &all_right, &mut bufs)? == MoveClass::Nontrivial {
         return Ok(NontrivialMove::new(
             all_right,
             net.rounds_used() - start,
@@ -285,7 +329,7 @@ pub fn nontrivial_move_with_leader(
             }
         })
         .collect();
-    if probe_move(net, &deviated)? == MoveClass::Nontrivial {
+    if probe_move_with(net, &deviated, &mut bufs)? == MoveClass::Nontrivial {
         return Ok(NontrivialMove::new(
             deviated,
             net.rounds_used() - start,
@@ -326,20 +370,21 @@ pub fn nontrivial_move_common_randomized(
     }
     let start = net.rounds_used();
     let budget = 64 * (net.id_bits() as usize + 1);
+    let mut bufs = StepBuffers::new();
+    let mut dirs = vec![LocalDirection::Right; n];
     for set_index in 0..budget {
         // Pseudo-random membership of each identifier, derived from the
         // public seed so that all agents agree on the set.
-        let mut dirs = Vec::with_capacity(n);
-        for agent in 0..n {
+        for (agent, dir) in dirs.iter_mut().enumerate() {
             let id = net.id_of(agent).value();
             let mut rng = StdRng::seed_from_u64(
                 seed ^ (set_index as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ id.wrapping_mul(0xc2b2ae3d27d4eb4f),
             );
             let member: bool = rng.gen();
             let logical = LocalDirection::from_bit(member);
-            dirs.push(frames[agent].to_physical(logical));
+            *dir = frames[agent].to_physical(logical);
         }
-        if probe_move(net, &dirs)? == MoveClass::Nontrivial {
+        if probe_move_with(net, &dirs, &mut bufs)? == MoveClass::Nontrivial {
             return Ok(NontrivialMove::new(
                 dirs,
                 net.rounds_used() - start,
@@ -357,7 +402,8 @@ pub fn nontrivial_move_common_randomized(
 /// directions and checks that the rotation index is indeed outside
 /// `{0, n/2}`.
 pub fn verify_nontrivial(net: &mut Network<'_>, nm: &NontrivialMove) -> bool {
-    match probe_move(net, nm.directions()) {
+    let mut bufs = StepBuffers::new();
+    match probe_move_with(net, nm.directions(), &mut bufs) {
         Ok(class) => class == MoveClass::Nontrivial,
         Err(_) => false,
     }
@@ -366,6 +412,7 @@ pub fn verify_nontrivial(net: &mut Network<'_>, nm: &NontrivialMove) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coordination::probe::probe_nonzero;
     use crate::ids::IdAssignment;
     use ring_sim::{Model, RingConfig};
 

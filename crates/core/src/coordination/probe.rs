@@ -15,7 +15,7 @@
 //! agent exactly when it holds for all.
 
 use crate::error::ProtocolError;
-use crate::exec::Network;
+use crate::exec::{Network, StepBuffers};
 use ring_sim::{LocalDirection, CIRCUMFERENCE};
 
 /// Classification of a direction assignment by the rotation index of the
@@ -54,13 +54,29 @@ pub fn probe_nonzero(
     net: &mut Network<'_>,
     directions: &[LocalDirection],
 ) -> Result<bool, ProtocolError> {
-    let obs = net.step(directions)?;
-    let verdicts: Vec<bool> = obs.iter().map(|o| !o.dist.is_zero()).collect();
+    let mut bufs = StepBuffers::new();
+    probe_nonzero_with(net, directions, &mut bufs)
+}
+
+/// Zero-alloc variant of [`probe_nonzero`] executing through caller-owned
+/// buffers.
+///
+/// # Errors
+///
+/// Propagates substrate and model violations from [`Network::step_into`].
+pub fn probe_nonzero_with(
+    net: &mut Network<'_>,
+    directions: &[LocalDirection],
+    bufs: &mut StepBuffers,
+) -> Result<bool, ProtocolError> {
+    net.step_into(directions, bufs)?;
+    let obs = bufs.observations();
+    let verdict = !obs[0].dist.is_zero();
     debug_assert!(
-        verdicts.iter().all(|&v| v == verdicts[0]),
+        obs.iter().all(|o| o.dist.is_zero() != verdict),
         "agents disagree on a zero-rotation probe"
     );
-    Ok(verdicts[0])
+    Ok(verdict)
 }
 
 /// Two-round probe (Lemma 2): executes `directions` once or twice and
@@ -74,25 +90,47 @@ pub fn probe_move(
     net: &mut Network<'_>,
     directions: &[LocalDirection],
 ) -> Result<MoveClass, ProtocolError> {
-    let first = net.step(directions)?;
-    if first[0].dist.is_zero() {
-        debug_assert!(first.iter().all(|o| o.dist.is_zero()));
+    let mut bufs = StepBuffers::new();
+    probe_move_with(net, directions, &mut bufs)
+}
+
+/// Zero-alloc variant of [`probe_move`] executing through caller-owned
+/// buffers. Each agent only needs its own first-round `dist()` to carry
+/// into the second round, so the two rounds share the buffers.
+///
+/// # Errors
+///
+/// Propagates substrate and model violations from [`Network::step_into`].
+pub fn probe_move_with(
+    net: &mut Network<'_>,
+    directions: &[LocalDirection],
+    bufs: &mut StepBuffers,
+) -> Result<MoveClass, ProtocolError> {
+    net.step_into(directions, bufs)?;
+    let first_dist = bufs.observations()[0].dist;
+    if first_dist.is_zero() {
+        debug_assert!(bufs.observations().iter().all(|o| o.dist.is_zero()));
         return Ok(MoveClass::Zero);
     }
-    let second = net.step(directions)?;
-    let verdicts: Vec<MoveClass> = first
+    // Debug builds keep the first round to check cross-agent agreement;
+    // release builds classify from agent 0 alone (Lemma 2 guarantees all
+    // agents reach the same verdict).
+    #[cfg(debug_assertions)]
+    let first_all: Vec<_> = bufs.observations().iter().map(|o| o.dist).collect();
+    net.step_into(directions, bufs)?;
+    let second_dist = bufs.observations()[0].dist;
+    let verdict = if first_dist.ticks() + second_dist.ticks() == CIRCUMFERENCE {
+        MoveClass::HalfTurn
+    } else {
+        MoveClass::Nontrivial
+    };
+    #[cfg(debug_assertions)]
+    debug_assert!(first_all
         .iter()
-        .zip(&second)
-        .map(|(a, b)| {
-            if a.dist.ticks() + b.dist.ticks() == CIRCUMFERENCE {
-                MoveClass::HalfTurn
-            } else {
-                MoveClass::Nontrivial
-            }
-        })
-        .collect();
-    debug_assert!(verdicts.iter().all(|&v| v == verdicts[0]));
-    Ok(verdicts[0])
+        .zip(bufs.observations())
+        .all(|(a, b)| (a.ticks() + b.dist.ticks() == CIRCUMFERENCE)
+            == (verdict == MoveClass::HalfTurn)));
+    Ok(verdict)
 }
 
 #[cfg(test)]

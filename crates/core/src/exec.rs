@@ -23,8 +23,33 @@
 use crate::error::ProtocolError;
 use crate::ids::{AgentId, IdAssignment};
 use ring_sim::{
-    EngineKind, LocalDirection, Model, Observation, Parity, RingConfig, RingState, RotationIndex,
+    EngineKind, LocalDirection, Model, Observation, Parity, RingConfig, RingState, RoundBuffers,
+    RotationIndex,
 };
+
+/// Reusable buffers for the zero-alloc round interface
+/// ([`Network::step_into`], [`Network::run_schedule`]).
+///
+/// Create one per protocol run and thread it through every round: after the
+/// vectors reach the ring size, no round allocates.
+#[derive(Clone, Debug, Default)]
+pub struct StepBuffers {
+    round: RoundBuffers,
+    directions: Vec<LocalDirection>,
+}
+
+impl StepBuffers {
+    /// Creates an empty buffer set (vectors grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The observations of the last executed round, in each agent's own
+    /// frame, with collision information already gated by the model.
+    pub fn observations(&self) -> &[Observation] {
+        &self.round.observations
+    }
+}
 
 /// The executor: hidden ground truth plus the round interface.
 #[derive(Clone, Debug)]
@@ -138,6 +163,24 @@ impl<'a> Network<'a> {
         &mut self,
         directions: &[LocalDirection],
     ) -> Result<Vec<Observation>, ProtocolError> {
+        let mut bufs = StepBuffers::new();
+        self.step_into(directions, &mut bufs)?;
+        Ok(std::mem::take(&mut bufs.round.observations))
+    }
+
+    /// Executes one round into a caller-owned [`StepBuffers`] — the
+    /// zero-alloc variant of [`Network::step`]. Observations are read back
+    /// through [`StepBuffers::observations`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the direction vector has the wrong length or an
+    /// agent idles in a non-lazy model.
+    pub fn step_into(
+        &mut self,
+        directions: &[LocalDirection],
+        bufs: &mut StepBuffers,
+    ) -> Result<(), ProtocolError> {
         if directions.len() != self.ring.len() {
             return Err(ProtocolError::LengthMismatch {
                 what: "directions",
@@ -153,24 +196,23 @@ impl<'a> Network<'a> {
                 });
             }
         }
-        let outcome = self.ring.execute_round(directions, self.engine)?;
+        let rotation = self
+            .ring
+            .execute_round_into(directions, self.engine, &mut bufs.round)?;
         self.rounds += 1;
-        self.last_rotation = Some(outcome.rotation);
-        for (acc, obs) in self.cumulative_dist.iter_mut().zip(&outcome.observations) {
+        self.last_rotation = Some(rotation);
+        let strip_coll = !self.model.observes_collisions();
+        for (acc, obs) in self
+            .cumulative_dist
+            .iter_mut()
+            .zip(&mut bufs.round.observations)
+        {
             *acc = (*acc + obs.dist.ticks()) % ring_sim::CIRCUMFERENCE;
+            if strip_coll {
+                obs.coll = None;
+            }
         }
-        let observations = outcome
-            .observations
-            .into_iter()
-            .map(|obs| {
-                if self.model.observes_collisions() {
-                    obs
-                } else {
-                    obs.without_coll()
-                }
-            })
-            .collect();
-        Ok(observations)
+        Ok(())
     }
 
     /// Executes one round in which every agent moves opposite to
@@ -186,6 +228,55 @@ impl<'a> Network<'a> {
     ) -> Result<Vec<Observation>, ProtocolError> {
         let reversed: Vec<LocalDirection> = directions.iter().map(|d| d.opposite()).collect();
         self.step(&reversed)
+    }
+
+    /// Executes a whole direction schedule — one synchronized round per
+    /// schedule entry — through one reusable buffer set, without
+    /// intermediate allocation.
+    ///
+    /// For each entry `k = 0, 1, …`, `fill(k, &mut dirs)` writes the round's
+    /// per-agent directions into the cleared buffer `dirs` and returns
+    /// `false` to end the schedule. After each round, `stop(observations)`
+    /// inspects the agents' observations (this is where lockstep drivers
+    /// fold in per-agent bookkeeping) and returns `true` to stop early.
+    ///
+    /// Returns the index of the entry at which `stop` fired, or `None` when
+    /// the schedule ran to exhaustion. Typical use: one distinguisher set
+    /// per round, stopping at the first observably nontrivial move.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Network::step_into`] errors; the buffers stay usable.
+    pub fn run_schedule<F, S>(
+        &mut self,
+        bufs: &mut StepBuffers,
+        mut fill: F,
+        mut stop: S,
+    ) -> Result<Option<u64>, ProtocolError>
+    where
+        F: FnMut(u64, &mut Vec<LocalDirection>) -> bool,
+        S: FnMut(&[Observation]) -> bool,
+    {
+        let mut dirs = std::mem::take(&mut bufs.directions);
+        let mut hit = None;
+        let mut entry = 0u64;
+        loop {
+            dirs.clear();
+            if !fill(entry, &mut dirs) {
+                break;
+            }
+            if let Err(e) = self.step_into(&dirs, bufs) {
+                bufs.directions = dirs;
+                return Err(e);
+            }
+            if stop(&bufs.round.observations) {
+                hit = Some(entry);
+                break;
+            }
+            entry += 1;
+        }
+        bufs.directions = dirs;
+        Ok(hit)
     }
 
     /// The sum (modulo the circumference) of all `dist()` observations the
@@ -291,6 +382,121 @@ mod tests {
         net.step_reversed(&dirs).unwrap();
         assert_eq!(net.rounds_used(), 2);
         assert!(net.ground_truth_at_initial_positions());
+    }
+
+    #[test]
+    fn buffered_step_matches_allocating_step() {
+        let (config, ids) = network(Model::Perceptive);
+        let mut plain = Network::new(&config, ids.clone(), Model::Perceptive).unwrap();
+        let mut buffered = Network::new(&config, ids, Model::Perceptive).unwrap();
+        let mut bufs = StepBuffers::new();
+        for round in 0..5 {
+            let dirs: Vec<LocalDirection> = (0..6)
+                .map(|i| {
+                    if (i + round) % 2 == 0 {
+                        LocalDirection::Right
+                    } else {
+                        LocalDirection::Left
+                    }
+                })
+                .collect();
+            let obs = plain.step(&dirs).unwrap();
+            buffered.step_into(&dirs, &mut bufs).unwrap();
+            assert_eq!(bufs.observations(), &obs[..]);
+            assert_eq!(plain.ground_truth_slots(), buffered.ground_truth_slots());
+            for agent in 0..6 {
+                assert_eq!(
+                    plain.observed_cumulative_dist(agent),
+                    buffered.observed_cumulative_dist(agent)
+                );
+            }
+        }
+        assert_eq!(plain.rounds_used(), buffered.rounds_used());
+    }
+
+    #[test]
+    fn buffered_step_gates_collisions_by_model() {
+        let (config, ids) = network(Model::Basic);
+        let dirs: Vec<LocalDirection> = (0..6)
+            .map(|i| {
+                if i % 2 == 0 {
+                    LocalDirection::Right
+                } else {
+                    LocalDirection::Left
+                }
+            })
+            .collect();
+        let mut basic = Network::new(&config, ids.clone(), Model::Basic).unwrap();
+        let mut bufs = StepBuffers::new();
+        basic.step_into(&dirs, &mut bufs).unwrap();
+        assert!(bufs.observations().iter().all(|o| o.coll.is_none()));
+
+        let mut perceptive = Network::new(&config, ids, Model::Perceptive).unwrap();
+        perceptive.step_into(&dirs, &mut bufs).unwrap();
+        assert!(bufs.observations().iter().any(|o| o.coll.is_some()));
+    }
+
+    #[test]
+    fn run_schedule_stops_early_and_counts_rounds() {
+        let (config, ids) = network(Model::Basic);
+        let mut net = Network::new(&config, ids, Model::Basic).unwrap();
+        let mut bufs = StepBuffers::new();
+        // A schedule of five all-right rounds that stops at entry 2.
+        let mut inspected = 0u64;
+        let hit = net
+            .run_schedule(
+                &mut bufs,
+                |k, dirs| {
+                    if k >= 5 {
+                        return false;
+                    }
+                    dirs.extend(std::iter::repeat_n(LocalDirection::Right, 6));
+                    true
+                },
+                |obs| {
+                    assert_eq!(obs.len(), 6);
+                    inspected += 1;
+                    inspected == 3
+                },
+            )
+            .unwrap();
+        assert_eq!(hit, Some(2));
+        assert_eq!(net.rounds_used(), 3);
+
+        // Exhausting the schedule returns None and executes every entry.
+        let hit = net
+            .run_schedule(
+                &mut bufs,
+                |k, dirs| {
+                    if k >= 4 {
+                        return false;
+                    }
+                    dirs.extend(std::iter::repeat_n(LocalDirection::Right, 6));
+                    true
+                },
+                |_| false,
+            )
+            .unwrap();
+        assert_eq!(hit, None);
+        assert_eq!(net.rounds_used(), 7);
+    }
+
+    #[test]
+    fn run_schedule_propagates_model_violations() {
+        let (config, ids) = network(Model::Basic);
+        let mut net = Network::new(&config, ids, Model::Basic).unwrap();
+        let mut bufs = StepBuffers::new();
+        let err = net
+            .run_schedule(
+                &mut bufs,
+                |_, dirs| {
+                    dirs.extend(std::iter::repeat_n(LocalDirection::Idle, 6));
+                    true
+                },
+                |_| false,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::IdleForbidden { agent: 0, .. }));
     }
 
     #[test]

@@ -212,10 +212,10 @@ mod tests {
 
     #[test]
     fn id_bits() {
-        assert_eq!(AgentId::new(5).bit(0), true);
-        assert_eq!(AgentId::new(5).bit(1), false);
-        assert_eq!(AgentId::new(5).bit(2), true);
-        assert_eq!(AgentId::new(5).bit(10), false);
+        assert!(AgentId::new(5).bit(0));
+        assert!(!AgentId::new(5).bit(1));
+        assert!(AgentId::new(5).bit(2));
+        assert!(!AgentId::new(5).bit(10));
     }
 
     #[test]

@@ -284,8 +284,8 @@ mod tests {
             }
         }
         assert!(k.is_complete());
-        for i in 0..n {
-            assert_eq!(k.gap(i).unwrap().ticks(), gaps[i], "gap {i}");
+        for (i, &expected) in gaps.iter().enumerate() {
+            assert_eq!(k.gap(i).unwrap().ticks(), expected, "gap {i}");
         }
     }
 

@@ -9,7 +9,7 @@
 
 use crate::coordination::leader::elect_leader;
 use crate::error::ProtocolError;
-use crate::exec::Network;
+use crate::exec::{Network, StepBuffers};
 use crate::knowledge::GapKnowledge;
 use crate::locate::{cumulative_dist_logical, AgentView, LocationDiscovery, LocationMethod};
 use ring_sim::{ArcLength, LocalDirection, CIRCUMFERENCE};
@@ -68,12 +68,17 @@ pub fn discover_locations_basic_odd_with_leader(
     let mut travelled: Vec<u64> = vec![0; n];
     let mut steps: Vec<usize> = vec![0; n];
     let round_budget = 4 * n as u64 + 16;
+    // The sweep repeats one fixed direction assignment through a reusable
+    // buffer set (no per-round allocation), folding each round's
+    // observations into every agent's pair-sum system until all agents are
+    // back at their start.
+    let mut bufs = StepBuffers::new();
     let mut finished = false;
     for _ in 0..round_budget {
-        let obs = net.step(&dirs)?;
+        net.step_into(&dirs, &mut bufs)?;
         let mut all_back = true;
         for agent in 0..n {
-            let logical = frames[agent].observation_to_logical(obs[agent]);
+            let logical = frames[agent].observation_to_logical(bufs.observations()[agent]);
             // Moving two positions anticlockwise: the traversed arc is the
             // complement of the reported clockwise displacement.
             let traversed = if logical.dist.is_zero() {

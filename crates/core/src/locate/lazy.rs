@@ -8,7 +8,7 @@
 
 use crate::coordination::leader::elect_leader;
 use crate::error::ProtocolError;
-use crate::exec::Network;
+use crate::exec::{Network, StepBuffers};
 use crate::locate::{cumulative_dist_logical, AgentView, LocationDiscovery, LocationMethod};
 use ring_sim::{ArcLength, LocalDirection, CIRCUMFERENCE};
 
@@ -61,27 +61,38 @@ pub fn discover_locations_lazy_with_leader(
         })
         .collect();
 
+    // The sweep is one batched schedule: the same direction assignment every
+    // round, each agent folding its observation into its gap list, until
+    // every agent has covered exactly one circumference.
     let mut gaps: Vec<Vec<ArcLength>> = vec![Vec::new(); n];
     let mut covered: Vec<u64> = vec![0; n];
     let round_budget = 4 * n as u64 + 16;
-    for _ in 0..round_budget {
-        let obs = net.step(&dirs)?;
-        let mut all_done = true;
-        for agent in 0..n {
-            if covered[agent] >= CIRCUMFERENCE {
-                continue;
+    let mut bufs = StepBuffers::new();
+    net.run_schedule(
+        &mut bufs,
+        |round, out| {
+            if round >= round_budget {
+                return false;
             }
-            let logical = frames[agent].observation_to_logical(obs[agent]);
-            gaps[agent].push(logical.dist);
-            covered[agent] += logical.dist.ticks();
-            if covered[agent] < CIRCUMFERENCE {
-                all_done = false;
+            out.extend_from_slice(&dirs);
+            true
+        },
+        |obs| {
+            let mut all_done = true;
+            for agent in 0..n {
+                if covered[agent] >= CIRCUMFERENCE {
+                    continue;
+                }
+                let logical = frames[agent].observation_to_logical(obs[agent]);
+                gaps[agent].push(logical.dist);
+                covered[agent] += logical.dist.ticks();
+                if covered[agent] < CIRCUMFERENCE {
+                    all_done = false;
+                }
             }
-        }
-        if all_done {
-            break;
-        }
-    }
+            all_done
+        },
+    )?;
     if covered.iter().any(|&c| c != CIRCUMFERENCE) {
         return Err(ProtocolError::Internal {
             protocol: "location-discovery-lazy",

@@ -60,7 +60,7 @@ fn pivot_direction(label: usize, c: usize, n: usize) -> LocalDirection {
 /// These determine which contiguous gap interval a first-collision
 /// observation spans (Proposition 4).
 fn collision_spans(rule: &dyn Fn(usize) -> LocalDirection, n: usize) -> (Vec<usize>, Vec<usize>) {
-    let dirs: Vec<LocalDirection> = (1..=n).map(|l| rule(l)).collect();
+    let dirs: Vec<LocalDirection> = (1..=n).map(rule).collect();
     let mut ahead = vec![0usize; n + 1];
     let mut behind = vec![0usize; n + 1];
     for label in 1..=n {

@@ -199,7 +199,7 @@ impl RingLink {
         for bit in (0..bits).rev() {
             let payload: Vec<bool> = values
                 .iter()
-                .map(|v| v.map_or(false, |x| (x >> bit) & 1 == 1))
+                .map(|v| v.is_some_and(|x| (x >> bit) & 1 == 1))
                 .collect();
             let exchanged = self.exchange_bits(net, &payload)?;
             for agent in 0..n {
@@ -298,14 +298,14 @@ mod tests {
         assert_eq!(net.rounds_used() - rounds_before, 4 * 11);
 
         let config = net.ground_truth_config();
-        for agent in 0..n {
+        for (agent, frame) in frames.iter().enumerate() {
             let (right_neighbor, left_neighbor) = if config.chirality(agent).is_aligned() {
                 ((agent + 1) % n, (agent + n - 1) % n)
             } else {
                 ((agent + n - 1) % n, (agent + 1) % n)
             };
-            assert_eq!(frames[agent].from_right, values[right_neighbor]);
-            assert_eq!(frames[agent].from_left, values[left_neighbor]);
+            assert_eq!(frame.from_right, values[right_neighbor]);
+            assert_eq!(frame.from_left, values[left_neighbor]);
         }
     }
 

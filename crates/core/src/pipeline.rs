@@ -5,6 +5,14 @@
 //! problem takes in each setting. [`measure_problem`] solves one problem on
 //! a fresh executor and reports the cost; [`run_pipeline`] does so for all
 //! four problems of Table I.
+//!
+//! The nontrivial-move routes, the probe layer and the basic/lazy location
+//! sweeps execute through the batched round interface
+//! ([`crate::exec::StepBuffers`] / [`crate::exec::Network::run_schedule`]):
+//! one scratch arena per protocol run, no per-round heap allocation. The
+//! leader-election, direction-agreement and perceptive-model drivers still
+//! go through the allocating [`crate::exec::Network::step`] (see the
+//! ROADMAP's open items for the remaining batching targets).
 
 use crate::coordination::diragr::agree_direction;
 use crate::coordination::leader::elect_leader;

@@ -27,7 +27,7 @@ pub fn lemma5_parity_audit(n: usize, universe: u64, samples: usize, seed: u64) -
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    assert!(n % 2 == 0, "the impossibility result concerns even n");
+    assert!(n.is_multiple_of(2), "the impossibility result concerns even n");
     let config = ring_sim::RingConfig::builder(n)
         .random_positions(seed + 1)
         .build()
@@ -48,7 +48,7 @@ pub fn lemma5_parity_audit(n: usize, universe: u64, samples: usize, seed: u64) -
         let outcome = ring
             .execute_round(&dirs, EngineKind::Analytic)
             .expect("round");
-        if outcome.rotation.shift % 2 != 0 {
+        if !outcome.rotation.shift.is_multiple_of(2) {
             all_even = false;
         }
     }

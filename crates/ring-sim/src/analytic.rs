@@ -33,6 +33,39 @@ pub struct AnalyticRound {
     pub new_slot_of_agent: Vec<usize>,
 }
 
+/// Reusable scratch space for [`AnalyticEngine::execute_into`]: all of the
+/// per-round vectors of [`AnalyticRound`] plus the engine's internal
+/// work arrays, so a multi-round driver performs **zero** heap allocation
+/// per round after the first.
+#[derive(Clone, Debug, Default)]
+pub struct AnalyticScratch {
+    /// Per-agent objective clockwise displacement (output).
+    pub cw_displacement: Vec<ArcLength>,
+    /// Per-agent first-collision distance (output).
+    pub first_collision: Vec<Option<ArcLength>>,
+    /// Per-agent new slot (output).
+    pub new_slot_of_agent: Vec<usize>,
+    dir_at_slot: Vec<ObjectiveDirection>,
+    cw_slots: Vec<usize>,
+    acw_slots: Vec<usize>,
+}
+
+impl AnalyticScratch {
+    /// Creates empty scratch space (vectors grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.cw_displacement.clear();
+        self.cw_displacement.resize(n, ArcLength::ZERO);
+        self.first_collision.clear();
+        self.first_collision.resize(n, None);
+        self.new_slot_of_agent.clear();
+        self.new_slot_of_agent.resize(n, 0);
+    }
+}
+
 /// Stateless analytic engine.
 ///
 /// The engine is deliberately trivial to construct; it exists as a type so
@@ -64,67 +97,89 @@ impl AnalyticEngine {
         slot_of_agent: &[usize],
         directions: &[ObjectiveDirection],
     ) -> AnalyticRound {
+        let mut scratch = AnalyticScratch::new();
+        let rotation = self.execute_into(config, slot_of_agent, directions, &mut scratch);
+        AnalyticRound {
+            rotation,
+            cw_displacement: scratch.cw_displacement,
+            first_collision: scratch.first_collision,
+            new_slot_of_agent: scratch.new_slot_of_agent,
+        }
+    }
+
+    /// Executes one round into caller-owned scratch space — the zero-alloc
+    /// variant of [`AnalyticEngine::execute`]. After the scratch vectors
+    /// have grown to the ring size once, subsequent calls allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have inconsistent lengths.
+    pub fn execute_into(
+        &self,
+        config: &RingConfig,
+        slot_of_agent: &[usize],
+        directions: &[ObjectiveDirection],
+        scratch: &mut AnalyticScratch,
+    ) -> RotationIndex {
         let n = config.len();
         assert_eq!(slot_of_agent.len(), n);
         assert_eq!(directions.len(), n);
+        scratch.reset(n);
 
         let rotation = rotation_index(directions);
         let r = rotation.shift;
 
-        let mut cw_displacement = vec![ArcLength::ZERO; n];
-        let mut new_slot_of_agent = vec![0usize; n];
-        for agent in 0..n {
-            let slot = slot_of_agent[agent];
+        for ((&slot, slot_out), disp_out) in slot_of_agent
+            .iter()
+            .zip(&mut scratch.new_slot_of_agent)
+            .zip(&mut scratch.cw_displacement)
+        {
             let new_slot = (slot + r) % n;
-            new_slot_of_agent[agent] = new_slot;
-            cw_displacement[agent] = config.cw_arc(slot, new_slot);
+            *slot_out = new_slot;
+            *disp_out = config.cw_arc(slot, new_slot);
         }
 
-        let first_collision = if directions.iter().all(|d| d.is_moving()) {
-            self.first_collisions(config, slot_of_agent, directions)
-        } else {
-            vec![None; n]
-        };
-
-        AnalyticRound {
-            rotation,
-            cw_displacement,
-            first_collision,
-            new_slot_of_agent,
+        if directions.iter().all(|d| d.is_moving()) {
+            self.first_collisions(config, slot_of_agent, directions, scratch);
         }
+        rotation
     }
 
     /// Computes every agent's first-collision distance for an all-moving
     /// round (Proposition 4: an agent's first collision happens after it has
     /// travelled half the arc separating it from the nearest agent ahead of
     /// it — in its direction of travel — that moves in the opposite
-    /// direction).
+    /// direction). Writes into `scratch.first_collision`.
     fn first_collisions(
         &self,
         config: &RingConfig,
         slot_of_agent: &[usize],
         directions: &[ObjectiveDirection],
-    ) -> Vec<Option<ArcLength>> {
+        scratch: &mut AnalyticScratch,
+    ) {
         let n = config.len();
 
         // Direction of the agent sitting at each slot.
-        let mut dir_at_slot = vec![ObjectiveDirection::Idle; n];
+        scratch.dir_at_slot.clear();
+        scratch.dir_at_slot.resize(n, ObjectiveDirection::Idle);
         for agent in 0..n {
-            dir_at_slot[slot_of_agent[agent]] = directions[agent];
+            scratch.dir_at_slot[slot_of_agent[agent]] = directions[agent];
         }
 
         // Sorted slot indices of clockwise and anticlockwise movers.
-        let cw_slots: Vec<usize> = (0..n)
-            .filter(|&s| matches!(dir_at_slot[s], ObjectiveDirection::Clockwise))
-            .collect();
-        let acw_slots: Vec<usize> = (0..n)
-            .filter(|&s| matches!(dir_at_slot[s], ObjectiveDirection::Anticlockwise))
-            .collect();
+        scratch.cw_slots.clear();
+        scratch.acw_slots.clear();
+        for (s, dir) in scratch.dir_at_slot.iter().enumerate() {
+            match dir {
+                ObjectiveDirection::Clockwise => scratch.cw_slots.push(s),
+                ObjectiveDirection::Anticlockwise => scratch.acw_slots.push(s),
+                ObjectiveDirection::Idle => {}
+            }
+        }
 
-        let mut out = vec![None; n];
-        if cw_slots.is_empty() || acw_slots.is_empty() {
+        if scratch.cw_slots.is_empty() || scratch.acw_slots.is_empty() {
             // Everybody moves the same way: no collisions at all.
-            return out;
+            return;
         }
 
         for agent in 0..n {
@@ -132,19 +187,18 @@ impl AnalyticEngine {
             let coll = match directions[agent] {
                 ObjectiveDirection::Clockwise => {
                     // Nearest anticlockwise mover strictly ahead (clockwise).
-                    let target = next_strictly_after(&acw_slots, slot, n);
+                    let target = next_strictly_after(&scratch.acw_slots, slot, n);
                     config.cw_arc(slot, target).half()
                 }
                 ObjectiveDirection::Anticlockwise => {
                     // Nearest clockwise mover strictly behind (anticlockwise).
-                    let target = prev_strictly_before(&cw_slots, slot, n);
+                    let target = prev_strictly_before(&scratch.cw_slots, slot, n);
                     config.cw_arc(target, slot).half()
                 }
                 ObjectiveDirection::Idle => unreachable!("all-moving round"),
             };
-            out[agent] = Some(coll);
+            scratch.first_collision[agent] = Some(coll);
         }
-        out
     }
 }
 
@@ -262,8 +316,8 @@ mod tests {
         let dirs = [C, C, C, C, A];
         let round = AnalyticEngine::new().execute(&config, &slots, &dirs);
         assert_eq!(round.rotation.shift, 3);
-        for agent in 0..5 {
-            let expected = config.cw_arc(slots[agent], (slots[agent] + 3) % 5);
+        for (agent, &slot) in slots.iter().enumerate() {
+            let expected = config.cw_arc(slot, (slot + 3) % 5);
             assert_eq!(round.cw_displacement[agent], expected);
         }
     }

@@ -64,7 +64,7 @@ pub mod observe;
 pub mod rotation;
 pub mod state;
 
-pub use analytic::AnalyticEngine;
+pub use analytic::{AnalyticEngine, AnalyticScratch};
 pub use config::{RingConfig, RingConfigBuilder};
 pub use direction::{Chirality, LocalDirection, ObjectiveDirection};
 pub use error::RingError;
@@ -74,7 +74,7 @@ pub use geometry::{ArcLength, Point, CIRCUMFERENCE};
 pub use model::{Model, Parity};
 pub use observe::Observation;
 pub use rotation::{rotation_index, RotationIndex};
-pub use state::{EngineKind, RoundOutcome, RingState};
+pub use state::{EngineKind, RingState, RoundBuffers, RoundOutcome};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
@@ -88,5 +88,5 @@ pub mod prelude {
     pub use crate::model::{Model, Parity};
     pub use crate::observe::Observation;
     pub use crate::rotation::{rotation_index, RotationIndex};
-    pub use crate::state::{EngineKind, RingState, RoundOutcome};
+    pub use crate::state::{EngineKind, RingState, RoundBuffers, RoundOutcome};
 }

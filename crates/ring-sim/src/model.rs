@@ -55,7 +55,7 @@ pub enum Parity {
 impl Parity {
     /// The parity of `n`.
     pub fn of(n: usize) -> Parity {
-        if n % 2 == 0 {
+        if n.is_multiple_of(2) {
             Parity::Even
         } else {
             Parity::Odd

@@ -32,7 +32,7 @@ impl RotationIndex {
     /// Whether the round is a *trivial move* in the sense of the paper:
     /// rotation index 0, or `n/2` when `n` is even.
     pub fn is_trivial(self) -> bool {
-        self.shift == 0 || (self.n % 2 == 0 && self.shift == self.n / 2)
+        self.shift == 0 || (self.n.is_multiple_of(2) && self.shift == self.n / 2)
     }
 
     /// Whether the round is a *nontrivial move* (rotation index not in
@@ -105,7 +105,7 @@ mod tests {
     fn single_deviator_shifts_by_two() {
         let dirs = [C, C, C, A, C, C];
         let r = rotation_index(&dirs);
-        assert_eq!(r.shift, (6 - 2) % 6);
+        assert_eq!(r.shift, (6 - 2));
         assert!(r.is_nontrivial());
     }
 

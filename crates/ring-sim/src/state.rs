@@ -7,7 +7,7 @@
 //! [`Observation`] — already translated into the agent's own frame, exactly
 //! as the model prescribes.
 
-use crate::analytic::AnalyticEngine;
+use crate::analytic::{AnalyticEngine, AnalyticScratch};
 use crate::config::RingConfig;
 use crate::direction::{Chirality, LocalDirection, ObjectiveDirection};
 use crate::error::RingError;
@@ -37,6 +37,35 @@ pub struct RoundOutcome {
     pub observations: Vec<Observation>,
     /// Objective direction each agent actually moved in (ground truth).
     pub objective_directions: Vec<ObjectiveDirection>,
+}
+
+/// Reusable per-round scratch arena for [`RingState::execute_round_into`].
+///
+/// A multi-round driver creates one `RoundBuffers`, passes it to every
+/// round, and reads the round's outputs from it between rounds; after the
+/// vectors have grown to the ring size once, round execution performs no
+/// heap allocation at all (the event-driven reference engine excepted — it
+/// simulates every collision and is not a hot path).
+#[derive(Clone, Debug, Default)]
+pub struct RoundBuffers {
+    /// Observation of each agent for the last executed round, in that
+    /// agent's own frame.
+    pub observations: Vec<Observation>,
+    objective: Vec<ObjectiveDirection>,
+    scratch: AnalyticScratch,
+}
+
+impl RoundBuffers {
+    /// Creates an empty arena (vectors grow to the ring size on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Objective direction each agent moved in during the last round
+    /// (ground truth).
+    pub fn objective_directions(&self) -> &[ObjectiveDirection] {
+        &self.objective
+    }
 }
 
 /// The evolving state of a ring deployment.
@@ -117,19 +146,13 @@ impl<'a> RingState<'a> {
         local_directions: &[LocalDirection],
         engine: EngineKind,
     ) -> Result<RoundOutcome, RingError> {
-        let n = self.len();
-        if local_directions.len() != n {
-            return Err(RingError::DirectionCountMismatch {
-                got: local_directions.len(),
-                expected: n,
-            });
-        }
-        let objective: Vec<ObjectiveDirection> = local_directions
-            .iter()
-            .enumerate()
-            .map(|(agent, dir)| dir.to_objective(self.config.chirality(agent)))
-            .collect();
-        self.execute_round_objective(&objective, engine)
+        let mut bufs = RoundBuffers::new();
+        let rotation = self.execute_round_into(local_directions, engine, &mut bufs)?;
+        Ok(RoundOutcome {
+            rotation,
+            observations: bufs.observations,
+            objective_directions: bufs.objective,
+        })
     }
 
     /// Executes one round given objective directions (mostly useful for
@@ -144,6 +167,61 @@ impl<'a> RingState<'a> {
         objective: &[ObjectiveDirection],
         engine: EngineKind,
     ) -> Result<RoundOutcome, RingError> {
+        let mut bufs = RoundBuffers::new();
+        let rotation = self.execute_round_objective_into(objective, engine, &mut bufs)?;
+        Ok(RoundOutcome {
+            rotation,
+            observations: bufs.observations,
+            objective_directions: bufs.objective,
+        })
+    }
+
+    /// Executes one round into a caller-owned [`RoundBuffers`] arena — the
+    /// zero-alloc variant of [`RingState::execute_round`]. Observations land
+    /// in `bufs.observations`, the resolved objective directions in
+    /// [`RoundBuffers::objective_directions`], and the rotation index is
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of directions does not match the
+    /// number of agents.
+    pub fn execute_round_into(
+        &mut self,
+        local_directions: &[LocalDirection],
+        engine: EngineKind,
+        bufs: &mut RoundBuffers,
+    ) -> Result<RotationIndex, RingError> {
+        let n = self.len();
+        if local_directions.len() != n {
+            return Err(RingError::DirectionCountMismatch {
+                got: local_directions.len(),
+                expected: n,
+            });
+        }
+        bufs.objective.clear();
+        bufs.objective.extend(
+            local_directions
+                .iter()
+                .enumerate()
+                .map(|(agent, dir)| dir.to_objective(self.config.chirality(agent))),
+        );
+        self.run_prepared_round(engine, bufs)
+    }
+
+    /// Executes one round given objective directions, into a caller-owned
+    /// arena (zero-alloc variant of [`RingState::execute_round_objective`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of directions does not match the
+    /// number of agents.
+    pub fn execute_round_objective_into(
+        &mut self,
+        objective: &[ObjectiveDirection],
+        engine: EngineKind,
+        bufs: &mut RoundBuffers,
+    ) -> Result<RotationIndex, RingError> {
         let n = self.len();
         if objective.len() != n {
             return Err(RingError::DirectionCountMismatch {
@@ -151,69 +229,62 @@ impl<'a> RingState<'a> {
                 expected: n,
             });
         }
+        bufs.objective.clear();
+        bufs.objective.extend_from_slice(objective);
+        self.run_prepared_round(engine, bufs)
+    }
 
-        let (rotation, cw_displacement, first_collision, new_slots) = match engine {
-            EngineKind::Analytic => {
-                let round =
-                    AnalyticEngine::new().execute(self.config, &self.slot_of_agent, objective);
-                (
-                    round.rotation,
-                    round.cw_displacement,
-                    round.first_collision,
-                    round.new_slot_of_agent,
-                )
-            }
-            EngineKind::Event => {
-                // The event engine is the reference: use it for collisions
-                // and displacement, but derive the (exact) new slots from the
-                // rotation index, which the property tests show it agrees
-                // with.
-                let analytic =
-                    AnalyticEngine::new().execute(self.config, &self.slot_of_agent, objective);
-                let traj =
-                    EventEngine::new().simulate(self.config, &self.slot_of_agent, objective);
-                let coll = traj
-                    .first_collision
+    /// Core of every round: executes `bufs.objective`, updating the slots
+    /// in place (a pointer swap with the scratch arena) and writing the
+    /// per-agent observations into `bufs.observations`.
+    fn run_prepared_round(
+        &mut self,
+        engine: EngineKind,
+        bufs: &mut RoundBuffers,
+    ) -> Result<RotationIndex, RingError> {
+        let n = self.len();
+        let rotation = AnalyticEngine::new().execute_into(
+            self.config,
+            &self.slot_of_agent,
+            &bufs.objective,
+            &mut bufs.scratch,
+        );
+        if engine == EngineKind::Event {
+            // The event engine is the reference: use it for collisions, but
+            // keep the (exact) analytic displacement and slots, which the
+            // property tests show it agrees with.
+            let traj =
+                EventEngine::new().simulate(self.config, &self.slot_of_agent, &bufs.objective);
+            bufs.scratch.first_collision.clear();
+            bufs.scratch.first_collision.extend(
+                traj.first_collision
                     .iter()
-                    .map(|c| c.map(ArcLength::from_fraction))
-                    .collect();
-                (
-                    analytic.rotation,
-                    analytic.cw_displacement,
-                    coll,
-                    analytic.new_slot_of_agent,
-                )
-            }
-        };
+                    .map(|c| c.map(ArcLength::from_fraction)),
+            );
+        }
 
-        let observations: Vec<Observation> = (0..n)
-            .map(|agent| {
-                let cw = cw_displacement[agent];
-                let dist = match self.config.chirality(agent) {
-                    Chirality::Aligned => cw,
-                    Chirality::Reversed => {
-                        if cw.is_zero() {
-                            cw
-                        } else {
-                            cw.complement()
-                        }
+        bufs.observations.clear();
+        bufs.observations.extend((0..n).map(|agent| {
+            let cw = bufs.scratch.cw_displacement[agent];
+            let dist = match self.config.chirality(agent) {
+                Chirality::Aligned => cw,
+                Chirality::Reversed => {
+                    if cw.is_zero() {
+                        cw
+                    } else {
+                        cw.complement()
                     }
-                };
-                Observation {
-                    dist,
-                    coll: first_collision[agent],
                 }
-            })
-            .collect();
+            };
+            Observation {
+                dist,
+                coll: bufs.scratch.first_collision[agent],
+            }
+        }));
 
-        self.slot_of_agent = new_slots;
+        std::mem::swap(&mut self.slot_of_agent, &mut bufs.scratch.new_slot_of_agent);
         self.rounds_executed += 1;
-
-        Ok(RoundOutcome {
-            rotation,
-            observations,
-            objective_directions: objective.to_vec(),
-        })
+        Ok(rotation)
     }
 
     /// Executes a round in which every agent moves opposite to the supplied
@@ -327,6 +398,38 @@ mod tests {
             // Collision distances are path lengths: identical regardless of
             // chirality.
             assert_eq!(out_a.observations[agent].coll, out_b.observations[agent].coll);
+        }
+    }
+
+    #[test]
+    fn buffered_rounds_match_allocating_rounds() {
+        let config = RingConfig::builder(9)
+            .random_positions(11)
+            .random_chirality(12)
+            .build()
+            .unwrap();
+        for engine in [EngineKind::Analytic, EngineKind::Event] {
+            let mut plain = RingState::new(&config);
+            let mut buffered = RingState::new(&config);
+            let mut bufs = RoundBuffers::new();
+            for round in 0..6u64 {
+                let dirs: Vec<LocalDirection> = (0..9)
+                    .map(|i| {
+                        if (i as u64 + round).is_multiple_of(3) {
+                            LocalDirection::Left
+                        } else {
+                            LocalDirection::Right
+                        }
+                    })
+                    .collect();
+                let outcome = plain.execute_round(&dirs, engine).unwrap();
+                let rotation = buffered.execute_round_into(&dirs, engine, &mut bufs).unwrap();
+                assert_eq!(rotation, outcome.rotation);
+                assert_eq!(bufs.observations, outcome.observations);
+                assert_eq!(bufs.objective_directions(), outcome.objective_directions);
+                assert_eq!(plain.slots(), buffered.slots());
+            }
+            assert_eq!(plain.rounds_executed(), buffered.rounds_executed());
         }
     }
 

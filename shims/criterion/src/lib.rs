@@ -1,0 +1,321 @@
+//! Offline shim for `criterion` 0.5.
+//!
+//! Implements the benchmarking surface this workspace uses — groups,
+//! `BenchmarkId`, `Bencher::iter`, `sample_size`/`measurement_time`/
+//! `warm_up_time`, `black_box` and the two harness macros — with real
+//! wall-clock measurement via [`std::time::Instant`]: a warm-up phase,
+//! adaptive batch sizing, then `sample_size` timed samples, reporting the
+//! median and min/max per benchmark.
+//!
+//! Two environment knobs integrate the shim with the repository's
+//! performance tracking (see the "Performance" section of ROADMAP.md):
+//!
+//! * `CRITERION_OUTPUT_JSON=path` — append one JSON record per benchmark to
+//!   `path` (JSON Lines, one object per line);
+//! * `CRITERION_QUICK=1` — cap sampling for CI smoke runs.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark harness handle passed to every benchmark function.
+pub struct Criterion {
+    quick: bool,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            quick: std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1"),
+            json_path: std::env::var("CRITERION_OUTPUT_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(1000),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name.to_string(), f);
+        group.finish();
+        self
+    }
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Warm-up budget before sampling.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Benchmarks a closure that receives an input reference.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is per-bench).
+    pub fn finish(&mut self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let full_name = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let (sample_size, warm_up, measurement) = if self.criterion.quick {
+            (
+                self.sample_size.min(3),
+                Duration::from_millis(20),
+                Duration::from_millis(100),
+            )
+        } else {
+            (self.sample_size, self.warm_up_time, self.measurement_time)
+        };
+
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp { until: warm_up },
+            iters_per_sample: 1,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+
+        // Derive iterations-per-sample so that `sample_size` samples
+        // roughly fill the measurement budget.
+        let per_iter_ns = bencher.warmup_ns_per_iter().max(1.0);
+        let budget_ns = measurement.as_nanos() as f64 / sample_size as f64;
+        let iters = (budget_ns / per_iter_ns).clamp(1.0, 1e9) as u64;
+
+        bencher.mode = Mode::Measure {
+            samples: sample_size,
+        };
+        bencher.iters_per_sample = iters;
+        bencher.samples_ns.clear();
+        f(&mut bencher);
+
+        let mut per_iter: Vec<f64> = bencher
+            .samples_ns
+            .iter()
+            .map(|&ns| ns / iters as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let low = per_iter.first().copied().unwrap_or(median);
+        let high = per_iter.last().copied().unwrap_or(median);
+
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "criterion-shim: {full_name:<60} time: [{} {} {}]",
+            fmt_ns(low),
+            fmt_ns(median),
+            fmt_ns(high)
+        );
+        println!("{line}");
+
+        if let Some(path) = &self.criterion.json_path {
+            let record = format!(
+                "{{\"benchmark\":{:?},\"median_ns\":{median:.1},\"low_ns\":{low:.1},\
+                 \"high_ns\":{high:.1},\"samples\":{sample_size},\"iters_per_sample\":{iters}}}\n",
+                full_name
+            );
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = file.write_all(record.as_bytes());
+            }
+        }
+    }
+}
+
+enum Mode {
+    WarmUp { until: Duration },
+    Measure { samples: usize },
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    mode: Mode,
+    iters_per_sample: u64,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`, timing batches of calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                let start = Instant::now();
+                let mut iters = 0u64;
+                while start.elapsed() < until || iters == 0 {
+                    black_box(routine());
+                    iters += 1;
+                }
+                self.iters_per_sample = iters;
+                self.samples_ns
+                    .push(start.elapsed().as_nanos() as f64 / iters as f64);
+            }
+            Mode::Measure { samples } => {
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        black_box(routine());
+                    }
+                    self.samples_ns.push(start.elapsed().as_nanos() as f64);
+                }
+            }
+        }
+    }
+
+    fn warmup_ns_per_iter(&self) -> f64 {
+        self.samples_ns.last().copied().unwrap_or(1.0)
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion {
+            quick: true,
+            json_path: None,
+        };
+        let mut group = c.benchmark_group("shim-self-test");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline shim for the `serde` facade.
+//!
+//! Implements the exact surface this workspace consumes: the
+//! [`Serialize`]/[`Deserialize`] traits, their derive macros (re-exported
+//! from the companion `serde_derive` shim) and a JSON-shaped [`Value`] data
+//! model that `serde_json::to_string_pretty` renders. See `shims/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value: the serialization data model of the shim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (covers every signed width up to `i128`).
+    Int(i128),
+    /// Unsigned integer.
+    Uint(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can serialize themselves into the JSON [`Value`] model.
+pub trait Serialize {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+/// Marker trait emitted by `#[derive(Deserialize)]`.
+///
+/// Nothing in this workspace deserializes — results are only written out —
+/// so the trait carries no methods.
+pub trait Deserialize {}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Uint(*self as u64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(7u64.to_json(), Value::Uint(7));
+        assert_eq!((-3i128).to_json(), Value::Int(-3));
+        assert_eq!(true.to_json(), Value::Bool(true));
+        assert_eq!(None::<u64>.to_json(), Value::Null);
+        assert_eq!(
+            vec![1u32, 2].to_json(),
+            Value::Array(vec![Value::Uint(1), Value::Uint(2)])
+        );
+        assert_eq!(
+            (1usize, 2usize).to_json(),
+            Value::Array(vec![Value::Uint(1), Value::Uint(2)])
+        );
+    }
+}
