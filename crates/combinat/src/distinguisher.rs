@@ -143,13 +143,34 @@ impl Distinguisher {
 
     /// Spot-checks the distinguisher property on `samples` random disjoint
     /// pairs of `n`-element subsets; returns the number of failures.
+    ///
+    /// Sampling reuses one permutation buffer and two set buffers across
+    /// all samples (a Fisher–Yates prefix draws each pair), so the check
+    /// costs O(n) mutation per sample instead of O(N) shuffling and
+    /// allocation — which keeps harness-scale verification off the sweep's
+    /// critical path.
     pub fn verify_sampled(&self, n: usize, samples: usize, seed: u64) -> usize {
         let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids: Vec<u64> = (1..=self.universe).collect();
+        let mut x1 = IdSet::empty(self.universe);
+        let mut x2 = IdSet::empty(self.universe);
         let mut failures = 0;
         for _ in 0..samples {
-            let (x1, x2) = random_disjoint_pair(self.universe, n, &mut rng);
+            partial_shuffle(&mut ids, 2 * n, &mut rng);
+            for &id in &ids[..n] {
+                x1.insert(id);
+            }
+            for &id in &ids[n..2 * n] {
+                x2.insert(id);
+            }
             if !self.distinguishes(&x1, &x2) {
                 failures += 1;
+            }
+            for &id in &ids[..n] {
+                x1.remove(id);
+            }
+            for &id in &ids[n..2 * n] {
+                x2.remove(id);
             }
         }
         failures
@@ -198,9 +219,8 @@ impl StrongDistinguisher {
     /// The `i`-th set of the sequence (0-indexed), generating it on demand.
     pub fn set(&mut self, i: usize) -> &IdSet {
         while self.cache.len() <= i {
-            let idx = self.cache.len() as u64;
-            let mut rng = StdRng::seed_from_u64(self.seed ^ idx.wrapping_mul(0x9e3779b97f4a7c15));
-            self.cache.push(random_set(self.universe, &mut rng));
+            let idx = self.cache.len();
+            self.cache.push(strong_set(self.universe, self.seed, idx));
         }
         &self.cache[i]
     }
@@ -213,16 +233,7 @@ impl StrongDistinguisher {
     /// expression `n·log(N/n)/log n` is unimodal, so the running maximum
     /// over smaller set sizes is taken.
     pub fn prefix_size_for(&self, n: usize) -> usize {
-        let mut best = 0usize;
-        let mut m = 1usize;
-        loop {
-            best = best.max(recommended_size(self.universe, m.min(n)));
-            if m >= n {
-                break;
-            }
-            m *= 2;
-        }
-        best
+        strong_prefix_size_for(self.universe, n)
     }
 
     /// Materialises the prefix for a given `n` as a plain [`Distinguisher`].
@@ -231,6 +242,33 @@ impl StrongDistinguisher {
         let sets: Vec<IdSet> = (0..k).map(|i| self.set(i).clone()).collect();
         Distinguisher::from_sets(self.universe, n, sets)
     }
+}
+
+/// The `i`-th set of a seeded strong-distinguisher sequence. Each index is
+/// seeded independently, so sets can be generated lazily, out of order and
+/// concurrently (see [`crate::shared::SharedStrongDistinguisher`]) and the
+/// sequence is still a pure function of `(universe, seed)`.
+pub(crate) fn strong_set(universe: u64, seed: u64, index: usize) -> IdSet {
+    let idx = index as u64;
+    let mut rng = StdRng::seed_from_u64(seed ^ idx.wrapping_mul(0x9e3779b97f4a7c15));
+    random_set(universe, &mut rng)
+}
+
+/// The prefix length `f(N, n)` of Definition 21 shared by the sequential
+/// and thread-shared strong distinguishers: the running maximum of the
+/// recommended size over set sizes up to `n` (the raw expression is
+/// unimodal, Definition 21 requires a nondecreasing `f`).
+pub(crate) fn strong_prefix_size_for(universe: u64, n: usize) -> usize {
+    let mut best = 0usize;
+    let mut m = 1usize;
+    loop {
+        best = best.max(recommended_size(universe, m.min(n)));
+        if m >= n {
+            break;
+        }
+        m *= 2;
+    }
+    best
 }
 
 /// Number of random sets used by the probabilistic construction for
@@ -253,13 +291,15 @@ fn random_set(universe: u64, rng: &mut StdRng) -> IdSet {
     s
 }
 
-fn random_disjoint_pair(universe: u64, n: usize, rng: &mut StdRng) -> (IdSet, IdSet) {
-    use rand::seq::SliceRandom;
-    let mut ids: Vec<u64> = (1..=universe).collect();
-    ids.shuffle(rng);
-    let x1 = IdSet::from_ids(universe, ids[..n].iter().copied());
-    let x2 = IdSet::from_ids(universe, ids[n..2 * n].iter().copied());
-    (x1, x2)
+/// Uniformly permutes the first `k` entries of `ids` (a Fisher–Yates
+/// prefix): every `k`-element sample of the slice is equally likely, but
+/// only O(k) entries are touched instead of shuffling the whole universe.
+pub(crate) fn partial_shuffle(ids: &mut [u64], k: usize, rng: &mut StdRng) {
+    let len = ids.len();
+    for i in 0..k.min(len) {
+        let j = rng.gen_range(i..len);
+        ids.swap(i, j);
+    }
 }
 
 fn subsets_of_size(

@@ -17,7 +17,11 @@
 //!   nontrivial-move algorithm `NMoveS`;
 //! * [`bounds`] — closed-form evaluation of the paper's lower and upper
 //!   bound formulas, used by the experiment harness to compare measured
-//!   round counts against theory.
+//!   round counts against theory;
+//! * [`shared`] — the cache-key model ([`StructureKey`]) and the
+//!   thread-shareable [`SharedStrongDistinguisher`], which let the
+//!   `ring-harness` sweep engine construct each structure once and share it
+//!   read-only across worker threads.
 //!
 //! All random constructions are deterministic given a seed, so protocol runs
 //! and experiments are reproducible.
@@ -44,6 +48,7 @@ pub mod distinguisher;
 pub mod idset;
 pub mod reference;
 pub mod selective;
+pub mod shared;
 
 pub use bounds::{
     distinguisher_size_lower_bound, intersection_free_log_bound, nontrivial_move_round_bound,
@@ -52,3 +57,4 @@ pub use bounds::{
 pub use distinguisher::{Distinguisher, StrongDistinguisher};
 pub use idset::IdSet;
 pub use selective::SelectiveFamily;
+pub use shared::{SharedStrongDistinguisher, StructureKey, StructureKind};

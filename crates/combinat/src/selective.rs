@@ -115,8 +115,24 @@ impl SelectiveFamily {
 
     /// Index of the first set that intersects `z` in exactly one element,
     /// or `None` if the family fails to select `z`.
+    ///
+    /// `z` is at most `n` elements by definition, so membership is tested
+    /// element by element (with an early exit at the second hit) rather
+    /// than word-parallel over the whole universe: O(|z|) per set instead
+    /// of O(N/64).
     pub fn selects(&self, z: &IdSet) -> Option<usize> {
-        self.sets.iter().position(|s| s.intersection_count(z) == 1)
+        self.sets.iter().position(|s| {
+            let mut count = 0usize;
+            for id in z.iter() {
+                if s.contains(id) {
+                    count += 1;
+                    if count > 1 {
+                        return false;
+                    }
+                }
+            }
+            count == 1
+        })
     }
 
     /// Exhaustively verifies selectivity for all nonempty subsets of size at
@@ -143,16 +159,23 @@ impl SelectiveFamily {
     /// Spot-checks selectivity on `samples` random subsets with sizes drawn
     /// uniformly from `[1, n]`; returns the number of failures.
     pub fn verify_sampled(&self, n: usize, samples: usize, seed: u64) -> usize {
-        use rand::seq::SliceRandom;
         let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids: Vec<u64> = (1..=self.universe).collect();
+        let mut z = IdSet::empty(self.universe);
         let mut failures = 0;
         for _ in 0..samples {
             let size = rng.gen_range(1..=n);
-            let mut ids: Vec<u64> = (1..=self.universe).collect();
-            ids.shuffle(&mut rng);
-            let z = IdSet::from_ids(self.universe, ids[..size].iter().copied());
+            // Draw the sample into a reusable permutation prefix and set
+            // buffer: O(size) work per sample instead of O(N).
+            crate::distinguisher::partial_shuffle(&mut ids, size, &mut rng);
+            for &id in &ids[..size] {
+                z.insert(id);
+            }
             if self.selects(&z).is_none() {
                 failures += 1;
+            }
+            for &id in &ids[..size] {
+                z.remove(id);
             }
         }
         failures

@@ -1,0 +1,196 @@
+//! Thread-shareable combinatorial structures and the cache-key model used
+//! by the `ring-harness` structure cache.
+//!
+//! The expensive structures of this crate ([`Distinguisher`],
+//! [`SelectiveFamily`] and the lazily generated strong-distinguisher
+//! sequences) are pure functions of `(kind, N, n, seed)`. [`StructureKey`]
+//! names one such construction so that a sweep harness can memoise it once
+//! and share it — read-only, behind an `Arc` — across worker threads.
+//!
+//! [`SharedStrongDistinguisher`] is the concurrent counterpart of
+//! [`StrongDistinguisher`](crate::StrongDistinguisher): the same seeded set
+//! sequence (set `i` is generated independently of every other index), but
+//! with the materialised prefix behind an `RwLock` so that many protocol
+//! runs can extend and read it concurrently. Both types generate their sets
+//! through one shared helper, so `shared.set(i)` equals `strong.set(i)` for
+//! every index — protocol outcomes cannot depend on which variant served
+//! the sets.
+
+use crate::distinguisher::strong_set;
+use crate::idset::IdSet;
+use std::sync::{Arc, RwLock};
+
+/// Which combinatorial structure a cache entry holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StructureKind {
+    /// A lazily generated strong-distinguisher sequence (Definition 21);
+    /// the set-size parameter `n` of the key is 0 because one sequence
+    /// serves every ring size.
+    StrongDistinguisher,
+    /// A materialised `(N, n)`-distinguisher (Definition 20).
+    Distinguisher,
+    /// An `(N, n)`-selective family (Definition 35).
+    SelectiveFamily,
+}
+
+/// The identity of one deterministic construction: everything the random
+/// constructions of this crate depend on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StructureKey {
+    /// The structure kind.
+    pub kind: StructureKind,
+    /// Identifier universe size `N`.
+    pub universe: u64,
+    /// Target set size `n` (0 for kinds that do not take one).
+    pub n: u64,
+    /// Construction seed.
+    pub seed: u64,
+}
+
+impl StructureKey {
+    /// A well-mixed 64-bit hash of the key (splitmix64 over the fields),
+    /// used by sharded caches to pick a shard without pulling in a hasher.
+    pub fn mix(&self) -> u64 {
+        let kind = match self.kind {
+            StructureKind::StrongDistinguisher => 1u64,
+            StructureKind::Distinguisher => 2,
+            StructureKind::SelectiveFamily => 3,
+        };
+        let mut x = kind;
+        for field in [self.universe, self.n, self.seed] {
+            x = splitmix64(x ^ field);
+        }
+        x
+    }
+}
+
+/// One splitmix64 step: a cheap, high-quality 64-bit mixer.
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A strong distinguisher whose materialised prefix is shared across
+/// threads.
+///
+/// `set(i)` is generated on first demand (under a write lock) and served as
+/// a cheap `Arc` clone afterwards (under a read lock). Generation of set
+/// `i` depends only on `(universe, seed, i)`, so the contents are identical
+/// no matter which thread extends the prefix or in what order.
+#[derive(Debug)]
+pub struct SharedStrongDistinguisher {
+    universe: u64,
+    seed: u64,
+    sets: RwLock<Vec<Arc<IdSet>>>,
+}
+
+impl SharedStrongDistinguisher {
+    /// Creates a shared strong distinguisher over `[1, universe]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0`.
+    pub fn new(universe: u64, seed: u64) -> Self {
+        assert!(universe > 0);
+        SharedStrongDistinguisher {
+            universe,
+            seed,
+            sets: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The identifier universe size `N`.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// The construction seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The `i`-th set of the sequence (0-indexed), generating it on demand.
+    /// Equal to [`StrongDistinguisher::set`](crate::StrongDistinguisher::set)
+    /// for the same `(universe, seed, i)`.
+    pub fn set(&self, i: usize) -> Arc<IdSet> {
+        {
+            let sets = self.sets.read().expect("strong distinguisher lock");
+            if let Some(set) = sets.get(i) {
+                return Arc::clone(set);
+            }
+        }
+        let mut sets = self.sets.write().expect("strong distinguisher lock");
+        while sets.len() <= i {
+            let idx = sets.len();
+            sets.push(Arc::new(strong_set(self.universe, self.seed, idx)));
+        }
+        Arc::clone(&sets[i])
+    }
+
+    /// Number of sets materialised so far (grows monotonically).
+    pub fn materialized_len(&self) -> usize {
+        self.sets.read().expect("strong distinguisher lock").len()
+    }
+
+    /// Length of the prefix expected to distinguish disjoint sets of size
+    /// `n` — identical to
+    /// [`StrongDistinguisher::prefix_size_for`](crate::StrongDistinguisher::prefix_size_for).
+    pub fn prefix_size_for(&self, n: usize) -> usize {
+        crate::distinguisher::strong_prefix_size_for(self.universe, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StrongDistinguisher;
+
+    #[test]
+    fn shared_sets_equal_the_sequential_strong_distinguisher() {
+        let shared = SharedStrongDistinguisher::new(1 << 12, 99);
+        let mut strong = StrongDistinguisher::new(1 << 12, 99);
+        // Demand sets out of order to exercise the lazy fill.
+        for i in [5usize, 0, 3, 7, 1] {
+            assert_eq!(&*shared.set(i), strong.set(i), "set {i}");
+        }
+        assert_eq!(shared.materialized_len(), 8);
+        assert_eq!(shared.prefix_size_for(16), strong.prefix_size_for(16));
+    }
+
+    #[test]
+    fn shared_sets_are_identical_across_threads() {
+        let shared = Arc::new(SharedStrongDistinguisher::new(1 << 10, 7));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    (0..16usize)
+                        .map(|i| shared.set((i + t) % 16).len() as u64)
+                        .sum::<u64>()
+                })
+            })
+            .collect();
+        let sums: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(sums.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn structure_keys_mix_distinctly() {
+        let a = StructureKey {
+            kind: StructureKind::Distinguisher,
+            universe: 1024,
+            n: 8,
+            seed: 1,
+        };
+        let b = StructureKey {
+            kind: StructureKind::SelectiveFamily,
+            ..a
+        };
+        let c = StructureKey { seed: 2, ..a };
+        assert_ne!(a.mix(), b.mix());
+        assert_ne!(a.mix(), c.mix());
+        assert_eq!(a.mix(), a.mix());
+    }
+}

@@ -20,7 +20,6 @@
 use crate::coordination::probe::{probe_move_with, probe_nonzero_with, MoveClass};
 use crate::error::ProtocolError;
 use crate::exec::{Network, StepBuffers};
-use ring_combinat::StrongDistinguisher;
 use ring_sim::{Frame, LocalDirection, Model, Parity};
 
 /// Which strategy produced a nontrivial move.
@@ -182,7 +181,10 @@ pub fn nontrivial_move_even_distinguisher(
             NontrivialStrategy::AllRight,
         ));
     }
-    let mut strong = StrongDistinguisher::new(net.universe(), seed);
+    // The strong distinguisher comes from the network's structure provider,
+    // so sweep harnesses can construct it once per (universe, seed) and
+    // share it read-only across cases and worker threads.
+    let strong = net.structures().strong_distinguisher(net.universe(), seed);
     // The budget is a harness-level safety net, not agent knowledge.
     let budget = 32 * strong.prefix_size_for(n.max(2)) + 256;
     // Identifier values are fixed for the whole schedule; membership tests
@@ -232,7 +234,7 @@ pub fn weak_nontrivial_move_even_distinguisher(
             NontrivialStrategy::AllRight,
         ));
     }
-    let mut strong = StrongDistinguisher::new(net.universe(), seed);
+    let strong = net.structures().strong_distinguisher(net.universe(), seed);
     let budget = 32 * strong.prefix_size_for(n.max(2)) + 256;
     let id_values: Vec<u64> = (0..n).map(|agent| net.id_of(agent).value()).collect();
     // The weak variant needs exactly one probing round per set, so the whole
@@ -245,7 +247,7 @@ pub fn weak_nontrivial_move_even_distinguisher(
             if k as usize >= budget {
                 return false;
             }
-            set_directions(strong.set(k as usize), &id_values, dirs);
+            set_directions(&strong.set(k as usize), &id_values, dirs);
             true
         },
         |obs| {
@@ -261,7 +263,7 @@ pub fn weak_nontrivial_move_even_distinguisher(
         Some(k) => {
             let set_index = k as usize;
             let mut dirs = Vec::with_capacity(n);
-            set_directions(strong.set(set_index), &id_values, &mut dirs);
+            set_directions(&strong.set(set_index), &id_values, &mut dirs);
             Ok(NontrivialMove::new(
                 dirs,
                 net.rounds_used() - start,

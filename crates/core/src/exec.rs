@@ -22,10 +22,12 @@
 
 use crate::error::ProtocolError;
 use crate::ids::{AgentId, IdAssignment};
+use crate::structures::{fresh_structures, SharedStructures};
 use ring_sim::{
     EngineKind, LocalDirection, Model, Observation, Parity, RingConfig, RingState, RoundBuffers,
     RotationIndex,
 };
+use std::fmt;
 
 /// Reusable buffers for the zero-alloc round interface
 /// ([`Network::step_into`], [`Network::run_schedule`]).
@@ -52,7 +54,7 @@ impl StepBuffers {
 }
 
 /// The executor: hidden ground truth plus the round interface.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Network<'a> {
     ring: RingState<'a>,
     ids: IdAssignment,
@@ -61,6 +63,21 @@ pub struct Network<'a> {
     rounds: u64,
     last_rotation: Option<RotationIndex>,
     cumulative_dist: Vec<u64>,
+    structures: SharedStructures,
+}
+
+impl fmt::Debug for Network<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("ring", &self.ring)
+            .field("ids", &self.ids)
+            .field("model", &self.model)
+            .field("engine", &self.engine)
+            .field("rounds", &self.rounds)
+            .field("last_rotation", &self.last_rotation)
+            .field("structures", &"<dyn StructureProvider>")
+            .finish()
+    }
 }
 
 impl<'a> Network<'a> {
@@ -90,6 +107,7 @@ impl<'a> Network<'a> {
             engine: EngineKind::Analytic,
             rounds: 0,
             last_rotation: None,
+            structures: fresh_structures(),
         })
     }
 
@@ -98,6 +116,22 @@ impl<'a> Network<'a> {
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
         self
+    }
+
+    /// Installs a shared combinatorial-structure provider. Protocols obtain
+    /// their distinguishers and selective families through it, so a sweep
+    /// harness can hand every worker the same cache and have each structure
+    /// constructed once. The default ([`crate::structures::FreshStructures`])
+    /// constructs from scratch per request; either way the structures are
+    /// bit-identical, so outcomes do not depend on the provider.
+    pub fn with_structures(mut self, structures: SharedStructures) -> Self {
+        self.structures = structures;
+        self
+    }
+
+    /// The combinatorial-structure provider in force.
+    pub fn structures(&self) -> &SharedStructures {
+        &self.structures
     }
 
     // ------------------------------------------------------------------
@@ -228,6 +262,26 @@ impl<'a> Network<'a> {
     ) -> Result<Vec<Observation>, ProtocolError> {
         let reversed: Vec<LocalDirection> = directions.iter().map(|d| d.opposite()).collect();
         self.step(&reversed)
+    }
+
+    /// Zero-alloc variant of [`Network::step_reversed`]: the reversed
+    /// directions are built in the buffer set's direction scratch and the
+    /// round executes through [`Network::step_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::step_into`].
+    pub fn step_reversed_into(
+        &mut self,
+        directions: &[LocalDirection],
+        bufs: &mut StepBuffers,
+    ) -> Result<(), ProtocolError> {
+        let mut reversed = std::mem::take(&mut bufs.directions);
+        reversed.clear();
+        reversed.extend(directions.iter().map(|d| d.opposite()));
+        let result = self.step_into(&reversed, bufs);
+        bufs.directions = reversed;
+        result
     }
 
     /// Executes a whole direction schedule — one synchronized round per

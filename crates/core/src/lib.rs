@@ -61,6 +61,7 @@ pub mod knowledge;
 pub mod locate;
 pub mod perceptive;
 pub mod pipeline;
+pub mod structures;
 
 pub use coordination::diragr::{agree_direction, DirectionAgreement};
 pub use coordination::emptiness::{test_emptiness, EmptinessOutcome};
@@ -72,6 +73,7 @@ pub use exec::Network;
 pub use ids::{AgentId, IdAssignment};
 pub use knowledge::{GapKnowledge, KnowledgeConflict};
 pub use locate::{discover_locations, LocationDiscovery};
+pub use structures::{fresh_structures, FreshStructures, SharedStructures, StructureProvider};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
@@ -88,4 +90,5 @@ pub mod prelude {
     pub use crate::knowledge::GapKnowledge;
     pub use crate::locate::{discover_locations, LocationDiscovery};
     pub use crate::pipeline::{run_pipeline, PipelineReport};
+    pub use crate::structures::{fresh_structures, SharedStructures, StructureProvider};
 }

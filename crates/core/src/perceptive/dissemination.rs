@@ -22,8 +22,27 @@
 
 use crate::error::ProtocolError;
 use crate::exec::Network;
-use crate::perceptive::link::RingLink;
+use crate::perceptive::link::{FrameBuffers, NeighborFrames, RingLink};
 use ring_sim::Frame;
+
+/// Reusable scratch for the zero-alloc flooding primitives
+/// ([`flood_max_with`], [`flood_nearest_with`]): the frame-exchange buffers
+/// plus per-hop carry registers.
+#[derive(Clone, Debug, Default)]
+pub struct FloodBuffers {
+    frames: FrameBuffers,
+    rx: Vec<NeighborFrames>,
+    carry_cw: Vec<Option<u64>>,
+    carry_acw: Vec<Option<u64>>,
+}
+
+impl FloodBuffers {
+    /// Creates an empty buffer set (vectors grow to the ring size on first
+    /// use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Result of [`flood_nearest`] for one agent.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -54,6 +73,28 @@ pub fn flood_max(
     bits: u32,
     distance: usize,
 ) -> Result<(Vec<Option<u64>>, u64), ProtocolError> {
+    let mut bufs = FloodBuffers::new();
+    let mut best = Vec::new();
+    let rounds = flood_max_with(net, link, candidate, bits, distance, &mut bufs, &mut best)?;
+    Ok((best, rounds))
+}
+
+/// Zero-alloc variant of [`flood_max`]: all rounds execute through
+/// caller-owned buffers and the per-agent maxima are written into `best`
+/// (cleared first). Returns the rounds consumed.
+///
+/// # Errors
+///
+/// Same as [`flood_max`].
+pub fn flood_max_with(
+    net: &mut Network<'_>,
+    link: &RingLink,
+    candidate: &[Option<u64>],
+    bits: u32,
+    distance: usize,
+    bufs: &mut FloodBuffers,
+    best: &mut Vec<Option<u64>>,
+) -> Result<u64, ProtocolError> {
     let n = net.len();
     if candidate.len() != n {
         return Err(ProtocolError::LengthMismatch {
@@ -63,20 +104,21 @@ pub fn flood_max(
         });
     }
     let start = net.rounds_used();
-    let mut best: Vec<Option<u64>> = candidate.to_vec();
+    best.clear();
+    best.extend_from_slice(candidate);
     for _hop in 0..distance {
-        let frames = link.exchange_frames(net, &best, bits)?;
-        for agent in 0..n {
-            let incoming = frames[agent].from_right.into_iter().chain(frames[agent].from_left);
+        link.exchange_frames_with(net, best, bits, &mut bufs.frames, &mut bufs.rx)?;
+        for (slot, rx) in best.iter_mut().zip(&bufs.rx) {
+            let incoming = rx.from_right.into_iter().chain(rx.from_left);
             for v in incoming {
-                best[agent] = Some(match best[agent] {
+                *slot = Some(match *slot {
                     Some(b) => b.max(v),
                     None => v,
                 });
             }
         }
     }
-    Ok((best, net.rounds_used() - start))
+    Ok(net.rounds_used() - start)
 }
 
 /// Floods source values over ring distance `distance`, letting every agent
@@ -97,6 +139,30 @@ pub fn flood_nearest(
     bits: u32,
     distance: usize,
 ) -> Result<(Vec<NearestSources>, u64), ProtocolError> {
+    let mut bufs = FloodBuffers::new();
+    let mut result = Vec::new();
+    let rounds = flood_nearest_with(net, link, frames, values, bits, distance, &mut bufs, &mut result)?;
+    Ok((result, rounds))
+}
+
+/// Zero-alloc variant of [`flood_nearest`]: all rounds execute through
+/// caller-owned buffers and the per-agent nearest sources are written into
+/// `result` (cleared first). Returns the rounds consumed.
+///
+/// # Errors
+///
+/// Same as [`flood_nearest`].
+#[allow(clippy::too_many_arguments)]
+pub fn flood_nearest_with(
+    net: &mut Network<'_>,
+    link: &RingLink,
+    frames: &[Frame],
+    values: &[Option<u64>],
+    bits: u32,
+    distance: usize,
+    bufs: &mut FloodBuffers,
+    result: &mut Vec<NearestSources>,
+) -> Result<u64, ProtocolError> {
     let n = net.len();
     if values.len() != n || frames.len() != n {
         return Err(ProtocolError::LengthMismatch {
@@ -106,54 +172,55 @@ pub fn flood_nearest(
         });
     }
     let start = net.rounds_used();
-    let mut result = vec![NearestSources::default(); n];
+    result.clear();
+    result.resize(n, NearestSources::default());
 
     // Shift registers: `carry_cw[i]` is the value of the source exactly
     // `hop − 1` logical-left positions away from agent `i` (it travels in
     // the logical-clockwise direction), and symmetrically for `carry_acw`.
-    let mut carry_cw: Vec<Option<u64>> = values.to_vec();
-    let mut carry_acw: Vec<Option<u64>> = values.to_vec();
+    // Each hop's new carry depends only on that hop's received frames, so
+    // the registers are overwritten in place.
+    bufs.carry_cw.clear();
+    bufs.carry_cw.extend_from_slice(values);
+    bufs.carry_acw.clear();
+    bufs.carry_acw.extend_from_slice(values);
 
     for hop in 1..=distance {
         // Stream moving logically clockwise: every agent forwards its carry;
         // receivers take the value arriving from their logical left.
-        let frames_cw = link.exchange_frames(net, &carry_cw, bits)?;
-        let mut next_cw = vec![None; n];
+        link.exchange_frames_with(net, &bufs.carry_cw, bits, &mut bufs.frames, &mut bufs.rx)?;
         for agent in 0..n {
             let from_logical_left = if frames[agent].is_flipped() {
-                frames_cw[agent].from_right
+                bufs.rx[agent].from_right
             } else {
-                frames_cw[agent].from_left
+                bufs.rx[agent].from_left
             };
-            next_cw[agent] = from_logical_left;
+            bufs.carry_cw[agent] = from_logical_left;
             if let Some(v) = from_logical_left {
                 if result[agent].from_left.is_none() {
                     result[agent].from_left = Some((hop, v));
                 }
             }
         }
-        carry_cw = next_cw;
 
         // Stream moving logically anticlockwise.
-        let frames_acw = link.exchange_frames(net, &carry_acw, bits)?;
-        let mut next_acw = vec![None; n];
+        link.exchange_frames_with(net, &bufs.carry_acw, bits, &mut bufs.frames, &mut bufs.rx)?;
         for agent in 0..n {
             let from_logical_right = if frames[agent].is_flipped() {
-                frames_acw[agent].from_left
+                bufs.rx[agent].from_left
             } else {
-                frames_acw[agent].from_right
+                bufs.rx[agent].from_right
             };
-            next_acw[agent] = from_logical_right;
+            bufs.carry_acw[agent] = from_logical_right;
             if let Some(v) = from_logical_right {
                 if result[agent].from_right.is_none() {
                     result[agent].from_right = Some((hop, v));
                 }
             }
         }
-        carry_acw = next_acw;
     }
 
-    Ok((result, net.rounds_used() - start))
+    Ok(net.rounds_used() - start)
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 
 use crate::coordination::leader::elect_leader_with_move;
 use crate::error::ProtocolError;
-use crate::exec::Network;
+use crate::exec::{Network, StepBuffers};
 use crate::knowledge::GapKnowledge;
 use crate::locate::{
     cumulative_dist_logical, AgentView, LocationDiscovery, LocationMethod,
@@ -59,10 +59,20 @@ fn pivot_direction(label: usize, c: usize, n: usize) -> LocalDirection {
 /// (anticlockwise) that moves clockwise — under the given per-label rule.
 /// These determine which contiguous gap interval a first-collision
 /// observation spans (Proposition 4).
-fn collision_spans(rule: &dyn Fn(usize) -> LocalDirection, n: usize) -> (Vec<usize>, Vec<usize>) {
-    let dirs: Vec<LocalDirection> = (1..=n).map(rule).collect();
-    let mut ahead = vec![0usize; n + 1];
-    let mut behind = vec![0usize; n + 1];
+fn collision_spans_into(
+    rule: &dyn Fn(usize) -> LocalDirection,
+    n: usize,
+    scratch: &mut MeasureScratch,
+) {
+    scratch.rule_dirs.clear();
+    scratch.rule_dirs.extend((1..=n).map(rule));
+    let dirs = &scratch.rule_dirs;
+    let ahead = &mut scratch.ahead;
+    let behind = &mut scratch.behind;
+    ahead.clear();
+    ahead.resize(n + 1, 0);
+    behind.clear();
+    behind.resize(n + 1, 0);
     for label in 1..=n {
         let mut d = 0;
         for step in 1..=n {
@@ -81,7 +91,17 @@ fn collision_spans(rule: &dyn Fn(usize) -> LocalDirection, n: usize) -> (Vec<usi
         }
         behind[label] = d;
     }
-    (ahead, behind)
+}
+
+/// Reusable scratch for the measurement rounds of Algorithm 6: the step
+/// buffers, the physical direction buffer and the collision-span tables.
+#[derive(Clone, Debug, Default)]
+struct MeasureScratch {
+    step: StepBuffers,
+    dirs: Vec<LocalDirection>,
+    rule_dirs: Vec<LocalDirection>,
+    ahead: Vec<usize>,
+    behind: Vec<usize>,
 }
 
 /// Records the equations contributed by one round of the measurement phase
@@ -202,6 +222,7 @@ pub fn discover_locations_perceptive(
 
     let mut knowledge: Vec<GapKnowledge> = (0..n).map(|_| GapKnowledge::new(n)).collect();
     let mut rotations = 0usize;
+    let mut scratch = MeasureScratch::default();
 
     // Convolution sweep: n/2 rounds of rotation index 2, the exception agent
     // sweeping the even labels downwards.
@@ -216,6 +237,7 @@ pub fn discover_locations_perceptive(
             &rule,
             rotations,
             &mut knowledge,
+            &mut scratch,
         )?;
         rotations += 2;
     }
@@ -237,6 +259,7 @@ pub fn discover_locations_perceptive(
             &rule,
             rotations,
             &mut knowledge,
+            &mut scratch,
         )?;
     }
 
@@ -271,7 +294,10 @@ pub fn discover_locations_perceptive(
 }
 
 /// Executes one measurement round under the given per-label direction rule
-/// and records every agent's equations.
+/// and records every agent's equations. All buffers live in `scratch`, so
+/// the round allocates nothing once the vectors have grown to the ring
+/// size.
+#[allow(clippy::too_many_arguments)]
 fn run_measurement_round(
     net: &mut Network<'_>,
     frames: &[Frame],
@@ -280,14 +306,16 @@ fn run_measurement_round(
     rule: &dyn Fn(usize) -> LocalDirection,
     rotations: usize,
     knowledge: &mut [GapKnowledge],
+    scratch: &mut MeasureScratch,
 ) -> Result<(), ProtocolError> {
-    let dirs: Vec<LocalDirection> = (0..n)
-        .map(|agent| frames[agent].to_physical(rule(labels[agent])))
-        .collect();
-    let (ahead, behind) = collision_spans(rule, n);
-    let obs = net.step(&dirs)?;
+    scratch.dirs.clear();
+    scratch
+        .dirs
+        .extend((0..n).map(|agent| frames[agent].to_physical(rule(labels[agent]))));
+    collision_spans_into(rule, n, scratch);
+    net.step_into(&scratch.dirs, &mut scratch.step)?;
     for agent in 0..n {
-        let logical = frames[agent].observation_to_logical(obs[agent]);
+        let logical = frames[agent].observation_to_logical(scratch.step.observations()[agent]);
         let label = labels[agent];
         let site = (label - 1 + rotations) % n + 1;
         record_equations(
@@ -297,8 +325,8 @@ fn run_measurement_round(
             site,
             &logical,
             rule(label),
-            &ahead,
-            &behind,
+            &scratch.ahead,
+            &scratch.behind,
         )?;
     }
     Ok(())
@@ -332,14 +360,15 @@ mod tests {
     fn collision_spans_match_the_pattern() {
         let n = 8;
         let rule = |label: usize| convolution_direction(label, 8);
-        let (ahead, behind) = collision_spans(&rule, n);
+        let mut scratch = MeasureScratch::default();
+        collision_spans_into(&rule, n, &mut scratch);
         // Label 1 moves right; label 2 moves left: span 1.
-        assert_eq!(ahead[1], 1);
+        assert_eq!(scratch.ahead[1], 1);
         // Label 7 moves right, label 8 is the exception (right), label 1 is
         // odd (right), label 2 left: span 3.
-        assert_eq!(ahead[7], 3);
+        assert_eq!(scratch.ahead[7], 3);
         // Label 2 moves left; label 1 (behind it) moves right: span 1.
-        assert_eq!(behind[2], 1);
+        assert_eq!(scratch.behind[2], 1);
     }
 
     #[test]

@@ -13,9 +13,50 @@
 //! unit the dissemination primitives are built from.
 
 use crate::error::ProtocolError;
-use crate::exec::Network;
+use crate::exec::{Network, StepBuffers};
 use crate::perceptive::neighbors::{discover_neighbors, NeighborInfo, NeighborMap};
 use ring_sim::{LocalDirection, Observation};
+
+/// Reusable scratch for the zero-alloc bit exchange
+/// ([`RingLink::exchange_bits_with`]): one [`StepBuffers`] for the four
+/// rounds, one direction buffer and a copy of the first information round's
+/// observations (the second information round's live in the step buffers).
+#[derive(Clone, Debug, Default)]
+pub struct LinkBuffers {
+    step: StepBuffers,
+    dirs: Vec<LocalDirection>,
+    obs_first: Vec<Observation>,
+}
+
+impl LinkBuffers {
+    /// Creates an empty buffer set (vectors grow to the ring size on first
+    /// use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Reusable scratch for the zero-alloc frame exchange
+/// ([`RingLink::exchange_frames_with`]): the underlying [`LinkBuffers`]
+/// plus per-exchange payload and accumulator buffers.
+#[derive(Clone, Debug, Default)]
+pub struct FrameBuffers {
+    link: LinkBuffers,
+    payload: Vec<bool>,
+    rx: Vec<NeighborBits>,
+    right_present: Vec<bool>,
+    left_present: Vec<bool>,
+    right_value: Vec<u64>,
+    left_value: Vec<u64>,
+}
+
+impl FrameBuffers {
+    /// Creates an empty buffer set (vectors grow to the ring size on first
+    /// use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Bits received from the two neighbours in one exchange slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,6 +134,27 @@ impl RingLink {
         net: &mut Network<'_>,
         bits: &[bool],
     ) -> Result<Vec<NeighborBits>, ProtocolError> {
+        let mut bufs = LinkBuffers::new();
+        let mut out = Vec::with_capacity(self.infos.len());
+        self.exchange_bits_with(net, bits, &mut bufs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Zero-alloc variant of [`RingLink::exchange_bits`]: the four rounds
+    /// execute through caller-owned buffers and the received bits are
+    /// written into `out` (cleared first). After the buffers reach the ring
+    /// size, no exchange allocates.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RingLink::exchange_bits`].
+    pub fn exchange_bits_with(
+        &self,
+        net: &mut Network<'_>,
+        bits: &[bool],
+        bufs: &mut LinkBuffers,
+        out: &mut Vec<NeighborBits>,
+    ) -> Result<(), ProtocolError> {
         let n = self.infos.len();
         if bits.len() != n {
             return Err(ProtocolError::LengthMismatch {
@@ -104,25 +166,35 @@ impl RingLink {
         // Round A: bit 1 ↦ right, bit 0 ↦ left; round B: the opposite
         // encoding. Each is undone immediately so that both information
         // rounds see the same neighbour gaps.
-        let dirs_a: Vec<LocalDirection> = bits.iter().map(|&b| LocalDirection::from_bit(b)).collect();
-        let obs_a = net.step(&dirs_a)?;
-        net.step_reversed(&dirs_a)?;
-        let dirs_b: Vec<LocalDirection> = dirs_a.iter().map(|d| d.opposite()).collect();
-        let obs_b = net.step(&dirs_b)?;
-        net.step_reversed(&dirs_b)?;
+        bufs.dirs.clear();
+        bufs.dirs
+            .extend(bits.iter().map(|&b| LocalDirection::from_bit(b)));
+        net.step_into(&bufs.dirs, &mut bufs.step)?;
+        bufs.obs_first.clear();
+        bufs.obs_first.extend_from_slice(bufs.step.observations());
+        net.step_reversed_into(&bufs.dirs, &mut bufs.step)?;
+        for d in bufs.dirs.iter_mut() {
+            *d = d.opposite();
+        }
+        net.step_into(&bufs.dirs, &mut bufs.step)?;
 
-        let mut out = Vec::with_capacity(n);
-        for agent in 0..n {
+        // Decode from the two information rounds (round B's observations
+        // are still live in the step buffers; the closing reversal below
+        // does not contribute information).
+        out.clear();
+        for (agent, &bit) in bits.iter().enumerate() {
             let info = self.infos[agent];
+            let obs_a = &bufs.obs_first[agent];
+            let obs_b = &bufs.step.observations()[agent];
             // Observations of the rounds in which this agent moved right and
             // left respectively.
-            let (obs_when_right, obs_when_left): (&Observation, &Observation) = if bits[agent] {
-                (&obs_a[agent], &obs_b[agent])
+            let (obs_when_right, obs_when_left): (&Observation, &Observation) = if bit {
+                (obs_a, obs_b)
             } else {
-                (&obs_b[agent], &obs_a[agent])
+                (obs_b, obs_a)
             };
-            let right_round_is_a = bits[agent];
-            let left_round_is_a = !bits[agent];
+            let right_round_is_a = bit;
+            let left_round_is_a = !bit;
 
             let right_approached = obs_when_right.coll == Some(info.right_gap.half());
             let left_approached = obs_when_left.coll == Some(info.left_gap.half());
@@ -160,7 +232,8 @@ impl RingLink {
                 from_left,
             });
         }
-        Ok(out)
+        net.step_reversed_into(&bufs.dirs, &mut bufs.step)?;
+        Ok(())
     }
 
     /// Exchanges a fixed-width optional value with both neighbours: one
@@ -177,6 +250,27 @@ impl RingLink {
         values: &[Option<u64>],
         bits: u32,
     ) -> Result<Vec<NeighborFrames>, ProtocolError> {
+        let mut bufs = FrameBuffers::new();
+        let mut out = Vec::with_capacity(self.infos.len());
+        self.exchange_frames_with(net, values, bits, &mut bufs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Zero-alloc variant of [`RingLink::exchange_frames`]: all
+    /// `4 · (bits + 1)` rounds run through caller-owned buffers and the
+    /// received frames are written into `out` (cleared first).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RingLink::exchange_frames`].
+    pub fn exchange_frames_with(
+        &self,
+        net: &mut Network<'_>,
+        values: &[Option<u64>],
+        bits: u32,
+        bufs: &mut FrameBuffers,
+        out: &mut Vec<NeighborFrames>,
+    ) -> Result<(), ProtocolError> {
         let n = self.infos.len();
         if values.len() != n {
             return Err(ProtocolError::LengthMismatch {
@@ -186,37 +280,43 @@ impl RingLink {
             });
         }
         // Presence bit.
-        let presence: Vec<bool> = values.iter().map(|v| v.is_some()).collect();
-        let mut right_present = Vec::with_capacity(n);
-        let mut left_present = Vec::with_capacity(n);
-        for nb in self.exchange_bits(net, &presence)? {
-            right_present.push(nb.from_right);
-            left_present.push(nb.from_left);
+        bufs.payload.clear();
+        bufs.payload.extend(values.iter().map(|v| v.is_some()));
+        self.exchange_bits_with(net, &bufs.payload, &mut bufs.link, &mut bufs.rx)?;
+        bufs.right_present.clear();
+        bufs.left_present.clear();
+        for nb in &bufs.rx {
+            bufs.right_present.push(nb.from_right);
+            bufs.left_present.push(nb.from_left);
         }
         // Payload bits, most significant first.
-        let mut right_value = vec![0u64; n];
-        let mut left_value = vec![0u64; n];
+        bufs.right_value.clear();
+        bufs.right_value.resize(n, 0);
+        bufs.left_value.clear();
+        bufs.left_value.resize(n, 0);
         for bit in (0..bits).rev() {
-            let payload: Vec<bool> = values
-                .iter()
-                .map(|v| v.is_some_and(|x| (x >> bit) & 1 == 1))
-                .collect();
-            let exchanged = self.exchange_bits(net, &payload)?;
+            bufs.payload.clear();
+            bufs.payload.extend(
+                values
+                    .iter()
+                    .map(|v| v.is_some_and(|x| (x >> bit) & 1 == 1)),
+            );
+            self.exchange_bits_with(net, &bufs.payload, &mut bufs.link, &mut bufs.rx)?;
             for agent in 0..n {
-                if exchanged[agent].from_right {
-                    right_value[agent] |= 1 << bit;
+                if bufs.rx[agent].from_right {
+                    bufs.right_value[agent] |= 1 << bit;
                 }
-                if exchanged[agent].from_left {
-                    left_value[agent] |= 1 << bit;
+                if bufs.rx[agent].from_left {
+                    bufs.left_value[agent] |= 1 << bit;
                 }
             }
         }
-        Ok((0..n)
-            .map(|agent| NeighborFrames {
-                from_right: right_present[agent].then_some(right_value[agent]),
-                from_left: left_present[agent].then_some(left_value[agent]),
-            })
-            .collect())
+        out.clear();
+        out.extend((0..n).map(|agent| NeighborFrames {
+            from_right: bufs.right_present[agent].then_some(bufs.right_value[agent]),
+            from_left: bufs.left_present[agent].then_some(bufs.left_value[agent]),
+        }));
+        Ok(())
     }
 }
 

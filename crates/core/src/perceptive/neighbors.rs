@@ -24,7 +24,7 @@
 //! chirality.
 
 use crate::error::ProtocolError;
-use crate::exec::Network;
+use crate::exec::{Network, StepBuffers};
 use ring_sim::{ArcLength, LocalDirection};
 
 /// What one agent knows about its two ring neighbours after discovery, in
@@ -104,24 +104,28 @@ pub fn discover_neighbors(net: &mut Network<'_>) -> Result<NeighborMap, Protocol
         }
     };
 
+    // One direction buffer and one step-buffer arena serve every round of
+    // the discovery: after they reach the ring size, no round allocates.
+    let mut bufs = StepBuffers::new();
+    let mut dirs: Vec<LocalDirection> = Vec::with_capacity(n);
+
     // Bit rounds: for every identifier bit, every bit value and every
     // direction, agents whose bit matches move that way and the others move
     // the opposite way.
     for bit in 0..net.id_bits() {
         for value in [false, true] {
             for dir in [LocalDirection::Right, LocalDirection::Left] {
-                let dirs: Vec<LocalDirection> = (0..n)
-                    .map(|agent| {
-                        if net.id_of(agent).bit(bit) == value {
-                            dir
-                        } else {
-                            dir.opposite()
-                        }
-                    })
-                    .collect();
-                let obs = net.step(&dirs)?;
-                record(&dirs, &obs, &mut min_right, &mut min_left);
-                net.step_reversed(&dirs)?;
+                dirs.clear();
+                dirs.extend((0..n).map(|agent| {
+                    if net.id_of(agent).bit(bit) == value {
+                        dir
+                    } else {
+                        dir.opposite()
+                    }
+                }));
+                net.step_into(&dirs, &mut bufs)?;
+                record(&dirs, bufs.observations(), &mut min_right, &mut min_left);
+                net.step_reversed_into(&dirs, &mut bufs)?;
             }
         }
     }
@@ -129,21 +133,23 @@ pub fn discover_neighbors(net: &mut Network<'_>) -> Result<NeighborMap, Protocol
     // Everybody right, then everybody left: these rounds guarantee an
     // approach between neighbours of opposite chirality and reveal relative
     // chirality on each side.
-    let dirs = vec![LocalDirection::Right; n];
-    let obs = net.step(&dirs)?;
-    for agent in 0..n {
-        all_right_coll[agent] = obs[agent].coll;
+    dirs.clear();
+    dirs.extend(std::iter::repeat_n(LocalDirection::Right, n));
+    net.step_into(&dirs, &mut bufs)?;
+    for (agent, obs) in bufs.observations().iter().enumerate() {
+        all_right_coll[agent] = obs.coll;
     }
-    record(&dirs, &obs, &mut min_right, &mut min_left);
-    net.step_reversed(&dirs)?;
+    record(&dirs, bufs.observations(), &mut min_right, &mut min_left);
+    net.step_reversed_into(&dirs, &mut bufs)?;
 
-    let dirs = vec![LocalDirection::Left; n];
-    let obs = net.step(&dirs)?;
-    for agent in 0..n {
-        all_left_coll[agent] = obs[agent].coll;
+    dirs.clear();
+    dirs.extend(std::iter::repeat_n(LocalDirection::Left, n));
+    net.step_into(&dirs, &mut bufs)?;
+    for (agent, obs) in bufs.observations().iter().enumerate() {
+        all_left_coll[agent] = obs.coll;
     }
-    record(&dirs, &obs, &mut min_right, &mut min_left);
-    net.step_reversed(&dirs)?;
+    record(&dirs, bufs.observations(), &mut min_right, &mut min_left);
+    net.step_reversed_into(&dirs, &mut bufs)?;
 
     let mut infos = Vec::with_capacity(n);
     for agent in 0..n {

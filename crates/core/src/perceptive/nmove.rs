@@ -23,10 +23,10 @@
 //! harness).
 
 use crate::coordination::nontrivial::{NontrivialMove, NontrivialStrategy};
-use crate::coordination::probe::{probe_move, MoveClass};
+use crate::coordination::probe::{probe_move_with, MoveClass};
 use crate::error::ProtocolError;
-use crate::exec::Network;
-use crate::perceptive::dissemination::flood_max;
+use crate::exec::{Network, StepBuffers};
+use crate::perceptive::dissemination::{flood_max_with, FloodBuffers};
 use crate::perceptive::link::RingLink;
 use ring_sim::LocalDirection;
 
@@ -69,10 +69,11 @@ fn sets_per_scale(universe: u64, scale: u32) -> u64 {
 pub fn nmove_s(net: &mut Network<'_>, seed: u64) -> Result<NontrivialMove, ProtocolError> {
     let n = net.len();
     let start = net.rounds_used();
+    let mut bufs = StepBuffers::new();
 
     // Step 1: maybe the all-right round is already nontrivial.
     let all_right = vec![LocalDirection::Right; n];
-    if probe_move(net, &all_right)? == MoveClass::Nontrivial {
+    if probe_move_with(net, &all_right, &mut bufs)? == MoveClass::Nontrivial {
         return Ok(NontrivialMove::new(
             all_right,
             net.rounds_used() - start,
@@ -84,7 +85,12 @@ pub fn nmove_s(net: &mut Network<'_>, seed: u64) -> Result<NontrivialMove, Proto
     let (link, _) = RingLink::establish(net)?;
     let id_bits = net.id_bits();
 
-    // Step 3: local leaders at exponentially growing radii.
+    // Step 3: local leaders at exponentially growing radii. The flooding,
+    // probing and direction scratch is reused across all levels and sets.
+    let mut flood = FloodBuffers::new();
+    let mut values: Vec<Option<u64>> = Vec::with_capacity(n);
+    let mut best: Vec<Option<u64>> = Vec::with_capacity(n);
+    let mut dirs: Vec<LocalDirection> = Vec::with_capacity(n);
     let mut candidate: Vec<bool> = vec![true; n];
     let max_level = id_bits + 1;
     for level in 0..=max_level {
@@ -92,10 +98,9 @@ pub fn nmove_s(net: &mut Network<'_>, seed: u64) -> Result<NontrivialMove, Proto
 
         // Thin the candidates: a candidate survives iff its identifier is
         // the maximum among candidates within ring distance `radius`.
-        let values: Vec<Option<u64>> = (0..n)
-            .map(|agent| candidate[agent].then(|| net.id_of(agent).value()))
-            .collect();
-        let (best, _) = flood_max(net, &link, &values, id_bits, radius)?;
+        values.clear();
+        values.extend((0..n).map(|agent| candidate[agent].then(|| net.id_of(agent).value())));
+        flood_max_with(net, &link, &values, id_bits, radius, &mut flood, &mut best)?;
         for agent in 0..n {
             candidate[agent] =
                 candidate[agent] && best[agent] == Some(net.id_of(agent).value());
@@ -107,19 +112,18 @@ pub fn nmove_s(net: &mut Network<'_>, seed: u64) -> Result<NontrivialMove, Proto
         for scale in 0..=level {
             let sets = sets_per_scale(net.universe(), scale);
             for set_index in 0..sets {
-                let dirs: Vec<LocalDirection> = (0..n)
-                    .map(|agent| {
-                        let id = net.id_of(agent).value();
-                        if candidate[agent]
-                            && implicit_member(seed, level, scale, set_index, id)
-                        {
-                            LocalDirection::Left
-                        } else {
-                            LocalDirection::Right
-                        }
-                    })
-                    .collect();
-                if probe_move(net, &dirs)? == MoveClass::Nontrivial {
+                dirs.clear();
+                dirs.extend((0..n).map(|agent| {
+                    let id = net.id_of(agent).value();
+                    if candidate[agent]
+                        && implicit_member(seed, level, scale, set_index, id)
+                    {
+                        LocalDirection::Left
+                    } else {
+                        LocalDirection::Right
+                    }
+                }));
+                if probe_move_with(net, &dirs, &mut bufs)? == MoveClass::Nontrivial {
                     return Ok(NontrivialMove::new(
                         dirs,
                         net.rounds_used() - start,

@@ -26,8 +26,8 @@
 //! The total cost is `O(√n · log N)` rounds.
 
 use crate::error::ProtocolError;
-use crate::exec::Network;
-use crate::perceptive::dissemination::flood_nearest;
+use crate::exec::{Network, StepBuffers};
+use crate::perceptive::dissemination::{flood_nearest_with, FloodBuffers, NearestSources};
 use crate::perceptive::link::RingLink;
 use ring_sim::{Frame, LocalDirection, CIRCUMFERENCE};
 
@@ -94,9 +94,20 @@ pub fn ring_distances(
         .collect();
     let mut is_last = vec![false; n];
 
+    // Scratch reused by every phase of every iteration: after the vectors
+    // reach the ring size, no round of the protocol allocates.
+    let mut bufs = StepBuffers::new();
+    let mut dirs: Vec<LocalDirection> = Vec::with_capacity(n);
+    let mut flood = FloodBuffers::new();
+    let mut nearest: Vec<NearestSources> = Vec::with_capacity(n);
+    let mut sources: Vec<Option<u64>> = Vec::with_capacity(n);
+    let mut z: Vec<Option<u64>> = Vec::with_capacity(n);
+    let mut y_sums: Vec<Vec<u64>> = vec![Vec::new(); n];
+
     // Initial dissemination: the leader announces itself over distance 4.
-    let leader_marker: Vec<Option<u64>> = is_leader.iter().map(|&l| l.then_some(1)).collect();
-    let (nearest, _) = flood_nearest(net, link, frames, &leader_marker, 2, 4)?;
+    sources.clear();
+    sources.extend(is_leader.iter().map(|&l| l.then_some(1u64)));
+    flood_nearest_with(net, link, frames, &sources, 2, 4, &mut flood, &mut nearest)?;
     for agent in 0..n {
         if label[agent].is_none() {
             if let Some((hops, _)) = nearest[agent].from_left {
@@ -110,19 +121,19 @@ pub fn ring_distances(
 
     // Direction rule of Shift(l): agents with a known label ≤ threshold move
     // logically clockwise (for positive shifts) and everybody else moves the
-    // other way.
-    let shift_dirs = |label: &[Option<usize>], threshold: usize, positive: bool| {
-        (0..n)
-            .map(|agent| {
+    // other way. Directions are written into the reusable buffer.
+    let fill_shift_dirs =
+        |label: &[Option<usize>], threshold: usize, positive: bool, dirs: &mut Vec<LocalDirection>| {
+            dirs.clear();
+            dirs.extend((0..n).map(|agent| {
                 let in_prefix = label[agent].is_some_and(|l| l <= threshold);
                 let logical = match (in_prefix, positive) {
                     (true, true) | (false, false) => LocalDirection::Right,
                     (true, false) | (false, true) => LocalDirection::Left,
                 };
                 frames[agent].to_physical(logical)
-            })
-            .collect::<Vec<_>>()
-    };
+            }));
+        };
 
     let max_iter = net.id_bits() + 2;
     let mut completed = false;
@@ -131,12 +142,14 @@ pub fn ring_distances(
 
         // Phase A: k executions of Shift(−k/2); record the traversed gap
         // blocks y_1, …, y_k.
-        let mut y_sums: Vec<Vec<u64>> = vec![Vec::with_capacity(k); n];
-        let dirs_neg_half = shift_dirs(&label, k / 2, false);
+        for sums in &mut y_sums {
+            sums.clear();
+        }
+        fill_shift_dirs(&label, k / 2, false, &mut dirs);
         for _ in 0..k {
-            let obs = net.step(&dirs_neg_half)?;
-            for agent in 0..n {
-                let logical = frames[agent].observation_to_logical(obs[agent]);
+            net.step_into(&dirs, &mut bufs)?;
+            for (agent, obs) in bufs.observations().iter().enumerate() {
+                let logical = frames[agent].observation_to_logical(*obs);
                 let traversed = if logical.dist.is_zero() {
                     0
                 } else {
@@ -147,16 +160,22 @@ pub fn ring_distances(
             }
         }
         // Phase B: undo the shifts.
-        let dirs_pos_half = shift_dirs(&label, k / 2, true);
+        fill_shift_dirs(&label, k / 2, true, &mut dirs);
         for _ in 0..k {
-            net.step(&dirs_pos_half)?;
+            net.step_into(&dirs, &mut bufs)?;
         }
 
         // Phase C: Shift(k), collect z, undo.
-        let dirs_k = shift_dirs(&label, k, true);
-        let obs = net.step(&dirs_k)?;
-        let z: Vec<Option<u64>> = obs.iter().map(|o| o.coll.map(|c| c.ticks())).collect();
-        net.step(&shift_dirs(&label, k, false))?;
+        fill_shift_dirs(&label, k, true, &mut dirs);
+        net.step_into(&dirs, &mut bufs)?;
+        z.clear();
+        z.extend(
+            bufs.observations()
+                .iter()
+                .map(|o| o.coll.map(|c| c.ticks())),
+        );
+        fill_shift_dirs(&label, k, false, &mut dirs);
+        net.step_into(&dirs, &mut bufs)?;
 
         // Label detection (Corollary 38).
         for agent in 0..n {
@@ -178,8 +197,9 @@ pub fn ring_distances(
         // hop-by-hop flooding costs the same regardless of source density,
         // and letting every labelled agent participate avoids having to
         // re-derive which previously-learned labels sit on the k-grid.)
-        let sources: Vec<Option<u64>> = label.iter().map(|l| l.map(|v| v as u64)).collect();
-        let (nearest, _) = flood_nearest(net, link, frames, &sources, label_bits, k)?;
+        sources.clear();
+        sources.extend(label.iter().map(|l| l.map(|v| v as u64)));
+        flood_nearest_with(net, link, frames, &sources, label_bits, k, &mut flood, &mut nearest)?;
         for agent in 0..n {
             if label[agent].is_some() {
                 continue;
@@ -195,23 +215,22 @@ pub fn ring_distances(
 
         // CheckCompleteness: only the leader's left neighbour may move
         // clockwise, and only once it knows its own label.
-        let check_dirs: Vec<LocalDirection> = (0..n)
-            .map(|agent| {
-                let logical = if is_last[agent] && label[agent].is_some() {
-                    LocalDirection::Right
-                } else {
-                    LocalDirection::Left
-                };
-                frames[agent].to_physical(logical)
-            })
-            .collect();
-        let obs = net.step(&check_dirs)?;
-        if !obs[0].dist.is_zero() {
+        dirs.clear();
+        dirs.extend((0..n).map(|agent| {
+            let logical = if is_last[agent] && label[agent].is_some() {
+                LocalDirection::Right
+            } else {
+                LocalDirection::Left
+            };
+            frames[agent].to_physical(logical)
+        }));
+        net.step_into(&dirs, &mut bufs)?;
+        if !bufs.observations()[0].dist.is_zero() {
             // Undo the displacement of the successful check so that the
             // collision link established earlier (whose gap table refers to
             // the positions at the start of this protocol) stays valid for
             // subsequent phases.
-            net.step_reversed(&check_dirs)?;
+            net.step_reversed_into(&dirs, &mut bufs)?;
             completed = true;
             break;
         }

@@ -6,13 +6,14 @@
 //! a fresh executor and reports the cost; [`run_pipeline`] does so for all
 //! four problems of Table I.
 //!
-//! The nontrivial-move routes, the probe layer and the basic/lazy location
-//! sweeps execute through the batched round interface
-//! ([`crate::exec::StepBuffers`] / [`crate::exec::Network::run_schedule`]):
-//! one scratch arena per protocol run, no per-round heap allocation. The
-//! leader-election, direction-agreement and perceptive-model drivers still
-//! go through the allocating [`crate::exec::Network::step`] (see the
-//! ROADMAP's open items for the remaining batching targets).
+//! The nontrivial-move routes, the probe layer, the basic/lazy location
+//! sweeps and the whole perceptive stack (collision link, flooding,
+//! `NMoveS`, `RingDist`, `Distances`) execute through the batched round
+//! interface ([`crate::exec::StepBuffers`] /
+//! [`crate::exec::Network::run_schedule`]): one scratch arena per protocol
+//! run, no per-round heap allocation. Only the low-frequency
+//! leader-election and direction-agreement drivers still go through the
+//! allocating [`crate::exec::Network::step`] (a handful of rounds per run).
 
 use crate::coordination::diragr::agree_direction;
 use crate::coordination::leader::elect_leader;
@@ -21,6 +22,7 @@ use crate::error::ProtocolError;
 use crate::exec::Network;
 use crate::ids::IdAssignment;
 use crate::locate::{discover_locations, verify_location_discovery};
+use crate::structures::{fresh_structures, SharedStructures};
 use ring_sim::{Model, Parity, RingConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -110,7 +112,25 @@ pub fn measure_problem(
     model: Model,
     problem: Problem,
 ) -> Result<ProblemCost, ProtocolError> {
-    let mut net = Network::new(config, ids.clone(), model)?;
+    measure_problem_with(config, ids, model, problem, &fresh_structures())
+}
+
+/// [`measure_problem`] with an explicit combinatorial-structure provider:
+/// the executor obtains its distinguishers through `structures`, so a sweep
+/// harness can hand every case the same shared cache.
+///
+/// # Errors
+///
+/// Same as [`measure_problem`].
+pub fn measure_problem_with(
+    config: &RingConfig,
+    ids: &IdAssignment,
+    model: Model,
+    problem: Problem,
+    structures: &SharedStructures,
+) -> Result<ProblemCost, ProtocolError> {
+    let mut net =
+        Network::new(config, ids.clone(), model)?.with_structures(structures.clone());
     match problem {
         Problem::LeaderElection => {
             let election = elect_leader(&mut net)?;
@@ -175,9 +195,23 @@ pub fn run_pipeline(
     ids: &IdAssignment,
     model: Model,
 ) -> Result<PipelineReport, ProtocolError> {
+    run_pipeline_with(config, ids, model, &fresh_structures())
+}
+
+/// [`run_pipeline`] with an explicit combinatorial-structure provider.
+///
+/// # Errors
+///
+/// Propagates errors from [`measure_problem_with`].
+pub fn run_pipeline_with(
+    config: &RingConfig,
+    ids: &IdAssignment,
+    model: Model,
+    structures: &SharedStructures,
+) -> Result<PipelineReport, ProtocolError> {
     let costs = Problem::ALL
         .iter()
-        .map(|&p| measure_problem(config, ids, model, p))
+        .map(|&p| measure_problem_with(config, ids, model, p, structures))
         .collect::<Result<Vec<_>, _>>()?;
     Ok(PipelineReport {
         model,

@@ -1,0 +1,87 @@
+//! Shared combinatorial-structure providers.
+//!
+//! The distinguisher-driven protocols need expensive seeded structures —
+//! strong distinguishers for the even-`n` nontrivial move, and (in the
+//! experiment harness) materialised distinguishers and selective families.
+//! Constructing them is the dominant per-run cost at large `N`, and the
+//! constructions are pure functions of `(kind, N, n, seed)`, so a sweep
+//! over many configurations should build each one once and share it.
+//!
+//! [`StructureProvider`] is the seam: every [`Network`](crate::Network)
+//! carries one (an `Arc<dyn StructureProvider>`), protocols request
+//! structures through it instead of constructing their own, and the
+//! provider decides whether to construct afresh ([`FreshStructures`], the
+//! default — the behaviour of a standalone protocol run) or to serve a
+//! shared memo (the `ring-harness` structure cache). Because the served
+//! structures are bit-identical either way, protocol outcomes never depend
+//! on the provider.
+
+use ring_combinat::{Distinguisher, SelectiveFamily, SharedStrongDistinguisher};
+use std::sync::Arc;
+
+/// A source of seeded combinatorial structures.
+///
+/// Implementations must be deterministic: the returned structure may only
+/// depend on the method's parameters (this is what makes sweep results
+/// independent of caching, thread count and scheduling order).
+pub trait StructureProvider: Send + Sync {
+    /// A strong `(N, ·)`-distinguisher sequence over `[1, universe]`.
+    fn strong_distinguisher(&self, universe: u64, seed: u64) -> Arc<SharedStrongDistinguisher>;
+
+    /// A materialised `(N, n)`-distinguisher (Theorem 27 construction).
+    fn distinguisher(&self, universe: u64, n: usize, seed: u64) -> Arc<Distinguisher>;
+
+    /// An `(N, n)`-selective family (Definition 35 construction).
+    fn selective_family(&self, universe: u64, n: usize, seed: u64) -> Arc<SelectiveFamily>;
+}
+
+/// A shareable handle to a structure provider.
+pub type SharedStructures = Arc<dyn StructureProvider>;
+
+/// The default provider: constructs every structure from scratch on every
+/// request, exactly as the protocols did before providers existed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FreshStructures;
+
+impl StructureProvider for FreshStructures {
+    fn strong_distinguisher(&self, universe: u64, seed: u64) -> Arc<SharedStrongDistinguisher> {
+        Arc::new(SharedStrongDistinguisher::new(universe, seed))
+    }
+
+    fn distinguisher(&self, universe: u64, n: usize, seed: u64) -> Arc<Distinguisher> {
+        Arc::new(Distinguisher::random(universe, n, seed))
+    }
+
+    fn selective_family(&self, universe: u64, n: usize, seed: u64) -> Arc<SelectiveFamily> {
+        Arc::new(SelectiveFamily::random(universe, n, seed))
+    }
+}
+
+/// A fresh (non-caching) provider handle — the default of
+/// [`Network::new`](crate::Network::new).
+pub fn fresh_structures() -> SharedStructures {
+    Arc::new(FreshStructures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_provider_is_deterministic() {
+        let p = FreshStructures;
+        let a = p.distinguisher(256, 4, 9);
+        let b = p.distinguisher(256, 4, 9);
+        assert_eq!(*a, *b);
+        let s = p.strong_distinguisher(256, 9);
+        let t = p.strong_distinguisher(256, 9);
+        assert_eq!(*s.set(2), *t.set(2));
+    }
+
+    #[test]
+    fn provider_handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedStructures>();
+        assert_send_sync::<FreshStructures>();
+    }
+}

@@ -12,8 +12,9 @@
 //!    executes on adversarial (perfectly balanced) configurations.
 
 use crate::report::Measurement;
-use ring_combinat::{bounds, Distinguisher, SelectiveFamily};
+use ring_combinat::bounds;
 use ring_protocols::coordination::nontrivial::weak_nontrivial_move_even_distinguisher;
+use ring_protocols::structures::{fresh_structures, SharedStructures};
 use ring_protocols::{IdAssignment, Network};
 use ring_sim::{Model, RingConfig};
 
@@ -41,31 +42,43 @@ impl ScalingSpec {
 
 /// Measures constructed family sizes against the paper's bounds.
 pub fn family_sizes(spec: &ScalingSpec) -> Vec<Measurement> {
+    let structures = fresh_structures();
+    spec.sizes
+        .iter()
+        .flat_map(|&n| family_sizes_case(spec, n, &structures))
+        .collect()
+}
+
+/// Measures the constructed family sizes for one set size (see
+/// [`crate::tables::table1_case`] for the provider contract).
+pub fn family_sizes_case(
+    spec: &ScalingSpec,
+    n: usize,
+    structures: &SharedStructures,
+) -> Vec<Measurement> {
     let mut out = Vec::new();
-    for &n in &spec.sizes {
-        let distinguisher = Distinguisher::random(spec.universe, n, spec.seed);
-        out.push(Measurement {
-            experiment: "distinguisher_scaling".into(),
-            setting: "probabilistic construction (Thm 27)".into(),
-            quantity: "distinguisher size".into(),
-            n,
-            universe: spec.universe,
-            value: Some(distinguisher.len() as f64),
-            predicted: Some(bounds::distinguisher_size_lower_bound(spec.universe, n)),
-            verified: distinguisher.verify_sampled(n, 200, spec.seed ^ 1) == 0,
-        });
-        let family = SelectiveFamily::random(spec.universe, n, spec.seed);
-        out.push(Measurement {
-            experiment: "distinguisher_scaling".into(),
-            setting: "probabilistic construction (Def 35)".into(),
-            quantity: "selective family size".into(),
-            n,
-            universe: spec.universe,
-            value: Some(family.len() as f64),
-            predicted: Some(bounds::selective_family_size_bound(spec.universe, n)),
-            verified: family.verify_sampled(n, 200, spec.seed ^ 2) == 0,
-        });
-    }
+    let distinguisher = structures.distinguisher(spec.universe, n, spec.seed);
+    out.push(Measurement {
+        experiment: "distinguisher_scaling".into(),
+        setting: "probabilistic construction (Thm 27)".into(),
+        quantity: "distinguisher size".into(),
+        n,
+        universe: spec.universe,
+        value: Some(distinguisher.len() as f64),
+        predicted: Some(bounds::distinguisher_size_lower_bound(spec.universe, n)),
+        verified: distinguisher.verify_sampled(n, 200, spec.seed ^ 1) == 0,
+    });
+    let family = structures.selective_family(spec.universe, n, spec.seed);
+    out.push(Measurement {
+        experiment: "distinguisher_scaling".into(),
+        setting: "probabilistic construction (Def 35)".into(),
+        quantity: "selective family size".into(),
+        n,
+        universe: spec.universe,
+        value: Some(family.len() as f64),
+        predicted: Some(bounds::selective_family_size_bound(spec.universe, n)),
+        verified: family.verify_sampled(n, 200, spec.seed ^ 2) == 0,
+    });
     out
 }
 
@@ -73,32 +86,45 @@ pub fn family_sizes(spec: &ScalingSpec) -> Vec<Measurement> {
 /// balanced configurations (the adversarial case that forces the
 /// distinguisher machinery to do real work).
 pub fn weak_nontrivial_move_rounds(spec: &ScalingSpec) -> Vec<Measurement> {
-    let mut out = Vec::new();
-    for &n in &spec.sizes {
-        if n % 2 != 0 || n < 6 {
-            continue;
-        }
-        let config = RingConfig::builder(n)
-            .random_positions(spec.seed + n as u64)
-            .alternating_chirality()
-            .build()
-            .expect("valid configuration");
-        let ids = IdAssignment::random(n, spec.universe, spec.seed + 1 + n as u64);
-        let mut net = Network::new(&config, ids, Model::Basic).expect("valid network");
-        let nm = weak_nontrivial_move_even_distinguisher(&mut net, spec.seed)
-            .expect("weak nontrivial move");
-        out.push(Measurement {
-            experiment: "distinguisher_scaling".into(),
-            setting: "basic model, even n, balanced chirality".into(),
-            quantity: "weak nontrivial move rounds".into(),
-            n,
-            universe: spec.universe,
-            value: Some(nm.rounds() as f64),
-            predicted: Some(bounds::nontrivial_move_round_bound(spec.universe, n)),
-            verified: true,
-        });
+    let structures = fresh_structures();
+    spec.sizes
+        .iter()
+        .filter_map(|&n| weak_nontrivial_move_case(spec, n, &structures))
+        .collect()
+}
+
+/// Measures the weak nontrivial-move rounds for one ring size, or `None`
+/// when the size is outside the adversarial regime (see
+/// [`crate::tables::table1_case`] for the provider contract).
+pub fn weak_nontrivial_move_case(
+    spec: &ScalingSpec,
+    n: usize,
+    structures: &SharedStructures,
+) -> Option<Measurement> {
+    if !n.is_multiple_of(2) || n < 6 {
+        return None;
     }
-    out
+    let config = RingConfig::builder(n)
+        .random_positions(spec.seed + n as u64)
+        .alternating_chirality()
+        .build()
+        .expect("valid configuration");
+    let ids = IdAssignment::random(n, spec.universe, spec.seed + 1 + n as u64);
+    let mut net = Network::new(&config, ids, Model::Basic)
+        .expect("valid network")
+        .with_structures(structures.clone());
+    let nm = weak_nontrivial_move_even_distinguisher(&mut net, spec.seed)
+        .expect("weak nontrivial move");
+    Some(Measurement {
+        experiment: "distinguisher_scaling".into(),
+        setting: "basic model, even n, balanced chirality".into(),
+        quantity: "weak nontrivial move rounds".into(),
+        n,
+        universe: spec.universe,
+        value: Some(nm.rounds() as f64),
+        predicted: Some(bounds::nontrivial_move_round_bound(spec.universe, n)),
+        verified: true,
+    })
 }
 
 #[cfg(test)]

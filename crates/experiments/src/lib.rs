@@ -6,12 +6,31 @@
 //! distinguisher-size scaling of Section IV and the impossibility /
 //! lower-bound audits of Section II.
 //!
-//! Each experiment is a pure function from a [`SweepSpec`] to a set of
-//! [`Measurement`]s, so the same code backs the command-line binaries
-//! (`table1`, `table2`, `fig1_reductions`, `fig2_reductions`,
-//! `distinguisher_scaling`, `lower_bounds`, `repro_all`) and the Criterion
-//! benchmarks in the `ring-bench` crate. Results are printed as markdown
-//! tables and can be serialised to JSON for archival in `EXPERIMENTS.md`.
+//! Each experiment is a pure function from a [`SweepSpec`] (or one of its
+//! [`Case`]s) to a set of [`Measurement`]s, so the same code backs the
+//! `ringlab` command-line interface of the `ring-harness` crate and the
+//! Criterion benchmarks in the `ring-bench` crate. Every experiment comes
+//! in two granularities:
+//!
+//! * a whole-sweep function (e.g. [`tables::table1`]) that runs serially
+//!   and constructs every combinatorial structure from scratch, and
+//! * a per-case function (e.g. [`tables::table1_case`]) taking a
+//!   [`SharedStructures`](ring_protocols::structures::SharedStructures)
+//!   provider, which is what the `ring-harness` parallel engine fans out
+//!   over worker threads with a shared structure cache.
+//!
+//! Run experiments with the unified CLI (all former per-experiment
+//! binaries are thin wrappers over it):
+//!
+//! ```text
+//! cargo run --release -p ring-harness --bin ringlab -- table1
+//! cargo run --release -p ring-harness --bin ringlab -- all --quick --jobs 2
+//! cargo run --release -p ring-harness --bin ringlab -- \
+//!     sweep --sizes 32,64 --universe-factors 4,64 --reps 5 --jobs 8
+//! ```
+//!
+//! Results stream as JSON-lines while the sweep runs and are printed as
+//! markdown tables at the end.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]

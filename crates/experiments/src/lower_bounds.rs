@@ -16,8 +16,9 @@
 //!   the implemented protocols against these floors.
 
 use crate::report::Measurement;
-use crate::sweep::SweepSpec;
+use crate::sweep::{Case, SweepSpec};
 use ring_protocols::locate::discover_locations;
+use ring_protocols::structures::{fresh_structures, SharedStructures};
 use ring_protocols::Network;
 use ring_sim::{EngineKind, LocalDirection, Model, RingState};
 
@@ -67,31 +68,41 @@ pub fn lemma5_parity_audit(n: usize, universe: u64, samples: usize, seed: u64) -
 /// Compares measured location-discovery round counts against the Lemma 6
 /// floors (`n − 1` for basic/lazy, `n/2` for perceptive).
 pub fn lemma6_round_floors(spec: &SweepSpec) -> Vec<Measurement> {
+    let structures = fresh_structures();
+    spec.cases()
+        .iter()
+        .flat_map(|case| lemma6_case(case, &structures))
+        .collect()
+}
+
+/// Measures the Lemma 6 floors on one case (see
+/// [`crate::tables::table1_case`] for the provider contract).
+pub fn lemma6_case(case: &Case, structures: &SharedStructures) -> Vec<Measurement> {
     let mut out = Vec::new();
-    for case in spec.cases() {
-        for model in [Model::Basic, Model::Lazy, Model::Perceptive] {
-            if model == Model::Basic && case.n % 2 == 0 {
-                continue;
-            }
-            let config = case.config();
-            let ids = case.ids();
-            let mut net = Network::new(&config, ids, model).expect("valid network");
-            let discovery = discover_locations(&mut net).expect("location discovery");
-            let floor = match model {
-                Model::Perceptive if case.n % 2 == 0 => case.n as f64 / 2.0,
-                _ => case.n as f64 - 1.0,
-            };
-            out.push(Measurement {
-                experiment: "lower_bounds".into(),
-                setting: format!("{model} model (Lemma 6 floor)"),
-                quantity: "location discovery rounds vs floor".into(),
-                n: case.n,
-                universe: case.universe,
-                value: Some(discovery.rounds() as f64),
-                predicted: Some(floor),
-                verified: discovery.rounds() as f64 >= floor,
-            });
+    for model in [Model::Basic, Model::Lazy, Model::Perceptive] {
+        if model == Model::Basic && case.n.is_multiple_of(2) {
+            continue;
         }
+        let config = case.config();
+        let ids = case.ids();
+        let mut net = Network::new(&config, ids, model)
+            .expect("valid network")
+            .with_structures(structures.clone());
+        let discovery = discover_locations(&mut net).expect("location discovery");
+        let floor = match model {
+            Model::Perceptive if case.n.is_multiple_of(2) => case.n as f64 / 2.0,
+            _ => case.n as f64 - 1.0,
+        };
+        out.push(Measurement {
+            experiment: "lower_bounds".into(),
+            setting: format!("{model} model (Lemma 6 floor)"),
+            quantity: "location discovery rounds vs floor".into(),
+            n: case.n,
+            universe: case.universe,
+            value: Some(discovery.rounds() as f64),
+            predicted: Some(floor),
+            verified: discovery.rounds() as f64 >= floor,
+        });
     }
     out
 }

@@ -8,7 +8,7 @@
 //! construction of Lemma 15.
 
 use crate::report::Measurement;
-use crate::sweep::SweepSpec;
+use crate::sweep::{Case, SweepSpec};
 use ring_protocols::coordination::diragr::agree_direction_with_move;
 use ring_protocols::coordination::leader::{
     elect_leader_with_common_direction, elect_leader_with_move,
@@ -16,6 +16,7 @@ use ring_protocols::coordination::leader::{
 use ring_protocols::coordination::nontrivial::{
     nontrivial_move_common_randomized, nontrivial_move_with_leader, solve_nontrivial_move,
 };
+use ring_protocols::structures::{fresh_structures, SharedStructures};
 use ring_protocols::{Network, ProtocolError};
 use ring_sim::Model;
 
@@ -122,27 +123,52 @@ fn measure_edge(
 /// corresponds to odd sizes (any model) and to the lazy/perceptive models;
 /// Figure 2 corresponds to the basic model on even sizes.
 pub fn reductions(spec: &SweepSpec, model: Model) -> Vec<Measurement> {
+    let structures = fresh_structures();
+    spec.cases()
+        .iter()
+        .flat_map(|case| reductions_case(case, model, &structures))
+        .collect()
+}
+
+/// Which figure a reduction measurement belongs to: Figure 2 covers the
+/// basic model with even `n` (where the edges cost `O(log² N)`), Figure 1
+/// everything else. Single source of truth for the experiment tag — the
+/// harness scenario layer labels its per-case records with the same rule.
+pub fn figure_for(model: Model, n: usize) -> &'static str {
+    if model == Model::Basic && n.is_multiple_of(2) {
+        "fig2"
+    } else {
+        "fig1"
+    }
+}
+
+/// Measures every reduction edge on one case (see
+/// [`crate::tables::table1_case`] for the provider contract).
+pub fn reductions_case(
+    case: &Case,
+    model: Model,
+    structures: &SharedStructures,
+) -> Vec<Measurement> {
+    let config = case.config();
+    let ids = case.ids();
+    let basic_even = model == Model::Basic && case.n.is_multiple_of(2);
+    let figure = figure_for(model, case.n);
     let mut out = Vec::new();
-    for case in spec.cases() {
-        let config = case.config();
-        let ids = case.ids();
-        let basic_even = model == Model::Basic && case.n % 2 == 0;
-        let figure = if basic_even { "fig2" } else { "fig1" };
-        for edge in EDGES {
-            let mut net =
-                Network::new(&config, ids.clone(), model).expect("valid configuration");
-            let (rounds, verified) = measure_edge(&mut net, edge).expect("reduction failed");
-            out.push(Measurement {
-                experiment: figure.into(),
-                setting: format!("{model} model, {}", if case.n % 2 == 0 { "even n" } else { "odd n" }),
-                quantity: edge.into(),
-                n: case.n,
-                universe: case.universe,
-                value: Some(rounds as f64),
-                predicted: predicted(edge, case.universe, basic_even),
-                verified,
-            });
-        }
+    for edge in EDGES {
+        let mut net = Network::new(&config, ids.clone(), model)
+            .expect("valid configuration")
+            .with_structures(structures.clone());
+        let (rounds, verified) = measure_edge(&mut net, edge).expect("reduction failed");
+        out.push(Measurement {
+            experiment: figure.into(),
+            setting: format!("{model} model, {}", if case.n.is_multiple_of(2) { "even n" } else { "odd n" }),
+            quantity: edge.into(),
+            n: case.n,
+            universe: case.universe,
+            value: Some(rounds as f64),
+            predicted: predicted(edge, case.universe, basic_even),
+            verified,
+        });
     }
     out
 }
@@ -151,31 +177,43 @@ pub fn reductions(spec: &SweepSpec, model: Model) -> Vec<Measurement> {
 /// (randomized, `O(log N)` with high probability), reported separately for
 /// the non-constructive part of Figure 2.
 pub fn randomized_da_to_nm(spec: &SweepSpec, model: Model) -> Vec<Measurement> {
-    let mut out = Vec::new();
-    for case in spec.cases() {
-        let config = case.config();
-        let ids = case.ids();
-        let mut net = Network::new(&config, ids, model).expect("valid configuration");
-        let nm = solve_nontrivial_move(&mut net).expect("nontrivial move");
-        let agreement =
-            agree_direction_with_move(&mut net, nm.directions()).expect("direction agreement");
-        let before = net.rounds_used();
-        let nm2 = nontrivial_move_common_randomized(&mut net, agreement.frames(), case.seed)
-            .expect("randomized nontrivial move");
-        let rounds = net.rounds_used() - before;
-        let verified = ring_protocols::coordination::nontrivial::verify_nontrivial(&mut net, &nm2);
-        out.push(Measurement {
-            experiment: "fig2".into(),
-            setting: format!("{model} model (randomized, Lemma 15)"),
-            quantity: "direction agreement -> nontrivial move".into(),
-            n: case.n,
-            universe: case.universe,
-            value: Some(rounds as f64),
-            predicted: Some((case.universe as f64).log2().max(1.0)),
-            verified,
-        });
+    let structures = fresh_structures();
+    spec.cases()
+        .iter()
+        .map(|case| randomized_da_to_nm_case(case, model, &structures))
+        .collect()
+}
+
+/// Measures the Lemma 15 edge on one case (see
+/// [`crate::tables::table1_case`] for the provider contract).
+pub fn randomized_da_to_nm_case(
+    case: &Case,
+    model: Model,
+    structures: &SharedStructures,
+) -> Measurement {
+    let config = case.config();
+    let ids = case.ids();
+    let mut net = Network::new(&config, ids, model)
+        .expect("valid configuration")
+        .with_structures(structures.clone());
+    let nm = solve_nontrivial_move(&mut net).expect("nontrivial move");
+    let agreement =
+        agree_direction_with_move(&mut net, nm.directions()).expect("direction agreement");
+    let before = net.rounds_used();
+    let nm2 = nontrivial_move_common_randomized(&mut net, agreement.frames(), case.seed)
+        .expect("randomized nontrivial move");
+    let rounds = net.rounds_used() - before;
+    let verified = ring_protocols::coordination::nontrivial::verify_nontrivial(&mut net, &nm2);
+    Measurement {
+        experiment: "fig2".into(),
+        setting: format!("{model} model (randomized, Lemma 15)"),
+        quantity: "direction agreement -> nontrivial move".into(),
+        n: case.n,
+        universe: case.universe,
+        value: Some(rounds as f64),
+        predicted: Some((case.universe as f64).log2().max(1.0)),
+        verified,
     }
-    out
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Sweep specifications: which configurations an experiment runs over.
 
+use ring_combinat::shared::splitmix64;
 use ring_protocols::IdAssignment;
 use ring_sim::RingConfig;
 use serde::{Deserialize, Serialize};
@@ -85,17 +86,28 @@ impl SweepSpec {
                     out.push(Case {
                         n,
                         universe: factor * n as u64,
-                        seed: self
-                            .seed
-                            .wrapping_add(rep)
-                            .wrapping_add((n as u64) << 20)
-                            .wrapping_add(factor << 40),
+                        seed: case_seed(self.seed, n, factor, rep),
                     });
                 }
             }
         }
         out
     }
+}
+
+/// Derives a case seed by chaining splitmix64 over `(seed, n, factor,
+/// rep)`. The previous scheme packed the coordinates into shifted bit
+/// fields (`seed + rep + (n << 20) + (factor << 40)`), which collides as
+/// soon as a coordinate overflows its field — e.g. universe factors
+/// differing by exactly `2^24` land on the same seed because their
+/// 40-bit-shifted contributions wrap to the same value. Chaining a full
+/// mixing round per coordinate makes every coordinate affect all 64 bits.
+fn case_seed(seed: u64, n: usize, factor: u64, rep: u64) -> u64 {
+    let mut s = splitmix64(seed ^ 0xd1b54a32d192ed03);
+    s = splitmix64(s ^ n as u64);
+    s = splitmix64(s ^ factor);
+    s = splitmix64(s ^ rep);
+    s
 }
 
 #[cfg(test)]
@@ -124,5 +136,42 @@ mod tests {
         let b = SweepSpec::quick().cases();
         assert_eq!(a, b);
         assert_eq!(a[0].config(), b[0].config());
+    }
+
+    /// Regression test for the shifted-field seed derivation: universe
+    /// factors differing by `2^24` used to wrap their 40-bit-shifted
+    /// contribution to the same value and collide, as did any coordinates
+    /// overflowing their packed fields. Every case of an adversarial spec
+    /// must get its own seed.
+    #[test]
+    fn distinct_cases_get_distinct_seeds() {
+        use std::collections::HashSet;
+        let adversarial = SweepSpec {
+            sizes: vec![15, 16, 1 << 21],
+            universe_factors: vec![1, 1 + (1 << 24), 1 + (1 << 25)],
+            repetitions: 2,
+            seed: 0,
+        };
+        let cases = adversarial.cases();
+        let seeds: HashSet<u64> = cases.iter().map(|c| c.seed).collect();
+        assert_eq!(
+            seeds.len(),
+            cases.len(),
+            "case seeds collide: {:?}",
+            cases.iter().map(|c| (c.n, c.universe, c.seed)).collect::<Vec<_>>()
+        );
+        // The old scheme's canonical collision: factors 2^24 apart.
+        assert_ne!(cases[0].seed, cases[2].seed);
+
+        // Different base seeds shift every case seed.
+        let reseeded = SweepSpec {
+            seed: 1,
+            ..adversarial.clone()
+        };
+        assert!(reseeded
+            .cases()
+            .iter()
+            .zip(&cases)
+            .all(|(a, b)| a.seed != b.seed));
     }
 }

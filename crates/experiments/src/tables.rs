@@ -10,7 +10,8 @@ use ring_protocols::coordination::nontrivial::nontrivial_move_with_leader;
 use ring_protocols::locate::basic_odd::discover_locations_basic_odd_with_leader;
 use ring_protocols::locate::lazy::discover_locations_lazy_with_leader;
 use ring_protocols::locate::verify_location_discovery;
-use ring_protocols::pipeline::{measure_problem, Problem};
+use ring_protocols::pipeline::{measure_problem_with, Problem};
+use ring_protocols::structures::{fresh_structures, SharedStructures};
 use ring_protocols::{Network, ProtocolError};
 use ring_sim::{Frame, Model, Parity};
 
@@ -59,33 +60,45 @@ fn table1_prediction(setting: &str, problem: Problem, n: usize, universe: u64) -
     }
 }
 
-/// Runs the Table I experiment over a sweep.
+/// Runs the Table I experiment over a sweep (serially, constructing every
+/// combinatorial structure from scratch — the `ringlab` CLI runs the same
+/// cases through the parallel engine and a shared structure cache).
 pub fn table1(spec: &SweepSpec) -> Vec<Measurement> {
+    let structures = fresh_structures();
+    spec.cases()
+        .iter()
+        .flat_map(|case| table1_case(case, &structures))
+        .collect()
+}
+
+/// Measures one Table I case: every problem in every setting applicable to
+/// the case's parity, against the paper's predictions. Structures come from
+/// the given provider, so sweep harnesses can share one cache across cases
+/// and worker threads.
+pub fn table1_case(case: &Case, structures: &SharedStructures) -> Vec<Measurement> {
+    // The adversarial configuration for even n is the balanced chirality
+    // split; odd n uses the generic random one.
+    let config = if case.n.is_multiple_of(2) {
+        case.config_balanced()
+    } else {
+        case.config()
+    };
+    let ids = case.ids();
     let mut out = Vec::new();
-    for case in spec.cases() {
-        // The adversarial configuration for even n is the balanced chirality
-        // split; odd n uses the generic random one.
-        let config = if case.n % 2 == 0 {
-            case.config_balanced()
-        } else {
-            case.config()
-        };
-        let ids = case.ids();
-        for (model, setting) in settings_for(case.n) {
-            for problem in Problem::ALL {
-                let cost = measure_problem(&config, &ids, model, problem)
-                    .expect("table 1 experiment failed");
-                out.push(Measurement {
-                    experiment: "table1".into(),
-                    setting: setting.into(),
-                    quantity: problem.to_string(),
-                    n: case.n,
-                    universe: case.universe,
-                    value: cost.rounds.map(|r| r as f64),
-                    predicted: table1_prediction(setting, problem, case.n, case.universe),
-                    verified: cost.verified,
-                });
-            }
+    for (model, setting) in settings_for(case.n) {
+        for problem in Problem::ALL {
+            let cost = measure_problem_with(&config, &ids, model, problem, structures)
+                .expect("table 1 experiment failed");
+            out.push(Measurement {
+                experiment: "table1".into(),
+                setting: setting.into(),
+                quantity: problem.to_string(),
+                n: case.n,
+                universe: case.universe,
+                value: cost.rounds.map(|r| r as f64),
+                predicted: table1_prediction(setting, problem, case.n, case.universe),
+                verified: cost.verified,
+            });
         }
     }
     out
@@ -117,29 +130,38 @@ fn table2_prediction(setting: &str, problem: Problem, n: usize, universe: u64) -
 /// leader election, nontrivial move and location discovery are measured —
 /// exactly the columns the paper lists.
 pub fn table2(spec: &SweepSpec) -> Vec<Measurement> {
+    let structures = fresh_structures();
+    spec.cases()
+        .iter()
+        .flat_map(|case| table2_case(case, &structures))
+        .collect()
+}
+
+/// Measures one Table II case (see [`table1_case`] for the provider
+/// contract).
+pub fn table2_case(case: &Case, structures: &SharedStructures) -> Vec<Measurement> {
     let mut out = Vec::new();
-    for case in spec.cases() {
-        for (model, setting) in settings_for(case.n) {
-            for problem in [
-                Problem::LeaderElection,
-                Problem::NontrivialMove,
-                Problem::LocationDiscovery,
-            ] {
-                let (value, verified) = match measure_common_direction(&case, model, problem) {
+    for (model, setting) in settings_for(case.n) {
+        for problem in [
+            Problem::LeaderElection,
+            Problem::NontrivialMove,
+            Problem::LocationDiscovery,
+        ] {
+            let (value, verified) =
+                match measure_common_direction(case, model, problem, structures) {
                     Ok(v) => v,
                     Err(e) => panic!("table 2 experiment failed: {e}"),
                 };
-                out.push(Measurement {
-                    experiment: "table2".into(),
-                    setting: setting.into(),
-                    quantity: problem.to_string(),
-                    n: case.n,
-                    universe: case.universe,
-                    value,
-                    predicted: table2_prediction(setting, problem, case.n, case.universe),
-                    verified,
-                });
-            }
+            out.push(Measurement {
+                experiment: "table2".into(),
+                setting: setting.into(),
+                quantity: problem.to_string(),
+                n: case.n,
+                universe: case.universe,
+                value,
+                predicted: table2_prediction(setting, problem, case.n, case.universe),
+                verified,
+            });
         }
     }
     out
@@ -152,6 +174,7 @@ fn measure_common_direction(
     case: &Case,
     model: Model,
     problem: Problem,
+    structures: &SharedStructures,
 ) -> Result<(Option<f64>, bool), ProtocolError> {
     // Common sense of direction: every agent's chirality is aligned, and the
     // shared frame is public knowledge.
@@ -161,7 +184,7 @@ fn measure_common_direction(
         .build()
         .expect("valid configuration");
     let ids = case.ids();
-    let mut net = Network::new(&config, ids, model)?;
+    let mut net = Network::new(&config, ids, model)?.with_structures(structures.clone());
     let frames = vec![Frame::identity(); case.n];
 
     match problem {

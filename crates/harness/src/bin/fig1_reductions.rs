@@ -1,0 +1,7 @@
+//! Thin wrapper over `ringlab fig1`: regenerates Figure 1
+//! through the parallel sweep engine. Flags are forwarded (e.g.
+//! `--quick`, `--jobs N`).
+
+fn main() {
+    ring_harness::cli::main_with_subcommand(Some("fig1"))
+}

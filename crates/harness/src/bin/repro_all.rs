@@ -1,0 +1,7 @@
+//! Thin wrapper over `ringlab all`: regenerates every experiment
+//! through the parallel sweep engine. Flags are forwarded (e.g.
+//! `--quick`, `--jobs N`).
+
+fn main() {
+    ring_harness::cli::main_with_subcommand(Some("all"))
+}

@@ -1,0 +1,7 @@
+//! Thin wrapper over `ringlab table1`: regenerates Table I
+//! through the parallel sweep engine. Flags are forwarded (e.g.
+//! `--quick`, `--jobs N`).
+
+fn main() {
+    ring_harness::cli::main_with_subcommand(Some("table1"))
+}

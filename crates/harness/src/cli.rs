@@ -1,0 +1,419 @@
+//! The `ringlab` command-line interface.
+//!
+//! One binary drives every experiment of the reproduction through the
+//! parallel sweep engine:
+//!
+//! ```text
+//! ringlab <subcommand> [flags]
+//!
+//! subcommands:
+//!   table1         Table I   (general setting)
+//!   table2         Table II  (common sense of direction)
+//!   fig1           Figure 1  (reductions: odd n / lazy / perceptive)
+//!   fig2           Figure 2  (reductions: basic model, even n)
+//!   scaling        distinguisher / selective-family scaling (Section IV)
+//!   lower-bounds   Lemma 5 / Lemma 6 audits
+//!   all            every experiment above
+//!   sweep          the full table pipeline over a custom case grid
+//!
+//! flags:
+//!   --quick                   reduced sizes (CI smoke)
+//!   --jobs N                  worker threads (default: all cores)
+//!   --sizes a,b,…             override ring / set sizes
+//!   --universe-factors a,b,…  override universe factors (N = factor·n;
+//!                             not applicable to `scaling`)
+//!   --reps K                  override repetitions per configuration
+//!                             (not applicable to `scaling`)
+//!   --seed S                  override the base seed
+//!   --jsonl PATH|-            JSONL destination (default results/<sub>.jsonl,
+//!                             `-` = stdout)
+//!   --no-jsonl                disable the JSONL stream
+//! ```
+//!
+//! Results stream to the JSONL destination incrementally in case order and
+//! the markdown tables print at the end, so stdout and the JSONL file are
+//! byte-identical for every `--jobs` value (run metadata — jobs, elapsed
+//! time, cache statistics — goes to stderr).
+
+use crate::engine::SweepEngine;
+use crate::scenario::{
+    all_items, fig1_items, fig2_items, lower_bounds_items, scaling_items, table1_items,
+    table2_items, WorkItem,
+};
+use crate::sink::JsonlSink;
+use ring_experiments::distinguisher_scaling::ScalingSpec;
+use ring_experiments::report::{aggregate, format_markdown_table};
+use ring_experiments::{Measurement, SweepSpec};
+use std::io::Write;
+use std::time::Instant;
+
+const USAGE: &str = "usage: ringlab <table1|table2|fig1|fig2|scaling|lower-bounds|all|sweep> \
+[--quick] [--jobs N] [--sizes a,b,..] [--universe-factors a,b,..] [--reps K] [--seed S] \
+[--jsonl PATH|-] [--no-jsonl]";
+
+/// Parsed command-line options.
+struct Options {
+    subcommand: String,
+    quick: bool,
+    jobs: usize,
+    sizes: Option<Vec<usize>>,
+    universe_factors: Option<Vec<u64>>,
+    reps: Option<u64>,
+    seed: Option<u64>,
+    jsonl: Option<String>,
+    no_jsonl: bool,
+}
+
+/// Runs the CLI on explicit arguments (without the program name), returning
+/// the process exit code. The wrapper binaries call this with their
+/// subcommand prepended.
+pub fn run(args: &[String]) -> i32 {
+    let options = match parse(args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("ringlab: {message}\n{USAGE}");
+            return 2;
+        }
+    };
+    let spec = sweep_spec(&options);
+    let scaling = scaling_spec(&options);
+
+    let items = match options.subcommand.as_str() {
+        "table1" => table1_items(&spec),
+        "table2" => table2_items(&spec),
+        "fig1" => fig1_items(&spec),
+        "fig2" => fig2_items(&spec),
+        "scaling" => scaling_items(&scaling),
+        "lower-bounds" => lower_bounds_items(&spec),
+        "all" => all_items(&spec, &scaling),
+        // The generic sweep: the full Table I + Table II pipeline over the
+        // (possibly overridden) case grid.
+        "sweep" => {
+            let mut items = table1_items(&spec);
+            items.extend(table2_items(&spec));
+            items
+        }
+        other => {
+            eprintln!("ringlab: unknown subcommand `{other}`\n{USAGE}");
+            return 2;
+        }
+    };
+
+    let engine = SweepEngine::new(options.jobs);
+    let start = Instant::now();
+    let records = run_items(&engine, &items, &options);
+    let elapsed = start.elapsed();
+
+    let measurements: Vec<Measurement> = records
+        .iter()
+        .flat_map(|r| r.measurements.iter().cloned())
+        .collect();
+    print!("{}", render_markdown(&measurements));
+
+    let stats = engine.cache_stats();
+    eprintln!(
+        "ringlab: {} cases in {:.2}s ({} jobs requested, {:.1} cases/s); \
+structure cache: {} hits / {} misses ({:.0}% hit rate)",
+        items.len(),
+        elapsed.as_secs_f64(),
+        if options.jobs == 0 { crate::executor::available_jobs() } else { options.jobs },
+        items.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+    );
+    0
+}
+
+/// Executes the items through the engine with the configured JSONL
+/// destination.
+fn run_items(
+    engine: &SweepEngine,
+    items: &[WorkItem],
+    options: &Options,
+) -> Vec<crate::scenario::CaseRecord> {
+    if options.no_jsonl {
+        return engine.run::<Box<dyn Write + Send>>(items, None);
+    }
+    let destination = options
+        .jsonl
+        .clone()
+        .unwrap_or_else(|| format!("results/{}.jsonl", options.subcommand.replace('-', "_")));
+    let out: Box<dyn Write + Send> = if destination == "-" {
+        Box::new(std::io::stdout())
+    } else {
+        if let Some(parent) = std::path::Path::new(&destination).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create results directory");
+            }
+        }
+        Box::new(std::fs::File::create(&destination).expect("create JSONL file"))
+    };
+    let sink = JsonlSink::new(out);
+    let records = engine.run(items, Some(&sink));
+    sink.finish();
+    if destination != "-" {
+        eprintln!("ringlab: streamed {} records to {destination}", records.len());
+    }
+    records
+}
+
+/// Renders the measurements as the familiar markdown sections, grouped by
+/// experiment in canonical order. Table and figure sections compress
+/// repetitions via [`aggregate`]; the scaling and audit sections list raw
+/// rows, matching the former per-experiment binaries.
+pub fn render_markdown(measurements: &[Measurement]) -> String {
+    const SECTIONS: [(&str, &str, bool); 6] = [
+        ("table1", "Table I — deterministic solutions in the general setting", true),
+        (
+            "table2",
+            "Table II — deterministic solutions with a common sense of direction",
+            true,
+        ),
+        (
+            "fig1",
+            "Figure 1 — reductions among coordination problems (odd n / lazy / perceptive)",
+            true,
+        ),
+        (
+            "fig2",
+            "Figure 2 — reductions among coordination problems (basic model, even n)",
+            true,
+        ),
+        (
+            "distinguisher_scaling",
+            "Distinguisher and selective-family scaling (Section IV)",
+            false,
+        ),
+        ("lower_bounds", "Lower-bound audits (Lemmas 5 and 6)", false),
+    ];
+    let mut out = String::new();
+    for (key, title, aggregated) in SECTIONS {
+        let section: Vec<Measurement> = measurements
+            .iter()
+            .filter(|m| m.experiment == key)
+            .cloned()
+            .collect();
+        if section.is_empty() {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!("# {title}\n\n"));
+        let rows = if aggregated { aggregate(&section) } else { section };
+        out.push_str(&format_markdown_table(&rows));
+    }
+    out
+}
+
+fn sweep_spec(options: &Options) -> SweepSpec {
+    let mut spec = if options.quick {
+        SweepSpec::quick()
+    } else {
+        SweepSpec::standard()
+    };
+    if let Some(sizes) = &options.sizes {
+        spec.sizes = sizes.clone();
+    }
+    if let Some(factors) = &options.universe_factors {
+        spec.universe_factors = factors.clone();
+    }
+    if let Some(reps) = options.reps {
+        spec.repetitions = reps;
+    }
+    if let Some(seed) = options.seed {
+        spec.seed = seed;
+    }
+    spec
+}
+
+fn scaling_spec(options: &Options) -> ScalingSpec {
+    let mut scaling = if options.quick {
+        // Reduced sizes for smoke runs, exercising both family kinds and
+        // the protocol-driven measurement.
+        ScalingSpec {
+            universe: 1 << 10,
+            sizes: vec![8, 16],
+            seed: 41,
+        }
+    } else {
+        ScalingSpec::standard()
+    };
+    if let Some(sizes) = &options.sizes {
+        scaling.sizes = sizes.clone();
+    }
+    if let Some(seed) = options.seed {
+        scaling.seed = seed;
+    }
+    scaling
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        subcommand: String::new(),
+        quick: false,
+        jobs: 0,
+        sizes: None,
+        universe_factors: None,
+        reps: None,
+        seed: None,
+        jsonl: None,
+        no_jsonl: false,
+    };
+    let mut iter = args.iter();
+    let Some(subcommand) = iter.next() else {
+        return Err("missing subcommand".into());
+    };
+    options.subcommand = subcommand.clone();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--no-jsonl" => options.no_jsonl = true,
+            "--jobs" => {
+                options.jobs = value_of("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs expects a non-negative integer".to_string())?;
+            }
+            "--sizes" => {
+                options.sizes = Some(parse_list(&value_of("--sizes")?, "--sizes")?);
+            }
+            "--universe-factors" => {
+                options.universe_factors = Some(parse_list(
+                    &value_of("--universe-factors")?,
+                    "--universe-factors",
+                )?);
+            }
+            "--reps" => {
+                options.reps = Some(
+                    value_of("--reps")?
+                        .parse()
+                        .map_err(|_| "--reps expects a positive integer".to_string())?,
+                );
+            }
+            "--seed" => {
+                options.seed = Some(
+                    value_of("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed expects an integer".to_string())?,
+                );
+            }
+            "--jsonl" => options.jsonl = Some(value_of("--jsonl")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if options.sizes.as_ref().is_some_and(|sizes| sizes.is_empty()) {
+        return Err("--sizes expects at least one size".into());
+    }
+    if options
+        .universe_factors
+        .as_ref()
+        .is_some_and(|factors| factors.is_empty())
+    {
+        return Err("--universe-factors expects at least one factor".into());
+    }
+    if options.reps == Some(0) {
+        return Err("--reps expects a positive integer".into());
+    }
+    if options.subcommand == "scaling" && options.universe_factors.is_some() {
+        return Err(
+            "--universe-factors does not apply to `scaling` (its universe is absolute; \
+use --quick for the reduced variant)"
+                .into(),
+        );
+    }
+    if options.subcommand == "scaling" && options.reps.is_some() {
+        return Err("--reps does not apply to `scaling` (one measurement per set size)".into());
+    }
+    Ok(options)
+}
+
+fn parse_list<T: std::str::FromStr>(text: &str, flag: &str) -> Result<Vec<T>, String> {
+    text.split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            part.trim()
+                .parse()
+                .map_err(|_| format!("{flag}: `{part}` is not a number"))
+        })
+        .collect()
+}
+
+/// Entry point shared by `ringlab` and the thin wrapper binaries: prepends
+/// `subcommand` (if any) to the process arguments and exits with the CLI's
+/// code.
+pub fn main_with_subcommand(subcommand: Option<&str>) -> ! {
+    let mut args: Vec<String> = Vec::new();
+    if let Some(subcommand) = subcommand {
+        args.push(subcommand.to_string());
+    }
+    args.extend(std::env::args().skip(1));
+    std::process::exit(run(&args));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_into_options() {
+        let options = parse(&args(&[
+            "sweep",
+            "--quick",
+            "--jobs",
+            "4",
+            "--sizes",
+            "15,16",
+            "--universe-factors",
+            "4,64",
+            "--reps",
+            "2",
+            "--seed",
+            "9",
+            "--no-jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(options.subcommand, "sweep");
+        assert!(options.quick && options.no_jsonl);
+        assert_eq!(options.jobs, 4);
+        assert_eq!(sweep_spec(&options).sizes, vec![15, 16]);
+        assert_eq!(sweep_spec(&options).universe_factors, vec![4, 64]);
+        assert_eq!(sweep_spec(&options).repetitions, 2);
+        assert_eq!(sweep_spec(&options).seed, 9);
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        assert!(parse(&args(&[])).is_err());
+        assert!(parse(&args(&["table1", "--jobs"])).is_err());
+        assert!(parse(&args(&["table1", "--sizes", "a,b"])).is_err());
+        assert!(parse(&args(&["table1", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn markdown_renders_sections_in_canonical_order() {
+        let sample = |experiment: &str| Measurement {
+            experiment: experiment.into(),
+            setting: "s".into(),
+            quantity: "q".into(),
+            n: 8,
+            universe: 64,
+            value: Some(1.0),
+            predicted: Some(1.0),
+            verified: true,
+        };
+        let text = render_markdown(&[sample("lower_bounds"), sample("table1")]);
+        let table1_at = text.find("# Table I").unwrap();
+        let lower_at = text.find("# Lower-bound audits").unwrap();
+        assert!(table1_at < lower_at);
+    }
+}

@@ -1,0 +1,139 @@
+//! The work-stealing parallel executor.
+//!
+//! [`run_work_stealing`] fans a slice of work items out over `jobs` worker
+//! threads. Indices are striped round-robin into one deque per worker;
+//! each worker pops its own queue from the front and, when empty, steals
+//! from the back of the others, so a straggler case cannot leave the other
+//! cores idle. Results are returned **in item order**, and each item's
+//! result depends only on `(index, item)` — never on which thread ran it —
+//! so the output of a sweep is bit-identical for every job count and every
+//! scheduling interleaving. (Determinism of the overall harness also rests
+//! on the structure cache serving bit-identical structures; see
+//! `crate::cache`.)
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// The number of worker threads to use when the caller does not specify
+/// one: the machine's available parallelism.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `worker(index, &items[index])` for every item across `jobs`
+/// threads (clamped to the item count; `0` means [`available_jobs`]) and
+/// returns the results in item order.
+///
+/// `worker` may have observable side effects (the engine streams results
+/// from inside it); effects that must be ordered belong behind an ordered
+/// sink, not the call order, which is scheduling-dependent for `jobs > 1`.
+///
+/// # Panics
+///
+/// Propagates panics from `worker` (the remaining workers finish their
+/// current items first).
+pub fn run_work_stealing<T, R, F>(items: &[T], jobs: usize, worker: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = if jobs == 0 { available_jobs() } else { jobs };
+    let jobs = jobs.min(items.len()).max(1);
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| worker(i, t)).collect();
+    }
+
+    // Round-robin striping spreads systematically heavy regions (e.g. the
+    // large-n tail of a sweep) over all workers up front; stealing handles
+    // whatever imbalance remains.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| Mutex::new((w..items.len()).step_by(jobs).collect()))
+        .collect();
+
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let queues = &queues;
+        let worker = &worker;
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    while let Some(index) = next_index(queues, w) {
+                        produced.push((index, worker(index, &items[index])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (index, result) in handle.join().expect("worker thread panicked") {
+                results[index] = Some(result);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index is scheduled exactly once"))
+        .collect()
+}
+
+/// Pops the next index for worker `w`: its own queue front first, then the
+/// back of every other queue (classic work stealing: owners and thieves
+/// take opposite ends to minimise contention on the same items).
+fn next_index(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(index) = queues[w].lock().expect("worker queue").pop_front() {
+        return Some(index);
+    }
+    let jobs = queues.len();
+    for offset in 1..jobs {
+        let victim = (w + offset) % jobs;
+        if let Some(index) = queues[victim].lock().expect("worker queue").pop_back() {
+            return Some(index);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<usize> = (0..97).collect();
+        for jobs in [1, 2, 3, 8] {
+            let out = run_work_stealing(&items, jobs, |i, &x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>(), "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let items: Vec<usize> = (0..64).collect();
+        let counter = AtomicUsize::new(0);
+        let out = run_work_stealing(&items, 4, |_, &x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            // Uneven work so stealing actually happens.
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_handled() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_work_stealing(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(run_work_stealing(&[5u32], 0, |_, &x| x + 1), vec![6]);
+    }
+}

@@ -1,0 +1,59 @@
+//! # ring-harness
+//!
+//! The parallel scenario engine of the reproduction: runs sweeps of
+//! thousands of experiment cases as fast as the hardware allows, with
+//! results that are bit-identical regardless of thread count.
+//!
+//! The crate has four layers:
+//!
+//! * [`executor`] — a work-stealing thread pool over `std::thread`. Work
+//!   items are striped over per-worker deques; idle workers steal from the
+//!   back of busy ones; results come back in item order.
+//! * [`cache`] — the [`StructureCache`](cache::StructureCache): a sharded,
+//!   `Arc`-backed memo of the expensive combinatorial structures
+//!   (distinguishers, strong-distinguisher sequences, selective families)
+//!   keyed by `(kind, N, n, seed)`. It implements
+//!   [`StructureProvider`](ring_protocols::structures::StructureProvider),
+//!   so every worker's `Network` draws from the same read-only memo and
+//!   each structure is constructed once per sweep instead of once per
+//!   case — the dominant per-case cost at large `N`.
+//! * [`sink`] — the streaming [`JsonlSink`](sink::JsonlSink): one JSON
+//!   line per finished case, emitted incrementally but in deterministic
+//!   case order via a reorder buffer.
+//! * [`scenario`] / [`engine`] — [`WorkItem`](scenario::WorkItem)s wrap
+//!   the per-case experiment functions of `ring-experiments`;
+//!   [`SweepEngine`](engine::SweepEngine) ties the three layers together.
+//!
+//! [`cli`] exposes everything as the **`ringlab`** binary; the former
+//! per-experiment binaries (`table1` … `repro_all`) are thin wrappers over
+//! its subcommands:
+//!
+//! ```text
+//! ringlab all --quick --jobs 2
+//! ringlab sweep --sizes 32,64 --universe-factors 4,64 --reps 5 --jobs 8
+//! ```
+//!
+//! ## Determinism
+//!
+//! Three properties make `--jobs N` bit-identical to `--jobs 1`: case
+//! seeds are a pure splitmix64 mix of `(seed, n, factor, rep)`; cached
+//! structures are bit-identical to freshly constructed ones (both
+//! ultimately call the same seeded constructions); and the sink reorders
+//! completions back into case order. The harness test-suite pins each
+//! property down separately and end to end.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cache;
+pub mod cli;
+pub mod engine;
+pub mod executor;
+pub mod scenario;
+pub mod sink;
+
+pub use cache::{CacheStats, StructureCache};
+pub use engine::SweepEngine;
+pub use executor::{available_jobs, run_work_stealing};
+pub use scenario::{CaseRecord, WorkItem};
+pub use sink::JsonlSink;

@@ -1,0 +1,110 @@
+//! The streaming results sink.
+//!
+//! Worker threads finish cases out of order; consumers (files, pipes, CI
+//! logs) want one JSON-lines record per case, incrementally, in case
+//! order. [`JsonlSink`] reconciles the two with a reorder buffer: a
+//! completed record is written immediately if it is the next expected
+//! index, and parked otherwise; every write drains the park as far as the
+//! contiguous prefix reaches. The emitted byte stream is therefore
+//! identical for every job count — the property the determinism tests pin
+//! down.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::Mutex;
+
+struct Reorder<W: Write> {
+    next: usize,
+    pending: BTreeMap<usize, String>,
+    out: W,
+}
+
+/// An ordered, incremental JSON-lines writer shared by reference across
+/// worker threads.
+pub struct JsonlSink<W: Write> {
+    inner: Mutex<Reorder<W>>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer; records are expected for indices `0, 1, 2, …`.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            inner: Mutex::new(Reorder {
+                next: 0,
+                pending: BTreeMap::new(),
+                out,
+            }),
+        }
+    }
+
+    /// Hands the record for case `index` to the sink. The line (without
+    /// trailing newline) is written as soon as every earlier index has
+    /// been emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying writer fails or if an index is emitted
+    /// twice (both indicate harness bugs, not data conditions).
+    pub fn emit(&self, index: usize, line: &str) {
+        let mut inner = self.inner.lock().expect("results sink");
+        if index != inner.next {
+            assert!(
+                index > inner.next && !inner.pending.contains_key(&index),
+                "case {index} emitted twice"
+            );
+            inner.pending.insert(index, line.to_string());
+            return;
+        }
+        writeln!(inner.out, "{line}").expect("results sink write");
+        inner.next += 1;
+        loop {
+            let next = inner.next;
+            let Some(buffered) = inner.pending.remove(&next) else {
+                break;
+            };
+            writeln!(inner.out, "{buffered}").expect("results sink write");
+            inner.next += 1;
+        }
+        inner.out.flush().expect("results sink flush");
+    }
+
+    /// Unwraps the writer after the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if records are still parked (an earlier index never
+    /// arrived), which would mean the executor lost a case.
+    pub fn finish(self) -> W {
+        let inner = self.inner.into_inner().expect("results sink");
+        assert!(
+            inner.pending.is_empty(),
+            "cases {:?} were emitted but never flushed (missing earlier records)",
+            inner.pending.keys().collect::<Vec<_>>()
+        );
+        inner.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_order_emission_is_reordered() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit(2, "c");
+        sink.emit(0, "a");
+        sink.emit(1, "b");
+        sink.emit(3, "d");
+        let bytes = sink.finish();
+        assert_eq!(String::from_utf8(bytes).unwrap(), "a\nb\nc\nd\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "never flushed")]
+    fn missing_records_are_detected() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit(1, "b");
+        let _ = sink.finish();
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end properties of the sweep engine: parallel determinism and
+//! cache/fresh structure equivalence.
+
+use ring_experiments::tables::{table1_case, table2_case};
+use ring_experiments::SweepSpec;
+use ring_harness::scenario::{all_items, table1_items, table2_items};
+use ring_harness::{available_jobs, JsonlSink, StructureCache, SweepEngine};
+use ring_protocols::structures::{fresh_structures, SharedStructures};
+use std::sync::Arc;
+
+fn test_spec() -> SweepSpec {
+    SweepSpec {
+        sizes: vec![9, 8, 12],
+        universe_factors: vec![4, 16],
+        repetitions: 2,
+        seed: 77,
+    }
+}
+
+/// Runs the full sweep-item list at the given job count and returns the
+/// streamed JSONL bytes.
+fn jsonl_at_jobs(jobs: usize) -> Vec<u8> {
+    let spec = test_spec();
+    let mut items = table1_items(&spec);
+    items.extend(table2_items(&spec));
+    let engine = SweepEngine::new(jobs);
+    let sink = JsonlSink::new(Vec::new());
+    let records = engine.run(&items, Some(&sink));
+    assert_eq!(records.len(), items.len());
+    sink.finish()
+}
+
+/// The tentpole determinism property: the same `SweepSpec` produces
+/// byte-identical JSONL output at `--jobs 1`, `--jobs 2` and all cores,
+/// regardless of scheduling order.
+#[test]
+fn jsonl_output_is_byte_identical_across_job_counts() {
+    let serial = jsonl_at_jobs(1);
+    assert!(!serial.is_empty());
+    for jobs in [2, available_jobs()] {
+        let parallel = jsonl_at_jobs(jobs);
+        assert_eq!(
+            serial, parallel,
+            "JSONL output diverged between 1 and {jobs} jobs"
+        );
+    }
+}
+
+/// Cached structures must produce identical protocol outcomes to freshly
+/// constructed ones: the cache serves bit-identical structures, so every
+/// measurement (round counts, verification verdicts, predictions) agrees.
+#[test]
+fn cached_and_fresh_structures_produce_identical_outcomes() {
+    let spec = test_spec();
+    let fresh = fresh_structures();
+    let cache = Arc::new(StructureCache::new());
+    let cached: SharedStructures = cache.clone();
+    for case in spec.cases() {
+        assert_eq!(
+            table1_case(&case, &fresh),
+            table1_case(&case, &cached),
+            "table1 diverged on case {case:?}"
+        );
+        assert_eq!(
+            table2_case(&case, &fresh),
+            table2_case(&case, &cached),
+            "table2 diverged on case {case:?}"
+        );
+    }
+    // The sweep contains even sizes, so the distinguisher machinery ran and
+    // the second and later requests were served from the memo.
+    let stats = cache.stats();
+    assert!(stats.misses > 0, "no structures were ever requested");
+    assert!(stats.hits > 0, "repeated cases never hit the cache");
+}
+
+/// The `all` scenario runs every experiment family through the engine and
+/// reports a warm cache.
+#[test]
+fn all_items_run_verified_with_cache_hits() {
+    let spec = SweepSpec {
+        sizes: vec![9, 8],
+        universe_factors: vec![4],
+        repetitions: 1,
+        seed: 3,
+    };
+    let scaling = ring_experiments::distinguisher_scaling::ScalingSpec {
+        universe: 1 << 10,
+        sizes: vec![8],
+        seed: 41,
+    };
+    let items = all_items(&spec, &scaling);
+    let engine = SweepEngine::new(2);
+    let records = engine.run::<Vec<u8>>(&items, None);
+    assert_eq!(records.len(), items.len());
+    assert!(records.iter().all(|r| r.verified));
+    let families: std::collections::BTreeSet<&str> =
+        records.iter().map(|r| r.experiment.as_str()).collect();
+    assert_eq!(
+        families.into_iter().collect::<Vec<_>>(),
+        vec!["distinguisher_scaling", "fig1", "fig2", "lower_bounds", "table1", "table2"]
+    );
+    assert!(engine.cache_stats().hit_rate() > 0.0);
+}
