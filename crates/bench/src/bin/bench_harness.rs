@@ -1,6 +1,7 @@
-//! Sweep-throughput trajectory of the `ring-harness` scenario engine.
+//! Sweep-throughput trajectory of the `ring-harness` scenario engine and
+//! the `ring-distrib` multi-process layer.
 //!
-//! Times the same distinguisher-heavy sweep three ways and writes the
+//! Times the same distinguisher-heavy sweep five ways and writes the
 //! results to `BENCH_harness.json` (committed; its git history is the
 //! trajectory, like `BENCH_combinat.json`):
 //!
@@ -10,7 +11,21 @@
 //! 2. **`serial_cached`** — one case at a time through the engine's shared
 //!    [`StructureCache`], isolating the caching win.
 //! 3. **`parallel_cached`** — the full engine: work-stealing workers (at
-//!    least four) sharing the cache, which is what `ringlab` runs.
+//!    least four) sharing the cache, which is what `ringlab` runs. Timed
+//!    after a warm-up pass, so the structure cache is hot.
+//! 4. **`sharded_cold`** — the distributed layer from a standing start:
+//!    the orchestrator spawns worker *processes* (this binary re-invoked
+//!    in `--worker-shard` mode), validates their protocol streams, writes
+//!    shard files and checkpoints the manifest. Includes process spawn and
+//!    per-process structure construction — the honest cost of the first
+//!    pass on a fresh fleet.
+//! 5. **`sharded_cached`** — the distributed layer's steady state: the run
+//!    directory already holds complete shard files, so a pass is checksum
+//!    revalidation plus the deterministic k-way merge (what `resume` and
+//!    `merge` do when nothing crashed). This is the multi-process
+//!    analogue of `parallel_cached`'s warm cache and must beat it for the
+//!    sharded mode to be worth its overhead on repeated/append-style
+//!    sweeps.
 //!
 //! The bench sweep is the distinguisher-scaling study at large `N`
 //! (`N = 2¹⁷`) with measurement repetitions, so structure construction
@@ -26,13 +41,19 @@
 //! (optionally `-- --quick` for a CI smoke pass, `-- --out <path>` to
 //! redirect the report).
 
+use ring_distrib::{
+    fail_after_from_env, merge_shards, plan_shards, run_pending_shards, DoneEvent, Manifest,
+    OrchestratorOptions, ShardTally, SpecParams, StartEvent,
+};
 use ring_experiments::distinguisher_scaling::ScalingSpec;
 use ring_experiments::SweepSpec;
 use ring_harness::scenario::{scaling_items, table1_items, WorkItem};
+use ring_harness::sink::JsonlSink;
 use ring_harness::{available_jobs, StructureCache, SweepEngine};
 use ring_protocols::structures::fresh_structures;
 use serde::Serialize;
-use std::sync::Arc;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 #[derive(Clone, Debug, Serialize)]
@@ -61,6 +82,9 @@ struct Report {
     entries: Vec<Entry>,
     /// `parallel_cached` vs `serial_fresh` throughput on the bench sweep.
     speedup: f64,
+    /// `sharded_cached` vs `parallel_cached` throughput (the steady-state
+    /// multi-process pass against the warm single-process engine).
+    sharded_vs_parallel: f64,
     /// Cache counters accumulated by the `parallel_cached` bench run.
     bench_sweep_cache: CacheSection,
     /// Cache counters of one engine pass over the standard sweep.
@@ -87,21 +111,13 @@ fn cache_section(cache: &StructureCache) -> CacheSection {
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_harness.json".to_string());
-
-    // A construction-dominated sweep: the scaling study at large N, with
-    // measurement repetitions. Every repetition requests the same
-    // (kind, N, n, seed) structures — the pattern every repeated sweep
-    // exhibits — so `serial_fresh` reconstructs the dominant structures
-    // per case while the engine constructs each once.
-    let (scaling, reps) = if quick {
+/// The bench sweep configuration: a construction-dominated sweep — the
+/// scaling study at large N, with measurement repetitions. Every
+/// repetition requests the same (kind, N, n, seed) structures — the
+/// pattern every repeated sweep exhibits — so `serial_fresh` reconstructs
+/// the dominant structures per case while the engine constructs each once.
+fn bench_config(quick: bool) -> (ScalingSpec, usize) {
+    if quick {
         (
             ScalingSpec {
                 universe: 1 << 14,
@@ -119,11 +135,136 @@ fn main() {
             },
             10usize,
         )
-    };
+    }
+}
+
+fn bench_items(scaling: &ScalingSpec, reps: usize) -> Vec<WorkItem> {
     let mut items: Vec<WorkItem> = Vec::new();
     for _ in 0..reps {
-        items.extend(scaling_items(&scaling));
+        items.extend(scaling_items(scaling));
     }
+    items
+}
+
+/// Fingerprint of the bench item enumeration, shared between the
+/// orchestrating process and its `--worker-shard` children.
+fn bench_fingerprint(quick: bool) -> String {
+    let (scaling, reps) = bench_config(quick);
+    let h = ring_combinat::shared::splitmix64(scaling.fingerprint() ^ reps as u64);
+    format!("0x{h:016x}")
+}
+
+/// `--worker-shard i/M` mode: this binary as a ring-distrib worker over
+/// the bench item list, speaking the protocol on stdout. Lets the bench
+/// orchestrate real worker processes without depending on an external
+/// binary path.
+fn worker_shard_mode(quick: bool, shard: usize, of: usize) {
+    let (scaling, reps) = bench_config(quick);
+    let items = bench_items(&scaling, reps);
+    let range = plan_shards(items.len(), of)[shard];
+    let start = StartEvent::new(shard, of, range.start, range.end, &bench_fingerprint(quick));
+    {
+        let mut out = std::io::stdout();
+        writeln!(out, "{}", serde_json::to_string(&start).expect("serializable event"))
+            .and_then(|()| out.flush())
+            .expect("stdout");
+    }
+    let engine = SweepEngine::new(1);
+    let sink = JsonlSink::new(ShardTally::new(std::io::stdout(), fail_after_from_env()));
+    engine.run_with_offset(&items[range.start..range.end], range.start, Some(&sink));
+    let tally = sink.finish();
+    let cache = engine.cache_stats();
+    let done = DoneEvent::new(
+        shard,
+        tally.lines() as usize,
+        tally.checksum(),
+        cache.hits,
+        cache.misses,
+        engine.exec_stats().steals,
+    );
+    println!("{}", serde_json::to_string(&done).expect("serializable event"));
+}
+
+/// Orchestrates one cold sharded pass over the bench items into `run_dir`
+/// (which is wiped first), merging at the end like `ringlab --shards`.
+fn run_sharded_cold(run_dir: &std::path::Path, quick: bool, total: usize, shards: usize) {
+    std::fs::remove_dir_all(run_dir).ok();
+    std::fs::create_dir_all(run_dir).expect("create sharded run dir");
+    let manifest = Manifest::new(
+        SpecParams {
+            subcommand: "bench-harness".into(),
+            quick,
+            sizes: None,
+            universe_factors: None,
+            reps: None,
+            seed: None,
+        },
+        bench_fingerprint(quick),
+        total,
+        &plan_shards(total, shards),
+        1,
+        "-".into(),
+    );
+    let manifest = Mutex::new(manifest);
+    let exe = std::env::current_exe().expect("locate bench binary");
+    let options = OrchestratorOptions {
+        concurrency: shards.min(available_jobs().max(2)),
+        retries: 0,
+    };
+    let outcome = run_pending_shards(run_dir, &manifest, &options, &|range| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--worker-shard").arg(format!("{}/{shards}", range.shard));
+        if quick {
+            cmd.arg("--quick");
+        }
+        cmd
+    })
+    .expect("orchestrate bench shards");
+    assert!(outcome.failed.is_empty(), "bench workers failed: {outcome:?}");
+    run_sharded_cached(run_dir, total);
+}
+
+/// One steady-state pass over a completed run dir: checksum revalidation
+/// plus the k-way merge (what `resume`/`merge` cost when nothing crashed).
+fn run_sharded_cached(run_dir: &std::path::Path, total: usize) {
+    let mut manifest = Manifest::load(run_dir).expect("load bench manifest");
+    let demoted = manifest
+        .revalidate_completed(run_dir)
+        .expect("revalidate bench shards");
+    assert!(demoted.is_empty(), "bench shards failed revalidation");
+    let mut merged = Vec::new();
+    let report = merge_shards(&manifest.shard_files(run_dir), &mut merged, Some(total))
+        .expect("merge bench shards");
+    assert_eq!(report.records, total);
+    std::hint::black_box(merged);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(value) = args
+        .iter()
+        .position(|a| a == "--worker-shard")
+        .and_then(|i| args.get(i + 1))
+    {
+        let (shard, of) = value
+            .split_once('/')
+            .expect("--worker-shard expects i/M");
+        worker_shard_mode(
+            quick,
+            shard.parse().expect("shard index"),
+            of.parse().expect("shard count"),
+        );
+        return;
+    }
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_harness.json".to_string());
+
+    let (scaling, reps) = bench_config(quick);
+    let items = bench_items(&scaling, reps);
     let parallel_jobs = available_jobs().max(4);
 
     // 1. The pre-harness behaviour: serial, structures from scratch per
@@ -146,6 +287,22 @@ fn main() {
     let parallel_cached = time_run(&items, |items| {
         std::hint::black_box(parallel_engine.run::<Vec<u8>>(items, None));
     });
+
+    // 4./5. The distributed layer: a cold orchestrated pass (processes
+    //    spawned, structures rebuilt per process, shards merged), then the
+    //    steady-state pass over the completed run directory (revalidate +
+    //    merge only). Same warm-up-then-time discipline as the others.
+    let shard_count = 2usize;
+    let run_dir = std::env::temp_dir().join(format!("ring-bench-sharded-{}", std::process::id()));
+    run_sharded_cold(&run_dir, quick, items.len(), shard_count);
+    let start = Instant::now();
+    run_sharded_cold(&run_dir, quick, items.len(), shard_count);
+    let sharded_cold = start.elapsed().as_secs_f64();
+    run_sharded_cached(&run_dir, items.len());
+    let start = Instant::now();
+    run_sharded_cached(&run_dir, items.len());
+    let sharded_cached = start.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(&run_dir).ok();
 
     let throughput = |elapsed: f64| items.len() as f64 / elapsed.max(1e-9);
     let entries = vec![
@@ -170,8 +327,23 @@ fn main() {
             elapsed_ms: parallel_cached * 1e3,
             cases_per_sec: throughput(parallel_cached),
         },
+        Entry {
+            name: "sharded_cold".into(),
+            cases: items.len(),
+            jobs: shard_count,
+            elapsed_ms: sharded_cold * 1e3,
+            cases_per_sec: throughput(sharded_cold),
+        },
+        Entry {
+            name: "sharded_cached".into(),
+            cases: items.len(),
+            jobs: shard_count,
+            elapsed_ms: sharded_cached * 1e3,
+            cases_per_sec: throughput(sharded_cached),
+        },
     ];
     let speedup = serial_fresh / parallel_cached.max(1e-9);
+    let sharded_vs_parallel = parallel_cached / sharded_cached.max(1e-9);
     for entry in &entries {
         println!(
             "{:<16} {:>3} cases, {:>2} jobs: {:>10.1} ms  ({:>8.2} cases/s)",
@@ -179,6 +351,7 @@ fn main() {
         );
     }
     println!("sweep speedup (parallel_cached vs serial_fresh): {speedup:.1}x");
+    println!("sharded steady state vs warm parallel engine: {sharded_vs_parallel:.1}x");
 
     // Cache health on the standard sweep (the acceptance indicator: the
     // hit rate must be strictly positive).
@@ -201,6 +374,7 @@ fn main() {
         parallel_jobs,
         entries,
         speedup,
+        sharded_vs_parallel,
         bench_sweep_cache: cache_section(Arc::as_ref(parallel_engine.cache())),
         standard_sweep_cache: standard_cache,
     };
@@ -216,5 +390,12 @@ fn main() {
     }
     if report.standard_sweep_cache.hit_rate <= 0.0 {
         eprintln!("WARNING: standard sweep never hit the structure cache");
+    }
+    if report.sharded_vs_parallel < 1.0 {
+        eprintln!(
+            "WARNING: steady-state sharded pass ({:.1}x) is slower than the warm \
+             parallel engine",
+            report.sharded_vs_parallel
+        );
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::coordination::nontrivial::{solve_nontrivial_move, NontrivialMove};
 use crate::error::ProtocolError;
-use crate::exec::Network;
+use crate::exec::{Network, StepBuffers};
 use ring_sim::{Frame, LocalDirection, CIRCUMFERENCE};
 
 /// The result of a direction-agreement protocol.
@@ -60,19 +60,23 @@ pub fn agree_direction_with_move(
     nontrivial_directions: &[LocalDirection],
 ) -> Result<DirectionAgreement, ProtocolError> {
     let start = net.rounds_used();
-    let first = net.step(nontrivial_directions)?;
-    let second = net.step(nontrivial_directions)?;
-    if first[0].dist.is_zero() {
+    let mut bufs = StepBuffers::new();
+    net.step_into(nontrivial_directions, &mut bufs)?;
+    // Both rounds flow through one buffer set, so the first round's dist
+    // readings are copied out before the second overwrites them.
+    let first_ticks: Vec<u64> = bufs.observations().iter().map(|o| o.dist.ticks()).collect();
+    net.step_into(nontrivial_directions, &mut bufs)?;
+    if first_ticks[0] == 0 {
         return Err(ProtocolError::Internal {
             protocol: "direction-agreement",
             reason: "the supplied assignment has rotation index 0".into(),
         });
     }
-    let frames = first
+    let frames = first_ticks
         .iter()
-        .zip(&second)
-        .map(|(a, b)| {
-            let wrapped = a.dist.ticks() + b.dist.ticks() > CIRCUMFERENCE;
+        .zip(bufs.observations())
+        .map(|(&a, b)| {
+            let wrapped = a + b.dist.ticks() > CIRCUMFERENCE;
             Frame::new(wrapped)
         })
         .collect();

@@ -21,7 +21,7 @@
 //!   `n > 4`: `1 + ⌈log₂ N⌉` rounds.
 
 use crate::error::ProtocolError;
-use crate::exec::Network;
+use crate::exec::{Network, StepBuffers};
 use crate::ids::AgentId;
 use ring_sim::{Frame, LocalDirection, Model, Parity};
 
@@ -32,6 +32,26 @@ pub struct EmptinessOutcome {
     pub nonempty: bool,
     /// Rounds consumed by the test.
     pub rounds: u64,
+}
+
+/// Reusable buffers for emptiness tests. Callers that run many tests back
+/// to back — Lemma 13's per-bit binary search in particular — thread one
+/// scratch through [`test_emptiness_with`] so no test allocates after the
+/// buffers reach the ring size.
+#[derive(Clone, Debug, Default)]
+pub struct EmptinessScratch {
+    membership: Vec<bool>,
+    sub: Vec<bool>,
+    observed_motion: Vec<bool>,
+    dirs: Vec<LocalDirection>,
+    step: StepBuffers,
+}
+
+impl EmptinessScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Tests whether any agent's identifier satisfies `in_b`, assuming the
@@ -46,6 +66,21 @@ pub fn test_emptiness(
     frames: &[Frame],
     in_b: &dyn Fn(AgentId) -> bool,
 ) -> Result<EmptinessOutcome, ProtocolError> {
+    test_emptiness_with(net, frames, in_b, &mut EmptinessScratch::new())
+}
+
+/// [`test_emptiness`] through caller-owned buffers (the zero-alloc
+/// variant; rounds execute via [`Network::step_into`]).
+///
+/// # Errors
+///
+/// Same as [`test_emptiness`].
+pub fn test_emptiness_with(
+    net: &mut Network<'_>,
+    frames: &[Frame],
+    in_b: &dyn Fn(AgentId) -> bool,
+    scratch: &mut EmptinessScratch,
+) -> Result<EmptinessOutcome, ProtocolError> {
     let n = net.len();
     if frames.len() != n {
         return Err(ProtocolError::LengthMismatch {
@@ -55,46 +90,58 @@ pub fn test_emptiness(
         });
     }
     let start = net.rounds_used();
-    let membership: Vec<bool> = (0..n).map(|agent| in_b(net.id_of(agent))).collect();
+    let EmptinessScratch {
+        membership,
+        sub,
+        observed_motion,
+        dirs,
+        step,
+    } = scratch;
+    membership.clear();
+    membership.extend((0..n).map(|agent| in_b(net.id_of(agent))));
 
     let nonempty = match (net.model(), net.parity()) {
         (Model::Lazy, _) => {
-            let dirs: Vec<LocalDirection> = (0..n)
-                .map(|agent| {
-                    if membership[agent] {
-                        frames[agent].to_physical(LocalDirection::Right)
-                    } else {
-                        LocalDirection::Idle
-                    }
-                })
-                .collect();
-            let obs = net.step(&dirs)?;
-            decide(&membership, |agent| !obs[agent].dist.is_zero())
+            dirs.clear();
+            dirs.extend(membership.iter().zip(frames).map(|(&member, frame)| {
+                if member {
+                    frame.to_physical(LocalDirection::Right)
+                } else {
+                    LocalDirection::Idle
+                }
+            }));
+            net.step_into(dirs, step)?;
+            let obs = step.observations();
+            decide(membership, |agent| !obs[agent].dist.is_zero())
         }
         (Model::Perceptive, _) => {
-            let dirs = member_split(&membership, frames);
-            let obs = net.step(&dirs)?;
-            decide(&membership, |agent| {
+            member_split_into(membership, frames, dirs);
+            net.step_into(dirs, step)?;
+            let obs = step.observations();
+            decide(membership, |agent| {
                 !obs[agent].dist.is_zero() || obs[agent].coll.is_some()
             })
         }
         (Model::Basic, Parity::Odd) => {
-            let dirs = member_split(&membership, frames);
-            let obs = net.step(&dirs)?;
-            decide(&membership, |agent| !obs[agent].dist.is_zero())
+            member_split_into(membership, frames, dirs);
+            net.step_into(dirs, step)?;
+            let obs = step.observations();
+            decide(membership, |agent| !obs[agent].dist.is_zero())
         }
         (Model::Basic, Parity::Even) => {
-            let mut observed_motion = vec![false; n];
+            observed_motion.clear();
+            observed_motion.resize(n, false);
             // Round 0: the member set itself.
-            run_split(net, frames, &membership, &mut observed_motion)?;
+            run_split(net, frames, membership, observed_motion, dirs, step)?;
             // Rounds 1..: members split by each identifier bit.
             for bit in 0..net.id_bits() {
-                let sub: Vec<bool> = (0..n)
-                    .map(|agent| membership[agent] && net.id_of(agent).bit(bit))
-                    .collect();
-                run_split(net, frames, &sub, &mut observed_motion)?;
+                sub.clear();
+                sub.extend(
+                    (0..n).map(|agent| membership[agent] && net.id_of(agent).bit(bit)),
+                );
+                run_split(net, frames, sub, observed_motion, dirs, step)?;
             }
-            decide(&membership, |agent| observed_motion[agent])
+            decide(membership, |agent| observed_motion[agent])
         }
     };
 
@@ -104,20 +151,17 @@ pub fn test_emptiness(
     })
 }
 
-/// Directions for a round in which members move logically right and
+/// Fills `dirs` for a round in which members move logically right and
 /// non-members logically left.
-fn member_split(membership: &[bool], frames: &[Frame]) -> Vec<LocalDirection> {
-    membership
-        .iter()
-        .zip(frames)
-        .map(|(&member, frame)| {
-            frame.to_physical(if member {
-                LocalDirection::Right
-            } else {
-                LocalDirection::Left
-            })
+fn member_split_into(membership: &[bool], frames: &[Frame], dirs: &mut Vec<LocalDirection>) {
+    dirs.clear();
+    dirs.extend(membership.iter().zip(frames).map(|(&member, frame)| {
+        frame.to_physical(if member {
+            LocalDirection::Right
+        } else {
+            LocalDirection::Left
         })
-        .collect()
+    }));
 }
 
 fn run_split(
@@ -125,10 +169,12 @@ fn run_split(
     frames: &[Frame],
     membership: &[bool],
     observed_motion: &mut [bool],
+    dirs: &mut Vec<LocalDirection>,
+    step: &mut StepBuffers,
 ) -> Result<(), ProtocolError> {
-    let dirs = member_split(membership, frames);
-    let obs = net.step(&dirs)?;
-    for (flag, o) in observed_motion.iter_mut().zip(&obs) {
+    member_split_into(membership, frames, dirs);
+    net.step_into(dirs, step)?;
+    for (flag, o) in observed_motion.iter_mut().zip(step.observations()) {
         *flag |= !o.dist.is_zero();
     }
     Ok(())
@@ -138,16 +184,12 @@ fn run_split(
 /// relies on having observed motion. The debug assertion documents that all
 /// agents reach the same conclusion.
 fn decide(membership: &[bool], saw_evidence: impl Fn(usize) -> bool) -> bool {
-    let verdicts: Vec<bool> = membership
-        .iter()
-        .enumerate()
-        .map(|(agent, &member)| member || saw_evidence(agent))
-        .collect();
+    let verdict = membership[0] || saw_evidence(0);
     debug_assert!(
-        verdicts.iter().all(|&v| v == verdicts[0]),
+        (1..membership.len()).all(|agent| (membership[agent] || saw_evidence(agent)) == verdict),
         "agents disagree on emptiness"
     );
-    verdicts[0]
+    verdict
 }
 
 #[cfg(test)]

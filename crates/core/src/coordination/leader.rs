@@ -17,10 +17,10 @@
 //! election" column of Table I.
 
 use crate::coordination::diragr::{agree_direction_with_move, DirectionAgreement};
-use crate::coordination::emptiness::test_emptiness;
+use crate::coordination::emptiness::{test_emptiness_with, EmptinessScratch};
 use crate::coordination::nontrivial::{solve_nontrivial_move, NontrivialMove};
 use crate::error::ProtocolError;
-use crate::exec::Network;
+use crate::exec::{Network, StepBuffers};
 use ring_sim::{Frame, LocalDirection};
 
 /// The result of a leader election.
@@ -98,20 +98,25 @@ pub fn elect_leader_with_move(
         .collect();
 
     // Step 3: binary search over identifier bits, maintaining RI(X) ≠ 0.
+    // One buffer set and two reused per-agent vectors serve every round
+    // (the zero-alloc `step_into` interface).
+    let mut bufs = StepBuffers::new();
+    let mut in_x0 = vec![false; n];
+    let mut dirs: Vec<LocalDirection> = Vec::with_capacity(n);
     for bit in 0..net.id_bits() {
-        let in_x0: Vec<bool> = (0..n)
-            .map(|agent| in_x[agent] && !net.id_of(agent).bit(bit))
-            .collect();
-        let dirs: Vec<LocalDirection> = (0..n)
-            .map(|agent| {
-                frames[agent].to_physical(if in_x0[agent] {
-                    LocalDirection::Right
-                } else {
-                    LocalDirection::Left
-                })
+        for agent in 0..n {
+            in_x0[agent] = in_x[agent] && !net.id_of(agent).bit(bit);
+        }
+        dirs.clear();
+        dirs.extend((0..n).map(|agent| {
+            frames[agent].to_physical(if in_x0[agent] {
+                LocalDirection::Right
+            } else {
+                LocalDirection::Left
             })
-            .collect();
-        let obs = net.step(&dirs)?;
+        }));
+        net.step_into(&dirs, &mut bufs)?;
+        let obs = bufs.observations();
         let nonzero = !obs[0].dist.is_zero();
         debug_assert!(obs.iter().all(|o| o.dist.is_zero() != nonzero));
         for agent in 0..n {
@@ -152,14 +157,21 @@ pub fn elect_leader_with_common_direction(
     let start = net.rounds_used();
     let bits = net.id_bits();
     let mut prefix: u64 = 0;
+    // One scratch serves every per-bit emptiness test.
+    let mut scratch = EmptinessScratch::new();
     for bit in (0..bits).rev() {
         let candidate_floor = prefix | (1 << bit);
         // B = identifiers matching the chosen prefix above `bit` and having
         // this bit set.
-        let outcome = test_emptiness(net, frames, &move |id| {
-            let v = id.value();
-            (v >> (bit + 1)) == (candidate_floor >> (bit + 1)) && (v >> bit) & 1 == 1
-        })?;
+        let outcome = test_emptiness_with(
+            net,
+            frames,
+            &move |id| {
+                let v = id.value();
+                (v >> (bit + 1)) == (candidate_floor >> (bit + 1)) && (v >> bit) & 1 == 1
+            },
+            &mut scratch,
+        )?;
         if outcome.nonempty {
             prefix = candidate_floor;
         }

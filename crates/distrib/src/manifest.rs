@@ -1,0 +1,541 @@
+//! The run manifest (`manifest.json`, `schema: ring-distrib/v1`).
+//!
+//! A sharded run directory holds one `manifest.json` plus one
+//! `shard-NNN.jsonl` file per shard. The manifest is the run's durable
+//! state: the spec parameters that enumerate the cases (enough for
+//! `resume` to rebuild the item list with no other input), the spec
+//! fingerprint pinning that enumeration, the shard plan, and per-shard
+//! progress — status, attempt count, record count, content checksum and
+//! the worker's structure-cache / executor statistics.
+//!
+//! The orchestrator rewrites the manifest (atomically, via a temp file and
+//! rename) after every shard transition, so a crash at any point leaves a
+//! resumable directory: `resume` trusts exactly those shards whose files
+//! still match their recorded checksum and record count, and re-runs the
+//! rest.
+
+use crate::checksum::digest_file;
+use crate::plan::ShardRange;
+use serde::{Serialize, Value};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The manifest schema identifier.
+pub const MANIFEST_SCHEMA: &str = "ring-distrib/v1";
+
+/// The manifest file name inside a run directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// The shard JSONL file name for a shard number.
+pub fn shard_file_name(shard: usize) -> String {
+    format!("shard-{shard:03}.jsonl")
+}
+
+/// Progress state of one shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardStatus {
+    /// Not yet run (or demoted after failing revalidation).
+    Pending,
+    /// Ran to completion; the shard file matched the worker's checksum.
+    Complete,
+    /// Exhausted its retry budget.
+    Failed,
+}
+
+impl ShardStatus {
+    /// The manifest string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardStatus::Pending => "pending",
+            ShardStatus::Complete => "complete",
+            ShardStatus::Failed => "failed",
+        }
+    }
+
+    fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "pending" => Ok(ShardStatus::Pending),
+            "complete" => Ok(ShardStatus::Complete),
+            "failed" => Ok(ShardStatus::Failed),
+            other => Err(format!("unknown shard status `{other}`")),
+        }
+    }
+}
+
+impl Serialize for ShardStatus {
+    fn to_json(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+/// End-of-shard accounting reported by a successful worker.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Record lines produced.
+    pub records: usize,
+    /// Checksum over the shard file bytes.
+    pub checksum: String,
+    /// Structure-cache hits inside the worker.
+    pub cache_hits: u64,
+    /// Structure-cache misses inside the worker.
+    pub cache_misses: u64,
+    /// Executor steals inside the worker.
+    pub steals: u64,
+}
+
+/// One shard's manifest entry.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct ShardEntry {
+    /// The shard number.
+    pub shard: usize,
+    /// First global case index (inclusive).
+    pub start: usize,
+    /// One past the last global case index (exclusive).
+    pub end: usize,
+    /// Progress state.
+    pub status: ShardStatus,
+    /// Worker launches so far (counts retries).
+    pub attempts: u32,
+    /// Record lines in the shard file (0 until complete).
+    pub records: usize,
+    /// Checksum of the shard file (empty until complete).
+    pub checksum: String,
+    /// Structure-cache hits of the completing worker.
+    pub cache_hits: u64,
+    /// Structure-cache misses of the completing worker.
+    pub cache_misses: u64,
+    /// Executor steals of the completing worker.
+    pub steals: u64,
+}
+
+impl ShardEntry {
+    /// The shard's index range.
+    pub fn range(&self) -> ShardRange {
+        ShardRange {
+            shard: self.shard,
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+/// The spec parameters a worker or `resume` needs to re-enumerate the run's
+/// cases: the `ringlab` subcommand plus the flag overrides it was given.
+/// `None` means "the subcommand's default".
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct SpecParams {
+    /// The `ringlab` subcommand whose item list is sharded.
+    pub subcommand: String,
+    /// Whether `--quick` sizes were in force.
+    pub quick: bool,
+    /// `--sizes` override.
+    pub sizes: Option<Vec<usize>>,
+    /// `--universe-factors` override.
+    pub universe_factors: Option<Vec<u64>>,
+    /// `--reps` override.
+    pub reps: Option<u64>,
+    /// `--seed` override.
+    pub seed: Option<u64>,
+}
+
+/// The run manifest.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Manifest {
+    /// Always [`MANIFEST_SCHEMA`].
+    pub schema: String,
+    /// Parameters that re-enumerate the run's cases.
+    pub spec: SpecParams,
+    /// Fingerprint of the resolved spec (hex, `0x…`); `resume` refuses a
+    /// manifest whose fingerprint the current binary does not reproduce.
+    pub spec_fingerprint: String,
+    /// Total number of cases in the sweep.
+    pub total_cases: usize,
+    /// Worker threads per worker process.
+    pub jobs_per_worker: usize,
+    /// The merged-output destination the run was started with (`-` =
+    /// stdout; empty = the JSONL stream was disabled).
+    pub output: String,
+    /// Per-shard progress, in shard order.
+    pub shards: Vec<ShardEntry>,
+}
+
+impl Manifest {
+    /// Creates a fresh manifest over a shard plan, all shards pending.
+    pub fn new(
+        spec: SpecParams,
+        spec_fingerprint: String,
+        total_cases: usize,
+        ranges: &[ShardRange],
+        jobs_per_worker: usize,
+        output: String,
+    ) -> Self {
+        Manifest {
+            schema: MANIFEST_SCHEMA.to_string(),
+            spec,
+            spec_fingerprint,
+            total_cases,
+            jobs_per_worker,
+            output,
+            shards: ranges
+                .iter()
+                .map(|range| ShardEntry {
+                    shard: range.shard,
+                    start: range.start,
+                    end: range.end,
+                    status: ShardStatus::Pending,
+                    attempts: 0,
+                    records: 0,
+                    checksum: String::new(),
+                    cache_hits: 0,
+                    cache_misses: 0,
+                    steals: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// The manifest path inside a run directory.
+    pub fn path_in(run_dir: &Path) -> PathBuf {
+        run_dir.join(MANIFEST_FILE)
+    }
+
+    /// Writes the manifest atomically (temp file + rename), so observers —
+    /// including a concurrent `resume` after a crash — never read a
+    /// half-written manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_in(&self, run_dir: &Path) -> io::Result<()> {
+        let path = Self::path_in(run_dir);
+        let tmp = run_dir.join(format!("{MANIFEST_FILE}.tmp"));
+        let json = serde_json::to_string_pretty(self).expect("serializable manifest");
+        std::fs::write(&tmp, json + "\n")?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Loads and validates a manifest from a run directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of I/O failures, malformed JSON or an
+    /// unsupported schema.
+    pub fn load(run_dir: &Path) -> Result<Self, String> {
+        let path = Self::path_in(run_dir);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let value = serde_json::from_str(&text)
+            .map_err(|e| format!("malformed manifest {}: {e}", path.display()))?;
+        Self::from_json(&value)
+    }
+
+    /// Reconstructs a manifest from its JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        let schema = require_str(value, "schema")?;
+        if schema != MANIFEST_SCHEMA {
+            return Err(format!(
+                "manifest schema `{schema}` is not `{MANIFEST_SCHEMA}`"
+            ));
+        }
+        let spec_value = value.get("spec").ok_or("manifest is missing `spec`")?;
+        let spec = SpecParams {
+            subcommand: require_str(spec_value, "subcommand")?,
+            quick: spec_value
+                .get("quick")
+                .and_then(Value::as_bool)
+                .ok_or("spec is missing boolean `quick`")?,
+            sizes: optional_u64_list(spec_value, "sizes")?
+                .map(|list| list.into_iter().map(|v| v as usize).collect()),
+            universe_factors: optional_u64_list(spec_value, "universe_factors")?,
+            reps: optional_u64(spec_value, "reps")?,
+            seed: optional_u64(spec_value, "seed")?,
+        };
+        let shards_value = value
+            .get("shards")
+            .and_then(Value::as_array)
+            .ok_or("manifest is missing `shards` array")?;
+        let mut shards = Vec::with_capacity(shards_value.len());
+        for entry in shards_value {
+            shards.push(ShardEntry {
+                shard: require_u64(entry, "shard")? as usize,
+                start: require_u64(entry, "start")? as usize,
+                end: require_u64(entry, "end")? as usize,
+                status: ShardStatus::parse(&require_str(entry, "status")?)?,
+                attempts: require_u64(entry, "attempts")? as u32,
+                records: require_u64(entry, "records")? as usize,
+                checksum: require_str(entry, "checksum")?,
+                cache_hits: require_u64(entry, "cache_hits")?,
+                cache_misses: require_u64(entry, "cache_misses")?,
+                steals: require_u64(entry, "steals")?,
+            });
+        }
+        Ok(Manifest {
+            schema,
+            spec,
+            spec_fingerprint: require_str(value, "spec_fingerprint")?,
+            total_cases: require_u64(value, "total_cases")? as usize,
+            jobs_per_worker: require_u64(value, "jobs_per_worker")? as usize,
+            output: require_str(value, "output")?,
+            shards,
+        })
+    }
+
+    /// Marks a shard complete with its worker's accounting.
+    pub fn mark_complete(&mut self, shard: usize, stats: &ShardStats) {
+        let entry = &mut self.shards[shard];
+        entry.status = ShardStatus::Complete;
+        entry.records = stats.records;
+        entry.checksum = stats.checksum.clone();
+        entry.cache_hits = stats.cache_hits;
+        entry.cache_misses = stats.cache_misses;
+        entry.steals = stats.steals;
+    }
+
+    /// Marks a shard failed (retry budget exhausted).
+    pub fn mark_failed(&mut self, shard: usize) {
+        self.shards[shard].status = ShardStatus::Failed;
+    }
+
+    /// Shards that still need a worker (pending or failed).
+    pub fn incomplete_shards(&self) -> Vec<ShardRange> {
+        self.shards
+            .iter()
+            .filter(|e| e.status != ShardStatus::Complete)
+            .map(ShardEntry::range)
+            .collect()
+    }
+
+    /// Whether every shard is complete.
+    pub fn is_complete(&self) -> bool {
+        self.shards.iter().all(|e| e.status == ShardStatus::Complete)
+    }
+
+    /// The shard files of a completed run, in shard (hence case) order.
+    pub fn shard_files(&self, run_dir: &Path) -> Vec<PathBuf> {
+        self.shards
+            .iter()
+            .map(|e| run_dir.join(shard_file_name(e.shard)))
+            .collect()
+    }
+
+    /// Re-checks every `complete` shard against the bytes on disk and
+    /// demotes the ones whose file is missing, truncated or otherwise
+    /// different from what the worker reported — the heart of `resume`.
+    /// Returns the demoted shard numbers.
+    ///
+    /// # Errors
+    ///
+    /// Never fails on a bad shard file (that demotes the shard); only
+    /// unexpected I/O errors on the run directory itself propagate.
+    pub fn revalidate_completed(&mut self, run_dir: &Path) -> io::Result<Vec<usize>> {
+        let mut demoted = Vec::new();
+        for entry in &mut self.shards {
+            if entry.status != ShardStatus::Complete {
+                continue;
+            }
+            let path = run_dir.join(shard_file_name(entry.shard));
+            let valid = match digest_file(&path) {
+                Ok(digest) => {
+                    digest.checksum == entry.checksum
+                        && digest.lines == entry.records
+                        && entry.records == entry.end - entry.start
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => false,
+                Err(e) => return Err(e),
+            };
+            if !valid {
+                entry.status = ShardStatus::Pending;
+                entry.records = 0;
+                entry.checksum = String::new();
+                demoted.push(entry.shard);
+            }
+        }
+        Ok(demoted)
+    }
+
+    /// Sums the per-shard worker statistics (completed shards only).
+    pub fn aggregate_stats(&self) -> ShardStats {
+        let mut total = ShardStats::default();
+        for entry in &self.shards {
+            if entry.status == ShardStatus::Complete {
+                total.records += entry.records;
+                total.cache_hits += entry.cache_hits;
+                total.cache_misses += entry.cache_misses;
+                total.steals += entry.steals;
+            }
+        }
+        total
+    }
+}
+
+fn require_str(value: &Value, key: &str) -> Result<String, String> {
+    value
+        .get(key)
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("manifest is missing string `{key}`"))
+}
+
+fn require_u64(value: &Value, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("manifest is missing integer `{key}`"))
+}
+
+fn optional_u64(value: &Value, key: &str) -> Result<Option<u64>, String> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) if v.is_null() => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("spec `{key}` is not an integer")),
+    }
+}
+
+fn optional_u64_list(value: &Value, key: &str) -> Result<Option<Vec<u64>>, String> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) if v.is_null() => Ok(None),
+        Some(v) => {
+            let items = v
+                .as_array()
+                .ok_or_else(|| format!("spec `{key}` is not an array"))?;
+            items
+                .iter()
+                .map(|item| {
+                    item.as_u64()
+                        .ok_or_else(|| format!("spec `{key}` holds a non-integer"))
+                })
+                .collect::<Result<Vec<u64>, String>>()
+                .map(Some)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::plan_shards;
+
+    fn sample_manifest() -> Manifest {
+        let spec = SpecParams {
+            subcommand: "sweep".into(),
+            quick: true,
+            sizes: Some(vec![9, 8]),
+            universe_factors: None,
+            reps: Some(2),
+            seed: None,
+        };
+        Manifest::new(
+            spec,
+            "0x1234abcd".into(),
+            10,
+            &plan_shards(10, 3),
+            1,
+            "results/sweep.jsonl".into(),
+        )
+    }
+
+    #[test]
+    fn manifests_round_trip_through_json() {
+        let mut manifest = sample_manifest();
+        manifest.shards[0].attempts = 2;
+        manifest.mark_complete(
+            0,
+            &ShardStats {
+                records: 4,
+                checksum: "fnv1a64:00ff".into(),
+                cache_hits: 7,
+                cache_misses: 3,
+                steals: 1,
+            },
+        );
+        manifest.mark_failed(2);
+        let text = serde_json::to_string_pretty(&manifest).unwrap();
+        let parsed = Manifest::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(parsed, manifest);
+        assert!(!parsed.is_complete());
+        assert_eq!(
+            parsed
+                .incomplete_shards()
+                .iter()
+                .map(|r| r.shard)
+                .collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        let stats = parsed.aggregate_stats();
+        assert_eq!((stats.records, stats.cache_hits, stats.steals), (4, 7, 1));
+    }
+
+    #[test]
+    fn save_and_load_are_inverse() {
+        let dir = std::env::temp_dir().join(format!("ring-distrib-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = sample_manifest();
+        manifest.save_in(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), manifest);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn revalidation_demotes_tampered_shards() {
+        let dir = std::env::temp_dir().join(format!(
+            "ring-distrib-revalidate-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut manifest = sample_manifest();
+
+        // Shard 0: valid file (4 cases, checksum agrees).
+        let body = "{\"case_index\":0}\n{\"case_index\":1}\n{\"case_index\":2}\n{\"case_index\":3}\n";
+        std::fs::write(dir.join(shard_file_name(0)), body).unwrap();
+        let digest = digest_file(&dir.join(shard_file_name(0))).unwrap();
+        manifest.mark_complete(
+            0,
+            &ShardStats {
+                records: 4,
+                checksum: digest.checksum,
+                ..ShardStats::default()
+            },
+        );
+        // Shard 1: recorded complete but the file is truncated.
+        std::fs::write(dir.join(shard_file_name(1)), "{\"case_index\":4}\n").unwrap();
+        let digest = digest_file(&dir.join(shard_file_name(1))).unwrap();
+        manifest.mark_complete(
+            1,
+            &ShardStats {
+                records: 3,
+                checksum: digest.checksum,
+                ..ShardStats::default()
+            },
+        );
+        // Shard 2: recorded complete but the file is gone.
+        manifest.mark_complete(
+            2,
+            &ShardStats {
+                records: 3,
+                checksum: "fnv1a64:dead".into(),
+                ..ShardStats::default()
+            },
+        );
+
+        let demoted = manifest.revalidate_completed(&dir).unwrap();
+        assert_eq!(demoted, vec![1, 2]);
+        assert_eq!(manifest.shards[0].status, ShardStatus::Complete);
+        assert_eq!(manifest.shards[1].status, ShardStatus::Pending);
+        assert_eq!(manifest.shards[2].status, ShardStatus::Pending);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let value = serde_json::from_str("{\"schema\":\"ring-distrib/v0\"}").unwrap();
+        assert!(Manifest::from_json(&value).unwrap_err().contains("schema"));
+    }
+}

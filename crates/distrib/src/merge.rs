@@ -1,0 +1,390 @@
+//! The deterministic shard merger.
+//!
+//! Streams any number of shard JSONL files into one output, ordered by
+//! `case_index`, via a k-way merge (a binary heap over the files' head
+//! records). Because the planner's shards are contiguous this usually
+//! degenerates into verified concatenation, but the merge accepts arbitrary
+//! interleavings — shard files produced by hand-partitioned `--shard i/M`
+//! runs on different machines merge just as well.
+//!
+//! The merger never rewrites a record: lines are copied byte-for-byte, so
+//! the merged output is exactly the stream a single-process sweep would
+//! have produced — the property the integration tests pin by comparing
+//! files. Gaps, duplicates and out-of-order records inside one file are
+//! hard errors, not warnings: a merge that cannot prove the full index
+//! sequence `0..total` refuses to produce output.
+
+use crate::checksum::Fnv1a64;
+use crate::protocol::extract_case_index;
+use std::collections::BinaryHeap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+
+/// Why a merge refused to produce output.
+#[derive(Debug)]
+pub enum MergeError {
+    /// An input or the output failed at the I/O layer.
+    Io(PathBuf, std::io::Error),
+    /// A line could not be attributed a case index.
+    Malformed {
+        /// The offending file.
+        file: PathBuf,
+        /// The parse failure.
+        reason: String,
+    },
+    /// Records inside one file were not strictly ascending.
+    Disorder {
+        /// The offending file.
+        file: PathBuf,
+        /// Index that went backwards (or repeated).
+        case_index: usize,
+    },
+    /// Two files claimed the same case index.
+    Duplicate {
+        /// The duplicated index.
+        case_index: usize,
+    },
+    /// The merged sequence was not exactly `0..expected`.
+    Sequence {
+        /// The first index at which the sequence broke.
+        expected: usize,
+        /// The index actually observed.
+        got: usize,
+    },
+    /// Fewer (or more) records than the sweep's case count.
+    Count {
+        /// The sweep's case count.
+        expected: usize,
+        /// Records actually merged.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Io(path, e) => write!(f, "{}: {e}", path.display()),
+            MergeError::Malformed { file, reason } => {
+                write!(f, "{}: {reason}", file.display())
+            }
+            MergeError::Disorder { file, case_index } => write!(
+                f,
+                "{}: case index {case_index} is out of order within the shard",
+                file.display()
+            ),
+            MergeError::Duplicate { case_index } => {
+                write!(f, "case index {case_index} appears in more than one shard")
+            }
+            MergeError::Sequence { expected, got } => write!(
+                f,
+                "merged stream skips case {expected} (next record is {got})"
+            ),
+            MergeError::Count { expected, got } => write!(
+                f,
+                "merged {got} records where the sweep has {expected} cases"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Summary of a successful merge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Records written.
+    pub records: usize,
+    /// Checksum over the merged output bytes.
+    pub checksum: String,
+}
+
+/// One shard file mid-merge: its reader and the buffered head record.
+struct ShardStream {
+    path: PathBuf,
+    reader: BufReader<std::fs::File>,
+    head_index: usize,
+    head_line: String,
+}
+
+impl ShardStream {
+    /// Reads the next record into the head slot; `Ok(false)` on EOF.
+    fn advance(&mut self) -> Result<bool, MergeError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let read = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| MergeError::Io(self.path.clone(), e))?;
+            if read == 0 {
+                return Ok(false);
+            }
+            // A record without its terminating newline is a truncated file
+            // (a partial copy, a crash mid-write): the fragment may be cut
+            // mid-JSON even when its case_index prefix parses, so it is
+            // refused rather than merged. Complete lines are atomic.
+            if !line.ends_with('\n') {
+                return Err(MergeError::Malformed {
+                    file: self.path.clone(),
+                    reason: format!(
+                        "truncated final record (no trailing newline): {line:.40}…"
+                    ),
+                });
+            }
+            let trimmed = line.trim_end_matches('\n');
+            if trimmed.is_empty() {
+                continue;
+            }
+            let case_index =
+                extract_case_index(trimmed).map_err(|reason| MergeError::Malformed {
+                    file: self.path.clone(),
+                    reason,
+                })?;
+            self.head_index = case_index;
+            self.head_line.clear();
+            self.head_line.push_str(trimmed);
+            return Ok(true);
+        }
+    }
+}
+
+// BinaryHeap is a max-heap; order streams by descending head index so the
+// smallest pops first.
+struct HeapSlot(ShardStream);
+
+impl PartialEq for HeapSlot {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.head_index == other.0.head_index
+    }
+}
+impl Eq for HeapSlot {}
+impl PartialOrd for HeapSlot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapSlot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.head_index.cmp(&self.0.head_index)
+    }
+}
+
+/// K-way-merges shard files into `out`, ordered by `case_index`.
+///
+/// With `expect_total = Some(t)` the merged records must be exactly the
+/// sequence `0, 1, …, t-1`; with `None` they must merely be strictly
+/// increasing (useful for merging a hand-picked subset of shards).
+///
+/// # Errors
+///
+/// See [`MergeError`]; no output ordering guarantees survive an error.
+pub fn merge_shards<W: Write>(
+    inputs: &[PathBuf],
+    out: &mut W,
+    expect_total: Option<usize>,
+) -> Result<MergeReport, MergeError> {
+    let mut heap = BinaryHeap::with_capacity(inputs.len());
+    for path in inputs {
+        let file =
+            std::fs::File::open(path).map_err(|e| MergeError::Io(path.clone(), e))?;
+        let mut stream = ShardStream {
+            path: path.clone(),
+            reader: BufReader::new(file),
+            head_index: 0,
+            head_line: String::new(),
+        };
+        if stream.advance()? {
+            heap.push(HeapSlot(stream));
+        }
+    }
+
+    let mut hasher = Fnv1a64::new();
+    let mut records = 0usize;
+    let mut last_index: Option<usize> = None;
+    while let Some(HeapSlot(mut stream)) = heap.pop() {
+        let index = stream.head_index;
+        if let Some(last) = last_index {
+            if index == last {
+                return Err(MergeError::Duplicate { case_index: index });
+            }
+        }
+        if expect_total.is_some() {
+            let expected = last_index.map_or(0, |last| last + 1);
+            if index != expected {
+                return Err(MergeError::Sequence {
+                    expected,
+                    got: index,
+                });
+            }
+        }
+        out.write_all(stream.head_line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+            .map_err(|e| MergeError::Io(stream.path.clone(), e))?;
+        hasher.update(stream.head_line.as_bytes());
+        hasher.update(b"\n");
+        records += 1;
+        last_index = Some(index);
+
+        let previous = stream.head_index;
+        if stream.advance()? {
+            if stream.head_index <= previous {
+                return Err(MergeError::Disorder {
+                    file: stream.path,
+                    case_index: stream.head_index,
+                });
+            }
+            heap.push(HeapSlot(stream));
+        }
+    }
+    out.flush()
+        .map_err(|e| MergeError::Io(PathBuf::from("<merge output>"), e))?;
+
+    if let Some(expected) = expect_total {
+        if records != expected {
+            return Err(MergeError::Count {
+                expected,
+                got: records,
+            });
+        }
+    }
+    Ok(MergeReport {
+        records,
+        checksum: hasher.format(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn write_shard(dir: &Path, name: &str, indices: &[usize]) -> PathBuf {
+        let path = dir.join(name);
+        let body: String = indices
+            .iter()
+            .map(|i| format!("{{\"case_index\":{i},\"n\":{}}}\n", i * 10))
+            .collect();
+        std::fs::write(&path, body).unwrap();
+        path
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ring-distrib-merge-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn contiguous_shards_concatenate() {
+        let dir = temp_dir("contig");
+        let a = write_shard(&dir, "a.jsonl", &[0, 1, 2]);
+        let b = write_shard(&dir, "b.jsonl", &[3, 4]);
+        let mut out = Vec::new();
+        let report = merge_shards(&[a, b], &mut out, Some(5)).unwrap();
+        assert_eq!(report.records, 5);
+        let text = String::from_utf8(out).unwrap();
+        let indices: Vec<usize> = text
+            .lines()
+            .map(|l| extract_case_index(l).unwrap())
+            .collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interleaved_shards_merge_by_index() {
+        let dir = temp_dir("interleave");
+        let a = write_shard(&dir, "a.jsonl", &[0, 2, 4]);
+        let b = write_shard(&dir, "b.jsonl", &[1, 3, 5]);
+        let empty = write_shard(&dir, "c.jsonl", &[]);
+        let mut out = Vec::new();
+        // Input order must not matter.
+        let report = merge_shards(&[b, empty, a], &mut out, Some(6)).unwrap();
+        assert_eq!(report.records, 6);
+        let text = String::from_utf8(out).unwrap();
+        let indices: Vec<usize> = text
+            .lines()
+            .map(|l| extract_case_index(l).unwrap())
+            .collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4, 5]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merged_bytes_equal_the_single_stream() {
+        let dir = temp_dir("bytes");
+        let whole = write_shard(&dir, "whole.jsonl", &[0, 1, 2, 3]);
+        let reference = std::fs::read(&whole).unwrap();
+        let a = write_shard(&dir, "a.jsonl", &[0, 1]);
+        let b = write_shard(&dir, "b.jsonl", &[2, 3]);
+        let mut out = Vec::new();
+        let report = merge_shards(&[a, b], &mut out, Some(4)).unwrap();
+        assert_eq!(out, reference);
+        let mut h = Fnv1a64::new();
+        h.update(&reference);
+        assert_eq!(report.checksum, h.format());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gaps_duplicates_and_disorder_are_hard_errors() {
+        let dir = temp_dir("errors");
+        let a = write_shard(&dir, "a.jsonl", &[0, 1]);
+        let gap = write_shard(&dir, "gap.jsonl", &[3]);
+        let mut out = Vec::new();
+        assert!(matches!(
+            merge_shards(&[a.clone(), gap], &mut out, Some(4)),
+            Err(MergeError::Sequence { expected: 2, got: 3 })
+        ));
+
+        let dup = write_shard(&dir, "dup.jsonl", &[1, 2]);
+        let mut out = Vec::new();
+        assert!(matches!(
+            merge_shards(&[a.clone(), dup], &mut out, Some(3)),
+            Err(MergeError::Duplicate { case_index: 1 })
+        ));
+
+        let disorder = write_shard(&dir, "disorder.jsonl", &[2, 4, 3]);
+        let mut out = Vec::new();
+        assert!(matches!(
+            merge_shards(&[a.clone(), disorder], &mut out, None),
+            Err(MergeError::Disorder { .. })
+        ));
+
+        let short = write_shard(&dir, "short.jsonl", &[2]);
+        let mut out = Vec::new();
+        assert!(matches!(
+            merge_shards(&[a, short], &mut out, Some(5)),
+            Err(MergeError::Count { expected: 5, got: 3 })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_final_records_are_refused() {
+        let dir = temp_dir("truncated");
+        let a = write_shard(&dir, "a.jsonl", &[0, 1]);
+        // Cut the second record mid-JSON: its case_index prefix still
+        // parses, but the line has no terminating newline.
+        let bytes = std::fs::read(&a).unwrap();
+        std::fs::write(&a, &bytes[..bytes.len() - 4]).unwrap();
+        let mut out = Vec::new();
+        let err = merge_shards(&[a], &mut out, None).unwrap_err();
+        assert!(
+            matches!(&err, MergeError::Malformed { reason, .. } if reason.contains("truncated")),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn without_expectations_any_ascending_subset_merges() {
+        let dir = temp_dir("subset");
+        let a = write_shard(&dir, "a.jsonl", &[3, 9]);
+        let b = write_shard(&dir, "b.jsonl", &[5]);
+        let mut out = Vec::new();
+        let report = merge_shards(&[a, b], &mut out, None).unwrap();
+        assert_eq!(report.records, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,491 @@
+//! The multi-process orchestrator.
+//!
+//! Drives the incomplete shards of a [`Manifest`] to completion: spawns one
+//! worker process per shard (bounded concurrency, per-shard retries),
+//! validates each worker's protocol stream as it arrives, persists the
+//! record lines to `shard-NNN.jsonl` (via a temp file, renamed only after
+//! the done-event checksum matches), and checkpoints the manifest after
+//! every shard transition. The orchestrator is deliberately agnostic about
+//! *what* a worker runs — the caller supplies a factory that turns a shard
+//! range into a [`Command`] — so `ringlab` and the benchmark harness reuse
+//! the same supervision loop.
+//!
+//! Failure containment: a worker that exits nonzero, truncates its stream,
+//! emits records out of sequence or reports a checksum that does not match
+//! the bytes received is retried from scratch up to the retry budget; the
+//! partial shard file never overwrites a good one (writes go to `*.tmp`),
+//! and a shard that exhausts its budget is marked `failed` in the manifest
+//! so a later `resume` can pick it up.
+
+use crate::manifest::{shard_file_name, Manifest, ShardStats};
+use crate::plan::ShardRange;
+use crate::protocol::{parse_worker_line, WorkerLine};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::sync::Mutex;
+
+/// Supervision parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct OrchestratorOptions {
+    /// Maximum workers alive at once.
+    pub concurrency: usize,
+    /// Additional launches after a failed one (0 = single attempt).
+    pub retries: u32,
+}
+
+/// Outcome of one orchestration pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Shards that reached `complete` during this pass.
+    pub completed: Vec<usize>,
+    /// Shards that exhausted their retry budget.
+    pub failed: Vec<usize>,
+}
+
+/// Runs every incomplete shard of the manifest to completion (or failure),
+/// checkpointing the manifest in `run_dir` after each transition.
+///
+/// `command_for` builds the worker invocation for a shard range; the
+/// worker's stdout must speak the [`crate::protocol`] and its stderr is
+/// passed through.
+///
+/// # Errors
+///
+/// Only setup-level I/O failures (creating the run directory, persisting
+/// the manifest) propagate; per-shard failures are captured in the outcome.
+pub fn run_pending_shards(
+    run_dir: &Path,
+    manifest: &Mutex<Manifest>,
+    options: &OrchestratorOptions,
+    command_for: &(dyn Fn(&ShardRange) -> Command + Sync),
+) -> std::io::Result<RunOutcome> {
+    std::fs::create_dir_all(run_dir)?;
+    let (pending, fingerprint) = {
+        let manifest = manifest.lock().expect("manifest lock");
+        (manifest.incomplete_shards(), manifest.spec_fingerprint.clone())
+    };
+    if pending.is_empty() {
+        return Ok(RunOutcome::default());
+    }
+    manifest.lock().expect("manifest lock").save_in(run_dir)?;
+
+    let queue: Mutex<Vec<ShardRange>> = Mutex::new(pending.iter().rev().copied().collect());
+    let outcome = Mutex::new(RunOutcome::default());
+    let workers = options.concurrency.clamp(1, pending.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let Some(range) = queue.lock().expect("shard queue").pop() else {
+                    return;
+                };
+                let mut completed = false;
+                for attempt in 0..=options.retries {
+                    {
+                        let mut m = manifest.lock().expect("manifest lock");
+                        m.shards[range.shard].attempts += 1;
+                        m.save_in(run_dir).expect("checkpoint manifest");
+                    }
+                    match run_one_shard(run_dir, &range, &fingerprint, command_for(&range)) {
+                        Ok(stats) => {
+                            let mut m = manifest.lock().expect("manifest lock");
+                            m.mark_complete(range.shard, &stats);
+                            m.save_in(run_dir).expect("checkpoint manifest");
+                            outcome
+                                .lock()
+                                .expect("outcome")
+                                .completed
+                                .push(range.shard);
+                            completed = true;
+                            break;
+                        }
+                        Err(reason) => {
+                            eprintln!(
+                                "ring-distrib: shard {} attempt {}/{} failed: {reason}",
+                                range.shard,
+                                attempt + 1,
+                                options.retries + 1,
+                            );
+                        }
+                    }
+                }
+                if !completed {
+                    let mut m = manifest.lock().expect("manifest lock");
+                    m.mark_failed(range.shard);
+                    m.save_in(run_dir).expect("checkpoint manifest");
+                    outcome.lock().expect("outcome").failed.push(range.shard);
+                }
+            });
+        }
+    });
+    let mut outcome = outcome.into_inner().expect("outcome");
+    outcome.completed.sort_unstable();
+    outcome.failed.sort_unstable();
+    Ok(outcome)
+}
+
+/// Launches one worker and validates its stream end to end. On success the
+/// shard file is in place and the returned stats mirror the done event.
+fn run_one_shard(
+    run_dir: &Path,
+    range: &ShardRange,
+    expected_fingerprint: &str,
+    mut command: Command,
+) -> Result<ShardStats, String> {
+    let final_path = run_dir.join(shard_file_name(range.shard));
+    let tmp_path = run_dir.join(format!("{}.tmp", shard_file_name(range.shard)));
+    let mut child = command
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("cannot spawn worker: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+
+    let result = consume_worker_stream(stdout, range, expected_fingerprint, &tmp_path);
+    if result.is_err() {
+        // The stream is broken; make sure the process is gone before the
+        // retry (it may still be producing).
+        child.kill().ok();
+    }
+    let status = child.wait().map_err(|e| format!("cannot reap worker: {e}"))?;
+    let stats = match result {
+        Ok(stats) => stats,
+        Err(reason) => {
+            std::fs::remove_file(&tmp_path).ok();
+            return Err(reason);
+        }
+    };
+    if !status.success() {
+        std::fs::remove_file(&tmp_path).ok();
+        return Err(format!("worker exited with {status}"));
+    }
+    std::fs::rename(&tmp_path, &final_path)
+        .map_err(|e| format!("cannot move shard file into place: {e}"))?;
+    Ok(stats)
+}
+
+/// Parses and validates one worker's stdout, writing record lines to
+/// `tmp_path`.
+fn consume_worker_stream(
+    stdout: impl std::io::Read,
+    range: &ShardRange,
+    expected_fingerprint: &str,
+    tmp_path: &Path,
+) -> Result<ShardStats, String> {
+    let file = std::fs::File::create(tmp_path)
+        .map_err(|e| format!("cannot create {}: {e}", tmp_path.display()))?;
+    let mut out = BufWriter::new(file);
+    let mut hasher = crate::checksum::Fnv1a64::new();
+    let mut started = false;
+    let mut next_index = range.start;
+    let mut done: Option<ShardStats> = None;
+
+    for line in BufReader::new(stdout).lines() {
+        let line = line.map_err(|e| format!("broken worker pipe: {e}"))?;
+        if line.is_empty() {
+            continue;
+        }
+        if done.is_some() {
+            return Err(format!("worker spoke after its done event: {line}"));
+        }
+        match parse_worker_line(&line)? {
+            WorkerLine::Start(start) => {
+                if started {
+                    return Err("duplicate start event".into());
+                }
+                if start.shard != range.shard
+                    || start.start != range.start
+                    || start.end != range.end
+                {
+                    return Err(format!(
+                        "worker announced shard {} [{}, {}), expected shard {} [{}, {})",
+                        start.shard, start.start, start.end, range.shard, range.start, range.end
+                    ));
+                }
+                if start.spec_fingerprint != expected_fingerprint {
+                    return Err(format!(
+                        "worker resolved spec fingerprint {}, orchestrator expects {} \
+                         (mismatched flags or binary version)",
+                        start.spec_fingerprint, expected_fingerprint
+                    ));
+                }
+                started = true;
+            }
+            WorkerLine::Record { case_index, line } => {
+                if !started {
+                    return Err("record before the start event".into());
+                }
+                if case_index != next_index {
+                    return Err(format!(
+                        "record for case {case_index} where case {next_index} was expected"
+                    ));
+                }
+                if case_index >= range.end {
+                    return Err(format!("record {case_index} beyond the shard range"));
+                }
+                out.write_all(line.as_bytes())
+                    .and_then(|()| out.write_all(b"\n"))
+                    .map_err(|e| format!("cannot write shard file: {e}"))?;
+                hasher.update(line.as_bytes());
+                hasher.update(b"\n");
+                next_index += 1;
+            }
+            WorkerLine::Done(event) => {
+                if !started {
+                    return Err("done event before the start event".into());
+                }
+                let received = next_index - range.start;
+                if event.records != received || received != range.len() {
+                    return Err(format!(
+                        "worker reported {} records, streamed {received}, shard holds {}",
+                        event.records,
+                        range.len()
+                    ));
+                }
+                if event.checksum != hasher.format() {
+                    return Err(format!(
+                        "worker checksum {} does not match received bytes {}",
+                        event.checksum,
+                        hasher.format()
+                    ));
+                }
+                done = Some(ShardStats {
+                    records: received,
+                    checksum: event.checksum,
+                    cache_hits: event.cache_hits,
+                    cache_misses: event.cache_misses,
+                    steals: event.steals,
+                });
+            }
+        }
+    }
+    out.flush().map_err(|e| format!("cannot flush shard file: {e}"))?;
+    done.ok_or_else(|| "worker stream ended without a done event".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{ShardStatus, SpecParams};
+    use crate::plan::plan_shards;
+    use crate::protocol::{DoneEvent, StartEvent};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ring-distrib-orch-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn test_manifest(total: usize, shards: usize) -> Manifest {
+        Manifest::new(
+            SpecParams {
+                subcommand: "sweep".into(),
+                quick: true,
+                sizes: None,
+                universe_factors: None,
+                reps: None,
+                seed: None,
+            },
+            "0xfeed".into(),
+            total,
+            &plan_shards(total, shards),
+            1,
+            "-".into(),
+        )
+    }
+
+    /// Builds a `sh -c` worker that prints a canned protocol stream.
+    fn scripted_worker(script: String) -> Command {
+        let mut cmd = Command::new("sh");
+        cmd.arg("-c").arg(script);
+        cmd
+    }
+
+    fn protocol_script(range: &ShardRange, shards: usize, fingerprint: &str) -> String {
+        let mut lines = Vec::new();
+        lines.push(
+            serde_json::to_string(&StartEvent::new(
+                range.shard,
+                shards,
+                range.start,
+                range.end,
+                fingerprint,
+            ))
+            .unwrap(),
+        );
+        let mut hasher = crate::checksum::Fnv1a64::new();
+        for i in range.start..range.end {
+            let record = format!("{{\"case_index\":{i},\"n\":7}}");
+            hasher.update(record.as_bytes());
+            hasher.update(b"\n");
+            lines.push(record);
+        }
+        lines.push(
+            serde_json::to_string(&DoneEvent::new(
+                range.shard,
+                range.len(),
+                hasher.format(),
+                3,
+                1,
+                0,
+            ))
+            .unwrap(),
+        );
+        lines
+            .iter()
+            .map(|l| format!("echo '{l}'"))
+            .collect::<Vec<_>>()
+            .join(" && ")
+    }
+
+    #[test]
+    fn well_behaved_workers_complete_every_shard() {
+        let dir = temp_dir("ok");
+        let manifest = Mutex::new(test_manifest(7, 3));
+        let options = OrchestratorOptions {
+            concurrency: 2,
+            retries: 0,
+        };
+        let outcome = run_pending_shards(&dir, &manifest, &options, &|range| {
+            scripted_worker(protocol_script(range, 3, "0xfeed"))
+        })
+        .unwrap();
+        assert_eq!(outcome.completed, vec![0, 1, 2]);
+        assert!(outcome.failed.is_empty());
+        let manifest = manifest.into_inner().unwrap();
+        assert!(manifest.is_complete());
+        assert_eq!(manifest.aggregate_stats().records, 7);
+        assert_eq!(manifest.aggregate_stats().cache_hits, 9);
+        // The checkpointed manifest on disk agrees.
+        let reloaded = Manifest::load(&dir).unwrap();
+        assert_eq!(reloaded, manifest);
+        // Shard files verify against their recorded digests.
+        let mut check = reloaded.clone();
+        assert!(check.revalidate_completed(&dir).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crashing_workers_fail_their_shard_and_leave_no_file() {
+        let dir = temp_dir("crash");
+        let manifest = Mutex::new(test_manifest(4, 2));
+        let options = OrchestratorOptions {
+            concurrency: 1,
+            retries: 1,
+        };
+        // Shard 0 works; shard 1 dies mid-stream every time.
+        let outcome = run_pending_shards(&dir, &manifest, &options, &|range| {
+            if range.shard == 0 {
+                scripted_worker(protocol_script(range, 2, "0xfeed"))
+            } else {
+                let start = serde_json::to_string(&StartEvent::new(
+                    range.shard,
+                    2,
+                    range.start,
+                    range.end,
+                    "0xfeed",
+                ))
+                .unwrap();
+                scripted_worker(format!(
+                    "echo '{start}' && echo '{{\"case_index\":{}}}' && exit 3",
+                    range.start
+                ))
+            }
+        })
+        .unwrap();
+        assert_eq!(outcome.completed, vec![0]);
+        assert_eq!(outcome.failed, vec![1]);
+        let manifest = manifest.into_inner().unwrap();
+        assert_eq!(manifest.shards[1].status, ShardStatus::Failed);
+        assert_eq!(manifest.shards[1].attempts, 2);
+        assert!(dir.join(shard_file_name(0)).exists());
+        assert!(!dir.join(shard_file_name(1)).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lying_checksums_and_wrong_assignments_are_rejected() {
+        let dir = temp_dir("lies");
+        let range = ShardRange { shard: 0, start: 0, end: 1 };
+
+        // Checksum that cannot match.
+        let start =
+            serde_json::to_string(&StartEvent::new(0, 1, 0, 1, "0xfeed")).unwrap();
+        let done = serde_json::to_string(&DoneEvent::new(
+            0,
+            1,
+            "fnv1a64:0000000000000000".into(),
+            0,
+            0,
+            0,
+        ))
+        .unwrap();
+        let cmd = scripted_worker(format!(
+            "echo '{start}' && echo '{{\"case_index\":0}}' && echo '{done}'"
+        ));
+        let err = run_one_shard(&dir, &range, "0xfeed", cmd).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+
+        // Fingerprint mismatch.
+        let cmd = scripted_worker(format!("echo '{start}'"));
+        let err = run_one_shard(&dir, &range, "0xother", cmd).unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+
+        // Out-of-sequence record.
+        let done_ok = serde_json::to_string(&DoneEvent::new(0, 1, "fnv1a64:0".into(), 0, 0, 0))
+            .unwrap();
+        let cmd = scripted_worker(format!(
+            "echo '{start}' && echo '{{\"case_index\":5}}' && echo '{done_ok}'"
+        ));
+        let err = run_one_shard(&dir, &range, "0xfeed", cmd).unwrap_err();
+        assert!(err.contains("case 0 was expected"), "{err}");
+
+        assert!(!dir.join(shard_file_name(0)).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_runs_only_incomplete_shards() {
+        let dir = temp_dir("resume");
+        let manifest = Mutex::new(test_manifest(6, 3));
+        let options = OrchestratorOptions {
+            concurrency: 2,
+            retries: 0,
+        };
+        // First pass: shard 1 fails.
+        run_pending_shards(&dir, &manifest, &options, &|range| {
+            if range.shard == 1 {
+                scripted_worker("exit 7".into())
+            } else {
+                scripted_worker(protocol_script(range, 3, "0xfeed"))
+            }
+        })
+        .unwrap();
+        assert!(!manifest.lock().unwrap().is_complete());
+        let attempts_before: Vec<u32> = manifest
+            .lock()
+            .unwrap()
+            .shards
+            .iter()
+            .map(|e| e.attempts)
+            .collect();
+
+        // Second pass with a healthy fleet: only shard 1 is launched.
+        let outcome = run_pending_shards(&dir, &manifest, &options, &|range| {
+            scripted_worker(protocol_script(range, 3, "0xfeed"))
+        })
+        .unwrap();
+        assert_eq!(outcome.completed, vec![1]);
+        let manifest = manifest.into_inner().unwrap();
+        assert!(manifest.is_complete());
+        // Shards 0 and 2 were not re-attempted.
+        assert_eq!(manifest.shards[0].attempts, attempts_before[0]);
+        assert_eq!(manifest.shards[2].attempts, attempts_before[2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -38,6 +38,20 @@ impl ScalingSpec {
             seed: 41,
         }
     }
+
+    /// A deterministic 64-bit fingerprint of the scaling parameters (see
+    /// [`crate::SweepSpec::fingerprint`] for the role it plays in the
+    /// distributed layer).
+    pub fn fingerprint(&self) -> u64 {
+        use ring_combinat::shared::splitmix64;
+        let mut h = splitmix64(0x5ca1_e5ca1e ^ self.seed);
+        h = splitmix64(h ^ self.universe);
+        h = splitmix64(h ^ self.sizes.len() as u64);
+        for &n in &self.sizes {
+            h = splitmix64(h ^ n as u64);
+        }
+        h
+    }
 }
 
 /// Measures constructed family sizes against the paper's bounds.

@@ -34,6 +34,53 @@ impl Measurement {
             _ => None,
         }
     }
+
+    /// Reconstructs a measurement from its JSON value (the inverse of the
+    /// `Serialize` derive). Used by the distributed layer to render tables
+    /// from merged shard records.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(value: &serde::Value) -> Result<Self, String> {
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| format!("measurement is missing `{key}`"))
+        };
+        let string = |key: &str| {
+            field(key)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("measurement `{key}` is not a string"))
+        };
+        let optional_f64 = |key: &str| -> Result<Option<f64>, String> {
+            let v = field(key)?;
+            if v.is_null() {
+                Ok(None)
+            } else {
+                v.as_f64()
+                    .map(Some)
+                    .ok_or_else(|| format!("measurement `{key}` is not a number"))
+            }
+        };
+        Ok(Measurement {
+            experiment: string("experiment")?,
+            setting: string("setting")?,
+            quantity: string("quantity")?,
+            n: field("n")?
+                .as_u64()
+                .ok_or("measurement `n` is not an integer")? as usize,
+            universe: field("universe")?
+                .as_u64()
+                .ok_or("measurement `universe` is not an integer")?,
+            value: optional_f64("value")?,
+            predicted: optional_f64("predicted")?,
+            verified: field("verified")?
+                .as_bool()
+                .ok_or("measurement `verified` is not a boolean")?,
+        })
+    }
 }
 
 /// Formats measurements as a GitHub-flavoured markdown table, one row per
@@ -142,5 +189,15 @@ mod tests {
     fn ratio_requires_both_values() {
         assert_eq!(sample("a", 8, None).ratio(), None);
         assert_eq!(sample("a", 8, Some(20.0)).ratio(), Some(2.0));
+    }
+
+    #[test]
+    fn from_json_round_trips_serialization() {
+        for m in [sample("a", 8, Some(20.0)), sample("b", 9, None)] {
+            let text = serde_json::to_string(&m).unwrap();
+            let parsed = Measurement::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+            assert_eq!(parsed, m);
+        }
+        assert!(Measurement::from_json(&serde_json::from_str("{}").unwrap()).is_err());
     }
 }

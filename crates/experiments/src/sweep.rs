@@ -77,6 +77,24 @@ impl SweepSpec {
         }
     }
 
+    /// A deterministic 64-bit fingerprint of the sweep parameters, used by
+    /// the distributed layer to pin a run manifest to the spec that produced
+    /// it: `resume` refuses to mix shards from different specs. Chains one
+    /// splitmix64 round per coordinate (with length separators, so
+    /// `sizes=[1,2]` and `sizes=[1], factors=[2,…]` cannot alias).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = splitmix64(0x05ee_d0fa_5eed ^ self.seed);
+        h = splitmix64(h ^ self.sizes.len() as u64);
+        for &n in &self.sizes {
+            h = splitmix64(h ^ n as u64);
+        }
+        h = splitmix64(h ^ self.universe_factors.len() as u64);
+        for &factor in &self.universe_factors {
+            h = splitmix64(h ^ factor);
+        }
+        splitmix64(h ^ self.repetitions)
+    }
+
     /// Enumerates the concrete cases of the sweep.
     pub fn cases(&self) -> Vec<Case> {
         let mut out = Vec::new();

@@ -1,7 +1,7 @@
 //! The `ringlab` command-line interface.
 //!
 //! One binary drives every experiment of the reproduction through the
-//! parallel sweep engine:
+//! parallel sweep engine — in one process, or sharded across many:
 //!
 //! ```text
 //! ringlab <subcommand> [flags]
@@ -15,10 +15,15 @@
 //!   lower-bounds   Lemma 5 / Lemma 6 audits
 //!   all            every experiment above
 //!   sweep          the full table pipeline over a custom case grid
+//!   worker         run one shard of a subcommand, speaking the
+//!                  ring-distrib/v1 protocol on stdout (orchestrator use)
+//!   merge          k-way-merge shard JSONL files by case_index
+//!   resume         complete a partially-run sharded run directory
 //!
 //! flags:
 //!   --quick                   reduced sizes (CI smoke)
-//!   --jobs N                  worker threads (default: all cores)
+//!   --jobs N                  worker threads (default: all cores); with
+//!                             --shards: concurrent worker processes
 //!   --sizes a,b,…             override ring / set sizes
 //!   --universe-factors a,b,…  override universe factors (N = factor·n;
 //!                             not applicable to `scaling`)
@@ -28,30 +33,56 @@
 //!   --jsonl PATH|-            JSONL destination (default results/<sub>.jsonl,
 //!                             `-` = stdout)
 //!   --no-jsonl                disable the JSONL stream
+//!   --shards M                shard the sweep over M worker processes and
+//!                             merge the results (byte-identical to the
+//!                             single-process run)
+//!   --shard i/M               run only shard i of an M-way plan in this
+//!                             process (manual fleet distribution)
+//!   --run-dir DIR             sharded-run directory (manifest + shard
+//!                             files; default results/distrib/<sub>)
+//!   --retries R               extra worker launches per failing shard
+//!                             (default 1)
+//!   --stats                   print structure-cache / executor statistics
+//!                             as JSON on stderr
 //! ```
 //!
 //! Results stream to the JSONL destination incrementally in case order and
-//! the markdown tables print at the end, so stdout and the JSONL file are
-//! byte-identical for every `--jobs` value (run metadata — jobs, elapsed
-//! time, cache statistics — goes to stderr).
+//! the markdown tables print at the end. When the JSONL stream goes to
+//! stdout (`--jsonl -`) the tables are routed to **stderr**, so piped
+//! output stays valid JSONL; otherwise tables go to stdout and the JSONL
+//! bytes are identical for every `--jobs` and `--shards` value (run
+//! metadata — jobs, elapsed time, cache statistics — always goes to
+//! stderr).
 
 use crate::engine::SweepEngine;
 use crate::scenario::{
     all_items, fig1_items, fig2_items, lower_bounds_items, scaling_items, table1_items,
-    table2_items, WorkItem,
+    table2_items, CaseRecord, WorkItem,
 };
 use crate::sink::JsonlSink;
+use ring_combinat::shared::splitmix64;
+use ring_distrib::{
+    fail_after_from_env, merge_shards, plan_shards, run_pending_shards, DoneEvent, Manifest,
+    OrchestratorOptions, ShardRange, ShardTally, SpecParams, StartEvent,
+};
 use ring_experiments::distinguisher_scaling::ScalingSpec;
 use ring_experiments::report::{aggregate, format_markdown_table};
 use ring_experiments::{Measurement, SweepSpec};
 use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Mutex;
 use std::time::Instant;
 
 const USAGE: &str = "usage: ringlab <table1|table2|fig1|fig2|scaling|lower-bounds|all|sweep> \
 [--quick] [--jobs N] [--sizes a,b,..] [--universe-factors a,b,..] [--reps K] [--seed S] \
-[--jsonl PATH|-] [--no-jsonl]";
+[--jsonl PATH|-] [--no-jsonl] [--shards M] [--shard i/M] [--run-dir DIR] [--retries R] [--stats]
+       ringlab worker <subcommand> --shard i/M [spec flags]
+       ringlab merge [--run-dir DIR | SHARD.jsonl ..] [--jsonl PATH|-]
+       ringlab resume <RUN_DIR> [--jobs N] [--jsonl PATH|-] [--stats]";
 
 /// Parsed command-line options.
+#[derive(Clone)]
 struct Options {
     subcommand: String,
     quick: bool,
@@ -62,7 +93,19 @@ struct Options {
     seed: Option<u64>,
     jsonl: Option<String>,
     no_jsonl: bool,
+    shards: usize,
+    shard: Option<(usize, usize)>,
+    run_dir: Option<String>,
+    retries: u32,
+    stats: bool,
+    positionals: Vec<String>,
 }
+
+/// Subcommands `run` dispatches on (usage errors for anything else).
+const SUBCOMMANDS: [&str; 11] = [
+    "table1", "table2", "fig1", "fig2", "scaling", "lower-bounds", "all", "sweep", "worker",
+    "merge", "resume",
+];
 
 /// Runs the CLI on explicit arguments (without the program name), returning
 /// the process exit code. The wrapper binaries call this with their
@@ -75,40 +118,97 @@ pub fn run(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let spec = sweep_spec(&options);
-    let scaling = scaling_spec(&options);
+    // Unknown subcommands are usage errors (exit 2, like bad flags), not
+    // runtime failures.
+    if !SUBCOMMANDS.contains(&options.subcommand.as_str()) {
+        eprintln!(
+            "ringlab: unknown subcommand `{}`\n{USAGE}",
+            options.subcommand
+        );
+        return 2;
+    }
+    let result = match options.subcommand.as_str() {
+        "worker" => cmd_worker(&options),
+        "merge" => cmd_merge(&options),
+        "resume" => cmd_resume(&options),
+        _ => cmd_experiment(&options),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("ringlab: {message}");
+            1
+        }
+    }
+}
 
-    let items = match options.subcommand.as_str() {
-        "table1" => table1_items(&spec),
-        "table2" => table2_items(&spec),
-        "fig1" => fig1_items(&spec),
-        "fig2" => fig2_items(&spec),
-        "scaling" => scaling_items(&scaling),
-        "lower-bounds" => lower_bounds_items(&spec),
-        "all" => all_items(&spec, &scaling),
+/// The item list of an experiment subcommand.
+fn items_for(
+    subcommand: &str,
+    spec: &SweepSpec,
+    scaling: &ScalingSpec,
+) -> Result<Vec<WorkItem>, String> {
+    Ok(match subcommand {
+        "table1" => table1_items(spec),
+        "table2" => table2_items(spec),
+        "fig1" => fig1_items(spec),
+        "fig2" => fig2_items(spec),
+        "scaling" => scaling_items(scaling),
+        "lower-bounds" => lower_bounds_items(spec),
+        "all" => all_items(spec, scaling),
         // The generic sweep: the full Table I + Table II pipeline over the
         // (possibly overridden) case grid.
         "sweep" => {
-            let mut items = table1_items(&spec);
-            items.extend(table2_items(&spec));
+            let mut items = table1_items(spec);
+            items.extend(table2_items(spec));
             items
         }
-        other => {
-            eprintln!("ringlab: unknown subcommand `{other}`\n{USAGE}");
-            return 2;
-        }
-    };
+        other => return Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    })
+}
+
+/// Fingerprint of the case enumeration a subcommand resolves to, pinning
+/// run manifests to the spec (and binary) that produced them.
+fn spec_fingerprint(subcommand: &str, spec: &SweepSpec, scaling: &ScalingSpec) -> String {
+    let mut h = splitmix64(0x41_6e_67_65_6c_69_6b_61);
+    for b in subcommand.bytes() {
+        h = splitmix64(h ^ u64::from(b));
+    }
+    h = splitmix64(h ^ spec.fingerprint());
+    h = splitmix64(h ^ scaling.fingerprint());
+    format!("0x{h:016x}")
+}
+
+/// An experiment subcommand: single-process, one local shard, or the full
+/// multi-process orchestration.
+fn cmd_experiment(options: &Options) -> Result<i32, String> {
+    if !options.positionals.is_empty() {
+        return Err(format!(
+            "unexpected argument `{}`",
+            options.positionals[0]
+        ));
+    }
+    let spec = sweep_spec(options);
+    let scaling = scaling_spec(options);
+    let items = items_for(&options.subcommand, &spec, &scaling)?;
+    if options.shards > 0 {
+        return cmd_sharded(options, &spec, &scaling, &items);
+    }
+    if let Some((shard, of)) = options.shard {
+        return cmd_shard_slice(options, &spec, &scaling, &items, shard, of);
+    }
 
     let engine = SweepEngine::new(options.jobs);
     let start = Instant::now();
-    let records = run_items(&engine, &items, &options);
+    let destination = jsonl_destination(options);
+    let records = run_items_with_offset(&engine, &items, 0, destination.as_deref())?;
     let elapsed = start.elapsed();
 
     let measurements: Vec<Measurement> = records
         .iter()
         .flat_map(|r| r.measurements.iter().cloned())
         .collect();
-    print!("{}", render_markdown(&measurements));
+    print_tables(&render_markdown(&measurements), destination.as_deref());
 
     let stats = engine.cache_stats();
     eprintln!(
@@ -122,40 +222,542 @@ structure cache: {} hits / {} misses ({:.0}% hit rate)",
         stats.misses,
         stats.hit_rate() * 100.0,
     );
-    0
+    if options.stats {
+        print_engine_stats(&engine);
+    }
+    Ok(0)
 }
 
-/// Executes the items through the engine with the configured JSONL
-/// destination.
-fn run_items(
+/// Prints the markdown tables on stdout, or on stderr when the JSONL
+/// stream already owns stdout (so `ringlab … --jsonl - | tool` stays valid
+/// JSONL).
+fn print_tables(markdown: &str, destination: Option<&str>) {
+    if destination == Some("-") {
+        eprint!("{markdown}");
+    } else {
+        print!("{markdown}");
+    }
+}
+
+/// The engine's cache + executor statistics as one stderr JSON line.
+fn print_engine_stats(engine: &SweepEngine) {
+    #[derive(serde::Serialize)]
+    struct Stats {
+        cache: CacheBlock,
+        executor: crate::executor::ExecutorStats,
+    }
+    #[derive(serde::Serialize)]
+    struct CacheBlock {
+        hits: u64,
+        misses: u64,
+        hit_rate: f64,
+        structures: usize,
+    }
+    let cache = engine.cache_stats();
+    let stats = Stats {
+        cache: CacheBlock {
+            hits: cache.hits,
+            misses: cache.misses,
+            hit_rate: cache.hit_rate(),
+            structures: engine.cache().len(),
+        },
+        executor: engine.exec_stats(),
+    };
+    eprintln!(
+        "ringlab: stats {}",
+        serde_json::to_string(&stats).expect("serializable stats")
+    );
+}
+
+/// The resolved JSONL destination (`None` = disabled).
+fn jsonl_destination(options: &Options) -> Option<String> {
+    if options.no_jsonl {
+        return None;
+    }
+    Some(options.jsonl.clone().unwrap_or_else(|| {
+        format!("results/{}.jsonl", options.subcommand.replace('-', "_"))
+    }))
+}
+
+/// Opens a JSONL destination for writing (`-` = stdout).
+fn open_destination(destination: &str) -> Result<Box<dyn Write + Send>, String> {
+    if destination == "-" {
+        return Ok(Box::new(std::io::stdout()));
+    }
+    if let Some(parent) = Path::new(destination).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    Ok(Box::new(std::fs::File::create(destination).map_err(
+        |e| format!("cannot create {destination}: {e}"),
+    )?))
+}
+
+// ---------------------------------------------------------------------
+// Sharded execution.
+// ---------------------------------------------------------------------
+
+/// `--shard i/M`: runs one shard of the plan in this process, writing the
+/// shard's records (with their global case indices) as plain JSONL. The
+/// shard files of all M runs merge — `ringlab merge` — into the exact
+/// single-process stream.
+fn cmd_shard_slice(
+    options: &Options,
+    spec: &SweepSpec,
+    scaling: &ScalingSpec,
+    items: &[WorkItem],
+    shard: usize,
+    of: usize,
+) -> Result<i32, String> {
+    let ranges = plan_shards(items.len(), of);
+    let range = ranges[shard];
+    let destination = if options.no_jsonl {
+        None
+    } else {
+        Some(options.jsonl.clone().unwrap_or_else(|| {
+            format!(
+                "results/{}.shard-{shard}-of-{of}.jsonl",
+                options.subcommand.replace('-', "_")
+            )
+        }))
+    };
+    let engine = SweepEngine::new(options.jobs);
+    let start = Instant::now();
+    let records = run_items_with_offset(&engine, &items[range.start..range.end], range.start, destination.as_deref())?;
+    eprintln!(
+        "ringlab: shard {shard}/{of} ({} of {} cases, [{}, {})) in {:.2}s; fingerprint {}",
+        range.len(),
+        items.len(),
+        range.start,
+        range.end,
+        start.elapsed().as_secs_f64(),
+        spec_fingerprint(&options.subcommand, spec, scaling),
+    );
+    if options.stats {
+        print_engine_stats(&engine);
+    }
+    let _ = records;
+    Ok(0)
+}
+
+/// Executes items through the engine with the configured JSONL
+/// destination; item `i` is case `offset + i` of the overall sweep.
+fn run_items_with_offset(
     engine: &SweepEngine,
     items: &[WorkItem],
-    options: &Options,
-) -> Vec<crate::scenario::CaseRecord> {
-    if options.no_jsonl {
-        return engine.run::<Box<dyn Write + Send>>(items, None);
-    }
-    let destination = options
-        .jsonl
-        .clone()
-        .unwrap_or_else(|| format!("results/{}.jsonl", options.subcommand.replace('-', "_")));
-    let out: Box<dyn Write + Send> = if destination == "-" {
-        Box::new(std::io::stdout())
-    } else {
-        if let Some(parent) = std::path::Path::new(&destination).parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent).expect("create results directory");
-            }
-        }
-        Box::new(std::fs::File::create(&destination).expect("create JSONL file"))
+    offset: usize,
+    destination: Option<&str>,
+) -> Result<Vec<CaseRecord>, String> {
+    let Some(destination) = destination else {
+        return Ok(engine.run_with_offset::<Box<dyn Write + Send>>(items, offset, None));
     };
+    let out = open_destination(destination)?;
     let sink = JsonlSink::new(out);
-    let records = engine.run(items, Some(&sink));
+    let records = engine.run_with_offset(items, offset, Some(&sink));
     sink.finish();
     if destination != "-" {
         eprintln!("ringlab: streamed {} records to {destination}", records.len());
     }
-    records
+    Ok(records)
+}
+
+/// `worker`: one shard of an experiment subcommand, speaking the
+/// ring-distrib/v1 protocol on stdout. Launched by the orchestrator (or by
+/// hand for debugging); stderr stays human-readable.
+fn cmd_worker(options: &Options) -> Result<i32, String> {
+    let Some(subcommand) = options.positionals.first() else {
+        return Err(format!("worker needs a subcommand\n{USAGE}"));
+    };
+    let Some((shard, of)) = options.shard else {
+        return Err("worker requires --shard i/M".into());
+    };
+    let spec = sweep_spec(options);
+    let scaling = scaling_spec(options);
+    let items = items_for(subcommand, &spec, &scaling)?;
+    let range = plan_shards(items.len(), of)[shard];
+    let fingerprint = spec_fingerprint(subcommand, &spec, &scaling);
+
+    let start = StartEvent::new(shard, of, range.start, range.end, &fingerprint);
+    {
+        let mut out = std::io::stdout();
+        writeln!(out, "{}", serde_json::to_string(&start).expect("serializable event"))
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("cannot write to stdout: {e}"))?;
+    }
+
+    let engine = SweepEngine::new(options.jobs);
+    let tally = ShardTally::new(std::io::stdout(), fail_after_from_env());
+    let sink = JsonlSink::new(tally);
+    engine.run_with_offset(&items[range.start..range.end], range.start, Some(&sink));
+    let tally = sink.finish();
+
+    let cache = engine.cache_stats();
+    let exec = engine.exec_stats();
+    let done = DoneEvent::new(
+        shard,
+        tally.lines() as usize,
+        tally.checksum(),
+        cache.hits,
+        cache.misses,
+        exec.steals,
+    );
+    println!("{}", serde_json::to_string(&done).expect("serializable event"));
+    Ok(0)
+}
+
+/// `--shards M`: plans, orchestrates M worker processes, merges, and
+/// renders — one command, output byte-identical to the single-process run.
+fn cmd_sharded(
+    options: &Options,
+    spec: &SweepSpec,
+    scaling: &ScalingSpec,
+    items: &[WorkItem],
+) -> Result<i32, String> {
+    let run_dir = PathBuf::from(options.run_dir.clone().unwrap_or_else(|| {
+        format!("results/distrib/{}", options.subcommand.replace('-', "_"))
+    }));
+    let ranges = plan_shards(items.len(), options.shards);
+    let fingerprint = spec_fingerprint(&options.subcommand, spec, scaling);
+    let destination = jsonl_destination(options);
+    let manifest = Manifest::new(
+        SpecParams {
+            subcommand: options.subcommand.clone(),
+            quick: options.quick,
+            sizes: options.sizes.clone(),
+            universe_factors: options.universe_factors.clone(),
+            reps: options.reps,
+            seed: options.seed,
+        },
+        fingerprint,
+        items.len(),
+        &ranges,
+        1,
+        // Empty = no JSONL output (`--no-jsonl`): a resume of this run
+        // must not invent a stream the original invocation suppressed.
+        destination.clone().unwrap_or_default(),
+    );
+    std::fs::create_dir_all(&run_dir)
+        .map_err(|e| format!("cannot create {}: {e}", run_dir.display()))?;
+    let manifest = Mutex::new(manifest);
+    orchestrate_and_finish(options, &run_dir, &manifest, destination)
+}
+
+/// `resume`: revalidates a run directory against its manifest, re-runs
+/// only the shards whose files do not match, and finishes the run.
+fn cmd_resume(options: &Options) -> Result<i32, String> {
+    let run_dir = match (&options.run_dir, options.positionals.as_slice()) {
+        (Some(dir), []) => PathBuf::from(dir),
+        (None, [dir]) => PathBuf::from(dir),
+        (None, []) => return Err(format!("resume needs a run directory\n{USAGE}")),
+        _ => return Err("resume takes exactly one run directory".into()),
+    };
+    let mut manifest = Manifest::load(&run_dir)?;
+
+    // The manifest must describe a case enumeration this binary reproduces.
+    let resumed = options_from_spec(&manifest.spec, options);
+    let spec = sweep_spec(&resumed);
+    let scaling = scaling_spec(&resumed);
+    let items = items_for(&manifest.spec.subcommand, &spec, &scaling)?;
+    let fingerprint = spec_fingerprint(&manifest.spec.subcommand, &spec, &scaling);
+    if fingerprint != manifest.spec_fingerprint || items.len() != manifest.total_cases {
+        return Err(format!(
+            "manifest fingerprint {} does not match this binary's enumeration {} \
+             ({} cases vs {}): refusing to mix shards across specs",
+            manifest.spec_fingerprint,
+            fingerprint,
+            manifest.total_cases,
+            items.len(),
+        ));
+    }
+
+    let demoted = manifest
+        .revalidate_completed(&run_dir)
+        .map_err(|e| format!("cannot revalidate {}: {e}", run_dir.display()))?;
+    if !demoted.is_empty() {
+        eprintln!(
+            "ringlab: shards {demoted:?} no longer match their recorded checksums; re-running"
+        );
+    }
+    let pending = manifest.incomplete_shards().len();
+    eprintln!(
+        "ringlab: resuming {}: {pending} of {} shards to run",
+        run_dir.display(),
+        manifest.shards.len()
+    );
+    let destination = if options.jsonl.is_some() || options.no_jsonl {
+        jsonl_destination(&Options {
+            subcommand: manifest.spec.subcommand.clone(),
+            ..options.clone()
+        })
+    } else if manifest.output.is_empty() {
+        // The run was started with --no-jsonl; keep suppressing the stream.
+        None
+    } else {
+        Some(manifest.output.clone())
+    };
+    let manifest = Mutex::new(manifest);
+    orchestrate_and_finish(&resumed, &run_dir, &manifest, destination)
+}
+
+/// Shared tail of `--shards` and `resume`: run the incomplete shards,
+/// merge, render tables, report statistics.
+fn orchestrate_and_finish(
+    options: &Options,
+    run_dir: &Path,
+    manifest: &Mutex<Manifest>,
+    destination: Option<String>,
+) -> Result<i32, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate ringlab: {e}"))?;
+    let (spec_params, jobs_per_worker, shard_count) = {
+        let m = manifest.lock().expect("manifest lock");
+        (m.spec.clone(), m.jobs_per_worker, m.shards.len())
+    };
+    let orchestration = OrchestratorOptions {
+        concurrency: if options.jobs == 0 {
+            crate::executor::available_jobs()
+        } else {
+            options.jobs
+        },
+        retries: options.retries,
+    };
+    let start = Instant::now();
+    let outcome = run_pending_shards(run_dir, manifest, &orchestration, &|range| {
+        let mut cmd = Command::new(&exe);
+        cmd.args(worker_args(&spec_params, jobs_per_worker, range, shard_count));
+        cmd
+    })
+    .map_err(|e| format!("orchestration failed: {e}"))?;
+    let elapsed = start.elapsed();
+
+    let manifest = manifest.lock().expect("manifest lock");
+    if !outcome.failed.is_empty() {
+        return Err(format!(
+            "shards {:?} failed after {} attempt(s) each; fix the cause and run \
+             `ringlab resume {}`",
+            outcome.failed,
+            options.retries + 1,
+            run_dir.display(),
+        ));
+    }
+
+    // Merge the shard files into the destination, parsing each record
+    // line as it streams past so only the measurements (for the tables)
+    // are retained — never the whole merged byte stream.
+    let inputs = manifest.shard_files(run_dir);
+    let out: Box<dyn Write + Send> = match destination.as_deref() {
+        Some(dest) => open_destination(dest)?,
+        None => Box::new(std::io::sink()),
+    };
+    let mut collector = MeasurementCollector::new(out);
+    let report = merge_shards(&inputs, &mut collector, Some(manifest.total_cases))
+        .map_err(|e| format!("merge failed: {e}"))?;
+    let measurements = collector.finish()?;
+    print_tables(&render_markdown(&measurements), destination.as_deref());
+
+    let stats = manifest.aggregate_stats();
+    eprintln!(
+        "ringlab: {} cases over {} shards ({} run now, {} concurrent workers) in {:.2}s; \
+merged {} records (checksum {}); workers: {} cache hits / {} misses, {} steals; manifest {}",
+        manifest.total_cases,
+        manifest.shards.len(),
+        outcome.completed.len(),
+        orchestration.concurrency,
+        elapsed.as_secs_f64(),
+        report.records,
+        report.checksum,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.steals,
+        Manifest::path_in(run_dir).display(),
+    );
+    if let Some(dest) = destination.as_deref() {
+        if dest != "-" {
+            eprintln!("ringlab: merged output at {dest}");
+        }
+    }
+    if options.stats {
+        eprintln!(
+            "ringlab: stats {}",
+            serde_json::to_string(&*manifest).expect("serializable manifest")
+        );
+    }
+    Ok(0)
+}
+
+/// `merge`: standalone k-way merge of shard files (or of a run directory's
+/// shards) into one JSONL stream.
+fn cmd_merge(options: &Options) -> Result<i32, String> {
+    let destination = options.jsonl.clone().unwrap_or_else(|| "-".into());
+    let (inputs, expect_total) = if let Some(dir) = &options.run_dir {
+        if !options.positionals.is_empty() {
+            return Err("merge takes either --run-dir or shard files, not both".into());
+        }
+        let run_dir = PathBuf::from(dir);
+        let manifest = Manifest::load(&run_dir)?;
+        if !manifest.is_complete() {
+            return Err(format!(
+                "run directory {} has incomplete shards; run `ringlab resume {}` first",
+                run_dir.display(),
+                run_dir.display(),
+            ));
+        }
+        (manifest.shard_files(&run_dir), Some(manifest.total_cases))
+    } else {
+        if options.positionals.is_empty() {
+            return Err(format!("merge needs shard files or --run-dir\n{USAGE}"));
+        }
+        // Hand-listed shard files: indices must be strictly ascending, but
+        // the full 0..total sequence is only enforced when the caller
+        // merges a complete run directory.
+        (
+            options.positionals.iter().map(PathBuf::from).collect(),
+            None,
+        )
+    };
+    let mut out = open_destination(&destination)?;
+    let report =
+        merge_shards(&inputs, &mut out, expect_total).map_err(|e| format!("merge failed: {e}"))?;
+    eprintln!(
+        "ringlab: merged {} records from {} shard file(s) (checksum {})",
+        report.records,
+        inputs.len(),
+        report.checksum,
+    );
+    Ok(0)
+}
+
+/// The argv a worker process needs to run one shard of a recorded spec.
+fn worker_args(
+    spec: &SpecParams,
+    jobs_per_worker: usize,
+    range: &ShardRange,
+    shard_count: usize,
+) -> Vec<String> {
+    let mut args = vec![
+        "worker".to_string(),
+        spec.subcommand.clone(),
+        "--shard".to_string(),
+        format!("{}/{shard_count}", range.shard),
+        "--jobs".to_string(),
+        jobs_per_worker.to_string(),
+    ];
+    if spec.quick {
+        args.push("--quick".into());
+    }
+    if let Some(sizes) = &spec.sizes {
+        args.push("--sizes".into());
+        args.push(join_list(sizes));
+    }
+    if let Some(factors) = &spec.universe_factors {
+        args.push("--universe-factors".into());
+        args.push(join_list(factors));
+    }
+    if let Some(reps) = spec.reps {
+        args.push("--reps".into());
+        args.push(reps.to_string());
+    }
+    if let Some(seed) = spec.seed {
+        args.push("--seed".into());
+        args.push(seed.to_string());
+    }
+    args
+}
+
+fn join_list<T: std::fmt::Display>(items: &[T]) -> String {
+    items
+        .iter()
+        .map(T::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Rebuilds the spec-affecting options recorded in a manifest, keeping the
+/// caller's runtime flags (jobs, retries, stats).
+fn options_from_spec(spec: &SpecParams, runtime: &Options) -> Options {
+    Options {
+        subcommand: spec.subcommand.clone(),
+        quick: spec.quick,
+        sizes: spec.sizes.clone(),
+        universe_factors: spec.universe_factors.clone(),
+        reps: spec.reps,
+        seed: spec.seed,
+        jsonl: None,
+        no_jsonl: false,
+        shards: 0,
+        shard: None,
+        run_dir: None,
+        positionals: Vec::new(),
+        ..runtime.clone()
+    }
+}
+
+/// A writer that forwards every byte to its destination while parsing each
+/// completed JSONL line into the measurements the tables need — so a merge
+/// stays streaming (only the current partial line and the parsed
+/// measurements are retained, never the merged byte stream).
+struct MeasurementCollector<W: Write> {
+    inner: W,
+    partial: Vec<u8>,
+    measurements: Vec<Measurement>,
+    error: Option<String>,
+}
+
+impl<W: Write> MeasurementCollector<W> {
+    fn new(inner: W) -> Self {
+        MeasurementCollector {
+            inner,
+            partial: Vec::new(),
+            measurements: Vec::new(),
+            error: None,
+        }
+    }
+
+    fn absorb(&mut self, bytes: &[u8]) {
+        if self.error.is_some() {
+            return;
+        }
+        self.partial.extend_from_slice(bytes);
+        while let Some(pos) = self.partial.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.partial.drain(..=pos).collect();
+            let parsed = std::str::from_utf8(&line[..line.len() - 1])
+                .map_err(|_| "merged record is not UTF-8".to_string())
+                .and_then(|text| {
+                    serde_json::from_str(text).map_err(|e| format!("merged record: {e}"))
+                })
+                .and_then(|value| CaseRecord::from_json(&value));
+            match parsed {
+                Ok(record) => self.measurements.extend(record.measurements),
+                Err(e) => {
+                    self.error = Some(e);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Result<Vec<Measurement>, String> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        if !self.partial.is_empty() {
+            return Err("merged stream ended mid-record".into());
+        }
+        Ok(self.measurements)
+    }
+}
+
+impl<W: Write> Write for MeasurementCollector<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.absorb(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
 }
 
 /// Renders the measurements as the familiar markdown sections, grouped by
@@ -260,6 +862,12 @@ fn parse(args: &[String]) -> Result<Options, String> {
         seed: None,
         jsonl: None,
         no_jsonl: false,
+        shards: 0,
+        shard: None,
+        run_dir: None,
+        retries: 1,
+        stats: false,
+        positionals: Vec::new(),
     };
     let mut iter = args.iter();
     let Some(subcommand) = iter.next() else {
@@ -275,10 +883,35 @@ fn parse(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--quick" => options.quick = true,
             "--no-jsonl" => options.no_jsonl = true,
+            "--stats" => options.stats = true,
             "--jobs" => {
                 options.jobs = value_of("--jobs")?
                     .parse()
                     .map_err(|_| "--jobs expects a non-negative integer".to_string())?;
+            }
+            "--shards" => {
+                options.shards = value_of("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards expects a positive integer".to_string())?;
+            }
+            "--shard" => {
+                let text = value_of("--shard")?;
+                let Some((i, m)) = text.split_once('/') else {
+                    return Err("--shard expects i/M (e.g. 0/4)".into());
+                };
+                let shard: usize = i
+                    .parse()
+                    .map_err(|_| "--shard expects i/M with integer i".to_string())?;
+                let of: usize = m
+                    .parse()
+                    .map_err(|_| "--shard expects i/M with integer M".to_string())?;
+                options.shard = Some((shard, of));
+            }
+            "--run-dir" => options.run_dir = Some(value_of("--run-dir")?),
+            "--retries" => {
+                options.retries = value_of("--retries")?
+                    .parse()
+                    .map_err(|_| "--retries expects a non-negative integer".to_string())?;
             }
             "--sizes" => {
                 options.sizes = Some(parse_list(&value_of("--sizes")?, "--sizes")?);
@@ -304,7 +937,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 );
             }
             "--jsonl" => options.jsonl = Some(value_of("--jsonl")?),
-            other => return Err(format!("unknown flag `{other}`")),
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            other => options.positionals.push(other.to_string()),
         }
     }
     if options.sizes.as_ref().is_some_and(|sizes| sizes.is_empty()) {
@@ -319,6 +953,14 @@ fn parse(args: &[String]) -> Result<Options, String> {
     }
     if options.reps == Some(0) {
         return Err("--reps expects a positive integer".into());
+    }
+    if let Some((shard, of)) = options.shard {
+        if of == 0 || shard >= of {
+            return Err(format!("--shard {shard}/{of} is out of range (need i < M)"));
+        }
+        if options.shards != 0 && options.shards != of {
+            return Err("--shards and --shard disagree on the shard count".into());
+        }
     }
     if options.subcommand == "scaling" && options.universe_factors.is_some() {
         return Err(
@@ -392,11 +1034,69 @@ mod tests {
     }
 
     #[test]
+    fn sharding_flags_parse() {
+        let options = parse(&args(&[
+            "sweep", "--shards", "4", "--run-dir", "/tmp/x", "--retries", "2", "--stats",
+        ]))
+        .unwrap();
+        assert_eq!(options.shards, 4);
+        assert_eq!(options.run_dir.as_deref(), Some("/tmp/x"));
+        assert_eq!(options.retries, 2);
+        assert!(options.stats);
+
+        let options = parse(&args(&["worker", "sweep", "--shard", "1/3"])).unwrap();
+        assert_eq!(options.subcommand, "worker");
+        assert_eq!(options.positionals, vec!["sweep".to_string()]);
+        assert_eq!(options.shard, Some((1, 3)));
+
+        assert!(parse(&args(&["sweep", "--shard", "3/3"])).is_err());
+        assert!(parse(&args(&["sweep", "--shard", "0/0"])).is_err());
+        assert!(parse(&args(&["sweep", "--shard", "nope"])).is_err());
+        assert!(parse(&args(&["sweep", "--shards", "2", "--shard", "0/3"])).is_err());
+    }
+
+    #[test]
     fn bad_flags_are_rejected() {
         assert!(parse(&args(&[])).is_err());
         assert!(parse(&args(&["table1", "--jobs"])).is_err());
         assert!(parse(&args(&["table1", "--sizes", "a,b"])).is_err());
         assert!(parse(&args(&["table1", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn worker_args_round_trip_through_the_parser() {
+        let spec = SpecParams {
+            subcommand: "sweep".into(),
+            quick: true,
+            sizes: Some(vec![9, 8]),
+            universe_factors: Some(vec![4]),
+            reps: Some(2),
+            seed: Some(77),
+        };
+        let range = ShardRange { shard: 1, start: 4, end: 8 };
+        let argv = worker_args(&spec, 1, &range, 3);
+        let parsed = parse(&argv).unwrap();
+        assert_eq!(parsed.subcommand, "worker");
+        assert_eq!(parsed.positionals, vec!["sweep".to_string()]);
+        assert_eq!(parsed.shard, Some((1, 3)));
+        assert_eq!(parsed.jobs, 1);
+        let rebuilt = sweep_spec(&parsed);
+        assert_eq!(rebuilt.sizes, vec![9, 8]);
+        assert_eq!(rebuilt.universe_factors, vec![4]);
+        assert_eq!(rebuilt.repetitions, 2);
+        assert_eq!(rebuilt.seed, 77);
+    }
+
+    #[test]
+    fn fingerprints_separate_specs_and_subcommands() {
+        let spec = SweepSpec::quick();
+        let scaling = ScalingSpec::standard();
+        let base = spec_fingerprint("sweep", &spec, &scaling);
+        assert_ne!(base, spec_fingerprint("table1", &spec, &scaling));
+        let mut reseeded = spec.clone();
+        reseeded.seed ^= 1;
+        assert_ne!(base, spec_fingerprint("sweep", &reseeded, &scaling));
+        assert_eq!(base, spec_fingerprint("sweep", &spec.clone(), &scaling));
     }
 
     #[test]

@@ -9,33 +9,38 @@
 //! for every `--jobs` value.
 
 use crate::cache::{CacheStats, StructureCache};
-use crate::executor::run_work_stealing;
+use crate::executor::{run_work_stealing_with_stats, ExecutorStats};
 use crate::scenario::{CaseRecord, WorkItem};
 use crate::sink::JsonlSink;
 use ring_protocols::structures::SharedStructures;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The parallel scenario engine.
 pub struct SweepEngine {
     jobs: usize,
     cache: Arc<StructureCache>,
+    executed: AtomicU64,
+    steals: AtomicU64,
 }
 
 impl SweepEngine {
     /// Creates an engine running `jobs` worker threads (`0` = all cores)
     /// with a fresh structure cache.
     pub fn new(jobs: usize) -> Self {
-        SweepEngine {
-            jobs,
-            cache: Arc::new(StructureCache::new()),
-        }
+        Self::with_cache(jobs, Arc::new(StructureCache::new()))
     }
 
     /// Creates an engine sharing an existing cache (e.g. to carry warm
     /// structures across consecutive sweeps of one CLI invocation).
     pub fn with_cache(jobs: usize, cache: Arc<StructureCache>) -> Self {
-        SweepEngine { jobs, cache }
+        SweepEngine {
+            jobs,
+            cache,
+            executed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        }
     }
 
     /// The configured worker count (`0` = all cores).
@@ -53,6 +58,15 @@ impl SweepEngine {
         self.cache.stats()
     }
 
+    /// Executor scheduling counters accumulated over every run of this
+    /// engine.
+    pub fn exec_stats(&self) -> ExecutorStats {
+        ExecutorStats {
+            executed: self.executed.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+        }
+    }
+
     /// Runs every item, streaming each finished record to `sink` (as one
     /// compact JSON line, in case order) and returning all records in case
     /// order.
@@ -61,15 +75,33 @@ impl SweepEngine {
         items: &[WorkItem],
         sink: Option<&JsonlSink<W>>,
     ) -> Vec<CaseRecord> {
+        self.run_with_offset(items, 0, sink)
+    }
+
+    /// Runs a contiguous slice of a larger sweep: item `i` of the slice is
+    /// case `offset + i` of the sweep, and its record (and JSONL line)
+    /// carries that **global** index. This is what a shard worker runs —
+    /// the emitted lines are byte-identical to the corresponding lines of
+    /// the full single-process sweep. The sink still receives slice-local
+    /// indices for ordering.
+    pub fn run_with_offset<W: Write + Send>(
+        &self,
+        items: &[WorkItem],
+        offset: usize,
+        sink: Option<&JsonlSink<W>>,
+    ) -> Vec<CaseRecord> {
         let structures: SharedStructures = self.cache.clone();
-        run_work_stealing(items, self.jobs, |index, item| {
-            let record = item.run_to_record(index, &structures);
+        let (records, stats) = run_work_stealing_with_stats(items, self.jobs, |index, item| {
+            let record = item.run_to_record(offset + index, &structures);
             if let Some(sink) = sink {
                 let line = serde_json::to_string(&record).expect("serializable record");
                 sink.emit(index, &line);
             }
             record
-        })
+        });
+        self.executed.fetch_add(stats.executed, Ordering::Relaxed);
+        self.steals.fetch_add(stats.steals, Ordering::Relaxed);
+        records
     }
 }
 
@@ -97,5 +129,36 @@ mod tests {
         assert!(text.lines().next().unwrap().contains("\"case_index\":0"));
         // The sweep reuses the strong distinguisher across problems/cases.
         assert!(engine.cache_stats().hits > 0);
+        assert_eq!(engine.exec_stats().executed, items.len() as u64);
+    }
+
+    #[test]
+    fn offset_runs_emit_the_full_sweep_lines() {
+        let items = table1_items(&SweepSpec {
+            sizes: vec![9, 8],
+            universe_factors: vec![4],
+            repetitions: 2,
+            seed: 3,
+        });
+        // The whole sweep in one process…
+        let engine = SweepEngine::new(1);
+        let sink = JsonlSink::new(Vec::new());
+        engine.run(&items, Some(&sink));
+        let whole = String::from_utf8(sink.finish()).unwrap();
+
+        // …equals the concatenation of two offset slices, line for line.
+        let split = items.len() / 2;
+        let mut stitched = String::new();
+        for (slice, offset) in [(&items[..split], 0), (&items[split..], split)] {
+            let engine = SweepEngine::new(2);
+            let sink = JsonlSink::new(Vec::new());
+            let records = engine.run_with_offset(slice, offset, Some(&sink));
+            assert!(records
+                .iter()
+                .enumerate()
+                .all(|(i, r)| r.case_index == offset + i));
+            stitched.push_str(&String::from_utf8(sink.finish()).unwrap());
+        }
+        assert_eq!(stitched, whole);
     }
 }

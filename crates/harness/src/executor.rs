@@ -22,6 +22,17 @@ pub fn available_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Scheduling counters of one executor pass, for performance inspection
+/// (`ringlab --stats`, the run manifest's per-shard entries).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ExecutorStats {
+    /// Items executed.
+    pub executed: u64,
+    /// Items a worker took from another worker's queue. High steal counts
+    /// mean the round-robin striping mispredicted the load distribution.
+    pub steals: u64,
+}
+
 /// Runs `worker(index, &items[index])` for every item across `jobs`
 /// threads (clamped to the item count; `0` means [`available_jobs`]) and
 /// returns the results in item order.
@@ -40,10 +51,31 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    run_work_stealing_with_stats(items, jobs, worker).0
+}
+
+/// [`run_work_stealing`] with scheduling counters for the pass.
+pub fn run_work_stealing_with_stats<T, R, F>(
+    items: &[T],
+    jobs: usize,
+    worker: F,
+) -> (Vec<R>, ExecutorStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let jobs = if jobs == 0 { available_jobs() } else { jobs };
     let jobs = jobs.min(items.len()).max(1);
     if jobs <= 1 {
-        return items.iter().enumerate().map(|(i, t)| worker(i, t)).collect();
+        let results = items.iter().enumerate().map(|(i, t)| worker(i, t)).collect();
+        return (
+            results,
+            ExecutorStats {
+                executed: items.len() as u64,
+                steals: 0,
+            },
+        );
     }
 
     // Round-robin striping spreads systematically heavy regions (e.g. the
@@ -54,6 +86,7 @@ where
         .collect();
 
     let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let mut stats = ExecutorStats::default();
     std::thread::scope(|scope| {
         let queues = &queues;
         let worker = &worker;
@@ -61,37 +94,44 @@ where
             .map(|w| {
                 scope.spawn(move || {
                     let mut produced: Vec<(usize, R)> = Vec::new();
-                    while let Some(index) = next_index(queues, w) {
+                    let mut steals = 0u64;
+                    while let Some((index, stolen)) = next_index(queues, w) {
+                        steals += u64::from(stolen);
                         produced.push((index, worker(index, &items[index])));
                     }
-                    produced
+                    (produced, steals)
                 })
             })
             .collect();
         for handle in handles {
-            for (index, result) in handle.join().expect("worker thread panicked") {
+            let (produced, steals) = handle.join().expect("worker thread panicked");
+            stats.steals += steals;
+            for (index, result) in produced {
                 results[index] = Some(result);
             }
         }
     });
-    results
+    stats.executed = items.len() as u64;
+    let results = results
         .into_iter()
         .map(|r| r.expect("every index is scheduled exactly once"))
-        .collect()
+        .collect();
+    (results, stats)
 }
 
 /// Pops the next index for worker `w`: its own queue front first, then the
 /// back of every other queue (classic work stealing: owners and thieves
-/// take opposite ends to minimise contention on the same items).
-fn next_index(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+/// take opposite ends to minimise contention on the same items). The flag
+/// reports whether the index was stolen.
+fn next_index(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<(usize, bool)> {
     if let Some(index) = queues[w].lock().expect("worker queue").pop_front() {
-        return Some(index);
+        return Some((index, false));
     }
     let jobs = queues.len();
     for offset in 1..jobs {
         let victim = (w + offset) % jobs;
         if let Some(index) = queues[victim].lock().expect("worker queue").pop_back() {
-            return Some(index);
+            return Some((index, true));
         }
     }
     None
@@ -135,5 +175,27 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(run_work_stealing(&empty, 8, |_, &x| x).is_empty());
         assert_eq!(run_work_stealing(&[5u32], 0, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn steal_counters_track_imbalance() {
+        // Serial runs never steal.
+        let items: Vec<usize> = (0..16).collect();
+        let (_, stats) = run_work_stealing_with_stats(&items, 1, |_, &x| x);
+        assert_eq!(stats, ExecutorStats { executed: 16, steals: 0 });
+
+        // One pathologically slow item forces the other worker to steal the
+        // victim's whole stripe (2 workers, striped deques).
+        let (_, stats) = run_work_stealing_with_stats(&items, 2, |_, &x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            x
+        });
+        assert_eq!(stats.executed, 16);
+        assert!(
+            stats.steals > 0,
+            "expected steals when one worker stalls, saw {stats:?}"
+        );
     }
 }

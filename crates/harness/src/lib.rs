@@ -31,7 +31,20 @@
 //! ```text
 //! ringlab all --quick --jobs 2
 //! ringlab sweep --sizes 32,64 --universe-factors 4,64 --reps 5 --jobs 8
+//! ringlab sweep --shards 8                  # 8 worker processes, merged
+//! ringlab sweep --shard 2/8 --jsonl s2.jsonl # one shard, by hand
+//! ringlab resume results/distrib/sweep       # finish a crashed run
 //! ```
+//!
+//! Above the in-process engine sits the **distributed layer**
+//! (`ring-distrib`, wired up by [`cli`]): `--shards M` plans the case
+//! index space into M contiguous ranges, spawns `ringlab worker` child
+//! processes speaking a line-delimited JSON protocol over stdout, tracks
+//! progress in a checkpointed `manifest.json` (per-shard status, retries,
+//! checksums, cache/executor stats) and k-way-merges the shard files into
+//! output byte-identical to the single-process run. `worker`, `merge` and
+//! `resume` expose the layer's pieces individually, so a sweep can also be
+//! hand-partitioned across machines and reassembled later.
 //!
 //! ## Determinism
 //!
@@ -40,7 +53,9 @@
 //! structures are bit-identical to freshly constructed ones (both
 //! ultimately call the same seeded constructions); and the sink reorders
 //! completions back into case order. The harness test-suite pins each
-//! property down separately and end to end.
+//! property down separately and end to end — and, through the real
+//! `ringlab` binary, extends the same guarantee to `--shards M` for every
+//! M, including after worker crashes and `resume`.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]

@@ -191,6 +191,55 @@ pub struct CaseRecord {
 }
 
 impl CaseRecord {
+    /// Reconstructs a record from its JSON value (the inverse of the
+    /// `Serialize` derive). The distributed layer uses this to render
+    /// tables and statistics from merged shard files without re-running
+    /// any case.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(value: &serde::Value) -> Result<Self, String> {
+        let int = |key: &str| {
+            value
+                .get(key)
+                .and_then(serde::Value::as_u64)
+                .ok_or_else(|| format!("record is missing integer `{key}`"))
+        };
+        let rounds_total = match value.get("rounds_total") {
+            None => return Err("record is missing `rounds_total`".into()),
+            Some(v) if v.is_null() => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .ok_or("record `rounds_total` is not a number")?,
+            ),
+        };
+        let measurements = value
+            .get("measurements")
+            .and_then(serde::Value::as_array)
+            .ok_or("record is missing `measurements` array")?
+            .iter()
+            .map(Measurement::from_json)
+            .collect::<Result<Vec<Measurement>, String>>()?;
+        Ok(CaseRecord {
+            case_index: int("case_index")? as usize,
+            experiment: value
+                .get("experiment")
+                .and_then(|v| v.as_str())
+                .ok_or("record is missing string `experiment`")?
+                .to_string(),
+            n: int("n")? as usize,
+            universe: int("universe")?,
+            seed: int("seed")?,
+            rounds_total,
+            verified: value
+                .get("verified")
+                .and_then(serde::Value::as_bool)
+                .ok_or("record is missing boolean `verified`")?,
+            measurements,
+        })
+    }
+
     fn new(index: usize, item: &WorkItem, measurements: Vec<Measurement>) -> Self {
         let values: Vec<f64> = measurements.iter().filter_map(|m| m.value).collect();
         CaseRecord {
@@ -348,5 +397,20 @@ mod tests {
         assert!(record.verified);
         assert_eq!(record.measurements.len(), 4);
         assert!(record.rounds_total.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let spec = SweepSpec {
+            sizes: vec![9],
+            universe_factors: vec![4],
+            repetitions: 1,
+            seed: 3,
+        };
+        let record = table1_items(&spec)[0].run_to_record(2, &fresh_structures());
+        let line = serde_json::to_string(&record).unwrap();
+        let parsed = CaseRecord::from_json(&serde_json::from_str(&line).unwrap()).unwrap();
+        assert_eq!(parsed, record);
+        assert!(CaseRecord::from_json(&serde_json::from_str("{}").unwrap()).is_err());
     }
 }

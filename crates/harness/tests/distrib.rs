@@ -1,0 +1,280 @@
+//! End-to-end properties of the distributed layer, exercised through the
+//! real `ringlab` binary (`CARGO_BIN_EXE_ringlab`): sharded multi-process
+//! sweeps must be byte-identical to single-process runs at any shard
+//! count, crash-resume must converge to the same bytes, and per-shard
+//! retry must mask one-off worker deaths.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The sweep every test runs: small enough for CI, mixed parities, more
+/// cases than the largest shard count under test.
+const SPEC_FLAGS: &[&str] = &[
+    "--sizes",
+    "9,8,12",
+    "--universe-factors",
+    "4",
+    "--reps",
+    "1",
+    "--seed",
+    "77",
+];
+
+fn ringlab() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ringlab"));
+    // Isolate from crash-injection hooks an outer environment might set.
+    cmd.env_remove("RING_DISTRIB_FAIL_AFTER")
+        .env_remove("RING_DISTRIB_FAIL_ONCE");
+    cmd
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ringlab-distrib-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs the single-process reference sweep (`--jobs 2`) into `dir`,
+/// returning the JSONL bytes.
+fn reference_bytes(dir: &Path) -> Vec<u8> {
+    let out = dir.join("single.jsonl");
+    let status = ringlab()
+        .args(["sweep", "--jobs", "2", "--jsonl"])
+        .arg(&out)
+        .args(SPEC_FLAGS)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("run ringlab");
+    assert!(status.success(), "single-process sweep failed");
+    let bytes = std::fs::read(&out).unwrap();
+    assert!(!bytes.is_empty());
+    bytes
+}
+
+/// The acceptance property: for every shard count, orchestrated
+/// multi-process output is byte-identical to the single-process run —
+/// including `M = 7`, where the plan contains empty shards (6 cases).
+#[test]
+fn sharded_sweeps_are_byte_identical_for_every_shard_count() {
+    let dir = temp_dir("shards");
+    let reference = reference_bytes(&dir);
+    for shards in [1usize, 2, 3, 7] {
+        let out = dir.join(format!("sharded-{shards}.jsonl"));
+        let run_dir = dir.join(format!("run-{shards}"));
+        let status = ringlab()
+            .args(["sweep", "--shards", &shards.to_string(), "--jsonl"])
+            .arg(&out)
+            .arg("--run-dir")
+            .arg(&run_dir)
+            .args(SPEC_FLAGS)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .expect("run ringlab");
+        assert!(status.success(), "sharded sweep failed at M = {shards}");
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            reference,
+            "sharded output diverged from the single-process run at M = {shards}"
+        );
+        // The run directory holds a complete manifest whose shard files
+        // still verify.
+        let mut manifest = ring_distrib::Manifest::load(&run_dir).unwrap();
+        assert!(manifest.is_complete());
+        assert_eq!(manifest.total_cases, 6, "3 sizes × table1+table2");
+        assert!(manifest.revalidate_completed(&run_dir).unwrap().is_empty());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Hand-partitioned `--shard i/M` runs on (conceptually) separate machines
+/// merge into the same bytes via the standalone `merge` subcommand.
+#[test]
+fn manual_shard_slices_merge_to_the_reference_bytes() {
+    let dir = temp_dir("slices");
+    let reference = reference_bytes(&dir);
+    let mut slices = Vec::new();
+    for shard in 0..3 {
+        let out = dir.join(format!("slice-{shard}.jsonl"));
+        let status = ringlab()
+            .args(["sweep", "--shard", &format!("{shard}/3"), "--jsonl"])
+            .arg(&out)
+            .args(SPEC_FLAGS)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .expect("run ringlab");
+        assert!(status.success(), "slice {shard}/3 failed");
+        slices.push(out);
+    }
+    let merged = dir.join("merged.jsonl");
+    let status = ringlab()
+        .arg("merge")
+        .args(&slices)
+        .arg("--jsonl")
+        .arg(&merged)
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("run ringlab merge");
+    assert!(status.success(), "merge failed");
+    assert_eq!(std::fs::read(&merged).unwrap(), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Killing a worker mid-shard (the injected crash dies after one record,
+/// without a done event) leaves a resumable directory: `resume` re-runs
+/// only the broken shards and converges to the reference bytes.
+#[test]
+fn resume_after_a_mid_shard_crash_reaches_identical_bytes() {
+    let dir = temp_dir("crash-resume");
+    let reference = reference_bytes(&dir);
+    let run_dir = dir.join("run");
+    let out = dir.join("sharded.jsonl");
+
+    // Every worker dies mid-shard; with the injection inherited by all
+    // attempts, the orchestration must report failure.
+    let status = ringlab()
+        .args(["sweep", "--shards", "3", "--retries", "0", "--jsonl"])
+        .arg(&out)
+        .arg("--run-dir")
+        .arg(&run_dir)
+        .args(SPEC_FLAGS)
+        .env("RING_DISTRIB_FAIL_AFTER", "1")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("run ringlab");
+    assert!(!status.success(), "orchestration must fail when every worker dies");
+    let manifest = ring_distrib::Manifest::load(&run_dir).unwrap();
+    assert!(!manifest.is_complete());
+    assert!(!out.exists(), "no merged output may appear for a failed run");
+
+    // A healthy resume completes only the incomplete shards and merges.
+    let resumed = dir.join("resumed.jsonl");
+    let status = ringlab()
+        .arg("resume")
+        .arg(&run_dir)
+        .arg("--jsonl")
+        .arg(&resumed)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("run ringlab resume");
+    assert!(status.success(), "resume failed");
+    assert_eq!(std::fs::read(&resumed).unwrap(), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Truncating a completed shard file (a crash after the manifest said
+/// `complete`, a partial copy, a bad disk) is caught by checksum
+/// revalidation: `resume` re-runs exactly that shard.
+#[test]
+fn resume_revalidates_checksums_and_repairs_truncated_shards() {
+    let dir = temp_dir("truncate-resume");
+    let reference = reference_bytes(&dir);
+    let run_dir = dir.join("run");
+    let out = dir.join("sharded.jsonl");
+    let status = ringlab()
+        .args(["sweep", "--shards", "3", "--jsonl"])
+        .arg(&out)
+        .arg("--run-dir")
+        .arg(&run_dir)
+        .args(SPEC_FLAGS)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("run ringlab");
+    assert!(status.success());
+
+    // Drop the last line of shard 1.
+    let shard1 = run_dir.join(ring_distrib::shard_file_name(1));
+    let text = std::fs::read_to_string(&shard1).unwrap();
+    let truncated: String = text
+        .lines()
+        .take(text.lines().count() - 1)
+        .flat_map(|l| [l, "\n"])
+        .collect();
+    std::fs::write(&shard1, truncated).unwrap();
+
+    let resumed = dir.join("resumed.jsonl");
+    let status = ringlab()
+        .arg("resume")
+        .arg(&run_dir)
+        .arg("--jsonl")
+        .arg(&resumed)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("run ringlab resume");
+    assert!(status.success(), "resume failed");
+    assert_eq!(std::fs::read(&resumed).unwrap(), reference);
+
+    // Untouched shards kept their single attempt; shard 1 was re-run.
+    let manifest = ring_distrib::Manifest::load(&run_dir).unwrap();
+    assert_eq!(manifest.shards[0].attempts, 1);
+    assert_eq!(manifest.shards[1].attempts, 2);
+    assert_eq!(manifest.shards[2].attempts, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A worker that dies exactly once (marker-file injection) is masked by
+/// the per-shard retry: the run still succeeds with identical bytes, and
+/// the manifest records the extra attempt.
+#[test]
+fn per_shard_retry_masks_a_single_worker_death() {
+    let dir = temp_dir("retry");
+    let reference = reference_bytes(&dir);
+    let run_dir = dir.join("run");
+    let out = dir.join("sharded.jsonl");
+    let marker = dir.join("crash-marker");
+    let status = ringlab()
+        .args(["sweep", "--shards", "2", "--retries", "1", "--jsonl"])
+        .arg(&out)
+        .arg("--run-dir")
+        .arg(&run_dir)
+        .args(SPEC_FLAGS)
+        .env("RING_DISTRIB_FAIL_ONCE", &marker)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("run ringlab");
+    assert!(status.success(), "retry should have masked the single death");
+    assert_eq!(std::fs::read(&out).unwrap(), reference);
+    let manifest = ring_distrib::Manifest::load(&run_dir).unwrap();
+    let attempts: u32 = manifest.shards.iter().map(|s| s.attempts).sum();
+    assert_eq!(attempts, 3, "one shard must have been launched twice");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--jsonl -` streams records to stdout with the tables routed to stderr,
+/// so piped output is pure JSONL — for sharded and single-process runs
+/// alike.
+#[test]
+fn stdout_jsonl_stays_pure_when_tables_render() {
+    let dir = temp_dir("stdout");
+    let reference = reference_bytes(&dir);
+    for extra in [&["--jobs", "2"][..], &["--shards", "2", "--retries", "0"][..]] {
+        let run_dir = dir.join("run-stdout");
+        std::fs::remove_dir_all(&run_dir).ok();
+        let output = ringlab()
+            .args(["sweep", "--jsonl", "-"])
+            .args(extra)
+            .arg("--run-dir")
+            .arg(&run_dir)
+            .args(SPEC_FLAGS)
+            .output()
+            .expect("run ringlab");
+        assert!(output.status.success());
+        assert_eq!(
+            output.stdout, reference,
+            "stdout must carry exactly the JSONL stream"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("# Table I"),
+            "tables must be routed to stderr when JSONL owns stdout"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

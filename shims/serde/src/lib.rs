@@ -28,6 +28,82 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Looks up `key` in an object value (`None` for non-objects and
+    /// missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Uint(u) => Some(*u),
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => i64::try_from(*i).ok(),
+            Value::Uint(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers convert; strings do not).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Uint(u) => Some(*u as f64),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object's `(key, value)` pairs in document order.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is JSON `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
 /// Types that can serialize themselves into the JSON [`Value`] model.
 pub trait Serialize {
     /// Converts `self` to a JSON value.
