@@ -1,7 +1,7 @@
 //! Sweep-throughput trajectory of the `ring-harness` scenario engine and
 //! the `ring-distrib` multi-process layer.
 //!
-//! Times the same distinguisher-heavy sweep five ways and writes the
+//! Times the same distinguisher-heavy sweep seven ways and writes the
 //! results to `BENCH_harness.json` (committed; its git history is the
 //! trajectory, like `BENCH_combinat.json`):
 //!
@@ -26,6 +26,16 @@
 //!    analogue of `parallel_cached`'s warm cache and must beat it for the
 //!    sharded mode to be worth its overhead on repeated/append-style
 //!    sweeps.
+//! 6. **`sharded_store_cold`** — the orchestrated pass with the two-tier
+//!    structure store enabled against an *empty* store directory: workers
+//!    construct each structure once per fleet (claim discipline), publish,
+//!    and pay the encoding/IO cost. The honest first pass of a
+//!    store-backed fleet.
+//! 7. **`sharded_store_warm`** — the same orchestrated pass (fresh run
+//!    dir, every case re-measured) against the *populated* store: workers
+//!    load every structure instead of constructing. This is the number the
+//!    store exists for, and it must beat `sharded_cold` — the
+//!    `store_vs_cold` field tracks the ratio.
 //!
 //! The bench sweep is the distinguisher-scaling study at large `N`
 //! (`N = 2¹⁷`) with measurement repetitions, so structure construction
@@ -49,7 +59,7 @@ use ring_experiments::distinguisher_scaling::ScalingSpec;
 use ring_experiments::SweepSpec;
 use ring_harness::scenario::{scaling_items, table1_items, WorkItem};
 use ring_harness::sink::JsonlSink;
-use ring_harness::{available_jobs, StructureCache, SweepEngine};
+use ring_harness::{available_jobs, StructureCache, StructureStore, SweepEngine};
 use ring_protocols::structures::fresh_structures;
 use serde::Serialize;
 use std::io::Write;
@@ -85,6 +95,10 @@ struct Report {
     /// `sharded_cached` vs `parallel_cached` throughput (the steady-state
     /// multi-process pass against the warm single-process engine).
     sharded_vs_parallel: f64,
+    /// `sharded_store_warm` vs `sharded_cold` throughput: what a populated
+    /// structure store buys a fleet that re-runs (or extends) a sweep,
+    /// against rebuilding every structure per process.
+    store_vs_cold: f64,
     /// Cache counters accumulated by the `parallel_cached` bench run.
     bench_sweep_cache: CacheSection,
     /// Cache counters of one engine pass over the standard sweep.
@@ -157,8 +171,9 @@ fn bench_fingerprint(quick: bool) -> String {
 /// `--worker-shard i/M` mode: this binary as a ring-distrib worker over
 /// the bench item list, speaking the protocol on stdout. Lets the bench
 /// orchestrate real worker processes without depending on an external
-/// binary path.
-fn worker_shard_mode(quick: bool, shard: usize, of: usize) {
+/// binary path. `store_dir` (the `--structure-store` flag) points the
+/// worker at the fleet's shared two-tier store.
+fn worker_shard_mode(quick: bool, shard: usize, of: usize, store_dir: Option<&str>) {
     let (scaling, reps) = bench_config(quick);
     let items = bench_items(&scaling, reps);
     let range = plan_shards(items.len(), of)[shard];
@@ -169,11 +184,18 @@ fn worker_shard_mode(quick: bool, shard: usize, of: usize) {
             .and_then(|()| out.flush())
             .expect("stdout");
     }
-    let engine = SweepEngine::new(1);
+    let engine = match store_dir {
+        None => SweepEngine::new(1),
+        Some(dir) => SweepEngine::with_store(
+            1,
+            Arc::new(StructureStore::at(dir).expect("open structure store")),
+        ),
+    };
     let sink = JsonlSink::new(ShardTally::new(std::io::stdout(), fail_after_from_env()));
     engine.run_with_offset(&items[range.start..range.end], range.start, Some(&sink));
     let tally = sink.finish();
     let cache = engine.cache_stats();
+    let store = engine.store_stats();
     let done = DoneEvent::new(
         shard,
         tally.lines() as usize,
@@ -181,13 +203,22 @@ fn worker_shard_mode(quick: bool, shard: usize, of: usize) {
         cache.hits,
         cache.misses,
         engine.exec_stats().steals,
-    );
+    )
+    .with_store(store.hits, store.misses);
     println!("{}", serde_json::to_string(&done).expect("serializable event"));
 }
 
-/// Orchestrates one cold sharded pass over the bench items into `run_dir`
+/// Orchestrates one sharded pass over the bench items into `run_dir`
 /// (which is wiped first), merging at the end like `ringlab --shards`.
-fn run_sharded_cold(run_dir: &std::path::Path, quick: bool, total: usize, shards: usize) {
+/// With `store_dir` the workers share that two-tier structure store (the
+/// directory is **not** wiped here — cold vs warm is the caller's choice).
+fn run_sharded_pass(
+    run_dir: &std::path::Path,
+    quick: bool,
+    total: usize,
+    shards: usize,
+    store_dir: Option<&std::path::Path>,
+) {
     std::fs::remove_dir_all(run_dir).ok();
     std::fs::create_dir_all(run_dir).expect("create sharded run dir");
     let manifest = Manifest::new(
@@ -204,11 +235,19 @@ fn run_sharded_cold(run_dir: &std::path::Path, quick: bool, total: usize, shards
         &plan_shards(total, shards),
         1,
         "-".into(),
+    )
+    .with_structure_store(
+        store_dir
+            .map(|d| d.to_string_lossy().into_owned())
+            .unwrap_or_default(),
     );
     let manifest = Mutex::new(manifest);
     let exe = std::env::current_exe().expect("locate bench binary");
+    // One worker per core (the `ringlab --shards` default): on a single-core
+    // container the fleet serializes instead of thrashing memory, on real
+    // hardware it runs genuinely parallel. Worker count stays `shards`.
     let options = OrchestratorOptions {
-        concurrency: shards.min(available_jobs().max(2)),
+        concurrency: shards.min(available_jobs()).max(1),
         retries: 0,
     };
     let outcome = run_pending_shards(run_dir, &manifest, &options, &|range| {
@@ -216,6 +255,9 @@ fn run_sharded_cold(run_dir: &std::path::Path, quick: bool, total: usize, shards
         cmd.arg("--worker-shard").arg(format!("{}/{shards}", range.shard));
         if quick {
             cmd.arg("--quick");
+        }
+        if let Some(dir) = store_dir {
+            cmd.arg("--structure-store").arg(dir);
         }
         cmd
     })
@@ -250,10 +292,15 @@ fn main() {
         let (shard, of) = value
             .split_once('/')
             .expect("--worker-shard expects i/M");
+        let store_dir = args
+            .iter()
+            .position(|a| a == "--structure-store")
+            .and_then(|i| args.get(i + 1));
         worker_shard_mode(
             quick,
             shard.parse().expect("shard index"),
             of.parse().expect("shard count"),
+            store_dir.map(String::as_str),
         );
         return;
     }
@@ -292,16 +339,41 @@ fn main() {
     //    spawned, structures rebuilt per process, shards merged), then the
     //    steady-state pass over the completed run directory (revalidate +
     //    merge only). Same warm-up-then-time discipline as the others.
-    let shard_count = 2usize;
+    // Four worker processes: every one pays the full per-process
+    // construction cost in the storeless fleet and a load in the warm one,
+    // so the shard count is exactly the store's amortization lever (each
+    // shard spans both set sizes — the bench items interleave them).
+    let shard_count = 4usize;
     let run_dir = std::env::temp_dir().join(format!("ring-bench-sharded-{}", std::process::id()));
-    run_sharded_cold(&run_dir, quick, items.len(), shard_count);
+    run_sharded_pass(&run_dir, quick, items.len(), shard_count, None);
     let start = Instant::now();
-    run_sharded_cold(&run_dir, quick, items.len(), shard_count);
+    run_sharded_pass(&run_dir, quick, items.len(), shard_count, None);
     let sharded_cold = start.elapsed().as_secs_f64();
     run_sharded_cached(&run_dir, items.len());
     let start = Instant::now();
     run_sharded_cached(&run_dir, items.len());
     let sharded_cached = start.elapsed().as_secs_f64();
+
+    // 6./7. The two-tier structure store under the same orchestration.
+    //    Cold: the store directory is wiped before the pass, so the fleet
+    //    constructs (once per key, claim-guarded) and publishes. Warm: the
+    //    run directory is wiped but the store is kept, so every worker
+    //    loads — the pass still spawns processes and re-measures every
+    //    case, isolating exactly the construction cost the store removes.
+    let store_dir =
+        std::env::temp_dir().join(format!("ring-bench-structstore-{}", std::process::id()));
+    std::fs::remove_dir_all(&store_dir).ok();
+    run_sharded_pass(&run_dir, quick, items.len(), shard_count, Some(&store_dir));
+    std::fs::remove_dir_all(&store_dir).ok();
+    let start = Instant::now();
+    run_sharded_pass(&run_dir, quick, items.len(), shard_count, Some(&store_dir));
+    let sharded_store_cold = start.elapsed().as_secs_f64();
+    // The store is now populated: warm passes load instead of construct.
+    run_sharded_pass(&run_dir, quick, items.len(), shard_count, Some(&store_dir));
+    let start = Instant::now();
+    run_sharded_pass(&run_dir, quick, items.len(), shard_count, Some(&store_dir));
+    let sharded_store_warm = start.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(&store_dir).ok();
     std::fs::remove_dir_all(&run_dir).ok();
 
     let throughput = |elapsed: f64| items.len() as f64 / elapsed.max(1e-9);
@@ -341,9 +413,24 @@ fn main() {
             elapsed_ms: sharded_cached * 1e3,
             cases_per_sec: throughput(sharded_cached),
         },
+        Entry {
+            name: "sharded_store_cold".into(),
+            cases: items.len(),
+            jobs: shard_count,
+            elapsed_ms: sharded_store_cold * 1e3,
+            cases_per_sec: throughput(sharded_store_cold),
+        },
+        Entry {
+            name: "sharded_store_warm".into(),
+            cases: items.len(),
+            jobs: shard_count,
+            elapsed_ms: sharded_store_warm * 1e3,
+            cases_per_sec: throughput(sharded_store_warm),
+        },
     ];
     let speedup = serial_fresh / parallel_cached.max(1e-9);
     let sharded_vs_parallel = parallel_cached / sharded_cached.max(1e-9);
+    let store_vs_cold = sharded_cold / sharded_store_warm.max(1e-9);
     for entry in &entries {
         println!(
             "{:<16} {:>3} cases, {:>2} jobs: {:>10.1} ms  ({:>8.2} cases/s)",
@@ -352,13 +439,14 @@ fn main() {
     }
     println!("sweep speedup (parallel_cached vs serial_fresh): {speedup:.1}x");
     println!("sharded steady state vs warm parallel engine: {sharded_vs_parallel:.1}x");
+    println!("warm structure store vs storeless cold fleet: {store_vs_cold:.1}x");
 
     // Cache health on the standard sweep (the acceptance indicator: the
     // hit rate must be strictly positive).
     let standard_engine = SweepEngine::new(parallel_jobs);
     let standard_items = table1_items(&SweepSpec::standard());
     std::hint::black_box(standard_engine.run::<Vec<u8>>(&standard_items, None));
-    let standard_cache = cache_section(Arc::as_ref(standard_engine.cache()));
+    let standard_cache = cache_section(standard_engine.cache());
     println!(
         "standard sweep cache: {} hits / {} misses ({:.0}% hit rate, {} structures)",
         standard_cache.hits,
@@ -375,7 +463,8 @@ fn main() {
         entries,
         speedup,
         sharded_vs_parallel,
-        bench_sweep_cache: cache_section(Arc::as_ref(parallel_engine.cache())),
+        store_vs_cold,
+        bench_sweep_cache: cache_section(parallel_engine.cache()),
         standard_sweep_cache: standard_cache,
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
@@ -396,6 +485,13 @@ fn main() {
             "WARNING: steady-state sharded pass ({:.1}x) is slower than the warm \
              parallel engine",
             report.sharded_vs_parallel
+        );
+    }
+    if report.store_vs_cold < 1.0 {
+        eprintln!(
+            "WARNING: warm structure store ({:.1}x) is slower than the storeless \
+             cold fleet",
+            report.store_vs_cold
         );
     }
 }

@@ -1,0 +1,744 @@
+//! The `structure-store/v1` binary codec.
+//!
+//! Serializes the expensive combinatorial structures of this crate — lists
+//! of [`IdSet`]s keyed by a [`StructureKey`] — into a self-validating byte
+//! stream, so one process can construct a structure and every other thread,
+//! process or machine can load it instead of reconstructing. The format is
+//! **word-exact**: the payload is the sets' canonical backing words
+//! verbatim, so a decoded structure is bit-identical to the encoded one and
+//! therefore (because every construction is a pure function of its key)
+//! bit-identical to a fresh construction. Protocol outcomes can never
+//! depend on whether a structure was loaded or built.
+//!
+//! Layout — the whole file is a stream of little-endian `u64` words:
+//!
+//! ```text
+//! magic    8 bytes  b"ringstor" (one word)
+//! version  u64      1
+//! kind     u64      StructureKind::code()
+//! universe u64      N
+//! n        u64      target set size (0 for strong distinguishers)
+//! seed     u64      construction seed
+//! count    u64      number of sets
+//! payload  count × (N/64 + 1) × u64   canonical IdSet words
+//! checksum u64      FNV-1a-64 folded over every preceding word
+//! ```
+//!
+//! The trailer applies the FNV-1a-64 step (`xor`, then multiply by the FNV
+//! prime) once per preceding **64-bit word** rather than once per byte:
+//! structure files are tens to hundreds of megabytes of word payload, and
+//! word folding checksums them at memory bandwidth (8× fewer multiplies)
+//! while keeping the per-step bijectivity that makes any single corrupted
+//! byte change the digest. (Shard JSONL files in `ring-distrib` are byte
+//! streams and keep the classic byte-wise digest; both granularities are
+//! served by the one [`Fnv1a64`] implementation below.)
+//!
+//! [`decode`] refuses anything it cannot prove exact: wrong magic or
+//! version, unknown kind, a byte length that does not match the header, a
+//! checksum mismatch, or a payload word outside canonical form. A corrupt
+//! file yields an error — never a plausible-but-wrong structure.
+//!
+//! The FNV-1a-64 hasher lives here (rather than in `ring-distrib`, which
+//! re-exports it) so the lowest layer of the workspace owns the one
+//! implementation that pins both shard files and structure files.
+
+use crate::idset::IdSet;
+use crate::shared::{StructureKey, StructureKind};
+use std::borrow::Borrow;
+use std::fmt;
+
+/// The on-disk schema identifier of this codec.
+pub const STORE_SCHEMA: &str = "structure-store/v1";
+
+/// The 8-byte file magic.
+pub const MAGIC: [u8; 8] = *b"ringstor";
+
+/// The format version this module reads and writes.
+pub const VERSION: u64 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a-64 hasher — the digest pinning shard JSONL files
+/// (via `ring-distrib`) and `structure-store/v1` payloads.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a64(u64);
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Fnv1a64(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a64 {
+    /// Creates a hasher in its initial state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds `bytes` into the digest, one FNV-1a step per byte (the shard
+    /// JSONL granularity).
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds one 64-bit word into the digest with a single FNV-1a step —
+    /// the `structure-store/v1` granularity, which checksums word payloads
+    /// at memory bandwidth. Not equivalent to [`Fnv1a64::update`] on the
+    /// word's bytes; a format picks one granularity and sticks to it.
+    pub fn update_word(&mut self, word: u64) {
+        self.0 ^= word;
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    /// The digest of everything folded in so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// The digest formatted as the manifest-style checksum string.
+    pub fn format(&self) -> String {
+        format_checksum(self.0)
+    }
+}
+
+/// Formats a digest as the `fnv1a64:<16 hex digits>` string carried by run
+/// manifests and the worker protocol.
+pub fn format_checksum(digest: u64) -> String {
+    format!("fnv1a64:{digest:016x}")
+}
+
+/// Why a byte stream was rejected by [`decode`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream is shorter than the fixed header + trailer.
+    TooShort {
+        /// Bytes present.
+        len: usize,
+    },
+    /// The magic bytes are not [`MAGIC`].
+    BadMagic,
+    /// The version field is not [`VERSION`].
+    UnsupportedVersion(u64),
+    /// The kind code maps to no [`StructureKind`].
+    UnknownKind(u64),
+    /// The universe field is zero.
+    EmptyUniverse,
+    /// The byte length disagrees with the header's set count.
+    LengthMismatch {
+        /// Bytes the header implies.
+        expected: usize,
+        /// Bytes present.
+        actual: usize,
+    },
+    /// The trailing checksum does not match the preceding bytes.
+    ChecksumMismatch {
+        /// Checksum recorded in the trailer.
+        stored: u64,
+        /// Checksum of the bytes actually present.
+        computed: u64,
+    },
+    /// A payload set violates the canonical word form.
+    NotCanonical {
+        /// Index of the offending set.
+        set: usize,
+    },
+    /// The decoded key differs from the key the caller asked for.
+    KeyMismatch {
+        /// The key in the file.
+        found: StructureKey,
+        /// The key requested.
+        requested: StructureKey,
+    },
+    /// The underlying reader failed mid-stream (streaming decode only).
+    Io(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::TooShort { len } => {
+                write!(f, "{len} bytes is shorter than a {STORE_SCHEMA} header")
+            }
+            CodecError::BadMagic => write!(f, "bad magic (not a {STORE_SCHEMA} file)"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported {STORE_SCHEMA} version {v}")
+            }
+            CodecError::UnknownKind(code) => write!(f, "unknown structure kind code {code}"),
+            CodecError::EmptyUniverse => write!(f, "structure file declares an empty universe"),
+            CodecError::LengthMismatch { expected, actual } => write!(
+                f,
+                "structure file holds {actual} bytes where its header implies {expected}"
+            ),
+            CodecError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "structure checksum {} does not match content {}",
+                format_checksum(*stored),
+                format_checksum(*computed)
+            ),
+            CodecError::NotCanonical { set } => {
+                write!(f, "payload set {set} violates the canonical word form")
+            }
+            CodecError::KeyMismatch { found, requested } => write!(
+                f,
+                "structure file holds {found:?} where {requested:?} was requested"
+            ),
+            CodecError::Io(e) => write!(f, "structure stream read failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Header + trailer size in bytes (magic, version, kind, universe, n, seed,
+/// count, checksum).
+const FRAME_BYTES: usize = 8 * 8;
+
+/// Words per serialized set for a universe (identifier `N` lives at bit
+/// `N % 64` of word `N / 64`).
+fn words_per_set(universe: u64) -> usize {
+    universe as usize / 64 + 1
+}
+
+/// The exact encoded size of `count` sets over `universe`.
+pub fn encoded_len(universe: u64, count: usize) -> usize {
+    FRAME_BYTES + count * words_per_set(universe) * 8
+}
+
+/// Encodes a keyed list of sets as one self-validating `structure-store/v1`
+/// byte stream. Every set must live over `key.universe`.
+///
+/// # Panics
+///
+/// Panics if a set's universe differs from the key's.
+pub fn encode<S: Borrow<IdSet>>(key: &StructureKey, sets: &[S]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_len(key.universe, sets.len()));
+    let mut hasher = Fnv1a64::new();
+    let mut push = |out: &mut Vec<u8>, word: u64| {
+        out.extend_from_slice(&word.to_le_bytes());
+        hasher.update_word(word);
+    };
+    for field in [
+        u64::from_le_bytes(MAGIC),
+        VERSION,
+        key.kind.code(),
+        key.universe,
+        key.n,
+        key.seed,
+        sets.len() as u64,
+    ] {
+        push(&mut out, field);
+    }
+    for set in sets {
+        let set = set.borrow();
+        assert_eq!(
+            set.universe(),
+            key.universe,
+            "encoded sets must live over the key's universe"
+        );
+        for &word in set.words() {
+            push(&mut out, word);
+        }
+    }
+    let digest = hasher.finish();
+    out.extend_from_slice(&digest.to_le_bytes());
+    out
+}
+
+fn read_u64(bytes: &[u8], offset: usize) -> u64 {
+    u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"))
+}
+
+/// The word-folded digest of a word-aligned byte stream (the trailer's
+/// covering hash: every word of the stream except the trailer itself).
+fn fold_words(body: &[u8]) -> u64 {
+    let mut hasher = Fnv1a64::new();
+    for chunk in body.chunks_exact(8) {
+        hasher.update_word(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+    }
+    hasher.finish()
+}
+
+/// Decodes a `structure-store/v1` byte stream into its key and sets,
+/// validating magic, version, kind, exact length, checksum and canonical
+/// form (in that order — the digest is verified before any payload word is
+/// interpreted).
+///
+/// # Errors
+///
+/// Returns the first [`CodecError`] encountered; corrupt input never
+/// decodes into a structure.
+pub fn decode(bytes: &[u8]) -> Result<(StructureKey, Vec<IdSet>), CodecError> {
+    if bytes.len() < FRAME_BYTES {
+        return Err(CodecError::TooShort { len: bytes.len() });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = read_u64(bytes, 8);
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let kind_code = read_u64(bytes, 16);
+    let kind = StructureKind::from_code(kind_code).ok_or(CodecError::UnknownKind(kind_code))?;
+    let universe = read_u64(bytes, 24);
+    if universe == 0 {
+        return Err(CodecError::EmptyUniverse);
+    }
+    let key = StructureKey {
+        kind,
+        universe,
+        n: read_u64(bytes, 32),
+        seed: read_u64(bytes, 40),
+    };
+    let count = read_u64(bytes, 48);
+    let wps = words_per_set(universe);
+    let expected = (count as usize)
+        .checked_mul(wps * 8)
+        .and_then(|payload| payload.checked_add(FRAME_BYTES))
+        .ok_or(CodecError::LengthMismatch {
+            expected: usize::MAX,
+            actual: bytes.len(),
+        })?;
+    if bytes.len() != expected {
+        return Err(CodecError::LengthMismatch {
+            expected,
+            actual: bytes.len(),
+        });
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let stored = read_u64(bytes, bytes.len() - 8);
+    let computed = fold_words(body);
+    if computed != stored {
+        return Err(CodecError::ChecksumMismatch { stored, computed });
+    }
+    let mut sets = Vec::with_capacity(count as usize);
+    for (set_index, payload) in body[56..].chunks_exact(wps * 8).enumerate() {
+        let words: Vec<u64> = payload
+            .chunks_exact(8)
+            .map(|chunk| u64::from_le_bytes(chunk.try_into().expect("8 bytes")))
+            .collect();
+        let set = IdSet::try_from_words(universe, words)
+            .ok_or(CodecError::NotCanonical { set: set_index })?;
+        sets.push(set);
+    }
+    Ok((key, sets))
+}
+
+/// [`decode`], additionally checking the stream holds exactly the requested
+/// key — the load path of a keyed structure store.
+///
+/// # Errors
+///
+/// Everything [`decode`] rejects, plus [`CodecError::KeyMismatch`].
+pub fn decode_for_key(key: &StructureKey, bytes: &[u8]) -> Result<Vec<IdSet>, CodecError> {
+    let (found, sets) = decode(bytes)?;
+    if found != *key {
+        return Err(CodecError::KeyMismatch {
+            found,
+            requested: *key,
+        });
+    }
+    Ok(sets)
+}
+
+/// Streaming single-pass variant of [`decode_for_key`]: header validation,
+/// key check, payload parse, word-folded digest and trailer comparison all
+/// happen in one pass over `reader` — no whole-file buffer, and a
+/// mismatched key is refused after the 56-byte header without reading the
+/// payload at all. This is the hot load path of the structure store
+/// (structure files run to hundreds of megabytes).
+///
+/// `total_len` must be the stream's exact byte length (the file size);
+/// the set count implied by the header is validated against it up front,
+/// so a truncated file fails before any payload work.
+///
+/// Unlike the slice decoder, a canonical-form violation can surface before
+/// the checksum comparison (the stream is parsed as it is hashed); every
+/// corruption still yields an error, only which error may differ.
+///
+/// # Errors
+///
+/// Everything [`decode_for_key`] rejects, plus [`CodecError::Io`] for
+/// reader failures.
+pub fn decode_stream_for_key(
+    key: &StructureKey,
+    mut reader: impl std::io::Read,
+    total_len: u64,
+) -> Result<Vec<IdSet>, CodecError> {
+    let io_err = |e: std::io::Error| CodecError::Io(e.to_string());
+    if total_len < FRAME_BYTES as u64 {
+        return Err(CodecError::TooShort {
+            len: total_len as usize,
+        });
+    }
+    let mut header = [0u8; 56];
+    reader.read_exact(&mut header).map_err(io_err)?;
+    if header[..8] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = read_u64(&header, 8);
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let kind_code = read_u64(&header, 16);
+    let kind = StructureKind::from_code(kind_code).ok_or(CodecError::UnknownKind(kind_code))?;
+    let universe = read_u64(&header, 24);
+    if universe == 0 {
+        return Err(CodecError::EmptyUniverse);
+    }
+    let found = StructureKey {
+        kind,
+        universe,
+        n: read_u64(&header, 32),
+        seed: read_u64(&header, 40),
+    };
+    if found != *key {
+        return Err(CodecError::KeyMismatch {
+            found,
+            requested: *key,
+        });
+    }
+    let count = read_u64(&header, 48) as usize;
+    let wps = words_per_set(universe);
+    let expected = count
+        .checked_mul(wps * 8)
+        .and_then(|payload| payload.checked_add(FRAME_BYTES))
+        .ok_or(CodecError::LengthMismatch {
+            expected: usize::MAX,
+            actual: total_len as usize,
+        })?;
+    if total_len != expected as u64 {
+        return Err(CodecError::LengthMismatch {
+            expected,
+            actual: total_len as usize,
+        });
+    }
+    let mut hasher = Fnv1a64::new();
+    for chunk in header.chunks_exact(8) {
+        hasher.update_word(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+    }
+    let mut sets = Vec::with_capacity(count);
+    let mut buf = vec![0u8; wps * 8];
+    for set_index in 0..count {
+        reader.read_exact(&mut buf).map_err(io_err)?;
+        let words: Vec<u64> = buf
+            .chunks_exact(8)
+            .map(|chunk| {
+                let word = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+                hasher.update_word(word);
+                word
+            })
+            .collect();
+        let set = IdSet::try_from_words(universe, words)
+            .ok_or(CodecError::NotCanonical { set: set_index })?;
+        sets.push(set);
+    }
+    let mut trailer = [0u8; 8];
+    reader.read_exact(&mut trailer).map_err(io_err)?;
+    let stored = u64::from_le_bytes(trailer);
+    let computed = hasher.finish();
+    if computed != stored {
+        return Err(CodecError::ChecksumMismatch { stored, computed });
+    }
+    Ok(sets)
+}
+
+/// Streaming validation without materialisation: header, exact length,
+/// per-set canonical form and the word-folded trailer are all checked in
+/// one constant-memory pass (one set's worth of buffer), and the decoded
+/// key plus set count are returned. This is what store maintenance
+/// (`verify`, `gc`, resume revalidation) runs over directories of
+/// hundreds-of-megabyte files — full validation, no whole-file buffer, no
+/// set allocation.
+///
+/// # Errors
+///
+/// Everything [`decode`] rejects, plus [`CodecError::Io`] for reader
+/// failures. As with [`decode_stream_for_key`], a canonical-form violation
+/// can surface before the checksum comparison.
+pub fn validate_stream(
+    mut reader: impl std::io::Read,
+    total_len: u64,
+) -> Result<(StructureKey, usize), CodecError> {
+    let io_err = |e: std::io::Error| CodecError::Io(e.to_string());
+    if total_len < FRAME_BYTES as u64 {
+        return Err(CodecError::TooShort {
+            len: total_len as usize,
+        });
+    }
+    let mut header = [0u8; 56];
+    reader.read_exact(&mut header).map_err(io_err)?;
+    if header[..8] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = read_u64(&header, 8);
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let kind_code = read_u64(&header, 16);
+    let kind = StructureKind::from_code(kind_code).ok_or(CodecError::UnknownKind(kind_code))?;
+    let universe = read_u64(&header, 24);
+    if universe == 0 {
+        return Err(CodecError::EmptyUniverse);
+    }
+    let key = StructureKey {
+        kind,
+        universe,
+        n: read_u64(&header, 32),
+        seed: read_u64(&header, 40),
+    };
+    let count = read_u64(&header, 48) as usize;
+    let wps = words_per_set(universe);
+    let expected = count
+        .checked_mul(wps * 8)
+        .and_then(|payload| payload.checked_add(FRAME_BYTES))
+        .ok_or(CodecError::LengthMismatch {
+            expected: usize::MAX,
+            actual: total_len as usize,
+        })?;
+    if total_len != expected as u64 {
+        return Err(CodecError::LengthMismatch {
+            expected,
+            actual: total_len as usize,
+        });
+    }
+    let mut hasher = Fnv1a64::new();
+    for chunk in header.chunks_exact(8) {
+        hasher.update_word(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+    }
+    let mut buf = vec![0u8; wps * 8];
+    let tail_mask = {
+        let r = universe % 64;
+        if r == 63 {
+            !0u64
+        } else {
+            (1u64 << (r + 1)) - 1
+        }
+    };
+    for set_index in 0..count {
+        reader.read_exact(&mut buf).map_err(io_err)?;
+        let mut first = 0u64;
+        let mut last = 0u64;
+        for (w, chunk) in buf.chunks_exact(8).enumerate() {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+            hasher.update_word(word);
+            if w == 0 {
+                first = word;
+            }
+            if w == wps - 1 {
+                last = word;
+            }
+        }
+        if first & 1 != 0 || last & !tail_mask != 0 {
+            return Err(CodecError::NotCanonical { set: set_index });
+        }
+    }
+    let mut trailer = [0u8; 8];
+    reader.read_exact(&mut trailer).map_err(io_err)?;
+    let stored = u64::from_le_bytes(trailer);
+    let computed = hasher.finish();
+    if computed != stored {
+        return Err(CodecError::ChecksumMismatch { stored, computed });
+    }
+    Ok((key, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Distinguisher, SelectiveFamily};
+
+    fn key(kind: StructureKind, universe: u64, n: u64, seed: u64) -> StructureKey {
+        StructureKey {
+            kind,
+            universe,
+            n,
+            seed,
+        }
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        let mut h = Fnv1a64::new();
+        assert_eq!(h.finish(), 0xcbf29ce484222325);
+        h.update(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+        let mut h = Fnv1a64::new();
+        h.update(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+        assert_eq!(h.format(), "fnv1a64:85944171f73967e8");
+    }
+
+    #[test]
+    fn word_folding_is_one_fnv_step_per_word() {
+        let mut h = Fnv1a64::new();
+        h.update_word(0x0123_4567_89ab_cdef);
+        assert_eq!(
+            h.finish(),
+            (0xcbf29ce484222325u64 ^ 0x0123_4567_89ab_cdef).wrapping_mul(0x100000001b3)
+        );
+        // fold_words over a two-word stream chains the steps.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        let mut chained = Fnv1a64::new();
+        chained.update_word(1);
+        chained.update_word(2);
+        assert_eq!(fold_words(&bytes), chained.finish());
+    }
+
+    #[test]
+    fn empty_and_sparse_lists_round_trip() {
+        let k = key(StructureKind::StrongDistinguisher, 100, 0, 7);
+        let bytes = encode::<IdSet>(&k, &[]);
+        assert_eq!(bytes.len(), encoded_len(100, 0));
+        let (decoded_key, sets) = decode(&bytes).unwrap();
+        assert_eq!(decoded_key, k);
+        assert!(sets.is_empty());
+
+        let sets = vec![IdSet::from_ids(100, [1, 64, 65, 100]), IdSet::empty(100)];
+        let bytes = encode(&k, &sets);
+        assert_eq!(decode_for_key(&k, &bytes).unwrap(), sets);
+    }
+
+    #[test]
+    fn distinguisher_and_selective_family_round_trip_exactly() {
+        let k = key(StructureKind::Distinguisher, 257, 4, 11);
+        let d = Distinguisher::random(257, 4, 11);
+        let bytes = encode(&k, d.sets());
+        let rebuilt = Distinguisher::from_sets(257, 4, decode_for_key(&k, &bytes).unwrap());
+        assert_eq!(rebuilt, d);
+
+        let k = key(StructureKind::SelectiveFamily, 130, 8, 3);
+        let f = SelectiveFamily::random(130, 8, 3);
+        let bytes = encode(&k, f.sets());
+        let rebuilt = SelectiveFamily::from_sets(130, 8, decode_for_key(&k, &bytes).unwrap());
+        assert_eq!(rebuilt, f);
+    }
+
+    #[test]
+    fn streaming_decode_matches_the_slice_decoder() {
+        let k = key(StructureKind::Distinguisher, 130, 4, 21);
+        let d = Distinguisher::random(130, 4, 21);
+        let bytes = encode(&k, d.sets());
+        let streamed =
+            decode_stream_for_key(&k, &bytes[..], bytes.len() as u64).expect("streams decode");
+        assert_eq!(streamed, decode_for_key(&k, &bytes).unwrap());
+
+        // Key mismatch is refused from the header alone: a reader that
+        // cannot serve more than the header still yields KeyMismatch.
+        let other = key(StructureKind::Distinguisher, 130, 4, 22);
+        assert!(matches!(
+            decode_stream_for_key(&other, &bytes[..56], bytes.len() as u64),
+            Err(CodecError::KeyMismatch { .. })
+        ));
+
+        // Truncated length fails before payload work; a lying reader (short
+        // stream, correct claimed length) fails with an I/O error.
+        assert!(matches!(
+            decode_stream_for_key(&k, &bytes[..], bytes.len() as u64 - 8),
+            Err(CodecError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            decode_stream_for_key(&k, &bytes[..bytes.len() - 8], bytes.len() as u64),
+            Err(CodecError::Io(_))
+        ));
+
+        // A flipped payload byte is caught (checksum or canonical form).
+        let mut bad = bytes.clone();
+        bad[FRAME_BYTES + 3] ^= 0x08;
+        assert!(decode_stream_for_key(&k, &bad[..], bad.len() as u64).is_err());
+    }
+
+    #[test]
+    fn validation_agrees_with_decoding_without_materialising() {
+        let k = key(StructureKind::SelectiveFamily, 65, 3, 4);
+        let f = SelectiveFamily::random(65, 3, 4);
+        let bytes = encode(&k, f.sets());
+        let (vkey, count) = validate_stream(&bytes[..], bytes.len() as u64).unwrap();
+        assert_eq!((vkey, count), (k, f.len()));
+
+        // Same corruption verdicts as the full decoder.
+        let mut bad = bytes.clone();
+        bad[bytes.len() - 3] ^= 1;
+        assert!(validate_stream(&bad[..], bad.len() as u64).is_err());
+        let mut bad = bytes;
+        bad[FRAME_BYTES - 8] |= 1; // id-0 bit of set 0
+        assert!(matches!(
+            validate_stream(&bad[..], bad.len() as u64),
+            Err(CodecError::NotCanonical { set: 0 }) | Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn key_mismatches_are_rejected() {
+        let k = key(StructureKind::Distinguisher, 64, 4, 1);
+        let bytes = encode(&k, &[IdSet::full(64)]);
+        let other = key(StructureKind::Distinguisher, 64, 4, 2);
+        assert!(matches!(
+            decode_for_key(&other, &bytes),
+            Err(CodecError::KeyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn structural_corruption_is_rejected() {
+        let k = key(StructureKind::SelectiveFamily, 65, 2, 9);
+        let bytes = encode(&k, &[IdSet::from_ids(65, [1, 65])]);
+
+        // Truncation (any prefix), including mid-header.
+        for cut in [0, 7, FRAME_BYTES - 1, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(decode(&bad).unwrap_err(), CodecError::BadMagic);
+        // Wrong version.
+        let mut bad = bytes.clone();
+        bad[8] = 2;
+        // Re-seal so only the version is wrong.
+        let reseal = |mut b: Vec<u8>| {
+            let n = b.len() - 8;
+            let digest = fold_words(&b[..n]);
+            b[n..].copy_from_slice(&digest.to_le_bytes());
+            b
+        };
+        assert_eq!(
+            decode(&reseal(bad)).unwrap_err(),
+            CodecError::UnsupportedVersion(2)
+        );
+        // Unknown kind.
+        let mut bad = bytes.clone();
+        bad[16] = 99;
+        assert_eq!(
+            decode(&reseal(bad)).unwrap_err(),
+            CodecError::UnknownKind(99)
+        );
+        // Non-canonical payload (bit for identifier 0 set).
+        let mut bad = bytes.clone();
+        bad[FRAME_BYTES - 8] |= 1;
+        assert_eq!(
+            decode(&reseal(bad)).unwrap_err(),
+            CodecError::NotCanonical { set: 0 }
+        );
+        // A flipped payload byte without resealing: checksum mismatch.
+        let mut bad = bytes.clone();
+        bad[FRAME_BYTES] ^= 0x10;
+        assert!(matches!(
+            decode(&bad).unwrap_err(),
+            CodecError::ChecksumMismatch { .. }
+        ));
+        // An absurd count cannot overflow the length check.
+        let mut bad = bytes.clone();
+        bad[48..56].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(&reseal(bad)).unwrap_err(),
+            CodecError::LengthMismatch { .. }
+        ));
+    }
+}

@@ -121,6 +121,32 @@ impl IdSet {
         self.universe
     }
 
+    /// The backing words in canonical form (bit `id % 64` of word `id / 64`
+    /// holds identifier `id`). This is the word-exact representation the
+    /// `structure-store/v1` codec serializes verbatim.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reconstructs a set from its backing words, validating the canonical
+    /// form exactly: the word count must be `universe / 64 + 1`, bit 0 of
+    /// word 0 (the nonexistent identifier 0) must be clear, and no bit above
+    /// `universe` may be set. Returns `None` on any violation — a decoder
+    /// must never canonicalize corrupt input into a plausible set.
+    pub fn try_from_words(universe: u64, words: Vec<u64>) -> Option<Self> {
+        if universe == 0 || words.len() != universe as usize / 64 + 1 {
+            return None;
+        }
+        if words[0] & 1 != 0 {
+            return None;
+        }
+        let r = universe % 64;
+        if r != 63 && words[words.len() - 1] & !((1u64 << (r + 1)) - 1) != 0 {
+            return None;
+        }
+        Some(IdSet { universe, words })
+    }
+
     /// Inserts an identifier; returns whether it was newly inserted.
     ///
     /// # Panics

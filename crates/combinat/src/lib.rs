@@ -21,7 +21,11 @@
 //! * [`shared`] — the cache-key model ([`StructureKey`]) and the
 //!   thread-shareable [`SharedStrongDistinguisher`], which let the
 //!   `ring-harness` sweep engine construct each structure once and share it
-//!   read-only across worker threads.
+//!   read-only across worker threads;
+//! * [`codec`] — the `structure-store/v1` binary codec (word-exact set
+//!   payloads, versioned header, FNV-1a-64 checksum) behind the on-disk
+//!   structure store, which extends the construct-once guarantee from one
+//!   process to a whole worker fleet.
 //!
 //! All random constructions are deterministic given a seed, so protocol runs
 //! and experiments are reproducible.
@@ -44,6 +48,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod bounds;
+pub mod codec;
 pub mod distinguisher;
 pub mod idset;
 pub mod reference;
@@ -54,6 +59,7 @@ pub use bounds::{
     distinguisher_size_lower_bound, intersection_free_log_bound, nontrivial_move_round_bound,
     selective_family_size_bound,
 };
+pub use codec::{format_checksum, CodecError, Fnv1a64, STORE_SCHEMA};
 pub use distinguisher::{Distinguisher, StrongDistinguisher};
 pub use idset::IdSet;
 pub use selective::SelectiveFamily;

@@ -47,16 +47,34 @@ pub struct StructureKey {
     pub seed: u64,
 }
 
+impl StructureKind {
+    /// The stable numeric code of the kind, shared by the cache-shard mixer
+    /// and the `structure-store/v1` on-disk header.
+    pub fn code(self) -> u64 {
+        match self {
+            StructureKind::StrongDistinguisher => 1,
+            StructureKind::Distinguisher => 2,
+            StructureKind::SelectiveFamily => 3,
+        }
+    }
+
+    /// The kind for a numeric code (`None` for unknown codes — a decoder
+    /// must reject them, not guess).
+    pub fn from_code(code: u64) -> Option<Self> {
+        match code {
+            1 => Some(StructureKind::StrongDistinguisher),
+            2 => Some(StructureKind::Distinguisher),
+            3 => Some(StructureKind::SelectiveFamily),
+            _ => None,
+        }
+    }
+}
+
 impl StructureKey {
     /// A well-mixed 64-bit hash of the key (splitmix64 over the fields),
     /// used by sharded caches to pick a shard without pulling in a hasher.
     pub fn mix(&self) -> u64 {
-        let kind = match self.kind {
-            StructureKind::StrongDistinguisher => 1u64,
-            StructureKind::Distinguisher => 2,
-            StructureKind::SelectiveFamily => 3,
-        };
-        let mut x = kind;
+        let mut x = self.kind.code();
         for field in [self.universe, self.n, self.seed] {
             x = splitmix64(x ^ field);
         }
@@ -93,12 +111,36 @@ impl SharedStrongDistinguisher {
     ///
     /// Panics if `universe == 0`.
     pub fn new(universe: u64, seed: u64) -> Self {
+        Self::with_prefix(universe, seed, Vec::new())
+    }
+
+    /// Creates a shared strong distinguisher whose first `prefix.len()` sets
+    /// are already materialised — the load path of the on-disk structure
+    /// store. The caller asserts that `prefix[i]` equals the set the seeded
+    /// generator would produce for index `i` (the codec's checksum plus the
+    /// deterministic construction guarantee this); sets beyond the prefix
+    /// are generated lazily exactly as with [`SharedStrongDistinguisher::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0` or a prefix set has a different universe.
+    pub fn with_prefix(universe: u64, seed: u64, prefix: Vec<IdSet>) -> Self {
         assert!(universe > 0);
+        assert!(
+            prefix.iter().all(|s| s.universe() == universe),
+            "prefix sets must share the distinguisher's universe"
+        );
         SharedStrongDistinguisher {
             universe,
             seed,
-            sets: RwLock::new(Vec::new()),
+            sets: RwLock::new(prefix.into_iter().map(Arc::new).collect()),
         }
+    }
+
+    /// A snapshot of the materialised prefix, in index order — what the
+    /// structure store persists.
+    pub fn materialized(&self) -> Vec<Arc<IdSet>> {
+        self.sets.read().expect("strong distinguisher lock").clone()
     }
 
     /// The identifier universe size `N`.

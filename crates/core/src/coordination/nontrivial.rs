@@ -92,6 +92,13 @@ impl NontrivialMove {
     }
 }
 
+/// The fixed public seed [`solve_nontrivial_move`] hands its distinguisher
+/// machinery. Exported so sweep harnesses can enumerate the structure keys
+/// a pipeline run will request — `(StrongDistinguisher, universe, 0,
+/// STRUCTURE_SEED)` for every even-`n` case — and prebuild them into a
+/// shared store.
+pub const STRUCTURE_SEED: u64 = 0x5eed;
+
 /// Solves the nontrivial-move problem with the strategy appropriate for the
 /// parity of `n` and the model in force (the routing of Tables I and II).
 ///
@@ -103,8 +110,10 @@ impl NontrivialMove {
 pub fn solve_nontrivial_move(net: &mut Network<'_>) -> Result<NontrivialMove, ProtocolError> {
     match (net.parity(), net.model()) {
         (Parity::Odd, _) => nontrivial_move_odd(net),
-        (Parity::Even, Model::Perceptive) => crate::perceptive::nmove::nmove_s(net, 0x5eed),
-        (Parity::Even, _) => nontrivial_move_even_distinguisher(net, 0x5eed),
+        (Parity::Even, Model::Perceptive) => {
+            crate::perceptive::nmove::nmove_s(net, STRUCTURE_SEED)
+        }
+        (Parity::Even, _) => nontrivial_move_even_distinguisher(net, STRUCTURE_SEED),
     }
 }
 

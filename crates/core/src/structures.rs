@@ -17,13 +17,50 @@
 //! on the provider.
 
 use ring_combinat::{Distinguisher, SelectiveFamily, SharedStrongDistinguisher};
+use std::fmt;
 use std::sync::Arc;
+
+/// Why a provider's persistent tier could not serve a structure.
+///
+/// The infallible [`StructureProvider`] methods absorb these by falling
+/// back to construction (a broken disk tier may cost time, never
+/// correctness); the `try_*` methods surface them, so maintenance paths —
+/// store verification, prebuild tooling — can report a corrupt or
+/// unreadable tier instead of silently rebuilding behind it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructureError {
+    message: String,
+}
+
+impl StructureError {
+    /// Wraps a human-readable description of the failure.
+    pub fn new(message: impl Into<String>) -> Self {
+        StructureError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for StructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for StructureError {}
 
 /// A source of seeded combinatorial structures.
 ///
 /// Implementations must be deterministic: the returned structure may only
 /// depend on the method's parameters (this is what makes sweep results
 /// independent of caching, thread count and scheduling order).
+///
+/// The `try_*` methods are the **fallible load-or-construct path**: a
+/// provider backed by a persistent tier (the `ring-harness` structure
+/// store) overrides them to report load failures, while the infallible
+/// methods — what the protocols call — must always produce the structure,
+/// falling back to construction if the tier is broken. The default `try_*`
+/// implementations delegate to the infallible methods and never fail.
 pub trait StructureProvider: Send + Sync {
     /// A strong `(N, ·)`-distinguisher sequence over `[1, universe]`.
     fn strong_distinguisher(&self, universe: u64, seed: u64) -> Arc<SharedStrongDistinguisher>;
@@ -33,6 +70,47 @@ pub trait StructureProvider: Send + Sync {
 
     /// An `(N, n)`-selective family (Definition 35 construction).
     fn selective_family(&self, universe: u64, n: usize, seed: u64) -> Arc<SelectiveFamily>;
+
+    /// Fallible variant of [`StructureProvider::strong_distinguisher`].
+    ///
+    /// # Errors
+    ///
+    /// Providers with a persistent tier report why a load failed.
+    fn try_strong_distinguisher(
+        &self,
+        universe: u64,
+        seed: u64,
+    ) -> Result<Arc<SharedStrongDistinguisher>, StructureError> {
+        Ok(self.strong_distinguisher(universe, seed))
+    }
+
+    /// Fallible variant of [`StructureProvider::distinguisher`].
+    ///
+    /// # Errors
+    ///
+    /// Providers with a persistent tier report why a load failed.
+    fn try_distinguisher(
+        &self,
+        universe: u64,
+        n: usize,
+        seed: u64,
+    ) -> Result<Arc<Distinguisher>, StructureError> {
+        Ok(self.distinguisher(universe, n, seed))
+    }
+
+    /// Fallible variant of [`StructureProvider::selective_family`].
+    ///
+    /// # Errors
+    ///
+    /// Providers with a persistent tier report why a load failed.
+    fn try_selective_family(
+        &self,
+        universe: u64,
+        n: usize,
+        seed: u64,
+    ) -> Result<Arc<SelectiveFamily>, StructureError> {
+        Ok(self.selective_family(universe, n, seed))
+    }
 }
 
 /// A shareable handle to a structure provider.
@@ -76,6 +154,25 @@ mod tests {
         let s = p.strong_distinguisher(256, 9);
         let t = p.strong_distinguisher(256, 9);
         assert_eq!(*s.set(2), *t.set(2));
+    }
+
+    #[test]
+    fn default_fallible_path_constructs_infallibly() {
+        let p = FreshStructures;
+        assert_eq!(
+            *p.try_distinguisher(128, 4, 3).unwrap(),
+            *p.distinguisher(128, 4, 3)
+        );
+        assert_eq!(
+            *p.try_selective_family(128, 4, 3).unwrap(),
+            *p.selective_family(128, 4, 3)
+        );
+        assert_eq!(
+            *p.try_strong_distinguisher(128, 3).unwrap().set(1),
+            *p.strong_distinguisher(128, 3).set(1)
+        );
+        let err = StructureError::new("tier unreadable");
+        assert_eq!(err.to_string(), "tier unreadable");
     }
 
     #[test]

@@ -7,53 +7,14 @@
 //! digest from disk to decide which shards survived a crash — a truncated or
 //! edited shard file fails the comparison and is re-run, never silently
 //! merged.
+//!
+//! The hasher itself lives in `ring_combinat::codec` (re-exported here),
+//! so shard files and `structure-store/v1` files are pinned by the same
+//! implementation.
 
+pub use ring_combinat::codec::{format_checksum, Fnv1a64};
 use std::io::Read;
 use std::path::Path;
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// A streaming FNV-1a-64 hasher.
-#[derive(Clone, Copy, Debug)]
-pub struct Fnv1a64(u64);
-
-impl Default for Fnv1a64 {
-    fn default() -> Self {
-        Fnv1a64(FNV_OFFSET)
-    }
-}
-
-impl Fnv1a64 {
-    /// Creates a hasher in its initial state.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Folds `bytes` into the digest.
-    pub fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
-        }
-    }
-
-    /// The digest of everything folded in so far.
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-
-    /// The digest formatted as the manifest's checksum string.
-    pub fn format(&self) -> String {
-        format_checksum(self.0)
-    }
-}
-
-/// Formats a digest as the `fnv1a64:<16 hex digits>` string the manifest
-/// and the worker protocol carry.
-pub fn format_checksum(digest: u64) -> String {
-    format!("fnv1a64:{digest:016x}")
-}
 
 /// Digest and line count of one shard file, as recomputed from disk.
 #[derive(Clone, Debug, PartialEq, Eq)]

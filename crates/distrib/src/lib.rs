@@ -28,6 +28,8 @@
 //!   single-process stream (gaps and duplicates are hard errors).
 //! * [`checksum`] — streaming FNV-1a-64 digests pinning shard file
 //!   contents end to end (worker → orchestrator → disk → resume → merge).
+//!   The hasher is shared with `ring_combinat::codec`, so shard files and
+//!   `structure-store/v1` files are pinned by one implementation.
 //!
 //! ## Determinism
 //!

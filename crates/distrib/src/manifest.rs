@@ -81,6 +81,10 @@ pub struct ShardStats {
     pub cache_misses: u64,
     /// Executor steals inside the worker.
     pub steals: u64,
+    /// Structure-store loads that succeeded inside the worker.
+    pub store_hits: u64,
+    /// Structure-store lookups that fell through to construction.
+    pub store_misses: u64,
 }
 
 /// One shard's manifest entry.
@@ -106,6 +110,10 @@ pub struct ShardEntry {
     pub cache_misses: u64,
     /// Executor steals of the completing worker.
     pub steals: u64,
+    /// Structure-store hits of the completing worker.
+    pub store_hits: u64,
+    /// Structure-store misses of the completing worker.
+    pub store_misses: u64,
 }
 
 impl ShardEntry {
@@ -155,6 +163,11 @@ pub struct Manifest {
     /// The merged-output destination the run was started with (`-` =
     /// stdout; empty = the JSONL stream was disabled).
     pub output: String,
+    /// The on-disk structure-store directory the run's workers share
+    /// (empty = the run was started without a store). `resume` re-enables
+    /// the store from this field and revalidates its files like shard
+    /// files.
+    pub structure_store: String,
     /// Per-shard progress, in shard order.
     pub shards: Vec<ShardEntry>,
 }
@@ -176,6 +189,7 @@ impl Manifest {
             total_cases,
             jobs_per_worker,
             output,
+            structure_store: String::new(),
             shards: ranges
                 .iter()
                 .map(|range| ShardEntry {
@@ -189,9 +203,18 @@ impl Manifest {
                     cache_hits: 0,
                     cache_misses: 0,
                     steals: 0,
+                    store_hits: 0,
+                    store_misses: 0,
                 })
                 .collect(),
         }
+    }
+
+    /// Records the shared structure-store directory of the run (what
+    /// `resume` re-enables; empty = no store).
+    pub fn with_structure_store(mut self, dir: String) -> Self {
+        self.structure_store = dir;
+        self
     }
 
     /// The manifest path inside a run directory.
@@ -271,6 +294,10 @@ impl Manifest {
                 cache_hits: require_u64(entry, "cache_hits")?,
                 cache_misses: require_u64(entry, "cache_misses")?,
                 steals: require_u64(entry, "steals")?,
+                // Store counters joined schema v1 with the structure store;
+                // manifests from storeless runs simply lack them.
+                store_hits: optional_u64(entry, "store_hits")?.unwrap_or(0),
+                store_misses: optional_u64(entry, "store_misses")?.unwrap_or(0),
             });
         }
         Ok(Manifest {
@@ -280,6 +307,11 @@ impl Manifest {
             total_cases: require_u64(value, "total_cases")? as usize,
             jobs_per_worker: require_u64(value, "jobs_per_worker")? as usize,
             output: require_str(value, "output")?,
+            structure_store: value
+                .get("structure_store")
+                .and_then(|v| v.as_str())
+                .unwrap_or("")
+                .to_string(),
             shards,
         })
     }
@@ -293,6 +325,8 @@ impl Manifest {
         entry.cache_hits = stats.cache_hits;
         entry.cache_misses = stats.cache_misses;
         entry.steals = stats.steals;
+        entry.store_hits = stats.store_hits;
+        entry.store_misses = stats.store_misses;
     }
 
     /// Marks a shard failed (retry budget exhausted).
@@ -366,6 +400,8 @@ impl Manifest {
                 total.cache_hits += entry.cache_hits;
                 total.cache_misses += entry.cache_misses;
                 total.steals += entry.steals;
+                total.store_hits += entry.store_hits;
+                total.store_misses += entry.store_misses;
             }
         }
         total
@@ -444,7 +480,7 @@ mod tests {
 
     #[test]
     fn manifests_round_trip_through_json() {
-        let mut manifest = sample_manifest();
+        let mut manifest = sample_manifest().with_structure_store("run/structures".into());
         manifest.shards[0].attempts = 2;
         manifest.mark_complete(
             0,
@@ -454,6 +490,8 @@ mod tests {
                 cache_hits: 7,
                 cache_misses: 3,
                 steals: 1,
+                store_hits: 2,
+                store_misses: 1,
             },
         );
         manifest.mark_failed(2);
@@ -461,6 +499,7 @@ mod tests {
         let parsed = Manifest::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
         assert_eq!(parsed, manifest);
         assert!(!parsed.is_complete());
+        assert_eq!(parsed.structure_store, "run/structures");
         assert_eq!(
             parsed
                 .incomplete_shards()
@@ -471,6 +510,21 @@ mod tests {
         );
         let stats = parsed.aggregate_stats();
         assert_eq!((stats.records, stats.cache_hits, stats.steals), (4, 7, 1));
+        assert_eq!((stats.store_hits, stats.store_misses), (2, 1));
+    }
+
+    #[test]
+    fn storeless_manifests_parse_with_zero_store_fields() {
+        // A manifest written before the structure store existed (no
+        // `structure_store`, no per-shard store counters) still loads.
+        let manifest = sample_manifest();
+        let text = serde_json::to_string(&manifest).unwrap();
+        let stripped = text
+            .replace(",\"structure_store\":\"\"", "")
+            .replace(",\"store_hits\":0,\"store_misses\":0", "");
+        assert_ne!(stripped, text, "the store fields must have been present");
+        let parsed = Manifest::from_json(&serde_json::from_str(&stripped).unwrap()).unwrap();
+        assert_eq!(parsed, manifest);
     }
 
     #[test]

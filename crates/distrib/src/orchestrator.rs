@@ -256,6 +256,8 @@ fn consume_worker_stream(
                     cache_hits: event.cache_hits,
                     cache_misses: event.cache_misses,
                     steals: event.steals,
+                    store_hits: event.store_hits,
+                    store_misses: event.store_misses,
                 });
             }
         }

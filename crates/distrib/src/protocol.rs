@@ -12,8 +12,11 @@
 //!    that case (record lines are distinguished from events by their
 //!    `{"case_index":` prefix; they never carry an `event` key);
 //! 3. one **done event** — `{"event":"done","shard":i,"records":k,
-//!    "checksum":"fnv1a64:…","cache_hits":…,"cache_misses":…,"steals":…}` —
-//!    whose checksum covers the record bytes (each line plus its newline).
+//!    "checksum":"fnv1a64:…","cache_hits":…,"cache_misses":…,"steals":…,
+//!    "store_hits":…,"store_misses":…}` — whose checksum covers the record
+//!    bytes (each line plus its newline); the `store_*` counters account
+//!    for the worker's on-disk structure store and are 0 (and may be
+//!    omitted) when the worker ran without one.
 //!
 //! Anything else — a nonzero exit, a truncated stream, an out-of-sequence
 //! record, a checksum mismatch — marks the shard failed and eligible for
@@ -78,10 +81,16 @@ pub struct DoneEvent {
     pub cache_misses: u64,
     /// Work-stealing executor steals inside the worker.
     pub steals: u64,
+    /// On-disk structure-store loads that succeeded inside the worker
+    /// (0 when the worker ran without a store).
+    pub store_hits: u64,
+    /// On-disk structure-store lookups that fell through to construction.
+    pub store_misses: u64,
 }
 
 impl DoneEvent {
-    /// Builds the event from the worker's end-of-shard accounting.
+    /// Builds the event from the worker's end-of-shard accounting (store
+    /// counters start at zero; see [`DoneEvent::with_store`]).
     pub fn new(
         shard: usize,
         records: usize,
@@ -98,7 +107,16 @@ impl DoneEvent {
             cache_hits,
             cache_misses,
             steals,
+            store_hits: 0,
+            store_misses: 0,
         }
+    }
+
+    /// Adds the worker's structure-store accounting.
+    pub fn with_store(mut self, store_hits: u64, store_misses: u64) -> Self {
+        self.store_hits = store_hits;
+        self.store_misses = store_misses;
+        self
     }
 }
 
@@ -163,15 +181,23 @@ pub fn parse_worker_line(line: &str) -> Result<WorkerLine<'_>, String> {
                     spec_fingerprint: field_str("spec_fingerprint")?,
                 }))
             }
-            "done" => Ok(WorkerLine::Done(DoneEvent {
-                event: "done".into(),
-                shard: field_u64("shard")? as usize,
-                records: field_u64("records")? as usize,
-                checksum: field_str("checksum")?,
-                cache_hits: field_u64("cache_hits")?,
-                cache_misses: field_u64("cache_misses")?,
-                steals: field_u64("steals")?,
-            })),
+            "done" => {
+                // Store counters were added within schema v1; a stream from
+                // a storeless worker simply omits them.
+                let optional_u64 =
+                    |key: &str| value.get(key).and_then(serde::Value::as_u64).unwrap_or(0);
+                Ok(WorkerLine::Done(DoneEvent {
+                    event: "done".into(),
+                    shard: field_u64("shard")? as usize,
+                    records: field_u64("records")? as usize,
+                    checksum: field_str("checksum")?,
+                    cache_hits: field_u64("cache_hits")?,
+                    cache_misses: field_u64("cache_misses")?,
+                    steals: field_u64("steals")?,
+                    store_hits: optional_u64("store_hits"),
+                    store_misses: optional_u64("store_misses"),
+                }))
+            }
             other => Err(format!("unknown worker event `{other}`")),
         };
     }
@@ -306,9 +332,23 @@ mod tests {
         let line = serde_json::to_string(&start).unwrap();
         assert_eq!(parse_worker_line(&line).unwrap(), WorkerLine::Start(start));
 
-        let done = DoneEvent::new(1, 10, "fnv1a64:0011223344556677".into(), 5, 2, 1);
+        let done =
+            DoneEvent::new(1, 10, "fnv1a64:0011223344556677".into(), 5, 2, 1).with_store(4, 3);
         let line = serde_json::to_string(&done).unwrap();
         assert_eq!(parse_worker_line(&line).unwrap(), WorkerLine::Done(done));
+    }
+
+    #[test]
+    fn done_events_without_store_counters_parse_as_zero() {
+        // A storeless worker (or an older binary) omits the store fields.
+        let line = "{\"event\":\"done\",\"shard\":0,\"records\":2,\
+\"checksum\":\"fnv1a64:00\",\"cache_hits\":1,\"cache_misses\":1,\"steals\":0}";
+        match parse_worker_line(line).unwrap() {
+            WorkerLine::Done(done) => {
+                assert_eq!((done.store_hits, done.store_misses), (0, 0));
+            }
+            other => panic!("expected a done event, got {other:?}"),
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ const SHARD_COUNT: usize = 16;
 
 /// One memoised structure.
 #[derive(Clone, Debug)]
-enum CachedStructure {
+pub(crate) enum CachedStructure {
     Strong(Arc<SharedStrongDistinguisher>),
     Distinguisher(Arc<Distinguisher>),
     Selective(Arc<SelectiveFamily>),
@@ -98,12 +98,44 @@ impl StructureCache {
         self.len() == 0
     }
 
+    /// A snapshot of the memoised strong-distinguisher sequences — what the
+    /// on-disk store persists at flush time (their prefixes materialise
+    /// lazily during a run, so they cannot be published at insert time).
+    pub(crate) fn strong_entries(&self) -> Vec<(StructureKey, Arc<SharedStrongDistinguisher>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.lock().expect("structure cache shard");
+            for (key, cached) in map.iter() {
+                if let CachedStructure::Strong(strong) = cached {
+                    out.push((*key, Arc::clone(strong)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Serves `key` from the memo without constructing, counting a hit
+    /// when present. The two-tier [`crate::store::StructureStore`] peeks
+    /// first so its disk-tier walk (which may sleep waiting on another
+    /// process's claim) never runs under a shard lock.
+    pub(crate) fn peek(&self, key: &StructureKey) -> Option<CachedStructure> {
+        let shard = (key.mix() % SHARD_COUNT as u64) as usize;
+        let map = self.shards[shard].lock().expect("structure cache shard");
+        let cached = map.get(key).cloned();
+        if cached.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        cached
+    }
+
     /// Serves `key` from the memo, constructing it with `make` on first
     /// request. The construction runs under the key's shard lock, which
     /// deliberately serialises concurrent first requests for the same key
     /// (building an expensive structure twice costs more than briefly
-    /// blocking the shard).
-    fn get_or_insert(
+    /// blocking the shard). The two-tier [`crate::store::StructureStore`]
+    /// reuses this memo as its tier 1, with a `make` that adopts a value
+    /// resolved outside the lock.
+    pub(crate) fn get_or_insert(
         &self,
         key: StructureKey,
         make: impl FnOnce() -> CachedStructure,

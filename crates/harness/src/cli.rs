@@ -19,6 +19,12 @@
 //!                  ring-distrib/v1 protocol on stdout (orchestrator use)
 //!   merge          k-way-merge shard JSONL files by case_index
 //!   resume         complete a partially-run sharded run directory
+//!   structures     maintain an on-disk structure store:
+//!                    structures prebuild <sub> [spec flags]  construct and
+//!                      publish every structure the subcommand will request
+//!                    structures verify   validate every store file
+//!                    structures gc       drop corrupt files + stale
+//!                      tmp/claim leftovers
 //!
 //! flags:
 //!   --quick                   reduced sizes (CI smoke)
@@ -42,8 +48,16 @@
 //!                             files; default results/distrib/<sub>)
 //!   --retries R               extra worker launches per failing shard
 //!                             (default 1)
-//!   --stats                   print structure-cache / executor statistics
-//!                             as JSON on stderr
+//!   --structure-store [DIR]   enable the on-disk structure store: every
+//!                             thread and every worker process draws its
+//!                             combinatorial structures from DIR (default:
+//!                             results/structures, or <run-dir>/structures
+//!                             for sharded runs), constructing each one
+//!                             once per fleet and loading it everywhere
+//!                             else; output stays byte-identical
+//!   --stats                   print structure-cache / structure-store /
+//!                             executor statistics as JSON on stderr
+//!                             (fleet-wide aggregates for sharded runs)
 //! ```
 //!
 //! Results stream to the JSONL destination incrementally in case order and
@@ -60,7 +74,9 @@ use crate::scenario::{
     table2_items, CaseRecord, WorkItem,
 };
 use crate::sink::JsonlSink;
+use crate::store::StructureStore;
 use ring_combinat::shared::splitmix64;
+use ring_protocols::structures::StructureProvider;
 use ring_distrib::{
     fail_after_from_env, merge_shards, plan_shards, run_pending_shards, DoneEvent, Manifest,
     OrchestratorOptions, ShardRange, ShardTally, SpecParams, StartEvent,
@@ -71,15 +87,21 @@ use ring_experiments::{Measurement, SweepSpec};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::Command;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 const USAGE: &str = "usage: ringlab <table1|table2|fig1|fig2|scaling|lower-bounds|all|sweep> \
 [--quick] [--jobs N] [--sizes a,b,..] [--universe-factors a,b,..] [--reps K] [--seed S] \
-[--jsonl PATH|-] [--no-jsonl] [--shards M] [--shard i/M] [--run-dir DIR] [--retries R] [--stats]
-       ringlab worker <subcommand> --shard i/M [spec flags]
+[--jsonl PATH|-] [--no-jsonl] [--shards M] [--shard i/M] [--run-dir DIR] [--retries R] \
+[--structure-store [DIR]] [--stats]
+       ringlab worker <subcommand> --shard i/M [spec flags] [--structure-store DIR]
        ringlab merge [--run-dir DIR | SHARD.jsonl ..] [--jsonl PATH|-]
-       ringlab resume <RUN_DIR> [--jobs N] [--jsonl PATH|-] [--stats]";
+       ringlab resume <RUN_DIR> [--jobs N] [--jsonl PATH|-] [--stats]
+       ringlab structures <prebuild <subcommand> [spec flags]|verify|gc> [--structure-store DIR]";
+
+/// Default structure-store directory for non-sharded invocations (sharded
+/// runs default into `<run-dir>/structures` instead).
+const DEFAULT_STORE_DIR: &str = "results/structures";
 
 /// Parsed command-line options.
 #[derive(Clone)]
@@ -97,14 +119,17 @@ struct Options {
     shard: Option<(usize, usize)>,
     run_dir: Option<String>,
     retries: u32,
+    /// `None` = no store; `Some(None)` = store at the context default
+    /// directory; `Some(Some(dir))` = store at an explicit directory.
+    structure_store: Option<Option<String>>,
     stats: bool,
     positionals: Vec<String>,
 }
 
 /// Subcommands `run` dispatches on (usage errors for anything else).
-const SUBCOMMANDS: [&str; 11] = [
+const SUBCOMMANDS: [&str; 12] = [
     "table1", "table2", "fig1", "fig2", "scaling", "lower-bounds", "all", "sweep", "worker",
-    "merge", "resume",
+    "merge", "resume", "structures",
 ];
 
 /// Runs the CLI on explicit arguments (without the program name), returning
@@ -131,6 +156,7 @@ pub fn run(args: &[String]) -> i32 {
         "worker" => cmd_worker(&options),
         "merge" => cmd_merge(&options),
         "resume" => cmd_resume(&options),
+        "structures" => cmd_structures(&options),
         _ => cmd_experiment(&options),
     };
     match result {
@@ -179,6 +205,29 @@ fn spec_fingerprint(subcommand: &str, spec: &SweepSpec, scaling: &ScalingSpec) -
     format!("0x{h:016x}")
 }
 
+/// The structure-store directory the invocation asked for (`None` = no
+/// store), with a bare `--structure-store` resolving to the context's
+/// default location.
+fn resolve_store_dir(options: &Options, default: impl FnOnce() -> String) -> Option<String> {
+    options
+        .structure_store
+        .as_ref()
+        .map(|explicit| explicit.clone().unwrap_or_else(default))
+}
+
+/// An engine over a disk-backed store (when a directory was resolved) or a
+/// fresh memory-only store.
+fn build_engine(jobs: usize, store_dir: Option<&str>) -> Result<SweepEngine, String> {
+    match store_dir {
+        None => Ok(SweepEngine::new(jobs)),
+        Some(dir) => {
+            let store = StructureStore::at(dir)
+                .map_err(|e| format!("cannot open structure store {dir}: {e}"))?;
+            Ok(SweepEngine::with_store(jobs, Arc::new(store)))
+        }
+    }
+}
+
 /// An experiment subcommand: single-process, one local shard, or the full
 /// multi-process orchestration.
 fn cmd_experiment(options: &Options) -> Result<i32, String> {
@@ -198,7 +247,8 @@ fn cmd_experiment(options: &Options) -> Result<i32, String> {
         return cmd_shard_slice(options, &spec, &scaling, &items, shard, of);
     }
 
-    let engine = SweepEngine::new(options.jobs);
+    let store_dir = resolve_store_dir(options, || DEFAULT_STORE_DIR.to_string());
+    let engine = build_engine(options.jobs, store_dir.as_deref())?;
     let start = Instant::now();
     let destination = jsonl_destination(options);
     let records = run_items_with_offset(&engine, &items, 0, destination.as_deref())?;
@@ -211,9 +261,19 @@ fn cmd_experiment(options: &Options) -> Result<i32, String> {
     print_tables(&render_markdown(&measurements), destination.as_deref());
 
     let stats = engine.cache_stats();
+    let store_note = store_dir
+        .as_deref()
+        .map(|dir| {
+            let store = engine.store_stats();
+            format!(
+                "; structure store: {} loads / {} constructions at {dir}",
+                store.hits, store.misses
+            )
+        })
+        .unwrap_or_default();
     eprintln!(
         "ringlab: {} cases in {:.2}s ({} jobs requested, {:.1} cases/s); \
-structure cache: {} hits / {} misses ({:.0}% hit rate)",
+structure cache: {} hits / {} misses ({:.0}% hit rate){store_note}",
         items.len(),
         elapsed.as_secs_f64(),
         if options.jobs == 0 { crate::executor::available_jobs() } else { options.jobs },
@@ -239,15 +299,20 @@ fn print_tables(markdown: &str, destination: Option<&str>) {
     }
 }
 
-/// The engine's cache + executor statistics as one stderr JSON line.
+/// The engine's cache + store + executor statistics as one stderr JSON
+/// line.
 fn print_engine_stats(engine: &SweepEngine) {
     #[derive(serde::Serialize)]
     struct Stats {
-        cache: CacheBlock,
+        cache: EngineCacheBlock,
+        store: crate::store::StoreStats,
         executor: crate::executor::ExecutorStats,
     }
+    // The fleet variant in `print_fleet_stats` mirrors this block minus
+    // `structures` (per-worker memo sizes do not sum meaningfully); keep
+    // the shared field names in step — CI and the verify recipe grep them.
     #[derive(serde::Serialize)]
-    struct CacheBlock {
+    struct EngineCacheBlock {
         hits: u64,
         misses: u64,
         hit_rate: f64,
@@ -255,13 +320,77 @@ fn print_engine_stats(engine: &SweepEngine) {
     }
     let cache = engine.cache_stats();
     let stats = Stats {
-        cache: CacheBlock {
+        cache: EngineCacheBlock {
             hits: cache.hits,
             misses: cache.misses,
             hit_rate: cache.hit_rate(),
             structures: engine.cache().len(),
         },
+        store: engine.store_stats(),
         executor: engine.exec_stats(),
+    };
+    eprintln!(
+        "ringlab: stats {}",
+        serde_json::to_string(&stats).expect("serializable stats")
+    );
+}
+
+/// Fleet-wide aggregates of a sharded run — the sum over every completed
+/// shard's worker counters, printed as one stderr JSON line (the per-shard
+/// breakdown stays in the manifest).
+fn print_fleet_stats(manifest: &Manifest) {
+    #[derive(serde::Serialize)]
+    struct FleetStats {
+        shards: usize,
+        completed_shards: usize,
+        records: usize,
+        cache: CacheBlock,
+        store: StoreBlock,
+        executor: StealsBlock,
+    }
+    // Field names mirror `print_engine_stats`'s cache block (sans the
+    // per-process `structures` count).
+    #[derive(serde::Serialize)]
+    struct CacheBlock {
+        hits: u64,
+        misses: u64,
+        hit_rate: f64,
+    }
+    #[derive(serde::Serialize)]
+    struct StoreBlock {
+        hits: u64,
+        misses: u64,
+    }
+    #[derive(serde::Serialize)]
+    struct StealsBlock {
+        steals: u64,
+    }
+    let totals = manifest.aggregate_stats();
+    let cache_total = totals.cache_hits + totals.cache_misses;
+    let stats = FleetStats {
+        shards: manifest.shards.len(),
+        completed_shards: manifest
+            .shards
+            .iter()
+            .filter(|s| s.status == ring_distrib::ShardStatus::Complete)
+            .count(),
+        records: totals.records,
+        cache: CacheBlock {
+            hits: totals.cache_hits,
+            misses: totals.cache_misses,
+            hit_rate: if cache_total == 0 {
+                0.0
+            } else {
+                totals.cache_hits as f64 / cache_total as f64
+            },
+        },
+        store: StoreBlock {
+            hits: totals.store_hits,
+            misses: totals.store_misses,
+        },
+        executor: StealsBlock {
+            steals: totals.steals,
+        },
     };
     eprintln!(
         "ringlab: stats {}",
@@ -323,7 +452,10 @@ fn cmd_shard_slice(
             )
         }))
     };
-    let engine = SweepEngine::new(options.jobs);
+    // Fleet mode: a shared store directory is how hand-partitioned workers
+    // on one filesystem avoid rebuilding each other's structures.
+    let store_dir = resolve_store_dir(options, || DEFAULT_STORE_DIR.to_string());
+    let engine = build_engine(options.jobs, store_dir.as_deref())?;
     let start = Instant::now();
     let records = run_items_with_offset(&engine, &items[range.start..range.end], range.start, destination.as_deref())?;
     eprintln!(
@@ -387,13 +519,17 @@ fn cmd_worker(options: &Options) -> Result<i32, String> {
             .map_err(|e| format!("cannot write to stdout: {e}"))?;
     }
 
-    let engine = SweepEngine::new(options.jobs);
+    // Orchestrated workers receive the run's store directory explicitly;
+    // a hand-launched worker may also point itself at a shared one.
+    let store_dir = resolve_store_dir(options, || DEFAULT_STORE_DIR.to_string());
+    let engine = build_engine(options.jobs, store_dir.as_deref())?;
     let tally = ShardTally::new(std::io::stdout(), fail_after_from_env());
     let sink = JsonlSink::new(tally);
     engine.run_with_offset(&items[range.start..range.end], range.start, Some(&sink));
     let tally = sink.finish();
 
     let cache = engine.cache_stats();
+    let store = engine.store_stats();
     let exec = engine.exec_stats();
     let done = DoneEvent::new(
         shard,
@@ -402,7 +538,8 @@ fn cmd_worker(options: &Options) -> Result<i32, String> {
         cache.hits,
         cache.misses,
         exec.steals,
-    );
+    )
+    .with_store(store.hits, store.misses);
     println!("{}", serde_json::to_string(&done).expect("serializable event"));
     Ok(0)
 }
@@ -421,6 +558,11 @@ fn cmd_sharded(
     let ranges = plan_shards(items.len(), options.shards);
     let fingerprint = spec_fingerprint(&options.subcommand, spec, scaling);
     let destination = jsonl_destination(options);
+    // The fleet's shared structure store defaults into the run directory,
+    // next to the shard files it accelerates.
+    let store_dir = resolve_store_dir(options, || {
+        run_dir.join("structures").to_string_lossy().into_owned()
+    });
     let manifest = Manifest::new(
         SpecParams {
             subcommand: options.subcommand.clone(),
@@ -437,7 +579,8 @@ fn cmd_sharded(
         // Empty = no JSONL output (`--no-jsonl`): a resume of this run
         // must not invent a stream the original invocation suppressed.
         destination.clone().unwrap_or_default(),
-    );
+    )
+    .with_structure_store(store_dir.unwrap_or_default());
     std::fs::create_dir_all(&run_dir)
         .map_err(|e| format!("cannot create {}: {e}", run_dir.display()))?;
     let manifest = Mutex::new(manifest);
@@ -480,6 +623,28 @@ fn cmd_resume(options: &Options) -> Result<i32, String> {
             "ringlab: shards {demoted:?} no longer match their recorded checksums; re-running"
         );
     }
+    // The run's structure store revalidates like its shard files: any file
+    // that no longer proves itself (checksum, canonical form, key) is
+    // dropped here and rebuilt by the re-launched workers — and the dead
+    // fleet's orphaned claim/tmp files are swept so no re-launched worker
+    // waits out a claim nobody holds.
+    if !manifest.structure_store.is_empty() {
+        let store_path = PathBuf::from(&manifest.structure_store);
+        let swept = crate::store::sweep_stale_files(&store_path)
+            .map_err(|e| format!("cannot sweep store {}: {e}", store_path.display()))?;
+        if swept > 0 {
+            eprintln!("ringlab: swept {swept} stale claim/tmp file(s) from the structure store");
+        }
+        let removed = crate::store::revalidate_store_dir(&store_path)
+            .map_err(|e| format!("cannot revalidate store {}: {e}", store_path.display()))?;
+        if !removed.is_empty() {
+            eprintln!(
+                "ringlab: {} structure file(s) failed revalidation and will be rebuilt: {:?}",
+                removed.len(),
+                removed
+            );
+        }
+    }
     let pending = manifest.incomplete_shards().len();
     eprintln!(
         "ringlab: resuming {}: {pending} of {} shards to run",
@@ -510,9 +675,14 @@ fn orchestrate_and_finish(
     destination: Option<String>,
 ) -> Result<i32, String> {
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate ringlab: {e}"))?;
-    let (spec_params, jobs_per_worker, shard_count) = {
+    let (spec_params, jobs_per_worker, shard_count, store_dir) = {
         let m = manifest.lock().expect("manifest lock");
-        (m.spec.clone(), m.jobs_per_worker, m.shards.len())
+        (
+            m.spec.clone(),
+            m.jobs_per_worker,
+            m.shards.len(),
+            m.structure_store.clone(),
+        )
     };
     let orchestration = OrchestratorOptions {
         concurrency: if options.jobs == 0 {
@@ -525,7 +695,13 @@ fn orchestrate_and_finish(
     let start = Instant::now();
     let outcome = run_pending_shards(run_dir, manifest, &orchestration, &|range| {
         let mut cmd = Command::new(&exe);
-        cmd.args(worker_args(&spec_params, jobs_per_worker, range, shard_count));
+        cmd.args(worker_args(
+            &spec_params,
+            jobs_per_worker,
+            range,
+            shard_count,
+            &store_dir,
+        ));
         cmd
     })
     .map_err(|e| format!("orchestration failed: {e}"))?;
@@ -557,9 +733,18 @@ fn orchestrate_and_finish(
     print_tables(&render_markdown(&measurements), destination.as_deref());
 
     let stats = manifest.aggregate_stats();
+    let store_note = if manifest.structure_store.is_empty() {
+        String::new()
+    } else {
+        format!(
+            ", {} store loads / {} constructions",
+            stats.store_hits, stats.store_misses
+        )
+    };
     eprintln!(
         "ringlab: {} cases over {} shards ({} run now, {} concurrent workers) in {:.2}s; \
-merged {} records (checksum {}); workers: {} cache hits / {} misses, {} steals; manifest {}",
+merged {} records (checksum {}); workers: {} cache hits / {} misses, {} steals{store_note}; \
+manifest {}",
         manifest.total_cases,
         manifest.shards.len(),
         outcome.completed.len(),
@@ -578,12 +763,116 @@ merged {} records (checksum {}); workers: {} cache hits / {} misses, {} steals; 
         }
     }
     if options.stats {
-        eprintln!(
-            "ringlab: stats {}",
-            serde_json::to_string(&*manifest).expect("serializable manifest")
-        );
+        print_fleet_stats(&manifest);
     }
     Ok(0)
+}
+
+/// `structures`: maintenance of an on-disk structure store — `prebuild`
+/// constructs and publishes every structure a subcommand will request,
+/// `verify` validates every file, `gc` drops what no longer proves itself.
+fn cmd_structures(options: &Options) -> Result<i32, String> {
+    let Some(action) = options.positionals.first() else {
+        return Err(format!("structures needs an action\n{USAGE}"));
+    };
+    let dir = resolve_store_dir(options, || DEFAULT_STORE_DIR.to_string())
+        .unwrap_or_else(|| DEFAULT_STORE_DIR.to_string());
+    let dir_path = PathBuf::from(&dir);
+    match action.as_str() {
+        "prebuild" => {
+            let Some(subcommand) = options.positionals.get(1) else {
+                return Err(format!("structures prebuild needs a subcommand\n{USAGE}"));
+            };
+            if options.positionals.len() > 2 {
+                return Err(format!(
+                    "unexpected argument `{}`",
+                    options.positionals[2]
+                ));
+            }
+            let spec = sweep_spec(options);
+            let scaling = scaling_spec(options);
+            let items = items_for(subcommand, &spec, &scaling)?;
+            // One entry per distinct key, materialisation hint maximised
+            // over every item that will request it.
+            let mut keys: Vec<(ring_combinat::StructureKey, usize)> = Vec::new();
+            for item in &items {
+                for (key, hint) in item.structure_keys() {
+                    match keys.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, existing)) => *existing = (*existing).max(hint),
+                        None => keys.push((key, hint)),
+                    }
+                }
+            }
+            let store = StructureStore::at(&dir_path)
+                .map_err(|e| format!("cannot open structure store {dir}: {e}"))?;
+            for (key, hint) in &keys {
+                match key.kind {
+                    ring_combinat::StructureKind::StrongDistinguisher => {
+                        let strong = store
+                            .try_strong_distinguisher(key.universe, key.seed)
+                            .map_err(|e| e.to_string())?;
+                        let prefix = strong.prefix_size_for((*hint).max(2));
+                        for i in 0..prefix {
+                            strong.set(i);
+                        }
+                    }
+                    ring_combinat::StructureKind::Distinguisher => {
+                        store
+                            .try_distinguisher(key.universe, key.n as usize, key.seed)
+                            .map_err(|e| e.to_string())?;
+                    }
+                    ring_combinat::StructureKind::SelectiveFamily => {
+                        store
+                            .try_selective_family(key.universe, key.n as usize, key.seed)
+                            .map_err(|e| e.to_string())?;
+                    }
+                }
+            }
+            store.flush().map_err(|e| e.to_string())?;
+            let stats = store.stats();
+            eprintln!(
+                "ringlab: prebuilt {} structure(s) for `{subcommand}` into {dir} \
+({} constructed, {} already present)",
+                keys.len(),
+                stats.misses,
+                stats.hits,
+            );
+            Ok(0)
+        }
+        "verify" => {
+            let reports = crate::store::scan_store_dir(&dir_path)
+                .map_err(|e| format!("cannot scan {dir}: {e}"))?;
+            let mut corrupt = 0usize;
+            for report in &reports {
+                match &report.error {
+                    None => eprintln!(
+                        "ringlab: ok      {} ({} sets)",
+                        report.path.display(),
+                        report.sets
+                    ),
+                    Some(error) => {
+                        corrupt += 1;
+                        eprintln!("ringlab: CORRUPT {}: {error}", report.path.display());
+                    }
+                }
+            }
+            eprintln!(
+                "ringlab: verified {dir}: {} file(s), {corrupt} corrupt",
+                reports.len()
+            );
+            Ok(if corrupt == 0 { 0 } else { 1 })
+        }
+        "gc" => {
+            let report = crate::store::gc_store_dir(&dir_path)
+                .map_err(|e| format!("cannot gc {dir}: {e}"))?;
+            eprintln!(
+                "ringlab: gc {dir}: kept {} file(s), removed {} corrupt, {} stale tmp/claim",
+                report.kept, report.corrupt, report.stale
+            );
+            Ok(0)
+        }
+        other => Err(format!("unknown structures action `{other}`\n{USAGE}")),
+    }
 }
 
 /// `merge`: standalone k-way merge of shard files (or of a run directory's
@@ -628,12 +917,14 @@ fn cmd_merge(options: &Options) -> Result<i32, String> {
     Ok(0)
 }
 
-/// The argv a worker process needs to run one shard of a recorded spec.
+/// The argv a worker process needs to run one shard of a recorded spec
+/// (`structure_store` empty = the run has no store).
 fn worker_args(
     spec: &SpecParams,
     jobs_per_worker: usize,
     range: &ShardRange,
     shard_count: usize,
+    structure_store: &str,
 ) -> Vec<String> {
     let mut args = vec![
         "worker".to_string(),
@@ -643,6 +934,10 @@ fn worker_args(
         "--jobs".to_string(),
         jobs_per_worker.to_string(),
     ];
+    if !structure_store.is_empty() {
+        args.push("--structure-store".into());
+        args.push(structure_store.to_string());
+    }
     if spec.quick {
         args.push("--quick".into());
     }
@@ -866,6 +1161,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         shard: None,
         run_dir: None,
         retries: 1,
+        structure_store: None,
         stats: false,
         positionals: Vec::new(),
     };
@@ -908,6 +1204,17 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 options.shard = Some((shard, of));
             }
             "--run-dir" => options.run_dir = Some(value_of("--run-dir")?),
+            "--structure-store" => {
+                // The directory operand is optional: a bare flag means "at
+                // the context's default location".
+                match iter.clone().next() {
+                    Some(next) if !next.starts_with("--") => {
+                        iter.next();
+                        options.structure_store = Some(Some(next.clone()));
+                    }
+                    _ => options.structure_store = Some(None),
+                }
+            }
             "--retries" => {
                 options.retries = value_of("--retries")?
                     .parse()
@@ -1074,17 +1381,54 @@ mod tests {
             seed: Some(77),
         };
         let range = ShardRange { shard: 1, start: 4, end: 8 };
-        let argv = worker_args(&spec, 1, &range, 3);
+        let argv = worker_args(&spec, 1, &range, 3, "run/structures");
         let parsed = parse(&argv).unwrap();
         assert_eq!(parsed.subcommand, "worker");
         assert_eq!(parsed.positionals, vec!["sweep".to_string()]);
         assert_eq!(parsed.shard, Some((1, 3)));
         assert_eq!(parsed.jobs, 1);
+        assert_eq!(
+            parsed.structure_store,
+            Some(Some("run/structures".to_string()))
+        );
         let rebuilt = sweep_spec(&parsed);
         assert_eq!(rebuilt.sizes, vec![9, 8]);
         assert_eq!(rebuilt.universe_factors, vec![4]);
         assert_eq!(rebuilt.repetitions, 2);
         assert_eq!(rebuilt.seed, 77);
+
+        // A storeless run adds no flag.
+        let argv = worker_args(&spec, 1, &range, 3, "");
+        assert!(!argv.iter().any(|a| a == "--structure-store"));
+    }
+
+    #[test]
+    fn structure_store_flag_takes_an_optional_directory() {
+        let explicit = parse(&args(&["sweep", "--structure-store", "some/dir", "--quick"]))
+            .unwrap();
+        assert_eq!(explicit.structure_store, Some(Some("some/dir".into())));
+        assert!(explicit.quick);
+
+        // Bare flag followed by another flag: default directory.
+        let bare = parse(&args(&["sweep", "--structure-store", "--jobs", "2"])).unwrap();
+        assert_eq!(bare.structure_store, Some(None));
+        assert_eq!(bare.jobs, 2);
+
+        // Bare flag at the end of the line.
+        let trailing = parse(&args(&["sweep", "--structure-store"])).unwrap();
+        assert_eq!(trailing.structure_store, Some(None));
+
+        let off = parse(&args(&["sweep"])).unwrap();
+        assert_eq!(off.structure_store, None);
+        assert_eq!(
+            resolve_store_dir(&explicit, || "default".into()).as_deref(),
+            Some("some/dir")
+        );
+        assert_eq!(
+            resolve_store_dir(&bare, || "default".into()).as_deref(),
+            Some("default")
+        );
+        assert_eq!(resolve_store_dir(&off, || "default".into()), None);
     }
 
     #[test]

@@ -1,17 +1,20 @@
-//! The sweep engine: executor + structure cache + streaming sink.
+//! The sweep engine: executor + two-tier structure store + streaming sink.
 //!
 //! [`SweepEngine::run`] fans a list of [`WorkItem`]s out over the
 //! work-stealing executor. Every worker draws combinatorial structures
-//! from one shared [`StructureCache`] (constructed once per sweep, shared
-//! read-only) and streams its finished [`CaseRecord`] through the ordered
-//! JSONL sink the moment it completes. Results are deterministic: the
-//! record list, the JSONL bytes and the rendered markdown are identical
-//! for every `--jobs` value.
+//! from one shared [`StructureStore`] — tier 1 the in-memory cache every
+//! thread shares, tier 2 an optional on-disk directory every worker
+//! *process* of a sweep shares — and streams its finished [`CaseRecord`]
+//! through the ordered JSONL sink the moment it completes. Results are
+//! deterministic: the record list, the JSONL bytes and the rendered
+//! markdown are identical for every `--jobs` value, with or without the
+//! disk tier.
 
 use crate::cache::{CacheStats, StructureCache};
 use crate::executor::{run_work_stealing_with_stats, ExecutorStats};
 use crate::scenario::{CaseRecord, WorkItem};
 use crate::sink::JsonlSink;
+use crate::store::{StoreStats, StructureStore};
 use ring_protocols::structures::SharedStructures;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -20,24 +23,25 @@ use std::sync::Arc;
 /// The parallel scenario engine.
 pub struct SweepEngine {
     jobs: usize,
-    cache: Arc<StructureCache>,
+    store: Arc<StructureStore>,
     executed: AtomicU64,
     steals: AtomicU64,
 }
 
 impl SweepEngine {
     /// Creates an engine running `jobs` worker threads (`0` = all cores)
-    /// with a fresh structure cache.
+    /// with a fresh memory-only structure store.
     pub fn new(jobs: usize) -> Self {
-        Self::with_cache(jobs, Arc::new(StructureCache::new()))
+        Self::with_store(jobs, Arc::new(StructureStore::in_memory()))
     }
 
-    /// Creates an engine sharing an existing cache (e.g. to carry warm
-    /// structures across consecutive sweeps of one CLI invocation).
-    pub fn with_cache(jobs: usize, cache: Arc<StructureCache>) -> Self {
+    /// Creates an engine over an existing store (a disk-backed one, or a
+    /// shared in-memory store carrying warm structures across consecutive
+    /// sweeps of one CLI invocation).
+    pub fn with_store(jobs: usize, store: Arc<StructureStore>) -> Self {
         SweepEngine {
             jobs,
-            cache,
+            store,
             executed: AtomicU64::new(0),
             steals: AtomicU64::new(0),
         }
@@ -48,14 +52,24 @@ impl SweepEngine {
         self.jobs
     }
 
-    /// The engine's structure cache.
-    pub fn cache(&self) -> &Arc<StructureCache> {
-        &self.cache
+    /// The engine's two-tier structure store.
+    pub fn store(&self) -> &Arc<StructureStore> {
+        &self.store
     }
 
-    /// Cache effectiveness so far.
+    /// The store's in-memory tier.
+    pub fn cache(&self) -> &StructureCache {
+        self.store.cache()
+    }
+
+    /// In-memory-tier effectiveness so far.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.store.cache_stats()
+    }
+
+    /// Disk-tier effectiveness so far (all zero without a disk tier).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
     }
 
     /// Executor scheduling counters accumulated over every run of this
@@ -90,7 +104,7 @@ impl SweepEngine {
         offset: usize,
         sink: Option<&JsonlSink<W>>,
     ) -> Vec<CaseRecord> {
-        let structures: SharedStructures = self.cache.clone();
+        let structures: SharedStructures = self.store.clone();
         let (records, stats) = run_work_stealing_with_stats(items, self.jobs, |index, item| {
             let record = item.run_to_record(offset + index, &structures);
             if let Some(sink) = sink {
@@ -101,6 +115,12 @@ impl SweepEngine {
         });
         self.executed.fetch_add(stats.executed, Ordering::Relaxed);
         self.steals.fetch_add(stats.steals, Ordering::Relaxed);
+        // Persist lazily materialised structures (strong-distinguisher
+        // prefixes) so the rest of the fleet loads them. Non-fatal: a full
+        // disk costs the fleet reconstruction time, never correctness.
+        if let Err(e) = self.store.flush() {
+            eprintln!("ring-harness: structure store flush: {e}");
+        }
         records
     }
 }

@@ -9,14 +9,20 @@
 //! * [`executor`] — a work-stealing thread pool over `std::thread`. Work
 //!   items are striped over per-worker deques; idle workers steal from the
 //!   back of busy ones; results come back in item order.
-//! * [`cache`] — the [`StructureCache`](cache::StructureCache): a sharded,
-//!   `Arc`-backed memo of the expensive combinatorial structures
-//!   (distinguishers, strong-distinguisher sequences, selective families)
-//!   keyed by `(kind, N, n, seed)`. It implements
+//! * [`cache`] / [`store`] — the two-tier structure pathway. Tier 1 is
+//!   the [`StructureCache`](cache::StructureCache): a sharded, `Arc`-backed
+//!   memo of the expensive combinatorial structures (distinguishers,
+//!   strong-distinguisher sequences, selective families) keyed by
+//!   `(kind, N, n, seed)`, shared by every worker thread. Tier 2 — the
+//!   [`StructureStore`](store::StructureStore)'s optional on-disk
+//!   directory of `structure-store/v1` files — extends the memo across
+//!   worker *processes*: the first worker of a fleet to claim a key
+//!   constructs and publishes, everyone else loads bit-identical bytes.
+//!   The store implements
 //!   [`StructureProvider`](ring_protocols::structures::StructureProvider),
-//!   so every worker's `Network` draws from the same read-only memo and
-//!   each structure is constructed once per sweep instead of once per
-//!   case — the dominant per-case cost at large `N`.
+//!   so every worker's `Network` draws from the same pathway and each
+//!   structure is constructed once per fleet instead of once per case or
+//!   process — the dominant per-case cost at large `N`.
 //! * [`sink`] — the streaming [`JsonlSink`](sink::JsonlSink): one JSON
 //!   line per finished case, emitted incrementally but in deterministic
 //!   case order via a reorder buffer.
@@ -66,9 +72,11 @@ pub mod engine;
 pub mod executor;
 pub mod scenario;
 pub mod sink;
+pub mod store;
 
 pub use cache::{CacheStats, StructureCache};
 pub use engine::SweepEngine;
 pub use executor::{available_jobs, run_work_stealing};
 pub use scenario::{CaseRecord, WorkItem};
 pub use sink::JsonlSink;
+pub use store::{StoreStats, StructureStore};

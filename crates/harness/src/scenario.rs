@@ -14,6 +14,7 @@ use ring_experiments::distinguisher_scaling::{
 use ring_experiments::lower_bounds::{lemma5_parity_audit, lemma6_case};
 use ring_experiments::reductions::{figure_for, randomized_da_to_nm_case, reductions_case};
 use ring_experiments::tables::{table1_case, table2_case};
+use ring_combinat::{StructureKey, StructureKind};
 use ring_experiments::{Case, Measurement, SweepSpec};
 use ring_protocols::structures::SharedStructures;
 use ring_sim::Model;
@@ -127,6 +128,74 @@ impl WorkItem {
                 spec.seed
             }
             WorkItem::Lemma5Audit { seed, .. } => *seed,
+        }
+    }
+
+    /// The combinatorial-structure keys the item will request from its
+    /// provider while running, paired with the ring/set size of the
+    /// request (the materialisation hint for lazily generated
+    /// strong-distinguisher sequences; see `StrongDistinguisher::
+    /// prefix_size_for`). `ringlab structures prebuild` constructs these
+    /// into a shared store before any worker starts.
+    ///
+    /// The list mirrors the experiment code paths: Table I, reduction and
+    /// location-discovery cases route even-`n` nontrivial moves through
+    /// `solve_nontrivial_move`, whose strong distinguisher is keyed by
+    /// `(universe, STRUCTURE_SEED)`; the scaling study materialises a
+    /// distinguisher and a selective family keyed by the scaling seed (and
+    /// its weak-move protocol runs the strong sequence under the same
+    /// seed). Table II (common sense of direction) elects its leader first
+    /// and solves nontrivial move leader-led (Lemma 10), so it — like
+    /// odd-`n` cases and the randomized/audit items — uses no structures.
+    pub fn structure_keys(&self) -> Vec<(StructureKey, usize)> {
+        use ring_protocols::coordination::nontrivial::STRUCTURE_SEED;
+        let strong = |universe: u64, seed: u64, n: usize| {
+            (
+                StructureKey {
+                    kind: StructureKind::StrongDistinguisher,
+                    universe,
+                    n: 0,
+                    seed,
+                },
+                n,
+            )
+        };
+        match self {
+            WorkItem::Table1(case)
+            | WorkItem::Reductions { case, .. }
+            | WorkItem::Lemma6Floors(case) => {
+                if case.n % 2 == 0 {
+                    vec![strong(case.universe, STRUCTURE_SEED, case.n)]
+                } else {
+                    Vec::new()
+                }
+            }
+            WorkItem::ScalingFamilies { spec, n } => vec![
+                (
+                    StructureKey {
+                        kind: StructureKind::Distinguisher,
+                        universe: spec.universe,
+                        n: *n as u64,
+                        seed: spec.seed,
+                    },
+                    *n,
+                ),
+                (
+                    StructureKey {
+                        kind: StructureKind::SelectiveFamily,
+                        universe: spec.universe,
+                        n: *n as u64,
+                        seed: spec.seed,
+                    },
+                    *n,
+                ),
+            ],
+            WorkItem::ScalingWeakMove { spec, n } => {
+                vec![strong(spec.universe, spec.seed, *n)]
+            }
+            WorkItem::Table2(_)
+            | WorkItem::RandomizedDaToNm { .. }
+            | WorkItem::Lemma5Audit { .. } => Vec::new(),
         }
     }
 

@@ -1,0 +1,958 @@
+//! The two-tier structure store.
+//!
+//! [`StructureStore`] is the structure pathway of every sweep: **tier 1**
+//! is the in-memory sharded [`StructureCache`] (one per engine, shared by
+//! every worker thread), **tier 2** an optional on-disk directory of
+//! `structure-store/v1` files (see [`ring_combinat::codec`]) shared by
+//! every worker *process* of a run — threads, shards on this machine, and
+//! workers on other machines pointed at the same directory.
+//!
+//! A request walks the tiers in order: tier-1 hit → `Arc` clone; tier-1
+//! miss → try to load the key's file (a **store hit**); no file → construct
+//! (a **store miss**) and publish so the rest of the fleet loads instead of
+//! constructing. Publication is atomic (a process-unique temp file renamed
+//! into place) and guarded by a **single-constructor claim**: the first
+//! worker to create the key's `.claim` file constructs, everyone else polls
+//! briefly for the published file instead of burning CPU on a duplicate
+//! construction. Claims are advisory — a stale claim (crashed constructor)
+//! delays a waiter by at most [`CLAIM_WAIT`] and is cleaned up by the next
+//! publisher — so the store can never deadlock a sweep.
+//!
+//! Strong-distinguisher sequences materialise lazily while protocols run,
+//! so they cannot be published at construction time; [`StructureStore::flush`]
+//! (called by the engine after every run) persists each sequence's
+//! materialised prefix when it grew beyond what the file holds. Loading a
+//! prefix seeds [`SharedStrongDistinguisher::with_prefix`]; sets beyond the
+//! stored prefix regenerate lazily and bit-identically.
+//!
+//! Correctness never depends on the disk tier: decoded payloads are
+//! checksum- and canonical-form-validated (a corrupt file is discarded and
+//! reconstructed, surfaced as an error only on the fallible
+//! [`StructureProvider`] path), and a loaded structure is bit-identical to
+//! a fresh construction, so merged sweep output is byte-identical with or
+//! without a store.
+
+use crate::cache::{CacheStats, CachedStructure, StructureCache};
+use ring_combinat::codec;
+use ring_combinat::{
+    Distinguisher, SelectiveFamily, SharedStrongDistinguisher, StructureKey, StructureKind,
+};
+use ring_protocols::structures::{StructureError, StructureProvider};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// File extension of published structure files.
+pub const STORE_EXTENSION: &str = "struct";
+
+/// Longest a worker waits for another constructor's publication before
+/// constructing the structure itself.
+pub const CLAIM_WAIT: Duration = Duration::from_secs(10);
+
+/// Poll interval while waiting on a claimed key.
+const CLAIM_POLL: Duration = Duration::from_millis(25);
+
+/// Disk-tier effectiveness counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize)]
+pub struct StoreStats {
+    /// Tier-2 lookups served by loading a published file.
+    pub hits: u64,
+    /// Tier-2 lookups that fell through to construction.
+    pub misses: u64,
+}
+
+/// The two-tier structure store (in-memory cache + optional disk tier).
+#[derive(Debug)]
+pub struct StructureStore {
+    cache: StructureCache,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Strong-prefix lengths already on disk, so `flush` republishes only
+    /// sequences that grew.
+    persisted_strong: Mutex<HashMap<StructureKey, usize>>,
+}
+
+impl Default for StructureStore {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl StructureStore {
+    /// A memory-only store (tier 1 alone) — the behaviour of the engine
+    /// before the disk tier existed, and the default of
+    /// [`SweepEngine::new`](crate::engine::SweepEngine::new).
+    pub fn in_memory() -> Self {
+        StructureStore {
+            cache: StructureCache::new(),
+            dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            persisted_strong: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A store backed by `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the directory creation failure.
+    pub fn at(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(StructureStore {
+            dir: Some(dir),
+            ..Self::in_memory()
+        })
+    }
+
+    /// The disk-tier directory (`None` for a memory-only store).
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// The in-memory tier.
+    pub fn cache(&self) -> &StructureCache {
+        &self.cache
+    }
+
+    /// Tier-1 counters (thread-level sharing).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Tier-2 counters (process-level sharing); all zero for a memory-only
+    /// store.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The file name a key publishes under.
+    pub fn file_name(key: &StructureKey) -> String {
+        let kind = match key.kind {
+            StructureKind::StrongDistinguisher => "strong",
+            StructureKind::Distinguisher => "dist",
+            StructureKind::SelectiveFamily => "select",
+        };
+        format!(
+            "{kind}-u{}-n{}-s{:016x}.{STORE_EXTENSION}",
+            key.universe, key.n, key.seed
+        )
+    }
+
+    /// The key's path in the disk tier (`None` for a memory-only store).
+    pub fn file_path(&self, key: &StructureKey) -> Option<PathBuf> {
+        self.dir.as_ref().map(|dir| dir.join(Self::file_name(key)))
+    }
+
+    /// Loads and fully validates the key's published file (streaming
+    /// single-pass decode — structure files run to hundreds of megabytes,
+    /// so no whole-file buffer is ever materialised).
+    fn load_sets(&self, key: &StructureKey) -> Result<Option<Vec<ring_combinat::IdSet>>, String> {
+        let Some(path) = self.file_path(key) else {
+            return Ok(None);
+        };
+        let file = match std::fs::File::open(&path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        let len = file
+            .metadata()
+            .map_err(|e| format!("cannot stat {}: {e}", path.display()))?
+            .len();
+        codec::decode_stream_for_key(key, file, len)
+            .map(Some)
+            .map_err(|e| format!("corrupt structure file {}: {e}", path.display()))
+    }
+
+    /// The tier-2 walk for a materialised structure: load, or wait out
+    /// another constructor's claim, or construct-and-publish. Returns the
+    /// structure plus the first tier error (corrupt file, failed publish) —
+    /// which the infallible provider path logs and the fallible path
+    /// surfaces.
+    fn disk_or_construct<T>(
+        &self,
+        key: &StructureKey,
+        decode: impl Fn(Vec<ring_combinat::IdSet>) -> T,
+        construct: impl FnOnce() -> T,
+        encode: impl Fn(&T) -> Vec<u8>,
+    ) -> (T, Option<String>) {
+        let Some(path) = self.file_path(key) else {
+            return (construct(), None);
+        };
+        let mut tier_error = None;
+        match self.load_sets(key) {
+            Ok(Some(sets)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (decode(sets), None);
+            }
+            Ok(None) => {}
+            Err(e) => {
+                // A corrupt file must never win over reconstruction; drop
+                // it so the republication below heals the store.
+                std::fs::remove_file(&path).ok();
+                tier_error = Some(e);
+            }
+        }
+
+        // Single-constructor discipline: first claimant constructs, the
+        // rest poll for its publication (bounded — a stale claim only
+        // delays, never blocks).
+        let claim = claim_path(&path);
+        let claimed = try_claim(&claim);
+        if claimed && tier_error.is_none() {
+            // A racing constructor may have published (and cleared its own
+            // claim) between our lookup and our claim; one re-check turns
+            // that race into a load instead of a duplicate construction.
+            if let Ok(Some(sets)) = self.load_sets(key) {
+                std::fs::remove_file(&claim).ok();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (decode(sets), None);
+            }
+        }
+        if !claimed && tier_error.is_none() {
+            let deadline = std::time::Instant::now() + CLAIM_WAIT;
+            loop {
+                std::thread::sleep(CLAIM_POLL);
+                match self.load_sets(key) {
+                    Ok(Some(sets)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return (decode(sets), None);
+                    }
+                    Ok(None) => {}
+                    Err(_) => break, // constructor published garbage; rebuild
+                }
+                if !claim.exists() || std::time::Instant::now() >= deadline {
+                    break;
+                }
+            }
+            // Last look before doing the work ourselves: the claimant may
+            // have published between the poll and the deadline.
+            if let Ok(Some(sets)) = self.load_sets(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (decode(sets), None);
+            }
+        }
+
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = construct();
+        let bytes = encode(&value);
+        let publish = self
+            .write_bytes(&path, &bytes)
+            .map_err(|e| format!("cannot publish {}: {e}", path.display()));
+        if let Err(e) = publish {
+            // The publication never landed, so no rename cleared the claim;
+            // drop it here or every other process would wait out the full
+            // CLAIM_WAIT on a key nobody is constructing.
+            std::fs::remove_file(&claim).ok();
+            tier_error.get_or_insert(e);
+        }
+        (value, tier_error)
+    }
+
+    /// Atomic byte-level publication (shared by the typed paths and
+    /// `flush`). The temp name is unique per call — pid plus a process-wide
+    /// sequence number — so concurrent publishers of one key (two threads
+    /// that both saw a corrupt file, or a claim-wait timeout racing the
+    /// claimant) never write through the same temp path.
+    fn write_bytes(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        static PUBLISH_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = PUBLISH_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("{}-{seq}.tmp", std::process::id()));
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)?;
+        std::fs::remove_file(claim_path(path)).ok();
+        Ok(())
+    }
+
+    /// Persists every strong-distinguisher prefix that grew beyond what the
+    /// store holds. Called by the engine after each run; safe to call
+    /// concurrently from many processes: prefixes of one key are prefixes
+    /// of one deterministic sequence, renames are atomic, and publication
+    /// is claim-guarded with an on-disk length re-check under the claim —
+    /// a shorter prefix never replaces a longer published one. (A flusher
+    /// that finds the key claimed by a concurrent flusher defers to it;
+    /// any sets it alone materialised regenerate lazily and bit-identically
+    /// wherever they are next demanded.) Returns the number of files
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first publication failure (remaining entries are still
+    /// attempted).
+    pub fn flush(&self) -> Result<usize, StructureError> {
+        if self.dir.is_none() {
+            return Ok(0);
+        }
+        let mut written = 0;
+        let mut first_error = None;
+        for (key, strong) in self.cache.strong_entries() {
+            let sets = strong.materialized();
+            let persisted = {
+                let map = self.persisted_strong.lock().expect("persisted map");
+                map.get(&key).copied().unwrap_or(0)
+            };
+            if sets.len() <= persisted {
+                continue;
+            }
+            let path = self.file_path(&key).expect("disk tier present");
+            // Serialise concurrent flushers of this key: the loser defers —
+            // unless the claim has outlived [`CLAIM_WAIT`], in which case
+            // its holder is dead (strong keys are published only by flush,
+            // so nothing else would ever clear it) and it is broken here.
+            let claim = claim_path(&path);
+            let mut claimed = try_claim(&claim);
+            if !claimed && claim_is_stale(&claim) {
+                std::fs::remove_file(&claim).ok();
+                claimed = try_claim(&claim);
+            }
+            if !claimed {
+                continue;
+            }
+            // Under the claim, check what is actually on disk so a short
+            // prefix never clobbers a longer one.
+            if let Some(on_disk) = stored_set_count(&path, &key) {
+                if sets.len() <= on_disk {
+                    self.persisted_strong
+                        .lock()
+                        .expect("persisted map")
+                        .insert(key, on_disk);
+                    std::fs::remove_file(&claim).ok();
+                    continue;
+                }
+            }
+            match self.write_bytes(&path, &codec::encode(&key, &sets)) {
+                Ok(()) => {
+                    written += 1;
+                    self.persisted_strong
+                        .lock()
+                        .expect("persisted map")
+                        .insert(key, sets.len());
+                }
+                Err(e) => {
+                    std::fs::remove_file(&claim).ok();
+                    first_error.get_or_insert(StructureError::new(format!(
+                        "cannot publish {}: {e}",
+                        path.display()
+                    )));
+                }
+            }
+        }
+        match first_error {
+            None => Ok(written),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// The strong-distinguisher walk: tier-1 memo, then a disk-tier load of
+    /// the materialised prefix, then a fresh lazy sequence. Publication
+    /// happens in [`StructureStore::flush`]. The disk walk runs *before*
+    /// tier-1 insertion so no shard lock is held across file I/O; racing
+    /// threads resolve independently and adopt whichever value lands in
+    /// the memo first (bit-identical either way).
+    fn strong(
+        &self,
+        universe: u64,
+        seed: u64,
+    ) -> (Arc<SharedStrongDistinguisher>, Option<String>) {
+        let key = StructureKey {
+            kind: StructureKind::StrongDistinguisher,
+            universe,
+            n: 0,
+            seed,
+        };
+        if let Some(cached) = self.cache.peek(&key) {
+            match cached {
+                CachedStructure::Strong(s) => return (s, None),
+                _ => unreachable!("kind is part of the key"),
+            }
+        }
+        let mut tier_error = None;
+        let mut value = None;
+        if self.dir.is_some() {
+            match self.load_sets(&key) {
+                Ok(Some(sets)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.persisted_strong
+                        .lock()
+                        .expect("persisted map")
+                        .insert(key, sets.len());
+                    value = Some(Arc::new(SharedStrongDistinguisher::with_prefix(
+                        universe, seed, sets,
+                    )));
+                }
+                Ok(None) => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    if let Some(path) = self.file_path(&key) {
+                        std::fs::remove_file(path).ok();
+                    }
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    tier_error = Some(e);
+                }
+            }
+        }
+        let value =
+            value.unwrap_or_else(|| Arc::new(SharedStrongDistinguisher::new(universe, seed)));
+        match self
+            .cache
+            .get_or_insert(key, || CachedStructure::Strong(value))
+        {
+            CachedStructure::Strong(s) => (s, tier_error),
+            _ => unreachable!("kind is part of the key"),
+        }
+    }
+
+    fn materialised_distinguisher(
+        &self,
+        universe: u64,
+        n: usize,
+        seed: u64,
+    ) -> (Arc<Distinguisher>, Option<String>) {
+        let key = StructureKey {
+            kind: StructureKind::Distinguisher,
+            universe,
+            n: n as u64,
+            seed,
+        };
+        if let Some(cached) = self.cache.peek(&key) {
+            match cached {
+                CachedStructure::Distinguisher(d) => return (d, None),
+                _ => unreachable!("kind is part of the key"),
+            }
+        }
+        // Resolved outside any shard lock: the disk walk may sleep waiting
+        // on another process's claim, and that must never block unrelated
+        // keys of the same cache shard.
+        let (value, tier_error) = self.disk_or_construct(
+            &key,
+            |sets| Arc::new(Distinguisher::from_sets(universe, n, sets)),
+            || Arc::new(Distinguisher::random(universe, n, seed)),
+            |d| codec::encode(&key, d.sets()),
+        );
+        match self
+            .cache
+            .get_or_insert(key, || CachedStructure::Distinguisher(value))
+        {
+            CachedStructure::Distinguisher(d) => (d, tier_error),
+            _ => unreachable!("kind is part of the key"),
+        }
+    }
+
+    fn materialised_selective_family(
+        &self,
+        universe: u64,
+        n: usize,
+        seed: u64,
+    ) -> (Arc<SelectiveFamily>, Option<String>) {
+        let key = StructureKey {
+            kind: StructureKind::SelectiveFamily,
+            universe,
+            n: n as u64,
+            seed,
+        };
+        if let Some(cached) = self.cache.peek(&key) {
+            match cached {
+                CachedStructure::Selective(f) => return (f, None),
+                _ => unreachable!("kind is part of the key"),
+            }
+        }
+        let (value, tier_error) = self.disk_or_construct(
+            &key,
+            |sets| Arc::new(SelectiveFamily::from_sets(universe, n, sets)),
+            || Arc::new(SelectiveFamily::random(universe, n, seed)),
+            |f| codec::encode(&key, f.sets()),
+        );
+        match self
+            .cache
+            .get_or_insert(key, || CachedStructure::Selective(value))
+        {
+            CachedStructure::Selective(f) => (f, tier_error),
+            _ => unreachable!("kind is part of the key"),
+        }
+    }
+}
+
+/// Logs a non-fatal disk-tier problem (the infallible provider path: the
+/// structure was still served, from reconstruction).
+fn log_tier_error(error: &Option<String>) {
+    if let Some(error) = error {
+        eprintln!("ring-harness: structure store: {error} (reconstructed)");
+    }
+}
+
+fn fail_on_tier_error<T>(value: T, error: Option<String>) -> Result<T, StructureError> {
+    match error {
+        None => Ok(value),
+        Some(e) => Err(StructureError::new(e)),
+    }
+}
+
+impl StructureProvider for StructureStore {
+    fn strong_distinguisher(&self, universe: u64, seed: u64) -> Arc<SharedStrongDistinguisher> {
+        let (value, error) = self.strong(universe, seed);
+        log_tier_error(&error);
+        value
+    }
+
+    fn distinguisher(&self, universe: u64, n: usize, seed: u64) -> Arc<Distinguisher> {
+        let (value, error) = self.materialised_distinguisher(universe, n, seed);
+        log_tier_error(&error);
+        value
+    }
+
+    fn selective_family(&self, universe: u64, n: usize, seed: u64) -> Arc<SelectiveFamily> {
+        let (value, error) = self.materialised_selective_family(universe, n, seed);
+        log_tier_error(&error);
+        value
+    }
+
+    fn try_strong_distinguisher(
+        &self,
+        universe: u64,
+        seed: u64,
+    ) -> Result<Arc<SharedStrongDistinguisher>, StructureError> {
+        let (value, error) = self.strong(universe, seed);
+        fail_on_tier_error(value, error)
+    }
+
+    fn try_distinguisher(
+        &self,
+        universe: u64,
+        n: usize,
+        seed: u64,
+    ) -> Result<Arc<Distinguisher>, StructureError> {
+        let (value, error) = self.materialised_distinguisher(universe, n, seed);
+        fail_on_tier_error(value, error)
+    }
+
+    fn try_selective_family(
+        &self,
+        universe: u64,
+        n: usize,
+        seed: u64,
+    ) -> Result<Arc<SelectiveFamily>, StructureError> {
+        let (value, error) = self.materialised_selective_family(universe, n, seed);
+        fail_on_tier_error(value, error)
+    }
+}
+
+/// The claim-file path guarding a structure file's construction.
+fn claim_path(structure_file: &Path) -> PathBuf {
+    structure_file.with_extension("claim")
+}
+
+/// Attempts to create the claim file atomically; `true` = this caller now
+/// holds the claim.
+fn try_claim(claim: &Path) -> bool {
+    std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(claim)
+        .is_ok()
+}
+
+/// Whether a claim file has outlived [`CLAIM_WAIT`] (its holder is
+/// presumed dead). A claim whose age cannot be determined is treated as
+/// live — waiting is always safe, wrongly breaking a claim is not.
+fn claim_is_stale(claim: &Path) -> bool {
+    std::fs::metadata(claim)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|modified| std::time::SystemTime::now().duration_since(modified).ok())
+        .is_some_and(|age| age > CLAIM_WAIT)
+}
+
+/// The set count recorded in a published file's header, provided the
+/// header matches `key` (`None` for a missing, foreign or short file —
+/// callers treat those as "nothing usable on disk"). Reads 56 bytes; used
+/// by `flush` to avoid replacing a longer prefix with a shorter one.
+fn stored_set_count(path: &Path, key: &StructureKey) -> Option<usize> {
+    use std::io::Read;
+    let mut header = [0u8; 56];
+    let mut file = std::fs::File::open(path).ok()?;
+    file.read_exact(&mut header).ok()?;
+    if header[..8] != codec::MAGIC {
+        return None;
+    }
+    let field = |offset: usize| {
+        u64::from_le_bytes(header[offset..offset + 8].try_into().expect("8 bytes"))
+    };
+    let matches = field(8) == codec::VERSION
+        && field(16) == key.kind.code()
+        && field(24) == key.universe
+        && field(32) == key.n
+        && field(40) == key.seed;
+    matches.then(|| field(48) as usize)
+}
+
+/// One file's verdict from a store-directory scan.
+#[derive(Clone, Debug)]
+pub struct StoreFileReport {
+    /// The file scanned.
+    pub path: PathBuf,
+    /// The decoded key (valid files only).
+    pub key: Option<StructureKey>,
+    /// Number of sets in the payload (valid files only).
+    pub sets: usize,
+    /// Why the file is invalid (`None` = fully valid).
+    pub error: Option<String>,
+}
+
+/// Validates every `*.struct` file in a store directory (streaming,
+/// constant memory — no file is ever buffered whole), reporting each
+/// file's validity. A missing directory scans as empty (a run that never
+/// published is a valid, empty store).
+///
+/// # Errors
+///
+/// Propagates directory-listing I/O failures (per-file problems are
+/// reported, not raised).
+pub fn scan_store_dir(dir: &Path) -> io::Result<Vec<StoreFileReport>> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut reports = Vec::new();
+    for entry in entries {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some(STORE_EXTENSION) {
+            continue;
+        }
+        let validated = std::fs::File::open(&path)
+            .and_then(|file| Ok((file.metadata()?.len(), file)))
+            .map_err(|e| format!("unreadable: {e}"))
+            .and_then(|(len, file)| {
+                codec::validate_stream(file, len).map_err(|e| e.to_string())
+            });
+        let report = match validated {
+            Ok((key, sets)) => StoreFileReport {
+                error: expected_name_mismatch(&path, &key),
+                path,
+                key: Some(key),
+                sets,
+            },
+            Err(error) => StoreFileReport {
+                path,
+                key: None,
+                sets: 0,
+                error: Some(error),
+            },
+        };
+        reports.push(report);
+    }
+    reports.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(reports)
+}
+
+/// Removes the `*.tmp` / `*.claim` leftovers of crashed constructors.
+/// `resume` runs this before re-launching workers — an orphaned claim
+/// would otherwise stall every re-launched worker's first lookup of that
+/// key for the full [`CLAIM_WAIT`]. Returns the number removed; a missing
+/// directory sweeps as zero.
+///
+/// # Errors
+///
+/// Propagates directory-listing and removal I/O failures.
+pub fn sweep_stale_files(dir: &Path) -> io::Result<usize> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let mut removed = 0;
+    for entry in entries {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.ends_with(".claim") || name.ends_with(".tmp") {
+            std::fs::remove_file(&path)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+/// A decoded file published under a name that names a different key is as
+/// corrupt as a bad checksum: a keyed lookup would load the wrong
+/// structure's bytes (the codec's key check catches it, but the file is
+/// garbage and should be reported).
+fn expected_name_mismatch(path: &Path, key: &StructureKey) -> Option<String> {
+    let expected = StructureStore::file_name(key);
+    let actual = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    (actual != expected).then(|| format!("file name does not match its key (expected {expected})"))
+}
+
+/// Removes every invalid structure file in `dir` (what `resume` runs before
+/// re-launching workers — like shard revalidation, a file that no longer
+/// proves itself is dropped and rebuilt, never trusted). Returns the
+/// removed paths.
+///
+/// # Errors
+///
+/// Propagates directory-listing and removal I/O failures.
+pub fn revalidate_store_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut removed = Vec::new();
+    for report in scan_store_dir(dir)? {
+        if report.error.is_some() {
+            std::fs::remove_file(&report.path)?;
+            removed.push(report.path);
+        }
+    }
+    Ok(removed)
+}
+
+/// Garbage-collection report of [`gc_store_dir`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Invalid `*.struct` files removed.
+    pub corrupt: usize,
+    /// Stale `*.tmp` / `*.claim` leftovers removed.
+    pub stale: usize,
+    /// Valid structure files kept.
+    pub kept: usize,
+}
+
+/// Cleans a store directory: removes invalid structure files and the
+/// `*.tmp` / `*.claim` leftovers of crashed constructors; keeps everything
+/// that still proves itself. One scan decides everything — each structure
+/// file is read and validated exactly once.
+///
+/// # Errors
+///
+/// Propagates directory-listing and removal I/O failures.
+pub fn gc_store_dir(dir: &Path) -> io::Result<GcReport> {
+    let mut report = GcReport {
+        stale: sweep_stale_files(dir)?,
+        ..GcReport::default()
+    };
+    for file in scan_store_dir(dir)? {
+        if file.error.is_some() {
+            std::fs::remove_file(&file.path)?;
+            report.corrupt += 1;
+        } else {
+            report.kept += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring_protocols::structures::FreshStructures;
+
+    fn temp_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ring-harness-store-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn memory_only_store_behaves_like_the_cache() {
+        let store = StructureStore::in_memory();
+        let a = store.distinguisher(256, 4, 9);
+        let b = store.distinguisher(256, 4, 9);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.cache_stats().hits, 1);
+        assert_eq!(store.stats(), StoreStats::default());
+        assert!(store.dir().is_none());
+        assert_eq!(store.flush().unwrap(), 0);
+    }
+
+    #[test]
+    fn disk_tier_publishes_and_second_store_loads() {
+        let dir = temp_store("publish");
+        let first = StructureStore::at(&dir).unwrap();
+        let constructed = first.distinguisher(512, 4, 7);
+        let family = first.selective_family(512, 4, 7);
+        assert_eq!(first.stats(), StoreStats { hits: 0, misses: 2 });
+
+        // A second store (a second worker process) loads instead of
+        // constructing, bit-identically.
+        let second = StructureStore::at(&dir).unwrap();
+        let loaded = second.distinguisher(512, 4, 7);
+        assert_eq!(*loaded, *constructed);
+        assert_eq!(*second.selective_family(512, 4, 7), *family);
+        assert_eq!(second.stats(), StoreStats { hits: 2, misses: 0 });
+
+        // And everything equals a fresh construction.
+        let fresh = FreshStructures;
+        assert_eq!(*loaded, *fresh.distinguisher(512, 4, 7));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn strong_prefixes_flush_and_reload() {
+        let dir = temp_store("strong");
+        let first = StructureStore::at(&dir).unwrap();
+        let strong = first.strong_distinguisher(1 << 10, 3);
+        for i in 0..6 {
+            strong.set(i);
+        }
+        assert_eq!(first.stats(), StoreStats { hits: 0, misses: 1 });
+        assert_eq!(first.flush().unwrap(), 1);
+        // Nothing grew: the second flush writes nothing.
+        assert_eq!(first.flush().unwrap(), 0);
+        strong.set(9);
+        assert_eq!(first.flush().unwrap(), 1);
+
+        let second = StructureStore::at(&dir).unwrap();
+        let reloaded = second.strong_distinguisher(1 << 10, 3);
+        assert_eq!(second.stats(), StoreStats { hits: 1, misses: 0 });
+        assert_eq!(reloaded.materialized_len(), 10);
+        // Prefix sets and lazily generated continuations both match.
+        let fresh = FreshStructures.strong_distinguisher(1 << 10, 3);
+        for i in 0..12 {
+            assert_eq!(*reloaded.set(i), *fresh.set(i), "set {i}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flush_never_replaces_a_longer_stored_prefix() {
+        let dir = temp_store("prefix-race");
+        // Two workers start before any file exists (both miss), then
+        // materialise different prefix lengths of the same sequence.
+        let a = StructureStore::at(&dir).unwrap();
+        let b = StructureStore::at(&dir).unwrap();
+        let sa = a.strong_distinguisher(512, 5);
+        let sb = b.strong_distinguisher(512, 5);
+        for i in 0..12 {
+            sa.set(i);
+        }
+        for i in 0..3 {
+            sb.set(i);
+        }
+        assert_eq!(a.flush().unwrap(), 1);
+        // The shorter prefix must not clobber the longer published one.
+        assert_eq!(b.flush().unwrap(), 0);
+        let c = StructureStore::at(&dir).unwrap();
+        assert_eq!(c.strong_distinguisher(512, 5).materialized_len(), 12);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_files_are_rebuilt_and_surfaced_on_the_fallible_path() {
+        let dir = temp_store("corrupt");
+        let first = StructureStore::at(&dir).unwrap();
+        let good = first.distinguisher(256, 4, 5);
+        let path = first
+            .file_path(&StructureKey {
+                kind: StructureKind::Distinguisher,
+                universe: 256,
+                n: 4,
+                seed: 5,
+            })
+            .unwrap();
+        // Flip one payload byte.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // The fallible path reports the corruption; the returned structure
+        // is still the correct reconstruction.
+        let second = StructureStore::at(&dir).unwrap();
+        let err = second.try_distinguisher(256, 4, 5).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
+        assert_eq!(second.stats(), StoreStats { hits: 0, misses: 1 });
+
+        // ...and it republished a healthy file: a third store loads.
+        let third = StructureStore::at(&dir).unwrap();
+        assert_eq!(*third.try_distinguisher(256, 4, 5).unwrap(), *good);
+        assert_eq!(third.stats(), StoreStats { hits: 1, misses: 0 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_revalidate_and_gc_partition_the_directory() {
+        let dir = temp_store("scan");
+        let store = StructureStore::at(&dir).unwrap();
+        store.distinguisher(128, 4, 1);
+        store.selective_family(128, 4, 1);
+        // A corrupt file, a stale claim and a stale temp file.
+        let corrupt = dir.join(format!("dist-u64-n2-s{:016x}.{STORE_EXTENSION}", 3));
+        std::fs::write(&corrupt, b"not a structure").unwrap();
+        std::fs::write(dir.join("dist-u64-n2-s0000000000000003.claim"), b"").unwrap();
+        std::fs::write(dir.join("leftover.tmp"), b"").unwrap();
+
+        let reports = scan_store_dir(&dir).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports.iter().filter(|r| r.error.is_some()).count(), 1);
+
+        let gc = gc_store_dir(&dir).unwrap();
+        assert_eq!(gc, GcReport { corrupt: 1, stale: 2, kept: 2 });
+        // Post-gc the directory verifies clean.
+        assert!(revalidate_store_dir(&dir).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn files_published_under_the_wrong_name_are_reported() {
+        let dir = temp_store("misfile");
+        let store = StructureStore::at(&dir).unwrap();
+        store.distinguisher(128, 4, 1);
+        let key = StructureKey {
+            kind: StructureKind::Distinguisher,
+            universe: 128,
+            n: 4,
+            seed: 1,
+        };
+        let good = dir.join(StructureStore::file_name(&key));
+        let renamed = dir.join(format!("dist-u128-n4-s{:016x}.{STORE_EXTENSION}", 99));
+        std::fs::rename(&good, &renamed).unwrap();
+        let reports = scan_store_dir(&dir).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].error.as_deref().unwrap().contains("name"));
+        // A keyed load under the name's key refuses the mismatched payload
+        // and reconstructs.
+        let second = StructureStore::at(&dir).unwrap();
+        let err = second.try_distinguisher(128, 4, 99).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_stores_converge_with_one_construction_fleetwide() {
+        let dir = temp_store("fleet");
+        // Several "processes" (independent stores sharing one directory)
+        // race on the same key; the claim discipline lets one construct and
+        // the rest load, and everyone agrees bit for bit.
+        let stores: Vec<_> = (0..4)
+            .map(|_| Arc::new(StructureStore::at(&dir).unwrap()))
+            .collect();
+        let handles: Vec<_> = stores
+            .iter()
+            .map(|store| {
+                let store = Arc::clone(store);
+                std::thread::spawn(move || store.distinguisher(1 << 12, 8, 42))
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(results.windows(2).all(|w| *w[0] == *w[1]));
+        let misses: u64 = stores.iter().map(|s| s.stats().misses).sum();
+        let hits: u64 = stores.iter().map(|s| s.stats().hits).sum();
+        assert_eq!(hits + misses, 4);
+        assert!(misses >= 1, "someone must have constructed");
+        assert_eq!(
+            misses, 1,
+            "the claim discipline must keep construction fleet-unique"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -247,6 +247,137 @@ fn per_shard_retry_masks_a_single_worker_death() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The structure store must never change a byte of output: for every
+/// shard count, an orchestrated sweep drawing all combinatorial structures
+/// from one shared store directory is byte-identical to the storeless
+/// single-process run — and once the first run has populated the store,
+/// every later fleet reports zero store misses (each structure was
+/// constructed once per *fleet*, then only ever loaded).
+#[test]
+fn structure_store_keeps_sharded_sweeps_byte_identical_and_hits_after_warmup() {
+    let dir = temp_dir("store-shards");
+    let reference = reference_bytes(&dir);
+    let store = dir.join("shared-structures");
+    for (pass, shards) in [1usize, 2, 3, 7].into_iter().enumerate() {
+        let out = dir.join(format!("store-sharded-{shards}.jsonl"));
+        let run_dir = dir.join(format!("store-run-{shards}"));
+        let status = ringlab()
+            .args(["sweep", "--shards", &shards.to_string(), "--jsonl"])
+            .arg(&out)
+            .arg("--run-dir")
+            .arg(&run_dir)
+            .arg("--structure-store")
+            .arg(&store)
+            .args(SPEC_FLAGS)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .expect("run ringlab");
+        assert!(status.success(), "store-backed sweep failed at M = {shards}");
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            reference,
+            "store-backed output diverged from the storeless run at M = {shards}"
+        );
+        let manifest = ring_distrib::Manifest::load(&run_dir).unwrap();
+        assert!(manifest.is_complete());
+        assert_eq!(manifest.structure_store, store.to_string_lossy());
+        let stats = manifest.aggregate_stats();
+        if pass == 0 {
+            assert!(
+                stats.store_misses > 0,
+                "the first fleet must construct and publish"
+            );
+        } else {
+            assert_eq!(
+                stats.store_misses, 0,
+                "a warm store must serve every structure at M = {shards}"
+            );
+            assert!(stats.store_hits > 0, "the warm fleet never loaded");
+        }
+    }
+    // Every published file still proves itself (checksum + canonical form).
+    for report in ring_harness::store::scan_store_dir(&store).unwrap() {
+        assert!(
+            report.error.is_none(),
+            "{}: {:?}",
+            report.path.display(),
+            report.error
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Crash-resume with the store enabled: a fleet that dies mid-shard leaves
+/// a resumable run directory whose store is revalidated like its shard
+/// files — a corrupted structure file is dropped and rebuilt, and the
+/// resumed run still converges to the reference bytes with a healthy
+/// store.
+#[test]
+fn resume_revalidates_the_structure_store_and_reaches_identical_bytes() {
+    let dir = temp_dir("store-crash-resume");
+    let reference = reference_bytes(&dir);
+    let run_dir = dir.join("run");
+    let out = dir.join("sharded.jsonl");
+    let status = ringlab()
+        .args(["sweep", "--shards", "3", "--retries", "0", "--jsonl"])
+        .arg(&out)
+        .arg("--run-dir")
+        .arg(&run_dir)
+        .arg("--structure-store")
+        .args(SPEC_FLAGS)
+        .env("RING_DISTRIB_FAIL_AFTER", "1")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("run ringlab");
+    assert!(!status.success(), "orchestration must fail when every worker dies");
+
+    // The bare flag defaults the store into the run directory, recorded in
+    // the manifest for resume.
+    let manifest = ring_distrib::Manifest::load(&run_dir).unwrap();
+    let store = std::path::PathBuf::from(&manifest.structure_store);
+    assert_eq!(store, run_dir.join("structures"));
+
+    // Corrupt whatever the dead fleet managed to publish (workers flush
+    // structures as runs end, so the store may hold files even though every
+    // shard failed); plant garbage regardless so revalidation has work.
+    let mut corrupted = 0;
+    for report in ring_harness::store::scan_store_dir(&store).unwrap() {
+        let mut bytes = std::fs::read(&report.path).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x20;
+        std::fs::write(&report.path, bytes).unwrap();
+        corrupted += 1;
+    }
+    std::fs::create_dir_all(&store).unwrap();
+    std::fs::write(store.join("dist-u64-n4-s0000000000000000.struct"), b"junk").unwrap();
+    corrupted += 1;
+    assert!(corrupted >= 1);
+
+    let resumed = dir.join("resumed.jsonl");
+    let output = ringlab()
+        .arg("resume")
+        .arg(&run_dir)
+        .arg("--jsonl")
+        .arg(&resumed)
+        .stdout(std::process::Stdio::null())
+        .output()
+        .expect("run ringlab resume");
+    assert!(output.status.success(), "resume failed");
+    assert_eq!(std::fs::read(&resumed).unwrap(), reference);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("failed revalidation"),
+        "resume must report the dropped structure files; stderr:\n{stderr}"
+    );
+    // The healed store verifies clean end to end.
+    for report in ring_harness::store::scan_store_dir(&store).unwrap() {
+        assert!(report.error.is_none(), "{}", report.path.display());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `--jsonl -` streams records to stdout with the tables routed to stderr,
 /// so piped output is pure JSONL — for sharded and single-process runs
 /// alike.

@@ -1,10 +1,10 @@
-//! End-to-end properties of the sweep engine: parallel determinism and
-//! cache/fresh structure equivalence.
+//! End-to-end properties of the sweep engine: parallel determinism,
+//! cache/fresh structure equivalence, and disk-store/fresh equivalence.
 
 use ring_experiments::tables::{table1_case, table2_case};
 use ring_experiments::SweepSpec;
 use ring_harness::scenario::{all_items, table1_items, table2_items};
-use ring_harness::{available_jobs, JsonlSink, StructureCache, SweepEngine};
+use ring_harness::{available_jobs, JsonlSink, StructureCache, StructureStore, SweepEngine};
 use ring_protocols::structures::{fresh_structures, SharedStructures};
 use std::sync::Arc;
 
@@ -101,4 +101,105 @@ fn all_items_run_verified_with_cache_hits() {
         vec!["distinguisher_scaling", "fig1", "fig2", "lower_bounds", "table1", "table2"]
     );
     assert!(engine.cache_stats().hit_rate() > 0.0);
+}
+
+/// The two-tier store must be invisible in the output: the full item list
+/// run against a disk-backed store (twice — the constructing pass and the
+/// loading pass) streams exactly the bytes of a storeless run.
+#[test]
+fn disk_store_runs_are_byte_identical_to_storeless_runs() {
+    let spec = test_spec();
+    let scaling = ring_experiments::distinguisher_scaling::ScalingSpec {
+        universe: 1 << 10,
+        sizes: vec![8, 16],
+        seed: 41,
+    };
+    let items = all_items(&spec, &scaling);
+    let reference = {
+        let engine = SweepEngine::new(2);
+        let sink = JsonlSink::new(Vec::new());
+        engine.run(&items, Some(&sink));
+        sink.finish()
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "ring-harness-store-e2e-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    for pass in 0..2 {
+        let store = Arc::new(StructureStore::at(&dir).unwrap());
+        let engine = SweepEngine::with_store(2, store);
+        let sink = JsonlSink::new(Vec::new());
+        engine.run(&items, Some(&sink));
+        assert_eq!(
+            sink.finish(),
+            reference,
+            "store-backed pass {pass} diverged from the storeless bytes"
+        );
+        let stats = engine.store_stats();
+        if pass == 0 {
+            assert!(stats.misses > 0, "the first pass must construct");
+            assert_eq!(stats.hits, 0);
+        } else {
+            assert_eq!(stats.misses, 0, "a warm store must serve everything");
+            assert!(stats.hits > 0);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `WorkItem::structure_keys` must cover every structure a run actually
+/// requests: a store prebuilt from the enumerated keys serves a full sweep
+/// with zero store misses. (An under-approximation would construct at
+/// sweep time; an over-approximation merely publishes unused files.)
+#[test]
+fn enumerated_structure_keys_cover_a_full_sweep() {
+    let spec = test_spec();
+    let scaling = ring_experiments::distinguisher_scaling::ScalingSpec {
+        universe: 1 << 10,
+        sizes: vec![8, 16],
+        seed: 41,
+    };
+    let items = all_items(&spec, &scaling);
+    let dir = std::env::temp_dir().join(format!(
+        "ring-harness-prebuild-e2e-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Prebuild exactly what the items enumerate.
+    {
+        use ring_combinat::StructureKind;
+        use ring_protocols::structures::StructureProvider;
+        let store = StructureStore::at(&dir).unwrap();
+        for item in &items {
+            for (key, hint) in item.structure_keys() {
+                match key.kind {
+                    StructureKind::StrongDistinguisher => {
+                        let strong = store.strong_distinguisher(key.universe, key.seed);
+                        for i in 0..strong.prefix_size_for(hint.max(2)) {
+                            strong.set(i);
+                        }
+                    }
+                    StructureKind::Distinguisher => {
+                        store.distinguisher(key.universe, key.n as usize, key.seed);
+                    }
+                    StructureKind::SelectiveFamily => {
+                        store.selective_family(key.universe, key.n as usize, key.seed);
+                    }
+                }
+            }
+        }
+        store.flush().unwrap();
+    }
+
+    let engine = SweepEngine::with_store(2, Arc::new(StructureStore::at(&dir).unwrap()));
+    engine.run::<Vec<u8>>(&items, None);
+    let stats = engine.store_stats();
+    assert_eq!(
+        stats.misses, 0,
+        "a prebuilt store must already hold every requested structure"
+    );
+    assert!(stats.hits > 0, "the sweep never consulted the store");
+    std::fs::remove_dir_all(&dir).ok();
 }
