@@ -44,9 +44,11 @@ fn bench_constructions_large(c: &mut Criterion) {
         });
     }
     // The reference paths are too slow to sweep; one size anchors the ratio.
-    group.bench_with_input(BenchmarkId::new("distinguisher_reference", 64), &64, |b, &n| {
-        b.iter(|| reference::distinguisher_random_reference(universe, n, 7))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("distinguisher_reference", 64),
+        &64,
+        |b, &n| b.iter(|| reference::distinguisher_random_reference(universe, n, 7)),
+    );
     group.bench_with_input(
         BenchmarkId::new("selective_family_reference", 64),
         &64,

@@ -28,6 +28,7 @@ fn bench_reductions(c: &mut Criterion) {
             universe_factors: vec![4],
             repetitions: 1,
             seed: 17,
+            structure_seeds: None,
         };
         group.bench_with_input(BenchmarkId::from_parameter(label), &n, |b, _| {
             b.iter(|| {

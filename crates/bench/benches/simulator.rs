@@ -10,7 +10,10 @@ fn bench_engines(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(1500));
     group.warm_up_time(std::time::Duration::from_millis(300));
     for &n in &[64usize, 256, 1024] {
-        let config = RingConfig::builder(n).random_positions(n as u64).build().unwrap();
+        let config = RingConfig::builder(n)
+            .random_positions(n as u64)
+            .build()
+            .unwrap();
         let dirs: Vec<ObjectiveDirection> = (0..n)
             .map(|i| {
                 if i % 3 == 0 {
@@ -41,7 +44,10 @@ fn bench_batched_rounds(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(2000));
     group.warm_up_time(std::time::Duration::from_millis(300));
     for &n in &[64usize, 1024, 100_000] {
-        let config = RingConfig::builder(n).random_positions(n as u64).build().unwrap();
+        let config = RingConfig::builder(n)
+            .random_positions(n as u64)
+            .build()
+            .unwrap();
         let dirs: Vec<LocalDirection> = (0..n)
             .map(|i| {
                 if i % 3 == 0 {

@@ -30,9 +30,7 @@ fn bench_table1(c: &mut Criterion) {
                 }
                 let label = format!("{model}/{problem}/n={n}");
                 group.bench_with_input(BenchmarkId::from_parameter(label), &n, |b, _| {
-                    b.iter(|| {
-                        measure_problem(&config, &ids, model, problem).expect("solvable")
-                    })
+                    b.iter(|| measure_problem(&config, &ids, model, problem).expect("solvable"))
                 });
             }
         }

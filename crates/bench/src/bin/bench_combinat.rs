@@ -14,9 +14,7 @@
 use ring_combinat::{reference, Distinguisher, IdSet, SelectiveFamily};
 use ring_protocols::coordination::nontrivial::weak_nontrivial_move_even_distinguisher;
 use ring_protocols::{IdAssignment, Network};
-use ring_sim::{
-    EngineKind, LocalDirection, Model, RingConfig, RingState, RoundBuffers,
-};
+use ring_sim::{EngineKind, LocalDirection, Model, RingConfig, RingState, RoundBuffers};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -86,12 +84,12 @@ fn main() {
     let mut entries = Vec::new();
     let mut speedups = Vec::new();
     let record_pair = |entries: &mut Vec<Entry>,
-                           speedups: &mut Vec<Speedup>,
-                           name: &str,
-                           size: u64,
-                           fast_ns: u64,
-                           reference_ns: u64,
-                           reps: usize| {
+                       speedups: &mut Vec<Speedup>,
+                       name: &str,
+                       size: u64,
+                       fast_ns: u64,
+                       reference_ns: u64,
+                       reps: usize| {
         entries.push(Entry {
             name: format!("{name}/word_parallel"),
             n: size,
@@ -158,7 +156,15 @@ fn main() {
     let big = 1_000_000u64;
     let fast = time_median(reps, || IdSet::full(big));
     let slow = time_median(reps, || IdSet::from_ids(big, 1..=big));
-    record_pair(&mut entries, &mut speedups, "idset_full", big, fast, slow, reps);
+    record_pair(
+        &mut entries,
+        &mut speedups,
+        "idset_full",
+        big,
+        fast,
+        slow,
+        reps,
+    );
     println!(
         "idset_full                N={big}:       {:>12} ns vs {:>12} ns  ({:.1}x)",
         fast,
@@ -213,7 +219,8 @@ fn main() {
     let slow = time_median(reps, || {
         let mut ring = RingState::new(&config);
         for _ in 0..rounds {
-            ring.execute_round(&dirs, EngineKind::Analytic).expect("valid round");
+            ring.execute_round(&dirs, EngineKind::Analytic)
+                .expect("valid round");
         }
         ring.rounds_executed()
     });

@@ -57,7 +57,7 @@ use ring_distrib::{
 };
 use ring_experiments::distinguisher_scaling::ScalingSpec;
 use ring_experiments::SweepSpec;
-use ring_harness::scenario::{scaling_items, table1_items, WorkItem};
+use ring_harness::scenario::{scaling_items, table1_items, table2_items, WorkItem};
 use ring_harness::sink::JsonlSink;
 use ring_harness::{available_jobs, StructureCache, StructureStore, SweepEngine};
 use ring_protocols::structures::fresh_structures;
@@ -99,6 +99,15 @@ struct Report {
     /// structure store buys a fleet that re-runs (or extends) a sweep,
     /// against rebuilding every structure per process.
     store_vs_cold: f64,
+    /// On-disk bytes of the v2 store after the K = 4 seed-diverse pass.
+    seeded_store_bytes: u64,
+    /// What the v1 one-file-per-seed layout would hold for the same keys
+    /// (one full per-seed strong file each). The content-addressed layout
+    /// must stay strictly below this.
+    seeded_v1_equivalent_bytes: u64,
+    /// `seeded_v1_equivalent_bytes / seeded_store_bytes` — how much the
+    /// shared universal strong blobs save under seed diversity.
+    seeded_dedup: f64,
     /// Cache counters accumulated by the `parallel_cached` bench run.
     bench_sweep_cache: CacheSection,
     /// Cache counters of one engine pass over the standard sweep.
@@ -160,6 +169,33 @@ fn bench_items(scaling: &ScalingSpec, reps: usize) -> Vec<WorkItem> {
     items
 }
 
+/// The seed-diverse bench sweep: the table pipeline over even ring sizes
+/// under the per-case structure-seed schedule (K = 4) — every repetition
+/// demands the strong machinery under a different schedule seed, which is
+/// exactly the pattern the content-addressed store dedups to one universal
+/// blob per universe.
+fn seeded_spec(quick: bool) -> SweepSpec {
+    SweepSpec {
+        sizes: if quick { vec![8, 16] } else { vec![32, 64] },
+        universe_factors: if quick { vec![64] } else { vec![2048] },
+        repetitions: 4,
+        seed: 2015,
+        structure_seeds: Some(4),
+    }
+}
+
+fn seeded_items(quick: bool) -> Vec<WorkItem> {
+    let spec = seeded_spec(quick);
+    let mut items = table1_items(&spec);
+    items.extend(table2_items(&spec));
+    items
+}
+
+fn seeded_fingerprint(quick: bool) -> String {
+    let h = ring_combinat::shared::splitmix64(seeded_spec(quick).fingerprint() ^ 0x5eed);
+    format!("0x{h:016x}")
+}
+
 /// Fingerprint of the bench item enumeration, shared between the
 /// orchestrating process and its `--worker-shard` children.
 fn bench_fingerprint(quick: bool) -> String {
@@ -173,16 +209,24 @@ fn bench_fingerprint(quick: bool) -> String {
 /// orchestrate real worker processes without depending on an external
 /// binary path. `store_dir` (the `--structure-store` flag) points the
 /// worker at the fleet's shared two-tier store.
-fn worker_shard_mode(quick: bool, shard: usize, of: usize, store_dir: Option<&str>) {
-    let (scaling, reps) = bench_config(quick);
-    let items = bench_items(&scaling, reps);
+fn worker_shard_mode(quick: bool, seeded: bool, shard: usize, of: usize, store_dir: Option<&str>) {
+    let (items, fingerprint) = if seeded {
+        (seeded_items(quick), seeded_fingerprint(quick))
+    } else {
+        let (scaling, reps) = bench_config(quick);
+        (bench_items(&scaling, reps), bench_fingerprint(quick))
+    };
     let range = plan_shards(items.len(), of)[shard];
-    let start = StartEvent::new(shard, of, range.start, range.end, &bench_fingerprint(quick));
+    let start = StartEvent::new(shard, of, range.start, range.end, &fingerprint);
     {
         let mut out = std::io::stdout();
-        writeln!(out, "{}", serde_json::to_string(&start).expect("serializable event"))
-            .and_then(|()| out.flush())
-            .expect("stdout");
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string(&start).expect("serializable event")
+        )
+        .and_then(|()| out.flush())
+        .expect("stdout");
     }
     let engine = match store_dir {
         None => SweepEngine::new(1),
@@ -205,7 +249,10 @@ fn worker_shard_mode(quick: bool, shard: usize, of: usize, store_dir: Option<&st
         engine.exec_stats().steals,
     )
     .with_store(store.hits, store.misses);
-    println!("{}", serde_json::to_string(&done).expect("serializable event"));
+    println!(
+        "{}",
+        serde_json::to_string(&done).expect("serializable event")
+    );
 }
 
 /// Orchestrates one sharded pass over the bench items into `run_dir`
@@ -215,10 +262,11 @@ fn worker_shard_mode(quick: bool, shard: usize, of: usize, store_dir: Option<&st
 fn run_sharded_pass(
     run_dir: &std::path::Path,
     quick: bool,
+    seeded: bool,
     total: usize,
     shards: usize,
     store_dir: Option<&std::path::Path>,
-) {
+) -> Manifest {
     std::fs::remove_dir_all(run_dir).ok();
     std::fs::create_dir_all(run_dir).expect("create sharded run dir");
     let manifest = Manifest::new(
@@ -229,8 +277,13 @@ fn run_sharded_pass(
             universe_factors: None,
             reps: None,
             seed: None,
+            structure_seeds: seeded.then_some(4),
         },
-        bench_fingerprint(quick),
+        if seeded {
+            seeded_fingerprint(quick)
+        } else {
+            bench_fingerprint(quick)
+        },
         total,
         &plan_shards(total, shards),
         1,
@@ -252,9 +305,13 @@ fn run_sharded_pass(
     };
     let outcome = run_pending_shards(run_dir, &manifest, &options, &|range| {
         let mut cmd = std::process::Command::new(&exe);
-        cmd.arg("--worker-shard").arg(format!("{}/{shards}", range.shard));
+        cmd.arg("--worker-shard")
+            .arg(format!("{}/{shards}", range.shard));
         if quick {
             cmd.arg("--quick");
+        }
+        if seeded {
+            cmd.arg("--seeded");
         }
         if let Some(dir) = store_dir {
             cmd.arg("--structure-store").arg(dir);
@@ -262,8 +319,12 @@ fn run_sharded_pass(
         cmd
     })
     .expect("orchestrate bench shards");
-    assert!(outcome.failed.is_empty(), "bench workers failed: {outcome:?}");
+    assert!(
+        outcome.failed.is_empty(),
+        "bench workers failed: {outcome:?}"
+    );
     run_sharded_cached(run_dir, total);
+    manifest.into_inner().expect("manifest lock")
 }
 
 /// One steady-state pass over a completed run dir: checksum revalidation
@@ -281,6 +342,23 @@ fn run_sharded_cached(run_dir: &std::path::Path, total: usize) {
     std::hint::black_box(merged);
 }
 
+/// Total bytes of every file under `dir`, recursively.
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    let mut total = 0;
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        for entry in std::fs::read_dir(&current).into_iter().flatten().flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                total += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            }
+        }
+    }
+    total
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -289,15 +367,14 @@ fn main() {
         .position(|a| a == "--worker-shard")
         .and_then(|i| args.get(i + 1))
     {
-        let (shard, of) = value
-            .split_once('/')
-            .expect("--worker-shard expects i/M");
+        let (shard, of) = value.split_once('/').expect("--worker-shard expects i/M");
         let store_dir = args
             .iter()
             .position(|a| a == "--structure-store")
             .and_then(|i| args.get(i + 1));
         worker_shard_mode(
             quick,
+            args.iter().any(|a| a == "--seeded"),
             shard.parse().expect("shard index"),
             of.parse().expect("shard count"),
             store_dir.map(String::as_str),
@@ -345,9 +422,9 @@ fn main() {
     // shard spans both set sizes — the bench items interleave them).
     let shard_count = 4usize;
     let run_dir = std::env::temp_dir().join(format!("ring-bench-sharded-{}", std::process::id()));
-    run_sharded_pass(&run_dir, quick, items.len(), shard_count, None);
+    run_sharded_pass(&run_dir, quick, false, items.len(), shard_count, None);
     let start = Instant::now();
-    run_sharded_pass(&run_dir, quick, items.len(), shard_count, None);
+    run_sharded_pass(&run_dir, quick, false, items.len(), shard_count, None);
     let sharded_cold = start.elapsed().as_secs_f64();
     run_sharded_cached(&run_dir, items.len());
     let start = Instant::now();
@@ -363,17 +440,109 @@ fn main() {
     let store_dir =
         std::env::temp_dir().join(format!("ring-bench-structstore-{}", std::process::id()));
     std::fs::remove_dir_all(&store_dir).ok();
-    run_sharded_pass(&run_dir, quick, items.len(), shard_count, Some(&store_dir));
+    run_sharded_pass(
+        &run_dir,
+        quick,
+        false,
+        items.len(),
+        shard_count,
+        Some(&store_dir),
+    );
     std::fs::remove_dir_all(&store_dir).ok();
     let start = Instant::now();
-    run_sharded_pass(&run_dir, quick, items.len(), shard_count, Some(&store_dir));
+    run_sharded_pass(
+        &run_dir,
+        quick,
+        false,
+        items.len(),
+        shard_count,
+        Some(&store_dir),
+    );
     let sharded_store_cold = start.elapsed().as_secs_f64();
     // The store is now populated: warm passes load instead of construct.
-    run_sharded_pass(&run_dir, quick, items.len(), shard_count, Some(&store_dir));
+    run_sharded_pass(
+        &run_dir,
+        quick,
+        false,
+        items.len(),
+        shard_count,
+        Some(&store_dir),
+    );
     let start = Instant::now();
-    run_sharded_pass(&run_dir, quick, items.len(), shard_count, Some(&store_dir));
+    run_sharded_pass(
+        &run_dir,
+        quick,
+        false,
+        items.len(),
+        shard_count,
+        Some(&store_dir),
+    );
     let sharded_store_warm = start.elapsed().as_secs_f64();
     std::fs::remove_dir_all(&store_dir).ok();
+
+    // 8. The K = 4 seed-diverse sweep against a content-addressed store.
+    //    The store is prebuilt (full strong prefixes per schedule seed, one
+    //    shared universal blob per universe), then the orchestrated warm
+    //    pass is timed — and the resulting on-disk bytes are pinned against
+    //    the v1 one-file-per-seed layout the same keys would have produced.
+    let seeded = seeded_items(quick);
+    let seeded_store_dir =
+        std::env::temp_dir().join(format!("ring-bench-seededstore-{}", std::process::id()));
+    std::fs::remove_dir_all(&seeded_store_dir).ok();
+    let mut seeded_keys: Vec<(ring_combinat::StructureKey, usize)> = Vec::new();
+    for item in &seeded {
+        for (key, hint) in item.structure_keys() {
+            match seeded_keys.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, existing)) => *existing = (*existing).max(hint),
+                None => seeded_keys.push((key, hint)),
+            }
+        }
+    }
+    {
+        use ring_protocols::structures::StructureProvider;
+        let store = StructureStore::at(&seeded_store_dir).expect("open seeded store");
+        for (key, hint) in &seeded_keys {
+            let strong = store.strong_distinguisher(key.universe, key.seed);
+            for i in 0..strong.prefix_size_for((*hint).max(2)) {
+                strong.set(i);
+            }
+        }
+        store.flush().expect("flush seeded store");
+    }
+    run_sharded_pass(
+        &run_dir,
+        quick,
+        true,
+        seeded.len(),
+        shard_count,
+        Some(&seeded_store_dir),
+    );
+    let start = Instant::now();
+    let seeded_manifest = run_sharded_pass(
+        &run_dir,
+        quick,
+        true,
+        seeded.len(),
+        shard_count,
+        Some(&seeded_store_dir),
+    );
+    let sharded_store_warm_seeded = start.elapsed().as_secs_f64();
+    assert_eq!(
+        seeded_manifest.aggregate_stats().store_misses,
+        0,
+        "the prebuilt seeded store must serve every schedule seed"
+    );
+    let seeded_store_bytes = dir_bytes(&seeded_store_dir);
+    // The v1 layout: one full file per logical strong key (K per universe).
+    let seeded_v1_equivalent_bytes: u64 = seeded_keys
+        .iter()
+        .map(|(key, hint)| {
+            let prefix = ring_combinat::SharedStrongDistinguisher::new(key.universe, key.seed)
+                .prefix_size_for((*hint).max(2));
+            ring_combinat::codec::encoded_len(key.universe, prefix) as u64
+        })
+        .sum();
+    std::fs::remove_dir_all(&seeded_store_dir).ok();
     std::fs::remove_dir_all(&run_dir).ok();
 
     let throughput = |elapsed: f64| items.len() as f64 / elapsed.max(1e-9);
@@ -427,10 +596,18 @@ fn main() {
             elapsed_ms: sharded_store_warm * 1e3,
             cases_per_sec: throughput(sharded_store_warm),
         },
+        Entry {
+            name: "sharded_store_warm_seeded".into(),
+            cases: seeded.len(),
+            jobs: shard_count,
+            elapsed_ms: sharded_store_warm_seeded * 1e3,
+            cases_per_sec: seeded.len() as f64 / sharded_store_warm_seeded.max(1e-9),
+        },
     ];
     let speedup = serial_fresh / parallel_cached.max(1e-9);
     let sharded_vs_parallel = parallel_cached / sharded_cached.max(1e-9);
     let store_vs_cold = sharded_cold / sharded_store_warm.max(1e-9);
+    let seeded_dedup = seeded_v1_equivalent_bytes as f64 / (seeded_store_bytes.max(1)) as f64;
     for entry in &entries {
         println!(
             "{:<16} {:>3} cases, {:>2} jobs: {:>10.1} ms  ({:>8.2} cases/s)",
@@ -440,6 +617,10 @@ fn main() {
     println!("sweep speedup (parallel_cached vs serial_fresh): {speedup:.1}x");
     println!("sharded steady state vs warm parallel engine: {sharded_vs_parallel:.1}x");
     println!("warm structure store vs storeless cold fleet: {store_vs_cold:.1}x");
+    println!(
+        "seed-diverse (K=4) store: {seeded_store_bytes} bytes vs {seeded_v1_equivalent_bytes} \
+for one-file-per-seed v1 ({seeded_dedup:.2}x smaller)"
+    );
 
     // Cache health on the standard sweep (the acceptance indicator: the
     // hit rate must be strictly positive).
@@ -464,6 +645,9 @@ fn main() {
         speedup,
         sharded_vs_parallel,
         store_vs_cold,
+        seeded_store_bytes,
+        seeded_v1_equivalent_bytes,
+        seeded_dedup,
         bench_sweep_cache: cache_section(parallel_engine.cache()),
         standard_sweep_cache: standard_cache,
     };
@@ -492,6 +676,13 @@ fn main() {
             "WARNING: warm structure store ({:.1}x) is slower than the storeless \
              cold fleet",
             report.store_vs_cold
+        );
+    }
+    if report.seeded_store_bytes >= report.seeded_v1_equivalent_bytes {
+        eprintln!(
+            "WARNING: the seed-diverse v2 store ({} bytes) is not smaller than K \
+             independent v1 files ({} bytes)",
+            report.seeded_store_bytes, report.seeded_v1_equivalent_bytes
         );
     }
 }

@@ -20,7 +20,11 @@ pub fn deployment(n: usize, universe_factor: u64, seed: u64) -> (RingConfig, IdA
 
 /// A reproducible deployment with perfectly balanced chirality — the
 /// adversarial case for symmetry breaking on even rings.
-pub fn balanced_deployment(n: usize, universe_factor: u64, seed: u64) -> (RingConfig, IdAssignment) {
+pub fn balanced_deployment(
+    n: usize,
+    universe_factor: u64,
+    seed: u64,
+) -> (RingConfig, IdAssignment) {
     let config = RingConfig::builder(n)
         .random_positions(seed + 1)
         .alternating_chirality()

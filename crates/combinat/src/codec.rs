@@ -47,14 +47,25 @@ use crate::shared::{StructureKey, StructureKind};
 use std::borrow::Borrow;
 use std::fmt;
 
-/// The on-disk schema identifier of this codec.
+/// The on-disk schema identifier of the v1 (keyed one-file-per-key) codec.
 pub const STORE_SCHEMA: &str = "structure-store/v1";
 
-/// The 8-byte file magic.
+/// The on-disk schema identifier of the v2 (content-addressed) layout:
+/// payload blobs named by their own digest plus a small per-key index (see
+/// [`encode_blob`] / [`IndexEntry`]).
+pub const STORE_SCHEMA_V2: &str = "structure-store/v2";
+
+/// The 8-byte file magic of v1 keyed files.
 pub const MAGIC: [u8; 8] = *b"ringstor";
 
-/// The format version this module reads and writes.
+/// The v1 format version.
 pub const VERSION: u64 = 1;
+
+/// The 8-byte file magic of v2 content-addressed blobs.
+pub const BLOB_MAGIC: [u8; 8] = *b"ringblob";
+
+/// The v2 blob format version.
+pub const BLOB_VERSION: u64 = 2;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -153,6 +164,29 @@ pub enum CodecError {
         /// The key requested.
         requested: StructureKey,
     },
+    /// The blob's identity digest differs from what the caller expected (a
+    /// mis-named blob file, or a stale index entry).
+    DigestMismatch {
+        /// The digest the caller expected (file name / index entry).
+        expected: u64,
+        /// The digest of the bytes actually present.
+        computed: u64,
+    },
+    /// The blob's universe or set count differs from what the caller's
+    /// index entry promised (an internally valid blob that is not the
+    /// structure the entry described).
+    BlobShapeMismatch {
+        /// Universe the caller's entry promised.
+        expected_universe: u64,
+        /// Universe the blob declares.
+        found_universe: u64,
+        /// Set count the caller's entry promised.
+        expected_count: usize,
+        /// Set count the blob declares.
+        found_count: usize,
+    },
+    /// A v2 index-entry line could not be parsed.
+    BadIndexEntry(String),
     /// The underlying reader failed mid-stream (streaming decode only).
     Io(String),
 }
@@ -186,6 +220,25 @@ impl fmt::Display for CodecError {
                 f,
                 "structure file holds {found:?} where {requested:?} was requested"
             ),
+            CodecError::DigestMismatch { expected, computed } => write!(
+                f,
+                "blob digest {} does not match expected identity {}",
+                format_checksum(*computed),
+                format_checksum(*expected)
+            ),
+            CodecError::BlobShapeMismatch {
+                expected_universe,
+                found_universe,
+                expected_count,
+                found_count,
+            } => write!(
+                f,
+                "blob holds {found_count} set(s) over universe {found_universe} where the \
+index entry promised {expected_count} over {expected_universe}"
+            ),
+            CodecError::BadIndexEntry(reason) => {
+                write!(f, "malformed {STORE_SCHEMA_V2} index entry: {reason}")
+            }
             CodecError::Io(e) => write!(f, "structure stream read failed: {e}"),
         }
     }
@@ -510,6 +563,30 @@ pub fn validate_stream(
     for chunk in header.chunks_exact(8) {
         hasher.update_word(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
     }
+    validate_canonical_payload(&mut reader, universe, count, &mut hasher)?;
+    let mut trailer = [0u8; 8];
+    reader.read_exact(&mut trailer).map_err(io_err)?;
+    let stored = u64::from_le_bytes(trailer);
+    let computed = hasher.finish();
+    if computed != stored {
+        return Err(CodecError::ChecksumMismatch { stored, computed });
+    }
+    Ok((key, count))
+}
+
+/// Streams `count` sets' payload words through `hasher` while checking each
+/// set's canonical form (identifier-0 bit clear, tail bits beyond the
+/// universe clear) in constant memory — the validation loop shared by the
+/// v1 [`validate_stream`] and the v2 [`validate_blob_stream`], so the two
+/// formats can never drift on what "canonical" means.
+fn validate_canonical_payload(
+    reader: &mut impl std::io::Read,
+    universe: u64,
+    count: usize,
+    hasher: &mut Fnv1a64,
+) -> Result<(), CodecError> {
+    let io_err = |e: std::io::Error| CodecError::Io(e.to_string());
+    let wps = words_per_set(universe);
     let mut buf = vec![0u8; wps * 8];
     let tail_mask = {
         let r = universe % 64;
@@ -537,6 +614,192 @@ pub fn validate_stream(
             return Err(CodecError::NotCanonical { set: set_index });
         }
     }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// structure-store/v2: content-addressed blobs + per-key index entries.
+// ---------------------------------------------------------------------
+//
+// A v2 store separates *payload* from *identity*. The payload — a list of
+// canonical `IdSet`s over one universe — lives in a **blob** named by its
+// own digest, so identical structures constructed under different logical
+// keys land in (and are served from) one file. The identity — which
+// `StructureKey` resolves to which blob — lives in a tiny per-key **index
+// entry** that is rewritten atomically, so longer strong prefixes supersede
+// shorter ones without ever mutating a published blob.
+//
+// Blob layout (a stream of little-endian `u64` words):
+//
+// ```text
+// magic    8 bytes  b"ringblob" (one word)
+// version  u64      2
+// universe u64      N
+// count    u64      number of sets
+// payload  count × (N/64 + 1) × u64   canonical IdSet words
+// digest   u64      FNV-1a-64 folded once per preceding word
+// ```
+//
+// The trailing digest is the blob's **identity**: the file is named
+// `<digest:016x>.blob` and index entries refer to it by the same value, so
+// a loader can verify name, trailer and content against each other in one
+// streaming pass. Kind, `n` and seed deliberately do not appear in a blob —
+// they are identity, not payload, and putting them in the bytes would
+// defeat the dedup.
+
+/// Blob frame size in bytes (magic, version, universe, count, digest).
+const BLOB_FRAME_BYTES: usize = 8 * 5;
+
+/// The exact encoded size of a blob holding `count` sets over `universe`.
+pub fn blob_len(universe: u64, count: usize) -> usize {
+    BLOB_FRAME_BYTES + count * words_per_set(universe) * 8
+}
+
+/// Encodes a list of canonical sets as one content-addressed
+/// `structure-store/v2` blob, returning the bytes and the identity digest
+/// (the trailer, which is also the blob's file name).
+///
+/// # Panics
+///
+/// Panics if a set's universe differs from `universe`.
+pub fn encode_blob<S: Borrow<IdSet>>(universe: u64, sets: &[S]) -> (Vec<u8>, u64) {
+    let mut out = Vec::with_capacity(blob_len(universe, sets.len()));
+    let mut hasher = Fnv1a64::new();
+    let mut push = |out: &mut Vec<u8>, word: u64| {
+        out.extend_from_slice(&word.to_le_bytes());
+        hasher.update_word(word);
+    };
+    for field in [
+        u64::from_le_bytes(BLOB_MAGIC),
+        BLOB_VERSION,
+        universe,
+        sets.len() as u64,
+    ] {
+        push(&mut out, field);
+    }
+    for set in sets {
+        let set = set.borrow();
+        assert_eq!(
+            set.universe(),
+            universe,
+            "encoded sets must live over the blob's universe"
+        );
+        for &word in set.words() {
+            push(&mut out, word);
+        }
+    }
+    let digest = hasher.finish();
+    out.extend_from_slice(&digest.to_le_bytes());
+    (out, digest)
+}
+
+/// What a blob stream's header + trailer declare, as validated by
+/// [`validate_blob_stream`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlobSummary {
+    /// Universe size of every payload set.
+    pub universe: u64,
+    /// Number of payload sets.
+    pub count: usize,
+    /// The identity digest (trailer, verified against the content).
+    pub digest: u64,
+}
+
+/// Shared header/length validation of the streaming blob readers. Returns
+/// the universe, set count and a hasher primed with the header words.
+fn read_blob_header(
+    reader: &mut impl std::io::Read,
+    total_len: u64,
+) -> Result<(u64, usize, Fnv1a64), CodecError> {
+    let io_err = |e: std::io::Error| CodecError::Io(e.to_string());
+    if total_len < BLOB_FRAME_BYTES as u64 {
+        return Err(CodecError::TooShort {
+            len: total_len as usize,
+        });
+    }
+    let mut header = [0u8; 32];
+    reader.read_exact(&mut header).map_err(io_err)?;
+    if header[..8] != BLOB_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = read_u64(&header, 8);
+    if version != BLOB_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let universe = read_u64(&header, 16);
+    if universe == 0 {
+        return Err(CodecError::EmptyUniverse);
+    }
+    let count = read_u64(&header, 24) as usize;
+    let expected = count
+        .checked_mul(words_per_set(universe) * 8)
+        .and_then(|payload| payload.checked_add(BLOB_FRAME_BYTES))
+        .ok_or(CodecError::LengthMismatch {
+            expected: usize::MAX,
+            actual: total_len as usize,
+        })?;
+    if total_len != expected as u64 {
+        return Err(CodecError::LengthMismatch {
+            expected,
+            actual: total_len as usize,
+        });
+    }
+    let mut hasher = Fnv1a64::new();
+    for chunk in header.chunks_exact(8) {
+        hasher.update_word(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+    }
+    Ok((universe, count, hasher))
+}
+
+/// Streaming single-pass decode of a content-addressed blob: header
+/// validation, payload parse, word-folded digest and trailer comparison in
+/// one pass, plus a check that the computed identity equals `expected_digest`
+/// (the file name / index-entry identity the caller resolved). The caller's
+/// expectations about universe and count — from its index entry — are
+/// validated too, so a stale entry can never deliver a plausible-but-wrong
+/// structure.
+///
+/// # Errors
+///
+/// Everything [`validate_blob_stream`] rejects, plus
+/// [`CodecError::DigestMismatch`] and key-shaped mismatches via
+/// [`CodecError::LengthMismatch`] / [`CodecError::EmptyUniverse`].
+pub fn decode_blob_stream(
+    mut reader: impl std::io::Read,
+    total_len: u64,
+    expected_universe: u64,
+    expected_count: usize,
+    expected_digest: u64,
+) -> Result<Vec<IdSet>, CodecError> {
+    let io_err = |e: std::io::Error| CodecError::Io(e.to_string());
+    let (universe, count, mut hasher) = read_blob_header(&mut reader, total_len)?;
+    if universe != expected_universe || count != expected_count {
+        // The blob may be internally consistent but it is not the structure
+        // the index entry promised.
+        return Err(CodecError::BlobShapeMismatch {
+            expected_universe,
+            found_universe: universe,
+            expected_count,
+            found_count: count,
+        });
+    }
+    let wps = words_per_set(universe);
+    let mut sets = Vec::with_capacity(count);
+    let mut buf = vec![0u8; wps * 8];
+    for set_index in 0..count {
+        reader.read_exact(&mut buf).map_err(io_err)?;
+        let words: Vec<u64> = buf
+            .chunks_exact(8)
+            .map(|chunk| {
+                let word = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+                hasher.update_word(word);
+                word
+            })
+            .collect();
+        let set = IdSet::try_from_words(universe, words)
+            .ok_or(CodecError::NotCanonical { set: set_index })?;
+        sets.push(set);
+    }
     let mut trailer = [0u8; 8];
     reader.read_exact(&mut trailer).map_err(io_err)?;
     let stored = u64::from_le_bytes(trailer);
@@ -544,7 +807,125 @@ pub fn validate_stream(
     if computed != stored {
         return Err(CodecError::ChecksumMismatch { stored, computed });
     }
-    Ok((key, count))
+    if computed != expected_digest {
+        return Err(CodecError::DigestMismatch {
+            expected: expected_digest,
+            computed,
+        });
+    }
+    Ok(sets)
+}
+
+/// Streaming validation of a blob without materialisation (the maintenance
+/// analogue of [`validate_stream`]): header, exact length, per-set canonical
+/// form and the trailer digest are checked in one constant-memory pass, and
+/// the blob's summary is returned. Callers additionally compare
+/// `summary.digest` against the file name to catch mis-filed blobs.
+///
+/// # Errors
+///
+/// Everything the v1 [`validate_stream`] rejects on its shared checks, plus
+/// [`CodecError::Io`].
+pub fn validate_blob_stream(
+    mut reader: impl std::io::Read,
+    total_len: u64,
+) -> Result<BlobSummary, CodecError> {
+    let io_err = |e: std::io::Error| CodecError::Io(e.to_string());
+    let (universe, count, mut hasher) = read_blob_header(&mut reader, total_len)?;
+    validate_canonical_payload(&mut reader, universe, count, &mut hasher)?;
+    let mut trailer = [0u8; 8];
+    reader.read_exact(&mut trailer).map_err(io_err)?;
+    let stored = u64::from_le_bytes(trailer);
+    let computed = hasher.finish();
+    if computed != stored {
+        return Err(CodecError::ChecksumMismatch { stored, computed });
+    }
+    Ok(BlobSummary {
+        universe,
+        count,
+        digest: computed,
+    })
+}
+
+/// One logical key's entry in a v2 store index: which blob holds the key's
+/// payload, and how many sets of it belong to the key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// The logical key (for the strong kind the store records one
+    /// *universal* entry per universe, with `n = 0` and `seed = 0`).
+    pub key: StructureKey,
+    /// Identity digest of the blob holding the payload.
+    pub digest: u64,
+    /// Number of sets the key resolves to (for prefix-extendable strong
+    /// blobs this equals the blob's count and grows across republications).
+    pub count: usize,
+}
+
+impl IndexEntry {
+    /// The single-line on-disk form:
+    /// `structure-store/v2 <kind-code> <universe> <n> <seed:016x>
+    /// <digest:016x> <count>`.
+    pub fn format(&self) -> String {
+        format!(
+            "{STORE_SCHEMA_V2} {} {} {} {:016x} {:016x} {}\n",
+            self.key.kind.code(),
+            self.key.universe,
+            self.key.n,
+            self.key.seed,
+            self.digest,
+            self.count,
+        )
+    }
+
+    /// Parses the on-disk form.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadIndexEntry`] for anything that is not exactly one
+    /// well-formed entry line.
+    pub fn parse(text: &str) -> Result<Self, CodecError> {
+        let bad = |reason: &str| CodecError::BadIndexEntry(reason.to_string());
+        let mut fields = text.split_whitespace();
+        if fields.next() != Some(STORE_SCHEMA_V2) {
+            return Err(bad("missing schema tag"));
+        }
+        let mut next = |what: &str| {
+            fields
+                .next()
+                .ok_or_else(|| bad(&format!("missing {what}")))
+                .map(str::to_string)
+        };
+        let kind_code: u64 = next("kind")?
+            .parse()
+            .map_err(|_| bad("kind is not a number"))?;
+        let kind = StructureKind::from_code(kind_code).ok_or(CodecError::UnknownKind(kind_code))?;
+        let universe: u64 = next("universe")?
+            .parse()
+            .map_err(|_| bad("universe is not a number"))?;
+        if universe == 0 {
+            return Err(CodecError::EmptyUniverse);
+        }
+        let n: u64 = next("n")?.parse().map_err(|_| bad("n is not a number"))?;
+        let seed = u64::from_str_radix(&next("seed")?, 16).map_err(|_| bad("seed is not hex"))?;
+        let digest =
+            u64::from_str_radix(&next("digest")?, 16).map_err(|_| bad("digest is not hex"))?;
+        let count: usize = next("count")?
+            .parse()
+            .map_err(|_| bad("count is not a number"))?;
+        if fields.next().is_some() {
+            return Err(bad("trailing fields"));
+        }
+        Ok(IndexEntry {
+            key: StructureKey {
+                kind,
+                universe,
+                n,
+                seed,
+            },
+            digest,
+            count,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -740,5 +1121,93 @@ mod tests {
             decode(&reseal(bad)).unwrap_err(),
             CodecError::LengthMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn blobs_are_content_addressed_and_round_trip() {
+        let d = Distinguisher::random(130, 4, 9);
+        let (bytes, digest) = encode_blob(130, d.sets());
+        assert_eq!(bytes.len(), blob_len(130, d.len()));
+        // The trailer is the identity.
+        assert_eq!(
+            u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap()),
+            digest
+        );
+        // Identical payloads produce identical bytes and digests no matter
+        // what logical key asked for them — the dedup property.
+        let (again, digest2) = encode_blob(130, d.sets());
+        assert_eq!((again, digest2), (bytes.clone(), digest));
+
+        let decoded =
+            decode_blob_stream(&bytes[..], bytes.len() as u64, 130, d.len(), digest).unwrap();
+        assert_eq!(decoded, d.sets());
+        let summary = validate_blob_stream(&bytes[..], bytes.len() as u64).unwrap();
+        assert_eq!(
+            summary,
+            BlobSummary {
+                universe: 130,
+                count: d.len(),
+                digest
+            }
+        );
+    }
+
+    #[test]
+    fn blob_corruption_and_identity_mismatches_are_rejected() {
+        let f = SelectiveFamily::random(65, 3, 4);
+        let (bytes, digest) = encode_blob(65, f.sets());
+        // Truncation anywhere.
+        for cut in [0, 7, BLOB_FRAME_BYTES - 9, bytes.len() - 1] {
+            assert!(
+                validate_blob_stream(&bytes[..cut], cut as u64).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        // A flipped payload byte.
+        let mut bad = bytes.clone();
+        bad[BLOB_FRAME_BYTES] ^= 0x10;
+        assert!(validate_blob_stream(&bad[..], bad.len() as u64).is_err());
+        // Wrong expected identity (a stale index entry / mis-named file).
+        assert!(matches!(
+            decode_blob_stream(&bytes[..], bytes.len() as u64, 65, f.len(), digest ^ 1),
+            Err(CodecError::DigestMismatch { .. })
+        ));
+        // Wrong expected universe or count: the entry promised a different
+        // structure.
+        assert!(decode_blob_stream(&bytes[..], bytes.len() as u64, 66, f.len(), digest).is_err());
+        assert!(
+            decode_blob_stream(&bytes[..], bytes.len() as u64, 65, f.len() + 1, digest).is_err()
+        );
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(
+            validate_blob_stream(&bad[..], bad.len() as u64).unwrap_err(),
+            CodecError::BadMagic
+        );
+    }
+
+    #[test]
+    fn index_entries_round_trip_and_reject_garbage() {
+        let entry = IndexEntry {
+            key: key(StructureKind::SelectiveFamily, 1 << 17, 64, 0xdead_beef),
+            digest: 0x0123_4567_89ab_cdef,
+            count: 4242,
+        };
+        let text = entry.format();
+        assert!(text.ends_with('\n'));
+        assert_eq!(IndexEntry::parse(&text).unwrap(), entry);
+
+        for bad in [
+            "",
+            "structure-store/v1 2 64 4 0 0 1",
+            "structure-store/v2 2 64 4",
+            "structure-store/v2 99 64 4 0 0 1",
+            "structure-store/v2 2 0 4 0 0 1",
+            "structure-store/v2 2 64 4 zz 0 1",
+            "structure-store/v2 2 64 4 0 0 1 extra",
+        ] {
+            assert!(IndexEntry::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
     }
 }

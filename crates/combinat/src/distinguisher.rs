@@ -124,11 +124,7 @@ impl Distinguisher {
         subsets_of_size(&ids, n, &mut Vec::new(), 0, &mut x1_sets);
         for x1_ids in &x1_sets {
             let x1 = IdSet::from_ids(self.universe, x1_ids.iter().copied());
-            let remaining: Vec<u64> = ids
-                .iter()
-                .copied()
-                .filter(|id| !x1.contains(*id))
-                .collect();
+            let remaining: Vec<u64> = ids.iter().copied().filter(|id| !x1.contains(*id)).collect();
             let mut x2_sets = Vec::new();
             subsets_of_size(&remaining, n, &mut Vec::new(), 0, &mut x2_sets);
             for x2_ids in &x2_sets {
@@ -244,14 +240,32 @@ impl StrongDistinguisher {
     }
 }
 
-/// The `i`-th set of a seeded strong-distinguisher sequence. Each index is
-/// seeded independently, so sets can be generated lazily, out of order and
-/// concurrently (see [`crate::shared::SharedStrongDistinguisher`]) and the
-/// sequence is still a pure function of `(universe, seed)`.
-pub(crate) fn strong_set(universe: u64, seed: u64, index: usize) -> IdSet {
+/// Salt of the per-universe **universal** strong sequence. There is exactly
+/// one such sequence per universe; seeds select windows into it (see
+/// [`crate::shared::strong_offset`]), so every seed's sequence shares one
+/// underlying set stream — and one stored blob in the content-addressed
+/// structure store.
+const UNIVERSAL_STRONG_SALT: u64 = 0x5eed_0000_0000_0001;
+
+/// The `j`-th set of the universal strong sequence over `[1, universe]`.
+/// Each index is seeded independently, so sets can be generated lazily, out
+/// of order and concurrently (see [`crate::shared::StrongBase`]) and the
+/// sequence is a pure function of `(universe, index)` alone.
+pub(crate) fn universal_strong_set(universe: u64, index: usize) -> IdSet {
     let idx = index as u64;
-    let mut rng = StdRng::seed_from_u64(seed ^ idx.wrapping_mul(0x9e3779b97f4a7c15));
+    let mut rng =
+        StdRng::seed_from_u64(UNIVERSAL_STRONG_SALT ^ idx.wrapping_mul(0x9e3779b97f4a7c15));
     random_set(universe, &mut rng)
+}
+
+/// The `i`-th set of a seeded strong-distinguisher sequence: the universal
+/// sequence shifted by the seed's window offset. Any window of a stream of
+/// i.i.d. uniform random sets is itself such a stream, so every window is an
+/// equally valid strong distinguisher; different seeds execute genuinely
+/// different sets at every round index while sharing one underlying
+/// sequence (and therefore one stored blob per universe).
+pub(crate) fn strong_set(universe: u64, seed: u64, index: usize) -> IdSet {
+    universal_strong_set(universe, crate::shared::strong_offset(seed) + index)
 }
 
 /// The prefix length `f(N, n)` of Definition 21 shared by the sequential

@@ -442,10 +442,7 @@ mod tests {
         assert!(!a.is_disjoint(&b));
         assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![1, 2]);
         assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![3, 8]);
-        assert_eq!(
-            a.union(&b).iter().collect::<Vec<_>>(),
-            vec![1, 2, 3, 8, 9]
-        );
+        assert_eq!(a.union(&b).iter().collect::<Vec<_>>(), vec![1, 2, 3, 8, 9]);
         assert_eq!(a.complement().len(), 16 - 4);
         assert_eq!(IdSet::full(16).len(), 16);
     }
@@ -522,7 +519,10 @@ mod tests {
             vec![1, 64, 65, 127, 128, 999, 1000]
         );
         let dense = IdSet::full(129);
-        assert_eq!(dense.iter().collect::<Vec<_>>(), (1..=129).collect::<Vec<_>>());
+        assert_eq!(
+            dense.iter().collect::<Vec<_>>(),
+            (1..=129).collect::<Vec<_>>()
+        );
         assert_eq!(IdSet::empty(500).iter().count(), 0);
     }
 

@@ -59,8 +59,11 @@ pub use bounds::{
     distinguisher_size_lower_bound, intersection_free_log_bound, nontrivial_move_round_bound,
     selective_family_size_bound,
 };
-pub use codec::{format_checksum, CodecError, Fnv1a64, STORE_SCHEMA};
+pub use codec::{format_checksum, CodecError, Fnv1a64, IndexEntry, STORE_SCHEMA, STORE_SCHEMA_V2};
 pub use distinguisher::{Distinguisher, StrongDistinguisher};
 pub use idset::IdSet;
 pub use selective::SelectiveFamily;
-pub use shared::{SharedStrongDistinguisher, StructureKey, StructureKind};
+pub use shared::{
+    strong_offset, SharedStrongDistinguisher, StrongBase, StructureKey, StructureKind,
+    STRONG_WINDOW,
+};

@@ -52,9 +52,7 @@ impl SelectiveFamily {
                 let mut s = IdSet::empty(universe);
                 // AND of `scale` uniform words ⇒ each bit survives with
                 // probability 2^-scale; zero words ⇒ the full universe.
-                s.fill_with_words(|_| {
-                    (0..scale).fold(!0u64, |acc, _| acc & rng.gen::<u64>())
-                });
+                s.fill_with_words(|_| (0..scale).fold(!0u64, |acc, _| acc & rng.gen::<u64>()));
                 sets.push(s);
             }
         }
@@ -147,7 +145,9 @@ impl SelectiveFamily {
             }
             let z = IdSet::from_ids(
                 self.universe,
-                (0..universe as u64).filter(|b| mask >> b & 1 == 1).map(|b| b + 1),
+                (0..universe as u64)
+                    .filter(|b| mask >> b & 1 == 1)
+                    .map(|b| b + 1),
             );
             if self.selects(&z).is_none() {
                 return false;

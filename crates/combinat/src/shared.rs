@@ -16,9 +16,24 @@
 //! every index — protocol outcomes cannot depend on which variant served
 //! the sets.
 
-use crate::distinguisher::strong_set;
+use crate::distinguisher::universal_strong_set;
 use crate::idset::IdSet;
 use std::sync::{Arc, RwLock};
+
+/// Number of distinct window offsets a seed can select into the universal
+/// strong sequence (see [`strong_offset`]). Kept small so the shared blob a
+/// seed-diverse sweep stores stays within one window of the longest demanded
+/// prefix — `K` seeds share one blob of at most `prefix + STRONG_WINDOW`
+/// sets instead of `K` full per-seed files.
+pub const STRONG_WINDOW: u64 = 64;
+
+/// The window offset a seed selects into the universal strong sequence of
+/// its universe: seed `s`'s sequence is `universal[offset(s)..]`. A pure
+/// function of the seed, so every participant of a sweep — worker threads,
+/// worker processes, the prebuild tooling — agrees on the window.
+pub fn strong_offset(seed: u64) -> usize {
+    (splitmix64(seed ^ 0x005e_ed0f_f5e7) % STRONG_WINDOW) as usize
+}
 
 /// Which combinatorial structure a cache entry holds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -90,57 +105,52 @@ pub fn splitmix64(state: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A strong distinguisher whose materialised prefix is shared across
-/// threads.
+/// The lazily materialised **universal** strong sequence of one universe —
+/// the object every seed's [`SharedStrongDistinguisher`] is a window into,
+/// and the one prefix-extendable blob per universe the content-addressed
+/// structure store persists.
 ///
-/// `set(i)` is generated on first demand (under a write lock) and served as
+/// `set(j)` is generated on first demand (under a write lock) and served as
 /// a cheap `Arc` clone afterwards (under a read lock). Generation of set
-/// `i` depends only on `(universe, seed, i)`, so the contents are identical
-/// no matter which thread extends the prefix or in what order.
+/// `j` depends only on `(universe, j)`, so the contents are identical no
+/// matter which thread — or which seed's view — extends the prefix, or in
+/// what order.
 #[derive(Debug)]
-pub struct SharedStrongDistinguisher {
+pub struct StrongBase {
     universe: u64,
-    seed: u64,
     sets: RwLock<Vec<Arc<IdSet>>>,
 }
 
-impl SharedStrongDistinguisher {
-    /// Creates a shared strong distinguisher over `[1, universe]`.
+impl StrongBase {
+    /// Creates an empty universal sequence over `[1, universe]`.
     ///
     /// # Panics
     ///
     /// Panics if `universe == 0`.
-    pub fn new(universe: u64, seed: u64) -> Self {
-        Self::with_prefix(universe, seed, Vec::new())
+    pub fn new(universe: u64) -> Self {
+        Self::with_prefix(universe, Vec::new())
     }
 
-    /// Creates a shared strong distinguisher whose first `prefix.len()` sets
-    /// are already materialised — the load path of the on-disk structure
-    /// store. The caller asserts that `prefix[i]` equals the set the seeded
-    /// generator would produce for index `i` (the codec's checksum plus the
+    /// Creates a universal sequence whose first `prefix.len()` sets are
+    /// already materialised — the load path of the on-disk structure store.
+    /// The caller asserts that `prefix[j]` equals the set the universal
+    /// generator would produce for index `j` (the codec's digest plus the
     /// deterministic construction guarantee this); sets beyond the prefix
-    /// are generated lazily exactly as with [`SharedStrongDistinguisher::new`].
+    /// are generated lazily.
     ///
     /// # Panics
     ///
     /// Panics if `universe == 0` or a prefix set has a different universe.
-    pub fn with_prefix(universe: u64, seed: u64, prefix: Vec<IdSet>) -> Self {
+    pub fn with_prefix(universe: u64, prefix: Vec<IdSet>) -> Self {
         assert!(universe > 0);
         assert!(
             prefix.iter().all(|s| s.universe() == universe),
-            "prefix sets must share the distinguisher's universe"
+            "prefix sets must share the sequence's universe"
         );
-        SharedStrongDistinguisher {
+        StrongBase {
             universe,
-            seed,
             sets: RwLock::new(prefix.into_iter().map(Arc::new).collect()),
         }
-    }
-
-    /// A snapshot of the materialised prefix, in index order — what the
-    /// structure store persists.
-    pub fn materialized(&self) -> Vec<Arc<IdSet>> {
-        self.sets.read().expect("strong distinguisher lock").clone()
     }
 
     /// The identifier universe size `N`.
@@ -148,39 +158,111 @@ impl SharedStrongDistinguisher {
         self.universe
     }
 
+    /// The `j`-th set of the universal sequence, generating it on demand.
+    pub fn set(&self, j: usize) -> Arc<IdSet> {
+        {
+            let sets = self.sets.read().expect("strong base lock");
+            if let Some(set) = sets.get(j) {
+                return Arc::clone(set);
+            }
+        }
+        let mut sets = self.sets.write().expect("strong base lock");
+        while sets.len() <= j {
+            let idx = sets.len();
+            sets.push(Arc::new(universal_strong_set(self.universe, idx)));
+        }
+        Arc::clone(&sets[j])
+    }
+
+    /// A snapshot of the materialised prefix, in index order — what the
+    /// structure store persists.
+    pub fn materialized(&self) -> Vec<Arc<IdSet>> {
+        self.sets.read().expect("strong base lock").clone()
+    }
+
+    /// Number of sets materialised so far (grows monotonically).
+    pub fn materialized_len(&self) -> usize {
+        self.sets.read().expect("strong base lock").len()
+    }
+}
+
+/// A strong distinguisher whose materialised prefix is shared across
+/// threads — and, through its [`StrongBase`], across every seed of the same
+/// universe: the view's set `i` is the universal sequence's set
+/// `offset(seed) + i`.
+///
+/// `set(i)` equals
+/// [`StrongDistinguisher::set`](crate::StrongDistinguisher::set) for the
+/// same `(universe, seed, i)`, so protocol outcomes cannot depend on which
+/// variant — or which shared base — served the sets.
+#[derive(Debug)]
+pub struct SharedStrongDistinguisher {
+    seed: u64,
+    offset: usize,
+    base: Arc<StrongBase>,
+}
+
+impl SharedStrongDistinguisher {
+    /// Creates a shared strong distinguisher over `[1, universe]` with its
+    /// own private base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0`.
+    pub fn new(universe: u64, seed: u64) -> Self {
+        Self::with_base(seed, Arc::new(StrongBase::new(universe)))
+    }
+
+    /// Creates a seed's view onto an existing universal sequence — how the
+    /// structure store hands every seed of one universe the same base (and
+    /// therefore the same in-memory materialisation and the same on-disk
+    /// blob).
+    pub fn with_base(seed: u64, base: Arc<StrongBase>) -> Self {
+        SharedStrongDistinguisher {
+            seed,
+            offset: strong_offset(seed),
+            base,
+        }
+    }
+
+    /// The identifier universe size `N`.
+    pub fn universe(&self) -> u64 {
+        self.base.universe()
+    }
+
     /// The construction seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The seed's window offset into the universal sequence.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The shared universal sequence this view reads through.
+    pub fn base(&self) -> &Arc<StrongBase> {
+        &self.base
     }
 
     /// The `i`-th set of the sequence (0-indexed), generating it on demand.
     /// Equal to [`StrongDistinguisher::set`](crate::StrongDistinguisher::set)
     /// for the same `(universe, seed, i)`.
     pub fn set(&self, i: usize) -> Arc<IdSet> {
-        {
-            let sets = self.sets.read().expect("strong distinguisher lock");
-            if let Some(set) = sets.get(i) {
-                return Arc::clone(set);
-            }
-        }
-        let mut sets = self.sets.write().expect("strong distinguisher lock");
-        while sets.len() <= i {
-            let idx = sets.len();
-            sets.push(Arc::new(strong_set(self.universe, self.seed, idx)));
-        }
-        Arc::clone(&sets[i])
+        self.base.set(self.offset + i)
     }
 
-    /// Number of sets materialised so far (grows monotonically).
+    /// Number of sets of **this view** already materialised (the base may
+    /// hold more, for other windows).
     pub fn materialized_len(&self) -> usize {
-        self.sets.read().expect("strong distinguisher lock").len()
+        self.base.materialized_len().saturating_sub(self.offset)
     }
 
     /// Length of the prefix expected to distinguish disjoint sets of size
     /// `n` — identical to
     /// [`StrongDistinguisher::prefix_size_for`](crate::StrongDistinguisher::prefix_size_for).
     pub fn prefix_size_for(&self, n: usize) -> usize {
-        crate::distinguisher::strong_prefix_size_for(self.universe, n)
+        crate::distinguisher::strong_prefix_size_for(self.base.universe(), n)
     }
 }
 
@@ -216,6 +298,32 @@ mod tests {
             .collect();
         let sums: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert!(sums.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn seeded_views_share_one_base_and_window_the_universal_sequence() {
+        let base = Arc::new(StrongBase::new(1 << 10));
+        let a = SharedStrongDistinguisher::with_base(7, Arc::clone(&base));
+        let b = SharedStrongDistinguisher::with_base(1234, Arc::clone(&base));
+        // Each view equals its own freshly constructed sequence…
+        for i in 0..4 {
+            assert_eq!(
+                *a.set(i),
+                *SharedStrongDistinguisher::new(1 << 10, 7).set(i)
+            );
+            assert_eq!(
+                *b.set(i),
+                *SharedStrongDistinguisher::new(1 << 10, 1234).set(i)
+            );
+        }
+        // …and both read through the same universal materialisation.
+        let longest = a.offset().max(b.offset()) + 4;
+        assert_eq!(base.materialized_len(), longest);
+        assert_eq!(*a.set(0), *base.set(a.offset()));
+        // Window offsets stay inside the bounded window.
+        for seed in 0..1000u64 {
+            assert!((strong_offset(seed) as u64) < STRONG_WINDOW);
+        }
     }
 
     #[test]

@@ -130,3 +130,85 @@ proptest! {
         prop_assert_eq!(decode(&bytes).unwrap_err(), CodecError::UnsupportedVersion(version));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// v2 content-addressed blobs round-trip bit-identically across word
+    /// boundaries, and the identity digest is a pure function of the
+    /// payload — the dedup invariant of the content-addressed store.
+    #[test]
+    fn blobs_round_trip_and_dedup(
+        (universe, seed, count) in (universes(), any::<u64>(), 0usize..4),
+    ) {
+        use ring_combinat::codec::{decode_blob_stream, encode_blob, validate_blob_stream};
+        let mut sets = vec![IdSet::empty(universe), IdSet::full(universe)];
+        for i in 0..count {
+            sets.push(random_set(universe, seed ^ i as u64));
+        }
+        let (bytes, digest) = encode_blob(universe, &sets);
+        let (again, digest_again) = encode_blob(universe, &sets);
+        prop_assert_eq!(&again, &bytes);
+        prop_assert_eq!(digest_again, digest);
+        let decoded = decode_blob_stream(&bytes[..], bytes.len() as u64, universe, sets.len(), digest)
+            .expect("clean blobs decode");
+        prop_assert_eq!(decoded, sets.clone());
+        let summary = validate_blob_stream(&bytes[..], bytes.len() as u64).expect("valid");
+        prop_assert_eq!((summary.universe, summary.count, summary.digest), (universe, sets.len(), digest));
+    }
+
+    /// Index entries round-trip through their single-line text form for
+    /// every kind and any parameters.
+    #[test]
+    fn index_entries_round_trip(
+        ((kind_code, universe, n), (seed, digest, count)) in (
+            (1u64..=3, 1u64..=(1 << 40), any::<u64>()),
+            (any::<u64>(), any::<u64>(), 0usize..1_000_000),
+        ),
+    ) {
+        use ring_combinat::codec::IndexEntry;
+        let entry = IndexEntry {
+            key: key(
+                StructureKind::from_code(kind_code).unwrap(),
+                universe,
+                n,
+                seed,
+            ),
+            digest,
+            count,
+        };
+        prop_assert_eq!(IndexEntry::parse(&entry.format()).expect("round trip"), entry);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Corruption never yields a blob payload: any truncation and any
+    /// single flipped byte is refused.
+    #[test]
+    fn corrupted_blobs_never_decode(
+        universe in prop_oneof![Just(63u64), Just(64), Just(65), Just(700)],
+        seed in any::<u64>(),
+        (cut_seed, flip_seed, flip_bit) in (any::<u64>(), any::<u64>(), 0u32..8),
+    ) {
+        use ring_combinat::codec::{decode_blob_stream, encode_blob};
+        let sets = vec![random_set(universe, seed), random_set(universe, !seed)];
+        let (bytes, digest) = encode_blob(universe, &sets);
+
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(
+            decode_blob_stream(&bytes[..cut], cut as u64, universe, sets.len(), digest).is_err(),
+            "truncation at {} decoded", cut
+        );
+
+        let mut flipped = bytes.clone();
+        let at = (flip_seed % bytes.len() as u64) as usize;
+        flipped[at] ^= 1 << flip_bit;
+        prop_assert!(
+            decode_blob_stream(&flipped[..], flipped.len() as u64, universe, sets.len(), digest)
+                .is_err(),
+            "byte {} flipped by {:02x} still decoded", at, 1u8 << flip_bit
+        );
+    }
+}

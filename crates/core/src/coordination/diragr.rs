@@ -209,7 +209,8 @@ mod tests {
             .random_chirality(13)
             .build()
             .unwrap();
-        let mut net = Network::new(&config, IdAssignment::random(9, 128, 17), Model::Basic).unwrap();
+        let mut net =
+            Network::new(&config, IdAssignment::random(9, 128, 17), Model::Basic).unwrap();
         let agreement = agree_direction(&mut net).unwrap();
         assert!(frames_are_coherent(&net, agreement.frames()));
         assert_eq!(agreement.rounds(), net.rounds_used());

@@ -136,9 +136,7 @@ pub fn test_emptiness_with(
             // Rounds 1..: members split by each identifier bit.
             for bit in 0..net.id_bits() {
                 sub.clear();
-                sub.extend(
-                    (0..n).map(|agent| membership[agent] && net.id_of(agent).bit(bit)),
-                );
+                sub.extend((0..n).map(|agent| membership[agent] && net.id_of(agent).bit(bit)));
                 run_split(net, frames, sub, observed_motion, dirs, step)?;
             }
             decide(membership, |agent| observed_motion[agent])
@@ -265,8 +263,7 @@ mod tests {
             .explicit_chirality(chirality.clone())
             .build()
             .unwrap();
-        let mut net =
-            Network::new(&config, IdAssignment::consecutive(n), Model::Basic).unwrap();
+        let mut net = Network::new(&config, IdAssignment::consecutive(n), Model::Basic).unwrap();
         // Frames that align every agent's logical right with the objective
         // clockwise direction.
         let frames: Vec<Frame> = chirality

@@ -176,7 +176,9 @@ pub fn elect_leader_with_common_direction(
             prefix = candidate_floor;
         }
     }
-    let is_leader: Vec<bool> = (0..n).map(|agent| net.id_of(agent).value() == prefix).collect();
+    let is_leader: Vec<bool> = (0..n)
+        .map(|agent| net.id_of(agent).value() == prefix)
+        .collect();
     Ok(LeaderElection::new(
         is_leader,
         frames.to_vec(),

@@ -92,15 +92,18 @@ impl NontrivialMove {
     }
 }
 
-/// The fixed public seed [`solve_nontrivial_move`] hands its distinguisher
-/// machinery. Exported so sweep harnesses can enumerate the structure keys
-/// a pipeline run will request — `(StrongDistinguisher, universe, 0,
-/// STRUCTURE_SEED)` for every even-`n` case — and prebuild them into a
-/// shared store.
+/// The default public seed [`solve_nontrivial_move`] hands its
+/// distinguisher machinery when no per-case seed was installed on the
+/// network (see [`Network::with_structure_seed`]). Exported so sweep
+/// harnesses can enumerate the structure keys a pipeline run will request —
+/// `(StrongDistinguisher, universe, 0, structure_seed)` for every even-`n`
+/// case — and prebuild them into a shared store.
 pub const STRUCTURE_SEED: u64 = 0x5eed;
 
 /// Solves the nontrivial-move problem with the strategy appropriate for the
 /// parity of `n` and the model in force (the routing of Tables I and II).
+/// The distinguisher machinery is seeded by the network's structure seed
+/// ([`STRUCTURE_SEED`] unless a sweep installed a per-case one).
 ///
 /// # Errors
 ///
@@ -108,12 +111,11 @@ pub const STRUCTURE_SEED: u64 = 0x5eed;
 /// if a randomized construction fails to break symmetry within a generous
 /// budget (which has negligible probability for valid inputs).
 pub fn solve_nontrivial_move(net: &mut Network<'_>) -> Result<NontrivialMove, ProtocolError> {
+    let seed = net.structure_seed();
     match (net.parity(), net.model()) {
         (Parity::Odd, _) => nontrivial_move_odd(net),
-        (Parity::Even, Model::Perceptive) => {
-            crate::perceptive::nmove::nmove_s(net, STRUCTURE_SEED)
-        }
-        (Parity::Even, _) => nontrivial_move_even_distinguisher(net, STRUCTURE_SEED),
+        (Parity::Even, Model::Perceptive) => crate::perceptive::nmove::nmove_s(net, seed),
+        (Parity::Even, _) => nontrivial_move_even_distinguisher(net, seed),
     }
 }
 
@@ -389,7 +391,8 @@ pub fn nontrivial_move_common_randomized(
         for (agent, dir) in dirs.iter_mut().enumerate() {
             let id = net.id_of(agent).value();
             let mut rng = StdRng::seed_from_u64(
-                seed ^ (set_index as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ id.wrapping_mul(0xc2b2ae3d27d4eb4f),
+                seed ^ (set_index as u64).wrapping_mul(0x9e3779b97f4a7c15)
+                    ^ id.wrapping_mul(0xc2b2ae3d27d4eb4f),
             );
             let member: bool = rng.gen();
             let logical = LocalDirection::from_bit(member);
@@ -455,7 +458,10 @@ mod tests {
         let mut net =
             Network::new(&config, IdAssignment::random(7, 1 << 12, 5), Model::Basic).unwrap();
         let nm = nontrivial_move_odd(&mut net).unwrap();
-        assert!(matches!(nm.strategy(), NontrivialStrategy::IdBitSplit { .. }));
+        assert!(matches!(
+            nm.strategy(),
+            NontrivialStrategy::IdBitSplit { .. }
+        ));
         assert!(verify_nontrivial(&mut net, &nm));
         // Θ(log(N/n)): with N = 4096 and n = 7 this is at most ~12 rounds.
         assert!(nm.rounds() <= 1 + net.id_bits() as u64);
@@ -470,10 +476,12 @@ mod tests {
             .alternating_chirality()
             .build()
             .unwrap();
-        let mut net =
-            Network::new(&config, IdAssignment::random(8, 256, 7), Model::Basic).unwrap();
+        let mut net = Network::new(&config, IdAssignment::random(8, 256, 7), Model::Basic).unwrap();
         let nm = nontrivial_move_even_distinguisher(&mut net, 42).unwrap();
-        assert!(matches!(nm.strategy(), NontrivialStrategy::Distinguisher { .. }));
+        assert!(matches!(
+            nm.strategy(),
+            NontrivialStrategy::Distinguisher { .. }
+        ));
         assert!(verify_nontrivial(&mut net, &nm));
     }
 
@@ -484,8 +492,7 @@ mod tests {
             .alternating_chirality()
             .build()
             .unwrap();
-        let mut net =
-            Network::new(&config, IdAssignment::random(8, 256, 7), Model::Basic).unwrap();
+        let mut net = Network::new(&config, IdAssignment::random(8, 256, 7), Model::Basic).unwrap();
         let nm = weak_nontrivial_move_even_distinguisher(&mut net, 42).unwrap();
         // At the very least the returned assignment rotates the ring.
         assert!(probe_nonzero(&mut net, nm.directions()).unwrap());

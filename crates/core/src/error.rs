@@ -68,10 +68,16 @@ impl fmt::Display for ProtocolError {
             } => write!(f, "expected {expected} {what}, got {got}"),
             ProtocolError::InvalidIds { reason } => write!(f, "invalid identifiers: {reason}"),
             ProtocolError::RoundBudgetExceeded { protocol, budget } => {
-                write!(f, "protocol {protocol} exceeded its budget of {budget} rounds")
+                write!(
+                    f,
+                    "protocol {protocol} exceeded its budget of {budget} rounds"
+                )
             }
             ProtocolError::Internal { protocol, reason } => {
-                write!(f, "protocol {protocol} violated an internal invariant: {reason}")
+                write!(
+                    f,
+                    "protocol {protocol} violated an internal invariant: {reason}"
+                )
             }
             ProtocolError::Unsolvable { reason } => write!(f, "task is unsolvable: {reason}"),
         }

@@ -24,8 +24,8 @@ use crate::error::ProtocolError;
 use crate::ids::{AgentId, IdAssignment};
 use crate::structures::{fresh_structures, SharedStructures};
 use ring_sim::{
-    EngineKind, LocalDirection, Model, Observation, Parity, RingConfig, RingState, RoundBuffers,
-    RotationIndex,
+    EngineKind, LocalDirection, Model, Observation, Parity, RingConfig, RingState, RotationIndex,
+    RoundBuffers,
 };
 use std::fmt;
 
@@ -64,6 +64,7 @@ pub struct Network<'a> {
     last_rotation: Option<RotationIndex>,
     cumulative_dist: Vec<u64>,
     structures: SharedStructures,
+    structure_seed: u64,
 }
 
 impl fmt::Debug for Network<'_> {
@@ -108,6 +109,7 @@ impl<'a> Network<'a> {
             rounds: 0,
             last_rotation: None,
             structures: fresh_structures(),
+            structure_seed: crate::coordination::nontrivial::STRUCTURE_SEED,
         })
     }
 
@@ -132,6 +134,23 @@ impl<'a> Network<'a> {
     /// The combinatorial-structure provider in force.
     pub fn structures(&self) -> &SharedStructures {
         &self.structures
+    }
+
+    /// Overrides the seed the distinguisher machinery hands its structure
+    /// provider (the default is the fixed public
+    /// [`STRUCTURE_SEED`](crate::coordination::nontrivial::STRUCTURE_SEED)).
+    /// Sweep harnesses set a per-case seed here to measure the spread over
+    /// structure randomness (seed-diverse sweeps); the seed is public
+    /// knowledge — all agents agree on it — so protocol semantics are
+    /// unchanged.
+    pub fn with_structure_seed(mut self, seed: u64) -> Self {
+        self.structure_seed = seed;
+        self
+    }
+
+    /// The structure seed in force (see [`Network::with_structure_seed`]).
+    pub fn structure_seed(&self) -> u64 {
+        self.structure_seed
     }
 
     // ------------------------------------------------------------------

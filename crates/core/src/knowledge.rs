@@ -174,7 +174,11 @@ impl GapKnowledge {
         if !self.is_complete() {
             return None;
         }
-        Some((0..self.n).map(|i| self.gap(i).expect("complete")).collect())
+        Some(
+            (0..self.n)
+                .map(|i| self.gap(i).expect("complete"))
+                .collect(),
+        )
     }
 
     fn find(&self, mut i: usize) -> (usize, i128) {
@@ -273,8 +277,7 @@ mod tests {
         // The basic-model odd-n location discovery feeds equations
         // x_i + x_{i+1} = s_i for every i; with n odd they pin every gap.
         let n = 7;
-        let gaps: Vec<u64> = vec![100, 200, 300, 400, 500, 600,
-            CIRCUMFERENCE - 2100];
+        let gaps: Vec<u64> = vec![100, 200, 300, 400, 500, 600, CIRCUMFERENCE - 2100];
         let mut k = GapKnowledge::new(n);
         for i in 0..n {
             let sum = gaps[i] + gaps[(i + 1) % n];

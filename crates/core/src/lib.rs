@@ -64,7 +64,9 @@ pub mod pipeline;
 pub mod structures;
 
 pub use coordination::diragr::{agree_direction, DirectionAgreement};
-pub use coordination::emptiness::{test_emptiness, test_emptiness_with, EmptinessOutcome, EmptinessScratch};
+pub use coordination::emptiness::{
+    test_emptiness, test_emptiness_with, EmptinessOutcome, EmptinessScratch,
+};
 pub use coordination::leader::{elect_leader, elect_leader_with_common_direction, LeaderElection};
 pub use coordination::nontrivial::{solve_nontrivial_move, NontrivialMove};
 pub use coordination::probe::{probe_move, MoveClass};
@@ -78,7 +80,9 @@ pub use structures::{fresh_structures, FreshStructures, SharedStructures, Struct
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::coordination::diragr::{agree_direction, DirectionAgreement};
-    pub use crate::coordination::emptiness::{test_emptiness, test_emptiness_with, EmptinessOutcome, EmptinessScratch};
+    pub use crate::coordination::emptiness::{
+        test_emptiness, test_emptiness_with, EmptinessOutcome, EmptinessScratch,
+    };
     pub use crate::coordination::leader::{
         elect_leader, elect_leader_with_common_direction, LeaderElection,
     };

@@ -117,10 +117,12 @@ pub fn discover_locations_basic_odd_with_leader(
 
     let views = (0..n)
         .map(|agent| {
-            let gaps = knowledge[agent].gaps().ok_or_else(|| ProtocolError::Internal {
-                protocol: "location-discovery-basic-odd",
-                reason: format!("agent {agent} finished with incomplete knowledge"),
-            })?;
+            let gaps = knowledge[agent]
+                .gaps()
+                .ok_or_else(|| ProtocolError::Internal {
+                    protocol: "location-discovery-basic-odd",
+                    reason: format!("agent {agent} finished with incomplete knowledge"),
+                })?;
             AgentView::from_measurement(&gaps, delta_start[agent])
         })
         .collect::<Result<Vec<_>, _>>()?;

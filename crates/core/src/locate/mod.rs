@@ -227,9 +227,13 @@ pub fn verify_location_discovery(net: &Network<'_>, discovery: &LocationDiscover
                 (agent + n - j) % n
             };
             let expected = if logical_cw_is_objective_cw {
-                config.position(agent).cw_distance_to(config.position(target))
+                config
+                    .position(agent)
+                    .cw_distance_to(config.position(target))
             } else {
-                config.position(agent).acw_distance_to(config.position(target))
+                config
+                    .position(agent)
+                    .acw_distance_to(config.position(target))
             };
             view.relative_positions()[j] == expected
         })
@@ -238,7 +242,11 @@ pub fn verify_location_discovery(net: &Network<'_>, discovery: &LocationDiscover
 
 /// Converts an agent's cumulative own-frame displacement into its logical
 /// frame (helper shared by the location-discovery routes).
-pub(crate) fn cumulative_dist_logical(net: &Network<'_>, frames: &[Frame], agent: usize) -> ArcLength {
+pub(crate) fn cumulative_dist_logical(
+    net: &Network<'_>,
+    frames: &[Frame],
+    agent: usize,
+) -> ArcLength {
     let physical = net.observed_cumulative_dist(agent);
     if frames[agent].is_flipped() && !physical.is_zero() {
         ArcLength::from_ticks(CIRCUMFERENCE - physical.ticks())
@@ -294,8 +302,7 @@ mod tests {
     #[test]
     fn misaligned_displacement_is_rejected() {
         let gaps = arcs(&[10, 20, 30, CIRCUMFERENCE - 60]);
-        let err =
-            AgentView::from_measurement(&gaps, ArcLength::from_ticks(5)).unwrap_err();
+        let err = AgentView::from_measurement(&gaps, ArcLength::from_ticks(5)).unwrap_err();
         assert!(matches!(err, ProtocolError::Internal { .. }));
     }
 

@@ -141,7 +141,16 @@ pub fn flood_nearest(
 ) -> Result<(Vec<NearestSources>, u64), ProtocolError> {
     let mut bufs = FloodBuffers::new();
     let mut result = Vec::new();
-    let rounds = flood_nearest_with(net, link, frames, values, bits, distance, &mut bufs, &mut result)?;
+    let rounds = flood_nearest_with(
+        net,
+        link,
+        frames,
+        values,
+        bits,
+        distance,
+        &mut bufs,
+        &mut result,
+    )?;
     Ok((result, rounds))
 }
 

@@ -21,9 +21,7 @@ use crate::coordination::leader::elect_leader_with_move;
 use crate::error::ProtocolError;
 use crate::exec::{Network, StepBuffers};
 use crate::knowledge::GapKnowledge;
-use crate::locate::{
-    cumulative_dist_logical, AgentView, LocationDiscovery, LocationMethod,
-};
+use crate::locate::{cumulative_dist_logical, AgentView, LocationDiscovery, LocationMethod};
 use crate::perceptive::link::RingLink;
 use crate::perceptive::nmove::nmove_s;
 use crate::perceptive::ringdist::ring_distances;
@@ -249,7 +247,11 @@ pub fn discover_locations_perceptive(
             break;
         }
         let c = pivot_anchor;
-        pivot_anchor = if pivot_anchor <= 1 { n } else { pivot_anchor - 1 };
+        pivot_anchor = if pivot_anchor <= 1 {
+            n
+        } else {
+            pivot_anchor - 1
+        };
         let rule = move |label: usize| pivot_direction(label, c, n);
         run_measurement_round(
             net,
@@ -279,8 +281,7 @@ pub fn discover_locations_perceptive(
         .map(|agent| {
             let gaps = knowledge[agent].gaps().expect("checked complete");
             let m = labels[agent];
-            let relative: Vec<ArcLength> =
-                (0..n).map(|t| gaps[(m - 1 + t) % n]).collect();
+            let relative: Vec<ArcLength> = (0..n).map(|t| gaps[(m - 1 + t) % n]).collect();
             AgentView::from_measurement(&relative, delta_start[agent])
         })
         .collect::<Result<Vec<_>, _>>()?;

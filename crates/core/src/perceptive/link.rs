@@ -188,11 +188,8 @@ impl RingLink {
             let obs_b = &bufs.step.observations()[agent];
             // Observations of the rounds in which this agent moved right and
             // left respectively.
-            let (obs_when_right, obs_when_left): (&Observation, &Observation) = if bit {
-                (obs_a, obs_b)
-            } else {
-                (obs_b, obs_a)
-            };
+            let (obs_when_right, obs_when_left): (&Observation, &Observation) =
+                if bit { (obs_a, obs_b) } else { (obs_b, obs_a) };
             let right_round_is_a = bit;
             let left_round_is_a = !bit;
 

@@ -87,11 +87,13 @@ pub fn discover_neighbors(net: &mut Network<'_>) -> Result<NeighborMap, Protocol
     let mut all_left_coll: Vec<Option<ArcLength>> = vec![None; n];
 
     let record = |dirs: &[LocalDirection],
-                      obs: &[ring_sim::Observation],
-                      min_right: &mut Vec<Option<ArcLength>>,
-                      min_left: &mut Vec<Option<ArcLength>>| {
+                  obs: &[ring_sim::Observation],
+                  min_right: &mut Vec<Option<ArcLength>>,
+                  min_left: &mut Vec<Option<ArcLength>>| {
         for agent in 0..dirs.len() {
-            let Some(coll) = obs[agent].coll else { continue };
+            let Some(coll) = obs[agent].coll else {
+                continue;
+            };
             let slot = match dirs[agent] {
                 LocalDirection::Right => &mut min_right[agent],
                 LocalDirection::Left => &mut min_left[agent],
@@ -246,6 +248,9 @@ mod tests {
             Network::new(&config, IdAssignment::random(7, 64, 6), Model::Perceptive).unwrap();
         let map = discover_neighbors(&mut net).unwrap();
         assert!(verify_neighbor_map(&net, &map));
-        assert!(map.infos().iter().all(|i| i.right_same_chirality && i.left_same_chirality));
+        assert!(map
+            .infos()
+            .iter()
+            .all(|i| i.right_same_chirality && i.left_same_chirality));
     }
 }

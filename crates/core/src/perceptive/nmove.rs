@@ -102,8 +102,7 @@ pub fn nmove_s(net: &mut Network<'_>, seed: u64) -> Result<NontrivialMove, Proto
         values.extend((0..n).map(|agent| candidate[agent].then(|| net.id_of(agent).value())));
         flood_max_with(net, &link, &values, id_bits, radius, &mut flood, &mut best)?;
         for agent in 0..n {
-            candidate[agent] =
-                candidate[agent] && best[agent] == Some(net.id_of(agent).value());
+            candidate[agent] = candidate[agent] && best[agent] == Some(net.id_of(agent).value());
         }
 
         // Execute an implicit (N, 2^level)-selective family on the
@@ -115,9 +114,7 @@ pub fn nmove_s(net: &mut Network<'_>, seed: u64) -> Result<NontrivialMove, Proto
                 dirs.clear();
                 dirs.extend((0..n).map(|agent| {
                     let id = net.id_of(agent).value();
-                    if candidate[agent]
-                        && implicit_member(seed, level, scale, set_index, id)
-                    {
+                    if candidate[agent] && implicit_member(seed, level, scale, set_index, id) {
                         LocalDirection::Left
                     } else {
                         LocalDirection::Right
@@ -157,8 +154,12 @@ mod tests {
             .alternating_chirality()
             .build()
             .unwrap();
-        let mut net =
-            Network::new(&config, IdAssignment::random(n, 1 << 10, 4), Model::Perceptive).unwrap();
+        let mut net = Network::new(
+            &config,
+            IdAssignment::random(n, 1 << 10, 4),
+            Model::Perceptive,
+        )
+        .unwrap();
         let nm = nmove_s(&mut net, 99).unwrap();
         assert!(verify_nontrivial(&mut net, &nm));
     }

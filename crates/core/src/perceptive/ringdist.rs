@@ -122,18 +122,20 @@ pub fn ring_distances(
     // Direction rule of Shift(l): agents with a known label ≤ threshold move
     // logically clockwise (for positive shifts) and everybody else moves the
     // other way. Directions are written into the reusable buffer.
-    let fill_shift_dirs =
-        |label: &[Option<usize>], threshold: usize, positive: bool, dirs: &mut Vec<LocalDirection>| {
-            dirs.clear();
-            dirs.extend((0..n).map(|agent| {
-                let in_prefix = label[agent].is_some_and(|l| l <= threshold);
-                let logical = match (in_prefix, positive) {
-                    (true, true) | (false, false) => LocalDirection::Right,
-                    (true, false) | (false, true) => LocalDirection::Left,
-                };
-                frames[agent].to_physical(logical)
-            }));
-        };
+    let fill_shift_dirs = |label: &[Option<usize>],
+                           threshold: usize,
+                           positive: bool,
+                           dirs: &mut Vec<LocalDirection>| {
+        dirs.clear();
+        dirs.extend((0..n).map(|agent| {
+            let in_prefix = label[agent].is_some_and(|l| l <= threshold);
+            let logical = match (in_prefix, positive) {
+                (true, true) | (false, false) => LocalDirection::Right,
+                (true, false) | (false, true) => LocalDirection::Left,
+            };
+            frames[agent].to_physical(logical)
+        }));
+    };
 
     let max_iter = net.id_bits() + 2;
     let mut completed = false;
@@ -199,7 +201,16 @@ pub fn ring_distances(
         // re-derive which previously-learned labels sit on the k-grid.)
         sources.clear();
         sources.extend(label.iter().map(|l| l.map(|v| v as u64)));
-        flood_nearest_with(net, link, frames, &sources, label_bits, k, &mut flood, &mut nearest)?;
+        flood_nearest_with(
+            net,
+            link,
+            frames,
+            &sources,
+            label_bits,
+            k,
+            &mut flood,
+            &mut nearest,
+        )?;
         for agent in 0..n {
             if label[agent].is_some() {
                 continue;

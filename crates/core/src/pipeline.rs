@@ -129,8 +129,35 @@ pub fn measure_problem_with(
     problem: Problem,
     structures: &SharedStructures,
 ) -> Result<ProblemCost, ProtocolError> {
-    let mut net =
-        Network::new(config, ids.clone(), model)?.with_structures(structures.clone());
+    measure_problem_seeded(
+        config,
+        ids,
+        model,
+        problem,
+        structures,
+        crate::coordination::nontrivial::STRUCTURE_SEED,
+    )
+}
+
+/// [`measure_problem_with`] with an explicit structure seed: the executor's
+/// distinguisher machinery draws its structures under `structure_seed`
+/// instead of the fixed default, which is how seed-diverse sweeps measure
+/// the spread over structure randomness.
+///
+/// # Errors
+///
+/// Same as [`measure_problem`].
+pub fn measure_problem_seeded(
+    config: &RingConfig,
+    ids: &IdAssignment,
+    model: Model,
+    problem: Problem,
+    structures: &SharedStructures,
+    structure_seed: u64,
+) -> Result<ProblemCost, ProtocolError> {
+    let mut net = Network::new(config, ids.clone(), model)?
+        .with_structures(structures.clone())
+        .with_structure_seed(structure_seed);
     match problem {
         Problem::LeaderElection => {
             let election = elect_leader(&mut net)?;
@@ -144,8 +171,7 @@ pub fn measure_problem_with(
         }
         Problem::NontrivialMove => {
             let nm = solve_nontrivial_move(&mut net)?;
-            let verified =
-                crate::coordination::nontrivial::verify_nontrivial(&mut net, &nm);
+            let verified = crate::coordination::nontrivial::verify_nontrivial(&mut net, &nm);
             Ok(ProblemCost {
                 problem,
                 solvable: true,
@@ -237,12 +263,14 @@ mod tests {
         let report = run_pipeline(&config, &ids, Model::Basic).unwrap();
         assert_eq!(report.costs.len(), 4);
         assert!(report.costs.iter().all(|c| c.verified));
-        assert!(report
-            .cost(Problem::LocationDiscovery)
-            .unwrap()
-            .rounds
-            .unwrap()
-            >= 9);
+        assert!(
+            report
+                .cost(Problem::LocationDiscovery)
+                .unwrap()
+                .rounds
+                .unwrap()
+                >= 9
+        );
     }
 
     #[test]
@@ -271,7 +299,10 @@ mod tests {
         let ids = IdAssignment::random(8, 128, 17);
         for model in [Model::Lazy, Model::Perceptive] {
             let report = run_pipeline(&config, &ids, model).unwrap();
-            assert!(report.costs.iter().all(|c| c.solvable && c.verified), "{model}");
+            assert!(
+                report.costs.iter().all(|c| c.solvable && c.verified),
+                "{model}"
+            );
         }
     }
 }

@@ -144,6 +144,11 @@ pub struct SpecParams {
     pub reps: Option<u64>,
     /// `--seed` override.
     pub seed: Option<u64>,
+    /// `--structure-seeds` override (`Some(K)` = the per-case seed
+    /// schedule with `K` schedule seeds; `None` = the fixed default).
+    /// Part of the spec because it changes which structures every even-`n`
+    /// case executes — and therefore the bytes `resume` must reproduce.
+    pub structure_seeds: Option<u64>,
 }
 
 /// The run manifest.
@@ -276,6 +281,9 @@ impl Manifest {
             universe_factors: optional_u64_list(spec_value, "universe_factors")?,
             reps: optional_u64(spec_value, "reps")?,
             seed: optional_u64(spec_value, "seed")?,
+            // Absent in manifests written before seed schedules existed:
+            // those runs were fixed-schedule by construction.
+            structure_seeds: optional_u64(spec_value, "structure_seeds")?,
         };
         let shards_value = value
             .get("shards")
@@ -345,7 +353,9 @@ impl Manifest {
 
     /// Whether every shard is complete.
     pub fn is_complete(&self) -> bool {
-        self.shards.iter().all(|e| e.status == ShardStatus::Complete)
+        self.shards
+            .iter()
+            .all(|e| e.status == ShardStatus::Complete)
     }
 
     /// The shard files of a completed run, in shard (hence case) order.
@@ -467,6 +477,7 @@ mod tests {
             universe_factors: None,
             reps: Some(2),
             seed: None,
+            structure_seeds: None,
         };
         Manifest::new(
             spec,
@@ -529,7 +540,8 @@ mod tests {
 
     #[test]
     fn save_and_load_are_inverse() {
-        let dir = std::env::temp_dir().join(format!("ring-distrib-manifest-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("ring-distrib-manifest-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let manifest = sample_manifest();
         manifest.save_in(&dir).unwrap();
@@ -539,15 +551,14 @@ mod tests {
 
     #[test]
     fn revalidation_demotes_tampered_shards() {
-        let dir = std::env::temp_dir().join(format!(
-            "ring-distrib-revalidate-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ring-distrib-revalidate-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let mut manifest = sample_manifest();
 
         // Shard 0: valid file (4 cases, checksum agrees).
-        let body = "{\"case_index\":0}\n{\"case_index\":1}\n{\"case_index\":2}\n{\"case_index\":3}\n";
+        let body =
+            "{\"case_index\":0}\n{\"case_index\":1}\n{\"case_index\":2}\n{\"case_index\":3}\n";
         std::fs::write(dir.join(shard_file_name(0)), body).unwrap();
         let digest = digest_file(&dir.join(shard_file_name(0))).unwrap();
         manifest.mark_complete(

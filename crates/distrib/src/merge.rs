@@ -126,9 +126,7 @@ impl ShardStream {
             if !line.ends_with('\n') {
                 return Err(MergeError::Malformed {
                     file: self.path.clone(),
-                    reason: format!(
-                        "truncated final record (no trailing newline): {line:.40}…"
-                    ),
+                    reason: format!("truncated final record (no trailing newline): {line:.40}…"),
                 });
             }
             let trimmed = line.trim_end_matches('\n');
@@ -185,8 +183,7 @@ pub fn merge_shards<W: Write>(
 ) -> Result<MergeReport, MergeError> {
     let mut heap = BinaryHeap::with_capacity(inputs.len());
     for path in inputs {
-        let file =
-            std::fs::File::open(path).map_err(|e| MergeError::Io(path.clone(), e))?;
+        let file = std::fs::File::open(path).map_err(|e| MergeError::Io(path.clone(), e))?;
         let mut stream = ShardStream {
             path: path.clone(),
             reader: BufReader::new(file),
@@ -269,7 +266,8 @@ mod tests {
     }
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("ring-distrib-merge-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("ring-distrib-merge-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
@@ -334,7 +332,10 @@ mod tests {
         let mut out = Vec::new();
         assert!(matches!(
             merge_shards(&[a.clone(), gap], &mut out, Some(4)),
-            Err(MergeError::Sequence { expected: 2, got: 3 })
+            Err(MergeError::Sequence {
+                expected: 2,
+                got: 3
+            })
         ));
 
         let dup = write_shard(&dir, "dup.jsonl", &[1, 2]);
@@ -355,7 +356,10 @@ mod tests {
         let mut out = Vec::new();
         assert!(matches!(
             merge_shards(&[a, short], &mut out, Some(5)),
-            Err(MergeError::Count { expected: 5, got: 3 })
+            Err(MergeError::Count {
+                expected: 5,
+                got: 3
+            })
         ));
         std::fs::remove_dir_all(&dir).ok();
     }

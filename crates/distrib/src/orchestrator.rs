@@ -63,7 +63,10 @@ pub fn run_pending_shards(
     std::fs::create_dir_all(run_dir)?;
     let (pending, fingerprint) = {
         let manifest = manifest.lock().expect("manifest lock");
-        (manifest.incomplete_shards(), manifest.spec_fingerprint.clone())
+        (
+            manifest.incomplete_shards(),
+            manifest.spec_fingerprint.clone(),
+        )
     };
     if pending.is_empty() {
         return Ok(RunOutcome::default());
@@ -91,11 +94,7 @@ pub fn run_pending_shards(
                             let mut m = manifest.lock().expect("manifest lock");
                             m.mark_complete(range.shard, &stats);
                             m.save_in(run_dir).expect("checkpoint manifest");
-                            outcome
-                                .lock()
-                                .expect("outcome")
-                                .completed
-                                .push(range.shard);
+                            outcome.lock().expect("outcome").completed.push(range.shard);
                             completed = true;
                             break;
                         }
@@ -148,7 +147,9 @@ fn run_one_shard(
         // retry (it may still be producing).
         child.kill().ok();
     }
-    let status = child.wait().map_err(|e| format!("cannot reap worker: {e}"))?;
+    let status = child
+        .wait()
+        .map_err(|e| format!("cannot reap worker: {e}"))?;
     let stats = match result {
         Ok(stats) => stats,
         Err(reason) => {
@@ -262,7 +263,8 @@ fn consume_worker_stream(
             }
         }
     }
-    out.flush().map_err(|e| format!("cannot flush shard file: {e}"))?;
+    out.flush()
+        .map_err(|e| format!("cannot flush shard file: {e}"))?;
     done.ok_or_else(|| "worker stream ended without a done event".to_string())
 }
 
@@ -274,10 +276,8 @@ mod tests {
     use crate::protocol::{DoneEvent, StartEvent};
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "ring-distrib-orch-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ring-distrib-orch-{tag}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -292,6 +292,7 @@ mod tests {
                 universe_factors: None,
                 reps: None,
                 seed: None,
+                structure_seeds: None,
             },
             "0xfeed".into(),
             total,
@@ -413,11 +414,14 @@ mod tests {
     #[test]
     fn lying_checksums_and_wrong_assignments_are_rejected() {
         let dir = temp_dir("lies");
-        let range = ShardRange { shard: 0, start: 0, end: 1 };
+        let range = ShardRange {
+            shard: 0,
+            start: 0,
+            end: 1,
+        };
 
         // Checksum that cannot match.
-        let start =
-            serde_json::to_string(&StartEvent::new(0, 1, 0, 1, "0xfeed")).unwrap();
+        let start = serde_json::to_string(&StartEvent::new(0, 1, 0, 1, "0xfeed")).unwrap();
         let done = serde_json::to_string(&DoneEvent::new(
             0,
             1,
@@ -439,8 +443,8 @@ mod tests {
         assert!(err.contains("fingerprint"), "{err}");
 
         // Out-of-sequence record.
-        let done_ok = serde_json::to_string(&DoneEvent::new(0, 1, "fnv1a64:0".into(), 0, 0, 0))
-            .unwrap();
+        let done_ok =
+            serde_json::to_string(&DoneEvent::new(0, 1, "fnv1a64:0".into(), 0, 0, 0)).unwrap();
         let cmd = scripted_worker(format!(
             "echo '{start}' && echo '{{\"case_index\":5}}' && echo '{done_ok}'"
         ));

@@ -69,9 +69,21 @@ mod tests {
         assert_eq!(
             plan_shards(6, 3),
             vec![
-                ShardRange { shard: 0, start: 0, end: 2 },
-                ShardRange { shard: 1, start: 2, end: 4 },
-                ShardRange { shard: 2, start: 4, end: 6 },
+                ShardRange {
+                    shard: 0,
+                    start: 0,
+                    end: 2
+                },
+                ShardRange {
+                    shard: 1,
+                    start: 2,
+                    end: 4
+                },
+                ShardRange {
+                    shard: 2,
+                    start: 4,
+                    end: 6
+                },
             ]
         );
         let ranges = plan_shards(7, 3);

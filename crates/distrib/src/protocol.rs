@@ -144,8 +144,7 @@ pub enum WorkerLine<'a> {
 /// without a parseable `case_index`).
 pub fn parse_worker_line(line: &str) -> Result<WorkerLine<'_>, String> {
     if line.starts_with("{\"event\":") {
-        let value =
-            serde_json::from_str(line).map_err(|e| format!("malformed event line: {e}"))?;
+        let value = serde_json::from_str(line).map_err(|e| format!("malformed event line: {e}"))?;
         let kind = value
             .get("event")
             .and_then(|v| v.as_str())
@@ -356,7 +355,10 @@ mod tests {
         let line = r#"{"case_index":42,"experiment":"table1","n":9}"#;
         assert_eq!(
             parse_worker_line(line).unwrap(),
-            WorkerLine::Record { case_index: 42, line }
+            WorkerLine::Record {
+                case_index: 42,
+                line
+            }
         );
         // Fallback path: `case_index` not in leading position.
         let shuffled = r#"{"experiment":"table1","case_index":7}"#;
@@ -373,7 +375,9 @@ mod tests {
         assert!(parse_worker_line("not json").is_err());
         assert!(parse_worker_line("{\"no_index\":1}").is_err());
         let wrong_schema = "{\"event\":\"start\",\"schema\":\"ring-distrib/v0\"}";
-        assert!(parse_worker_line(wrong_schema).unwrap_err().contains("schema"));
+        assert!(parse_worker_line(wrong_schema)
+            .unwrap_err()
+            .contains("schema"));
     }
 
     #[test]

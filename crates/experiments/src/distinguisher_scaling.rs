@@ -127,8 +127,8 @@ pub fn weak_nontrivial_move_case(
     let mut net = Network::new(&config, ids, Model::Basic)
         .expect("valid network")
         .with_structures(structures.clone());
-    let nm = weak_nontrivial_move_even_distinguisher(&mut net, spec.seed)
-        .expect("weak nontrivial move");
+    let nm =
+        weak_nontrivial_move_even_distinguisher(&mut net, spec.seed).expect("weak nontrivial move");
     Some(Measurement {
         experiment: "distinguisher_scaling".into(),
         setting: "basic model, even n, balanced chirality".into(),

@@ -28,7 +28,10 @@ pub fn lemma5_parity_audit(n: usize, universe: u64, samples: usize, seed: u64) -
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    assert!(n.is_multiple_of(2), "the impossibility result concerns even n");
+    assert!(
+        n.is_multiple_of(2),
+        "the impossibility result concerns even n"
+    );
     let config = ring_sim::RingConfig::builder(n)
         .random_positions(seed + 1)
         .build()
@@ -87,7 +90,8 @@ pub fn lemma6_case(case: &Case, structures: &SharedStructures) -> Vec<Measuremen
         let ids = case.ids();
         let mut net = Network::new(&config, ids, model)
             .expect("valid network")
-            .with_structures(structures.clone());
+            .with_structures(structures.clone())
+            .with_structure_seed(case.structure_seed);
         let discovery = discover_locations(&mut net).expect("location discovery");
         let floor = match model {
             Model::Perceptive if case.n.is_multiple_of(2) => case.n as f64 / 2.0,
@@ -125,6 +129,7 @@ mod tests {
             universe_factors: vec![4],
             repetitions: 1,
             seed: 13,
+            structure_seeds: None,
         };
         let m = lemma6_round_floors(&spec);
         assert!(!m.is_empty());

@@ -51,10 +51,7 @@ fn predicted(edge: &str, universe: u64, basic_even: bool) -> Option<f64> {
 /// Measures the incremental rounds of one reduction edge on one
 /// configuration: the prerequisite problem is solved first (not counted) and
 /// only the rounds of the reduction itself are reported.
-fn measure_edge(
-    net: &mut Network<'_>,
-    edge: &str,
-) -> Result<(u64, bool), ProtocolError> {
+fn measure_edge(net: &mut Network<'_>, edge: &str) -> Result<(u64, bool), ProtocolError> {
     match edge {
         "leader election -> nontrivial move" => {
             let nm0 = solve_nontrivial_move(net)?;
@@ -157,11 +154,19 @@ pub fn reductions_case(
     for edge in EDGES {
         let mut net = Network::new(&config, ids.clone(), model)
             .expect("valid configuration")
-            .with_structures(structures.clone());
+            .with_structures(structures.clone())
+            .with_structure_seed(case.structure_seed);
         let (rounds, verified) = measure_edge(&mut net, edge).expect("reduction failed");
         out.push(Measurement {
             experiment: figure.into(),
-            setting: format!("{model} model, {}", if case.n.is_multiple_of(2) { "even n" } else { "odd n" }),
+            setting: format!(
+                "{model} model, {}",
+                if case.n.is_multiple_of(2) {
+                    "even n"
+                } else {
+                    "odd n"
+                }
+            ),
             quantity: edge.into(),
             n: case.n,
             universe: case.universe,
@@ -195,7 +200,8 @@ pub fn randomized_da_to_nm_case(
     let ids = case.ids();
     let mut net = Network::new(&config, ids, model)
         .expect("valid configuration")
-        .with_structures(structures.clone());
+        .with_structures(structures.clone())
+        .with_structure_seed(case.structure_seed);
     let nm = solve_nontrivial_move(&mut net).expect("nontrivial move");
     let agreement =
         agree_direction_with_move(&mut net, nm.directions()).expect("direction agreement");
@@ -226,6 +232,7 @@ mod tests {
             universe_factors: vec![4],
             repetitions: 1,
             seed: 11,
+            structure_seeds: None,
         }
     }
 

@@ -14,6 +14,11 @@ pub struct Case {
     pub universe: u64,
     /// Seed from which positions, chirality and identifiers are derived.
     pub seed: u64,
+    /// The public seed the case's distinguisher machinery hands its
+    /// structure provider: the fixed protocol default under
+    /// [`SweepSpec`]'s fixed schedule, or one of `K` schedule seeds under
+    /// the per-case schedule (seed-diverse sweeps).
+    pub structure_seed: u64,
 }
 
 impl Case {
@@ -53,6 +58,16 @@ pub struct SweepSpec {
     pub repetitions: u64,
     /// Base seed.
     pub seed: u64,
+    /// The structure-seed schedule: `None` (fixed) gives every case the
+    /// protocol-default `STRUCTURE_SEED`; `Some(K)` (per-case) rotates the
+    /// cases through `K` distinct schedule seeds derived from the base
+    /// seed (at most `STRONG_WINDOW` of them — beyond that, windows would
+    /// repeat), so repetitions additionally sample the randomness of the
+    /// combinatorial structures themselves. Against a content-addressed
+    /// structure store the `K` seeds share one strong blob per universe
+    /// (seeds are windows into one universal sequence), so the store stays
+    /// near-constant in `K`.
+    pub structure_seeds: Option<u64>,
 }
 
 impl SweepSpec {
@@ -64,6 +79,7 @@ impl SweepSpec {
             universe_factors: vec![4, 64],
             repetitions: 3,
             seed: 2015,
+            structure_seeds: None,
         }
     }
 
@@ -74,6 +90,7 @@ impl SweepSpec {
             universe_factors: vec![4],
             repetitions: 1,
             seed: 7,
+            structure_seeds: None,
         }
     }
 
@@ -92,7 +109,15 @@ impl SweepSpec {
         for &factor in &self.universe_factors {
             h = splitmix64(h ^ factor);
         }
-        splitmix64(h ^ self.repetitions)
+        h = splitmix64(h ^ self.repetitions);
+        // The seed schedule changes which structures every even-n case
+        // executes, so it must change the fingerprint; the fixed schedule
+        // folds nothing, keeping fixed-mode fingerprints stable across this
+        // field's introduction.
+        if let Some(k) = self.structure_seeds {
+            h = splitmix64(h ^ 0x5eed_5c4e_d01e ^ k);
+        }
+        h
     }
 
     /// Enumerates the concrete cases of the sweep.
@@ -101,16 +126,40 @@ impl SweepSpec {
         for &n in &self.sizes {
             for &factor in &self.universe_factors {
                 for rep in 0..self.repetitions {
+                    let structure_seed = match self.structure_seeds {
+                        None => ring_protocols::coordination::nontrivial::STRUCTURE_SEED,
+                        Some(k) => schedule_seed(self.seed, out.len() as u64 % k.max(1)),
+                    };
                     out.push(Case {
                         n,
                         universe: factor * n as u64,
                         seed: case_seed(self.seed, n, factor, rep),
+                        structure_seed,
                     });
                 }
             }
         }
         out
     }
+}
+
+/// The `slot`-th schedule seed of a seed-diverse sweep (slots cycle through
+/// `0..K`): a splitmix64 chain over the base seed, so every participant of
+/// a sharded run derives the same `K` seeds independently.
+///
+/// The chain is additionally steered so that slot `s` lands on strong
+/// window offset `s % STRONG_WINDOW` — hashing alone would let two of `K`
+/// schedule seeds collide on a window (birthday over 64 slots) and
+/// silently collapse the promised structure diversity. With steering,
+/// any `K ≤ STRONG_WINDOW` schedule seeds are guaranteed pairwise-distinct
+/// windows, i.e. genuinely different strong sets at every round index.
+pub fn schedule_seed(base: u64, slot: u64) -> u64 {
+    let target = (slot % ring_combinat::STRONG_WINDOW) as usize;
+    let mut seed = splitmix64(splitmix64(base ^ 0xd5ee_d5ee_d5ee_d5ee) ^ slot);
+    while ring_combinat::strong_offset(seed) != target {
+        seed = splitmix64(seed);
+    }
+    seed
 }
 
 /// Derives a case seed by chaining splitmix64 over `(seed, n, factor,
@@ -169,6 +218,7 @@ mod tests {
             universe_factors: vec![1, 1 + (1 << 24), 1 + (1 << 25)],
             repetitions: 2,
             seed: 0,
+            structure_seeds: None,
         };
         let cases = adversarial.cases();
         let seeds: HashSet<u64> = cases.iter().map(|c| c.seed).collect();
@@ -176,7 +226,10 @@ mod tests {
             seeds.len(),
             cases.len(),
             "case seeds collide: {:?}",
-            cases.iter().map(|c| (c.n, c.universe, c.seed)).collect::<Vec<_>>()
+            cases
+                .iter()
+                .map(|c| (c.n, c.universe, c.seed))
+                .collect::<Vec<_>>()
         );
         // The old scheme's canonical collision: factors 2^24 apart.
         assert_ne!(cases[0].seed, cases[2].seed);
@@ -191,5 +244,53 @@ mod tests {
             .iter()
             .zip(&cases)
             .all(|(a, b)| a.seed != b.seed));
+    }
+
+    #[test]
+    fn seed_schedules_rotate_structure_seeds_and_move_the_fingerprint() {
+        use ring_protocols::coordination::nontrivial::STRUCTURE_SEED;
+        use std::collections::BTreeSet;
+        let fixed = SweepSpec::quick();
+        assert!(fixed
+            .cases()
+            .iter()
+            .all(|c| c.structure_seed == STRUCTURE_SEED));
+
+        let diverse = SweepSpec {
+            structure_seeds: Some(2),
+            ..SweepSpec::quick()
+        };
+        let cases = diverse.cases();
+        // Everything except the structure seed matches the fixed sweep.
+        for (a, b) in cases.iter().zip(fixed.cases()) {
+            assert_eq!((a.n, a.universe, a.seed), (b.n, b.universe, b.seed));
+        }
+        // Exactly K distinct schedule seeds, cycling in case order.
+        let seeds: BTreeSet<u64> = cases.iter().map(|c| c.structure_seed).collect();
+        assert_eq!(seeds.len(), 2);
+        assert_eq!(cases[0].structure_seed, cases[2].structure_seed);
+        assert_ne!(cases[0].structure_seed, cases[1].structure_seed);
+        assert_eq!(cases[0].structure_seed, schedule_seed(diverse.seed, 0));
+        // Schedule seeds are steered onto pairwise-distinct strong windows
+        // (for any base seed and any K up to the window count), so seed
+        // diversity can never silently collapse to fewer effective seeds.
+        for base in [0u64, 7, 2015, u64::MAX] {
+            let offsets: BTreeSet<usize> = (0..ring_combinat::STRONG_WINDOW)
+                .map(|slot| ring_combinat::strong_offset(schedule_seed(base, slot)))
+                .collect();
+            assert_eq!(offsets.len(), ring_combinat::STRONG_WINDOW as usize);
+        }
+
+        // The schedule is part of the identity distributed runs pin.
+        assert_eq!(fixed.fingerprint(), SweepSpec::quick().fingerprint());
+        assert_ne!(fixed.fingerprint(), diverse.fingerprint());
+        assert_ne!(
+            diverse.fingerprint(),
+            SweepSpec {
+                structure_seeds: Some(3),
+                ..SweepSpec::quick()
+            }
+            .fingerprint()
+        );
     }
 }

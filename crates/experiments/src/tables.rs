@@ -10,7 +10,7 @@ use ring_protocols::coordination::nontrivial::nontrivial_move_with_leader;
 use ring_protocols::locate::basic_odd::discover_locations_basic_odd_with_leader;
 use ring_protocols::locate::lazy::discover_locations_lazy_with_leader;
 use ring_protocols::locate::verify_location_discovery;
-use ring_protocols::pipeline::{measure_problem_with, Problem};
+use ring_protocols::pipeline::{measure_problem_seeded, Problem};
 use ring_protocols::structures::{fresh_structures, SharedStructures};
 use ring_protocols::{Network, ProtocolError};
 use ring_sim::{Frame, Model, Parity};
@@ -33,9 +33,7 @@ fn table1_prediction(setting: &str, problem: Problem, n: usize, universe: u64) -
     let log_n_univ = (universe as f64).log2().max(1.0);
     let odd = |problem: Problem| match problem {
         Problem::LeaderElection => Some(log_n_univ),
-        Problem::NontrivialMove => {
-            Some(((universe as f64 / n as f64).max(2.0)).log2().max(1.0))
-        }
+        Problem::NontrivialMove => Some(((universe as f64 / n as f64).max(2.0)).log2().max(1.0)),
         Problem::DirectionAgreement => Some(1.0),
         Problem::LocationDiscovery => Some(n as f64 + log_n_univ),
     };
@@ -87,8 +85,15 @@ pub fn table1_case(case: &Case, structures: &SharedStructures) -> Vec<Measuremen
     let mut out = Vec::new();
     for (model, setting) in settings_for(case.n) {
         for problem in Problem::ALL {
-            let cost = measure_problem_with(&config, &ids, model, problem, structures)
-                .expect("table 1 experiment failed");
+            let cost = measure_problem_seeded(
+                &config,
+                &ids,
+                model,
+                problem,
+                structures,
+                case.structure_seed,
+            )
+            .expect("table 1 experiment failed");
             out.push(Measurement {
                 experiment: "table1".into(),
                 setting: setting.into(),
@@ -147,11 +152,11 @@ pub fn table2_case(case: &Case, structures: &SharedStructures) -> Vec<Measuremen
             Problem::NontrivialMove,
             Problem::LocationDiscovery,
         ] {
-            let (value, verified) =
-                match measure_common_direction(case, model, problem, structures) {
-                    Ok(v) => v,
-                    Err(e) => panic!("table 2 experiment failed: {e}"),
-                };
+            let (value, verified) = match measure_common_direction(case, model, problem, structures)
+            {
+                Ok(v) => v,
+                Err(e) => panic!("table 2 experiment failed: {e}"),
+            };
             out.push(Measurement {
                 experiment: "table2".into(),
                 setting: setting.into(),
@@ -184,7 +189,9 @@ fn measure_common_direction(
         .build()
         .expect("valid configuration");
     let ids = case.ids();
-    let mut net = Network::new(&config, ids, model)?.with_structures(structures.clone());
+    let mut net = Network::new(&config, ids, model)?
+        .with_structures(structures.clone())
+        .with_structure_seed(case.structure_seed);
     let frames = vec![Frame::identity(); case.n];
 
     match problem {
@@ -208,9 +215,7 @@ fn measure_common_direction(
             (Model::Basic, Parity::Even) => Ok((None, true)),
             (Model::Perceptive, Parity::Even) => {
                 let discovery =
-                    ring_protocols::perceptive::distances::discover_locations_perceptive(
-                        &mut net,
-                    )?;
+                    ring_protocols::perceptive::distances::discover_locations_perceptive(&mut net)?;
                 Ok((
                     Some(discovery.rounds() as f64),
                     verify_location_discovery(&net, &discovery),
@@ -243,6 +248,7 @@ mod tests {
             universe_factors: vec![4],
             repetitions: 1,
             seed: 3,
+            structure_seeds: None,
         };
         let measurements = table1(&spec);
         // Odd case: 4 problems; even case: 3 models × 4 problems.
@@ -261,6 +267,7 @@ mod tests {
             universe_factors: vec![4],
             repetitions: 1,
             seed: 5,
+            structure_seeds: None,
         };
         let measurements = table2(&spec);
         assert_eq!(measurements.len(), 3 + 9);

@@ -71,7 +71,9 @@ impl StructureCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         StructureCache {
-            shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -96,22 +98,6 @@ impl StructureCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
-    }
-
-    /// A snapshot of the memoised strong-distinguisher sequences — what the
-    /// on-disk store persists at flush time (their prefixes materialise
-    /// lazily during a run, so they cannot be published at insert time).
-    pub(crate) fn strong_entries(&self) -> Vec<(StructureKey, Arc<SharedStrongDistinguisher>)> {
-        let mut out = Vec::new();
-        for shard in &self.shards {
-            let map = shard.lock().expect("structure cache shard");
-            for (key, cached) in map.iter() {
-                if let CachedStructure::Strong(strong) = cached {
-                    out.push((*key, Arc::clone(strong)));
-                }
-            }
-        }
-        out
     }
 
     /// Serves `key` from the memo without constructing, counting a hit
@@ -233,7 +219,10 @@ mod tests {
     fn cached_structures_equal_fresh_ones() {
         let cache = StructureCache::new();
         let fresh = FreshStructures;
-        assert_eq!(*cache.distinguisher(128, 4, 3), *fresh.distinguisher(128, 4, 3));
+        assert_eq!(
+            *cache.distinguisher(128, 4, 3),
+            *fresh.distinguisher(128, 4, 3)
+        );
         assert_eq!(
             *cache.selective_family(128, 4, 3),
             *fresh.selective_family(128, 4, 3)

@@ -20,11 +20,17 @@
 //!   merge          k-way-merge shard JSONL files by case_index
 //!   resume         complete a partially-run sharded run directory
 //!   structures     maintain an on-disk structure store:
-//!                    structures prebuild <sub> [spec flags]  construct and
-//!                      publish every structure the subcommand will request
+//!                    structures prebuild <sub> [spec flags] [--format v1|v2]
+//!                      construct and publish every structure the
+//!                      subcommand will request (v1 writes the legacy
+//!                      one-file-per-key layout, for migration fixtures)
 //!                    structures verify   validate every store file
-//!                    structures gc       drop corrupt files + stale
-//!                      tmp/claim leftovers
+//!                    structures gc       drop corrupt files, stale
+//!                      tmp/claim leftovers and unreferenced blobs
+//!                    structures migrate  rewrite a legacy v1 store in
+//!                      place onto the content-addressed v2 layout
+//!                    structures stats    per-kind blob counts, bytes and
+//!                      logical-keys-per-blob dedup ratios (stderr JSON)
 //!
 //! flags:
 //!   --quick                   reduced sizes (CI smoke)
@@ -55,6 +61,17 @@
 //!                             for sharded runs), constructing each one
 //!                             once per fleet and loading it everywhere
 //!                             else; output stays byte-identical
+//!   --structure-seed-mode fixed|per-case
+//!                             structure-seed schedule of the sweep: fixed
+//!                             (default) hands every case the protocol's
+//!                             STRUCTURE_SEED; per-case rotates the cases
+//!                             through K distinct schedule seeds, so
+//!                             repetitions additionally sample structure
+//!                             randomness (seed-diverse sweeps). Against a
+//!                             v2 store the K seeds share one strong blob
+//!                             per universe.
+//!   --structure-seeds K       number of schedule seeds in per-case mode
+//!                             (default 4; implies per-case)
 //!   --stats                   print structure-cache / structure-store /
 //!                             executor statistics as JSON on stderr
 //!                             (fleet-wide aggregates for sharded runs)
@@ -76,7 +93,6 @@ use crate::scenario::{
 use crate::sink::JsonlSink;
 use crate::store::StructureStore;
 use ring_combinat::shared::splitmix64;
-use ring_protocols::structures::StructureProvider;
 use ring_distrib::{
     fail_after_from_env, merge_shards, plan_shards, run_pending_shards, DoneEvent, Manifest,
     OrchestratorOptions, ShardRange, ShardTally, SpecParams, StartEvent,
@@ -84,6 +100,7 @@ use ring_distrib::{
 use ring_experiments::distinguisher_scaling::ScalingSpec;
 use ring_experiments::report::{aggregate, format_markdown_table};
 use ring_experiments::{Measurement, SweepSpec};
+use ring_protocols::structures::StructureProvider;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -92,12 +109,14 @@ use std::time::Instant;
 
 const USAGE: &str = "usage: ringlab <table1|table2|fig1|fig2|scaling|lower-bounds|all|sweep> \
 [--quick] [--jobs N] [--sizes a,b,..] [--universe-factors a,b,..] [--reps K] [--seed S] \
+[--structure-seed-mode fixed|per-case] [--structure-seeds K] \
 [--jsonl PATH|-] [--no-jsonl] [--shards M] [--shard i/M] [--run-dir DIR] [--retries R] \
 [--structure-store [DIR]] [--stats]
        ringlab worker <subcommand> --shard i/M [spec flags] [--structure-store DIR]
        ringlab merge [--run-dir DIR | SHARD.jsonl ..] [--jsonl PATH|-]
        ringlab resume <RUN_DIR> [--jobs N] [--jsonl PATH|-] [--stats]
-       ringlab structures <prebuild <subcommand> [spec flags]|verify|gc> [--structure-store DIR]";
+       ringlab structures <prebuild <subcommand> [spec flags] [--format v1|v2]\
+|verify|gc|migrate|stats> [--structure-store DIR]";
 
 /// Default structure-store directory for non-sharded invocations (sharded
 /// runs default into `<run-dir>/structures` instead).
@@ -122,14 +141,30 @@ struct Options {
     /// `None` = no store; `Some(None)` = store at the context default
     /// directory; `Some(Some(dir))` = store at an explicit directory.
     structure_store: Option<Option<String>>,
+    /// `Some(K)` = per-case structure-seed schedule with K schedule seeds;
+    /// `None` = the fixed default (resolved from `--structure-seed-mode` /
+    /// `--structure-seeds` at parse time).
+    structure_seeds: Option<u64>,
+    /// `structures prebuild --format v1`: write the legacy layout.
+    v1_format: bool,
     stats: bool,
     positionals: Vec<String>,
 }
 
 /// Subcommands `run` dispatches on (usage errors for anything else).
 const SUBCOMMANDS: [&str; 12] = [
-    "table1", "table2", "fig1", "fig2", "scaling", "lower-bounds", "all", "sweep", "worker",
-    "merge", "resume", "structures",
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "scaling",
+    "lower-bounds",
+    "all",
+    "sweep",
+    "worker",
+    "merge",
+    "resume",
+    "structures",
 ];
 
 /// Runs the CLI on explicit arguments (without the program name), returning
@@ -215,15 +250,51 @@ fn resolve_store_dir(options: &Options, default: impl FnOnce() -> String) -> Opt
         .map(|explicit| explicit.clone().unwrap_or_else(default))
 }
 
-/// An engine over a disk-backed store (when a directory was resolved) or a
-/// fresh memory-only store.
-fn build_engine(jobs: usize, store_dir: Option<&str>) -> Result<SweepEngine, String> {
-    match store_dir {
-        None => Ok(SweepEngine::new(jobs)),
-        Some(dir) => {
-            let store = StructureStore::at(dir)
-                .map_err(|e| format!("cannot open structure store {dir}: {e}"))?;
-            Ok(SweepEngine::with_store(jobs, Arc::new(store)))
+/// The flags every engine-running subcommand shares — `--jobs`, `--quick`,
+/// `--stats`, `--structure-store` and the JSONL destination — resolved
+/// against the invocation context in one place, so the per-subcommand
+/// handlers stop repeating the store/destination/engine plumbing.
+struct CommonArgs {
+    jobs: usize,
+    stats: bool,
+    store_dir: Option<String>,
+    destination: Option<String>,
+}
+
+impl Options {
+    /// Resolves the shared flags. `store_default` supplies the directory a
+    /// bare `--structure-store` means in this context; `jsonl_default` the
+    /// stream destination when `--jsonl` was not given (`None` = no
+    /// stream). `--no-jsonl` wins over both.
+    fn common(
+        &self,
+        store_default: impl FnOnce() -> String,
+        jsonl_default: impl FnOnce() -> Option<String>,
+    ) -> CommonArgs {
+        CommonArgs {
+            jobs: self.jobs,
+            stats: self.stats,
+            store_dir: resolve_store_dir(self, store_default),
+            destination: if self.no_jsonl {
+                None
+            } else {
+                self.jsonl.clone().or_else(jsonl_default)
+            },
+        }
+    }
+}
+
+impl CommonArgs {
+    /// An engine over a disk-backed store (when a directory was resolved)
+    /// or a fresh memory-only store.
+    fn engine(&self) -> Result<SweepEngine, String> {
+        match self.store_dir.as_deref() {
+            None => Ok(SweepEngine::new(self.jobs)),
+            Some(dir) => {
+                let store = StructureStore::at(dir)
+                    .map_err(|e| format!("cannot open structure store {dir}: {e}"))?;
+                Ok(SweepEngine::with_store(self.jobs, Arc::new(store)))
+            }
         }
     }
 }
@@ -232,10 +303,7 @@ fn build_engine(jobs: usize, store_dir: Option<&str>) -> Result<SweepEngine, Str
 /// multi-process orchestration.
 fn cmd_experiment(options: &Options) -> Result<i32, String> {
     if !options.positionals.is_empty() {
-        return Err(format!(
-            "unexpected argument `{}`",
-            options.positionals[0]
-        ));
+        return Err(format!("unexpected argument `{}`", options.positionals[0]));
     }
     let spec = sweep_spec(options);
     let scaling = scaling_spec(options);
@@ -247,10 +315,18 @@ fn cmd_experiment(options: &Options) -> Result<i32, String> {
         return cmd_shard_slice(options, &spec, &scaling, &items, shard, of);
     }
 
-    let store_dir = resolve_store_dir(options, || DEFAULT_STORE_DIR.to_string());
-    let engine = build_engine(options.jobs, store_dir.as_deref())?;
+    let common = options.common(
+        || DEFAULT_STORE_DIR.to_string(),
+        || {
+            Some(format!(
+                "results/{}.jsonl",
+                options.subcommand.replace('-', "_")
+            ))
+        },
+    );
+    let engine = common.engine()?;
     let start = Instant::now();
-    let destination = jsonl_destination(options);
+    let destination = common.destination.clone();
     let records = run_items_with_offset(&engine, &items, 0, destination.as_deref())?;
     let elapsed = start.elapsed();
 
@@ -261,7 +337,8 @@ fn cmd_experiment(options: &Options) -> Result<i32, String> {
     print_tables(&render_markdown(&measurements), destination.as_deref());
 
     let stats = engine.cache_stats();
-    let store_note = store_dir
+    let store_note = common
+        .store_dir
         .as_deref()
         .map(|dir| {
             let store = engine.store_stats();
@@ -276,13 +353,17 @@ fn cmd_experiment(options: &Options) -> Result<i32, String> {
 structure cache: {} hits / {} misses ({:.0}% hit rate){store_note}",
         items.len(),
         elapsed.as_secs_f64(),
-        if options.jobs == 0 { crate::executor::available_jobs() } else { options.jobs },
+        if common.jobs == 0 {
+            crate::executor::available_jobs()
+        } else {
+            common.jobs
+        },
         items.len() as f64 / elapsed.as_secs_f64().max(1e-9),
         stats.hits,
         stats.misses,
         stats.hit_rate() * 100.0,
     );
-    if options.stats {
+    if common.stats {
         print_engine_stats(&engine);
     }
     Ok(0)
@@ -403,9 +484,12 @@ fn jsonl_destination(options: &Options) -> Option<String> {
     if options.no_jsonl {
         return None;
     }
-    Some(options.jsonl.clone().unwrap_or_else(|| {
-        format!("results/{}.jsonl", options.subcommand.replace('-', "_"))
-    }))
+    Some(
+        options
+            .jsonl
+            .clone()
+            .unwrap_or_else(|| format!("results/{}.jsonl", options.subcommand.replace('-', "_"))),
+    )
 }
 
 /// Opens a JSONL destination for writing (`-` = stdout).
@@ -442,22 +526,25 @@ fn cmd_shard_slice(
 ) -> Result<i32, String> {
     let ranges = plan_shards(items.len(), of);
     let range = ranges[shard];
-    let destination = if options.no_jsonl {
-        None
-    } else {
-        Some(options.jsonl.clone().unwrap_or_else(|| {
-            format!(
-                "results/{}.shard-{shard}-of-{of}.jsonl",
-                options.subcommand.replace('-', "_")
-            )
-        }))
-    };
     // Fleet mode: a shared store directory is how hand-partitioned workers
     // on one filesystem avoid rebuilding each other's structures.
-    let store_dir = resolve_store_dir(options, || DEFAULT_STORE_DIR.to_string());
-    let engine = build_engine(options.jobs, store_dir.as_deref())?;
+    let common = options.common(
+        || DEFAULT_STORE_DIR.to_string(),
+        || {
+            Some(format!(
+                "results/{}.shard-{shard}-of-{of}.jsonl",
+                options.subcommand.replace('-', "_")
+            ))
+        },
+    );
+    let engine = common.engine()?;
     let start = Instant::now();
-    let records = run_items_with_offset(&engine, &items[range.start..range.end], range.start, destination.as_deref())?;
+    let records = run_items_with_offset(
+        &engine,
+        &items[range.start..range.end],
+        range.start,
+        common.destination.as_deref(),
+    )?;
     eprintln!(
         "ringlab: shard {shard}/{of} ({} of {} cases, [{}, {})) in {:.2}s; fingerprint {}",
         range.len(),
@@ -467,7 +554,7 @@ fn cmd_shard_slice(
         start.elapsed().as_secs_f64(),
         spec_fingerprint(&options.subcommand, spec, scaling),
     );
-    if options.stats {
+    if common.stats {
         print_engine_stats(&engine);
     }
     let _ = records;
@@ -490,7 +577,10 @@ fn run_items_with_offset(
     let records = engine.run_with_offset(items, offset, Some(&sink));
     sink.finish();
     if destination != "-" {
-        eprintln!("ringlab: streamed {} records to {destination}", records.len());
+        eprintln!(
+            "ringlab: streamed {} records to {destination}",
+            records.len()
+        );
     }
     Ok(records)
 }
@@ -514,15 +604,20 @@ fn cmd_worker(options: &Options) -> Result<i32, String> {
     let start = StartEvent::new(shard, of, range.start, range.end, &fingerprint);
     {
         let mut out = std::io::stdout();
-        writeln!(out, "{}", serde_json::to_string(&start).expect("serializable event"))
-            .and_then(|()| out.flush())
-            .map_err(|e| format!("cannot write to stdout: {e}"))?;
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string(&start).expect("serializable event")
+        )
+        .and_then(|()| out.flush())
+        .map_err(|e| format!("cannot write to stdout: {e}"))?;
     }
 
     // Orchestrated workers receive the run's store directory explicitly;
-    // a hand-launched worker may also point itself at a shared one.
-    let store_dir = resolve_store_dir(options, || DEFAULT_STORE_DIR.to_string());
-    let engine = build_engine(options.jobs, store_dir.as_deref())?;
+    // a hand-launched worker may also point itself at a shared one. The
+    // protocol owns stdout, so the shared JSONL destination is unused.
+    let common = options.common(|| DEFAULT_STORE_DIR.to_string(), || None);
+    let engine = common.engine()?;
     let tally = ShardTally::new(std::io::stdout(), fail_after_from_env());
     let sink = JsonlSink::new(tally);
     engine.run_with_offset(&items[range.start..range.end], range.start, Some(&sink));
@@ -540,7 +635,10 @@ fn cmd_worker(options: &Options) -> Result<i32, String> {
         exec.steals,
     )
     .with_store(store.hits, store.misses);
-    println!("{}", serde_json::to_string(&done).expect("serializable event"));
+    println!(
+        "{}",
+        serde_json::to_string(&done).expect("serializable event")
+    );
     Ok(0)
 }
 
@@ -552,9 +650,10 @@ fn cmd_sharded(
     scaling: &ScalingSpec,
     items: &[WorkItem],
 ) -> Result<i32, String> {
-    let run_dir = PathBuf::from(options.run_dir.clone().unwrap_or_else(|| {
-        format!("results/distrib/{}", options.subcommand.replace('-', "_"))
-    }));
+    let run_dir =
+        PathBuf::from(options.run_dir.clone().unwrap_or_else(|| {
+            format!("results/distrib/{}", options.subcommand.replace('-', "_"))
+        }));
     let ranges = plan_shards(items.len(), options.shards);
     let fingerprint = spec_fingerprint(&options.subcommand, spec, scaling);
     let destination = jsonl_destination(options);
@@ -571,6 +670,7 @@ fn cmd_sharded(
             universe_factors: options.universe_factors.clone(),
             reps: options.reps,
             seed: options.seed,
+            structure_seeds: options.structure_seeds,
         },
         fingerprint,
         items.len(),
@@ -770,7 +870,9 @@ manifest {}",
 
 /// `structures`: maintenance of an on-disk structure store — `prebuild`
 /// constructs and publishes every structure a subcommand will request,
-/// `verify` validates every file, `gc` drops what no longer proves itself.
+/// `verify` validates every file, `gc` drops what no longer proves itself
+/// plus unreferenced blobs, `migrate` rewrites a v1 store onto the v2
+/// layout, `stats` reports per-kind dedup ratios.
 fn cmd_structures(options: &Options) -> Result<i32, String> {
     let Some(action) = options.positionals.first() else {
         return Err(format!("structures needs an action\n{USAGE}"));
@@ -784,10 +886,7 @@ fn cmd_structures(options: &Options) -> Result<i32, String> {
                 return Err(format!("structures prebuild needs a subcommand\n{USAGE}"));
             };
             if options.positionals.len() > 2 {
-                return Err(format!(
-                    "unexpected argument `{}`",
-                    options.positionals[2]
-                ));
+                return Err(format!("unexpected argument `{}`", options.positionals[2]));
             }
             let spec = sweep_spec(options);
             let scaling = scaling_spec(options);
@@ -802,6 +901,20 @@ fn cmd_structures(options: &Options) -> Result<i32, String> {
                         None => keys.push((key, hint)),
                     }
                 }
+            }
+            if options.v1_format {
+                // The legacy one-file-per-key layout — the fixture path for
+                // `structures migrate` (and its CI smoke).
+                for (key, hint) in &keys {
+                    crate::store::write_v1_file(&dir_path, key, *hint)
+                        .map_err(|e| format!("cannot write v1 file into {dir}: {e}"))?;
+                }
+                eprintln!(
+                    "ringlab: prebuilt {} legacy v1 structure file(s) for `{subcommand}` \
+into {dir}",
+                    keys.len(),
+                );
+                return Ok(0);
             }
             let store = StructureStore::at(&dir_path)
                 .map_err(|e| format!("cannot open structure store {dir}: {e}"))?;
@@ -839,6 +952,31 @@ fn cmd_structures(options: &Options) -> Result<i32, String> {
             );
             Ok(0)
         }
+        "migrate" => {
+            let store = StructureStore::at(&dir_path)
+                .map_err(|e| format!("cannot open structure store {dir}: {e}"))?;
+            let report = store
+                .migrate()
+                .map_err(|e| format!("cannot migrate {dir}: {e}"))?;
+            eprintln!(
+                "ringlab: migrated {dir} to {}: {} materialised file(s) re-encoded, \
+{} strong file(s) replaced by universal blobs, {} corrupt file(s) dropped",
+                ring_combinat::STORE_SCHEMA_V2,
+                report.materialised,
+                report.strong,
+                report.dropped,
+            );
+            Ok(0)
+        }
+        "stats" => {
+            let stats = crate::store::store_dir_stats(&dir_path)
+                .map_err(|e| format!("cannot stat {dir}: {e}"))?;
+            eprintln!(
+                "ringlab: structures stats {}",
+                serde_json::to_string(&stats).expect("serializable stats")
+            );
+            Ok(0)
+        }
         "verify" => {
             let reports = crate::store::scan_store_dir(&dir_path)
                 .map_err(|e| format!("cannot scan {dir}: {e}"))?;
@@ -866,8 +1004,9 @@ fn cmd_structures(options: &Options) -> Result<i32, String> {
             let report = crate::store::gc_store_dir(&dir_path)
                 .map_err(|e| format!("cannot gc {dir}: {e}"))?;
             eprintln!(
-                "ringlab: gc {dir}: kept {} file(s), removed {} corrupt, {} stale tmp/claim",
-                report.kept, report.corrupt, report.stale
+                "ringlab: gc {dir}: kept {} file(s), removed {} corrupt, {} stale tmp/claim, \
+{} unreferenced blob(s)",
+                report.kept, report.corrupt, report.stale, report.unreferenced
             );
             Ok(0)
         }
@@ -957,15 +1096,17 @@ fn worker_args(
         args.push("--seed".into());
         args.push(seed.to_string());
     }
+    if let Some(k) = spec.structure_seeds {
+        args.push("--structure-seed-mode".into());
+        args.push("per-case".into());
+        args.push("--structure-seeds".into());
+        args.push(k.to_string());
+    }
     args
 }
 
 fn join_list<T: std::fmt::Display>(items: &[T]) -> String {
-    items
-        .iter()
-        .map(T::to_string)
-        .collect::<Vec<_>>()
-        .join(",")
+    items.iter().map(T::to_string).collect::<Vec<_>>().join(",")
 }
 
 /// Rebuilds the spec-affecting options recorded in a manifest, keeping the
@@ -978,6 +1119,7 @@ fn options_from_spec(spec: &SpecParams, runtime: &Options) -> Options {
         universe_factors: spec.universe_factors.clone(),
         reps: spec.reps,
         seed: spec.seed,
+        structure_seeds: spec.structure_seeds,
         jsonl: None,
         no_jsonl: false,
         shards: 0,
@@ -1061,7 +1203,11 @@ impl<W: Write> Write for MeasurementCollector<W> {
 /// rows, matching the former per-experiment binaries.
 pub fn render_markdown(measurements: &[Measurement]) -> String {
     const SECTIONS: [(&str, &str, bool); 6] = [
-        ("table1", "Table I — deterministic solutions in the general setting", true),
+        (
+            "table1",
+            "Table I — deterministic solutions in the general setting",
+            true,
+        ),
         (
             "table2",
             "Table II — deterministic solutions with a common sense of direction",
@@ -1098,7 +1244,11 @@ pub fn render_markdown(measurements: &[Measurement]) -> String {
             out.push('\n');
         }
         out.push_str(&format!("# {title}\n\n"));
-        let rows = if aggregated { aggregate(&section) } else { section };
+        let rows = if aggregated {
+            aggregate(&section)
+        } else {
+            section
+        };
         out.push_str(&format_markdown_table(&rows));
     }
     out
@@ -1122,6 +1272,7 @@ fn sweep_spec(options: &Options) -> SweepSpec {
     if let Some(seed) = options.seed {
         spec.seed = seed;
     }
+    spec.structure_seeds = options.structure_seeds;
     spec
 }
 
@@ -1162,9 +1313,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
         run_dir: None,
         retries: 1,
         structure_store: None,
+        structure_seeds: None,
+        v1_format: false,
         stats: false,
         positionals: Vec::new(),
     };
+    let mut seed_mode: Option<String> = None;
+    let mut seed_count: Option<u64> = None;
     let mut iter = args.iter();
     let Some(subcommand) = iter.next() else {
         return Err("missing subcommand".into());
@@ -1220,6 +1375,24 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--retries expects a non-negative integer".to_string())?;
             }
+            "--structure-seed-mode" => {
+                seed_mode = Some(value_of("--structure-seed-mode")?);
+            }
+            "--structure-seeds" => {
+                seed_count = Some(
+                    value_of("--structure-seeds")?
+                        .parse()
+                        .map_err(|_| "--structure-seeds expects a positive integer".to_string())?,
+                );
+            }
+            "--format" => {
+                let format = value_of("--format")?;
+                match format.as_str() {
+                    "v1" => options.v1_format = true,
+                    "v2" => options.v1_format = false,
+                    other => return Err(format!("--format expects v1 or v2, not `{other}`")),
+                }
+            }
             "--sizes" => {
                 options.sizes = Some(parse_list(&value_of("--sizes")?, "--sizes")?);
             }
@@ -1261,6 +1434,38 @@ fn parse(args: &[String]) -> Result<Options, String> {
     if options.reps == Some(0) {
         return Err("--reps expects a positive integer".into());
     }
+    // Resolve the structure-seed schedule: an explicit mode wins; a bare
+    // `--structure-seeds K` implies per-case.
+    options.structure_seeds = match (seed_mode.as_deref(), seed_count) {
+        (Some("fixed"), None) | (None, None) => None,
+        (Some("fixed"), Some(_)) => {
+            return Err("--structure-seeds contradicts --structure-seed-mode fixed".into())
+        }
+        (Some("per-case"), count) => Some(count.unwrap_or(4)),
+        (None, Some(count)) => Some(count),
+        (Some(other), _) => {
+            return Err(format!(
+                "--structure-seed-mode expects fixed or per-case, not `{other}`"
+            ))
+        }
+    };
+    if options.structure_seeds == Some(0) {
+        return Err("--structure-seeds expects a positive integer".into());
+    }
+    // Beyond the window count, schedule slots would wrap onto already-used
+    // strong windows and silently repeat bit-identical strong sequences —
+    // refuse rather than mislabel collapsed diversity as K distinct seeds.
+    if options
+        .structure_seeds
+        .is_some_and(|k| k > ring_combinat::STRONG_WINDOW)
+    {
+        return Err(format!(
+            "--structure-seeds supports at most {} distinct seeds (strong sequences \
+are windows into one universal sequence with {} window offsets)",
+            ring_combinat::STRONG_WINDOW,
+            ring_combinat::STRONG_WINDOW,
+        ));
+    }
     if let Some((shard, of)) = options.shard {
         if of == 0 || shard >= of {
             return Err(format!("--shard {shard}/{of} is out of range (need i < M)"));
@@ -1278,6 +1483,13 @@ use --quick for the reduced variant)"
     }
     if options.subcommand == "scaling" && options.reps.is_some() {
         return Err("--reps does not apply to `scaling` (one measurement per set size)".into());
+    }
+    if options.subcommand == "scaling" && options.structure_seeds.is_some() {
+        return Err(
+            "the structure-seed schedule does not apply to `scaling` (its structures are \
+keyed by the scaling seed; use --seed)"
+                .into(),
+        );
     }
     Ok(options)
 }
@@ -1343,7 +1555,14 @@ mod tests {
     #[test]
     fn sharding_flags_parse() {
         let options = parse(&args(&[
-            "sweep", "--shards", "4", "--run-dir", "/tmp/x", "--retries", "2", "--stats",
+            "sweep",
+            "--shards",
+            "4",
+            "--run-dir",
+            "/tmp/x",
+            "--retries",
+            "2",
+            "--stats",
         ]))
         .unwrap();
         assert_eq!(options.shards, 4);
@@ -1379,8 +1598,13 @@ mod tests {
             universe_factors: Some(vec![4]),
             reps: Some(2),
             seed: Some(77),
+            structure_seeds: Some(3),
         };
-        let range = ShardRange { shard: 1, start: 4, end: 8 };
+        let range = ShardRange {
+            shard: 1,
+            start: 4,
+            end: 8,
+        };
         let argv = worker_args(&spec, 1, &range, 3, "run/structures");
         let parsed = parse(&argv).unwrap();
         assert_eq!(parsed.subcommand, "worker");
@@ -1391,11 +1615,13 @@ mod tests {
             parsed.structure_store,
             Some(Some("run/structures".to_string()))
         );
+        assert_eq!(parsed.structure_seeds, Some(3));
         let rebuilt = sweep_spec(&parsed);
         assert_eq!(rebuilt.sizes, vec![9, 8]);
         assert_eq!(rebuilt.universe_factors, vec![4]);
         assert_eq!(rebuilt.repetitions, 2);
         assert_eq!(rebuilt.seed, 77);
+        assert_eq!(rebuilt.structure_seeds, Some(3));
 
         // A storeless run adds no flag.
         let argv = worker_args(&spec, 1, &range, 3, "");
@@ -1404,8 +1630,13 @@ mod tests {
 
     #[test]
     fn structure_store_flag_takes_an_optional_directory() {
-        let explicit = parse(&args(&["sweep", "--structure-store", "some/dir", "--quick"]))
-            .unwrap();
+        let explicit = parse(&args(&[
+            "sweep",
+            "--structure-store",
+            "some/dir",
+            "--quick",
+        ]))
+        .unwrap();
         assert_eq!(explicit.structure_store, Some(Some("some/dir".into())));
         assert!(explicit.quick);
 
@@ -1429,6 +1660,66 @@ mod tests {
             Some("default")
         );
         assert_eq!(resolve_store_dir(&off, || "default".into()), None);
+    }
+
+    #[test]
+    fn structure_seed_schedule_flags_parse_and_validate() {
+        // Fixed by default; bare --structure-seeds implies per-case.
+        assert_eq!(parse(&args(&["sweep"])).unwrap().structure_seeds, None);
+        assert_eq!(
+            parse(&args(&["sweep", "--structure-seed-mode", "per-case"]))
+                .unwrap()
+                .structure_seeds,
+            Some(4)
+        );
+        assert_eq!(
+            parse(&args(&["sweep", "--structure-seeds", "7"]))
+                .unwrap()
+                .structure_seeds,
+            Some(7)
+        );
+        assert_eq!(
+            parse(&args(&[
+                "sweep",
+                "--structure-seed-mode",
+                "per-case",
+                "--structure-seeds",
+                "2"
+            ]))
+            .unwrap()
+            .structure_seeds,
+            Some(2)
+        );
+        assert_eq!(
+            parse(&args(&["sweep", "--structure-seed-mode", "fixed"]))
+                .unwrap()
+                .structure_seeds,
+            None
+        );
+        // Contradictions and nonsense are usage errors.
+        assert!(parse(&args(&[
+            "sweep",
+            "--structure-seed-mode",
+            "fixed",
+            "--structure-seeds",
+            "2"
+        ]))
+        .is_err());
+        assert!(parse(&args(&["sweep", "--structure-seed-mode", "maybe"])).is_err());
+        assert!(parse(&args(&["sweep", "--structure-seeds", "0"])).is_err());
+        // K beyond the strong-window count would wrap onto repeated
+        // windows; the boundary itself is fine.
+        assert!(parse(&args(&["sweep", "--structure-seeds", "65"])).is_err());
+        assert!(parse(&args(&["sweep", "--structure-seeds", "64"])).is_ok());
+        assert!(parse(&args(&["scaling", "--structure-seeds", "2"])).is_err());
+        // The schedule is spec-affecting: it must move the fingerprint.
+        let fixed = parse(&args(&["sweep", "--quick"])).unwrap();
+        let diverse = parse(&args(&["sweep", "--quick", "--structure-seeds", "4"])).unwrap();
+        let scaling = ScalingSpec::standard();
+        assert_ne!(
+            spec_fingerprint("sweep", &sweep_spec(&fixed), &scaling),
+            spec_fingerprint("sweep", &sweep_spec(&diverse), &scaling)
+        );
     }
 
     #[test]

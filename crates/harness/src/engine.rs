@@ -138,6 +138,7 @@ mod tests {
             universe_factors: vec![4],
             repetitions: 1,
             seed: 3,
+            structure_seeds: None,
         });
         let engine = SweepEngine::new(2);
         let sink = JsonlSink::new(Vec::new());
@@ -159,6 +160,7 @@ mod tests {
             universe_factors: vec![4],
             repetitions: 2,
             seed: 3,
+            structure_seeds: None,
         });
         // The whole sweep in one process…
         let engine = SweepEngine::new(1);

@@ -68,7 +68,11 @@ where
     let jobs = if jobs == 0 { available_jobs() } else { jobs };
     let jobs = jobs.min(items.len()).max(1);
     if jobs <= 1 {
-        let results = items.iter().enumerate().map(|(i, t)| worker(i, t)).collect();
+        let results = items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| worker(i, t))
+            .collect();
         return (
             results,
             ExecutorStats {
@@ -150,7 +154,11 @@ mod tests {
                 assert_eq!(i, x);
                 x * x
             });
-            assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>(), "jobs {jobs}");
+            assert_eq!(
+                out,
+                items.iter().map(|&x| x * x).collect::<Vec<_>>(),
+                "jobs {jobs}"
+            );
         }
     }
 
@@ -182,7 +190,13 @@ mod tests {
         // Serial runs never steal.
         let items: Vec<usize> = (0..16).collect();
         let (_, stats) = run_work_stealing_with_stats(&items, 1, |_, &x| x);
-        assert_eq!(stats, ExecutorStats { executed: 16, steals: 0 });
+        assert_eq!(
+            stats,
+            ExecutorStats {
+                executed: 16,
+                steals: 0
+            }
+        );
 
         // One pathologically slow item forces the other worker to steal the
         // victim's whole stripe (2 workers, striped deques).

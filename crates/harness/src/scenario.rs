@@ -8,13 +8,13 @@
 //! per-case round counts, phase accounting and theory-bound comparisons
 //! that the engine streams as JSON-lines and renders as markdown tables.
 
+use ring_combinat::{StructureKey, StructureKind};
 use ring_experiments::distinguisher_scaling::{
     family_sizes_case, weak_nontrivial_move_case, ScalingSpec,
 };
 use ring_experiments::lower_bounds::{lemma5_parity_audit, lemma6_case};
 use ring_experiments::reductions::{figure_for, randomized_da_to_nm_case, reductions_case};
 use ring_experiments::tables::{table1_case, table2_case};
-use ring_combinat::{StructureKey, StructureKind};
 use ring_experiments::{Case, Measurement, SweepSpec};
 use ring_protocols::structures::SharedStructures;
 use ring_sim::Model;
@@ -141,14 +141,18 @@ impl WorkItem {
     /// The list mirrors the experiment code paths: Table I, reduction and
     /// location-discovery cases route even-`n` nontrivial moves through
     /// `solve_nontrivial_move`, whose strong distinguisher is keyed by
-    /// `(universe, STRUCTURE_SEED)`; the scaling study materialises a
-    /// distinguisher and a selective family keyed by the scaling seed (and
-    /// its weak-move protocol runs the strong sequence under the same
-    /// seed). Table II (common sense of direction) elects its leader first
-    /// and solves nontrivial move leader-led (Lemma 10), so it — like
-    /// odd-`n` cases and the randomized/audit items — uses no structures.
+    /// `(universe, case.structure_seed)` — the fixed protocol default, or
+    /// one of the sweep's schedule seeds under a per-case seed schedule;
+    /// the scaling study materialises a distinguisher and a selective
+    /// family keyed by the scaling seed (and its weak-move protocol runs
+    /// the strong sequence under the same seed). The randomized Lemma 15
+    /// item solves its prerequisite nontrivial move through the same even-`n`
+    /// route before the randomized edge, so it requests the same strong key
+    /// as its case's reduction item. Table II (common sense of direction)
+    /// elects its leader first and solves nontrivial move leader-led
+    /// (Lemma 10), so it — like odd-`n` cases and the audit items — uses no
+    /// structures.
     pub fn structure_keys(&self) -> Vec<(StructureKey, usize)> {
-        use ring_protocols::coordination::nontrivial::STRUCTURE_SEED;
         let strong = |universe: u64, seed: u64, n: usize| {
             (
                 StructureKey {
@@ -163,9 +167,10 @@ impl WorkItem {
         match self {
             WorkItem::Table1(case)
             | WorkItem::Reductions { case, .. }
+            | WorkItem::RandomizedDaToNm { case, .. }
             | WorkItem::Lemma6Floors(case) => {
                 if case.n % 2 == 0 {
-                    vec![strong(case.universe, STRUCTURE_SEED, case.n)]
+                    vec![strong(case.universe, case.structure_seed, case.n)]
                 } else {
                     Vec::new()
                 }
@@ -193,9 +198,7 @@ impl WorkItem {
             WorkItem::ScalingWeakMove { spec, n } => {
                 vec![strong(spec.universe, spec.seed, *n)]
             }
-            WorkItem::Table2(_)
-            | WorkItem::RandomizedDaToNm { .. }
-            | WorkItem::Lemma5Audit { .. } => Vec::new(),
+            WorkItem::Table2(_) | WorkItem::Lemma5Audit { .. } => Vec::new(),
         }
     }
 
@@ -278,10 +281,7 @@ impl CaseRecord {
         let rounds_total = match value.get("rounds_total") {
             None => return Err("record is missing `rounds_total`".into()),
             Some(v) if v.is_null() => None,
-            Some(v) => Some(
-                v.as_f64()
-                    .ok_or("record `rounds_total` is not a number")?,
-            ),
+            Some(v) => Some(v.as_f64().ok_or("record `rounds_total` is not a number")?),
         };
         let measurements = value
             .get("measurements")
@@ -457,6 +457,7 @@ mod tests {
             universe_factors: vec![4],
             repetitions: 1,
             seed: 3,
+            structure_seeds: None,
         };
         let item = &table1_items(&spec)[0];
         let record = item.run_to_record(7, &fresh_structures());
@@ -475,6 +476,7 @@ mod tests {
             universe_factors: vec![4],
             repetitions: 1,
             seed: 3,
+            structure_seeds: None,
         };
         let record = table1_items(&spec)[0].run_to_record(2, &fresh_structures());
         let line = serde_json::to_string(&record).unwrap();

@@ -1,55 +1,78 @@
-//! The two-tier structure store.
+//! The two-tier, content-addressed structure store (`structure-store/v2`).
 //!
 //! [`StructureStore`] is the structure pathway of every sweep: **tier 1**
 //! is the in-memory sharded [`StructureCache`] (one per engine, shared by
-//! every worker thread), **tier 2** an optional on-disk directory of
-//! `structure-store/v1` files (see [`ring_combinat::codec`]) shared by
+//! every worker thread), **tier 2** an optional on-disk directory shared by
 //! every worker *process* of a run — threads, shards on this machine, and
 //! workers on other machines pointed at the same directory.
 //!
+//! The v2 disk layout separates **payload** from **identity**:
+//!
+//! ```text
+//! <dir>/blobs/<digest:016x>.blob   content-addressed payloads (codec v2)
+//! <dir>/index/<key>.idx            one logical key → (blob digest, count)
+//! <dir>/index/<key>.claim          advisory single-constructor claims
+//! <dir>/<key>.struct               legacy structure-store/v1 files (read)
+//! ```
+//!
+//! Blobs are named by their own digest, so identical structures constructed
+//! under different logical keys dedup to one file; index entries are tiny
+//! and rewritten atomically (temp + rename), so **longer strong prefixes
+//! supersede shorter ones** without ever mutating a published blob. The
+//! strong-distinguisher kind stores **one prefix-extendable blob per
+//! universe**: seeds are windows into one universal sequence
+//! ([`ring_combinat::StrongBase`]), so a K-seed-diverse sweep shares one
+//! blob per `N` instead of publishing K near-full copies.
+//!
 //! A request walks the tiers in order: tier-1 hit → `Arc` clone; tier-1
-//! miss → try to load the key's file (a **store hit**); no file → construct
-//! (a **store miss**) and publish so the rest of the fleet loads instead of
-//! constructing. Publication is atomic (a process-unique temp file renamed
-//! into place) and guarded by a **single-constructor claim**: the first
-//! worker to create the key's `.claim` file constructs, everyone else polls
-//! briefly for the published file instead of burning CPU on a duplicate
-//! construction. Claims are advisory — a stale claim (crashed constructor)
-//! delays a waiter by at most [`CLAIM_WAIT`] and is cleaned up by the next
-//! publisher — so the store can never deadlock a sweep.
+//! miss → resolve the key's index entry and load its blob (a **store
+//! hit**), falling back to a legacy v1 file; nothing on disk → construct (a
+//! **store miss**) and publish so the rest of the fleet loads instead of
+//! constructing. Publication is atomic and guarded by PR 4's advisory
+//! **single-constructor claim** discipline: the first worker to create the
+//! key's `.claim` file constructs, everyone else polls briefly; a stale
+//! claim delays a waiter by at most [`CLAIM_WAIT`] and can never wedge a
+//! sweep.
 //!
-//! Strong-distinguisher sequences materialise lazily while protocols run,
-//! so they cannot be published at construction time; [`StructureStore::flush`]
-//! (called by the engine after every run) persists each sequence's
-//! materialised prefix when it grew beyond what the file holds. Loading a
-//! prefix seeds [`SharedStrongDistinguisher::with_prefix`]; sets beyond the
-//! stored prefix regenerate lazily and bit-identically.
+//! Legacy `structure-store/v1` files remain **readable** for the
+//! materialised kinds (their constructions are unchanged); v1 strong files
+//! predate the universal-sequence definition and are ignored by the read
+//! path — [`StructureStore::migrate`] rewrites a v1 store in place,
+//! regenerating the strong universal blobs it needs.
 //!
-//! Correctness never depends on the disk tier: decoded payloads are
-//! checksum- and canonical-form-validated (a corrupt file is discarded and
-//! reconstructed, surfaced as an error only on the fallible
-//! [`StructureProvider`] path), and a loaded structure is bit-identical to
-//! a fresh construction, so merged sweep output is byte-identical with or
-//! without a store.
+//! Correctness never depends on the disk tier: every load is digest- and
+//! canonical-form-validated (a corrupt file is discarded and reconstructed,
+//! surfaced as an error only on the fallible [`StructureProvider`] path),
+//! and a loaded structure is bit-identical to a fresh construction, so
+//! merged sweep output is byte-identical with or without a store.
 
 use crate::cache::{CacheStats, CachedStructure, StructureCache};
-use ring_combinat::codec;
+use ring_combinat::codec::{self, IndexEntry};
 use ring_combinat::{
-    Distinguisher, SelectiveFamily, SharedStrongDistinguisher, StructureKey, StructureKind,
+    strong_offset, Distinguisher, IdSet, SelectiveFamily, SharedStrongDistinguisher, StrongBase,
+    StructureKey, StructureKind,
 };
 use ring_protocols::structures::{StructureError, StructureProvider};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// File extension of published structure files.
+/// File extension of legacy v1 structure files (still readable).
 pub const STORE_EXTENSION: &str = "struct";
 
+/// File extension of content-addressed payload blobs.
+pub const BLOB_EXTENSION: &str = "blob";
+
+/// File extension of per-key index entries.
+pub const INDEX_EXTENSION: &str = "idx";
+
 /// Longest a worker waits for another constructor's publication before
-/// constructing the structure itself.
+/// constructing the structure itself. Doubles as the grace age below which
+/// `gc` never touches an unreferenced blob (its publisher may still be
+/// about to write the index entry).
 pub const CLAIM_WAIT: Duration = Duration::from_secs(10);
 
 /// Poll interval while waiting on a claimed key.
@@ -58,7 +81,7 @@ const CLAIM_POLL: Duration = Duration::from_millis(25);
 /// Disk-tier effectiveness counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize)]
 pub struct StoreStats {
-    /// Tier-2 lookups served by loading a published file.
+    /// Tier-2 lookups served by loading a published payload.
     pub hits: u64,
     /// Tier-2 lookups that fell through to construction.
     pub misses: u64,
@@ -71,9 +94,13 @@ pub struct StructureStore {
     dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
-    /// Strong-prefix lengths already on disk, so `flush` republishes only
-    /// sequences that grew.
-    persisted_strong: Mutex<HashMap<StructureKey, usize>>,
+    /// One universal strong sequence per universe, shared by every seed's
+    /// view — the in-memory counterpart of the one-blob-per-universe disk
+    /// layout.
+    strong_bases: Mutex<HashMap<u64, Arc<StrongBase>>>,
+    /// Universal prefix lengths already on disk, so `flush` republishes
+    /// only sequences that grew.
+    persisted_strong: Mutex<HashMap<u64, usize>>,
 }
 
 impl Default for StructureStore {
@@ -92,18 +119,21 @@ impl StructureStore {
             dir: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            strong_bases: Mutex::new(HashMap::new()),
             persisted_strong: Mutex::new(HashMap::new()),
         }
     }
 
-    /// A store backed by `dir` (created if missing).
+    /// A store backed by `dir` (created, with its `blobs/` and `index/`
+    /// subdirectories, if missing).
     ///
     /// # Errors
     ///
     /// Propagates the directory creation failure.
     pub fn at(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
+        std::fs::create_dir_all(dir.join("blobs"))?;
+        std::fs::create_dir_all(dir.join("index"))?;
         Ok(StructureStore {
             dir: Some(dir),
             ..Self::in_memory()
@@ -134,43 +164,197 @@ impl StructureStore {
         }
     }
 
-    /// The file name a key publishes under.
-    pub fn file_name(key: &StructureKey) -> String {
-        let kind = match key.kind {
+    /// The short tag of a kind used in file names.
+    fn kind_tag(kind: StructureKind) -> &'static str {
+        match kind {
             StructureKind::StrongDistinguisher => "strong",
             StructureKind::Distinguisher => "dist",
             StructureKind::SelectiveFamily => "select",
-        };
+        }
+    }
+
+    /// The legacy v1 file name a key was published under (still consulted
+    /// on the read path for materialised kinds).
+    pub fn file_name(key: &StructureKey) -> String {
         format!(
-            "{kind}-u{}-n{}-s{:016x}.{STORE_EXTENSION}",
-            key.universe, key.n, key.seed
+            "{}-u{}-n{}-s{:016x}.{STORE_EXTENSION}",
+            Self::kind_tag(key.kind),
+            key.universe,
+            key.n,
+            key.seed
         )
     }
 
-    /// The key's path in the disk tier (`None` for a memory-only store).
-    pub fn file_path(&self, key: &StructureKey) -> Option<PathBuf> {
-        self.dir.as_ref().map(|dir| dir.join(Self::file_name(key)))
+    /// The index-entry file name of a materialised key.
+    pub fn index_name(key: &StructureKey) -> String {
+        format!(
+            "{}-u{}-n{}-s{:016x}.{INDEX_EXTENSION}",
+            Self::kind_tag(key.kind),
+            key.universe,
+            key.n,
+            key.seed
+        )
     }
 
-    /// Loads and fully validates the key's published file (streaming
-    /// single-pass decode — structure files run to hundreds of megabytes,
-    /// so no whole-file buffer is ever materialised).
-    fn load_sets(&self, key: &StructureKey) -> Result<Option<Vec<ring_combinat::IdSet>>, String> {
-        let Some(path) = self.file_path(key) else {
-            return Ok(None);
-        };
-        let file = match std::fs::File::open(&path) {
-            Ok(file) => file,
+    /// The index-entry file name of a universe's **universal** strong
+    /// sequence — the one entry every strong seed of that universe resolves
+    /// through.
+    pub fn strong_index_name(universe: u64) -> String {
+        format!("strong-u{universe}.{INDEX_EXTENSION}")
+    }
+
+    /// The logical key recorded in a universal strong index entry.
+    pub fn strong_universal_key(universe: u64) -> StructureKey {
+        StructureKey {
+            kind: StructureKind::StrongDistinguisher,
+            universe,
+            n: 0,
+            seed: 0,
+        }
+    }
+
+    /// The blob path of a digest inside a store directory.
+    pub fn blob_path(dir: &Path, digest: u64) -> PathBuf {
+        dir.join("blobs")
+            .join(format!("{digest:016x}.{BLOB_EXTENSION}"))
+    }
+
+    /// Reads and parses an index entry (`Ok(None)` when absent).
+    fn read_index_entry(path: &Path) -> Result<Option<IndexEntry>, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
         };
+        IndexEntry::parse(&text)
+            .map(Some)
+            .map_err(|e| format!("corrupt index entry {}: {e}", path.display()))
+    }
+
+    /// Loads and fully validates the blob an index entry references
+    /// (streaming single-pass decode — blobs run to hundreds of megabytes,
+    /// so no whole-file buffer is ever materialised).
+    fn load_blob(dir: &Path, entry: &IndexEntry) -> Result<Vec<IdSet>, String> {
+        let path = Self::blob_path(dir, entry.digest);
+        let file = std::fs::File::open(&path)
+            .map_err(|e| format!("cannot read blob {}: {e}", path.display()))?;
         let len = file
             .metadata()
             .map_err(|e| format!("cannot stat {}: {e}", path.display()))?
             .len();
-        codec::decode_stream_for_key(key, file, len)
-            .map(Some)
-            .map_err(|e| format!("corrupt structure file {}: {e}", path.display()))
+        codec::decode_blob_stream(file, len, entry.key.universe, entry.count, entry.digest)
+            .map_err(|e| format!("corrupt blob {}: {e}", path.display()))
+    }
+
+    /// Atomically publishes a payload blob (skipping the write when the
+    /// digest is already on disk — the dedup fast path) and then the index
+    /// entry that makes it resolvable. Returns the blob digest.
+    fn publish(
+        &self,
+        dir: &Path,
+        entry_path: &Path,
+        key: StructureKey,
+        sets: &[impl std::borrow::Borrow<IdSet>],
+    ) -> io::Result<u64> {
+        let (bytes, digest) = codec::encode_blob(key.universe, sets);
+        let blob = Self::blob_path(dir, digest);
+        if !blob.exists() {
+            write_atomic(&blob, &bytes)?;
+        }
+        let entry = IndexEntry {
+            key,
+            digest,
+            count: sets.len(),
+        };
+        write_atomic(entry_path, entry.format().as_bytes())?;
+        Ok(digest)
+    }
+
+    /// Resolves a materialised key from the disk tier: v2 index entry
+    /// first, then a legacy v1 file. `Ok(None)` = nothing usable on disk.
+    /// A file that fails validation is removed (the store self-heals by
+    /// republication) and reported as the error.
+    ///
+    /// A load failure is re-checked against the *current* entry before
+    /// anything is condemned: a concurrent supersede (flush publishing a
+    /// longer strong prefix and reclaiming the old blob) makes a stale
+    /// entry's blob vanish mid-read, and removing "the entry" at that point
+    /// would delete the just-published live one. Only an entry that still
+    /// references the failed digest is dropped; a changed entry is simply
+    /// retried.
+    fn try_load_keyed(
+        &self,
+        dir: &Path,
+        key: &StructureKey,
+        entry_path: &Path,
+    ) -> Result<Option<Vec<IdSet>>, String> {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match Self::read_index_entry(entry_path) {
+                Ok(Some(entry)) => {
+                    if entry.key != *key {
+                        remove_entry_if_unchanged(entry_path, &entry);
+                        return Err(format!(
+                            "index entry {} names a different key",
+                            entry_path.display()
+                        ));
+                    }
+                    match Self::load_blob(dir, &entry) {
+                        Ok(sets) => return Ok(Some(sets)),
+                        Err(e) => {
+                            // Superseded mid-read? Retry against the new
+                            // entry instead of condemning anything.
+                            if attempts < 4 && entry_changed(entry_path, &entry) {
+                                continue;
+                            }
+                            // A dangling or corrupt reference must never
+                            // win over reconstruction; drop the entry (and
+                            // the blob, if it is provably bad) so
+                            // republication heals it.
+                            remove_entry_if_unchanged(entry_path, &entry);
+                            let blob = Self::blob_path(dir, entry.digest);
+                            if blob_is_corrupt(&blob) {
+                                std::fs::remove_file(&blob).ok();
+                            }
+                            return Err(e);
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Unparsable bytes: drop them unless a concurrent
+                    // publisher already replaced the file with something
+                    // that parses.
+                    if attempts < 4 {
+                        if let Ok(Some(_)) = Self::read_index_entry(entry_path) {
+                            continue;
+                        }
+                    }
+                    std::fs::remove_file(entry_path).ok();
+                    return Err(e);
+                }
+            }
+        }
+        // Legacy v1 fallback (materialised kinds only — the constructions
+        // are unchanged, so v1 payloads are still bit-exact).
+        let legacy = dir.join(Self::file_name(key));
+        let file = match std::fs::File::open(&legacy) {
+            Ok(file) => file,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("cannot read {}: {e}", legacy.display())),
+        };
+        let len = file
+            .metadata()
+            .map_err(|e| format!("cannot stat {}: {e}", legacy.display()))?
+            .len();
+        match codec::decode_stream_for_key(key, file, len) {
+            Ok(sets) => Ok(Some(sets)),
+            Err(e) => {
+                std::fs::remove_file(&legacy).ok();
+                Err(format!("corrupt structure file {}: {e}", legacy.display()))
+            }
+        }
     }
 
     /// The tier-2 walk for a materialised structure: load, or wait out
@@ -181,38 +365,34 @@ impl StructureStore {
     fn disk_or_construct<T>(
         &self,
         key: &StructureKey,
-        decode: impl Fn(Vec<ring_combinat::IdSet>) -> T,
+        decode: impl Fn(Vec<IdSet>) -> T,
         construct: impl FnOnce() -> T,
-        encode: impl Fn(&T) -> Vec<u8>,
+        payload: impl Fn(&T) -> Vec<Arc<IdSet>>,
     ) -> (T, Option<String>) {
-        let Some(path) = self.file_path(key) else {
+        let Some(dir) = self.dir.clone() else {
             return (construct(), None);
         };
+        let entry_path = dir.join("index").join(Self::index_name(key));
         let mut tier_error = None;
-        match self.load_sets(key) {
+        match self.try_load_keyed(&dir, key, &entry_path) {
             Ok(Some(sets)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return (decode(sets), None);
             }
             Ok(None) => {}
-            Err(e) => {
-                // A corrupt file must never win over reconstruction; drop
-                // it so the republication below heals the store.
-                std::fs::remove_file(&path).ok();
-                tier_error = Some(e);
-            }
+            Err(e) => tier_error = Some(e),
         }
 
         // Single-constructor discipline: first claimant constructs, the
         // rest poll for its publication (bounded — a stale claim only
         // delays, never blocks).
-        let claim = claim_path(&path);
+        let claim = claim_path(&entry_path);
         let claimed = try_claim(&claim);
         if claimed && tier_error.is_none() {
             // A racing constructor may have published (and cleared its own
             // claim) between our lookup and our claim; one re-check turns
             // that race into a load instead of a duplicate construction.
-            if let Ok(Some(sets)) = self.load_sets(key) {
+            if let Ok(Some(sets)) = self.try_load_keyed(&dir, key, &entry_path) {
                 std::fs::remove_file(&claim).ok();
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return (decode(sets), None);
@@ -222,7 +402,7 @@ impl StructureStore {
             let deadline = std::time::Instant::now() + CLAIM_WAIT;
             loop {
                 std::thread::sleep(CLAIM_POLL);
-                match self.load_sets(key) {
+                match self.try_load_keyed(&dir, key, &entry_path) {
                     Ok(Some(sets)) => {
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         return (decode(sets), None);
@@ -236,7 +416,7 @@ impl StructureStore {
             }
             // Last look before doing the work ourselves: the claimant may
             // have published between the poll and the deadline.
-            if let Ok(Some(sets)) = self.load_sets(key) {
+            if let Ok(Some(sets)) = self.try_load_keyed(&dir, key, &entry_path) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return (decode(sets), None);
             }
@@ -244,71 +424,145 @@ impl StructureStore {
 
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = construct();
-        let bytes = encode(&value);
-        let publish = self
-            .write_bytes(&path, &bytes)
-            .map_err(|e| format!("cannot publish {}: {e}", path.display()));
-        if let Err(e) = publish {
-            // The publication never landed, so no rename cleared the claim;
-            // drop it here or every other process would wait out the full
-            // CLAIM_WAIT on a key nobody is constructing.
-            std::fs::remove_file(&claim).ok();
+        let sets = payload(&value);
+        let published = self
+            .publish(&dir, &entry_path, *key, &sets)
+            .map_err(|e| format!("cannot publish {}: {e}", entry_path.display()));
+        // Whether or not the publication landed, this constructor is done
+        // with the key: clear the claim so no other process waits out the
+        // full CLAIM_WAIT. (A successful publish makes the claim moot; a
+        // failed one must not leave it behind.)
+        std::fs::remove_file(&claim).ok();
+        if let Err(e) = published {
             tier_error.get_or_insert(e);
         }
         (value, tier_error)
     }
 
-    /// Atomic byte-level publication (shared by the typed paths and
-    /// `flush`). The temp name is unique per call — pid plus a process-wide
-    /// sequence number — so concurrent publishers of one key (two threads
-    /// that both saw a corrupt file, or a claim-wait timeout racing the
-    /// claimant) never write through the same temp path.
-    fn write_bytes(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
-        static PUBLISH_SEQ: AtomicU64 = AtomicU64::new(0);
-        let seq = PUBLISH_SEQ.fetch_add(1, Ordering::Relaxed);
-        let tmp = path.with_extension(format!("{}-{seq}.tmp", std::process::id()));
-        std::fs::write(&tmp, bytes)?;
-        std::fs::rename(&tmp, path)?;
-        std::fs::remove_file(claim_path(path)).ok();
-        Ok(())
+    /// The universal strong sequence of a universe, loading its published
+    /// blob on first touch (a **store hit**) or starting empty (a **store
+    /// miss**). Every seed's view of this universe shares the returned
+    /// base — in memory and on disk.
+    fn strong_base(&self, universe: u64) -> (Arc<StrongBase>, Option<String>) {
+        if let Some(base) = self
+            .strong_bases
+            .lock()
+            .expect("strong bases map")
+            .get(&universe)
+        {
+            return (Arc::clone(base), None);
+        }
+        // Resolve outside the map lock (the load may read a large blob);
+        // racing threads resolve independently and the first insert wins.
+        let mut tier_error = None;
+        let mut loaded = None;
+        if let Some(dir) = &self.dir {
+            let entry_path = dir.join("index").join(Self::strong_index_name(universe));
+            let mut attempts = 0;
+            loop {
+                attempts += 1;
+                match Self::read_index_entry(&entry_path) {
+                    Ok(Some(entry)) if entry.key == Self::strong_universal_key(universe) => {
+                        match Self::load_blob(dir, &entry) {
+                            Ok(sets) => {
+                                self.hits.fetch_add(1, Ordering::Relaxed);
+                                self.persisted_strong
+                                    .lock()
+                                    .expect("persisted map")
+                                    .insert(universe, sets.len());
+                                loaded = Some(StrongBase::with_prefix(universe, sets));
+                            }
+                            Err(e) => {
+                                // A concurrent flush may have superseded
+                                // the entry (and reclaimed the old blob)
+                                // mid-read: retry against the new entry
+                                // rather than condemning the live one.
+                                if attempts < 4 && entry_changed(&entry_path, &entry) {
+                                    continue;
+                                }
+                                remove_entry_if_unchanged(&entry_path, &entry);
+                                let blob = Self::blob_path(dir, entry.digest);
+                                if blob_is_corrupt(&blob) {
+                                    std::fs::remove_file(&blob).ok();
+                                }
+                                self.misses.fetch_add(1, Ordering::Relaxed);
+                                tier_error = Some(e);
+                            }
+                        }
+                    }
+                    Ok(Some(entry)) => {
+                        remove_entry_if_unchanged(&entry_path, &entry);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        tier_error = Some(format!(
+                            "index entry {} names a different key",
+                            entry_path.display()
+                        ));
+                    }
+                    Ok(None) => {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        if attempts < 4 {
+                            if let Ok(Some(_)) = Self::read_index_entry(&entry_path) {
+                                continue;
+                            }
+                        }
+                        std::fs::remove_file(&entry_path).ok();
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        tier_error = Some(e);
+                    }
+                }
+                break;
+            }
+        }
+        let candidate = Arc::new(loaded.unwrap_or_else(|| StrongBase::new(universe)));
+        let mut map = self.strong_bases.lock().expect("strong bases map");
+        let base = map.entry(universe).or_insert(candidate);
+        (Arc::clone(base), tier_error)
     }
 
-    /// Persists every strong-distinguisher prefix that grew beyond what the
+    /// Persists every universal strong prefix that grew beyond what the
     /// store holds. Called by the engine after each run; safe to call
-    /// concurrently from many processes: prefixes of one key are prefixes
-    /// of one deterministic sequence, renames are atomic, and publication
-    /// is claim-guarded with an on-disk length re-check under the claim —
-    /// a shorter prefix never replaces a longer published one. (A flusher
-    /// that finds the key claimed by a concurrent flusher defers to it;
-    /// any sets it alone materialised regenerate lazily and bit-identically
-    /// wherever they are next demanded.) Returns the number of files
-    /// written.
+    /// concurrently from many processes: prefixes are prefixes of one
+    /// deterministic universal sequence, blob writes are atomic and
+    /// content-addressed (never mutated), and the index-entry rewrite is
+    /// claim-guarded with an on-disk length re-check under the claim — a
+    /// shorter prefix never replaces a longer published one. Returns the
+    /// number of blobs published.
     ///
     /// # Errors
     ///
     /// Returns the first publication failure (remaining entries are still
     /// attempted).
     pub fn flush(&self) -> Result<usize, StructureError> {
-        if self.dir.is_none() {
+        let Some(dir) = self.dir.clone() else {
             return Ok(0);
-        }
+        };
         let mut written = 0;
         let mut first_error = None;
-        for (key, strong) in self.cache.strong_entries() {
-            let sets = strong.materialized();
+        let bases: Vec<(u64, Arc<StrongBase>)> = {
+            let map = self.strong_bases.lock().expect("strong bases map");
+            map.iter().map(|(u, b)| (*u, Arc::clone(b))).collect()
+        };
+        for (universe, base) in bases {
+            let sets = base.materialized();
+            if sets.is_empty() {
+                continue;
+            }
             let persisted = {
                 let map = self.persisted_strong.lock().expect("persisted map");
-                map.get(&key).copied().unwrap_or(0)
+                map.get(&universe).copied().unwrap_or(0)
             };
             if sets.len() <= persisted {
                 continue;
             }
-            let path = self.file_path(&key).expect("disk tier present");
-            // Serialise concurrent flushers of this key: the loser defers —
-            // unless the claim has outlived [`CLAIM_WAIT`], in which case
-            // its holder is dead (strong keys are published only by flush,
-            // so nothing else would ever clear it) and it is broken here.
-            let claim = claim_path(&path);
+            let entry_path = dir.join("index").join(Self::strong_index_name(universe));
+            // Serialise concurrent flushers of this universe: the loser
+            // defers — unless the claim has outlived [`CLAIM_WAIT`], in
+            // which case its holder is dead (strong entries are published
+            // only by flush, so nothing else would ever clear it) and it is
+            // broken here.
+            let claim = claim_path(&entry_path);
             let mut claimed = try_claim(&claim);
             if !claimed && claim_is_stale(&claim) {
                 std::fs::remove_file(&claim).ok();
@@ -318,33 +572,48 @@ impl StructureStore {
                 continue;
             }
             // Under the claim, check what is actually on disk so a short
-            // prefix never clobbers a longer one.
-            if let Some(on_disk) = stored_set_count(&path, &key) {
-                if sets.len() <= on_disk {
+            // prefix never clobbers a longer one — and remember the old
+            // blob so the superseded bytes can be reclaimed.
+            let old = Self::read_index_entry(&entry_path).ok().flatten();
+            if let Some(entry) = &old {
+                if entry.key == Self::strong_universal_key(universe) && sets.len() <= entry.count {
                     self.persisted_strong
                         .lock()
                         .expect("persisted map")
-                        .insert(key, on_disk);
+                        .insert(universe, entry.count);
                     std::fs::remove_file(&claim).ok();
                     continue;
                 }
             }
-            match self.write_bytes(&path, &codec::encode(&key, &sets)) {
-                Ok(()) => {
+            match self.publish(
+                &dir,
+                &entry_path,
+                Self::strong_universal_key(universe),
+                &sets,
+            ) {
+                Ok(digest) => {
                     written += 1;
                     self.persisted_strong
                         .lock()
                         .expect("persisted map")
-                        .insert(key, sets.len());
+                        .insert(universe, sets.len());
+                    // The superseded blob is referenced by nothing (strong
+                    // blobs are only ever named by this one entry, which now
+                    // points at the longer prefix): reclaim it.
+                    if let Some(entry) = old {
+                        if entry.digest != digest {
+                            std::fs::remove_file(Self::blob_path(&dir, entry.digest)).ok();
+                        }
+                    }
                 }
                 Err(e) => {
-                    std::fs::remove_file(&claim).ok();
                     first_error.get_or_insert(StructureError::new(format!(
                         "cannot publish {}: {e}",
-                        path.display()
+                        entry_path.display()
                     )));
                 }
             }
+            std::fs::remove_file(&claim).ok();
         }
         match first_error {
             None => Ok(written),
@@ -352,17 +621,11 @@ impl StructureStore {
         }
     }
 
-    /// The strong-distinguisher walk: tier-1 memo, then a disk-tier load of
-    /// the materialised prefix, then a fresh lazy sequence. Publication
-    /// happens in [`StructureStore::flush`]. The disk walk runs *before*
-    /// tier-1 insertion so no shard lock is held across file I/O; racing
-    /// threads resolve independently and adopt whichever value lands in
-    /// the memo first (bit-identical either way).
-    fn strong(
-        &self,
-        universe: u64,
-        seed: u64,
-    ) -> (Arc<SharedStrongDistinguisher>, Option<String>) {
+    /// The strong-distinguisher walk: tier-1 memo, then the shared
+    /// universal base (loaded from its per-universe blob on first touch),
+    /// then a seed-windowed view onto it. Publication happens in
+    /// [`StructureStore::flush`].
+    fn strong(&self, universe: u64, seed: u64) -> (Arc<SharedStrongDistinguisher>, Option<String>) {
         let key = StructureKey {
             kind: StructureKind::StrongDistinguisher,
             universe,
@@ -375,34 +638,8 @@ impl StructureStore {
                 _ => unreachable!("kind is part of the key"),
             }
         }
-        let mut tier_error = None;
-        let mut value = None;
-        if self.dir.is_some() {
-            match self.load_sets(&key) {
-                Ok(Some(sets)) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    self.persisted_strong
-                        .lock()
-                        .expect("persisted map")
-                        .insert(key, sets.len());
-                    value = Some(Arc::new(SharedStrongDistinguisher::with_prefix(
-                        universe, seed, sets,
-                    )));
-                }
-                Ok(None) => {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(e) => {
-                    if let Some(path) = self.file_path(&key) {
-                        std::fs::remove_file(path).ok();
-                    }
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    tier_error = Some(e);
-                }
-            }
-        }
-        let value =
-            value.unwrap_or_else(|| Arc::new(SharedStrongDistinguisher::new(universe, seed)));
+        let (base, tier_error) = self.strong_base(universe);
+        let value = Arc::new(SharedStrongDistinguisher::with_base(seed, base));
         match self
             .cache
             .get_or_insert(key, || CachedStructure::Strong(value))
@@ -437,7 +674,7 @@ impl StructureStore {
             &key,
             |sets| Arc::new(Distinguisher::from_sets(universe, n, sets)),
             || Arc::new(Distinguisher::random(universe, n, seed)),
-            |d| codec::encode(&key, d.sets()),
+            |d| d.sets().iter().cloned().map(Arc::new).collect(),
         );
         match self
             .cache
@@ -470,7 +707,7 @@ impl StructureStore {
             &key,
             |sets| Arc::new(SelectiveFamily::from_sets(universe, n, sets)),
             || Arc::new(SelectiveFamily::random(universe, n, seed)),
-            |f| codec::encode(&key, f.sets()),
+            |f| f.sets().iter().cloned().map(Arc::new).collect(),
         );
         match self
             .cache
@@ -480,6 +717,90 @@ impl StructureStore {
             _ => unreachable!("kind is part of the key"),
         }
     }
+
+    /// Rewrites a legacy v1 store in place onto the v2 layout: materialised
+    /// payloads are re-encoded byte-exactly into content-addressed blobs;
+    /// v1 strong files (whose per-seed sequences predate the universal
+    /// windowed definition) are replaced by regenerated universal blobs
+    /// covering at least the window each v1 file's seed demands. Corrupt v1
+    /// files are dropped, exactly like resume's revalidation. Idempotent:
+    /// a second run finds no v1 files and rewrites nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O or publication failure.
+    pub fn migrate(&self) -> Result<MigrateReport, String> {
+        let dir = self
+            .dir
+            .clone()
+            .ok_or("a memory-only store has nothing to migrate")?;
+        let mut report = MigrateReport::default();
+        let mut strong_demand: HashMap<u64, usize> = HashMap::new();
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        for entry in entries {
+            let path = entry.map_err(|e| e.to_string())?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(STORE_EXTENSION) {
+                continue;
+            }
+            let validated = std::fs::File::open(&path)
+                .and_then(|file| Ok((file.metadata()?.len(), file)))
+                .map_err(|e| format!("unreadable: {e}"))
+                .and_then(|(len, file)| {
+                    codec::validate_stream(file, len).map_err(|e| e.to_string())
+                });
+            let (key, count) = match validated {
+                Ok(ok) => ok,
+                Err(_) => {
+                    // Like resume revalidation: a v1 file that no longer
+                    // proves itself is dropped, never trusted.
+                    std::fs::remove_file(&path).map_err(|e| e.to_string())?;
+                    report.dropped += 1;
+                    continue;
+                }
+            };
+            match key.kind {
+                StructureKind::StrongDistinguisher => {
+                    // The v1 payload used the per-seed sequence definition;
+                    // regenerate the universal prefix its window needs.
+                    let demand = strong_offset(key.seed) + count;
+                    let slot = strong_demand.entry(key.universe).or_insert(0);
+                    *slot = (*slot).max(demand);
+                    report.strong += 1;
+                }
+                StructureKind::Distinguisher | StructureKind::SelectiveFamily => {
+                    let file = std::fs::File::open(&path).map_err(|e| e.to_string())?;
+                    let len = file.metadata().map_err(|e| e.to_string())?.len();
+                    let sets = codec::decode_stream_for_key(&key, file, len)
+                        .map_err(|e| format!("corrupt {}: {e}", path.display()))?;
+                    let entry_path = dir.join("index").join(Self::index_name(&key));
+                    self.publish(&dir, &entry_path, key, &sets)
+                        .map_err(|e| format!("cannot publish {}: {e}", entry_path.display()))?;
+                    report.materialised += 1;
+                }
+            }
+            std::fs::remove_file(&path).map_err(|e| e.to_string())?;
+        }
+        for (universe, demand) in strong_demand {
+            let (base, _) = self.strong_base(universe);
+            if demand > 0 {
+                base.set(demand - 1);
+            }
+        }
+        self.flush().map_err(|e| e.to_string())?;
+        Ok(report)
+    }
+}
+
+/// What [`StructureStore::migrate`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MigrateReport {
+    /// Materialised v1 files re-encoded byte-exactly into blobs.
+    pub materialised: usize,
+    /// Strong v1 files replaced by regenerated universal blobs.
+    pub strong: usize,
+    /// Corrupt v1 files dropped.
+    pub dropped: usize,
 }
 
 /// Logs a non-fatal disk-tier problem (the infallible provider path: the
@@ -546,9 +867,71 @@ impl StructureProvider for StructureStore {
     }
 }
 
-/// The claim-file path guarding a structure file's construction.
-fn claim_path(structure_file: &Path) -> PathBuf {
-    structure_file.with_extension("claim")
+/// Writes bytes atomically next to `path` (process-unique temp + rename).
+/// The temp name is unique per call — pid plus a process-wide sequence
+/// number — so concurrent publishers never write through the same path.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    static PUBLISH_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = PUBLISH_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_extension(format!("{}-{seq}.tmp", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Whether the entry file no longer holds `seen` (a concurrent publisher
+/// superseded it — the caller should retry, never condemn).
+fn entry_changed(entry_path: &Path, seen: &IndexEntry) -> bool {
+    !matches!(
+        StructureStore::read_index_entry(entry_path),
+        Ok(Some(current)) if current == *seen
+    )
+}
+
+/// Removes an index entry **only if it still holds the bytes the caller
+/// judged** — a concurrent supersede must never lose its freshly published
+/// entry to a reader that was looking at the old one.
+fn remove_entry_if_unchanged(entry_path: &Path, seen: &IndexEntry) {
+    if !entry_changed(entry_path, seen) {
+        std::fs::remove_file(entry_path).ok();
+    }
+}
+
+/// Whether a present blob file fails its own validation (used to decide if
+/// a load failure should take the blob down with the entry — a blob that
+/// still proves itself may be serving other keys, and a *missing* one
+/// leaves nothing to remove).
+fn blob_is_corrupt(path: &Path) -> bool {
+    if !path.exists() {
+        return false;
+    }
+    blob_is_unusable(path)
+}
+
+/// Whether a blob file is missing, unreadable or invalid — i.e. cannot
+/// serve the entries that reference it (the strict complement of a fresh
+/// successful validation; used before condemning an index entry).
+fn blob_is_unusable(path: &Path) -> bool {
+    let Ok(file) = std::fs::File::open(path) else {
+        return true;
+    };
+    let Ok(meta) = file.metadata() else {
+        return true;
+    };
+    match codec::validate_blob_stream(file, meta.len()) {
+        Ok(summary) => Some(summary.digest) != digest_from_name(path),
+        Err(_) => true,
+    }
+}
+
+/// The digest a blob file's name claims.
+fn digest_from_name(path: &Path) -> Option<u64> {
+    let stem = path.file_stem()?.to_str()?;
+    u64::from_str_radix(stem, 16).ok()
+}
+
+/// The claim-file path guarding a key's construction.
+fn claim_path(entry_path: &Path) -> PathBuf {
+    entry_path.with_extension("claim")
 }
 
 /// Attempts to create the claim file atomically; `true` = this caller now
@@ -572,27 +955,14 @@ fn claim_is_stale(claim: &Path) -> bool {
         .is_some_and(|age| age > CLAIM_WAIT)
 }
 
-/// The set count recorded in a published file's header, provided the
-/// header matches `key` (`None` for a missing, foreign or short file —
-/// callers treat those as "nothing usable on disk"). Reads 56 bytes; used
-/// by `flush` to avoid replacing a longer prefix with a shorter one.
-fn stored_set_count(path: &Path, key: &StructureKey) -> Option<usize> {
-    use std::io::Read;
-    let mut header = [0u8; 56];
-    let mut file = std::fs::File::open(path).ok()?;
-    file.read_exact(&mut header).ok()?;
-    if header[..8] != codec::MAGIC {
-        return None;
-    }
-    let field = |offset: usize| {
-        u64::from_le_bytes(header[offset..offset + 8].try_into().expect("8 bytes"))
-    };
-    let matches = field(8) == codec::VERSION
-        && field(16) == key.kind.code()
-        && field(24) == key.universe
-        && field(32) == key.n
-        && field(40) == key.seed;
-    matches.then(|| field(48) as usize)
+/// Whether a file is older than [`CLAIM_WAIT`] (the gc grace below which a
+/// just-published, not-yet-indexed blob must not be reclaimed).
+fn older_than_grace(path: &Path) -> bool {
+    std::fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|modified| std::time::SystemTime::now().duration_since(modified).ok())
+        .is_some_and(|age| age > CLAIM_WAIT)
 }
 
 /// One file's verdict from a store-directory scan.
@@ -600,41 +970,117 @@ fn stored_set_count(path: &Path, key: &StructureKey) -> Option<usize> {
 pub struct StoreFileReport {
     /// The file scanned.
     pub path: PathBuf,
-    /// The decoded key (valid files only).
+    /// The decoded logical key (index entries and valid v1 files; `None`
+    /// for payload blobs, which deliberately carry no identity).
     pub key: Option<StructureKey>,
-    /// Number of sets in the payload (valid files only).
+    /// Number of sets the file holds or resolves to (valid files only).
     pub sets: usize,
     /// Why the file is invalid (`None` = fully valid).
     pub error: Option<String>,
 }
 
-/// Validates every `*.struct` file in a store directory (streaming,
-/// constant memory — no file is ever buffered whole), reporting each
-/// file's validity. A missing directory scans as empty (a run that never
-/// published is a valid, empty store).
+/// Validates every file of a store directory — content-addressed blobs
+/// (streamed, constant memory), index entries (parsed, their referenced
+/// blob required to be present and valid) and legacy v1 files — reporting
+/// each file's validity. A missing directory scans as empty (a run that
+/// never published is a valid, empty store).
 ///
 /// # Errors
 ///
 /// Propagates directory-listing I/O failures (per-file problems are
 /// reported, not raised).
 pub fn scan_store_dir(dir: &Path) -> io::Result<Vec<StoreFileReport>> {
-    let entries = match std::fs::read_dir(dir) {
-        Ok(entries) => entries,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(e),
-    };
     let mut reports = Vec::new();
-    for entry in entries {
-        let path = entry?.path();
-        if path.extension().and_then(|e| e.to_str()) != Some(STORE_EXTENSION) {
-            continue;
-        }
+    let mut valid_blobs: HashSet<u64> = HashSet::new();
+
+    // 1. Blobs: self-validating; the file name must equal the content
+    //    digest (a mis-filed blob would be unresolvable or worse).
+    for path in list_with_extension(&dir.join("blobs"), BLOB_EXTENSION)? {
         let validated = std::fs::File::open(&path)
             .and_then(|file| Ok((file.metadata()?.len(), file)))
             .map_err(|e| format!("unreadable: {e}"))
             .and_then(|(len, file)| {
-                codec::validate_stream(file, len).map_err(|e| e.to_string())
+                codec::validate_blob_stream(file, len).map_err(|e| e.to_string())
             });
+        let report = match validated {
+            Ok(summary) => {
+                let named = digest_from_name(&path);
+                let error = (named != Some(summary.digest)).then(|| {
+                    format!(
+                        "blob file name does not match its content digest {}",
+                        codec::format_checksum(summary.digest)
+                    )
+                });
+                if error.is_none() {
+                    valid_blobs.insert(summary.digest);
+                }
+                StoreFileReport {
+                    path,
+                    key: None,
+                    sets: summary.count,
+                    error,
+                }
+            }
+            Err(error) => StoreFileReport {
+                path,
+                key: None,
+                sets: 0,
+                error: Some(error),
+            },
+        };
+        reports.push(report);
+    }
+
+    // 2. Index entries: must parse, must be filed under their key's name,
+    //    and must reference a present, valid blob.
+    for path in list_with_extension(&dir.join("index"), INDEX_EXTENSION)? {
+        let parsed = std::fs::read_to_string(&path)
+            .map_err(|e| format!("unreadable: {e}"))
+            .and_then(|text| IndexEntry::parse(&text).map_err(|e| e.to_string()));
+        let report = match parsed {
+            Ok(entry) => {
+                let expected = expected_index_name(&entry);
+                let actual = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                let error = if actual != expected {
+                    Some(format!(
+                        "index entry is not filed under its key (expected {expected})"
+                    ))
+                } else if !valid_blobs.contains(&entry.digest)
+                    // The blob listing above is a snapshot; a publisher may
+                    // have landed blob + entry since. Never condemn an
+                    // entry without re-checking its blob on disk right now.
+                    && blob_is_unusable(&StructureStore::blob_path(dir, entry.digest))
+                {
+                    Some(format!(
+                        "entry references blob {} which is missing or invalid",
+                        codec::format_checksum(entry.digest)
+                    ))
+                } else {
+                    None
+                };
+                StoreFileReport {
+                    path,
+                    key: Some(entry.key),
+                    sets: entry.count,
+                    error,
+                }
+            }
+            Err(error) => StoreFileReport {
+                path,
+                key: None,
+                sets: 0,
+                error: Some(error),
+            },
+        };
+        reports.push(report);
+    }
+
+    // 3. Legacy v1 files at the top level.
+    for path in list_with_extension(dir, STORE_EXTENSION)? {
+        let validated = std::fs::File::open(&path)
+            .and_then(|file| Ok((file.metadata()?.len(), file)))
+            .map_err(|e| format!("unreadable: {e}"))
+            .and_then(|(len, file)| codec::validate_stream(file, len).map_err(|e| e.to_string()));
         let report = match validated {
             Ok((key, sets)) => StoreFileReport {
                 error: expected_name_mismatch(&path, &key),
@@ -655,37 +1101,71 @@ pub fn scan_store_dir(dir: &Path) -> io::Result<Vec<StoreFileReport>> {
     Ok(reports)
 }
 
-/// Removes the `*.tmp` / `*.claim` leftovers of crashed constructors.
-/// `resume` runs this before re-launching workers — an orphaned claim
-/// would otherwise stall every re-launched worker's first lookup of that
-/// key for the full [`CLAIM_WAIT`]. Returns the number removed; a missing
-/// directory sweeps as zero.
+/// The index-file name an entry must be filed under.
+fn expected_index_name(entry: &IndexEntry) -> String {
+    if entry.key.kind == StructureKind::StrongDistinguisher {
+        StructureStore::strong_index_name(entry.key.universe)
+    } else {
+        StructureStore::index_name(&entry.key)
+    }
+}
+
+/// Lists the files of one extension in a directory (missing directory =
+/// empty).
+fn list_with_extension(dir: &Path, extension: &str) -> io::Result<Vec<PathBuf>> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut out = Vec::new();
+    for entry in entries {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) == Some(extension) {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Removes the `*.tmp` / `*.claim` leftovers of crashed constructors from a
+/// store directory and its `blobs/` / `index/` subdirectories. `resume`
+/// runs this before re-launching workers — an orphaned claim would
+/// otherwise stall every re-launched worker's first lookup of that key for
+/// the full [`CLAIM_WAIT`]. Only files older than that same grace period
+/// are touched: a *young* temp file may be a concurrent publisher's
+/// in-flight write (gc is safe to run against a live fleet), and a young
+/// claim delays nobody beyond the wait it already bounds. Returns the
+/// number removed; a missing directory sweeps as zero.
 ///
 /// # Errors
 ///
 /// Propagates directory-listing and removal I/O failures.
 pub fn sweep_stale_files(dir: &Path) -> io::Result<usize> {
-    let entries = match std::fs::read_dir(dir) {
-        Ok(entries) => entries,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
-        Err(e) => return Err(e),
-    };
     let mut removed = 0;
-    for entry in entries {
-        let path = entry?.path();
-        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-            continue;
+    for sub in [dir.to_path_buf(), dir.join("blobs"), dir.join("index")] {
+        let entries = match std::fs::read_dir(&sub) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
         };
-        if name.ends_with(".claim") || name.ends_with(".tmp") {
-            std::fs::remove_file(&path)?;
-            removed += 1;
+        for entry in entries {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if (name.ends_with(".claim") || name.ends_with(".tmp")) && older_than_grace(&path) {
+                std::fs::remove_file(&path)?;
+                removed += 1;
+            }
         }
     }
     Ok(removed)
 }
 
-/// A decoded file published under a name that names a different key is as
-/// corrupt as a bad checksum: a keyed lookup would load the wrong
+/// A decoded v1 file published under a name that names a different key is
+/// as corrupt as a bad checksum: a keyed lookup would load the wrong
 /// structure's bytes (the codec's key check catches it, but the file is
 /// garbage and should be reported).
 fn expected_name_mismatch(path: &Path, key: &StructureKey) -> Option<String> {
@@ -694,7 +1174,7 @@ fn expected_name_mismatch(path: &Path, key: &StructureKey) -> Option<String> {
     (actual != expected).then(|| format!("file name does not match its key (expected {expected})"))
 }
 
-/// Removes every invalid structure file in `dir` (what `resume` runs before
+/// Removes every invalid file in `dir` (what `resume` runs before
 /// re-launching workers — like shard revalidation, a file that no longer
 /// proves itself is dropped and rebuilt, never trusted). Returns the
 /// removed paths.
@@ -716,18 +1196,28 @@ pub fn revalidate_store_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
 /// Garbage-collection report of [`gc_store_dir`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct GcReport {
-    /// Invalid `*.struct` files removed.
+    /// Invalid blobs, index entries and v1 files removed.
     pub corrupt: usize,
     /// Stale `*.tmp` / `*.claim` leftovers removed.
     pub stale: usize,
-    /// Valid structure files kept.
+    /// Valid blobs no index entry references (superseded strong prefixes,
+    /// keys whose entries were dropped) removed — only past the
+    /// [`CLAIM_WAIT`] grace age, and only after a fresh re-read of the
+    /// index confirms nothing started referencing them.
+    pub unreferenced: usize,
+    /// Valid files kept.
     pub kept: usize,
 }
 
-/// Cleans a store directory: removes invalid structure files and the
-/// `*.tmp` / `*.claim` leftovers of crashed constructors; keeps everything
-/// that still proves itself. One scan decides everything — each structure
-/// file is read and validated exactly once.
+/// Cleans a store directory: removes invalid files, the `*.tmp` /
+/// `*.claim` leftovers of crashed constructors, and unreferenced payload
+/// blobs; keeps everything that still proves itself and is still
+/// reachable.
+///
+/// GC never deletes a blob a live index entry references: candidates are
+/// taken from one validated scan, must be older than the claim grace (a
+/// publisher writes its blob moments before its entry), and the index is
+/// re-read immediately before each removal.
 ///
 /// # Errors
 ///
@@ -737,15 +1227,179 @@ pub fn gc_store_dir(dir: &Path) -> io::Result<GcReport> {
         stale: sweep_stale_files(dir)?,
         ..GcReport::default()
     };
+    let mut referenced: HashSet<u64> = HashSet::new();
+    let mut valid_blobs: Vec<(PathBuf, u64)> = Vec::new();
     for file in scan_store_dir(dir)? {
         if file.error.is_some() {
             std::fs::remove_file(&file.path)?;
             report.corrupt += 1;
-        } else {
-            report.kept += 1;
+            continue;
+        }
+        report.kept += 1;
+        if file.path.extension().and_then(|e| e.to_str()) == Some(INDEX_EXTENSION) {
+            if let Ok(text) = std::fs::read_to_string(&file.path) {
+                if let Ok(entry) = IndexEntry::parse(&text) {
+                    referenced.insert(entry.digest);
+                }
+            }
+        } else if file.path.extension().and_then(|e| e.to_str()) == Some(BLOB_EXTENSION) {
+            if let Some(digest) = digest_from_name(&file.path) {
+                valid_blobs.push((file.path.clone(), digest));
+            }
+        }
+    }
+    // One fresh re-read of the index after the candidate list is fixed: a
+    // blob whose entry landed after the scan is never reclaimed. (The age
+    // gate already protects publishers between this re-read and the
+    // removals; re-reading per candidate would make gc O(blobs × entries)
+    // for no additional guarantee.)
+    let candidates: Vec<(PathBuf, u64)> = valid_blobs
+        .into_iter()
+        .filter(|(path, digest)| !referenced.contains(digest) && older_than_grace(path))
+        .collect();
+    if !candidates.is_empty() {
+        let referenced_now = current_referenced_digests(dir)?;
+        for (path, digest) in candidates {
+            if referenced_now.contains(&digest) {
+                continue;
+            }
+            std::fs::remove_file(&path)?;
+            report.unreferenced += 1;
+            report.kept -= 1;
         }
     }
     Ok(report)
+}
+
+/// The digests the index directory references right now (parse failures
+/// reference nothing).
+fn current_referenced_digests(dir: &Path) -> io::Result<HashSet<u64>> {
+    let mut digests = HashSet::new();
+    for path in list_with_extension(&dir.join("index"), INDEX_EXTENSION)? {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(entry) = IndexEntry::parse(&text) {
+                digests.insert(entry.digest);
+            }
+        }
+    }
+    Ok(digests)
+}
+
+/// Per-kind usage statistics of a store directory (the `ringlab structures
+/// stats` report).
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize)]
+pub struct KindStats {
+    /// Logical keys resolvable through the v2 index (unmigrated legacy v1
+    /// files are tallied separately in
+    /// [`StoreDirStats::legacy_v1_files`]).
+    pub logical_keys: usize,
+    /// Distinct blobs those keys resolve to.
+    pub blobs: usize,
+    /// Total bytes of those blobs.
+    pub bytes: u64,
+    /// `logical_keys / blobs` — the content-addressing dedup ratio (1.0 =
+    /// no sharing; the strong kind's ratio grows with every extra seed).
+    pub dedup_ratio: f64,
+}
+
+/// Store-wide usage statistics, per kind plus totals.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize)]
+pub struct StoreDirStats {
+    /// Strong-distinguisher entries (logical keys counted per universal
+    /// entry; seed views share them).
+    pub strong: KindStats,
+    /// Materialised distinguisher entries.
+    pub dist: KindStats,
+    /// Selective-family entries.
+    pub select: KindStats,
+    /// Legacy v1 files still unmigrated.
+    pub legacy_v1_files: usize,
+    /// Total on-disk bytes (blobs + index entries + v1 files).
+    pub total_bytes: u64,
+}
+
+/// Computes per-kind blob counts, byte totals and dedup ratios over a
+/// store directory (valid files only; corrupt files are ignored, as
+/// `verify` reports them separately).
+///
+/// # Errors
+///
+/// Propagates directory-listing I/O failures.
+pub fn store_dir_stats(dir: &Path) -> io::Result<StoreDirStats> {
+    let mut stats = StoreDirStats::default();
+    let mut per_kind: HashMap<StructureKind, (usize, HashSet<u64>)> = HashMap::new();
+    let mut blob_sizes: HashMap<u64, u64> = HashMap::new();
+    for path in list_with_extension(&dir.join("blobs"), BLOB_EXTENSION)? {
+        if let (Some(digest), Ok(meta)) = (digest_from_name(&path), std::fs::metadata(&path)) {
+            blob_sizes.insert(digest, meta.len());
+            stats.total_bytes += meta.len();
+        }
+    }
+    for path in list_with_extension(&dir.join("index"), INDEX_EXTENSION)? {
+        stats.total_bytes += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(entry) = IndexEntry::parse(&text) else {
+            continue;
+        };
+        let slot = per_kind.entry(entry.key.kind).or_default();
+        slot.0 += 1;
+        slot.1.insert(entry.digest);
+    }
+    for path in list_with_extension(dir, STORE_EXTENSION)? {
+        stats.legacy_v1_files += 1;
+        stats.total_bytes += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    }
+    let finish = |kind: StructureKind| {
+        let (keys, digests) = per_kind.get(&kind).cloned().unwrap_or_default();
+        let bytes = digests.iter().filter_map(|d| blob_sizes.get(d)).sum();
+        KindStats {
+            logical_keys: keys,
+            blobs: digests.len(),
+            bytes,
+            dedup_ratio: if digests.is_empty() {
+                0.0
+            } else {
+                keys as f64 / digests.len() as f64
+            },
+        }
+    };
+    stats.strong = finish(StructureKind::StrongDistinguisher);
+    stats.dist = finish(StructureKind::Distinguisher);
+    stats.select = finish(StructureKind::SelectiveFamily);
+    Ok(stats)
+}
+
+/// Writes a key's structure as a **legacy v1 file** into `dir` — the
+/// fixture path for migration tooling and tests (`structures prebuild
+/// --format v1`). Strong keys encode the seed's windowed view, exactly
+/// what a v1 store held for that key.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_v1_file(dir: &Path, key: &StructureKey, prefix_hint: usize) -> io::Result<PathBuf> {
+    let path = dir.join(StructureStore::file_name(key));
+    let bytes = match key.kind {
+        StructureKind::StrongDistinguisher => {
+            let strong = SharedStrongDistinguisher::new(key.universe, key.seed);
+            let len = strong.prefix_size_for(prefix_hint.max(2));
+            let sets: Vec<Arc<IdSet>> = (0..len).map(|i| strong.set(i)).collect();
+            codec::encode(key, &sets)
+        }
+        StructureKind::Distinguisher => codec::encode(
+            key,
+            Distinguisher::random(key.universe, key.n as usize, key.seed).sets(),
+        ),
+        StructureKind::SelectiveFamily => codec::encode(
+            key,
+            SelectiveFamily::random(key.universe, key.n as usize, key.seed).sets(),
+        ),
+    };
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(&path, bytes)?;
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -754,10 +1408,8 @@ mod tests {
     use ring_protocols::structures::FreshStructures;
 
     fn temp_store(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "ring-harness-store-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ring-harness-store-{tag}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         dir
     }
@@ -797,7 +1449,7 @@ mod tests {
     }
 
     #[test]
-    fn strong_prefixes_flush_and_reload() {
+    fn strong_prefixes_flush_and_reload_shared_across_seeds() {
         let dir = temp_store("strong");
         let first = StructureStore::at(&dir).unwrap();
         let strong = first.strong_distinguisher(1 << 10, 3);
@@ -820,6 +1472,16 @@ mod tests {
         for i in 0..12 {
             assert_eq!(*reloaded.set(i), *fresh.set(i), "set {i}");
         }
+        // A *different* seed of the same universe is served from the same
+        // universal blob — no extra disk event, no extra blob.
+        let other = second.strong_distinguisher(1 << 10, 77);
+        assert_eq!(second.stats(), StoreStats { hits: 1, misses: 0 });
+        assert_eq!(
+            *other.set(0),
+            *FreshStructures.strong_distinguisher(1 << 10, 77).set(0)
+        );
+        let blobs = list_with_extension(&dir.join("blobs"), BLOB_EXTENSION).unwrap();
+        assert_eq!(blobs.len(), 1, "one universal blob per universe");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -827,7 +1489,8 @@ mod tests {
     fn flush_never_replaces_a_longer_stored_prefix() {
         let dir = temp_store("prefix-race");
         // Two workers start before any file exists (both miss), then
-        // materialise different prefix lengths of the same sequence.
+        // materialise different prefix lengths of the same universal
+        // sequence.
         let a = StructureStore::at(&dir).unwrap();
         let b = StructureStore::at(&dir).unwrap();
         let sa = a.strong_distinguisher(512, 5);
@@ -842,7 +1505,12 @@ mod tests {
         // The shorter prefix must not clobber the longer published one.
         assert_eq!(b.flush().unwrap(), 0);
         let c = StructureStore::at(&dir).unwrap();
-        assert_eq!(c.strong_distinguisher(512, 5).materialized_len(), 12);
+        let reloaded = c.strong_distinguisher(512, 5);
+        assert!(reloaded.materialized_len() >= 12);
+        // Superseding left exactly one strong blob (the shorter one was
+        // reclaimed by the flush that published the longer prefix).
+        let blobs = list_with_extension(&dir.join("blobs"), BLOB_EXTENSION).unwrap();
+        assert_eq!(blobs.len(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -851,19 +1519,22 @@ mod tests {
         let dir = temp_store("corrupt");
         let first = StructureStore::at(&dir).unwrap();
         let good = first.distinguisher(256, 4, 5);
-        let path = first
-            .file_path(&StructureKey {
+        let entry = StructureStore::read_index_entry(&dir.join("index").join(
+            StructureStore::index_name(&StructureKey {
                 kind: StructureKind::Distinguisher,
                 universe: 256,
                 n: 4,
                 seed: 5,
-            })
-            .unwrap();
+            }),
+        ))
+        .unwrap()
+        .unwrap();
+        let blob = StructureStore::blob_path(&dir, entry.digest);
         // Flip one payload byte.
-        let mut bytes = std::fs::read(&path).unwrap();
+        let mut bytes = std::fs::read(&blob).unwrap();
         let at = bytes.len() / 2;
         bytes[at] ^= 0x40;
-        std::fs::write(&path, &bytes).unwrap();
+        std::fs::write(&blob, &bytes).unwrap();
 
         // The fallible path reports the corruption; the returned structure
         // is still the correct reconstruction.
@@ -872,10 +1543,71 @@ mod tests {
         assert!(err.to_string().contains("corrupt"), "{err}");
         assert_eq!(second.stats(), StoreStats { hits: 0, misses: 1 });
 
-        // ...and it republished a healthy file: a third store loads.
+        // ...and it republished a healthy blob: a third store loads.
         let third = StructureStore::at(&dir).unwrap();
         assert_eq!(*third.try_distinguisher(256, 4, 5).unwrap(), *good);
         assert_eq!(third.stats(), StoreStats { hits: 1, misses: 0 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_v1_files_are_served_and_migrate_in_place() {
+        let dir = temp_store("v1-compat");
+        std::fs::create_dir_all(&dir).unwrap();
+        let key = StructureKey {
+            kind: StructureKind::Distinguisher,
+            universe: 256,
+            n: 4,
+            seed: 21,
+        };
+        write_v1_file(&dir, &key, 4).unwrap();
+        let strong_key = StructureKey {
+            kind: StructureKind::StrongDistinguisher,
+            universe: 512,
+            n: 0,
+            seed: 9,
+        };
+        write_v1_file(&dir, &strong_key, 8).unwrap();
+
+        // V1 materialised files are served directly (a store hit).
+        let store = StructureStore::at(&dir).unwrap();
+        let served = store.try_distinguisher(256, 4, 21).unwrap();
+        assert_eq!(*served, *FreshStructures.distinguisher(256, 4, 21));
+        assert_eq!(store.stats().hits, 1);
+
+        // Migration rewrites everything onto the v2 layout and removes the
+        // v1 files; a post-migration store serves every key from v2 with
+        // zero misses.
+        let migrator = StructureStore::at(&dir).unwrap();
+        let report = migrator.migrate().unwrap();
+        assert_eq!(report.materialised, 1);
+        assert_eq!(report.strong, 1);
+        assert_eq!(report.dropped, 0);
+        assert!(list_with_extension(&dir, STORE_EXTENSION)
+            .unwrap()
+            .is_empty());
+        // Idempotent.
+        assert_eq!(
+            StructureStore::at(&dir).unwrap().migrate().unwrap(),
+            MigrateReport::default()
+        );
+
+        let warm = StructureStore::at(&dir).unwrap();
+        assert_eq!(
+            *warm.try_distinguisher(256, 4, 21).unwrap(),
+            *FreshStructures.distinguisher(256, 4, 21)
+        );
+        let strong = warm.try_strong_distinguisher(512, 9).unwrap();
+        assert!(strong.materialized_len() >= strong.prefix_size_for(8));
+        assert_eq!(
+            *strong.set(3),
+            *FreshStructures.strong_distinguisher(512, 9).set(3)
+        );
+        assert_eq!(warm.stats().misses, 0);
+        // Everything verifies clean.
+        for report in scan_store_dir(&dir).unwrap() {
+            assert!(report.error.is_none(), "{:?}", report);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -885,45 +1617,103 @@ mod tests {
         let store = StructureStore::at(&dir).unwrap();
         store.distinguisher(128, 4, 1);
         store.selective_family(128, 4, 1);
-        // A corrupt file, a stale claim and a stale temp file.
-        let corrupt = dir.join(format!("dist-u64-n2-s{:016x}.{STORE_EXTENSION}", 3));
-        std::fs::write(&corrupt, b"not a structure").unwrap();
-        std::fs::write(dir.join("dist-u64-n2-s0000000000000003.claim"), b"").unwrap();
-        std::fs::write(dir.join("leftover.tmp"), b"").unwrap();
+        // A corrupt legacy file, a corrupt blob, a dangling entry, a stale
+        // claim and a stale temp file.
+        std::fs::write(
+            dir.join(format!("dist-u64-n2-s{:016x}.{STORE_EXTENSION}", 3)),
+            b"not a structure",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("blobs")
+                .join(format!("{:016x}.{BLOB_EXTENSION}", 0xbad)),
+            b"not a blob",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("index")
+                .join(format!("dist-u64-n2-s{:016x}.{INDEX_EXTENSION}", 5)),
+            IndexEntry {
+                key: StructureKey {
+                    kind: StructureKind::Distinguisher,
+                    universe: 64,
+                    n: 2,
+                    seed: 5,
+                },
+                digest: 0xdead,
+                count: 1,
+            }
+            .format(),
+        )
+        .unwrap();
+        let claim = dir.join("index").join("dist-u64-n2-s03.claim");
+        let leftover = dir.join("leftover.tmp");
+        std::fs::write(&claim, b"").unwrap();
+        std::fs::write(&leftover, b"").unwrap();
+        // Backdate the leftovers past the claim grace: young tmp/claim
+        // files belong to live publishers and must survive a sweep.
+        assert_eq!(sweep_stale_files(&dir).unwrap(), 0);
+        for stale in [&claim, &leftover] {
+            assert!(std::process::Command::new("touch")
+                .args(["-m", "-d", "2 hours ago"])
+                .arg(stale)
+                .status()
+                .map(|s| s.success())
+                .unwrap_or(false));
+        }
 
         let reports = scan_store_dir(&dir).unwrap();
-        assert_eq!(reports.len(), 3);
-        assert_eq!(reports.iter().filter(|r| r.error.is_some()).count(), 1);
+        // 2 blobs + 2 entries from the real structures, plus 3 bad files.
+        assert_eq!(reports.len(), 7);
+        assert_eq!(reports.iter().filter(|r| r.error.is_some()).count(), 3);
 
         let gc = gc_store_dir(&dir).unwrap();
-        assert_eq!(gc, GcReport { corrupt: 1, stale: 2, kept: 2 });
+        assert_eq!(
+            gc,
+            GcReport {
+                corrupt: 3,
+                stale: 2,
+                unreferenced: 0,
+                kept: 4
+            }
+        );
         // Post-gc the directory verifies clean.
         assert!(revalidate_store_dir(&dir).unwrap().is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    fn files_published_under_the_wrong_name_are_reported() {
-        let dir = temp_store("misfile");
+    fn identical_payloads_under_different_keys_share_one_blob() {
+        let dir = temp_store("dedup");
         let store = StructureStore::at(&dir).unwrap();
-        store.distinguisher(128, 4, 1);
-        let key = StructureKey {
+        let d = store.distinguisher(128, 4, 9);
+        // Publish the same payload under a second logical key by hand (the
+        // situation content addressing exists for).
+        let other = StructureKey {
             kind: StructureKind::Distinguisher,
             universe: 128,
             n: 4,
-            seed: 1,
+            seed: 1234,
         };
-        let good = dir.join(StructureStore::file_name(&key));
-        let renamed = dir.join(format!("dist-u128-n4-s{:016x}.{STORE_EXTENSION}", 99));
-        std::fs::rename(&good, &renamed).unwrap();
-        let reports = scan_store_dir(&dir).unwrap();
-        assert_eq!(reports.len(), 1);
-        assert!(reports[0].error.as_deref().unwrap().contains("name"));
-        // A keyed load under the name's key refuses the mismatched payload
-        // and reconstructs.
+        let sets: Vec<Arc<IdSet>> = d.sets().iter().cloned().map(Arc::new).collect();
+        store
+            .publish(
+                &dir,
+                &dir.join("index").join(StructureStore::index_name(&other)),
+                other,
+                &sets,
+            )
+            .unwrap();
+        let blobs = list_with_extension(&dir.join("blobs"), BLOB_EXTENSION).unwrap();
+        assert_eq!(blobs.len(), 1, "identical payloads must dedup to one blob");
+        let stats = store_dir_stats(&dir).unwrap();
+        assert_eq!(stats.dist.logical_keys, 2);
+        assert_eq!(stats.dist.blobs, 1);
+        assert!((stats.dist.dedup_ratio - 2.0).abs() < 1e-9);
+        // Both keys load the shared payload. (The loaded structure carries
+        // the requesting key's parameters; only the payload is shared.)
         let second = StructureStore::at(&dir).unwrap();
-        let err = second.try_distinguisher(128, 4, 99).unwrap_err();
-        assert!(err.to_string().contains("corrupt"), "{err}");
+        assert_eq!(*second.try_distinguisher(128, 4, 1234).unwrap(), *d);
         std::fs::remove_dir_all(&dir).ok();
     }
 

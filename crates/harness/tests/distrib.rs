@@ -145,10 +145,16 @@ fn resume_after_a_mid_shard_crash_reaches_identical_bytes() {
         .stderr(std::process::Stdio::null())
         .status()
         .expect("run ringlab");
-    assert!(!status.success(), "orchestration must fail when every worker dies");
+    assert!(
+        !status.success(),
+        "orchestration must fail when every worker dies"
+    );
     let manifest = ring_distrib::Manifest::load(&run_dir).unwrap();
     assert!(!manifest.is_complete());
-    assert!(!out.exists(), "no merged output may appear for a failed run");
+    assert!(
+        !out.exists(),
+        "no merged output may appear for a failed run"
+    );
 
     // A healthy resume completes only the incomplete shards and merges.
     let resumed = dir.join("resumed.jsonl");
@@ -239,7 +245,10 @@ fn per_shard_retry_masks_a_single_worker_death() {
         .stderr(std::process::Stdio::null())
         .status()
         .expect("run ringlab");
-    assert!(status.success(), "retry should have masked the single death");
+    assert!(
+        status.success(),
+        "retry should have masked the single death"
+    );
     assert_eq!(std::fs::read(&out).unwrap(), reference);
     let manifest = ring_distrib::Manifest::load(&run_dir).unwrap();
     let attempts: u32 = manifest.shards.iter().map(|s| s.attempts).sum();
@@ -273,7 +282,10 @@ fn structure_store_keeps_sharded_sweeps_byte_identical_and_hits_after_warmup() {
             .stderr(std::process::Stdio::null())
             .status()
             .expect("run ringlab");
-        assert!(status.success(), "store-backed sweep failed at M = {shards}");
+        assert!(
+            status.success(),
+            "store-backed sweep failed at M = {shards}"
+        );
         assert_eq!(
             std::fs::read(&out).unwrap(),
             reference,
@@ -331,7 +343,10 @@ fn resume_revalidates_the_structure_store_and_reaches_identical_bytes() {
         .stderr(std::process::Stdio::null())
         .status()
         .expect("run ringlab");
-    assert!(!status.success(), "orchestration must fail when every worker dies");
+    assert!(
+        !status.success(),
+        "orchestration must fail when every worker dies"
+    );
 
     // The bare flag defaults the store into the run directory, recorded in
     // the manifest for resume.
@@ -378,6 +393,144 @@ fn resume_revalidates_the_structure_store_and_reaches_identical_bytes() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Spec flags of the seed-diverse variant: the same grid under the
+/// per-case structure-seed schedule (K = 3 schedule seeds).
+const SEEDED_SPEC_FLAGS: &[&str] = &[
+    "--sizes",
+    "9,8,12",
+    "--universe-factors",
+    "4",
+    "--reps",
+    "1",
+    "--seed",
+    "77",
+    "--structure-seed-mode",
+    "per-case",
+    "--structure-seeds",
+    "3",
+];
+
+/// Runs the single-process seed-diverse reference sweep into `dir`.
+fn seeded_reference_bytes(dir: &Path) -> Vec<u8> {
+    let out = dir.join("seeded-single.jsonl");
+    let status = ringlab()
+        .args(["sweep", "--jobs", "2", "--jsonl"])
+        .arg(&out)
+        .args(SEEDED_SPEC_FLAGS)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("run ringlab");
+    assert!(status.success(), "single-process seeded sweep failed");
+    let bytes = std::fs::read(&out).unwrap();
+    assert!(!bytes.is_empty());
+    bytes
+}
+
+/// The seed-diverse acceptance property: under the per-case structure-seed
+/// schedule, orchestrated multi-process output (drawing every structure
+/// from one shared v2 store) is byte-identical to the single-process run
+/// at every shard count — and the schedule genuinely changes the measured
+/// bytes relative to the fixed schedule.
+#[test]
+fn seed_diverse_sharded_sweeps_are_byte_identical_for_every_shard_count() {
+    let dir = temp_dir("seeded-shards");
+    let fixed_reference = reference_bytes(&dir);
+    let reference = seeded_reference_bytes(&dir);
+    assert_ne!(
+        reference, fixed_reference,
+        "the per-case schedule must actually diversify the structure seeds"
+    );
+    let store = dir.join("seeded-structures");
+    for shards in [1usize, 2, 3, 7] {
+        let out = dir.join(format!("seeded-sharded-{shards}.jsonl"));
+        let run_dir = dir.join(format!("seeded-run-{shards}"));
+        let status = ringlab()
+            .args(["sweep", "--shards", &shards.to_string(), "--jsonl"])
+            .arg(&out)
+            .arg("--run-dir")
+            .arg(&run_dir)
+            .arg("--structure-store")
+            .arg(&store)
+            .args(SEEDED_SPEC_FLAGS)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .expect("run ringlab");
+        assert!(
+            status.success(),
+            "seeded sharded sweep failed at M = {shards}"
+        );
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            reference,
+            "seed-diverse sharded output diverged at M = {shards}"
+        );
+        let manifest = ring_distrib::Manifest::load(&run_dir).unwrap();
+        assert!(manifest.is_complete());
+        assert_eq!(manifest.spec.structure_seeds, Some(3));
+        if shards > 1 {
+            // Every fleet after the first runs against a warm store: the K
+            // schedule seeds all resolve through already-published blobs.
+            assert_eq!(
+                manifest.aggregate_stats().store_misses,
+                0,
+                "a warm v2 store must serve every schedule seed at M = {shards}"
+            );
+        }
+    }
+    // K-seed diversity must not multiply the store: the strong kind shares
+    // one universal blob per universe (2 even universes in the grid).
+    let stats = ring_harness::store::store_dir_stats(&store).unwrap();
+    assert_eq!(stats.strong.blobs, 2, "one strong blob per universe");
+    for report in ring_harness::store::scan_store_dir(&store).unwrap() {
+        assert!(report.error.is_none(), "{:?}", report);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Crash-resume under the per-case seed schedule: a fleet that dies
+/// mid-shard resumes — schedule and all recorded in the manifest — to the
+/// exact single-process bytes.
+#[test]
+fn seed_diverse_crash_resume_reaches_identical_bytes() {
+    let dir = temp_dir("seeded-crash-resume");
+    let reference = seeded_reference_bytes(&dir);
+    let run_dir = dir.join("run");
+    let out = dir.join("sharded.jsonl");
+    let status = ringlab()
+        .args(["sweep", "--shards", "3", "--retries", "0", "--jsonl"])
+        .arg(&out)
+        .arg("--run-dir")
+        .arg(&run_dir)
+        .arg("--structure-store")
+        .args(SEEDED_SPEC_FLAGS)
+        .env("RING_DISTRIB_FAIL_AFTER", "1")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("run ringlab");
+    assert!(
+        !status.success(),
+        "orchestration must fail when every worker dies"
+    );
+    let manifest = ring_distrib::Manifest::load(&run_dir).unwrap();
+    assert_eq!(manifest.spec.structure_seeds, Some(3));
+
+    let resumed = dir.join("resumed.jsonl");
+    let status = ringlab()
+        .arg("resume")
+        .arg(&run_dir)
+        .arg("--jsonl")
+        .arg(&resumed)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("run ringlab resume");
+    assert!(status.success(), "seeded resume failed");
+    assert_eq!(std::fs::read(&resumed).unwrap(), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `--jsonl -` streams records to stdout with the tables routed to stderr,
 /// so piped output is pure JSONL — for sharded and single-process runs
 /// alike.
@@ -385,7 +538,10 @@ fn resume_revalidates_the_structure_store_and_reaches_identical_bytes() {
 fn stdout_jsonl_stays_pure_when_tables_render() {
     let dir = temp_dir("stdout");
     let reference = reference_bytes(&dir);
-    for extra in [&["--jobs", "2"][..], &["--shards", "2", "--retries", "0"][..]] {
+    for extra in [
+        &["--jobs", "2"][..],
+        &["--shards", "2", "--retries", "0"][..],
+    ] {
         let run_dir = dir.join("run-stdout");
         std::fs::remove_dir_all(&run_dir).ok();
         let output = ringlab()

@@ -5,7 +5,7 @@ use ring_experiments::tables::{table1_case, table2_case};
 use ring_experiments::SweepSpec;
 use ring_harness::scenario::{all_items, table1_items, table2_items};
 use ring_harness::{available_jobs, JsonlSink, StructureCache, StructureStore, SweepEngine};
-use ring_protocols::structures::{fresh_structures, SharedStructures};
+use ring_protocols::structures::{fresh_structures, SharedStructures, StructureProvider};
 use std::sync::Arc;
 
 fn test_spec() -> SweepSpec {
@@ -14,6 +14,7 @@ fn test_spec() -> SweepSpec {
         universe_factors: vec![4, 16],
         repetitions: 2,
         seed: 77,
+        structure_seeds: None,
     }
 }
 
@@ -83,6 +84,7 @@ fn all_items_run_verified_with_cache_hits() {
         universe_factors: vec![4],
         repetitions: 1,
         seed: 3,
+        structure_seeds: None,
     };
     let scaling = ring_experiments::distinguisher_scaling::ScalingSpec {
         universe: 1 << 10,
@@ -98,7 +100,14 @@ fn all_items_run_verified_with_cache_hits() {
         records.iter().map(|r| r.experiment.as_str()).collect();
     assert_eq!(
         families.into_iter().collect::<Vec<_>>(),
-        vec!["distinguisher_scaling", "fig1", "fig2", "lower_bounds", "table1", "table2"]
+        vec![
+            "distinguisher_scaling",
+            "fig1",
+            "fig2",
+            "lower_bounds",
+            "table1",
+            "table2"
+        ]
     );
     assert!(engine.cache_stats().hit_rate() > 0.0);
 }
@@ -121,10 +130,7 @@ fn disk_store_runs_are_byte_identical_to_storeless_runs() {
         engine.run(&items, Some(&sink));
         sink.finish()
     };
-    let dir = std::env::temp_dir().join(format!(
-        "ring-harness-store-e2e-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("ring-harness-store-e2e-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     for pass in 0..2 {
         let store = Arc::new(StructureStore::at(&dir).unwrap());
@@ -161,10 +167,8 @@ fn enumerated_structure_keys_cover_a_full_sweep() {
         seed: 41,
     };
     let items = all_items(&spec, &scaling);
-    let dir = std::env::temp_dir().join(format!(
-        "ring-harness-prebuild-e2e-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("ring-harness-prebuild-e2e-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
 
     // Prebuild exactly what the items enumerate.
@@ -201,5 +205,200 @@ fn enumerated_structure_keys_cover_a_full_sweep() {
         "a prebuilt store must already hold every requested structure"
     );
     assert!(stats.hits > 0, "the sweep never consulted the store");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The seed-diverse storage acceptance: prebuilding a K-seed sweep into a
+/// content-addressed v2 store publishes O(structures) blobs — one shared
+/// strong blob per universe — and strictly fewer bytes than the K
+/// independent per-seed files the v1 layout would hold; a sweep against
+/// the prebuilt store then reports zero store misses.
+#[test]
+fn seed_diverse_store_beats_one_file_per_seed_and_serves_zero_miss() {
+    use ring_combinat::StructureKind;
+    use ring_protocols::structures::StructureProvider;
+    let spec = SweepSpec {
+        sizes: vec![8, 12],
+        universe_factors: vec![16],
+        repetitions: 4,
+        seed: 77,
+        structure_seeds: Some(4),
+    };
+    let mut items = table1_items(&spec);
+    items.extend(table2_items(&spec));
+    // One entry per distinct key, hint maximised (what prebuild does).
+    let mut keys: Vec<(ring_combinat::StructureKey, usize)> = Vec::new();
+    for item in &items {
+        for (key, hint) in item.structure_keys() {
+            match keys.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, existing)) => *existing = (*existing).max(hint),
+                None => keys.push((key, hint)),
+            }
+        }
+    }
+    let strong_keys: Vec<_> = keys
+        .iter()
+        .filter(|(k, _)| k.kind == StructureKind::StrongDistinguisher)
+        .collect();
+    assert_eq!(
+        strong_keys.len(),
+        8,
+        "2 even universes x 4 schedule seeds: {strong_keys:?}"
+    );
+
+    let base = std::env::temp_dir().join(format!("ring-harness-seeded-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let v1_dir = base.join("v1");
+    let v2_dir = base.join("v2");
+    std::fs::create_dir_all(&v1_dir).unwrap();
+
+    // The v1 layout: one full file per (strong, universe, seed) key.
+    for (key, hint) in &keys {
+        ring_harness::store::write_v1_file(&v1_dir, key, *hint).unwrap();
+    }
+    // The v2 layout: the same prebuild demand against a content-addressed
+    // store (every seed view materialised to its full prefix, then flushed).
+    {
+        let store = StructureStore::at(&v2_dir).unwrap();
+        for (key, hint) in &keys {
+            match key.kind {
+                StructureKind::StrongDistinguisher => {
+                    let strong = store.strong_distinguisher(key.universe, key.seed);
+                    for i in 0..strong.prefix_size_for((*hint).max(2)) {
+                        strong.set(i);
+                    }
+                }
+                StructureKind::Distinguisher => {
+                    store.distinguisher(key.universe, key.n as usize, key.seed);
+                }
+                StructureKind::SelectiveFamily => {
+                    store.selective_family(key.universe, key.n as usize, key.seed);
+                }
+            }
+        }
+        store.flush().unwrap();
+    }
+
+    let dir_bytes = |dir: &std::path::Path| -> u64 {
+        fn walk(dir: &std::path::Path, total: &mut u64) {
+            for entry in std::fs::read_dir(dir).into_iter().flatten().flatten() {
+                let path = entry.path();
+                if path.is_dir() {
+                    walk(&path, total);
+                } else {
+                    *total += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                }
+            }
+        }
+        let mut total = 0;
+        walk(dir, &mut total);
+        total
+    };
+    let v1_bytes = dir_bytes(&v1_dir);
+    let v2_bytes = dir_bytes(&v2_dir);
+    assert!(
+        v2_bytes < v1_bytes,
+        "content addressing must beat one-file-per-seed: v2 {v2_bytes} vs v1 {v1_bytes} bytes"
+    );
+    // O(structures) blobs, not O(K) copies: one strong blob per universe.
+    let stats = ring_harness::store::store_dir_stats(&v2_dir).unwrap();
+    assert_eq!(stats.strong.blobs, 2);
+    assert!(stats.strong.dedup_ratio >= 1.0);
+
+    // A second pass over the prebuilt store: zero store misses, identical
+    // bytes to the storeless run.
+    let reference = {
+        let engine = SweepEngine::new(2);
+        let sink = JsonlSink::new(Vec::new());
+        engine.run(&items, Some(&sink));
+        sink.finish()
+    };
+    let engine = SweepEngine::with_store(2, Arc::new(StructureStore::at(&v2_dir).unwrap()));
+    let sink = JsonlSink::new(Vec::new());
+    engine.run(&items, Some(&sink));
+    assert_eq!(sink.finish(), reference);
+    let store_stats = engine.store_stats();
+    assert_eq!(
+        store_stats.misses, 0,
+        "a prebuilt v2 store must serve everything"
+    );
+    assert!(store_stats.hits > 0);
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// The gc-vs-claim race: while publishers are busy claiming keys and
+/// publishing blob + index-entry pairs, concurrent `gc` passes must never
+/// delete a blob a live index entry references — afterwards the store
+/// verifies clean and every published key loads.
+#[test]
+fn gc_never_deletes_a_blob_a_live_index_entry_references() {
+    let dir = std::env::temp_dir().join(format!("ring-harness-gcrace-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = Arc::new(StructureStore::at(&dir).unwrap());
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let publishers: Vec<_> = (0..3u64)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for seed in 0..12u64 {
+                    store.distinguisher(128, 4, 1000 * t + seed);
+                }
+            })
+        })
+        .collect();
+    let collector = {
+        let dir = dir.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut passes = 0u32;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                ring_harness::store::gc_store_dir(&dir).unwrap();
+                passes += 1;
+            }
+            passes
+        })
+    };
+    for p in publishers {
+        p.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let passes = collector.join().unwrap();
+    assert!(passes > 0, "gc never ran concurrently with the publishers");
+
+    // Every index entry still resolves to a present, valid blob...
+    for report in ring_harness::store::scan_store_dir(&dir).unwrap() {
+        assert!(report.error.is_none(), "{report:?}");
+    }
+    // ...and a fresh store loads every key with zero misses.
+    let second = StructureStore::at(&dir).unwrap();
+    for t in 0..3u64 {
+        for seed in 0..12u64 {
+            second.distinguisher(128, 4, 1000 * t + seed);
+        }
+    }
+    assert_eq!(second.stats().misses, 0);
+
+    // Unreferenced blobs *are* reclaimed once they are old enough: plant a
+    // valid orphan blob and backdate it past the claim grace.
+    let orphan_sets = vec![ring_combinat::IdSet::from_ids(64, [3, 9])];
+    let (bytes, digest) = ring_combinat::codec::encode_blob(64, &orphan_sets);
+    let orphan = StructureStore::blob_path(&dir, digest);
+    std::fs::write(&orphan, &bytes).unwrap();
+    let fresh_gc = ring_harness::store::gc_store_dir(&dir).unwrap();
+    assert_eq!(
+        fresh_gc.unreferenced, 0,
+        "a fresh orphan is inside the grace window"
+    );
+    assert!(orphan.exists());
+    assert!(std::process::Command::new("touch")
+        .args(["-m", "-d", "2 hours ago"])
+        .arg(&orphan)
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false));
+    let aged_gc = ring_harness::store::gc_store_dir(&dir).unwrap();
+    assert_eq!(aged_gc.unreferenced, 1, "an aged orphan must be reclaimed");
+    assert!(!orphan.exists());
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -102,10 +102,7 @@ impl RingConfig {
 
     /// Number of agents whose chirality is [`Chirality::Aligned`].
     pub fn aligned_count(&self) -> usize {
-        self.chirality
-            .iter()
-            .filter(|c| c.is_aligned())
-            .count()
+        self.chirality.iter().filter(|c| c.is_aligned()).count()
     }
 }
 
@@ -237,7 +234,9 @@ impl RingConfigBuilder {
         positions.sort();
         for w in positions.windows(2) {
             if w[0] == w[1] {
-                return Err(RingError::DuplicatePosition { ticks: w[0].ticks() });
+                return Err(RingError::DuplicatePosition {
+                    ticks: w[0].ticks(),
+                });
             }
         }
         for p in &positions {
@@ -297,7 +296,9 @@ fn even_positions(n: usize) -> Vec<Point> {
     // Evenly spaced on even ticks; the stride is rounded down to an even
     // number so that every position is even.
     let stride = (CIRCUMFERENCE / n as u64) & !1;
-    (0..n as u64).map(|i| Point::from_ticks(i * stride)).collect()
+    (0..n as u64)
+        .map(|i| Point::from_ticks(i * stride))
+        .collect()
 }
 
 fn random_positions(n: usize, seed: u64) -> Result<Vec<Point>, RingError> {
@@ -341,7 +342,10 @@ mod tests {
     fn too_few_agents_is_rejected() {
         assert_eq!(
             RingConfig::builder(4).build().unwrap_err(),
-            RingError::TooFewAgents { n: 4, min: MIN_AGENTS }
+            RingError::TooFewAgents {
+                n: 4,
+                min: MIN_AGENTS
+            }
         );
     }
 
@@ -374,7 +378,10 @@ mod tests {
 
     #[test]
     fn chirality_specs() {
-        let c = RingConfig::builder(6).alternating_chirality().build().unwrap();
+        let c = RingConfig::builder(6)
+            .alternating_chirality()
+            .build()
+            .unwrap();
         assert_eq!(c.aligned_count(), 3);
         assert_eq!(c.chirality(0), Chirality::Aligned);
         assert_eq!(c.chirality(1), Chirality::Reversed);

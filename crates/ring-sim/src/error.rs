@@ -98,7 +98,10 @@ mod tests {
             RingError::TooFewAgents { n: 2, min: 5 },
             RingError::DuplicatePosition { ticks: 10 },
             RingError::OddPosition { ticks: 11 },
-            RingError::DirectionCountMismatch { got: 1, expected: 2 },
+            RingError::DirectionCountMismatch {
+                got: 1,
+                expected: 2,
+            },
             RingError::IdleNotAllowed { agent: 3 },
             RingError::LengthMismatch {
                 what: "ids",

@@ -50,7 +50,9 @@ pub struct EventEngine {
 
 impl Default for EventEngine {
     fn default() -> Self {
-        EventEngine { max_events: 1 << 22 }
+        EventEngine {
+            max_events: 1 << 22,
+        }
     }
 }
 
@@ -89,9 +91,7 @@ impl EventEngine {
         }
 
         // State indexed by ring-order position k.
-        let mut pos: Vec<f64> = (0..n)
-            .map(|k| config.position(k).as_fraction())
-            .collect();
+        let mut pos: Vec<f64> = (0..n).map(|k| config.position(k).as_fraction()).collect();
         let start_pos_of_agent: Vec<f64> = (0..n)
             .map(|agent| config.position(slot_of_agent[agent]).as_fraction())
             .collect();
@@ -209,8 +209,7 @@ mod tests {
         let slots: Vec<usize> = (0..6).collect();
         let traj = EventEngine::new().simulate(&config, &slots, &[C; 6]);
         for agent in 0..6 {
-            assert!(traj.cw_displacement[agent] < EPS
-                || traj.cw_displacement[agent] > 1.0 - EPS);
+            assert!(traj.cw_displacement[agent] < EPS || traj.cw_displacement[agent] > 1.0 - EPS);
             assert!(traj.first_collision[agent].is_none());
         }
         assert!(traj.collisions.is_empty());
@@ -220,7 +219,8 @@ mod tests {
     fn two_approaching_agents_collide_at_midpoint_distance() {
         // Positions 0.0 and 0.25 (in ticks); 0 moves clockwise, 1 anticlockwise.
         let quarter = crate::geometry::CIRCUMFERENCE / 4;
-        let config = config_with_positions(&[0, quarter, quarter * 2, quarter * 2 + 10, quarter * 3]);
+        let config =
+            config_with_positions(&[0, quarter, quarter * 2, quarter * 2 + 10, quarter * 3]);
         let slots: Vec<usize> = (0..5).collect();
         let dirs = [C, A, C, C, C];
         let traj = EventEngine::new().simulate(&config, &slots, &dirs);
@@ -239,7 +239,10 @@ mod tests {
         for agent in 0..9 {
             let expected = analytic.cw_displacement[agent].as_fraction();
             let got = traj.cw_displacement[agent];
-            let diff = (expected - got).abs().min((expected - got).abs() - 1.0).abs();
+            let diff = (expected - got)
+                .abs()
+                .min((expected - got).abs() - 1.0)
+                .abs();
             assert!(
                 (expected - got).abs() < 1e-6 || (1.0 - (expected - got).abs()) < 1e-6,
                 "agent {agent}: expected {expected}, got {got} (diff {diff})"

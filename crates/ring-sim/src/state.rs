@@ -301,8 +301,7 @@ impl<'a> RingState<'a> {
         local_directions: &[LocalDirection],
         engine: EngineKind,
     ) -> Result<RoundOutcome, RingError> {
-        let reversed: Vec<LocalDirection> =
-            local_directions.iter().map(|d| d.opposite()).collect();
+        let reversed: Vec<LocalDirection> = local_directions.iter().map(|d| d.opposite()).collect();
         self.execute_round(&reversed, engine)
     }
 }
@@ -331,7 +330,8 @@ mod tests {
         ];
         assert!(ring.at_initial_positions());
         ring.execute_round(&dirs, EngineKind::Analytic).unwrap();
-        ring.execute_reversed_round(&dirs, EngineKind::Analytic).unwrap();
+        ring.execute_reversed_round(&dirs, EngineKind::Analytic)
+            .unwrap();
         assert!(ring.at_initial_positions());
         assert_eq!(ring.rounds_executed(), 2);
     }
@@ -345,7 +345,10 @@ mod tests {
             .unwrap_err();
         assert_eq!(
             err,
-            RingError::DirectionCountMismatch { got: 3, expected: 6 }
+            RingError::DirectionCountMismatch {
+                got: 3,
+                expected: 6
+            }
         );
     }
 
@@ -385,7 +388,10 @@ mod tests {
         for agent in 0..n {
             if agent == 2 {
                 if out_a.observations[agent].dist.is_zero() {
-                    assert_eq!(out_b.observations[agent].dist, out_a.observations[agent].dist);
+                    assert_eq!(
+                        out_b.observations[agent].dist,
+                        out_a.observations[agent].dist
+                    );
                 } else {
                     assert_eq!(
                         out_b.observations[agent].dist,
@@ -393,11 +399,17 @@ mod tests {
                     );
                 }
             } else {
-                assert_eq!(out_a.observations[agent].dist, out_b.observations[agent].dist);
+                assert_eq!(
+                    out_a.observations[agent].dist,
+                    out_b.observations[agent].dist
+                );
             }
             // Collision distances are path lengths: identical regardless of
             // chirality.
-            assert_eq!(out_a.observations[agent].coll, out_b.observations[agent].coll);
+            assert_eq!(
+                out_a.observations[agent].coll,
+                out_b.observations[agent].coll
+            );
         }
     }
 
@@ -423,7 +435,9 @@ mod tests {
                     })
                     .collect();
                 let outcome = plain.execute_round(&dirs, engine).unwrap();
-                let rotation = buffered.execute_round_into(&dirs, engine, &mut bufs).unwrap();
+                let rotation = buffered
+                    .execute_round_into(&dirs, engine, &mut bufs)
+                    .unwrap();
                 assert_eq!(rotation, outcome.rotation);
                 assert_eq!(bufs.observations, outcome.observations);
                 assert_eq!(bufs.objective_directions(), outcome.objective_directions);
@@ -438,9 +452,17 @@ mod tests {
         let config = RingConfig::builder(6).random_positions(4).build().unwrap();
         let mut analytic_ring = RingState::new(&config);
         let mut event_ring = RingState::new(&config);
-        let dirs = vec![LocalDirection::Right, LocalDirection::Left, LocalDirection::Right,
-                        LocalDirection::Left, LocalDirection::Right, LocalDirection::Right];
-        analytic_ring.execute_round(&dirs, EngineKind::Analytic).unwrap();
+        let dirs = vec![
+            LocalDirection::Right,
+            LocalDirection::Left,
+            LocalDirection::Right,
+            LocalDirection::Left,
+            LocalDirection::Right,
+            LocalDirection::Right,
+        ];
+        analytic_ring
+            .execute_round(&dirs, EngineKind::Analytic)
+            .unwrap();
         event_ring.execute_round(&dirs, EngineKind::Event).unwrap();
         assert_eq!(analytic_ring.slots(), event_ring.slots());
     }

@@ -9,9 +9,7 @@ use ring_sim::prelude::*;
 
 fn main() -> Result<(), RingError> {
     let n = 7;
-    let config = RingConfig::builder(n)
-        .random_positions(99)
-        .build()?;
+    let config = RingConfig::builder(n).random_positions(99).build()?;
 
     // Four agents clockwise, three anticlockwise: rotation index 1.
     let directions: Vec<ObjectiveDirection> = (0..n)
@@ -26,14 +24,21 @@ fn main() -> Result<(), RingError> {
 
     println!("initial positions:");
     for (agent, p) in config.positions().iter().enumerate() {
-        println!("  agent {agent}: {:.4} ({})", p.as_fraction(), directions[agent]);
+        println!(
+            "  agent {agent}: {:.4} ({})",
+            p.as_fraction(),
+            directions[agent]
+        );
     }
 
     let expected = rotation_index(&directions);
     println!("\nrotation index predicted by Lemma 1: {}", expected.shift);
 
     let trajectory = EventEngine::new().simulate(&config, &(0..n).collect::<Vec<_>>(), &directions);
-    println!("\ncollisions during the round ({} in total):", trajectory.collisions.len());
+    println!(
+        "\ncollisions during the round ({} in total):",
+        trajectory.collisions.len()
+    );
     for c in trajectory.collisions.iter().take(12) {
         println!(
             "  t = {:.4}: agents {} and {} meet at {:.4}",

@@ -20,11 +20,7 @@ pub fn demo_deployment(n: usize, seed: u64) -> (RingConfig, IdAssignment) {
 }
 
 /// Creates the executor for a deployment.
-pub fn demo_network<'a>(
-    config: &'a RingConfig,
-    ids: &IdAssignment,
-    model: Model,
-) -> Network<'a> {
+pub fn demo_network<'a>(config: &'a RingConfig, ids: &IdAssignment, model: Model) -> Network<'a> {
     Network::new(config, ids.clone(), model).expect("demo deployments are always valid")
 }
 

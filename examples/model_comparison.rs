@@ -22,8 +22,19 @@ use ring_sim::Model;
 fn main() {
     for &n in &[15usize, 16] {
         let (config, ids) = demo_deployment(n, 4242 + n as u64);
-        println!("\n=== n = {n} ({}), N = {} ===", if n % 2 == 0 { "even" } else { "odd" }, ids.universe());
-        println!("{:<12} {:>18} {:>18} {:>20} {:>20}", "model", "leader election", "nontrivial move", "direction agreement", "location discovery");
+        println!(
+            "\n=== n = {n} ({}), N = {} ===",
+            if n % 2 == 0 { "even" } else { "odd" },
+            ids.universe()
+        );
+        println!(
+            "{:<12} {:>18} {:>18} {:>20} {:>20}",
+            "model",
+            "leader election",
+            "nontrivial move",
+            "direction agreement",
+            "location discovery"
+        );
         for model in [Model::Basic, Model::Lazy, Model::Perceptive] {
             let report = run_pipeline(&config, &ids, model).expect("pipeline succeeds");
             let cell = |p: Problem| {

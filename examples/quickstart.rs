@@ -19,7 +19,10 @@ fn main() {
     let (config, ids) = demo_deployment(n, 2015);
     let mut net = demo_network(&config, &ids, Model::Perceptive);
 
-    println!("deployment: {n} agents, identifier universe [1, {}]", ids.universe());
+    println!(
+        "deployment: {n} agents, identifier universe [1, {}]",
+        ids.universe()
+    );
     println!("hidden initial positions (ground truth, never shown to agents):");
     for (agent, position) in config.positions().iter().enumerate() {
         println!(
@@ -41,7 +44,10 @@ fn main() {
     let view = discovery.view(0);
     println!("\nagent 0's reconstructed map (distances from its own start, own clockwise):");
     for (hops, arc) in view.relative_positions().iter().enumerate() {
-        println!("  neighbour {hops:>2} hops away: {}", pct(arc.as_fraction()));
+        println!(
+            "  neighbour {hops:>2} hops away: {}",
+            pct(arc.as_fraction())
+        );
     }
 
     let ok = verify_location_discovery(&net, &discovery);

@@ -288,7 +288,9 @@ pub mod collection {
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
-            (0..self.count).map(|_| self.element.generate(rng)).collect()
+            (0..self.count)
+                .map(|_| self.element.generate(rng))
+                .collect()
         }
     }
 }

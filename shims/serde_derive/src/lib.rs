@@ -143,7 +143,11 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => return Err(format!("expected `:` after field `{field}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
         }
         // Skip the type: advance to the next top-level comma, tracking angle
         // bracket depth (type-level `< >`; groups are single token trees).

@@ -123,7 +123,10 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
             }
         }
         Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
-        Some(&b) => Err(Error::parse(*pos, format!("unexpected byte `{}`", b as char))),
+        Some(&b) => Err(Error::parse(
+            *pos,
+            format!("unexpected byte `{}`", b as char),
+        )),
     }
 }
 
@@ -361,7 +364,10 @@ mod tests {
     fn compact_and_pretty_rendering() {
         let v = Value::Object(vec![
             ("a".into(), Value::Uint(1)),
-            ("b".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
             ("c".into(), Value::Float(1.5)),
             ("s".into(), Value::Str("x\"y".into())),
         ]);
@@ -392,10 +398,8 @@ mod tests {
 
     #[test]
     fn parses_every_value_kind() {
-        let v = from_str(
-            r#" {"a": 1, "b": [true, null, -2, 1.5e3], "s": "x\"\né", "o": {}} "#,
-        )
-        .unwrap();
+        let v = from_str(r#" {"a": 1, "b": [true, null, -2, 1.5e3], "s": "x\"\né", "o": {}} "#)
+            .unwrap();
         assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
         let b = v.get("b").unwrap().as_array().unwrap();
         assert_eq!(b[0].as_bool(), Some(true));
@@ -413,7 +417,10 @@ mod tests {
             ("big".into(), Value::Uint(u64::MAX)),
             ("f".into(), Value::Float(0.125)),
             ("t".into(), Value::Str("tab\there".into())),
-            ("list".into(), Value::Array(vec![Value::Null, Value::Bool(false)])),
+            (
+                "list".into(),
+                Value::Array(vec![Value::Null, Value::Bool(false)]),
+            ),
         ]);
         struct W(Value);
         impl serde::Serialize for W {
@@ -429,7 +436,16 @@ mod tests {
 
     #[test]
     fn malformed_documents_are_rejected() {
-        for bad in ["", "{", "[1,]", "{\"a\" 1}", "nul", "\"unterminated", "1 2", "{\"a\":1}x"] {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "nul",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1}x",
+        ] {
             assert!(from_str(bad).is_err(), "accepted malformed input {bad:?}");
         }
     }

@@ -69,6 +69,7 @@ fn table1_harness_smoke_test() {
         universe_factors: vec![4],
         repetitions: 1,
         seed: 1,
+        structure_seeds: None,
     };
     let measurements = table1(&spec);
     assert!(measurements.iter().all(|m| m.verified));
