@@ -29,6 +29,7 @@ fn bench_reductions(c: &mut Criterion) {
             repetitions: 1,
             seed: 17,
             structure_seeds: None,
+            faults: None,
         };
         group.bench_with_input(BenchmarkId::from_parameter(label), &n, |b, _| {
             b.iter(|| {

@@ -25,7 +25,10 @@
 //!    `merge` do when nothing crashed). This is the multi-process
 //!    analogue of `parallel_cached`'s warm cache and must beat it for the
 //!    sharded mode to be worth its overhead on repeated/append-style
-//!    sweeps.
+//!    sweeps. A **`sim_faulty`** entry additionally tracks the
+//!    event-driven reference executor over a faulty sweep (lossy links
+//!    plus a crashing station) — the regime where per-round buffer reuse
+//!    in `ring-sim` matters.
 //! 6. **`sharded_store_cold`** — the orchestrated pass with the two-tier
 //!    structure store enabled against an *empty* store directory: workers
 //!    construct each structure once per fleet (claim discipline), publish,
@@ -56,8 +59,8 @@ use ring_distrib::{
     OrchestratorOptions, ShardTally, SpecParams, StartEvent,
 };
 use ring_experiments::distinguisher_scaling::ScalingSpec;
-use ring_experiments::SweepSpec;
-use ring_harness::scenario::{scaling_items, table1_items, table2_items, WorkItem};
+use ring_experiments::{FaultAxes, SweepSpec};
+use ring_harness::scenario::{faults_items, scaling_items, table1_items, table2_items, WorkItem};
 use ring_harness::sink::JsonlSink;
 use ring_harness::{available_jobs, StructureCache, StructureStore, SweepEngine};
 use ring_protocols::structures::fresh_structures;
@@ -181,6 +184,7 @@ fn seeded_spec(quick: bool) -> SweepSpec {
         repetitions: 4,
         seed: 2015,
         structure_seeds: Some(4),
+        faults: None,
     }
 }
 
@@ -278,6 +282,10 @@ fn run_sharded_pass(
             reps: None,
             seed: None,
             structure_seeds: seeded.then_some(4),
+            fault_drops: None,
+            fault_crashes: None,
+            fault_churn: None,
+            fault_adversarial: false,
         },
         if seeded {
             seeded_fingerprint(quick)
@@ -302,6 +310,7 @@ fn run_sharded_pass(
     let options = OrchestratorOptions {
         concurrency: shards.min(available_jobs()).max(1),
         retries: 0,
+        shard_timeout: None,
     };
     let outcome = run_pending_shards(run_dir, &manifest, &options, &|range| {
         let mut cmd = std::process::Command::new(&exe);
@@ -532,6 +541,30 @@ fn main() {
         0,
         "the prebuilt seeded store must serve every schedule seed"
     );
+    // 9. The fault-injection layer: faulty cases promote the engine to the
+    //    event-driven reference executor (per-round buffers reused through
+    //    its scratch), so this entry tracks the event path's throughput
+    //    under a lossy, crashing schedule — the trajectory baseline for
+    //    any future event-engine allocation work.
+    let faulty_spec = SweepSpec {
+        sizes: vec![8, 9],
+        universe_factors: vec![4],
+        repetitions: if quick { 1 } else { 2 },
+        seed: 2015,
+        structure_seeds: None,
+        faults: Some(FaultAxes {
+            drops: vec![0, 100],
+            crashes: 1,
+            churn: 0,
+            adversarial: false,
+        }),
+    };
+    let faulty = faults_items(&faulty_spec);
+    let faulty_engine = SweepEngine::new(1);
+    let sim_faulty = time_run(&faulty, |items| {
+        std::hint::black_box(faulty_engine.run::<Vec<u8>>(items, None));
+    });
+
     let seeded_store_bytes = dir_bytes(&seeded_store_dir);
     // The v1 layout: one full file per logical strong key (K per universe).
     let seeded_v1_equivalent_bytes: u64 = seeded_keys
@@ -602,6 +635,13 @@ fn main() {
             jobs: shard_count,
             elapsed_ms: sharded_store_warm_seeded * 1e3,
             cases_per_sec: seeded.len() as f64 / sharded_store_warm_seeded.max(1e-9),
+        },
+        Entry {
+            name: "sim_faulty".into(),
+            cases: faulty.len(),
+            jobs: 1,
+            elapsed_ms: sim_faulty * 1e3,
+            cases_per_sec: faulty.len() as f64 / sim_faulty.max(1e-9),
         },
     ];
     let speedup = serial_fresh / parallel_cached.max(1e-9);

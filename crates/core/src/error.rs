@@ -52,6 +52,14 @@ pub enum ProtocolError {
         /// Human-readable reason, typically citing the paper's lemma.
         reason: &'static str,
     },
+    /// The executor's round limit was reached (see
+    /// [`Network::with_round_limit`](crate::exec::Network::with_round_limit)).
+    /// Fault-injection harnesses use this as the timeout signal for runs
+    /// that degrade past usefulness.
+    RoundLimitReached {
+        /// The limit that was hit.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -80,6 +88,9 @@ impl fmt::Display for ProtocolError {
                 )
             }
             ProtocolError::Unsolvable { reason } => write!(f, "task is unsolvable: {reason}"),
+            ProtocolError::RoundLimitReached { limit } => {
+                write!(f, "executor round limit of {limit} rounds reached")
+            }
         }
     }
 }
@@ -128,6 +139,7 @@ mod tests {
                 reason: "oops".into(),
             },
             ProtocolError::Unsolvable { reason: "Lemma 5" },
+            ProtocolError::RoundLimitReached { limit: 100 },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -21,6 +21,7 @@
 //! logic).
 
 use crate::error::ProtocolError;
+use crate::fault::FaultPlan;
 use crate::ids::{AgentId, IdAssignment};
 use crate::structures::{fresh_structures, SharedStructures};
 use ring_sim::{
@@ -65,6 +66,9 @@ pub struct Network<'a> {
     cumulative_dist: Vec<u64>,
     structures: SharedStructures,
     structure_seed: u64,
+    faults: Option<FaultPlan>,
+    fault_scratch: Vec<LocalDirection>,
+    round_limit: Option<u64>,
 }
 
 impl fmt::Debug for Network<'_> {
@@ -77,6 +81,8 @@ impl fmt::Debug for Network<'_> {
             .field("rounds", &self.rounds)
             .field("last_rotation", &self.last_rotation)
             .field("structures", &"<dyn StructureProvider>")
+            .field("faults", &self.faults)
+            .field("round_limit", &self.round_limit)
             .finish()
     }
 }
@@ -110,6 +116,9 @@ impl<'a> Network<'a> {
             last_rotation: None,
             structures: fresh_structures(),
             structure_seed: crate::coordination::nontrivial::STRUCTURE_SEED,
+            faults: None,
+            fault_scratch: Vec::new(),
+            round_limit: None,
         })
     }
 
@@ -151,6 +160,39 @@ impl<'a> Network<'a> {
     /// The structure seed in force (see [`Network::with_structure_seed`]).
     pub fn structure_seed(&self) -> u64 {
         self.structure_seed
+    }
+
+    /// Installs a deterministic fault plan: from now on, every round first
+    /// consults the plan and physically suppresses (forces idle) the moves
+    /// of the agents it names — *after* the model's idle check, because a
+    /// dropped message or a crashed station is a physical failure, not a
+    /// protocol choice, and is legal even where idling is forbidden.
+    ///
+    /// Installing a plan also promotes the event-driven engine to the
+    /// executor for this network: faulty runs are exactly the territory the
+    /// analytic shortcuts were never validated on, so they run on the
+    /// collision-exact reference simulator. (The two engines agree on
+    /// fault-free plans; [`Network::with_engine`] after this call overrides
+    /// the choice.)
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self.engine = EngineKind::Event;
+        self
+    }
+
+    /// The fault plan in force, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Caps the total number of rounds this executor will run: the step
+    /// after the cap fails with [`ProtocolError::RoundLimitReached`].
+    /// Fault-injection harnesses use this as the timeout for runs that
+    /// degrade past usefulness; protocol semantics below the cap are
+    /// unchanged.
+    pub fn with_round_limit(mut self, limit: u64) -> Self {
+        self.round_limit = Some(limit);
+        self
     }
 
     // ------------------------------------------------------------------
@@ -249,9 +291,36 @@ impl<'a> Network<'a> {
                 });
             }
         }
-        let rotation = self
-            .ring
-            .execute_round_into(directions, self.engine, &mut bufs.round)?;
+        if let Some(limit) = self.round_limit {
+            if self.rounds >= limit {
+                return Err(ProtocolError::RoundLimitReached { limit });
+            }
+        }
+        // Fault injection happens below the model check: a suppressed move
+        // is a physical failure, not a protocol choice, so forcing idle here
+        // is legal even in models that forbid idling.
+        let rotation = match &self.faults {
+            Some(plan) if plan.any_faults() => {
+                let round = self.rounds;
+                let mut faulted = std::mem::take(&mut self.fault_scratch);
+                faulted.clear();
+                faulted.extend(directions.iter().enumerate().map(|(agent, &dir)| {
+                    if plan.suppressed(round, agent) {
+                        LocalDirection::Idle
+                    } else {
+                        dir
+                    }
+                }));
+                let result = self
+                    .ring
+                    .execute_round_into(&faulted, self.engine, &mut bufs.round);
+                self.fault_scratch = faulted;
+                result?
+            }
+            _ => self
+                .ring
+                .execute_round_into(directions, self.engine, &mut bufs.round)?,
+        };
         self.rounds += 1;
         self.last_rotation = Some(rotation);
         let strip_coll = !self.model.observes_collisions();
@@ -570,6 +639,107 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, ProtocolError::IdleForbidden { agent: 0, .. }));
+    }
+
+    #[test]
+    fn faulted_steps_suppress_exactly_the_planned_agents() {
+        use crate::fault::{FaultParams, FaultPlan};
+        let (config, ids) = network(Model::Basic);
+        // Full drop: every move is physically suppressed, so nobody moves —
+        // even though the basic model forbids *choosing* to idle.
+        let plan = FaultPlan::new(
+            FaultParams {
+                drop_per_mille: 1000,
+                ..FaultParams::default()
+            },
+            6,
+            11,
+        );
+        let mut net = Network::new(&config, ids.clone(), Model::Basic)
+            .unwrap()
+            .with_faults(plan);
+        let mut bufs = StepBuffers::new();
+        net.step_into(&[LocalDirection::Right; 6], &mut bufs)
+            .unwrap();
+        assert!(bufs.observations().iter().all(|o| o.dist.is_zero()));
+        assert!(net.ground_truth_at_initial_positions());
+
+        // The plan's per-round decisions and the executed suppression line
+        // up: replay a partial-drop run against the plan's own verdicts.
+        let plan = FaultPlan::new(
+            FaultParams {
+                drop_per_mille: 400,
+                ..FaultParams::default()
+            },
+            6,
+            13,
+        );
+        let reference = plan.clone();
+        let mut net = Network::new(&config, ids, Model::Basic)
+            .unwrap()
+            .with_faults(plan);
+        for round in 0..12u64 {
+            net.step_into(&[LocalDirection::Right; 6], &mut bufs)
+                .unwrap();
+            // The executed objective directions expose exactly the plan's
+            // suppressions: a dropped mover was forced idle, nobody else.
+            for (agent, &objective) in bufs.round.objective_directions().iter().enumerate() {
+                assert_eq!(
+                    objective == ring_sim::ObjectiveDirection::Idle,
+                    reference.suppressed(round, agent),
+                    "round {round}, agent {agent}"
+                );
+            }
+        }
+        assert_eq!(net.rounds_used(), 12);
+    }
+
+    #[test]
+    fn fault_free_plans_agree_across_engines() {
+        use crate::fault::{FaultParams, FaultPlan};
+        let (config, ids) = network(Model::Basic);
+        // One network runs the analytic engine without any plan; the other
+        // carries an empty fault plan, which promotes it to the event-driven
+        // reference executor. The runs must agree round for round.
+        let mut analytic = Network::new(&config, ids.clone(), Model::Basic).unwrap();
+        let mut event = Network::new(&config, ids, Model::Basic)
+            .unwrap()
+            .with_faults(FaultPlan::new(FaultParams::default(), 6, 3));
+        assert!(!event.faults().unwrap().any_faults());
+        let mut bufs_a = StepBuffers::new();
+        let mut bufs_e = StepBuffers::new();
+        for round in 0..8 {
+            let dirs: Vec<LocalDirection> = (0..6)
+                .map(|i| {
+                    if (i + round) % 3 == 0 {
+                        LocalDirection::Left
+                    } else {
+                        LocalDirection::Right
+                    }
+                })
+                .collect();
+            analytic.step_into(&dirs, &mut bufs_a).unwrap();
+            event.step_into(&dirs, &mut bufs_e).unwrap();
+            assert_eq!(bufs_a.observations(), bufs_e.observations());
+            assert_eq!(analytic.ground_truth_slots(), event.ground_truth_slots());
+        }
+    }
+
+    #[test]
+    fn round_limit_turns_into_a_timeout_error() {
+        let (config, ids) = network(Model::Basic);
+        let mut net = Network::new(&config, ids, Model::Basic)
+            .unwrap()
+            .with_round_limit(2);
+        let dirs = vec![LocalDirection::Right; 6];
+        net.step(&dirs).unwrap();
+        net.step(&dirs).unwrap();
+        assert!(matches!(
+            net.step(&dirs),
+            Err(ProtocolError::RoundLimitReached { limit: 2 })
+        ));
+        // The limit is checked before execution: the round count stays put.
+        assert_eq!(net.rounds_used(), 2);
     }
 
     #[test]

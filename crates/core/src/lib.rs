@@ -56,6 +56,7 @@
 pub mod coordination;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod ids;
 pub mod knowledge;
 pub mod locate;
@@ -72,6 +73,7 @@ pub use coordination::nontrivial::{solve_nontrivial_move, NontrivialMove};
 pub use coordination::probe::{probe_move, MoveClass};
 pub use error::ProtocolError;
 pub use exec::Network;
+pub use fault::{FaultParams, FaultPlan};
 pub use ids::{AgentId, IdAssignment};
 pub use knowledge::{GapKnowledge, KnowledgeConflict};
 pub use locate::{discover_locations, LocationDiscovery};
@@ -90,6 +92,7 @@ pub mod prelude {
     pub use crate::coordination::probe::{probe_move, MoveClass};
     pub use crate::error::ProtocolError;
     pub use crate::exec::Network;
+    pub use crate::fault::{FaultParams, FaultPlan};
     pub use crate::ids::{AgentId, IdAssignment};
     pub use crate::knowledge::GapKnowledge;
     pub use crate::locate::{discover_locations, LocationDiscovery};

@@ -20,6 +20,7 @@ use crate::coordination::leader::elect_leader;
 use crate::coordination::nontrivial::solve_nontrivial_move;
 use crate::error::ProtocolError;
 use crate::exec::Network;
+use crate::fault::{FaultParams, FaultPlan};
 use crate::ids::IdAssignment;
 use crate::locate::{discover_locations, verify_location_discovery};
 use crate::structures::{fresh_structures, SharedStructures};
@@ -211,6 +212,109 @@ pub fn measure_problem_seeded(
     }
 }
 
+/// How one faulty protocol run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultyOutcome {
+    /// The protocol terminated and its result verified against ground
+    /// truth.
+    Completed,
+    /// The protocol terminated but produced a wrong result, or aborted
+    /// with a protocol error (exhausted budget, violated invariant).
+    Failed,
+    /// The executor's round limit fired before the protocol terminated.
+    TimedOut,
+}
+
+/// The measured cost of one protocol run under fault injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultyCost {
+    /// Which problem was attempted.
+    pub problem: Problem,
+    /// How the run ended.
+    pub outcome: FaultyOutcome,
+    /// Rounds used (`None` unless the run completed and verified).
+    pub rounds: Option<u64>,
+}
+
+/// Solves `problem` on a fresh executor under the deterministic fault plan
+/// derived from `(params, n, fault_seed)`, with the event-driven reference
+/// engine and a hard round cap of `round_limit`.
+///
+/// Unlike [`measure_problem_seeded`] this never propagates protocol
+/// errors: under faults, failure is a measurement result. A run that hits
+/// the round cap reports [`FaultyOutcome::TimedOut`]; any other protocol
+/// error — or a result that fails ground-truth verification — reports
+/// [`FaultyOutcome::Failed`].
+#[allow(clippy::too_many_arguments)]
+pub fn measure_problem_faulty(
+    config: &RingConfig,
+    ids: &IdAssignment,
+    model: Model,
+    problem: Problem,
+    structures: &SharedStructures,
+    structure_seed: u64,
+    params: FaultParams,
+    fault_seed: u64,
+    round_limit: u64,
+) -> FaultyCost {
+    let net = match Network::new(config, ids.clone(), model) {
+        Ok(net) => net
+            .with_structures(structures.clone())
+            .with_structure_seed(structure_seed)
+            .with_faults(FaultPlan::new(params, config.len(), fault_seed))
+            .with_round_limit(round_limit),
+        Err(_) => {
+            return FaultyCost {
+                problem,
+                outcome: FaultyOutcome::Failed,
+                rounds: None,
+            }
+        }
+    };
+    let mut net = net;
+    let result: Result<(u64, bool), ProtocolError> = match problem {
+        Problem::LeaderElection => elect_leader(&mut net)
+            .map(|election| (election.rounds(), election.leaders().count() == 1)),
+        Problem::NontrivialMove => solve_nontrivial_move(&mut net).map(|nm| {
+            let verified = crate::coordination::nontrivial::verify_nontrivial(&mut net, &nm);
+            (nm.rounds(), verified)
+        }),
+        Problem::DirectionAgreement => agree_direction(&mut net).map(|agreement| {
+            let verified =
+                crate::coordination::diragr::frames_are_coherent(&net, agreement.frames());
+            (agreement.rounds(), verified)
+        }),
+        Problem::LocationDiscovery => discover_locations(&mut net).map(|discovery| {
+            (
+                discovery.rounds(),
+                verify_location_discovery(&net, &discovery),
+            )
+        }),
+    };
+    match result {
+        Ok((rounds, true)) => FaultyCost {
+            problem,
+            outcome: FaultyOutcome::Completed,
+            rounds: Some(rounds),
+        },
+        Ok((_, false)) => FaultyCost {
+            problem,
+            outcome: FaultyOutcome::Failed,
+            rounds: None,
+        },
+        Err(ProtocolError::RoundLimitReached { .. }) => FaultyCost {
+            problem,
+            outcome: FaultyOutcome::TimedOut,
+            rounds: None,
+        },
+        Err(_) => FaultyCost {
+            problem,
+            outcome: FaultyOutcome::Failed,
+            rounds: None,
+        },
+    }
+}
+
 /// Measures all four problems of Table I on one configuration.
 ///
 /// # Errors
@@ -287,6 +391,66 @@ mod tests {
         assert!(ld.rounds.is_none());
         // The coordination problems are still solvable.
         assert!(report.cost(Problem::LeaderElection).unwrap().solvable);
+    }
+
+    #[test]
+    fn faulty_measurement_with_no_faults_matches_the_clean_pipeline() {
+        let config = RingConfig::builder(9)
+            .random_positions(7)
+            .random_chirality(8)
+            .build()
+            .unwrap();
+        let ids = IdAssignment::random(9, 256, 9);
+        let structures = fresh_structures();
+        for problem in [
+            Problem::LeaderElection,
+            Problem::NontrivialMove,
+            Problem::DirectionAgreement,
+        ] {
+            let clean =
+                measure_problem_with(&config, &ids, Model::Basic, problem, &structures).unwrap();
+            let faulty = measure_problem_faulty(
+                &config,
+                &ids,
+                Model::Basic,
+                problem,
+                &structures,
+                crate::coordination::nontrivial::STRUCTURE_SEED,
+                FaultParams::default(),
+                123,
+                20_000,
+            );
+            assert_eq!(faulty.outcome, FaultyOutcome::Completed, "{problem}");
+            // The event-driven reference executor agrees with the analytic
+            // path on fault-free plans: identical round counts.
+            assert_eq!(faulty.rounds, clean.rounds, "{problem}");
+        }
+    }
+
+    #[test]
+    fn full_drop_never_completes_and_never_panics() {
+        let config = RingConfig::builder(8)
+            .random_positions(5)
+            .random_chirality(6)
+            .build()
+            .unwrap();
+        let ids = IdAssignment::random(8, 128, 7);
+        let cost = measure_problem_faulty(
+            &config,
+            &ids,
+            Model::Basic,
+            Problem::LeaderElection,
+            &fresh_structures(),
+            crate::coordination::nontrivial::STRUCTURE_SEED,
+            FaultParams {
+                drop_per_mille: 1000,
+                ..FaultParams::default()
+            },
+            7,
+            2_000,
+        );
+        assert_ne!(cost.outcome, FaultyOutcome::Completed);
+        assert_eq!(cost.rounds, None);
     }
 
     #[test]

@@ -149,6 +149,20 @@ pub struct SpecParams {
     /// Part of the spec because it changes which structures every even-`n`
     /// case executes — and therefore the bytes `resume` must reproduce.
     pub structure_seeds: Option<u64>,
+    /// `--fault-drops` override: the per-mille message-drop rates of a
+    /// faulty sweep (`None` = the subcommand's default axes, or a clean
+    /// sweep for non-fault subcommands). Fault axes are spec-affecting:
+    /// they change every case's executed schedule, so they are recorded
+    /// here and folded into the spec fingerprint.
+    pub fault_drops: Option<Vec<u64>>,
+    /// `--fault-crashes` override: crash-stop stations per case.
+    pub fault_crashes: Option<u64>,
+    /// `--fault-churn` override: churning (intermittently dormant)
+    /// stations per case.
+    pub fault_churn: Option<u64>,
+    /// `--fault-adversarial`: whether the rotating adversarial activation
+    /// schedule is in force.
+    pub fault_adversarial: bool,
 }
 
 /// The run manifest.
@@ -173,6 +187,10 @@ pub struct Manifest {
     /// the store from this field and revalidates its files like shard
     /// files.
     pub structure_store: String,
+    /// Per-worker wall-clock budget in seconds (`None` = unlimited): a
+    /// worker exceeding it is killed and retried. Recorded so `resume`
+    /// supervises re-launched workers the way the original run did.
+    pub shard_timeout: Option<u64>,
     /// Per-shard progress, in shard order.
     pub shards: Vec<ShardEntry>,
 }
@@ -195,6 +213,7 @@ impl Manifest {
             jobs_per_worker,
             output,
             structure_store: String::new(),
+            shard_timeout: None,
             shards: ranges
                 .iter()
                 .map(|range| ShardEntry {
@@ -219,6 +238,13 @@ impl Manifest {
     /// `resume` re-enables; empty = no store).
     pub fn with_structure_store(mut self, dir: String) -> Self {
         self.structure_store = dir;
+        self
+    }
+
+    /// Records the per-worker wall-clock budget of the run (what `resume`
+    /// enforces on re-launched workers; `None` = unlimited).
+    pub fn with_shard_timeout(mut self, seconds: Option<u64>) -> Self {
+        self.shard_timeout = seconds;
         self
     }
 
@@ -284,6 +310,15 @@ impl Manifest {
             // Absent in manifests written before seed schedules existed:
             // those runs were fixed-schedule by construction.
             structure_seeds: optional_u64(spec_value, "structure_seeds")?,
+            // Likewise absent in manifests predating the fault layer:
+            // those runs were clean synchronous sweeps by construction.
+            fault_drops: optional_u64_list(spec_value, "fault_drops")?,
+            fault_crashes: optional_u64(spec_value, "fault_crashes")?,
+            fault_churn: optional_u64(spec_value, "fault_churn")?,
+            fault_adversarial: spec_value
+                .get("fault_adversarial")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
         };
         let shards_value = value
             .get("shards")
@@ -320,6 +355,9 @@ impl Manifest {
                 .and_then(|v| v.as_str())
                 .unwrap_or("")
                 .to_string(),
+            // Absent in manifests written before worker supervision grew a
+            // wall-clock budget: those runs were unbounded.
+            shard_timeout: optional_u64(value, "shard_timeout")?,
             shards,
         })
     }
@@ -478,6 +516,10 @@ mod tests {
             reps: Some(2),
             seed: None,
             structure_seeds: None,
+            fault_drops: None,
+            fault_crashes: None,
+            fault_churn: None,
+            fault_adversarial: false,
         };
         Manifest::new(
             spec,
@@ -522,6 +564,34 @@ mod tests {
         let stats = parsed.aggregate_stats();
         assert_eq!((stats.records, stats.cache_hits, stats.steals), (4, 7, 1));
         assert_eq!((stats.store_hits, stats.store_misses), (2, 1));
+    }
+
+    #[test]
+    fn fault_and_timeout_fields_round_trip_and_tolerate_absence() {
+        let mut manifest = sample_manifest().with_shard_timeout(Some(90));
+        manifest.spec.fault_drops = Some(vec![0, 100, 400]);
+        manifest.spec.fault_crashes = Some(1);
+        manifest.spec.fault_churn = Some(2);
+        manifest.spec.fault_adversarial = true;
+        let text = serde_json::to_string(&manifest).unwrap();
+        let parsed = Manifest::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(parsed, manifest);
+        assert_eq!(parsed.shard_timeout, Some(90));
+        assert_eq!(parsed.spec.fault_drops, Some(vec![0, 100, 400]));
+
+        // A pre-fault-layer manifest (no fault fields, no shard_timeout)
+        // still loads as a clean, unbounded run.
+        let clean = sample_manifest();
+        let stripped = serde_json::to_string(&clean)
+            .unwrap()
+            .replace(",\"fault_drops\":null", "")
+            .replace(",\"fault_crashes\":null", "")
+            .replace(",\"fault_churn\":null", "")
+            .replace(",\"fault_adversarial\":false", "")
+            .replace(",\"shard_timeout\":null", "");
+        assert!(!stripped.contains("fault_"));
+        let parsed = Manifest::from_json(&serde_json::from_str(&stripped).unwrap()).unwrap();
+        assert_eq!(parsed, clean);
     }
 
     #[test]

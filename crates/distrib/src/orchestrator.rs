@@ -20,10 +20,13 @@
 use crate::manifest::{shard_file_name, Manifest, ShardStats};
 use crate::plan::ShardRange;
 use crate::protocol::{parse_worker_line, WorkerLine};
+use ring_combinat::shared::splitmix64;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 use std::process::{Command, Stdio};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Supervision parameters.
 #[derive(Clone, Copy, Debug)]
@@ -32,6 +35,47 @@ pub struct OrchestratorOptions {
     pub concurrency: usize,
     /// Additional launches after a failed one (0 = single attempt).
     pub retries: u32,
+    /// Wall-clock budget per worker attempt: a worker still running when
+    /// it expires is killed and the attempt counts as failed (and retries
+    /// like any other failure). `None` = unlimited.
+    pub shard_timeout: Option<Duration>,
+}
+
+impl Default for OrchestratorOptions {
+    fn default() -> Self {
+        OrchestratorOptions {
+            concurrency: 1,
+            retries: 1,
+            shard_timeout: None,
+        }
+    }
+}
+
+/// First retry delay; each further attempt doubles it up to
+/// [`BACKOFF_CAP_MS`].
+const BACKOFF_BASE_MS: u64 = 100;
+
+/// Upper bound on the exponential part of a retry delay.
+const BACKOFF_CAP_MS: u64 = 2_000;
+
+/// Domain-separation salt of the deterministic backoff jitter stream.
+const BACKOFF_JITTER_SALT: u64 = 0xbac0_ff5e_0000_0001;
+
+/// How often the watchdog polls a supervised worker against its deadline.
+const WATCHDOG_POLL: Duration = Duration::from_millis(25);
+
+/// The delay before retry `attempt` (1-based) of a shard: bounded
+/// exponential backoff plus deterministic jitter. The jitter is a pure
+/// function of `(shard, attempt)` — no wall clock, no global RNG — so a
+/// fleet's retry schedule replays identically and concurrent shards that
+/// fail together still desynchronise their relaunches.
+fn backoff_delay(shard: usize, attempt: u32) -> Duration {
+    let exp = BACKOFF_BASE_MS
+        .saturating_mul(1 << attempt.min(10).saturating_sub(1))
+        .min(BACKOFF_CAP_MS);
+    let jitter = splitmix64(BACKOFF_JITTER_SALT ^ (shard as u64) ^ (u64::from(attempt) << 32))
+        % (exp / 2 + 1);
+    Duration::from_millis(exp + jitter)
 }
 
 /// Outcome of one orchestration pass.
@@ -84,12 +128,21 @@ pub fn run_pending_shards(
                 };
                 let mut completed = false;
                 for attempt in 0..=options.retries {
+                    if attempt > 0 {
+                        std::thread::sleep(backoff_delay(range.shard, attempt));
+                    }
                     {
                         let mut m = manifest.lock().expect("manifest lock");
                         m.shards[range.shard].attempts += 1;
                         m.save_in(run_dir).expect("checkpoint manifest");
                     }
-                    match run_one_shard(run_dir, &range, &fingerprint, command_for(&range)) {
+                    match run_one_shard(
+                        run_dir,
+                        &range,
+                        &fingerprint,
+                        command_for(&range),
+                        options.shard_timeout,
+                    ) {
                         Ok(stats) => {
                             let mut m = manifest.lock().expect("manifest lock");
                             m.mark_complete(range.shard, &stats);
@@ -125,11 +178,15 @@ pub fn run_pending_shards(
 
 /// Launches one worker and validates its stream end to end. On success the
 /// shard file is in place and the returned stats mirror the done event.
+/// With a timeout, a watchdog thread kills the worker at the deadline and
+/// the attempt fails with a timeout error (so the retry loop relaunches
+/// it like any other failed attempt).
 fn run_one_shard(
     run_dir: &Path,
     range: &ShardRange,
     expected_fingerprint: &str,
     mut command: Command,
+    timeout: Option<Duration>,
 ) -> Result<ShardStats, String> {
     let final_path = run_dir.join(shard_file_name(range.shard));
     let tmp_path = run_dir.join(format!("{}.tmp", shard_file_name(range.shard)));
@@ -140,16 +197,53 @@ fn run_one_shard(
         .spawn()
         .map_err(|e| format!("cannot spawn worker: {e}"))?;
     let stdout = child.stdout.take().expect("piped stdout");
+    let child = Arc::new(Mutex::new(child));
+    let reaped = Arc::new(AtomicBool::new(false));
+    let expired = Arc::new(AtomicBool::new(false));
+    let watchdog = timeout.map(|limit| {
+        let child = Arc::clone(&child);
+        let reaped = Arc::clone(&reaped);
+        let expired = Arc::clone(&expired);
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + limit;
+            while !reaped.load(Ordering::Acquire) {
+                if Instant::now() >= deadline {
+                    // Killing closes the pipe, so the stream consumer
+                    // unblocks and the attempt is reported as failed.
+                    expired.store(true, Ordering::Release);
+                    child.lock().expect("worker handle").kill().ok();
+                    return;
+                }
+                std::thread::sleep(WATCHDOG_POLL);
+            }
+        })
+    });
 
     let result = consume_worker_stream(stdout, range, expected_fingerprint, &tmp_path);
     if result.is_err() {
         // The stream is broken; make sure the process is gone before the
         // retry (it may still be producing).
-        child.kill().ok();
+        child.lock().expect("worker handle").kill().ok();
     }
     let status = child
+        .lock()
+        .expect("worker handle")
         .wait()
         .map_err(|e| format!("cannot reap worker: {e}"))?;
+    reaped.store(true, Ordering::Release);
+    if let Some(watchdog) = watchdog {
+        watchdog.join().expect("watchdog thread");
+    }
+    // A worker that produced a complete, validated stream before the
+    // deadline fired is a success even if the kill raced its exit; the
+    // timeout verdict applies only to broken streams.
+    if expired.load(Ordering::Acquire) && result.is_err() {
+        std::fs::remove_file(&tmp_path).ok();
+        return Err(format!(
+            "worker exceeded the {:.1}s shard timeout and was killed",
+            timeout.expect("expiry implies a timeout").as_secs_f64()
+        ));
+    }
     let stats = match result {
         Ok(stats) => stats,
         Err(reason) => {
@@ -293,6 +387,10 @@ mod tests {
                 reps: None,
                 seed: None,
                 structure_seeds: None,
+                fault_drops: None,
+                fault_crashes: None,
+                fault_churn: None,
+                fault_adversarial: false,
             },
             "0xfeed".into(),
             total,
@@ -353,6 +451,7 @@ mod tests {
         let options = OrchestratorOptions {
             concurrency: 2,
             retries: 0,
+            shard_timeout: None,
         };
         let outcome = run_pending_shards(&dir, &manifest, &options, &|range| {
             scripted_worker(protocol_script(range, 3, "0xfeed"))
@@ -380,6 +479,7 @@ mod tests {
         let options = OrchestratorOptions {
             concurrency: 1,
             retries: 1,
+            shard_timeout: None,
         };
         // Shard 0 works; shard 1 dies mid-stream every time.
         let outcome = run_pending_shards(&dir, &manifest, &options, &|range| {
@@ -434,12 +534,12 @@ mod tests {
         let cmd = scripted_worker(format!(
             "echo '{start}' && echo '{{\"case_index\":0}}' && echo '{done}'"
         ));
-        let err = run_one_shard(&dir, &range, "0xfeed", cmd).unwrap_err();
+        let err = run_one_shard(&dir, &range, "0xfeed", cmd, None).unwrap_err();
         assert!(err.contains("checksum"), "{err}");
 
         // Fingerprint mismatch.
         let cmd = scripted_worker(format!("echo '{start}'"));
-        let err = run_one_shard(&dir, &range, "0xother", cmd).unwrap_err();
+        let err = run_one_shard(&dir, &range, "0xother", cmd, None).unwrap_err();
         assert!(err.contains("fingerprint"), "{err}");
 
         // Out-of-sequence record.
@@ -448,7 +548,7 @@ mod tests {
         let cmd = scripted_worker(format!(
             "echo '{start}' && echo '{{\"case_index\":5}}' && echo '{done_ok}'"
         ));
-        let err = run_one_shard(&dir, &range, "0xfeed", cmd).unwrap_err();
+        let err = run_one_shard(&dir, &range, "0xfeed", cmd, None).unwrap_err();
         assert!(err.contains("case 0 was expected"), "{err}");
 
         assert!(!dir.join(shard_file_name(0)).exists());
@@ -462,6 +562,7 @@ mod tests {
         let options = OrchestratorOptions {
             concurrency: 2,
             retries: 0,
+            shard_timeout: None,
         };
         // First pass: shard 1 fails.
         run_pending_shards(&dir, &manifest, &options, &|range| {
@@ -492,6 +593,77 @@ mod tests {
         // Shards 0 and 2 were not re-attempted.
         assert_eq!(manifest.shards[0].attempts, attempts_before[0]);
         assert_eq!(manifest.shards[2].attempts, attempts_before[2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn backoff_delays_are_deterministic_and_bounded() {
+        for shard in 0..8usize {
+            for attempt in 1..=6u32 {
+                let delay = backoff_delay(shard, attempt);
+                assert_eq!(delay, backoff_delay(shard, attempt));
+                let exp = (BACKOFF_BASE_MS << (attempt - 1).min(10)).min(BACKOFF_CAP_MS);
+                assert!(delay >= Duration::from_millis(exp));
+                assert!(delay <= Duration::from_millis(exp + exp / 2));
+            }
+        }
+        // The jitter desynchronises shards that fail in the same round.
+        let distinct: std::collections::BTreeSet<Duration> =
+            (0..16).map(|shard| backoff_delay(shard, 3)).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn hung_workers_are_killed_at_the_shard_timeout() {
+        let dir = temp_dir("hang");
+        let range = ShardRange {
+            shard: 0,
+            start: 0,
+            end: 1,
+        };
+        let start = serde_json::to_string(&StartEvent::new(0, 1, 0, 1, "0xfeed")).unwrap();
+        let began = std::time::Instant::now();
+        let err = run_one_shard(
+            &dir,
+            &range,
+            "0xfeed",
+            scripted_worker(format!("echo '{start}' && exec sleep 60")),
+            Some(Duration::from_millis(200)),
+        )
+        .unwrap_err();
+        assert!(err.contains("shard timeout"), "{err}");
+        assert!(began.elapsed() < Duration::from_secs(30));
+        assert!(!dir.join(shard_file_name(0)).exists());
+        assert!(!dir.join(format!("{}.tmp", shard_file_name(0))).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn timed_out_shards_retry_and_can_complete() {
+        let dir = temp_dir("hang-retry");
+        let manifest = Mutex::new(test_manifest(2, 1));
+        let options = OrchestratorOptions {
+            concurrency: 1,
+            retries: 1,
+            shard_timeout: Some(Duration::from_millis(500)),
+        };
+        // The first attempt hangs past the timeout; the relaunch (after
+        // the marker file exists) speaks the full protocol and finishes
+        // well inside the budget.
+        let marker = dir.join("first-attempt-done");
+        let outcome = run_pending_shards(&dir, &manifest, &options, &|range| {
+            scripted_worker(format!(
+                "if [ ! -f {marker} ]; then touch {marker}; exec sleep 60; else {script}; fi",
+                marker = marker.display(),
+                script = protocol_script(range, 1, "0xfeed"),
+            ))
+        })
+        .unwrap();
+        assert_eq!(outcome.completed, vec![0]);
+        assert!(outcome.failed.is_empty());
+        let manifest = manifest.into_inner().unwrap();
+        assert!(manifest.is_complete());
+        assert_eq!(manifest.shards[0].attempts, 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

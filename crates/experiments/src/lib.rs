@@ -36,6 +36,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod distinguisher_scaling;
+pub mod faults;
 pub mod lower_bounds;
 pub mod reductions;
 pub mod report;
@@ -43,4 +44,4 @@ pub mod sweep;
 pub mod tables;
 
 pub use report::{format_markdown_table, Measurement};
-pub use sweep::{Case, SweepSpec};
+pub use sweep::{Case, FaultAxes, SweepSpec};

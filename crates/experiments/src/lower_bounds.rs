@@ -130,6 +130,7 @@ mod tests {
             repetitions: 1,
             seed: 13,
             structure_seeds: None,
+            faults: None,
         };
         let m = lemma6_round_floors(&spec);
         assert!(!m.is_empty());

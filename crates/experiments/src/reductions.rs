@@ -233,6 +233,7 @@ mod tests {
             repetitions: 1,
             seed: 11,
             structure_seeds: None,
+            faults: None,
         }
     }
 

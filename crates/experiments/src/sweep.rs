@@ -47,6 +47,35 @@ impl Case {
     }
 }
 
+/// The fault-injection axes of a sweep (see `ring_protocols::fault`): a
+/// list of message-drop rates to sweep, plus the crash/churn/adversarial
+/// knobs applied at every rate. All integers, so the axes thread
+/// losslessly through fingerprints, worker argv and run manifests.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultAxes {
+    /// Message-drop rates to sweep, in per mille (`0..=1000`).
+    pub drops: Vec<u64>,
+    /// Number of crash-stop stations per case.
+    pub crashes: u64,
+    /// Number of churning stations per case.
+    pub churn: u64,
+    /// Whether the adversarial activation schedule is in force.
+    pub adversarial: bool,
+}
+
+impl FaultAxes {
+    /// The default degradation sweep: clean baseline plus four escalating
+    /// drop rates, no crashes, no churn, fair scheduling.
+    pub fn standard() -> Self {
+        FaultAxes {
+            drops: vec![0, 50, 100, 200, 400],
+            crashes: 0,
+            churn: 0,
+            adversarial: false,
+        }
+    }
+}
+
 /// A sweep: ring sizes × identifier-universe scalings × repetitions.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SweepSpec {
@@ -68,6 +97,11 @@ pub struct SweepSpec {
     /// (seeds are windows into one universal sequence), so the store stays
     /// near-constant in `K`.
     pub structure_seeds: Option<u64>,
+    /// Fault-injection axes: `None` (the default everywhere but the
+    /// `faults` experiment) runs clean synchronous rings and — like an
+    /// absent seed schedule — folds nothing into the fingerprint, keeping
+    /// clean-sweep fingerprints stable across this field's introduction.
+    pub faults: Option<FaultAxes>,
 }
 
 impl SweepSpec {
@@ -80,6 +114,7 @@ impl SweepSpec {
             repetitions: 3,
             seed: 2015,
             structure_seeds: None,
+            faults: None,
         }
     }
 
@@ -91,6 +126,7 @@ impl SweepSpec {
             repetitions: 1,
             seed: 7,
             structure_seeds: None,
+            faults: None,
         }
     }
 
@@ -116,6 +152,18 @@ impl SweepSpec {
         // field's introduction.
         if let Some(k) = self.structure_seeds {
             h = splitmix64(h ^ 0x5eed_5c4e_d01e ^ k);
+        }
+        // The fault axes change what every case executes, so they must
+        // change the fingerprint; clean sweeps fold nothing, mirroring the
+        // seed-schedule rule above.
+        if let Some(f) = &self.faults {
+            h = splitmix64(h ^ 0xfa17_ca5e_d01e ^ f.drops.len() as u64);
+            for &drop in &f.drops {
+                h = splitmix64(h ^ drop);
+            }
+            h = splitmix64(h ^ f.crashes);
+            h = splitmix64(h ^ f.churn);
+            h = splitmix64(h ^ f.adversarial as u64);
         }
         h
     }
@@ -219,6 +267,7 @@ mod tests {
             repetitions: 2,
             seed: 0,
             structure_seeds: None,
+            faults: None,
         };
         let cases = adversarial.cases();
         let seeds: HashSet<u64> = cases.iter().map(|c| c.seed).collect();

@@ -249,6 +249,7 @@ mod tests {
             repetitions: 1,
             seed: 3,
             structure_seeds: None,
+            faults: None,
         };
         let measurements = table1(&spec);
         // Odd case: 4 problems; even case: 3 models × 4 problems.
@@ -268,6 +269,7 @@ mod tests {
             repetitions: 1,
             seed: 5,
             structure_seeds: None,
+            faults: None,
         };
         let measurements = table2(&spec);
         assert_eq!(measurements.len(), 3 + 9);

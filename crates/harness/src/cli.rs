@@ -15,6 +15,9 @@
 //!   lower-bounds   Lemma 5 / Lemma 6 audits
 //!   all            every experiment above
 //!   sweep          the full table pipeline over a custom case grid
+//!   faults         protocol degradation under deterministic fault
+//!                  injection (message drop, crash-stop stations, churn,
+//!                  adversarial activation)
 //!   worker         run one shard of a subcommand, speaking the
 //!                  ring-distrib/v1 protocol on stdout (orchestrator use)
 //!   merge          k-way-merge shard JSONL files by case_index
@@ -72,6 +75,16 @@
 //!                             per universe.
 //!   --structure-seeds K       number of schedule seeds in per-case mode
 //!                             (default 4; implies per-case)
+//!   --fault-drops a,b,…       (`faults` only) per-mille message-drop rates
+//!                             to sweep (default 0,50,100,200,400)
+//!   --fault-crashes K         (`faults` only) crash-stop stations per case
+//!   --fault-churn K           (`faults` only) churning stations per case
+//!   --fault-adversarial       (`faults` only) rotate an adversarial
+//!                             activation-denial window over the ring
+//!   --shard-timeout SECS      wall-clock budget per worker attempt; a
+//!                             worker exceeding it is killed and retried
+//!                             (recorded in the manifest, so `resume`
+//!                             supervises the same way)
 //!   --stats                   print structure-cache / structure-store /
 //!                             executor statistics as JSON on stderr
 //!                             (fleet-wide aggregates for sharded runs)
@@ -87,8 +100,8 @@
 
 use crate::engine::SweepEngine;
 use crate::scenario::{
-    all_items, fig1_items, fig2_items, lower_bounds_items, scaling_items, table1_items,
-    table2_items, CaseRecord, WorkItem,
+    all_items, faults_items, fig1_items, fig2_items, lower_bounds_items, scaling_items,
+    table1_items, table2_items, CaseRecord, WorkItem,
 };
 use crate::sink::JsonlSink;
 use crate::store::StructureStore;
@@ -99,7 +112,7 @@ use ring_distrib::{
 };
 use ring_experiments::distinguisher_scaling::ScalingSpec;
 use ring_experiments::report::{aggregate, format_markdown_table};
-use ring_experiments::{Measurement, SweepSpec};
+use ring_experiments::{FaultAxes, Measurement, SweepSpec};
 use ring_protocols::structures::StructureProvider;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -107,11 +120,13 @@ use std::process::Command;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-const USAGE: &str = "usage: ringlab <table1|table2|fig1|fig2|scaling|lower-bounds|all|sweep> \
+const USAGE: &str =
+    "usage: ringlab <table1|table2|fig1|fig2|scaling|lower-bounds|all|sweep|faults> \
 [--quick] [--jobs N] [--sizes a,b,..] [--universe-factors a,b,..] [--reps K] [--seed S] \
 [--structure-seed-mode fixed|per-case] [--structure-seeds K] \
+[--fault-drops a,b,..] [--fault-crashes K] [--fault-churn K] [--fault-adversarial] \
 [--jsonl PATH|-] [--no-jsonl] [--shards M] [--shard i/M] [--run-dir DIR] [--retries R] \
-[--structure-store [DIR]] [--stats]
+[--shard-timeout SECS] [--structure-store [DIR]] [--stats]
        ringlab worker <subcommand> --shard i/M [spec flags] [--structure-store DIR]
        ringlab merge [--run-dir DIR | SHARD.jsonl ..] [--jsonl PATH|-]
        ringlab resume <RUN_DIR> [--jobs N] [--jsonl PATH|-] [--stats]
@@ -145,6 +160,17 @@ struct Options {
     /// `None` = the fixed default (resolved from `--structure-seed-mode` /
     /// `--structure-seeds` at parse time).
     structure_seeds: Option<u64>,
+    /// `--fault-drops` override (`faults` only; `None` = the standard drop
+    /// axes).
+    fault_drops: Option<Vec<u64>>,
+    /// `--fault-crashes` override (`faults` only).
+    fault_crashes: Option<u64>,
+    /// `--fault-churn` override (`faults` only).
+    fault_churn: Option<u64>,
+    /// `--fault-adversarial` (`faults` only).
+    fault_adversarial: bool,
+    /// `--shard-timeout` in seconds (`None` = unlimited).
+    shard_timeout: Option<u64>,
     /// `structures prebuild --format v1`: write the legacy layout.
     v1_format: bool,
     stats: bool,
@@ -152,7 +178,7 @@ struct Options {
 }
 
 /// Subcommands `run` dispatches on (usage errors for anything else).
-const SUBCOMMANDS: [&str; 12] = [
+const SUBCOMMANDS: [&str; 13] = [
     "table1",
     "table2",
     "fig1",
@@ -161,11 +187,31 @@ const SUBCOMMANDS: [&str; 12] = [
     "lower-bounds",
     "all",
     "sweep",
+    "faults",
     "worker",
     "merge",
     "resume",
     "structures",
 ];
+
+/// The experiment subcommand an invocation's sweep spec resolves to: the
+/// positional for `worker <sub>` and `structures prebuild <sub>`, the
+/// subcommand itself otherwise. The fault axes key off this, so a worker
+/// (or prebuild) of a faulty sweep resolves the same spec — and the same
+/// fingerprint — as its orchestrator.
+fn effective_subcommand(options: &Options) -> &str {
+    match options.subcommand.as_str() {
+        "worker" => options
+            .positionals
+            .first()
+            .map(String::as_str)
+            .unwrap_or(""),
+        "structures" if options.positionals.first().map(String::as_str) == Some("prebuild") => {
+            options.positionals.get(1).map(String::as_str).unwrap_or("")
+        }
+        other => other,
+    }
+}
 
 /// Runs the CLI on explicit arguments (without the program name), returning
 /// the process exit code. The wrapper binaries call this with their
@@ -224,6 +270,7 @@ fn items_for(
             items.extend(table2_items(spec));
             items
         }
+        "faults" => faults_items(spec),
         other => return Err(format!("unknown subcommand `{other}`\n{USAGE}")),
     })
 }
@@ -671,6 +718,10 @@ fn cmd_sharded(
             reps: options.reps,
             seed: options.seed,
             structure_seeds: options.structure_seeds,
+            fault_drops: options.fault_drops.clone(),
+            fault_crashes: options.fault_crashes,
+            fault_churn: options.fault_churn,
+            fault_adversarial: options.fault_adversarial,
         },
         fingerprint,
         items.len(),
@@ -680,7 +731,8 @@ fn cmd_sharded(
         // must not invent a stream the original invocation suppressed.
         destination.clone().unwrap_or_default(),
     )
-    .with_structure_store(store_dir.unwrap_or_default());
+    .with_structure_store(store_dir.unwrap_or_default())
+    .with_shard_timeout(options.shard_timeout);
     std::fs::create_dir_all(&run_dir)
         .map_err(|e| format!("cannot create {}: {e}", run_dir.display()))?;
     let manifest = Mutex::new(manifest);
@@ -775,13 +827,14 @@ fn orchestrate_and_finish(
     destination: Option<String>,
 ) -> Result<i32, String> {
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate ringlab: {e}"))?;
-    let (spec_params, jobs_per_worker, shard_count, store_dir) = {
+    let (spec_params, jobs_per_worker, shard_count, store_dir, recorded_timeout) = {
         let m = manifest.lock().expect("manifest lock");
         (
             m.spec.clone(),
             m.jobs_per_worker,
             m.shards.len(),
             m.structure_store.clone(),
+            m.shard_timeout,
         )
     };
     let orchestration = OrchestratorOptions {
@@ -791,6 +844,12 @@ fn orchestrate_and_finish(
             options.jobs
         },
         retries: options.retries,
+        // An explicit flag wins; otherwise `resume` supervises with the
+        // budget the original run recorded.
+        shard_timeout: options
+            .shard_timeout
+            .or(recorded_timeout)
+            .map(std::time::Duration::from_secs),
     };
     let start = Instant::now();
     let outcome = run_pending_shards(run_dir, manifest, &orchestration, &|range| {
@@ -1102,6 +1161,21 @@ fn worker_args(
         args.push("--structure-seeds".into());
         args.push(k.to_string());
     }
+    if let Some(drops) = &spec.fault_drops {
+        args.push("--fault-drops".into());
+        args.push(join_list(drops));
+    }
+    if let Some(crashes) = spec.fault_crashes {
+        args.push("--fault-crashes".into());
+        args.push(crashes.to_string());
+    }
+    if let Some(churn) = spec.fault_churn {
+        args.push("--fault-churn".into());
+        args.push(churn.to_string());
+    }
+    if spec.fault_adversarial {
+        args.push("--fault-adversarial".into());
+    }
     args
 }
 
@@ -1120,6 +1194,10 @@ fn options_from_spec(spec: &SpecParams, runtime: &Options) -> Options {
         reps: spec.reps,
         seed: spec.seed,
         structure_seeds: spec.structure_seeds,
+        fault_drops: spec.fault_drops.clone(),
+        fault_crashes: spec.fault_crashes,
+        fault_churn: spec.fault_churn,
+        fault_adversarial: spec.fault_adversarial,
         jsonl: None,
         no_jsonl: false,
         shards: 0,
@@ -1251,6 +1329,93 @@ pub fn render_markdown(measurements: &[Measurement]) -> String {
         };
         out.push_str(&format_markdown_table(&rows));
     }
+    let faults: Vec<&Measurement> = measurements
+        .iter()
+        .filter(|m| m.experiment == "faults")
+        .collect();
+    if !faults.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("# Fault degradation — rounds and failure rates under injected faults\n\n");
+        out.push_str(&render_faults_table(&faults));
+    }
+    out
+}
+
+/// The degradation table of the `faults` experiment: per (fault setting,
+/// protocol, n, universe) group, the p50/p90 rounds over completed runs and
+/// the failure / timeout percentages over all runs. The raw measurement
+/// pairs per run are a `rounds` row (`None` = failed or timed out) and a
+/// 0/1 `timeout` row; repetitions land in the same group.
+fn render_faults_table(measurements: &[&Measurement]) -> String {
+    #[derive(Default)]
+    struct Bucket {
+        completed_rounds: Vec<f64>,
+        runs: usize,
+        timeouts: u64,
+    }
+    // Keyed by the numeric drop rate first, so the table reads in
+    // increasing-severity order rather than lexicographic label order.
+    let drop_rate = |setting: &str| -> u64 {
+        setting
+            .strip_prefix("drop ")
+            .and_then(|rest| rest.split('/').next())
+            .and_then(|digits| digits.parse().ok())
+            .unwrap_or(u64::MAX)
+    };
+    let mut groups: std::collections::BTreeMap<(u64, String, String, usize, u64), Bucket> =
+        std::collections::BTreeMap::new();
+    for m in measurements {
+        let Some((problem, kind)) = m.quantity.rsplit_once(": ") else {
+            continue;
+        };
+        let key = (
+            drop_rate(&m.setting),
+            m.setting.clone(),
+            problem.to_string(),
+            m.n,
+            m.universe,
+        );
+        let bucket = groups.entry(key).or_default();
+        match kind {
+            "rounds" => {
+                bucket.runs += 1;
+                if let Some(rounds) = m.value {
+                    bucket.completed_rounds.push(rounds);
+                }
+            }
+            "timeout" => bucket.timeouts += m.value.unwrap_or(0.0) as u64,
+            _ => {}
+        }
+    }
+    let mut out = String::from(
+        "| setting | protocol | n | universe | runs | p50 rounds | p90 rounds \
+| failure % | timeout % |\n|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for ((_, setting, problem, n, universe), mut bucket) in groups {
+        bucket
+            .completed_rounds
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite round counts"));
+        let percentile = |p: f64| -> String {
+            if bucket.completed_rounds.is_empty() {
+                "-".into()
+            } else {
+                let idx = ((bucket.completed_rounds.len() - 1) as f64 * p).round() as usize;
+                format!("{:.0}", bucket.completed_rounds[idx])
+            }
+        };
+        let runs = bucket.runs.max(1) as f64;
+        let failures = bucket.runs - bucket.completed_rounds.len();
+        out.push_str(&format!(
+            "| {setting} | {problem} | {n} | {universe} | {} | {} | {} | {:.0} | {:.0} |\n",
+            bucket.runs,
+            percentile(0.5),
+            percentile(0.9),
+            100.0 * failures as f64 / runs,
+            100.0 * bucket.timeouts as f64 / runs,
+        ));
+    }
     out
 }
 
@@ -1273,6 +1438,18 @@ fn sweep_spec(options: &Options) -> SweepSpec {
         spec.seed = seed;
     }
     spec.structure_seeds = options.structure_seeds;
+    // Only a faulty sweep carries fault axes: clean subcommands must keep
+    // their pre-fault-layer fingerprints, and the parser already rejects
+    // fault flags anywhere else.
+    if effective_subcommand(options) == "faults" {
+        let standard = FaultAxes::standard();
+        spec.faults = Some(FaultAxes {
+            drops: options.fault_drops.clone().unwrap_or(standard.drops),
+            crashes: options.fault_crashes.unwrap_or(standard.crashes),
+            churn: options.fault_churn.unwrap_or(standard.churn),
+            adversarial: options.fault_adversarial || standard.adversarial,
+        });
+    }
     spec
 }
 
@@ -1314,6 +1491,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
         retries: 1,
         structure_store: None,
         structure_seeds: None,
+        fault_drops: None,
+        fault_crashes: None,
+        fault_churn: None,
+        fault_adversarial: false,
+        shard_timeout: None,
         v1_format: false,
         stats: false,
         positionals: Vec::new(),
@@ -1383,6 +1565,31 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     value_of("--structure-seeds")?
                         .parse()
                         .map_err(|_| "--structure-seeds expects a positive integer".to_string())?,
+                );
+            }
+            "--fault-drops" => {
+                options.fault_drops =
+                    Some(parse_list(&value_of("--fault-drops")?, "--fault-drops")?);
+            }
+            "--fault-crashes" => {
+                options.fault_crashes =
+                    Some(value_of("--fault-crashes")?.parse().map_err(|_| {
+                        "--fault-crashes expects a non-negative integer".to_string()
+                    })?);
+            }
+            "--fault-churn" => {
+                options.fault_churn = Some(
+                    value_of("--fault-churn")?
+                        .parse()
+                        .map_err(|_| "--fault-churn expects a non-negative integer".to_string())?,
+                );
+            }
+            "--fault-adversarial" => options.fault_adversarial = true,
+            "--shard-timeout" => {
+                options.shard_timeout = Some(
+                    value_of("--shard-timeout")?
+                        .parse()
+                        .map_err(|_| "--shard-timeout expects seconds".to_string())?,
                 );
             }
             "--format" => {
@@ -1490,6 +1697,30 @@ use --quick for the reduced variant)"
 keyed by the scaling seed; use --seed)"
                 .into(),
         );
+    }
+    let fault_flags_given = options.fault_drops.is_some()
+        || options.fault_crashes.is_some()
+        || options.fault_churn.is_some()
+        || options.fault_adversarial;
+    if fault_flags_given && effective_subcommand(&options) != "faults" {
+        return Err("fault flags apply only to the `faults` subcommand".into());
+    }
+    if options
+        .fault_drops
+        .as_ref()
+        .is_some_and(|drops| drops.is_empty())
+    {
+        return Err("--fault-drops expects at least one rate".into());
+    }
+    if options
+        .fault_drops
+        .as_ref()
+        .is_some_and(|drops| drops.iter().any(|&d| d > 1000))
+    {
+        return Err("--fault-drops rates are per mille (at most 1000)".into());
+    }
+    if options.shard_timeout == Some(0) {
+        return Err("--shard-timeout expects a positive number of seconds".into());
     }
     Ok(options)
 }
@@ -1599,6 +1830,10 @@ mod tests {
             reps: Some(2),
             seed: Some(77),
             structure_seeds: Some(3),
+            fault_drops: None,
+            fault_crashes: None,
+            fault_churn: None,
+            fault_adversarial: false,
         };
         let range = ShardRange {
             shard: 1,
@@ -1626,6 +1861,122 @@ mod tests {
         // A storeless run adds no flag.
         let argv = worker_args(&spec, 1, &range, 3, "");
         assert!(!argv.iter().any(|a| a == "--structure-store"));
+        // A clean spec adds no fault flags.
+        assert!(!argv.iter().any(|a| a.starts_with("--fault")));
+    }
+
+    #[test]
+    fn fault_flags_parse_validate_and_round_trip() {
+        let options = parse(&args(&[
+            "faults",
+            "--quick",
+            "--fault-drops",
+            "0,100,400",
+            "--fault-crashes",
+            "1",
+            "--fault-churn",
+            "2",
+            "--fault-adversarial",
+        ]))
+        .unwrap();
+        assert_eq!(options.fault_drops, Some(vec![0, 100, 400]));
+        assert_eq!(options.fault_crashes, Some(1));
+        assert_eq!(options.fault_churn, Some(2));
+        assert!(options.fault_adversarial);
+        let spec = sweep_spec(&options);
+        assert_eq!(
+            spec.faults,
+            Some(FaultAxes {
+                drops: vec![0, 100, 400],
+                crashes: 1,
+                churn: 2,
+                adversarial: true,
+            })
+        );
+
+        // A bare `faults` run sweeps the standard axes.
+        let bare = parse(&args(&["faults", "--quick"])).unwrap();
+        assert_eq!(sweep_spec(&bare).faults, Some(FaultAxes::standard()));
+        // Clean subcommands stay fault-free (stable fingerprints) and
+        // reject fault flags outright.
+        assert_eq!(sweep_spec(&parse(&args(&["sweep"])).unwrap()).faults, None);
+        assert!(parse(&args(&["sweep", "--fault-drops", "100"])).is_err());
+        assert!(parse(&args(&["table1", "--fault-adversarial"])).is_err());
+        // Rates are per mille; nonsense is rejected.
+        assert!(parse(&args(&["faults", "--fault-drops", "1001"])).is_err());
+        assert!(parse(&args(&["faults", "--fault-drops", ","])).is_err());
+        assert!(parse(&args(&["faults", "--shard-timeout", "0"])).is_err());
+
+        // The worker round trip: a worker of a faulty sweep resolves the
+        // same axes — and the same fingerprint — as its orchestrator.
+        let spec_params = SpecParams {
+            subcommand: "faults".into(),
+            quick: true,
+            sizes: None,
+            universe_factors: None,
+            reps: None,
+            seed: None,
+            structure_seeds: None,
+            fault_drops: Some(vec![0, 100, 400]),
+            fault_crashes: Some(1),
+            fault_churn: Some(2),
+            fault_adversarial: true,
+        };
+        let range = ShardRange {
+            shard: 0,
+            start: 0,
+            end: 2,
+        };
+        let argv = worker_args(&spec_params, 1, &range, 2, "");
+        let worker = parse(&argv).unwrap();
+        assert_eq!(effective_subcommand(&worker), "faults");
+        assert_eq!(sweep_spec(&worker).faults, spec.faults);
+        let scaling = ScalingSpec::standard();
+        assert_eq!(
+            spec_fingerprint("faults", &sweep_spec(&worker), &scaling),
+            spec_fingerprint("faults", &spec, &scaling)
+        );
+        // Fault axes are spec-affecting: defaults and overrides differ.
+        assert_ne!(
+            spec_fingerprint("faults", &sweep_spec(&bare), &scaling),
+            spec_fingerprint("faults", &spec, &scaling)
+        );
+    }
+
+    #[test]
+    fn faults_markdown_reports_degradation_statistics() {
+        let row = |setting: &str, quantity: &str, value: Option<f64>| Measurement {
+            experiment: "faults".into(),
+            setting: setting.into(),
+            quantity: quantity.into(),
+            n: 8,
+            universe: 64,
+            value,
+            predicted: None,
+            verified: true,
+        };
+        let text = render_markdown(&[
+            // Two reps clean: both complete.
+            row("drop 0/1000", "leader election: rounds", Some(10.0)),
+            row("drop 0/1000", "leader election: timeout", Some(0.0)),
+            row("drop 0/1000", "leader election: rounds", Some(30.0)),
+            row("drop 0/1000", "leader election: timeout", Some(0.0)),
+            // Two reps at heavy drop: one fails by timeout.
+            row("drop 400/1000", "leader election: rounds", Some(50.0)),
+            row("drop 400/1000", "leader election: timeout", Some(0.0)),
+            row("drop 400/1000", "leader election: rounds", None),
+            row("drop 400/1000", "leader election: timeout", Some(1.0)),
+        ]);
+        assert!(text.contains("# Fault degradation"));
+        let clean_at = text.find("| drop 0/1000 |").unwrap();
+        let heavy_at = text.find("| drop 400/1000 |").unwrap();
+        assert!(clean_at < heavy_at);
+        // Nearest-rank percentiles: with two samples p50 rounds up to the
+        // larger one.
+        assert!(text.contains("| drop 0/1000 | leader election | 8 | 64 | 2 | 30 | 30 | 0 | 0 |"));
+        assert!(
+            text.contains("| drop 400/1000 | leader election | 8 | 64 | 2 | 50 | 50 | 50 | 50 |")
+        );
     }
 
     #[test]

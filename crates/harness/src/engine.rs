@@ -139,6 +139,7 @@ mod tests {
             repetitions: 1,
             seed: 3,
             structure_seeds: None,
+            faults: None,
         });
         let engine = SweepEngine::new(2);
         let sink = JsonlSink::new(Vec::new());
@@ -161,6 +162,7 @@ mod tests {
             repetitions: 2,
             seed: 3,
             structure_seeds: None,
+            faults: None,
         });
         // The whole sweep in one process…
         let engine = SweepEngine::new(1);

@@ -12,10 +12,12 @@ use ring_combinat::{StructureKey, StructureKind};
 use ring_experiments::distinguisher_scaling::{
     family_sizes_case, weak_nontrivial_move_case, ScalingSpec,
 };
+use ring_experiments::faults::faults_case;
 use ring_experiments::lower_bounds::{lemma5_parity_audit, lemma6_case};
 use ring_experiments::reductions::{figure_for, randomized_da_to_nm_case, reductions_case};
 use ring_experiments::tables::{table1_case, table2_case};
-use ring_experiments::{Case, Measurement, SweepSpec};
+use ring_experiments::{Case, FaultAxes, Measurement, SweepSpec};
+use ring_protocols::fault::FaultParams;
 use ring_protocols::structures::SharedStructures;
 use ring_sim::Model;
 use serde::Serialize;
@@ -68,6 +70,14 @@ pub enum WorkItem {
     },
     /// The Lemma 6 location-discovery round floors of one sweep case.
     Lemma6Floors(Case),
+    /// The fault-degradation measurements of one sweep case under one
+    /// deterministic fault configuration.
+    Faults {
+        /// The sweep case.
+        case: Case,
+        /// The fault configuration (drop rate, crashes, churn, adversary).
+        params: FaultParams,
+    },
 }
 
 impl WorkItem {
@@ -83,6 +93,7 @@ impl WorkItem {
                 "distinguisher_scaling".into()
             }
             WorkItem::Lemma5Audit { .. } | WorkItem::Lemma6Floors(_) => "lower_bounds".into(),
+            WorkItem::Faults { .. } => "faults".into(),
         }
     }
 
@@ -93,7 +104,8 @@ impl WorkItem {
             | WorkItem::Table2(case)
             | WorkItem::Reductions { case, .. }
             | WorkItem::RandomizedDaToNm { case, .. }
-            | WorkItem::Lemma6Floors(case) => case.n,
+            | WorkItem::Lemma6Floors(case)
+            | WorkItem::Faults { case, .. } => case.n,
             WorkItem::ScalingFamilies { n, .. }
             | WorkItem::ScalingWeakMove { n, .. }
             | WorkItem::Lemma5Audit { n, .. } => *n,
@@ -107,7 +119,8 @@ impl WorkItem {
             | WorkItem::Table2(case)
             | WorkItem::Reductions { case, .. }
             | WorkItem::RandomizedDaToNm { case, .. }
-            | WorkItem::Lemma6Floors(case) => case.universe,
+            | WorkItem::Lemma6Floors(case)
+            | WorkItem::Faults { case, .. } => case.universe,
             WorkItem::ScalingFamilies { spec, .. } | WorkItem::ScalingWeakMove { spec, .. } => {
                 spec.universe
             }
@@ -123,7 +136,8 @@ impl WorkItem {
             | WorkItem::Table2(case)
             | WorkItem::Reductions { case, .. }
             | WorkItem::RandomizedDaToNm { case, .. }
-            | WorkItem::Lemma6Floors(case) => case.seed,
+            | WorkItem::Lemma6Floors(case)
+            | WorkItem::Faults { case, .. } => case.seed,
             WorkItem::ScalingFamilies { spec, .. } | WorkItem::ScalingWeakMove { spec, .. } => {
                 spec.seed
             }
@@ -138,8 +152,9 @@ impl WorkItem {
     /// prefix_size_for`). `ringlab structures prebuild` constructs these
     /// into a shared store before any worker starts.
     ///
-    /// The list mirrors the experiment code paths: Table I, reduction and
-    /// location-discovery cases route even-`n` nontrivial moves through
+    /// The list mirrors the experiment code paths: Table I, reduction,
+    /// fault-degradation and location-discovery cases route even-`n`
+    /// nontrivial moves through
     /// `solve_nontrivial_move`, whose strong distinguisher is keyed by
     /// `(universe, case.structure_seed)` — the fixed protocol default, or
     /// one of the sweep's schedule seeds under a per-case seed schedule;
@@ -168,7 +183,8 @@ impl WorkItem {
             WorkItem::Table1(case)
             | WorkItem::Reductions { case, .. }
             | WorkItem::RandomizedDaToNm { case, .. }
-            | WorkItem::Lemma6Floors(case) => {
+            | WorkItem::Lemma6Floors(case)
+            | WorkItem::Faults { case, .. } => {
                 if case.n % 2 == 0 {
                     vec![strong(case.universe, case.structure_seed, case.n)]
                 } else {
@@ -227,6 +243,7 @@ impl WorkItem {
                 seed,
             } => vec![lemma5_parity_audit(*n, *universe, *samples, *seed)],
             WorkItem::Lemma6Floors(case) => lemma6_case(case, structures),
+            WorkItem::Faults { case, params } => faults_case(case, *params, structures),
         }
     }
 
@@ -421,6 +438,30 @@ pub fn lower_bounds_items(spec: &SweepSpec) -> Vec<WorkItem> {
     items
 }
 
+/// Work items for the fault-degradation experiment: one item per
+/// (fault configuration, sweep case), fault-configuration-major so shard
+/// boundaries cut through cases, not through configurations. The sweep's
+/// fault axes default to [`FaultAxes::standard`] when the spec carries
+/// none; crash/churn/adversary knobs apply at every drop rate.
+pub fn faults_items(spec: &SweepSpec) -> Vec<WorkItem> {
+    let axes = spec.faults.clone().unwrap_or_else(FaultAxes::standard);
+    let mut items = Vec::new();
+    for &drop_per_mille in &axes.drops {
+        let params = FaultParams {
+            drop_per_mille,
+            crashes: axes.crashes,
+            churn: axes.churn,
+            adversarial: axes.adversarial,
+        };
+        items.extend(
+            spec.cases()
+                .into_iter()
+                .map(|case| WorkItem::Faults { case, params }),
+        );
+    }
+    items
+}
+
 /// Every experiment of the reproduction over one sweep spec (the `all`
 /// subcommand / the former `repro_all` binary).
 pub fn all_items(spec: &SweepSpec, scaling: &ScalingSpec) -> Vec<WorkItem> {
@@ -448,6 +489,58 @@ mod tests {
         // fig2: two item kinds per even case.
         let even = spec.cases().len() - odd;
         assert_eq!(fig2_items(&spec).len(), 2 * even);
+        // faults: one item per (configured drop rate, case), defaulting to
+        // the standard axes when the spec carries none.
+        assert_eq!(
+            faults_items(&spec).len(),
+            FaultAxes::standard().drops.len() * spec.cases().len()
+        );
+        let custom = SweepSpec {
+            faults: Some(FaultAxes {
+                drops: vec![0, 500],
+                crashes: 1,
+                churn: 0,
+                adversarial: true,
+            }),
+            ..spec.clone()
+        };
+        let items = faults_items(&custom);
+        assert_eq!(items.len(), 2 * custom.cases().len());
+        let WorkItem::Faults { case, params } = &items[custom.cases().len()] else {
+            panic!("faults_items built a non-faults item");
+        };
+        assert_eq!(params.drop_per_mille, 500);
+        assert_eq!(params.crashes, 1);
+        assert!(params.adversarial);
+        assert_eq!(case.n, custom.cases()[0].n);
+    }
+
+    #[test]
+    fn faults_items_run_and_share_table1_structure_keys() {
+        let spec = SweepSpec {
+            sizes: vec![9, 8],
+            universe_factors: vec![4],
+            repetitions: 1,
+            seed: 3,
+            structure_seeds: None,
+            faults: Some(FaultAxes {
+                drops: vec![100],
+                crashes: 0,
+                churn: 0,
+                adversarial: false,
+            }),
+        };
+        let items = faults_items(&spec);
+        assert_eq!(items.len(), 2);
+        // Even-n faulty cases request the same strong key the clean Table I
+        // item does (the nontrivial-move route is shared).
+        for (faulty, clean) in items.iter().zip(table1_items(&spec)) {
+            assert_eq!(faulty.structure_keys(), clean.structure_keys());
+        }
+        let record = items[0].run_to_record(0, &fresh_structures());
+        assert_eq!(record.experiment, "faults");
+        assert!(record.verified);
+        assert_eq!(record.measurements.len(), 6);
     }
 
     #[test]
@@ -458,6 +551,7 @@ mod tests {
             repetitions: 1,
             seed: 3,
             structure_seeds: None,
+            faults: None,
         };
         let item = &table1_items(&spec)[0];
         let record = item.run_to_record(7, &fresh_structures());
@@ -477,6 +571,7 @@ mod tests {
             repetitions: 1,
             seed: 3,
             structure_seeds: None,
+            faults: None,
         };
         let record = table1_items(&spec)[0].run_to_record(2, &fresh_structures());
         let line = serde_json::to_string(&record).unwrap();

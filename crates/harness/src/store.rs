@@ -1202,8 +1202,10 @@ pub struct GcReport {
     pub stale: usize,
     /// Valid blobs no index entry references (superseded strong prefixes,
     /// keys whose entries were dropped) removed — only past the
-    /// [`CLAIM_WAIT`] grace age, and only after a fresh re-read of the
-    /// index confirms nothing started referencing them.
+    /// [`CLAIM_WAIT`] grace age, and judged against a fresh re-read of the
+    /// index taken immediately before removal, so a blob superseded by a
+    /// flush *during* the gc pass is reclaimed in that same pass instead of
+    /// lingering until the next one.
     pub unreferenced: usize,
     /// Valid files kept.
     pub kept: usize,
@@ -1215,19 +1217,29 @@ pub struct GcReport {
 /// reachable.
 ///
 /// GC never deletes a blob a live index entry references: candidates are
-/// taken from one validated scan, must be older than the claim grace (a
-/// publisher writes its blob moments before its entry), and the index is
-/// re-read immediately before each removal.
+/// every aged valid blob from one validated scan (the age gate covers
+/// publishers, who write their blob moments before its entry), and each
+/// removal is decided against a re-read of the index taken immediately
+/// before the removal pass. Judging *every* aged blob against that re-read
+/// — not only the ones the scan saw unreferenced — means a strong blob
+/// superseded by a concurrent flush after the scan is reclaimed in this
+/// pass rather than surviving as an orphan until the next one.
 ///
 /// # Errors
 ///
 /// Propagates directory-listing and removal I/O failures.
 pub fn gc_store_dir(dir: &Path) -> io::Result<GcReport> {
+    gc_store_dir_with(dir, || {})
+}
+
+/// [`gc_store_dir`] with a seam between the validating scan and the
+/// condemnation re-read, so tests can interleave a flush at exactly the
+/// point where the old candidate logic went stale.
+fn gc_store_dir_with(dir: &Path, after_scan: impl FnOnce()) -> io::Result<GcReport> {
     let mut report = GcReport {
         stale: sweep_stale_files(dir)?,
         ..GcReport::default()
     };
-    let mut referenced: HashSet<u64> = HashSet::new();
     let mut valid_blobs: Vec<(PathBuf, u64)> = Vec::new();
     for file in scan_store_dir(dir)? {
         if file.error.is_some() {
@@ -1236,35 +1248,38 @@ pub fn gc_store_dir(dir: &Path) -> io::Result<GcReport> {
             continue;
         }
         report.kept += 1;
-        if file.path.extension().and_then(|e| e.to_str()) == Some(INDEX_EXTENSION) {
-            if let Ok(text) = std::fs::read_to_string(&file.path) {
-                if let Ok(entry) = IndexEntry::parse(&text) {
-                    referenced.insert(entry.digest);
-                }
-            }
-        } else if file.path.extension().and_then(|e| e.to_str()) == Some(BLOB_EXTENSION) {
+        if file.path.extension().and_then(|e| e.to_str()) == Some(BLOB_EXTENSION) {
             if let Some(digest) = digest_from_name(&file.path) {
                 valid_blobs.push((file.path.clone(), digest));
             }
         }
     }
-    // One fresh re-read of the index after the candidate list is fixed: a
-    // blob whose entry landed after the scan is never reclaimed. (The age
-    // gate already protects publishers between this re-read and the
-    // removals; re-reading per candidate would make gc O(blobs × entries)
-    // for no additional guarantee.)
+    // Every aged valid blob is a candidate; liveness is decided solely by
+    // one fresh re-read of the index after the candidate list is fixed. A
+    // blob whose entry landed after the scan is never reclaimed, and a blob
+    // whose entry was *replaced* after the scan (a flush superseding a
+    // strong prefix) no longer lingers to the next gc. (The age gate
+    // already protects publishers between the re-read and the removals;
+    // re-reading per candidate would make gc O(blobs × entries) for no
+    // additional guarantee.)
     let candidates: Vec<(PathBuf, u64)> = valid_blobs
         .into_iter()
-        .filter(|(path, digest)| !referenced.contains(digest) && older_than_grace(path))
+        .filter(|(path, _)| older_than_grace(path))
         .collect();
+    after_scan();
     if !candidates.is_empty() {
         let referenced_now = current_referenced_digests(dir)?;
         for (path, digest) in candidates {
             if referenced_now.contains(&digest) {
                 continue;
             }
-            std::fs::remove_file(&path)?;
-            report.unreferenced += 1;
+            match std::fs::remove_file(&path) {
+                Ok(()) => report.unreferenced += 1,
+                // A superseding flush reclaims the blob it replaced itself;
+                // losing that race to it is success, not failure.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
             report.kept -= 1;
         }
     }
@@ -1678,6 +1693,58 @@ mod tests {
             }
         );
         // Post-gc the directory verifies clean.
+        assert!(revalidate_store_dir(&dir).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_reclaims_blobs_superseded_between_scan_and_condemnation() {
+        let dir = temp_store("gc-flush-race");
+        let store = StructureStore::at(&dir).unwrap();
+        let strong = store.strong_distinguisher(512, 5);
+        for i in 0..3 {
+            strong.set(i);
+        }
+        assert_eq!(store.flush().unwrap(), 1);
+        let old_blob = {
+            let blobs = list_with_extension(&dir.join("blobs"), BLOB_EXTENSION).unwrap();
+            assert_eq!(blobs.len(), 1);
+            blobs[0].clone()
+        };
+        // Age the published blob past the claim grace so gc may judge it.
+        assert!(std::process::Command::new("touch")
+            .args(["-m", "-d", "2 hours ago"])
+            .arg(&old_blob)
+            .status()
+            .map(|s| s.success())
+            .unwrap_or(false));
+        // A flush supersedes the scanned blob *between* gc's validating
+        // scan and its condemnation re-read — the exact interleaving that
+        // used to leave the old blob orphaned until the next gc run. The
+        // hand publish (rather than `flush`) models the fleet race where
+        // the superseding flusher's own best-effort reclaim lost out.
+        let base = StrongBase::new(512);
+        let longer: Vec<Arc<IdSet>> = (0..12).map(|j| base.set(j)).collect();
+        let gc = gc_store_dir_with(&dir, || {
+            store
+                .publish(
+                    &dir,
+                    &dir.join("index")
+                        .join(StructureStore::strong_index_name(512)),
+                    StructureStore::strong_universal_key(512),
+                    &longer,
+                )
+                .unwrap();
+        })
+        .unwrap();
+        assert_eq!(gc.unreferenced, 1, "the superseded blob is reclaimed");
+        assert!(!old_blob.exists());
+        // The longer prefix survives, loads, and verifies clean.
+        let reloaded = StructureStore::at(&dir)
+            .unwrap()
+            .try_strong_distinguisher(512, 5)
+            .unwrap();
+        assert!(reloaded.base().materialized_len() >= 12);
         assert!(revalidate_store_dir(&dir).unwrap().is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -531,6 +531,147 @@ fn seed_diverse_crash_resume_reaches_identical_bytes() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Spec flags of the faulty variant: the same grid under the
+/// fault-injection layer (a clean and a lossy drop rate, one crash).
+const FAULTY_SPEC_FLAGS: &[&str] = &[
+    "--sizes",
+    "9,8,12",
+    "--universe-factors",
+    "4",
+    "--reps",
+    "1",
+    "--seed",
+    "77",
+    "--fault-drops",
+    "0,100",
+    "--fault-crashes",
+    "1",
+];
+
+/// Runs the single-process faulty reference sweep (`--jobs 1`) into `dir`.
+fn faulty_reference_bytes(dir: &Path) -> Vec<u8> {
+    let out = dir.join("faulty-single.jsonl");
+    let status = ringlab()
+        .args(["faults", "--jobs", "1", "--jsonl"])
+        .arg(&out)
+        .args(FAULTY_SPEC_FLAGS)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("run ringlab");
+    assert!(status.success(), "single-process faulty sweep failed");
+    let bytes = std::fs::read(&out).unwrap();
+    assert!(!bytes.is_empty());
+    bytes
+}
+
+/// The robustness acceptance property: every fault sequence is a pure
+/// function of the case seed and the fault parameters, so faulty sweeps are
+/// byte-identical across `--jobs`, across every shard count, and with or
+/// without a shared structure store.
+#[test]
+fn faulty_sharded_sweeps_are_byte_identical_for_every_shard_count() {
+    let dir = temp_dir("faulty-shards");
+    let reference = faulty_reference_bytes(&dir);
+
+    // Thread-parallel single-process runs agree with the serial one.
+    let jobs2 = dir.join("faulty-jobs2.jsonl");
+    let status = ringlab()
+        .args(["faults", "--jobs", "2", "--jsonl"])
+        .arg(&jobs2)
+        .args(FAULTY_SPEC_FLAGS)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("run ringlab");
+    assert!(status.success(), "faulty --jobs 2 run failed");
+    assert_eq!(
+        std::fs::read(&jobs2).unwrap(),
+        reference,
+        "faulty output must not depend on --jobs"
+    );
+
+    let store = dir.join("faulty-structures");
+    for shards in [1usize, 2, 3, 7] {
+        let out = dir.join(format!("faulty-sharded-{shards}.jsonl"));
+        let run_dir = dir.join(format!("faulty-run-{shards}"));
+        let mut cmd = ringlab();
+        cmd.args(["faults", "--shards", &shards.to_string(), "--jsonl"])
+            .arg(&out)
+            .arg("--run-dir")
+            .arg(&run_dir);
+        // Alternate store-backed and storeless fleets: neither may change
+        // a byte.
+        if shards % 2 == 0 {
+            cmd.arg("--structure-store").arg(&store);
+        }
+        let status = cmd
+            .args(FAULTY_SPEC_FLAGS)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .expect("run ringlab");
+        assert!(
+            status.success(),
+            "faulty sharded sweep failed at M = {shards}"
+        );
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            reference,
+            "faulty sharded output diverged at M = {shards}"
+        );
+        let manifest = ring_distrib::Manifest::load(&run_dir).unwrap();
+        assert!(manifest.is_complete());
+        assert_eq!(manifest.total_cases, 6, "2 drop rates × 3 sizes");
+        assert_eq!(manifest.spec.fault_drops, Some(vec![0, 100]));
+        assert_eq!(manifest.spec.fault_crashes, Some(1));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Crash-resume mid-faulty-sweep: a fleet that dies after one record
+/// leaves a resumable run directory whose manifest carries the fault axes,
+/// and `resume` converges to the reference bytes.
+#[test]
+fn faulty_crash_resume_reaches_identical_bytes() {
+    let dir = temp_dir("faulty-crash-resume");
+    let reference = faulty_reference_bytes(&dir);
+    let run_dir = dir.join("run");
+    let out = dir.join("sharded.jsonl");
+    let status = ringlab()
+        .args(["faults", "--shards", "3", "--retries", "0", "--jsonl"])
+        .arg(&out)
+        .arg("--run-dir")
+        .arg(&run_dir)
+        .args(FAULTY_SPEC_FLAGS)
+        .env("RING_DISTRIB_FAIL_AFTER", "1")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("run ringlab");
+    assert!(
+        !status.success(),
+        "orchestration must fail when every worker dies"
+    );
+    let manifest = ring_distrib::Manifest::load(&run_dir).unwrap();
+    assert!(!manifest.is_complete());
+    assert_eq!(manifest.spec.fault_drops, Some(vec![0, 100]));
+
+    let resumed = dir.join("resumed.jsonl");
+    let status = ringlab()
+        .arg("resume")
+        .arg(&run_dir)
+        .arg("--jsonl")
+        .arg(&resumed)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("run ringlab resume");
+    assert!(status.success(), "faulty resume failed");
+    assert_eq!(std::fs::read(&resumed).unwrap(), reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `--jsonl -` streams records to stdout with the tables routed to stderr,
 /// so piped output is pure JSONL — for sharded and single-process runs
 /// alike.

@@ -15,6 +15,7 @@ fn test_spec() -> SweepSpec {
         repetitions: 2,
         seed: 77,
         structure_seeds: None,
+        faults: None,
     }
 }
 
@@ -85,6 +86,7 @@ fn all_items_run_verified_with_cache_hits() {
         repetitions: 1,
         seed: 3,
         structure_seeds: None,
+        faults: None,
     };
     let scaling = ring_experiments::distinguisher_scaling::ScalingSpec {
         universe: 1 << 10,
@@ -223,6 +225,7 @@ fn seed_diverse_store_beats_one_file_per_seed_and_serves_zero_miss() {
         repetitions: 4,
         seed: 77,
         structure_seeds: Some(4),
+        faults: None,
     };
     let mut items = table1_items(&spec);
     items.extend(table2_items(&spec));

@@ -8,9 +8,14 @@
 //!
 //! The event engine is slower (`O(n)` work per event, up to `O(n²)` events
 //! per round) and approximate (`f64`), so the protocol executor uses the
-//! exact [`crate::analytic::AnalyticEngine`]; the event engine serves as the
-//! ground truth that the analytic shortcuts are validated against, and as a
-//! tool for visualising full trajectories.
+//! exact [`crate::analytic::AnalyticEngine`] on clean rings; the event
+//! engine serves as the ground truth that the analytic shortcuts are
+//! validated against, as the *reference executor for faulty runs* (which
+//! exercise territory the analytic shortcuts were never validated on), and
+//! as a tool for visualising full trajectories. Multi-round drivers reuse
+//! one [`EventScratch`] across rounds via [`EventEngine::simulate_into`]
+//! instead of paying the eight-vector allocation of
+//! [`EventEngine::simulate`] per round.
 
 use crate::config::RingConfig;
 use crate::direction::ObjectiveDirection;
@@ -56,6 +61,57 @@ impl Default for EventEngine {
     }
 }
 
+/// Reusable scratch arena for [`EventEngine::simulate_into`].
+///
+/// The event engine used to allocate eight vectors per simulated round;
+/// now that it is the reference executor for faulty runs (which execute
+/// every round through it), multi-round drivers hold one `EventScratch`
+/// and reuse it — after the vectors reach the ring size, a round performs
+/// no heap allocation beyond growth of the collision log.
+#[derive(Clone, Debug, Default)]
+pub struct EventScratch {
+    /// Final position (fraction of the circle) of each agent, valid after
+    /// a [`EventEngine::simulate_into`] call.
+    pub final_positions: Vec<f64>,
+    /// Clockwise displacement (fraction) of each agent over the round.
+    pub cw_displacement: Vec<f64>,
+    /// Path distance travelled by each agent until its first collision
+    /// (`None` if never involved in one).
+    pub first_collision: Vec<Option<f64>>,
+    /// Every collision of the round, in chronological order.
+    pub collisions: Vec<CollisionEvent>,
+    agent_at_slot: Vec<usize>,
+    pos: Vec<f64>,
+    start_pos_of_agent: Vec<f64>,
+    vel: Vec<f64>,
+    travelled: Vec<f64>,
+}
+
+impl EventScratch {
+    /// Creates an empty arena (vectors grow to the ring size on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves the round's outputs out of the scratch as a [`Trajectory`],
+    /// leaving empty output vectors behind.
+    pub fn take_trajectory(&mut self) -> Trajectory {
+        Trajectory {
+            final_positions: std::mem::take(&mut self.final_positions),
+            cw_displacement: std::mem::take(&mut self.cw_displacement),
+            first_collision: std::mem::take(&mut self.first_collision),
+            collisions: std::mem::take(&mut self.collisions),
+        }
+    }
+}
+
+/// Clears `vec` and refills it to `n` elements from `f` without
+/// reallocating once capacity has been reached.
+fn refill<T>(vec: &mut Vec<T>, n: usize, f: impl FnMut(usize) -> T) {
+    vec.clear();
+    vec.extend((0..n).map(f));
+}
+
 impl EventEngine {
     /// Creates an engine with the default event bound.
     pub fn new() -> Self {
@@ -79,30 +135,57 @@ impl EventEngine {
         slot_of_agent: &[usize],
         directions: &[ObjectiveDirection],
     ) -> Trajectory {
+        let mut scratch = EventScratch::new();
+        self.simulate_into(config, slot_of_agent, directions, &mut scratch);
+        scratch.take_trajectory()
+    }
+
+    /// Simulates one full round into a caller-owned [`EventScratch`] — the
+    /// buffer-reusing variant of [`EventEngine::simulate`]. Outputs land in
+    /// the scratch's public fields.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`EventEngine::simulate`].
+    pub fn simulate_into(
+        &self,
+        config: &RingConfig,
+        slot_of_agent: &[usize],
+        directions: &[ObjectiveDirection],
+        scratch: &mut EventScratch,
+    ) {
         let n = config.len();
         assert_eq!(slot_of_agent.len(), n);
         assert_eq!(directions.len(), n);
 
-        // Ring order = slot order. `order[k]` is the agent currently at the
+        // Ring order = slot order. `agent[k]` is the agent currently at the
         // k-th slot.
-        let mut agent_at_slot = vec![usize::MAX; n];
-        for agent in 0..n {
-            agent_at_slot[slot_of_agent[agent]] = agent;
+        refill(&mut scratch.agent_at_slot, n, |_| usize::MAX);
+        for (agent, &slot) in slot_of_agent.iter().enumerate() {
+            scratch.agent_at_slot[slot] = agent;
         }
 
         // State indexed by ring-order position k.
-        let mut pos: Vec<f64> = (0..n).map(|k| config.position(k).as_fraction()).collect();
-        let start_pos_of_agent: Vec<f64> = (0..n)
-            .map(|agent| config.position(slot_of_agent[agent]).as_fraction())
-            .collect();
-        let mut vel: Vec<f64> = (0..n)
-            .map(|k| f64::from(directions[agent_at_slot[k]].velocity()))
-            .collect();
-        let agent: Vec<usize> = agent_at_slot;
-
-        let mut first_collision: Vec<Option<f64>> = vec![None; n];
-        let mut travelled: Vec<f64> = vec![0.0; n];
-        let mut collisions = Vec::new();
+        refill(&mut scratch.pos, n, |k| config.position(k).as_fraction());
+        refill(&mut scratch.start_pos_of_agent, n, |agent| {
+            config.position(slot_of_agent[agent]).as_fraction()
+        });
+        refill(&mut scratch.vel, n, |k| {
+            f64::from(directions[scratch.agent_at_slot[k]].velocity())
+        });
+        refill(&mut scratch.first_collision, n, |_| None);
+        refill(&mut scratch.travelled, n, |_| 0.0);
+        scratch.collisions.clear();
+        let EventScratch {
+            ref mut pos,
+            ref mut vel,
+            ref mut first_collision,
+            ref mut travelled,
+            ref mut collisions,
+            ref agent_at_slot,
+            ..
+        } = *scratch;
+        let agent = agent_at_slot;
 
         let mut t = 0.0f64;
         let mut events = 0usize;
@@ -169,20 +252,19 @@ impl EventEngine {
             }
         }
 
-        let mut final_positions = vec![0.0; n];
+        refill(&mut scratch.final_positions, n, |_| 0.0);
         for k in 0..n {
-            final_positions[agent[k]] = pos[k];
+            scratch.final_positions[scratch.agent_at_slot[k]] = scratch.pos[k];
         }
-        let cw_displacement: Vec<f64> = (0..n)
-            .map(|a| (final_positions[a] - start_pos_of_agent[a]).rem_euclid(1.0))
-            .collect();
-
-        Trajectory {
-            final_positions,
-            cw_displacement,
-            first_collision,
-            collisions,
-        }
+        let EventScratch {
+            ref mut cw_displacement,
+            ref final_positions,
+            ref start_pos_of_agent,
+            ..
+        } = *scratch;
+        refill(cw_displacement, n, |a| {
+            (final_positions[a] - start_pos_of_agent[a]).rem_euclid(1.0)
+        });
     }
 }
 
@@ -253,6 +335,33 @@ mod tests {
                 (expected_coll - got_coll).abs() < 1e-6,
                 "agent {agent}: first collision expected {expected_coll}, got {got_coll}"
             );
+        }
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_simulation_round_for_round() {
+        let config = RingConfig::builder(11)
+            .random_positions(23)
+            .build()
+            .unwrap();
+        let slots: Vec<usize> = (0..11).collect();
+        let mut scratch = EventScratch::new();
+        for round in 0..8u64 {
+            let dirs: Vec<ObjectiveDirection> = (0..11)
+                .map(|i| {
+                    if (i as u64 + round).is_multiple_of(3) {
+                        A
+                    } else {
+                        C
+                    }
+                })
+                .collect();
+            let fresh = EventEngine::new().simulate(&config, &slots, &dirs);
+            EventEngine::new().simulate_into(&config, &slots, &dirs, &mut scratch);
+            assert_eq!(scratch.final_positions, fresh.final_positions);
+            assert_eq!(scratch.cw_displacement, fresh.cw_displacement);
+            assert_eq!(scratch.first_collision, fresh.first_collision);
+            assert_eq!(scratch.collisions, fresh.collisions);
         }
     }
 

@@ -68,7 +68,7 @@ pub use analytic::{AnalyticEngine, AnalyticScratch};
 pub use config::{RingConfig, RingConfigBuilder};
 pub use direction::{Chirality, LocalDirection, ObjectiveDirection};
 pub use error::RingError;
-pub use events::{CollisionEvent, EventEngine, Trajectory};
+pub use events::{CollisionEvent, EventEngine, EventScratch, Trajectory};
 pub use frame::Frame;
 pub use geometry::{ArcLength, Point, CIRCUMFERENCE};
 pub use model::{Model, Parity};
@@ -82,7 +82,7 @@ pub mod prelude {
     pub use crate::config::{RingConfig, RingConfigBuilder};
     pub use crate::direction::{Chirality, LocalDirection, ObjectiveDirection};
     pub use crate::error::RingError;
-    pub use crate::events::EventEngine;
+    pub use crate::events::{EventEngine, EventScratch};
     pub use crate::frame::Frame;
     pub use crate::geometry::{ArcLength, Point, CIRCUMFERENCE};
     pub use crate::model::{Model, Parity};

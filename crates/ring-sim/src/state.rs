@@ -11,7 +11,7 @@ use crate::analytic::{AnalyticEngine, AnalyticScratch};
 use crate::config::RingConfig;
 use crate::direction::{Chirality, LocalDirection, ObjectiveDirection};
 use crate::error::RingError;
-use crate::events::EventEngine;
+use crate::events::{EventEngine, EventScratch};
 use crate::geometry::{ArcLength, Point};
 use crate::observe::Observation;
 use crate::rotation::RotationIndex;
@@ -44,8 +44,9 @@ pub struct RoundOutcome {
 /// A multi-round driver creates one `RoundBuffers`, passes it to every
 /// round, and reads the round's outputs from it between rounds; after the
 /// vectors have grown to the ring size once, round execution performs no
-/// heap allocation at all (the event-driven reference engine excepted — it
-/// simulates every collision and is not a hot path).
+/// heap allocation at all. Event-engine rounds route through a reusable
+/// [`EventScratch`] held here, so the faulty-path reference executor is
+/// covered by the same guarantee (modulo growth of its collision log).
 #[derive(Clone, Debug, Default)]
 pub struct RoundBuffers {
     /// Observation of each agent for the last executed round, in that
@@ -53,6 +54,7 @@ pub struct RoundBuffers {
     pub observations: Vec<Observation>,
     objective: Vec<ObjectiveDirection>,
     scratch: AnalyticScratch,
+    events: EventScratch,
 }
 
 impl RoundBuffers {
@@ -252,12 +254,18 @@ impl<'a> RingState<'a> {
         if engine == EngineKind::Event {
             // The event engine is the reference: use it for collisions, but
             // keep the (exact) analytic displacement and slots, which the
-            // property tests show it agrees with.
-            let traj =
-                EventEngine::new().simulate(self.config, &self.slot_of_agent, &bufs.objective);
+            // property tests show it agrees with. The reusable scratch keeps
+            // the faulty-path reference executor allocation-free per round.
+            EventEngine::new().simulate_into(
+                self.config,
+                &self.slot_of_agent,
+                &bufs.objective,
+                &mut bufs.events,
+            );
             bufs.scratch.first_collision.clear();
             bufs.scratch.first_collision.extend(
-                traj.first_collision
+                bufs.events
+                    .first_collision
                     .iter()
                     .map(|c| c.map(ArcLength::from_fraction)),
             );

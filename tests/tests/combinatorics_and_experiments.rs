@@ -70,6 +70,7 @@ fn table1_harness_smoke_test() {
         repetitions: 1,
         seed: 1,
         structure_seeds: None,
+        faults: None,
     };
     let measurements = table1(&spec);
     assert!(measurements.iter().all(|m| m.verified));
