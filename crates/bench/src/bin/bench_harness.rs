@@ -52,7 +52,9 @@
 //!
 //! Run with `cargo run --release -p ring-bench --bin bench_harness`
 //! (optionally `-- --quick` for a CI smoke pass, `-- --out <path>` to
-//! redirect the report).
+//! redirect the report, `-- --jobs-sweep` to additionally time the engine
+//! pass at a ladder of worker-thread counts — the committed scaling
+//! curve).
 
 use ring_distrib::{
     fail_after_from_env, merge_shards, plan_shards, run_pending_shards, DoneEvent, Manifest,
@@ -111,6 +113,10 @@ struct Report {
     /// `seeded_v1_equivalent_bytes / seeded_store_bytes` — how much the
     /// shared universal strong blobs save under seed diversity.
     seeded_dedup: f64,
+    /// `--jobs-sweep`: the engine pass timed at a ladder of worker-thread
+    /// counts (1, 2, 4, 8), warm cache — the executor's scaling curve.
+    /// Empty when the flag is not passed.
+    jobs_sweep: Vec<Entry>,
     /// Cache counters accumulated by the `parallel_cached` bench run.
     bench_sweep_cache: CacheSection,
     /// Cache counters of one engine pass over the standard sweep.
@@ -421,6 +427,29 @@ fn main() {
         std::hint::black_box(parallel_engine.run::<Vec<u8>>(items, None));
     });
 
+    // 3b. `--jobs-sweep`: the executor's scaling curve — the same engine
+    //    pass at a ladder of worker-thread counts, each with its own
+    //    warm-up so every point times a hot cache. On a single-core
+    //    container the curve is flat (the committed baseline); on real
+    //    hardware it is the thread-scaling trajectory ROADMAP item 2
+    //    asks for.
+    let mut jobs_sweep = Vec::new();
+    if args.iter().any(|a| a == "--jobs-sweep") {
+        for jobs in [1usize, 2, 4, 8] {
+            let engine = SweepEngine::new(jobs);
+            let elapsed = time_run(&items, |items| {
+                std::hint::black_box(engine.run::<Vec<u8>>(items, None));
+            });
+            jobs_sweep.push(Entry {
+                name: "jobs_sweep".into(),
+                cases: items.len(),
+                jobs,
+                elapsed_ms: elapsed * 1e3,
+                cases_per_sec: items.len() as f64 / elapsed.max(1e-9),
+            });
+        }
+    }
+
     // 4./5. The distributed layer: a cold orchestrated pass (processes
     //    spawned, structures rebuilt per process, shards merged), then the
     //    steady-state pass over the completed run directory (revalidate +
@@ -648,7 +677,7 @@ fn main() {
     let sharded_vs_parallel = parallel_cached / sharded_cached.max(1e-9);
     let store_vs_cold = sharded_cold / sharded_store_warm.max(1e-9);
     let seeded_dedup = seeded_v1_equivalent_bytes as f64 / (seeded_store_bytes.max(1)) as f64;
-    for entry in &entries {
+    for entry in entries.iter().chain(&jobs_sweep) {
         println!(
             "{:<16} {:>3} cases, {:>2} jobs: {:>10.1} ms  ({:>8.2} cases/s)",
             entry.name, entry.cases, entry.jobs, entry.elapsed_ms, entry.cases_per_sec
@@ -688,6 +717,7 @@ for one-file-per-seed v1 ({seeded_dedup:.2}x smaller)"
         seeded_store_bytes,
         seeded_v1_equivalent_bytes,
         seeded_dedup,
+        jobs_sweep,
         bench_sweep_cache: cache_section(parallel_engine.cache()),
         standard_sweep_cache: standard_cache,
     };

@@ -20,9 +20,12 @@
 //!   shard plan, and per-shard status / attempts / record counts /
 //!   checksums / cache-and-executor stats. Checkpointed atomically after
 //!   every transition; `resume` trusts only shards whose files still match.
-//! * [`orchestrator`] — spawns workers via [`std::process::Command`] with
-//!   bounded concurrency, validates their streams, retries failed shards,
-//!   and checkpoints the manifest.
+//! * [`orchestrator`] — supervises worker attempts with bounded
+//!   concurrency, validates their streams, retries failed shards, and
+//!   checkpoints the manifest. *Where* an attempt runs sits behind the
+//!   [`orchestrator::WorkerTransport`] seam: child processes via
+//!   [`std::process::Command`] ([`orchestrator::ProcessTransport`]) or
+//!   remote TCP workers (the `ring-serve` daemon).
 //! * [`merge`] — the deterministic k-way merger: shard JSONL files in,
 //!   one `case_index`-ordered stream out, byte-identical to the
 //!   single-process stream (gaps and duplicates are hard errors).
@@ -55,7 +58,10 @@ pub mod protocol;
 pub use checksum::{digest_file, format_checksum, FileDigest, Fnv1a64};
 pub use manifest::{shard_file_name, Manifest, ShardEntry, ShardStats, ShardStatus, SpecParams};
 pub use merge::{merge_shards, MergeError, MergeReport};
-pub use orchestrator::{run_pending_shards, OrchestratorOptions, RunOutcome};
+pub use orchestrator::{
+    run_pending_shards, run_pending_shards_with, OrchestratorOptions, ProcessTransport, RunOutcome,
+    ShardAttempt, WorkerTransport,
+};
 pub use plan::{plan_shards, ShardRange};
 pub use protocol::{
     extract_case_index, fail_after_from_env, parse_worker_line, DoneEvent, ShardTally, StartEvent,

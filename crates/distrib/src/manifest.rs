@@ -165,6 +165,112 @@ pub struct SpecParams {
     pub fault_adversarial: bool,
 }
 
+impl SpecParams {
+    /// Reconstructs spec parameters from a JSON value — a manifest's
+    /// `spec` object, or the body of a `ring-serve` run submission.
+    /// Only `subcommand` is required; every override is optional and
+    /// `quick` defaults to `false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        Ok(SpecParams {
+            subcommand: require_str(value, "subcommand")?,
+            quick: value.get("quick").and_then(Value::as_bool).unwrap_or(false),
+            sizes: optional_u64_list(value, "sizes")?
+                .map(|list| list.into_iter().map(|v| v as usize).collect()),
+            universe_factors: optional_u64_list(value, "universe_factors")?,
+            reps: optional_u64(value, "reps")?,
+            seed: optional_u64(value, "seed")?,
+            // Absent in manifests written before seed schedules existed:
+            // those runs were fixed-schedule by construction.
+            structure_seeds: optional_u64(value, "structure_seeds")?,
+            // Likewise absent in manifests predating the fault layer:
+            // those runs were clean synchronous sweeps by construction.
+            fault_drops: optional_u64_list(value, "fault_drops")?,
+            fault_crashes: optional_u64(value, "fault_crashes")?,
+            fault_churn: optional_u64(value, "fault_churn")?,
+            fault_adversarial: value
+                .get("fault_adversarial")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+        })
+    }
+
+    /// The `ringlab` argv (minus the binary) that makes a worker execute
+    /// `range` of this spec: `worker <subcommand> --shard i/M …` plus
+    /// exactly the override flags the spec records. Every dispatcher —
+    /// `ringlab --shards`, `resume`, and the `ring-serve` daemon's TCP job
+    /// frames — builds worker invocations through this one function, so a
+    /// shard reruns identically no matter who launches it.
+    pub fn worker_args(
+        &self,
+        jobs_per_worker: usize,
+        range: &ShardRange,
+        shard_count: usize,
+        structure_store: &str,
+    ) -> Vec<String> {
+        let mut args = vec![
+            "worker".to_string(),
+            self.subcommand.clone(),
+            "--shard".to_string(),
+            format!("{}/{shard_count}", range.shard),
+            "--jobs".to_string(),
+            jobs_per_worker.to_string(),
+        ];
+        if !structure_store.is_empty() {
+            args.push("--structure-store".into());
+            args.push(structure_store.to_string());
+        }
+        if self.quick {
+            args.push("--quick".into());
+        }
+        if let Some(sizes) = &self.sizes {
+            args.push("--sizes".into());
+            args.push(join_list(sizes));
+        }
+        if let Some(factors) = &self.universe_factors {
+            args.push("--universe-factors".into());
+            args.push(join_list(factors));
+        }
+        if let Some(reps) = self.reps {
+            args.push("--reps".into());
+            args.push(reps.to_string());
+        }
+        if let Some(seed) = self.seed {
+            args.push("--seed".into());
+            args.push(seed.to_string());
+        }
+        if let Some(k) = self.structure_seeds {
+            args.push("--structure-seed-mode".into());
+            args.push("per-case".into());
+            args.push("--structure-seeds".into());
+            args.push(k.to_string());
+        }
+        if let Some(drops) = &self.fault_drops {
+            args.push("--fault-drops".into());
+            args.push(join_list(drops));
+        }
+        if let Some(crashes) = self.fault_crashes {
+            args.push("--fault-crashes".into());
+            args.push(crashes.to_string());
+        }
+        if let Some(churn) = self.fault_churn {
+            args.push("--fault-churn".into());
+            args.push(churn.to_string());
+        }
+        if self.fault_adversarial {
+            args.push("--fault-adversarial".into());
+        }
+        args
+    }
+}
+
+fn join_list<T: std::fmt::Display>(items: &[T]) -> String {
+    items.iter().map(T::to_string).collect::<Vec<_>>().join(",")
+}
+
 /// The run manifest.
 #[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct Manifest {
@@ -296,30 +402,7 @@ impl Manifest {
             ));
         }
         let spec_value = value.get("spec").ok_or("manifest is missing `spec`")?;
-        let spec = SpecParams {
-            subcommand: require_str(spec_value, "subcommand")?,
-            quick: spec_value
-                .get("quick")
-                .and_then(Value::as_bool)
-                .ok_or("spec is missing boolean `quick`")?,
-            sizes: optional_u64_list(spec_value, "sizes")?
-                .map(|list| list.into_iter().map(|v| v as usize).collect()),
-            universe_factors: optional_u64_list(spec_value, "universe_factors")?,
-            reps: optional_u64(spec_value, "reps")?,
-            seed: optional_u64(spec_value, "seed")?,
-            // Absent in manifests written before seed schedules existed:
-            // those runs were fixed-schedule by construction.
-            structure_seeds: optional_u64(spec_value, "structure_seeds")?,
-            // Likewise absent in manifests predating the fault layer:
-            // those runs were clean synchronous sweeps by construction.
-            fault_drops: optional_u64_list(spec_value, "fault_drops")?,
-            fault_crashes: optional_u64(spec_value, "fault_crashes")?,
-            fault_churn: optional_u64(spec_value, "fault_churn")?,
-            fault_adversarial: spec_value
-                .get("fault_adversarial")
-                .and_then(Value::as_bool)
-                .unwrap_or(false),
-        };
+        let spec = SpecParams::from_json(spec_value)?;
         let shards_value = value
             .get("shards")
             .and_then(Value::as_array)

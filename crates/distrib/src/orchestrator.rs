@@ -1,27 +1,34 @@
 //! The multi-process orchestrator.
 //!
-//! Drives the incomplete shards of a [`Manifest`] to completion: spawns one
-//! worker process per shard (bounded concurrency, per-shard retries),
+//! Drives the incomplete shards of a [`Manifest`] to completion: launches
+//! one worker attempt per shard (bounded concurrency, per-shard retries),
 //! validates each worker's protocol stream as it arrives, persists the
 //! record lines to `shard-NNN.jsonl` (via a temp file, renamed only after
 //! the done-event checksum matches), and checkpoints the manifest after
 //! every shard transition. The orchestrator is deliberately agnostic about
-//! *what* a worker runs — the caller supplies a factory that turns a shard
-//! range into a [`Command`] — so `ringlab` and the benchmark harness reuse
-//! the same supervision loop.
+//! *what* a worker runs — and, since the transport seam, about *where*: a
+//! [`WorkerTransport`] turns a shard range into a live [`ShardAttempt`],
+//! and the supervision loop (retries, deterministic backoff, watchdog,
+//! stream validation, temp-file discipline) is identical whether the
+//! attempt is a child process speaking on stdout
+//! ([`ProcessTransport`], what `ringlab --shards` and the benchmark
+//! harness use) or a remote worker speaking the same protocol lines over a
+//! TCP connection (what `ring-serve` plugs in). A worker disconnect is
+//! just another retryable shard failure.
 //!
-//! Failure containment: a worker that exits nonzero, truncates its stream,
-//! emits records out of sequence or reports a checksum that does not match
-//! the bytes received is retried from scratch up to the retry budget; the
-//! partial shard file never overwrites a good one (writes go to `*.tmp`),
-//! and a shard that exhausts its budget is marked `failed` in the manifest
-//! so a later `resume` can pick it up.
+//! Failure containment: a worker that exits nonzero (or drops its
+//! connection), truncates its stream, emits records out of sequence or
+//! reports a checksum that does not match the bytes received is retried
+//! from scratch up to the retry budget; the partial shard file never
+//! overwrites a good one (writes go to `*.tmp`), and a shard that exhausts
+//! its budget is marked `failed` in the manifest so a later `resume` can
+//! pick it up.
 
 use crate::manifest::{shard_file_name, Manifest, ShardStats};
 use crate::plan::ShardRange;
 use crate::protocol::{parse_worker_line, WorkerLine};
 use ring_combinat::shared::splitmix64;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -87,12 +94,129 @@ pub struct RunOutcome {
     pub failed: Vec<usize>,
 }
 
+/// One live worker attempt, produced by a [`WorkerTransport`].
+///
+/// The orchestrator consumes the attempt's protocol byte stream, uses the
+/// abort handle from its watchdog thread when the attempt exceeds its
+/// wall-clock budget (or breaks its stream), and finally reaps the attempt
+/// to learn whether the worker terminated cleanly.
+pub trait ShardAttempt: Send {
+    /// Takes the worker's protocol byte stream. Called exactly once,
+    /// before anything else.
+    fn take_stream(&mut self) -> Box<dyn Read + Send>;
+
+    /// A handle that kills the attempt from another thread: a process kill
+    /// for child workers, a socket shutdown for remote ones. Killing must
+    /// unblock a reader of the stream.
+    fn abort_handle(&self) -> Box<dyn Fn() + Send>;
+
+    /// Whether the protocol stream terminates at the done event (`true`
+    /// for connection-reusing transports, where the same byte stream will
+    /// carry the next assignment) or runs to EOF (`false` for child
+    /// stdout, where anything after the done event is a protocol error).
+    fn ends_at_done(&self) -> bool;
+
+    /// Reaps the attempt after its stream has been consumed (`stream_ok` =
+    /// the stream validated end to end). An `Err` fails the attempt even
+    /// if the stream looked complete — e.g. a worker process that exited
+    /// nonzero after emitting a plausible done event.
+    fn finish(self: Box<Self>, stream_ok: bool) -> Result<(), String>;
+}
+
+/// Turns a shard range into a live worker attempt.
+///
+/// Implementations: [`ProcessTransport`] (child processes over stdio) in
+/// this crate, and the TCP worker pool in `ring-serve`. A launch error is
+/// an attempt failure like any other — it consumes one retry and the shard
+/// is relaunched after the usual backoff.
+pub trait WorkerTransport: Sync {
+    /// Launches one attempt at `range`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of why the attempt could not be launched
+    /// (spawn failure, no remote worker available, …).
+    fn launch(&self, range: &ShardRange) -> Result<Box<dyn ShardAttempt>, String>;
+}
+
+/// The child-process transport: spawns a [`Command`] per attempt and
+/// supervises its stdout (the original, and default, worker transport).
+pub struct ProcessTransport<'a> {
+    command_for: &'a (dyn Fn(&ShardRange) -> Command + Sync),
+}
+
+impl<'a> ProcessTransport<'a> {
+    /// Wraps a command factory: `command_for` builds the worker invocation
+    /// for a shard range; the worker's stdout must speak the
+    /// [`crate::protocol`] and its stderr is passed through.
+    pub fn new(command_for: &'a (dyn Fn(&ShardRange) -> Command + Sync)) -> Self {
+        ProcessTransport { command_for }
+    }
+}
+
+impl WorkerTransport for ProcessTransport<'_> {
+    fn launch(&self, range: &ShardRange) -> Result<Box<dyn ShardAttempt>, String> {
+        let mut child = (self.command_for)(range)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker: {e}"))?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        Ok(Box::new(ProcessAttempt {
+            child: Arc::new(Mutex::new(child)),
+            stdout: Some(stdout),
+        }))
+    }
+}
+
+/// A child-process attempt: the stream is the child's stdout, aborting
+/// kills the process, reaping waits for its exit status.
+struct ProcessAttempt {
+    child: Arc<Mutex<std::process::Child>>,
+    stdout: Option<std::process::ChildStdout>,
+}
+
+impl ShardAttempt for ProcessAttempt {
+    fn take_stream(&mut self) -> Box<dyn Read + Send> {
+        Box::new(self.stdout.take().expect("stream taken once"))
+    }
+
+    fn abort_handle(&self) -> Box<dyn Fn() + Send> {
+        let child = Arc::clone(&self.child);
+        Box::new(move || {
+            // Killing closes the pipe, so the stream consumer unblocks and
+            // the attempt is reported as failed.
+            child.lock().expect("worker handle").kill().ok();
+        })
+    }
+
+    fn ends_at_done(&self) -> bool {
+        false
+    }
+
+    fn finish(self: Box<Self>, _stream_ok: bool) -> Result<(), String> {
+        let status = self
+            .child
+            .lock()
+            .expect("worker handle")
+            .wait()
+            .map_err(|e| format!("cannot reap worker: {e}"))?;
+        if status.success() {
+            Ok(())
+        } else {
+            Err(format!("worker exited with {status}"))
+        }
+    }
+}
+
 /// Runs every incomplete shard of the manifest to completion (or failure),
 /// checkpointing the manifest in `run_dir` after each transition.
 ///
 /// `command_for` builds the worker invocation for a shard range; the
 /// worker's stdout must speak the [`crate::protocol`] and its stderr is
-/// passed through.
+/// passed through. This is the [`ProcessTransport`] convenience form of
+/// [`run_pending_shards_with`].
 ///
 /// # Errors
 ///
@@ -103,6 +227,30 @@ pub fn run_pending_shards(
     manifest: &Mutex<Manifest>,
     options: &OrchestratorOptions,
     command_for: &(dyn Fn(&ShardRange) -> Command + Sync),
+) -> std::io::Result<RunOutcome> {
+    run_pending_shards_with(
+        run_dir,
+        manifest,
+        options,
+        &ProcessTransport::new(command_for),
+    )
+}
+
+/// [`run_pending_shards`] over an arbitrary [`WorkerTransport`] — the
+/// entry point remote-worker transports (`ring-serve`) plug into. The
+/// supervision loop (concurrency, retries, deterministic backoff,
+/// watchdog, manifest checkpoints) is byte-for-byte the same as for child
+/// processes.
+///
+/// # Errors
+///
+/// Only setup-level I/O failures (creating the run directory, persisting
+/// the manifest) propagate; per-shard failures are captured in the outcome.
+pub fn run_pending_shards_with(
+    run_dir: &Path,
+    manifest: &Mutex<Manifest>,
+    options: &OrchestratorOptions,
+    transport: &dyn WorkerTransport,
 ) -> std::io::Result<RunOutcome> {
     std::fs::create_dir_all(run_dir)?;
     let (pending, fingerprint) = {
@@ -136,11 +284,11 @@ pub fn run_pending_shards(
                         m.shards[range.shard].attempts += 1;
                         m.save_in(run_dir).expect("checkpoint manifest");
                     }
-                    match run_one_shard(
+                    match run_attempt(
                         run_dir,
                         &range,
                         &fingerprint,
-                        command_for(&range),
+                        transport,
                         options.shard_timeout,
                     ) {
                         Ok(stats) => {
@@ -176,42 +324,38 @@ pub fn run_pending_shards(
     Ok(outcome)
 }
 
-/// Launches one worker and validates its stream end to end. On success the
-/// shard file is in place and the returned stats mirror the done event.
-/// With a timeout, a watchdog thread kills the worker at the deadline and
-/// the attempt fails with a timeout error (so the retry loop relaunches
-/// it like any other failed attempt).
-fn run_one_shard(
+/// Launches one worker attempt over `transport` and validates its stream
+/// end to end. On success the shard file is in place and the returned
+/// stats mirror the done event. With a timeout, a watchdog thread aborts
+/// the attempt at the deadline and it fails with a timeout error (so the
+/// retry loop relaunches it like any other failed attempt).
+fn run_attempt(
     run_dir: &Path,
     range: &ShardRange,
     expected_fingerprint: &str,
-    mut command: Command,
+    transport: &dyn WorkerTransport,
     timeout: Option<Duration>,
 ) -> Result<ShardStats, String> {
     let final_path = run_dir.join(shard_file_name(range.shard));
     let tmp_path = run_dir.join(format!("{}.tmp", shard_file_name(range.shard)));
-    let mut child = command
-        .stdin(Stdio::null())
-        .stdout(Stdio::piped())
-        .stderr(Stdio::inherit())
-        .spawn()
-        .map_err(|e| format!("cannot spawn worker: {e}"))?;
-    let stdout = child.stdout.take().expect("piped stdout");
-    let child = Arc::new(Mutex::new(child));
+    let mut attempt = transport.launch(range)?;
+    let stream = attempt.take_stream();
+    let stop_at_done = attempt.ends_at_done();
+    let abort = attempt.abort_handle();
     let reaped = Arc::new(AtomicBool::new(false));
     let expired = Arc::new(AtomicBool::new(false));
     let watchdog = timeout.map(|limit| {
-        let child = Arc::clone(&child);
+        let abort = attempt.abort_handle();
         let reaped = Arc::clone(&reaped);
         let expired = Arc::clone(&expired);
         std::thread::spawn(move || {
             let deadline = Instant::now() + limit;
             while !reaped.load(Ordering::Acquire) {
                 if Instant::now() >= deadline {
-                    // Killing closes the pipe, so the stream consumer
-                    // unblocks and the attempt is reported as failed.
+                    // Aborting breaks the stream, so the consumer unblocks
+                    // and the attempt is reported as failed.
                     expired.store(true, Ordering::Release);
-                    child.lock().expect("worker handle").kill().ok();
+                    abort();
                     return;
                 }
                 std::thread::sleep(WATCHDOG_POLL);
@@ -219,23 +363,20 @@ fn run_one_shard(
         })
     });
 
-    let result = consume_worker_stream(stdout, range, expected_fingerprint, &tmp_path);
+    let result =
+        consume_worker_stream(stream, range, expected_fingerprint, &tmp_path, stop_at_done);
     if result.is_err() {
-        // The stream is broken; make sure the process is gone before the
+        // The stream is broken; make sure the worker is gone before the
         // retry (it may still be producing).
-        child.lock().expect("worker handle").kill().ok();
+        abort();
     }
-    let status = child
-        .lock()
-        .expect("worker handle")
-        .wait()
-        .map_err(|e| format!("cannot reap worker: {e}"))?;
+    let finish = attempt.finish(result.is_ok());
     reaped.store(true, Ordering::Release);
     if let Some(watchdog) = watchdog {
         watchdog.join().expect("watchdog thread");
     }
     // A worker that produced a complete, validated stream before the
-    // deadline fired is a success even if the kill raced its exit; the
+    // deadline fired is a success even if the abort raced its exit; the
     // timeout verdict applies only to broken streams.
     if expired.load(Ordering::Acquire) && result.is_err() {
         std::fs::remove_file(&tmp_path).ok();
@@ -251,22 +392,52 @@ fn run_one_shard(
             return Err(reason);
         }
     };
-    if !status.success() {
+    if let Err(reason) = finish {
         std::fs::remove_file(&tmp_path).ok();
-        return Err(format!("worker exited with {status}"));
+        return Err(reason);
     }
     std::fs::rename(&tmp_path, &final_path)
         .map_err(|e| format!("cannot move shard file into place: {e}"))?;
     Ok(stats)
 }
 
-/// Parses and validates one worker's stdout, writing record lines to
-/// `tmp_path`.
+/// [`run_attempt`] for a single canned [`Command`] — the child-process
+/// fast path, kept for tests and one-off supervision.
+#[cfg(test)]
+fn run_one_shard(
+    run_dir: &Path,
+    range: &ShardRange,
+    expected_fingerprint: &str,
+    command: Command,
+    timeout: Option<Duration>,
+) -> Result<ShardStats, String> {
+    let slot = Mutex::new(Some(command));
+    let factory = move |_range: &ShardRange| {
+        slot.lock()
+            .expect("command slot")
+            .take()
+            .expect("single launch")
+    };
+    run_attempt(
+        run_dir,
+        range,
+        expected_fingerprint,
+        &ProcessTransport::new(&factory),
+        timeout,
+    )
+}
+
+/// Parses and validates one worker's protocol stream, writing record lines
+/// to `tmp_path`. With `stop_at_done` the consumer returns right after the
+/// validated done event (connection-reusing transports keep the stream
+/// open for the next assignment); without it the stream must run to EOF
+/// and any line after the done event is a protocol error.
 fn consume_worker_stream(
     stdout: impl std::io::Read,
     range: &ShardRange,
     expected_fingerprint: &str,
     tmp_path: &Path,
+    stop_at_done: bool,
 ) -> Result<ShardStats, String> {
     let file = std::fs::File::create(tmp_path)
         .map_err(|e| format!("cannot create {}: {e}", tmp_path.display()))?;
@@ -354,6 +525,9 @@ fn consume_worker_stream(
                     store_hits: event.store_hits,
                     store_misses: event.store_misses,
                 });
+                if stop_at_done {
+                    break;
+                }
             }
         }
     }

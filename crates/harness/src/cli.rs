@@ -19,7 +19,13 @@
 //!                  injection (message drop, crash-stop stations, churn,
 //!                  adversarial activation)
 //!   worker         run one shard of a subcommand, speaking the
-//!                  ring-distrib/v1 protocol on stdout (orchestrator use)
+//!                  ring-distrib/v1 protocol on stdout (orchestrator use);
+//!                  with --connect ADDR: register with a `serve` daemon
+//!                  and execute job frames over TCP until dismissed
+//!   serve          sweep-as-a-service daemon (--listen ADDR): accept
+//!                  sweep specs over HTTP/JSON, dispatch shards to
+//!                  registered TCP workers, stream per-case JSONL to
+//!                  subscribers; every run directory stays resumable
 //!   merge          k-way-merge shard JSONL files by case_index
 //!   resume         complete a partially-run sharded run directory
 //!   structures     maintain an on-disk structure store:
@@ -85,6 +91,21 @@
 //!                             worker exceeding it is killed and retried
 //!                             (recorded in the manifest, so `resume`
 //!                             supervises the same way)
+//!   --render-fig3 PATH        (`faults`, single-process) additionally
+//!                             write the Figure-3-style degradation
+//!                             artifact (median rounds and failure % per
+//!                             drop rate and ring size) to PATH
+//!   --listen ADDR             (`serve`) the daemon's bind address
+//!                             (host:port; port 0 picks a free port,
+//!                             published in <data-dir>/endpoint)
+//!   --data-dir DIR            (`serve`) daemon state directory (default
+//!                             results/serve): endpoint file plus one
+//!                             runs/run-NNNN/ directory per submission
+//!   --lease-timeout SECS      (`serve`) how long a shard attempt waits
+//!                             for an idle worker before counting as a
+//!                             retryable launch failure (default 600)
+//!   --connect ADDR            (`worker`) register with a serve daemon
+//!                             and execute its job frames over TCP
 //!   --stats                   print structure-cache / structure-store /
 //!                             executor statistics as JSON on stderr
 //!                             (fleet-wide aggregates for sharded runs)
@@ -108,7 +129,7 @@ use crate::store::StructureStore;
 use ring_combinat::shared::splitmix64;
 use ring_distrib::{
     fail_after_from_env, merge_shards, plan_shards, run_pending_shards, DoneEvent, Manifest,
-    OrchestratorOptions, ShardRange, ShardTally, SpecParams, StartEvent,
+    OrchestratorOptions, ShardTally, SpecParams, StartEvent,
 };
 use ring_experiments::distinguisher_scaling::ScalingSpec;
 use ring_experiments::report::{aggregate, format_markdown_table};
@@ -125,9 +146,12 @@ const USAGE: &str =
 [--quick] [--jobs N] [--sizes a,b,..] [--universe-factors a,b,..] [--reps K] [--seed S] \
 [--structure-seed-mode fixed|per-case] [--structure-seeds K] \
 [--fault-drops a,b,..] [--fault-crashes K] [--fault-churn K] [--fault-adversarial] \
-[--jsonl PATH|-] [--no-jsonl] [--shards M] [--shard i/M] [--run-dir DIR] [--retries R] \
+[--render-fig3 PATH] [--jsonl PATH|-] [--no-jsonl] [--shards M] [--shard i/M] [--run-dir DIR] [--retries R] \
 [--shard-timeout SECS] [--structure-store [DIR]] [--stats]
        ringlab worker <subcommand> --shard i/M [spec flags] [--structure-store DIR]
+       ringlab worker --connect ADDR
+       ringlab serve --listen ADDR [--data-dir DIR] [--jobs N] [--retries R] \
+[--shard-timeout SECS] [--lease-timeout SECS]
        ringlab merge [--run-dir DIR | SHARD.jsonl ..] [--jsonl PATH|-]
        ringlab resume <RUN_DIR> [--jobs N] [--jsonl PATH|-] [--stats]
        ringlab structures <prebuild <subcommand> [spec flags] [--format v1|v2]\
@@ -171,6 +195,20 @@ struct Options {
     fault_adversarial: bool,
     /// `--shard-timeout` in seconds (`None` = unlimited).
     shard_timeout: Option<u64>,
+    /// `serve --listen ADDR`: the daemon's bind address.
+    listen: Option<String>,
+    /// `worker --connect ADDR`: register with a daemon instead of running
+    /// one stdio shard.
+    connect: Option<String>,
+    /// `serve --data-dir DIR`: the daemon's state directory (endpoint file
+    /// plus `runs/run-NNNN/` run directories).
+    data_dir: Option<String>,
+    /// `serve --lease-timeout SECS`: how long a shard attempt waits for an
+    /// idle worker before counting as a (retryable) launch failure.
+    lease_timeout: Option<u64>,
+    /// `faults --render-fig3 PATH`: write the Figure-3-style degradation
+    /// artifact alongside the tables (single-process `faults` only).
+    render_fig3: Option<String>,
     /// `structures prebuild --format v1`: write the legacy layout.
     v1_format: bool,
     stats: bool,
@@ -178,7 +216,7 @@ struct Options {
 }
 
 /// Subcommands `run` dispatches on (usage errors for anything else).
-const SUBCOMMANDS: [&str; 13] = [
+const SUBCOMMANDS: [&str; 14] = [
     "table1",
     "table2",
     "fig1",
@@ -192,6 +230,7 @@ const SUBCOMMANDS: [&str; 13] = [
     "merge",
     "resume",
     "structures",
+    "serve",
 ];
 
 /// The experiment subcommand an invocation's sweep spec resolves to: the
@@ -235,6 +274,7 @@ pub fn run(args: &[String]) -> i32 {
     }
     let result = match options.subcommand.as_str() {
         "worker" => cmd_worker(&options),
+        "serve" => cmd_serve(&options),
         "merge" => cmd_merge(&options),
         "resume" => cmd_resume(&options),
         "structures" => cmd_structures(&options),
@@ -382,6 +422,10 @@ fn cmd_experiment(options: &Options) -> Result<i32, String> {
         .flat_map(|r| r.measurements.iter().cloned())
         .collect();
     print_tables(&render_markdown(&measurements), destination.as_deref());
+    if let Some(path) = &options.render_fig3 {
+        write_fig3(path, &measurements)?;
+        eprintln!("ringlab: wrote the Figure 3 degradation artifact to {path}");
+    }
 
     let stats = engine.cache_stats();
     let store_note = common
@@ -632,10 +676,27 @@ fn run_items_with_offset(
     Ok(records)
 }
 
-/// `worker`: one shard of an experiment subcommand, speaking the
-/// ring-distrib/v1 protocol on stdout. Launched by the orchestrator (or by
-/// hand for debugging); stderr stays human-readable.
+/// `worker`: one shard of an experiment subcommand over stdio, or — with
+/// `--connect ADDR` — a long-lived TCP worker registered with a `ringlab
+/// serve` daemon. Either way the shard payload is the ring-distrib/v1
+/// protocol; stderr stays human-readable.
 fn cmd_worker(options: &Options) -> Result<i32, String> {
+    if let Some(addr) = options.connect.clone() {
+        return cmd_worker_connect(options, &addr);
+    }
+    run_worker_shard(options, std::io::stdout(), std::io::stdout())?;
+    Ok(0)
+}
+
+/// Runs one worker shard, writing the ring-distrib/v1 protocol — start
+/// event, record lines, done event — to the given writers (`event_out` and
+/// `record_out` are two handles onto the same stream: stdout twice for the
+/// child-process path, the daemon socket twice for `--connect`).
+fn run_worker_shard<E: Write, R: Write + Send>(
+    options: &Options,
+    mut event_out: E,
+    record_out: R,
+) -> Result<(), String> {
     let Some(subcommand) = options.positionals.first() else {
         return Err(format!("worker needs a subcommand\n{USAGE}"));
     };
@@ -649,23 +710,20 @@ fn cmd_worker(options: &Options) -> Result<i32, String> {
     let fingerprint = spec_fingerprint(subcommand, &spec, &scaling);
 
     let start = StartEvent::new(shard, of, range.start, range.end, &fingerprint);
-    {
-        let mut out = std::io::stdout();
-        writeln!(
-            out,
-            "{}",
-            serde_json::to_string(&start).expect("serializable event")
-        )
-        .and_then(|()| out.flush())
-        .map_err(|e| format!("cannot write to stdout: {e}"))?;
-    }
+    writeln!(
+        event_out,
+        "{}",
+        serde_json::to_string(&start).expect("serializable event")
+    )
+    .and_then(|()| event_out.flush())
+    .map_err(|e| format!("cannot write the start event: {e}"))?;
 
     // Orchestrated workers receive the run's store directory explicitly;
     // a hand-launched worker may also point itself at a shared one. The
-    // protocol owns stdout, so the shared JSONL destination is unused.
+    // protocol owns the stream, so the shared JSONL destination is unused.
     let common = options.common(|| DEFAULT_STORE_DIR.to_string(), || None);
     let engine = common.engine()?;
-    let tally = ShardTally::new(std::io::stdout(), fail_after_from_env());
+    let tally = ShardTally::new(record_out, fail_after_from_env());
     let sink = JsonlSink::new(tally);
     engine.run_with_offset(&items[range.start..range.end], range.start, Some(&sink));
     let tally = sink.finish();
@@ -682,10 +740,176 @@ fn cmd_worker(options: &Options) -> Result<i32, String> {
         exec.steals,
     )
     .with_store(store.hits, store.misses);
-    println!(
+    writeln!(
+        event_out,
         "{}",
         serde_json::to_string(&done).expect("serializable event")
+    )
+    .and_then(|()| event_out.flush())
+    .map_err(|e| format!("cannot write the done event: {e}"))?;
+    Ok(())
+}
+
+/// `worker --connect ADDR`: dial the daemon, register with a hello frame,
+/// and serve job frames until dismissed. A broken daemon socket mid-job
+/// abandons the shard (the orchestrator already counts it as a retryable
+/// failure) and reconnects; once the daemon is gone for good the worker
+/// exits cleanly.
+fn cmd_worker_connect(options: &Options, addr: &str) -> Result<i32, String> {
+    use std::io::{BufRead, BufReader};
+
+    if !options.positionals.is_empty() || options.shard.is_some() {
+        return Err(
+            "worker --connect takes no subcommand or --shard: jobs arrive as daemon frames".into(),
+        );
+    }
+    let name = format!("worker-{}", std::process::id());
+    let mut registered_before = false;
+    loop {
+        let stream = match connect_with_retry(addr) {
+            Ok(stream) => stream,
+            Err(e) if registered_before => {
+                eprintln!("ringlab: worker {name}: daemon at {addr} is gone ({e}); exiting");
+                return Ok(0);
+            }
+            Err(e) => return Err(format!("cannot connect to {addr}: {e}")),
+        };
+        let hello = serde::Value::Object(vec![
+            ("event".to_string(), serde::Value::Str("hello".to_string())),
+            (
+                "schema".to_string(),
+                serde::Value::Str(ring_serve::SCHEMA.to_string()),
+            ),
+            ("worker".to_string(), serde::Value::Str(name.clone())),
+        ]);
+        let mut hello_out = &stream;
+        if writeln!(
+            hello_out,
+            "{}",
+            serde_json::to_string(&hello).expect("serializable frame")
+        )
+        .and_then(|()| hello_out.flush())
+        .is_err()
+        {
+            continue;
+        }
+        registered_before = true;
+        eprintln!("ringlab: worker {name}: registered with {addr}");
+        let reader = BufReader::new(match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => continue,
+        });
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(frame) = serde_json::from_str(&line) else {
+                break;
+            };
+            match frame.get("event").and_then(serde::Value::as_str) {
+                Some("job") => {
+                    let argv: Vec<String> = frame
+                        .get("argv")
+                        .and_then(serde::Value::as_array)
+                        .map(|items| {
+                            items
+                                .iter()
+                                .filter_map(|v| v.as_str().map(str::to_string))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    if let Err(e) = run_tcp_job(&argv, &stream) {
+                        // The stream may hold a half-written shard: poison
+                        // the connection and re-register on a fresh one.
+                        eprintln!("ringlab: worker {name}: job failed: {e}");
+                        break;
+                    }
+                }
+                Some("shutdown") => {
+                    eprintln!("ringlab: worker {name}: dismissed by the daemon");
+                    return Ok(0);
+                }
+                _ => break,
+            }
+        }
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Connects to the daemon, retrying for ~5 seconds (a worker fleet often
+/// starts before — or reconnects across — the daemon's listener).
+fn connect_with_retry(addr: &str) -> Result<std::net::TcpStream, String> {
+    let mut last = String::from("no attempt made");
+    for attempt in 0..20 {
+        if attempt > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(250));
+        }
+        match std::net::TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = e.to_string(),
+        }
+    }
+    Err(last)
+}
+
+/// Executes one daemon job frame: parse the argv exactly like the
+/// child-process worker would have, then run the shard with the daemon
+/// socket as the protocol stream. Panics are caught so a poisoned case
+/// cannot take the whole worker down silently.
+fn run_tcp_job(argv: &[String], stream: &std::net::TcpStream) -> Result<(), String> {
+    let parsed = parse(argv).map_err(|e| format!("bad job argv: {e}"))?;
+    if parsed.subcommand != "worker" || parsed.connect.is_some() {
+        return Err("job frames must carry a plain `worker` argv".into());
+    }
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_worker_shard(&parsed, stream, stream)
+    })) {
+        Ok(result) => result,
+        Err(_) => Err("the shard panicked".into()),
+    }
+}
+
+/// `serve`: the sweep-as-a-service daemon. Accepts sweep specs over
+/// HTTP/JSON, dispatches shards to registered `worker --connect` processes
+/// over TCP, and streams per-case JSONL to subscribers; every run
+/// directory stays `ringlab resume`-able.
+fn cmd_serve(options: &Options) -> Result<i32, String> {
+    if !options.positionals.is_empty() {
+        return Err(format!("unexpected argument `{}`", options.positionals[0]));
+    }
+    let Some(listen) = options.listen.clone() else {
+        return Err(format!("serve requires --listen ADDR\n{USAGE}"));
+    };
+    let data_dir = PathBuf::from(
+        options
+            .data_dir
+            .clone()
+            .unwrap_or_else(|| "results/serve".to_string()),
     );
+    // The resolver replays a submitted spec through the exact same
+    // enumeration pipeline the CLI uses, so a daemon run records the same
+    // fingerprint (and case count) a `ringlab sweep` of the spec would.
+    let runtime = options.clone();
+    let resolver: ring_serve::SpecResolver = Box::new(move |spec: &SpecParams| {
+        let resolved = options_from_spec(spec, &runtime);
+        let sweep = sweep_spec(&resolved);
+        let scaling = scaling_spec(&resolved);
+        let items = items_for(&spec.subcommand, &sweep, &scaling)?;
+        Ok(ring_serve::ResolvedSpec {
+            total_cases: items.len(),
+            fingerprint: spec_fingerprint(&spec.subcommand, &sweep, &scaling),
+        })
+    });
+    ring_serve::serve(ring_serve::ServeConfig {
+        listen,
+        data_dir,
+        jobs_per_worker: if options.jobs == 0 { 1 } else { options.jobs },
+        retries: options.retries,
+        shard_timeout: options.shard_timeout.map(std::time::Duration::from_secs),
+        lease_timeout: std::time::Duration::from_secs(options.lease_timeout.unwrap_or(600)),
+        resolver,
+    })?;
     Ok(0)
 }
 
@@ -854,13 +1078,7 @@ fn orchestrate_and_finish(
     let start = Instant::now();
     let outcome = run_pending_shards(run_dir, manifest, &orchestration, &|range| {
         let mut cmd = Command::new(&exe);
-        cmd.args(worker_args(
-            &spec_params,
-            jobs_per_worker,
-            range,
-            shard_count,
-            &store_dir,
-        ));
+        cmd.args(spec_params.worker_args(jobs_per_worker, range, shard_count, &store_dir));
         cmd
     })
     .map_err(|e| format!("orchestration failed: {e}"))?;
@@ -1115,74 +1333,6 @@ fn cmd_merge(options: &Options) -> Result<i32, String> {
     Ok(0)
 }
 
-/// The argv a worker process needs to run one shard of a recorded spec
-/// (`structure_store` empty = the run has no store).
-fn worker_args(
-    spec: &SpecParams,
-    jobs_per_worker: usize,
-    range: &ShardRange,
-    shard_count: usize,
-    structure_store: &str,
-) -> Vec<String> {
-    let mut args = vec![
-        "worker".to_string(),
-        spec.subcommand.clone(),
-        "--shard".to_string(),
-        format!("{}/{shard_count}", range.shard),
-        "--jobs".to_string(),
-        jobs_per_worker.to_string(),
-    ];
-    if !structure_store.is_empty() {
-        args.push("--structure-store".into());
-        args.push(structure_store.to_string());
-    }
-    if spec.quick {
-        args.push("--quick".into());
-    }
-    if let Some(sizes) = &spec.sizes {
-        args.push("--sizes".into());
-        args.push(join_list(sizes));
-    }
-    if let Some(factors) = &spec.universe_factors {
-        args.push("--universe-factors".into());
-        args.push(join_list(factors));
-    }
-    if let Some(reps) = spec.reps {
-        args.push("--reps".into());
-        args.push(reps.to_string());
-    }
-    if let Some(seed) = spec.seed {
-        args.push("--seed".into());
-        args.push(seed.to_string());
-    }
-    if let Some(k) = spec.structure_seeds {
-        args.push("--structure-seed-mode".into());
-        args.push("per-case".into());
-        args.push("--structure-seeds".into());
-        args.push(k.to_string());
-    }
-    if let Some(drops) = &spec.fault_drops {
-        args.push("--fault-drops".into());
-        args.push(join_list(drops));
-    }
-    if let Some(crashes) = spec.fault_crashes {
-        args.push("--fault-crashes".into());
-        args.push(crashes.to_string());
-    }
-    if let Some(churn) = spec.fault_churn {
-        args.push("--fault-churn".into());
-        args.push(churn.to_string());
-    }
-    if spec.fault_adversarial {
-        args.push("--fault-adversarial".into());
-    }
-    args
-}
-
-fn join_list<T: std::fmt::Display>(items: &[T]) -> String {
-    items.iter().map(T::to_string).collect::<Vec<_>>().join(",")
-}
-
 /// Rebuilds the spec-affecting options recorded in a manifest, keeping the
 /// caller's runtime flags (jobs, retries, stats).
 fn options_from_spec(spec: &SpecParams, runtime: &Options) -> Options {
@@ -1419,6 +1569,105 @@ fn render_faults_table(measurements: &[&Measurement]) -> String {
     out
 }
 
+/// The Figure-3-style degradation artifact: per protocol, the median
+/// rounds to completion as the message-drop rate grows — one row per drop
+/// rate, one column per ring size, the failure percentage of runs in
+/// parentheses. Built from the same measurement pairs as the faults table,
+/// aggregated over universes and repetitions (and over the crash/churn
+/// axes, so render it from a drop-only sweep for a clean Figure 3).
+fn render_fig3(measurements: &[Measurement]) -> String {
+    use std::collections::{BTreeMap, BTreeSet};
+    #[derive(Default)]
+    struct Cell {
+        completed_rounds: Vec<f64>,
+        runs: usize,
+    }
+    let drop_rate = |setting: &str| -> Option<u64> {
+        setting
+            .strip_prefix("drop ")
+            .and_then(|rest| rest.split('/').next())
+            .and_then(|digits| digits.parse().ok())
+    };
+    let mut cells: BTreeMap<(String, u64, usize), Cell> = BTreeMap::new();
+    let mut sizes: BTreeSet<usize> = BTreeSet::new();
+    for m in measurements.iter().filter(|m| m.experiment == "faults") {
+        let Some((problem, kind)) = m.quantity.rsplit_once(": ") else {
+            continue;
+        };
+        if kind != "rounds" {
+            continue;
+        }
+        let Some(drop) = drop_rate(&m.setting) else {
+            continue;
+        };
+        sizes.insert(m.n);
+        let cell = cells.entry((problem.to_string(), drop, m.n)).or_default();
+        cell.runs += 1;
+        if let Some(rounds) = m.value {
+            cell.completed_rounds.push(rounds);
+        }
+    }
+    let mut out = String::from(
+        "# Figure 3 — protocol degradation under message loss\n\n\
+         Median rounds to completion per per-mille message-drop rate; the\n\
+         failure percentage of runs (round-limit hits) in parentheses. `-`\n\
+         marks a cell where no run completed.\n",
+    );
+    for cell in cells.values_mut() {
+        cell.completed_rounds
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite round counts"));
+    }
+    let problems: BTreeSet<String> = cells.keys().map(|(p, _, _)| p.clone()).collect();
+    let drops: BTreeSet<u64> = cells.keys().map(|&(_, d, _)| d).collect();
+    for problem in problems {
+        out.push_str(&format!("\n## {problem}\n\n| drop (per mille) |"));
+        for &n in &sizes {
+            out.push_str(&format!(" n={n} |"));
+        }
+        out.push_str("\n|---|");
+        out.push_str(&"---|".repeat(sizes.len()));
+        out.push('\n');
+        for &drop in &drops {
+            out.push_str(&format!("| {drop} |"));
+            for &n in &sizes {
+                match cells.get(&(problem.clone(), drop, n)) {
+                    None => out.push_str(" · |"),
+                    Some(cell) => {
+                        let failures = cell.runs - cell.completed_rounds.len();
+                        let failure_pct = 100.0 * failures as f64 / cell.runs.max(1) as f64;
+                        let p50 = if cell.completed_rounds.is_empty() {
+                            "-".to_string()
+                        } else {
+                            let idx =
+                                ((cell.completed_rounds.len() - 1) as f64 * 0.5).round() as usize;
+                            format!("{:.0}", cell.completed_rounds[idx])
+                        };
+                        out.push_str(&format!(" {p50} ({failure_pct:.0}%) |"));
+                    }
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Writes the `--render-fig3` artifact atomically (tmp + rename), creating
+/// parent directories as needed.
+fn write_fig3(path: &str, measurements: &[Measurement]) -> Result<(), String> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, render_fig3(measurements))
+        .map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot finalize {path}: {e}"))?;
+    Ok(())
+}
+
 fn sweep_spec(options: &Options) -> SweepSpec {
     let mut spec = if options.quick {
         SweepSpec::quick()
@@ -1496,6 +1745,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
         fault_churn: None,
         fault_adversarial: false,
         shard_timeout: None,
+        listen: None,
+        connect: None,
+        data_dir: None,
+        lease_timeout: None,
+        render_fig3: None,
         v1_format: false,
         stats: false,
         positionals: Vec::new(),
@@ -1624,6 +1878,17 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 );
             }
             "--jsonl" => options.jsonl = Some(value_of("--jsonl")?),
+            "--listen" => options.listen = Some(value_of("--listen")?),
+            "--connect" => options.connect = Some(value_of("--connect")?),
+            "--data-dir" => options.data_dir = Some(value_of("--data-dir")?),
+            "--lease-timeout" => {
+                options.lease_timeout = Some(
+                    value_of("--lease-timeout")?
+                        .parse()
+                        .map_err(|_| "--lease-timeout expects seconds".to_string())?,
+                );
+            }
+            "--render-fig3" => options.render_fig3 = Some(value_of("--render-fig3")?),
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             other => options.positionals.push(other.to_string()),
         }
@@ -1722,6 +1987,29 @@ keyed by the scaling seed; use --seed)"
     if options.shard_timeout == Some(0) {
         return Err("--shard-timeout expects a positive number of seconds".into());
     }
+    if options.listen.is_some() && options.subcommand != "serve" {
+        return Err("--listen applies only to the `serve` subcommand".into());
+    }
+    if options.connect.is_some() && options.subcommand != "worker" {
+        return Err("--connect applies only to the `worker` subcommand".into());
+    }
+    if (options.data_dir.is_some() || options.lease_timeout.is_some())
+        && options.subcommand != "serve"
+    {
+        return Err("--data-dir and --lease-timeout apply only to the `serve` subcommand".into());
+    }
+    if options.lease_timeout == Some(0) {
+        return Err("--lease-timeout expects a positive number of seconds".into());
+    }
+    if options.render_fig3.is_some()
+        && (options.subcommand != "faults" || options.shards != 0 || options.shard.is_some())
+    {
+        return Err(
+            "--render-fig3 applies only to a single-process `faults` run \
+             (render it from the merged stream after a sharded run)"
+                .into(),
+        );
+    }
     Ok(options)
 }
 
@@ -1751,6 +2039,7 @@ pub fn main_with_subcommand(subcommand: Option<&str>) -> ! {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ring_distrib::ShardRange;
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
@@ -1840,7 +2129,7 @@ mod tests {
             start: 4,
             end: 8,
         };
-        let argv = worker_args(&spec, 1, &range, 3, "run/structures");
+        let argv = spec.worker_args(1, &range, 3, "run/structures");
         let parsed = parse(&argv).unwrap();
         assert_eq!(parsed.subcommand, "worker");
         assert_eq!(parsed.positionals, vec!["sweep".to_string()]);
@@ -1859,7 +2148,7 @@ mod tests {
         assert_eq!(rebuilt.structure_seeds, Some(3));
 
         // A storeless run adds no flag.
-        let argv = worker_args(&spec, 1, &range, 3, "");
+        let argv = spec.worker_args(1, &range, 3, "");
         assert!(!argv.iter().any(|a| a == "--structure-store"));
         // A clean spec adds no fault flags.
         assert!(!argv.iter().any(|a| a.starts_with("--fault")));
@@ -1927,7 +2216,7 @@ mod tests {
             start: 0,
             end: 2,
         };
-        let argv = worker_args(&spec_params, 1, &range, 2, "");
+        let argv = spec_params.worker_args(1, &range, 2, "");
         let worker = parse(&argv).unwrap();
         assert_eq!(effective_subcommand(&worker), "faults");
         assert_eq!(sweep_spec(&worker).faults, spec.faults);

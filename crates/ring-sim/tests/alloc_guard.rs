@@ -1,0 +1,116 @@
+//! Allocation guard for the hot round loop: after a warm-up has sized the
+//! reusable [`RoundBuffers`] arena, executing further rounds through the
+//! event engine (the reference executor the faulty sweeps lean on) must
+//! perform **zero** heap allocations. A counting global allocator measures
+//! an exact replay of the warm-up rounds against a fresh `RingState`, so
+//! any per-round allocation sneaking back into the engines fails the test
+//! deterministically.
+
+use ring_sim::{EngineKind, ObjectiveDirection, RingConfig, RingState, RoundBuffers};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The system allocator with an allocation counter bolted on.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A growth of an existing buffer is an allocation for this test's
+        // purposes: the arena is supposed to have reached steady state.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A deterministic per-round direction pattern that exercises both
+/// movement directions and collisions (without allocating: the slice is
+/// mutated in place).
+fn fill_directions(directions: &mut [ObjectiveDirection], round: u64) {
+    for (agent, slot) in directions.iter_mut().enumerate() {
+        // Mix round and agent so the collision structure changes from
+        // round to round.
+        let bit = (round.wrapping_mul(0x9e37_79b9) >> (agent % 13)) & 1;
+        *slot = if bit == 0 {
+            ObjectiveDirection::Clockwise
+        } else {
+            ObjectiveDirection::Anticlockwise
+        };
+    }
+}
+
+/// Replays `rounds` identical rounds through a fresh state into the given
+/// arena, returning the final rotation index as a use of the results.
+fn replay(
+    config: &RingConfig,
+    bufs: &mut RoundBuffers,
+    directions: &mut [ObjectiveDirection],
+    rounds: u64,
+) -> usize {
+    let mut state = RingState::new(config);
+    let mut last = 0usize;
+    for round in 0..rounds {
+        fill_directions(directions, round);
+        last = state
+            .execute_round_objective_into(directions, EngineKind::Event, bufs)
+            .expect("round executes")
+            .shift;
+    }
+    last
+}
+
+#[test]
+fn event_engine_rounds_allocate_nothing_after_warmup() {
+    const ROUNDS: u64 = 64;
+    for n in [8usize, 13] {
+        let config = RingConfig::builder(n)
+            .random_positions(2015)
+            .alternating_chirality()
+            .build()
+            .expect("valid config");
+        let mut bufs = RoundBuffers::new();
+        let mut directions = vec![ObjectiveDirection::Clockwise; n];
+
+        // Warm-up: size every buffer in the arena, including the event
+        // engine's collision scratch.
+        let warm = replay(&config, &mut bufs, &mut directions, ROUNDS);
+
+        // Measured replay of the *identical* rounds against a fresh state:
+        // the arena is at steady state, so the loop must not allocate.
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let replayed = replay(&config, &mut bufs, &mut directions, ROUNDS);
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+        assert_eq!(warm, replayed, "replay must be deterministic");
+        // `RingState::new` itself owns per-state slot vectors; everything
+        // else — 64 rounds of event-engine execution — must reuse the
+        // arena. Allow exactly the state construction's allocations by
+        // measuring them separately.
+        let state_before = ALLOCATIONS.load(Ordering::Relaxed);
+        let state = RingState::new(&config);
+        let state_after = ALLOCATIONS.load(Ordering::Relaxed);
+        drop(state);
+        let state_cost = state_after - state_before;
+
+        let total = after - before;
+        assert!(
+            total <= state_cost,
+            "n = {n}: {total} allocations across {ROUNDS} warm rounds \
+             (state construction accounts for {state_cost}); the round loop \
+             must be allocation-free after warm-up"
+        );
+    }
+}

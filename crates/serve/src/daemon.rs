@@ -1,0 +1,666 @@
+//! The `ringlab serve` daemon.
+//!
+//! One listening socket carries both faces of the service. A connecting
+//! peer is classified by its first byte: a JSON frame (`{`) is a worker
+//! registering with a `ring-serve/v1` hello, anything else is an HTTP
+//! client. HTTP requests are parsed incrementally by a small non-blocking
+//! poll loop; workers, once registered, move to the [`WorkerPool`] and are
+//! leased out per shard attempt by the orchestrator's TCP transport.
+//!
+//! Runs are multi-tenant: each `POST /v1/runs` creates
+//! `<data-dir>/runs/run-NNNN/` with a standard `ring-distrib/v1`
+//! `manifest.json`, so every daemon run directory is *also* a valid target
+//! for `ringlab resume` — the daemon adds queueing and remote dispatch,
+//! not a new on-disk format. A scheduler thread executes runs one at a
+//! time (shard-level parallelism comes from the worker pool), reusing the
+//! orchestrator's retry/watchdog supervision unchanged; when every shard
+//! lands, the shard files are merged into `merged.jsonl`, byte-identical
+//! to the single-process sweep. Subscribers on
+//! `GET /v1/runs/<id>/results` receive the per-case JSONL as shards land,
+//! in case order (the contiguous shard plan makes "complete prefix of
+//! shards, concatenated" equal to the final merge order).
+
+use crate::http::{self, Request};
+use crate::pool::{TcpWorkerTransport, WorkerPool};
+use crate::SCHEMA;
+use ring_distrib::{
+    merge_shards, plan_shards, run_pending_shards_with, Manifest, OrchestratorOptions, ShardStatus,
+    SpecParams,
+};
+use serde::Value;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A resolved sweep spec: what the daemon needs from the scenario layer to
+/// plan and validate a run without depending on it.
+pub struct ResolvedSpec {
+    /// Number of cases the spec enumerates.
+    pub total_cases: usize,
+    /// The spec fingerprint workers must reproduce (hex, `0x…`).
+    pub fingerprint: String,
+}
+
+/// Resolves submitted spec parameters against the scenario engine (the
+/// harness injects this; an `Err` rejects the submission with a 400).
+pub type SpecResolver = Box<dyn Fn(&SpecParams) -> Result<ResolvedSpec, String> + Send + Sync>;
+
+/// Daemon configuration.
+pub struct ServeConfig {
+    /// Listen address (`127.0.0.1:0` picks a free port; the resolved
+    /// address lands in `<data-dir>/endpoint`).
+    pub listen: String,
+    /// Root of the daemon's state: `endpoint` plus `runs/run-NNNN/`.
+    pub data_dir: PathBuf,
+    /// `--jobs` passed to each remote worker shard.
+    pub jobs_per_worker: usize,
+    /// Per-shard retry budget (extra attempts after a failed one).
+    pub retries: u32,
+    /// Per-attempt wall-clock budget (`None` = unlimited).
+    pub shard_timeout: Option<Duration>,
+    /// How long a shard attempt waits for an idle worker before counting
+    /// as a failed launch.
+    pub lease_timeout: Duration,
+    /// The scenario-layer spec resolver.
+    pub resolver: SpecResolver,
+}
+
+/// How often pollers sleep when nothing is readable, and how often result
+/// subscribers re-read the manifest.
+const POLL_SLEEP: Duration = Duration::from_millis(5);
+const SUBSCRIBE_POLL: Duration = Duration::from_millis(50);
+
+/// Idle HTTP connections are dropped after this long without a complete
+/// request.
+const CONN_IDLE_LIMIT: Duration = Duration::from_secs(10);
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RunStatus {
+    Queued,
+    Running,
+    Complete,
+    Failed,
+}
+
+impl RunStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            RunStatus::Queued => "queued",
+            RunStatus::Running => "running",
+            RunStatus::Complete => "complete",
+            RunStatus::Failed => "failed",
+        }
+    }
+}
+
+struct RunRecord {
+    id: usize,
+    dir: PathBuf,
+    status: RunStatus,
+    error: Option<String>,
+}
+
+struct Daemon {
+    config: ServeConfig,
+    pool: Arc<WorkerPool>,
+    runs: Mutex<Vec<RunRecord>>,
+    queue: Mutex<VecDeque<usize>>,
+    queue_signal: Condvar,
+    shutting_down: AtomicBool,
+}
+
+/// Runs the daemon until `POST /v1/shutdown`.
+///
+/// # Errors
+///
+/// Returns a description of setup failures (bad listen address, unwritable
+/// data directory); per-run failures are reported through the status API.
+pub fn serve(config: ServeConfig) -> Result<(), String> {
+    let runs_dir = config.data_dir.join("runs");
+    std::fs::create_dir_all(&runs_dir)
+        .map_err(|e| format!("cannot create {}: {e}", runs_dir.display()))?;
+    let listener = TcpListener::bind(&config.listen)
+        .map_err(|e| format!("cannot listen on {}: {e}", config.listen))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve the bound address: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot unblock the listener: {e}"))?;
+    write_endpoint_file(&config.data_dir, &addr.to_string())?;
+    eprintln!(
+        "ring-serve: listening on {addr} (data dir {})",
+        config.data_dir.display()
+    );
+
+    let daemon = Arc::new(Daemon {
+        config,
+        pool: Arc::new(WorkerPool::new()),
+        runs: Mutex::new(Vec::new()),
+        queue: Mutex::new(VecDeque::new()),
+        queue_signal: Condvar::new(),
+        shutting_down: AtomicBool::new(false),
+    });
+
+    let scheduler = {
+        let daemon = Arc::clone(&daemon);
+        std::thread::spawn(move || scheduler_loop(&daemon))
+    };
+
+    let mut pending: Vec<PendingConn> = Vec::new();
+    while !daemon.shutting_down.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_ok() {
+                    pending.push(PendingConn {
+                        stream,
+                        buf: Vec::new(),
+                        since: Instant::now(),
+                    });
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(e) => eprintln!("ring-serve: accept failed: {e}"),
+        }
+        let mut keep = Vec::with_capacity(pending.len());
+        for mut conn in pending.drain(..) {
+            match step_connection(&daemon, &mut conn) {
+                ConnVerdict::Keep => keep.push(conn),
+                ConnVerdict::Done => {}
+            }
+        }
+        pending = keep;
+        std::thread::sleep(POLL_SLEEP);
+    }
+
+    // Drain: dismiss idle workers, wake the scheduler, let an in-flight
+    // run finish. Queued-but-unstarted runs stay `queued` on disk; their
+    // directories are valid `ringlab resume` targets.
+    daemon.pool.shutdown();
+    daemon.queue_signal.notify_all();
+    scheduler.join().expect("scheduler thread");
+    std::fs::remove_file(daemon.config.data_dir.join("endpoint")).ok();
+    eprintln!("ring-serve: shut down");
+    Ok(())
+}
+
+/// Publishes the bound address atomically as `<data-dir>/endpoint`, so
+/// scripts can `--listen 127.0.0.1:0` and read the port back.
+fn write_endpoint_file(data_dir: &std::path::Path, addr: &str) -> Result<(), String> {
+    let path = data_dir.join("endpoint");
+    let tmp = data_dir.join("endpoint.tmp");
+    std::fs::write(&tmp, format!("{addr}\n"))
+        .and_then(|()| std::fs::rename(&tmp, &path))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+struct PendingConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    since: Instant,
+}
+
+enum ConnVerdict {
+    Keep,
+    Done,
+}
+
+/// Advances one not-yet-classified connection: reads what is available,
+/// then either registers a worker, answers a complete HTTP request, or
+/// keeps waiting.
+fn step_connection(daemon: &Arc<Daemon>, conn: &mut PendingConn) -> ConnVerdict {
+    let mut eof = false;
+    let mut chunk = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                eof = true;
+                break;
+            }
+            Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                eof = true;
+                break;
+            }
+        }
+    }
+
+    if conn.buf.first() == Some(&b'{') {
+        // A worker hello frame: one JSON line.
+        if let Some(newline) = conn.buf.iter().position(|&b| b == b'\n') {
+            let line = String::from_utf8_lossy(&conn.buf[..newline]).to_string();
+            register_worker(daemon, conn, &line);
+            return ConnVerdict::Done;
+        }
+    } else if !conn.buf.is_empty() {
+        match http::parse_request(&conn.buf) {
+            Ok(Some((request, _))) => {
+                handle_request(daemon, conn, &request);
+                return ConnVerdict::Done;
+            }
+            Ok(None) => {}
+            Err(reason) => {
+                respond(conn, &http::error_response(400, "Bad Request", &reason));
+                return ConnVerdict::Done;
+            }
+        }
+    }
+
+    if eof || conn.since.elapsed() > CONN_IDLE_LIMIT {
+        conn.stream.shutdown(Shutdown::Both).ok();
+        return ConnVerdict::Done;
+    }
+    ConnVerdict::Keep
+}
+
+/// Validates a hello frame and moves the connection into the worker pool.
+fn register_worker(daemon: &Arc<Daemon>, conn: &mut PendingConn, line: &str) {
+    let frame = match serde_json::from_str(line) {
+        Ok(frame) => frame,
+        Err(e) => {
+            eprintln!("ring-serve: dropping peer with malformed hello: {e}");
+            conn.stream.shutdown(Shutdown::Both).ok();
+            return;
+        }
+    };
+    let event = frame.get("event").and_then(Value::as_str).unwrap_or("");
+    let schema = frame.get("schema").and_then(Value::as_str).unwrap_or("");
+    if event != "hello" || schema != SCHEMA {
+        eprintln!(
+            "ring-serve: dropping peer announcing event `{event}` schema `{schema}` \
+             (expected hello/{SCHEMA})"
+        );
+        conn.stream.shutdown(Shutdown::Both).ok();
+        return;
+    }
+    let name = frame
+        .get("worker")
+        .and_then(Value::as_str)
+        .unwrap_or("worker")
+        .to_string();
+    if conn.stream.set_nonblocking(false).is_err() {
+        conn.stream.shutdown(Shutdown::Both).ok();
+        return;
+    }
+    eprintln!("ring-serve: worker `{name}` registered");
+    daemon.pool.register(
+        name,
+        conn.stream.try_clone().expect("cloneable worker socket"),
+    );
+}
+
+/// Writes a complete response and closes the connection.
+fn respond(conn: &mut PendingConn, bytes: &[u8]) {
+    conn.stream.set_nonblocking(false).ok();
+    conn.stream.write_all(bytes).ok();
+    conn.stream.flush().ok();
+    conn.stream.shutdown(Shutdown::Both).ok();
+}
+
+/// Routes one HTTP request.
+fn handle_request(daemon: &Arc<Daemon>, conn: &mut PendingConn, request: &Request) {
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("GET", "/v1/healthz") => {
+            let body = Value::Object(vec![
+                ("schema".to_string(), Value::Str(SCHEMA.to_string())),
+                ("status".to_string(), Value::Str("ok".to_string())),
+            ]);
+            respond(conn, &http::json_response(200, "OK", &body));
+        }
+        ("GET", "/v1/workers") => {
+            let mut fields = vec![("schema".to_string(), Value::Str(SCHEMA.to_string()))];
+            if let Value::Object(snapshot) = daemon.pool.snapshot() {
+                fields.extend(snapshot);
+            }
+            respond(
+                conn,
+                &http::json_response(200, "OK", &Value::Object(fields)),
+            );
+        }
+        ("POST", "/v1/runs") => match submit_run(daemon, &request.body) {
+            Ok(body) => respond(conn, &http::json_response(202, "Accepted", &body)),
+            Err(reason) => respond(conn, &http::error_response(400, "Bad Request", &reason)),
+        },
+        ("GET", "/v1/runs") => {
+            let runs = daemon.runs.lock().expect("run table");
+            let list: Vec<Value> = runs.iter().map(run_summary).collect();
+            let body = Value::Object(vec![
+                ("schema".to_string(), Value::Str(SCHEMA.to_string())),
+                ("runs".to_string(), Value::Array(list)),
+            ]);
+            respond(conn, &http::json_response(200, "OK", &body));
+        }
+        ("POST", "/v1/shutdown") => {
+            let body = Value::Object(vec![
+                ("schema".to_string(), Value::Str(SCHEMA.to_string())),
+                (
+                    "status".to_string(),
+                    Value::Str("shutting-down".to_string()),
+                ),
+            ]);
+            respond(conn, &http::json_response(200, "OK", &body));
+            daemon.shutting_down.store(true, Ordering::Release);
+        }
+        ("GET", _) if path.starts_with("/v1/runs/") => handle_run_path(daemon, conn, path),
+        _ => respond(
+            conn,
+            &http::error_response(
+                404,
+                "Not Found",
+                &format!("no route for {} {path}", request.method),
+            ),
+        ),
+    }
+}
+
+/// `GET /v1/runs/<id>` (status + manifest) and `GET /v1/runs/<id>/results`
+/// (streamed JSONL).
+fn handle_run_path(daemon: &Arc<Daemon>, conn: &mut PendingConn, path: &str) {
+    let rest = &path["/v1/runs/".len()..];
+    let (id_text, results) = match rest.strip_suffix("/results") {
+        Some(id_text) => (id_text, true),
+        None => (rest, false),
+    };
+    let Ok(id) = id_text.parse::<usize>() else {
+        respond(
+            conn,
+            &http::error_response(404, "Not Found", &format!("bad run id `{id_text}`")),
+        );
+        return;
+    };
+    let record = {
+        let runs = daemon.runs.lock().expect("run table");
+        runs.iter()
+            .find(|r| r.id == id)
+            .map(|r| (r.dir.clone(), run_summary(r)))
+    };
+    let Some((dir, summary)) = record else {
+        respond(
+            conn,
+            &http::error_response(404, "Not Found", &format!("no run {id}")),
+        );
+        return;
+    };
+    if results {
+        conn.stream.set_nonblocking(false).ok();
+        let subscriber = conn
+            .stream
+            .try_clone()
+            .expect("cloneable subscriber socket");
+        let daemon = Arc::clone(daemon);
+        std::thread::spawn(move || stream_results(&daemon, id, &dir, subscriber));
+        return;
+    }
+    let mut fields = vec![("schema".to_string(), Value::Str(SCHEMA.to_string()))];
+    if let Value::Object(summary) = summary {
+        fields.extend(summary);
+    }
+    let manifest_path = Manifest::path_in(&dir);
+    match std::fs::read_to_string(&manifest_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+    {
+        Ok(manifest) => fields.push(("manifest".to_string(), manifest)),
+        Err(e) => fields.push(("manifest_error".to_string(), Value::Str(e))),
+    }
+    respond(
+        conn,
+        &http::json_response(200, "OK", &Value::Object(fields)),
+    );
+}
+
+fn run_summary(record: &RunRecord) -> Value {
+    let mut fields = vec![
+        ("run".to_string(), Value::Uint(record.id as u64)),
+        (
+            "dir".to_string(),
+            Value::Str(record.dir.display().to_string()),
+        ),
+        (
+            "status".to_string(),
+            Value::Str(record.status.as_str().to_string()),
+        ),
+    ];
+    if let Some(error) = &record.error {
+        fields.push(("error".to_string(), Value::Str(error.clone())));
+    }
+    Value::Object(fields)
+}
+
+/// Creates and enqueues a run from a `POST /v1/runs` body: the
+/// [`SpecParams`] fields plus optional `"shards"` (default: one per idle
+/// worker) and boolean `"structure_store"` (default off; the store lives
+/// inside the run directory).
+fn submit_run(daemon: &Arc<Daemon>, body: &[u8]) -> Result<Value, String> {
+    if daemon.shutting_down.load(Ordering::Acquire) {
+        return Err("the daemon is shutting down".into());
+    }
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let value = serde_json::from_str(text).map_err(|e| format!("malformed JSON body: {e}"))?;
+    let spec = SpecParams::from_json(&value)?;
+    let resolved = (daemon.config.resolver)(&spec)?;
+    if resolved.total_cases == 0 {
+        return Err("the spec enumerates no cases".into());
+    }
+    // An explicit count above the case total is honored — the plan just
+    // contains empty shards, exactly as `ringlab sweep --shards M` would;
+    // only the idle-worker default is clamped to something useful.
+    let shards = match value.get("shards").map(|v| v.as_u64()) {
+        Some(Some(n)) if n >= 1 => n as usize,
+        Some(_) => return Err("`shards` must be a positive integer".into()),
+        None => daemon.pool.idle_count().max(1).min(resolved.total_cases),
+    };
+    let use_store = match value.get("structure_store") {
+        None => false,
+        Some(v) => v.as_bool().ok_or("`structure_store` must be a boolean")?,
+    };
+
+    let (id, dir) = {
+        let mut runs = daemon.runs.lock().expect("run table");
+        let id = runs.last().map_or(1, |r| r.id + 1);
+        let dir = daemon
+            .config
+            .data_dir
+            .join("runs")
+            .join(format!("run-{id:04}"));
+        runs.push(RunRecord {
+            id,
+            dir: dir.clone(),
+            status: RunStatus::Queued,
+            error: None,
+        });
+        (id, dir)
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let output = dir.join("merged.jsonl").display().to_string();
+    let mut manifest = Manifest::new(
+        spec,
+        resolved.fingerprint,
+        resolved.total_cases,
+        &plan_shards(resolved.total_cases, shards),
+        daemon.config.jobs_per_worker,
+        output,
+    )
+    .with_shard_timeout(daemon.config.shard_timeout.map(|t| t.as_secs().max(1)));
+    if use_store {
+        manifest = manifest.with_structure_store(dir.join("structures").display().to_string());
+    }
+    manifest
+        .save_in(&dir)
+        .map_err(|e| format!("cannot write the run manifest: {e}"))?;
+
+    daemon.queue.lock().expect("run queue").push_back(id);
+    daemon.queue_signal.notify_one();
+    eprintln!(
+        "ring-serve: run {id} queued ({} cases, {shards} shards, dir {})",
+        resolved.total_cases,
+        dir.display()
+    );
+    Ok(Value::Object(vec![
+        ("schema".to_string(), Value::Str(SCHEMA.to_string())),
+        ("run".to_string(), Value::Uint(id as u64)),
+        ("status".to_string(), Value::Str("queued".to_string())),
+        ("dir".to_string(), Value::Str(dir.display().to_string())),
+        (
+            "total_cases".to_string(),
+            Value::Uint(resolved.total_cases as u64),
+        ),
+        ("shards".to_string(), Value::Uint(shards as u64)),
+    ]))
+}
+
+/// The scheduler: executes queued runs one at a time until shutdown.
+fn scheduler_loop(daemon: &Arc<Daemon>) {
+    loop {
+        let run_id = {
+            let mut queue = daemon.queue.lock().expect("run queue");
+            loop {
+                if daemon.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(id) = queue.pop_front() {
+                    break id;
+                }
+                queue = daemon
+                    .queue_signal
+                    .wait_timeout(queue, Duration::from_millis(200))
+                    .expect("run queue")
+                    .0;
+            }
+        };
+        set_run_status(daemon, run_id, RunStatus::Running, None);
+        eprintln!("ring-serve: run {run_id} started");
+        match execute_run(daemon, run_id) {
+            Ok(()) => {
+                set_run_status(daemon, run_id, RunStatus::Complete, None);
+                eprintln!("ring-serve: run {run_id} complete");
+            }
+            Err(reason) => {
+                eprintln!("ring-serve: run {run_id} failed: {reason}");
+                set_run_status(daemon, run_id, RunStatus::Failed, Some(reason));
+            }
+        }
+    }
+}
+
+fn set_run_status(daemon: &Arc<Daemon>, id: usize, status: RunStatus, error: Option<String>) {
+    let mut runs = daemon.runs.lock().expect("run table");
+    if let Some(record) = runs.iter_mut().find(|r| r.id == id) {
+        record.status = status;
+        record.error = error;
+    }
+}
+
+/// Dispatches one run's shards over the worker pool and merges the result.
+fn execute_run(daemon: &Arc<Daemon>, run_id: usize) -> Result<(), String> {
+    let dir = {
+        let runs = daemon.runs.lock().expect("run table");
+        runs.iter()
+            .find(|r| r.id == run_id)
+            .map(|r| r.dir.clone())
+            .ok_or("run vanished from the table")?
+    };
+    let manifest = Manifest::load(&dir)?;
+    let spec = manifest.spec.clone();
+    let jobs_per_worker = manifest.jobs_per_worker;
+    let shard_count = manifest.shards.len();
+    let structure_store = manifest.structure_store.clone();
+    let total_cases = manifest.total_cases;
+    let output = manifest.output.clone();
+    let recorded_timeout = manifest.shard_timeout.map(Duration::from_secs);
+
+    let options = OrchestratorOptions {
+        // Shard-level parallelism tracks the fleet present at launch;
+        // `run_pending_shards_with` clamps to the shard count.
+        concurrency: daemon.pool.idle_count().max(1),
+        retries: daemon.config.retries,
+        shard_timeout: recorded_timeout,
+    };
+    let transport = TcpWorkerTransport::new(
+        Arc::clone(&daemon.pool),
+        Box::new(move |range| {
+            spec.worker_args(jobs_per_worker, range, shard_count, &structure_store)
+        }),
+        daemon.config.lease_timeout,
+    );
+    let manifest = Mutex::new(manifest);
+    let outcome = run_pending_shards_with(&dir, &manifest, &options, &transport)
+        .map_err(|e| format!("orchestration failed: {e}"))?;
+    if !outcome.failed.is_empty() {
+        return Err(format!(
+            "{} shard(s) failed: {:?}; the run directory is resumable with \
+             `ringlab resume {}`",
+            outcome.failed.len(),
+            outcome.failed,
+            dir.display()
+        ));
+    }
+
+    let manifest = manifest.into_inner().expect("manifest lock");
+    let inputs = manifest.shard_files(&dir);
+    let tmp = dir.join("merged.jsonl.tmp");
+    let file =
+        std::fs::File::create(&tmp).map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
+    let mut out = std::io::BufWriter::new(file);
+    merge_shards(&inputs, &mut out, Some(total_cases)).map_err(|e| format!("merge failed: {e}"))?;
+    out.flush()
+        .map_err(|e| format!("cannot flush the merge: {e}"))?;
+    drop(out);
+    std::fs::rename(&tmp, &output)
+        .map_err(|e| format!("cannot move {} into place: {e}", output))?;
+    Ok(())
+}
+
+/// Streams a run's JSONL to one subscriber: the complete prefix of shards,
+/// concatenated in shard order, extended as further shards land. For the
+/// contiguous shard plan this is exactly the merge order, so a subscriber
+/// that reads to EOF on a completed run holds bytes identical to
+/// `merged.jsonl` (and to the single-process sweep).
+fn stream_results(daemon: &Arc<Daemon>, run_id: usize, dir: &std::path::Path, mut out: TcpStream) {
+    if out.write_all(&http::stream_head()).is_err() {
+        return;
+    }
+    let mut next_shard = 0usize;
+    while let Ok(manifest) = Manifest::load(dir) {
+        while next_shard < manifest.shards.len()
+            && manifest.shards[next_shard].status == ShardStatus::Complete
+        {
+            let path = dir.join(ring_distrib::shard_file_name(next_shard));
+            let streamed =
+                std::fs::File::open(&path).and_then(|mut file| std::io::copy(&mut file, &mut out));
+            if streamed.is_err() {
+                out.shutdown(Shutdown::Both).ok();
+                return;
+            }
+            next_shard += 1;
+        }
+        if next_shard == manifest.shards.len() {
+            break;
+        }
+        // A `complete` run status only appears after the manifest's last
+        // `mark_complete` checkpoint, so the next reload drains the tail;
+        // only a failed run or a draining daemon ends the stream short
+        // (the status endpoint tells the subscriber why).
+        let stalled = {
+            let runs = daemon.runs.lock().expect("run table");
+            runs.iter()
+                .find(|r| r.id == run_id)
+                .map(|r| r.status == RunStatus::Failed)
+                .unwrap_or(true)
+                || daemon.shutting_down.load(Ordering::Acquire)
+        };
+        if stalled {
+            break;
+        }
+        std::thread::sleep(SUBSCRIBE_POLL);
+    }
+    out.flush().ok();
+    out.shutdown(Shutdown::Both).ok();
+}

@@ -110,6 +110,12 @@ pub trait Serialize {
     fn to_json(&self) -> Value;
 }
 
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
 /// Marker trait emitted by `#[derive(Deserialize)]`.
 ///
 /// Nothing in this workspace deserializes — results are only written out —
