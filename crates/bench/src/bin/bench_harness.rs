@@ -40,6 +40,10 @@
 //!    store exists for, and it must beat `sharded_cold` — the
 //!    `store_vs_cold` field tracks the ratio.
 //!
+//! An **`obs_traced`** entry re-times the warm engine pass with span
+//! tracing enabled; its ratio against `parallel_cached` is the committed
+//! `obs_overhead` — the cost of `--trace`, which must stay near 1.0.
+//!
 //! The bench sweep is the distinguisher-scaling study at large `N`
 //! (`N = 2¹⁷`) with measurement repetitions, so structure construction
 //! dominates — exactly the regime the cache exists for (a fresh
@@ -100,6 +104,10 @@ struct Report {
     /// `sharded_cached` vs `parallel_cached` throughput (the steady-state
     /// multi-process pass against the warm single-process engine).
     sharded_vs_parallel: f64,
+    /// `obs_traced` vs `parallel_cached` elapsed time: the span-tracing
+    /// tax on a warm engine pass (metrics counters are always on; this
+    /// isolates the sidecar writes). Must stay near 1.0.
+    obs_overhead: f64,
     /// `sharded_store_warm` vs `sharded_cold` throughput: what a populated
     /// structure store buys a fleet that re-runs (or extends) a sweep,
     /// against rebuilding every structure per process.
@@ -427,6 +435,21 @@ fn main() {
         std::hint::black_box(parallel_engine.run::<Vec<u8>>(items, None));
     });
 
+    // 3c. The instrumentation tax: the same warm engine pass with span
+    //    tracing enabled (sidecar writes included). Metrics counters are
+    //    always on, so `obs_overhead` — the ratio against the untraced
+    //    parallel pass — isolates exactly what `--trace` costs, the
+    //    number that justifies leaving tracing available in production.
+    let trace_dir = std::env::temp_dir().join(format!("ring-bench-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&trace_dir).expect("create trace dir");
+    ring_obs::trace::init(&trace_dir).expect("init trace sidecar");
+    let obs_traced = time_run(&items, |items| {
+        std::hint::black_box(parallel_engine.run::<Vec<u8>>(items, None));
+    });
+    ring_obs::trace::shutdown();
+    std::fs::remove_dir_all(&trace_dir).ok();
+    let obs_overhead = obs_traced / parallel_cached.max(1e-9);
+
     // 3b. `--jobs-sweep`: the executor's scaling curve — the same engine
     //    pass at a ladder of worker-thread counts, each with its own
     //    warm-up so every point times a hot cache. On a single-core
@@ -631,6 +654,13 @@ fn main() {
             cases_per_sec: throughput(parallel_cached),
         },
         Entry {
+            name: "obs_traced".into(),
+            cases: items.len(),
+            jobs: parallel_jobs,
+            elapsed_ms: obs_traced * 1e3,
+            cases_per_sec: throughput(obs_traced),
+        },
+        Entry {
             name: "sharded_cold".into(),
             cases: items.len(),
             jobs: shard_count,
@@ -685,6 +715,7 @@ fn main() {
     }
     println!("sweep speedup (parallel_cached vs serial_fresh): {speedup:.1}x");
     println!("sharded steady state vs warm parallel engine: {sharded_vs_parallel:.1}x");
+    println!("span tracing tax on the warm engine pass: {obs_overhead:.2}x");
     println!("warm structure store vs storeless cold fleet: {store_vs_cold:.1}x");
     println!(
         "seed-diverse (K=4) store: {seeded_store_bytes} bytes vs {seeded_v1_equivalent_bytes} \
@@ -713,6 +744,7 @@ for one-file-per-seed v1 ({seeded_dedup:.2}x smaller)"
         entries,
         speedup,
         sharded_vs_parallel,
+        obs_overhead,
         store_vs_cold,
         seeded_store_bytes,
         seeded_v1_equivalent_bytes,
@@ -739,6 +771,12 @@ for one-file-per-seed v1 ({seeded_dedup:.2}x smaller)"
             "WARNING: steady-state sharded pass ({:.1}x) is slower than the warm \
              parallel engine",
             report.sharded_vs_parallel
+        );
+    }
+    if report.obs_overhead > 1.5 {
+        eprintln!(
+            "WARNING: span tracing costs {:.2}x on the warm engine pass",
+            report.obs_overhead
         );
     }
     if report.store_vs_cold < 1.0 {

@@ -85,6 +85,11 @@ pub struct ShardStats {
     pub store_hits: u64,
     /// Structure-store lookups that fell through to construction.
     pub store_misses: u64,
+    /// Wall-clock duration of the successful attempt in milliseconds.
+    pub attempt_ms: u64,
+    /// The worker's full `ring-obs/v1` metrics snapshot for the successful
+    /// attempt (`None` for streams from older workers).
+    pub metrics: Option<ring_obs::Snapshot>,
 }
 
 /// One shard's manifest entry.
@@ -114,6 +119,19 @@ pub struct ShardEntry {
     pub store_hits: u64,
     /// Structure-store misses of the completing worker.
     pub store_misses: u64,
+    /// Wall-clock duration of the *final successful* attempt in
+    /// milliseconds (0 until complete). Earlier killed or failed attempts
+    /// do not contribute — like every other per-shard statistic here.
+    pub attempt_ms: u64,
+    /// Watchdog kills this shard has absorbed across all attempts.
+    pub watchdog_kills: u64,
+    /// Total retry-backoff delay this shard has slept, in milliseconds.
+    pub backoff_ms: u64,
+    /// The completing worker's metrics snapshot (`None` until complete, and
+    /// for manifests written before metrics existed). Overwritten on every
+    /// completion, so a retried shard records exactly the final successful
+    /// attempt's snapshot.
+    pub metrics: Option<ring_obs::Snapshot>,
 }
 
 impl ShardEntry {
@@ -335,6 +353,10 @@ impl Manifest {
                     steals: 0,
                     store_hits: 0,
                     store_misses: 0,
+                    attempt_ms: 0,
+                    watchdog_kills: 0,
+                    backoff_ms: 0,
+                    metrics: None,
                 })
                 .collect(),
         }
@@ -424,6 +446,18 @@ impl Manifest {
                 // manifests from storeless runs simply lack them.
                 store_hits: optional_u64(entry, "store_hits")?.unwrap_or(0),
                 store_misses: optional_u64(entry, "store_misses")?.unwrap_or(0),
+                // The observability fields joined schema v1 later still;
+                // older manifests lack all of them.
+                attempt_ms: optional_u64(entry, "attempt_ms")?.unwrap_or(0),
+                watchdog_kills: optional_u64(entry, "watchdog_kills")?.unwrap_or(0),
+                backoff_ms: optional_u64(entry, "backoff_ms")?.unwrap_or(0),
+                metrics: match entry.get("metrics") {
+                    Some(v) if !v.is_null() => Some(
+                        ring_obs::Snapshot::from_json(v)
+                            .map_err(|e| format!("shard entry has a bad metrics snapshot: {e}"))?,
+                    ),
+                    _ => None,
+                },
             });
         }
         Ok(Manifest {
@@ -446,6 +480,11 @@ impl Manifest {
     }
 
     /// Marks a shard complete with its worker's accounting.
+    ///
+    /// Every statistic — including the metrics snapshot — is overwritten,
+    /// never accumulated: a shard retried after a watchdog kill records
+    /// exactly the final successful attempt's numbers, so fleet aggregates
+    /// cannot double-count work a killed attempt already did.
     pub fn mark_complete(&mut self, shard: usize, stats: &ShardStats) {
         let entry = &mut self.shards[shard];
         entry.status = ShardStatus::Complete;
@@ -456,6 +495,19 @@ impl Manifest {
         entry.steals = stats.steals;
         entry.store_hits = stats.store_hits;
         entry.store_misses = stats.store_misses;
+        entry.attempt_ms = stats.attempt_ms;
+        entry.metrics = stats.metrics.clone();
+    }
+
+    /// Records one watchdog kill against a shard (survives retries; this
+    /// is a lifetime tally, unlike the per-completion statistics).
+    pub fn note_watchdog_kill(&mut self, shard: usize) {
+        self.shards[shard].watchdog_kills += 1;
+    }
+
+    /// Adds retry-backoff sleep time to a shard's lifetime tally.
+    pub fn add_backoff_ms(&mut self, shard: usize, ms: u64) {
+        self.shards[shard].backoff_ms += ms;
     }
 
     /// Marks a shard failed (retry budget exhausted).
@@ -516,6 +568,8 @@ impl Manifest {
                 entry.status = ShardStatus::Pending;
                 entry.records = 0;
                 entry.checksum = String::new();
+                entry.attempt_ms = 0;
+                entry.metrics = None;
                 demoted.push(entry.shard);
             }
         }
@@ -533,6 +587,33 @@ impl Manifest {
                 total.steals += entry.steals;
                 total.store_hits += entry.store_hits;
                 total.store_misses += entry.store_misses;
+            }
+        }
+        total
+    }
+
+    /// Merges the completed shards' metrics snapshots into fleet totals.
+    ///
+    /// Only the final successful attempt of each shard contributes
+    /// (that is all [`Manifest::mark_complete`] keeps). Entries without a
+    /// snapshot — manifests from older workers — contribute counters
+    /// synthesized from their legacy per-shard fields, so aggregation
+    /// works across a mixed-version fleet.
+    pub fn aggregate_metrics(&self) -> ring_obs::Snapshot {
+        let mut total = ring_obs::Snapshot::default();
+        for entry in &self.shards {
+            if entry.status != ShardStatus::Complete {
+                continue;
+            }
+            match &entry.metrics {
+                Some(metrics) => total.merge(metrics),
+                None => {
+                    total.add_counter("cache_hits", entry.cache_hits);
+                    total.add_counter("cache_misses", entry.cache_misses);
+                    total.add_counter("executor_steals", entry.steals);
+                    total.add_counter("store_hits", entry.store_hits);
+                    total.add_counter("store_misses", entry.store_misses);
+                }
             }
         }
         total
@@ -618,6 +699,9 @@ mod tests {
     fn manifests_round_trip_through_json() {
         let mut manifest = sample_manifest().with_structure_store("run/structures".into());
         manifest.shards[0].attempts = 2;
+        let registry = ring_obs::Registry::new();
+        registry.counter("cache_hits").add(7);
+        registry.histogram("case_execute_ns").record(4096);
         manifest.mark_complete(
             0,
             &ShardStats {
@@ -628,8 +712,12 @@ mod tests {
                 steals: 1,
                 store_hits: 2,
                 store_misses: 1,
+                attempt_ms: 120,
+                metrics: Some(registry.snapshot()),
             },
         );
+        manifest.note_watchdog_kill(0);
+        manifest.add_backoff_ms(0, 250);
         manifest.mark_failed(2);
         let text = serde_json::to_string_pretty(&manifest).unwrap();
         let parsed = Manifest::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
@@ -647,6 +735,67 @@ mod tests {
         let stats = parsed.aggregate_stats();
         assert_eq!((stats.records, stats.cache_hits, stats.steals), (4, 7, 1));
         assert_eq!((stats.store_hits, stats.store_misses), (2, 1));
+        assert_eq!(parsed.shards[0].attempt_ms, 120);
+        assert_eq!(parsed.shards[0].watchdog_kills, 1);
+        assert_eq!(parsed.shards[0].backoff_ms, 250);
+        let metrics = parsed.aggregate_metrics();
+        assert_eq!(metrics.counter("cache_hits"), 7);
+        assert_eq!(metrics.histogram("case_execute_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn observability_fields_tolerate_absence() {
+        // A manifest written before the metrics layer existed lacks the
+        // per-shard attempt/watchdog/backoff tallies and the snapshot.
+        let manifest = sample_manifest();
+        let text = serde_json::to_string(&manifest).unwrap();
+        let stripped = text
+            .replace(",\"attempt_ms\":0", "")
+            .replace(",\"watchdog_kills\":0", "")
+            .replace(",\"backoff_ms\":0", "")
+            .replace(",\"metrics\":null", "");
+        assert_ne!(stripped, text, "the new fields must have been present");
+        let parsed = Manifest::from_json(&serde_json::from_str(&stripped).unwrap()).unwrap();
+        assert_eq!(parsed, manifest);
+    }
+
+    #[test]
+    fn aggregate_metrics_synthesizes_for_legacy_entries() {
+        let mut manifest = sample_manifest();
+        // Shard 0 completes with a real snapshot.
+        let registry = ring_obs::Registry::new();
+        registry.counter("cache_hits").add(10);
+        registry.counter("store_misses").add(4);
+        manifest.mark_complete(
+            0,
+            &ShardStats {
+                records: 4,
+                checksum: "fnv1a64:aa".into(),
+                cache_hits: 10,
+                store_misses: 4,
+                metrics: Some(registry.snapshot()),
+                ..ShardStats::default()
+            },
+        );
+        // Shard 1 completes the legacy way (no snapshot).
+        manifest.mark_complete(
+            1,
+            &ShardStats {
+                records: 3,
+                checksum: "fnv1a64:bb".into(),
+                cache_hits: 5,
+                steals: 2,
+                store_misses: 1,
+                ..ShardStats::default()
+            },
+        );
+        // Shard 2 stays pending: its numbers must not contribute.
+        manifest.shards[2].cache_hits = 99;
+
+        let metrics = manifest.aggregate_metrics();
+        assert_eq!(metrics.counter("cache_hits"), 15);
+        assert_eq!(metrics.counter("executor_steals"), 2);
+        assert_eq!(metrics.counter("store_misses"), 5);
     }
 
     #[test]

@@ -274,24 +274,44 @@ pub fn run_pending_shards_with(
                 let Some(range) = queue.lock().expect("shard queue").pop() else {
                     return;
                 };
+                let obs = ring_obs::global();
                 let mut completed = false;
                 for attempt in 0..=options.retries {
                     if attempt > 0 {
-                        std::thread::sleep(backoff_delay(range.shard, attempt));
+                        let delay = backoff_delay(range.shard, attempt);
+                        obs.counter("distrib_retries").inc();
+                        obs.counter("distrib_backoff_ms")
+                            .add(delay.as_millis() as u64);
+                        manifest
+                            .lock()
+                            .expect("manifest lock")
+                            .add_backoff_ms(range.shard, delay.as_millis() as u64);
+                        std::thread::sleep(delay);
                     }
                     {
                         let mut m = manifest.lock().expect("manifest lock");
                         m.shards[range.shard].attempts += 1;
                         m.save_in(run_dir).expect("checkpoint manifest");
                     }
-                    match run_attempt(
+                    obs.counter("distrib_attempts").inc();
+                    let attempt_start = Instant::now();
+                    let result = run_attempt(
                         run_dir,
                         &range,
                         &fingerprint,
                         transport,
                         options.shard_timeout,
-                    ) {
-                        Ok(stats) => {
+                    );
+                    let attempt_elapsed = attempt_start.elapsed();
+                    obs.histogram("distrib_attempt_ns")
+                        .record_duration(attempt_elapsed);
+                    match result {
+                        Ok(mut stats) => {
+                            // The stats — including the metrics snapshot —
+                            // come from exactly this, final successful,
+                            // attempt; `mark_complete` overwrites whatever
+                            // an earlier killed attempt might have left.
+                            stats.attempt_ms = attempt_elapsed.as_millis() as u64;
                             let mut m = manifest.lock().expect("manifest lock");
                             m.mark_complete(range.shard, &stats);
                             m.save_in(run_dir).expect("checkpoint manifest");
@@ -299,12 +319,19 @@ pub fn run_pending_shards_with(
                             completed = true;
                             break;
                         }
-                        Err(reason) => {
+                        Err(failure) => {
+                            if failure.watchdog_kill {
+                                obs.counter("distrib_watchdog_kills").inc();
+                                let mut m = manifest.lock().expect("manifest lock");
+                                m.note_watchdog_kill(range.shard);
+                                m.save_in(run_dir).expect("checkpoint manifest");
+                            }
                             eprintln!(
-                                "ring-distrib: shard {} attempt {}/{} failed: {reason}",
+                                "ring-distrib: shard {} attempt {}/{} failed: {}",
                                 range.shard,
                                 attempt + 1,
                                 options.retries + 1,
+                                failure.reason,
                             );
                         }
                     }
@@ -324,6 +351,25 @@ pub fn run_pending_shards_with(
     Ok(outcome)
 }
 
+/// Why one worker attempt failed. Watchdog kills are distinguished so the
+/// retry loop can tally them (in the manifest and the metrics registry)
+/// separately from ordinary crashes and protocol errors.
+struct AttemptFailure {
+    /// Human-readable description, passed through to stderr.
+    reason: String,
+    /// Whether the watchdog killed this attempt at the shard timeout.
+    watchdog_kill: bool,
+}
+
+impl AttemptFailure {
+    fn new(reason: String) -> Self {
+        AttemptFailure {
+            reason,
+            watchdog_kill: false,
+        }
+    }
+}
+
 /// Launches one worker attempt over `transport` and validates its stream
 /// end to end. On success the shard file is in place and the returned
 /// stats mirror the done event. With a timeout, a watchdog thread aborts
@@ -335,10 +381,11 @@ fn run_attempt(
     expected_fingerprint: &str,
     transport: &dyn WorkerTransport,
     timeout: Option<Duration>,
-) -> Result<ShardStats, String> {
+) -> Result<ShardStats, AttemptFailure> {
+    let _span = ring_obs::span!("shard_attempt", shard = range.shard);
     let final_path = run_dir.join(shard_file_name(range.shard));
     let tmp_path = run_dir.join(format!("{}.tmp", shard_file_name(range.shard)));
-    let mut attempt = transport.launch(range)?;
+    let mut attempt = transport.launch(range).map_err(AttemptFailure::new)?;
     let stream = attempt.take_stream();
     let stop_at_done = attempt.ends_at_done();
     let abort = attempt.abort_handle();
@@ -380,24 +427,27 @@ fn run_attempt(
     // timeout verdict applies only to broken streams.
     if expired.load(Ordering::Acquire) && result.is_err() {
         std::fs::remove_file(&tmp_path).ok();
-        return Err(format!(
-            "worker exceeded the {:.1}s shard timeout and was killed",
-            timeout.expect("expiry implies a timeout").as_secs_f64()
-        ));
+        return Err(AttemptFailure {
+            reason: format!(
+                "worker exceeded the {:.1}s shard timeout and was killed",
+                timeout.expect("expiry implies a timeout").as_secs_f64()
+            ),
+            watchdog_kill: true,
+        });
     }
     let stats = match result {
         Ok(stats) => stats,
         Err(reason) => {
             std::fs::remove_file(&tmp_path).ok();
-            return Err(reason);
+            return Err(AttemptFailure::new(reason));
         }
     };
     if let Err(reason) = finish {
         std::fs::remove_file(&tmp_path).ok();
-        return Err(reason);
+        return Err(AttemptFailure::new(reason));
     }
     std::fs::rename(&tmp_path, &final_path)
-        .map_err(|e| format!("cannot move shard file into place: {e}"))?;
+        .map_err(|e| AttemptFailure::new(format!("cannot move shard file into place: {e}")))?;
     Ok(stats)
 }
 
@@ -425,6 +475,7 @@ fn run_one_shard(
         &ProcessTransport::new(&factory),
         timeout,
     )
+    .map_err(|failure| failure.reason)
 }
 
 /// Parses and validates one worker's protocol stream, writing record lines
@@ -524,6 +575,9 @@ fn consume_worker_stream(
                     steals: event.steals,
                     store_hits: event.store_hits,
                     store_misses: event.store_misses,
+                    // Filled by the retry loop once the attempt is timed.
+                    attempt_ms: 0,
+                    metrics: event.metrics,
                 });
                 if stop_at_done {
                     break;
@@ -838,6 +892,84 @@ mod tests {
         let manifest = manifest.into_inner().unwrap();
         assert!(manifest.is_complete());
         assert_eq!(manifest.shards[0].attempts, 2);
+        // The kill and the retry backoff are tallied in the manifest.
+        assert_eq!(manifest.shards[0].watchdog_kills, 1);
+        assert!(manifest.shards[0].backoff_ms > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A full valid protocol stream whose done event carries a metrics
+    /// snapshot with `store_misses` misses (both as the legacy counter and
+    /// inside the snapshot).
+    fn protocol_script_with_misses(range: &ShardRange, store_misses: u64) -> String {
+        let mut lines = Vec::new();
+        lines.push(
+            serde_json::to_string(&StartEvent::new(
+                range.shard,
+                1,
+                range.start,
+                range.end,
+                "0xfeed",
+            ))
+            .unwrap(),
+        );
+        let mut hasher = crate::checksum::Fnv1a64::new();
+        for i in range.start..range.end {
+            let record = format!("{{\"case_index\":{i},\"n\":7}}");
+            hasher.update(record.as_bytes());
+            hasher.update(b"\n");
+            lines.push(record);
+        }
+        let registry = ring_obs::Registry::new();
+        registry.counter("store_misses").add(store_misses);
+        lines.push(
+            serde_json::to_string(
+                &DoneEvent::new(range.shard, range.len(), hasher.format(), 0, 0, 0)
+                    .with_store(0, store_misses)
+                    .with_metrics(registry.snapshot()),
+            )
+            .unwrap(),
+        );
+        lines
+            .iter()
+            .map(|l| format!("echo '{l}'"))
+            .collect::<Vec<_>>()
+            .join(" && ")
+    }
+
+    #[test]
+    fn retried_shards_record_only_the_final_attempts_metrics() {
+        let dir = temp_dir("final-metrics");
+        let manifest = Mutex::new(test_manifest(2, 1));
+        let options = OrchestratorOptions {
+            concurrency: 1,
+            retries: 1,
+            shard_timeout: None,
+        };
+        // Both attempts emit a complete, valid stream and done event; the
+        // first exits nonzero *after* its done event — a worker killed at
+        // the finish line, the worst case for double counting because its
+        // statistics were fully parsed before the attempt failed. Only the
+        // retry's numbers may survive.
+        let marker = dir.join("first-attempt");
+        let outcome = run_pending_shards(&dir, &manifest, &options, &|range| {
+            let first = protocol_script_with_misses(range, 5);
+            let second = protocol_script_with_misses(range, 1);
+            scripted_worker(format!(
+                "if [ ! -f {m} ]; then touch {m} && {first} && exit 3; else {second}; fi",
+                m = marker.display(),
+            ))
+        })
+        .unwrap();
+        assert_eq!(outcome.completed, vec![0]);
+        let manifest = manifest.into_inner().unwrap();
+        assert_eq!(manifest.shards[0].attempts, 2);
+        // Legacy counter and snapshot agree: final attempt only, no sum.
+        assert_eq!(manifest.shards[0].store_misses, 1);
+        let metrics = manifest.shards[0].metrics.as_ref().expect("snapshot");
+        assert_eq!(metrics.counter("store_misses"), 1);
+        assert_eq!(manifest.aggregate_stats().store_misses, 1);
+        assert_eq!(manifest.aggregate_metrics().counter("store_misses"), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -86,6 +86,11 @@ pub struct DoneEvent {
     pub store_hits: u64,
     /// On-disk structure-store lookups that fell through to construction.
     pub store_misses: u64,
+    /// Full `ring-obs/v1` metrics snapshot for exactly this shard attempt
+    /// (a delta against the worker process's registry, so a long-lived TCP
+    /// worker reports one job's metrics, not its lifetime totals). `None`
+    /// for streams from older workers.
+    pub metrics: Option<ring_obs::Snapshot>,
 }
 
 impl DoneEvent {
@@ -109,6 +114,7 @@ impl DoneEvent {
             steals,
             store_hits: 0,
             store_misses: 0,
+            metrics: None,
         }
     }
 
@@ -116,6 +122,12 @@ impl DoneEvent {
     pub fn with_store(mut self, store_hits: u64, store_misses: u64) -> Self {
         self.store_hits = store_hits;
         self.store_misses = store_misses;
+        self
+    }
+
+    /// Attaches the attempt's metrics snapshot.
+    pub fn with_metrics(mut self, metrics: ring_obs::Snapshot) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 }
@@ -185,6 +197,14 @@ pub fn parse_worker_line(line: &str) -> Result<WorkerLine<'_>, String> {
                 // a storeless worker simply omits them.
                 let optional_u64 =
                     |key: &str| value.get(key).and_then(serde::Value::as_u64).unwrap_or(0);
+                // Likewise absent (or null) in streams from older workers.
+                let metrics = match value.get("metrics") {
+                    Some(v) if !v.is_null() => Some(
+                        ring_obs::Snapshot::from_json(v)
+                            .map_err(|e| format!("`done` event has a bad metrics snapshot: {e}"))?,
+                    ),
+                    _ => None,
+                };
                 Ok(WorkerLine::Done(DoneEvent {
                     event: "done".into(),
                     shard: field_u64("shard")? as usize,
@@ -195,6 +215,7 @@ pub fn parse_worker_line(line: &str) -> Result<WorkerLine<'_>, String> {
                     steals: field_u64("steals")?,
                     store_hits: optional_u64("store_hits"),
                     store_misses: optional_u64("store_misses"),
+                    metrics,
                 }))
             }
             other => Err(format!("unknown worker event `{other}`")),
@@ -333,6 +354,15 @@ mod tests {
 
         let done =
             DoneEvent::new(1, 10, "fnv1a64:0011223344556677".into(), 5, 2, 1).with_store(4, 3);
+        let line = serde_json::to_string(&done).unwrap();
+        assert_eq!(parse_worker_line(&line).unwrap(), WorkerLine::Done(done));
+
+        // With a metrics snapshot attached, the full snapshot roundtrips.
+        let registry = ring_obs::Registry::new();
+        registry.counter("cache_hits").add(5);
+        registry.histogram("case_execute_ns").record(1234);
+        let done =
+            DoneEvent::new(2, 3, "fnv1a64:00".into(), 5, 0, 0).with_metrics(registry.snapshot());
         let line = serde_json::to_string(&done).unwrap();
         assert_eq!(parse_worker_line(&line).unwrap(), WorkerLine::Done(done));
     }

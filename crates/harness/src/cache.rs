@@ -105,13 +105,23 @@ impl StructureCache {
     /// first so its disk-tier walk (which may sleep waiting on another
     /// process's claim) never runs under a shard lock.
     pub(crate) fn peek(&self, key: &StructureKey) -> Option<CachedStructure> {
+        let started = std::time::Instant::now();
         let shard = (key.mix() % SHARD_COUNT as u64) as usize;
         let map = self.shards[shard].lock().expect("structure cache shard");
         let cached = map.get(key).cloned();
         if cached.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.note_tier1_hit(started);
         }
         cached
+    }
+
+    /// Counts a tier-1 hit and records how long the memo lookup (shard
+    /// lock plus map probe) took to serve it.
+    fn note_tier1_hit(&self, started: std::time::Instant) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        ring_obs::global()
+            .histogram("store_tier1_hit_ns")
+            .record(ring_obs::elapsed_ns(started));
     }
 
     /// Serves `key` from the memo, constructing it with `make` on first
@@ -126,10 +136,11 @@ impl StructureCache {
         key: StructureKey,
         make: impl FnOnce() -> CachedStructure,
     ) -> CachedStructure {
+        let started = std::time::Instant::now();
         let shard = (key.mix() % SHARD_COUNT as u64) as usize;
         let mut map = self.shards[shard].lock().expect("structure cache shard");
         if let Some(cached) = map.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.note_tier1_hit(started);
             return cached.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);

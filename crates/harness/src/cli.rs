@@ -28,6 +28,10 @@
 //!                  subscribers; every run directory stays resumable
 //!   merge          k-way-merge shard JSONL files by case_index
 //!   resume         complete a partially-run sharded run directory
+//!   trace          inspect span-trace sidecars:
+//!                    trace summarize <RUN_DIR>  aggregate the directory's
+//!                      trace-*.jsonl sidecars into a per-span time-budget
+//!                      table (count, total, share, p50/p90/p99)
 //!   structures     maintain an on-disk structure store:
 //!                    structures prebuild <sub> [spec flags] [--format v1|v2]
 //!                      construct and publish every structure the
@@ -109,6 +113,14 @@
 //!   --stats                   print structure-cache / structure-store /
 //!                             executor statistics as JSON on stderr
 //!                             (fleet-wide aggregates for sharded runs)
+//!   --trace                   write span-trace sidecars (one
+//!                             trace-<pid>.jsonl per process) into the
+//!                             trace directory; sweep output stays
+//!                             byte-identical — telemetry never touches
+//!                             stdout or shard files
+//!   --trace-dir DIR           trace sidecar directory (default: the run
+//!                             directory for sharded runs, results/trace
+//!                             otherwise; implies --trace)
 //! ```
 //!
 //! Results stream to the JSONL destination incrementally in case order and
@@ -147,13 +159,14 @@ const USAGE: &str =
 [--structure-seed-mode fixed|per-case] [--structure-seeds K] \
 [--fault-drops a,b,..] [--fault-crashes K] [--fault-churn K] [--fault-adversarial] \
 [--render-fig3 PATH] [--jsonl PATH|-] [--no-jsonl] [--shards M] [--shard i/M] [--run-dir DIR] [--retries R] \
-[--shard-timeout SECS] [--structure-store [DIR]] [--stats]
+[--shard-timeout SECS] [--structure-store [DIR]] [--stats] [--trace] [--trace-dir DIR]
        ringlab worker <subcommand> --shard i/M [spec flags] [--structure-store DIR]
        ringlab worker --connect ADDR
        ringlab serve --listen ADDR [--data-dir DIR] [--jobs N] [--retries R] \
 [--shard-timeout SECS] [--lease-timeout SECS]
        ringlab merge [--run-dir DIR | SHARD.jsonl ..] [--jsonl PATH|-]
        ringlab resume <RUN_DIR> [--jobs N] [--jsonl PATH|-] [--stats]
+       ringlab trace summarize <RUN_DIR>
        ringlab structures <prebuild <subcommand> [spec flags] [--format v1|v2]\
 |verify|gc|migrate|stats> [--structure-store DIR]";
 
@@ -212,11 +225,17 @@ struct Options {
     /// `structures prebuild --format v1`: write the legacy layout.
     v1_format: bool,
     stats: bool,
+    /// `--trace`: write span-trace sidecars. Runtime-only — never part of
+    /// the spec fingerprint, never visible in sweep output.
+    trace: bool,
+    /// `--trace-dir DIR`: explicit sidecar directory (implies `--trace`);
+    /// orchestrators pass the run directory to their workers through this.
+    trace_dir: Option<String>,
     positionals: Vec<String>,
 }
 
 /// Subcommands `run` dispatches on (usage errors for anything else).
-const SUBCOMMANDS: [&str; 14] = [
+const SUBCOMMANDS: [&str; 15] = [
     "table1",
     "table2",
     "fig1",
@@ -231,6 +250,7 @@ const SUBCOMMANDS: [&str; 14] = [
     "resume",
     "structures",
     "serve",
+    "trace",
 ];
 
 /// The experiment subcommand an invocation's sweep spec resolves to: the
@@ -272,14 +292,22 @@ pub fn run(args: &[String]) -> i32 {
         );
         return 2;
     }
+    if let Err(message) = init_trace(&options) {
+        eprintln!("ringlab: {message}");
+        return 1;
+    }
     let result = match options.subcommand.as_str() {
         "worker" => cmd_worker(&options),
         "serve" => cmd_serve(&options),
         "merge" => cmd_merge(&options),
         "resume" => cmd_resume(&options),
         "structures" => cmd_structures(&options),
+        "trace" => cmd_trace(&options),
         _ => cmd_experiment(&options),
     };
+    // Flush and close the sidecar whatever the outcome: a failed run's
+    // spans are exactly the ones worth reading.
+    ring_obs::trace::shutdown();
     match result {
         Ok(code) => code,
         Err(message) => {
@@ -287,6 +315,38 @@ pub fn run(args: &[String]) -> i32 {
             1
         }
     }
+}
+
+/// Switches the span-trace layer on when `--trace` (or `--trace-dir`) was
+/// given, resolving the sidecar directory against the invocation context:
+/// an explicit `--trace-dir` wins, sharded runs and resumes default into
+/// their run directory (next to the manifest the sidecars explain), and
+/// everything else into `results/trace`. Telemetry is strictly additive —
+/// sweep bytes are identical with tracing on or off.
+fn init_trace(options: &Options) -> Result<(), String> {
+    if !options.trace {
+        return Ok(());
+    }
+    let dir = options.trace_dir.clone().unwrap_or_else(|| {
+        if options.subcommand == "resume" {
+            options
+                .run_dir
+                .clone()
+                .or_else(|| options.positionals.first().cloned())
+                .unwrap_or_else(|| "results/trace".to_string())
+        } else if options.shards > 0 {
+            options.run_dir.clone().unwrap_or_else(|| {
+                format!("results/distrib/{}", options.subcommand.replace('-', "_"))
+            })
+        } else {
+            "results/trace".to_string()
+        }
+    });
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let path = ring_obs::trace::init(Path::new(&dir))
+        .map_err(|e| format!("cannot start the trace sidecar in {dir}: {e}"))?;
+    eprintln!("ringlab: tracing spans to {}", path.display());
+    Ok(())
 }
 
 /// The item list of an experiment subcommand.
@@ -471,8 +531,27 @@ fn print_tables(markdown: &str, destination: Option<&str>) {
     }
 }
 
+/// One engine's run as a registry snapshot (ring-obs/v1): the global
+/// registry's counters and histograms with the engine's own cache / store
+/// / executor counters overlaid under their canonical names. Every stats
+/// consumer — `--stats`, the worker done event, the daemon — reports from
+/// this one schema.
+fn engine_snapshot(engine: &SweepEngine) -> ring_obs::Snapshot {
+    let mut snapshot = ring_obs::global().snapshot();
+    let cache = engine.cache_stats();
+    let store = engine.store_stats();
+    let exec = engine.exec_stats();
+    snapshot.set_counter("cache_hits", cache.hits);
+    snapshot.set_counter("cache_misses", cache.misses);
+    snapshot.set_counter("store_hits", store.hits);
+    snapshot.set_counter("store_misses", store.misses);
+    snapshot.set_counter("executor_executed", exec.executed);
+    snapshot.set_counter("executor_steals", exec.steals);
+    snapshot
+}
+
 /// The engine's cache + store + executor statistics as one stderr JSON
-/// line.
+/// line, sourced from the [`engine_snapshot`] schema.
 fn print_engine_stats(engine: &SweepEngine) {
     #[derive(serde::Serialize)]
     struct Stats {
@@ -490,16 +569,29 @@ fn print_engine_stats(engine: &SweepEngine) {
         hit_rate: f64,
         structures: usize,
     }
-    let cache = engine.cache_stats();
+    let snapshot = engine_snapshot(engine);
+    let hits = snapshot.counter("cache_hits");
+    let misses = snapshot.counter("cache_misses");
+    let total = hits + misses;
     let stats = Stats {
         cache: EngineCacheBlock {
-            hits: cache.hits,
-            misses: cache.misses,
-            hit_rate: cache.hit_rate(),
+            hits,
+            misses,
+            hit_rate: if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            },
             structures: engine.cache().len(),
         },
-        store: engine.store_stats(),
-        executor: engine.exec_stats(),
+        store: crate::store::StoreStats {
+            hits: snapshot.counter("store_hits"),
+            misses: snapshot.counter("store_misses"),
+        },
+        executor: crate::executor::ExecutorStats {
+            executed: snapshot.counter("executor_executed"),
+            steals: snapshot.counter("executor_steals"),
+        },
     };
     eprintln!(
         "ringlab: stats {}",
@@ -537,8 +629,14 @@ fn print_fleet_stats(manifest: &Manifest) {
     struct StealsBlock {
         steals: u64,
     }
-    let totals = manifest.aggregate_stats();
-    let cache_total = totals.cache_hits + totals.cache_misses;
+    // Aggregated from the completed shards' ring-obs/v1 snapshots (the
+    // final successful attempt of each shard — a retried shard's earlier
+    // attempts never double-count), synthesizing from legacy counters for
+    // manifests that predate the snapshots.
+    let snapshot = manifest.aggregate_metrics();
+    let hits = snapshot.counter("cache_hits");
+    let misses = snapshot.counter("cache_misses");
+    let cache_total = hits + misses;
     let stats = FleetStats {
         shards: manifest.shards.len(),
         completed_shards: manifest
@@ -546,22 +644,22 @@ fn print_fleet_stats(manifest: &Manifest) {
             .iter()
             .filter(|s| s.status == ring_distrib::ShardStatus::Complete)
             .count(),
-        records: totals.records,
+        records: manifest.aggregate_stats().records,
         cache: CacheBlock {
-            hits: totals.cache_hits,
-            misses: totals.cache_misses,
+            hits,
+            misses,
             hit_rate: if cache_total == 0 {
                 0.0
             } else {
-                totals.cache_hits as f64 / cache_total as f64
+                hits as f64 / cache_total as f64
             },
         },
         store: StoreBlock {
-            hits: totals.store_hits,
-            misses: totals.store_misses,
+            hits: snapshot.counter("store_hits"),
+            misses: snapshot.counter("store_misses"),
         },
         executor: StealsBlock {
-            steals: totals.steals,
+            steals: snapshot.counter("executor_steals"),
         },
     };
     eprintln!(
@@ -723,6 +821,10 @@ fn run_worker_shard<E: Write, R: Write + Send>(
     // protocol owns the stream, so the shared JSONL destination is unused.
     let common = options.common(|| DEFAULT_STORE_DIR.to_string(), || None);
     let engine = common.engine()?;
+    // The done event reports this job's metrics as a delta against the
+    // process registry, so a long-lived TCP worker serving many jobs (or a
+    // retried shard in one process) never re-reports earlier attempts.
+    let baseline = ring_obs::global().snapshot();
     let tally = ShardTally::new(record_out, fail_after_from_env());
     let sink = JsonlSink::new(tally);
     engine.run_with_offset(&items[range.start..range.end], range.start, Some(&sink));
@@ -731,6 +833,15 @@ fn run_worker_shard<E: Write, R: Write + Send>(
     let cache = engine.cache_stats();
     let store = engine.store_stats();
     let exec = engine.exec_stats();
+    let mut metrics = ring_obs::global().snapshot().delta(&baseline);
+    // The engine's own counters are per-engine (fresh every job), so they
+    // overlay the delta exactly under their canonical registry names.
+    metrics.set_counter("cache_hits", cache.hits);
+    metrics.set_counter("cache_misses", cache.misses);
+    metrics.set_counter("store_hits", store.hits);
+    metrics.set_counter("store_misses", store.misses);
+    metrics.set_counter("executor_executed", exec.executed);
+    metrics.set_counter("executor_steals", exec.steals);
     let done = DoneEvent::new(
         shard,
         tally.lines() as usize,
@@ -739,7 +850,8 @@ fn run_worker_shard<E: Write, R: Write + Send>(
         cache.misses,
         exec.steals,
     )
-    .with_store(store.hits, store.misses);
+    .with_store(store.hits, store.misses)
+    .with_metrics(metrics);
     writeln!(
         event_out,
         "{}",
@@ -1079,6 +1191,11 @@ fn orchestrate_and_finish(
     let outcome = run_pending_shards(run_dir, manifest, &orchestration, &|range| {
         let mut cmd = Command::new(&exe);
         cmd.args(spec_params.worker_args(jobs_per_worker, range, shard_count, &store_dir));
+        // Tracing rides along runtime-only: worker sidecars land next to
+        // the shard files, the protocol stream stays byte-identical.
+        if options.trace {
+            cmd.arg("--trace-dir").arg(run_dir);
+        }
         cmd
     })
     .map_err(|e| format!("orchestration failed: {e}"))?;
@@ -1331,6 +1448,117 @@ fn cmd_merge(options: &Options) -> Result<i32, String> {
         report.checksum,
     );
     Ok(0)
+}
+
+/// `trace`: span-trace sidecar inspection. `summarize <RUN_DIR>` scans the
+/// directory's `trace-*.jsonl` files and renders a per-span time-budget
+/// table — where a run's wall-clock actually went, without re-running it.
+fn cmd_trace(options: &Options) -> Result<i32, String> {
+    match options.positionals.first().map(String::as_str) {
+        Some("summarize") => {
+            let dir = match (options.positionals.get(1), &options.run_dir) {
+                (Some(dir), None) => PathBuf::from(dir),
+                (None, Some(dir)) => PathBuf::from(dir),
+                (None, None) => {
+                    return Err(format!("trace summarize needs a run directory\n{USAGE}"))
+                }
+                _ => return Err("trace summarize takes exactly one run directory".into()),
+            };
+            let (table, files, events) = summarize_traces(&dir)?;
+            print!("{table}");
+            eprintln!(
+                "ringlab: summarized {events} span(s) from {files} trace file(s) in {}",
+                dir.display()
+            );
+            Ok(0)
+        }
+        Some(other) => Err(format!("unknown trace action `{other}`\n{USAGE}")),
+        None => Err(format!("trace needs an action\n{USAGE}")),
+    }
+}
+
+/// Aggregates every `trace-*.jsonl` sidecar under `dir` into one markdown
+/// time-budget table (one row per span name, heaviest first), returning
+/// the table plus the file and span-end counts. Durations funnel through
+/// [`ring_obs::Histogram`]s, so the percentiles are the same log2-bucket
+/// upper bounds `/v1/metrics` reports.
+fn summarize_traces(dir: &Path) -> Result<(String, usize, u64), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut files = 0usize;
+    let mut spans: std::collections::BTreeMap<String, ring_obs::Histogram> = Default::default();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("trace-") && name.ends_with(".jsonl")) {
+            continue;
+        }
+        files += 1;
+        let text = std::fs::read_to_string(entry.path())
+            .map_err(|e| format!("cannot read {}: {e}", entry.path().display()))?;
+        for line in text.lines().filter(|line| !line.trim().is_empty()) {
+            let value: serde::Value = serde_json::from_str(line)
+                .map_err(|e| format!("corrupt trace line in {name}: {e}"))?;
+            if value.get("event").and_then(serde::Value::as_str) != Some("end") {
+                continue;
+            }
+            let Some(span) = value.get("span").and_then(serde::Value::as_str) else {
+                continue;
+            };
+            let dur = value
+                .get("dur_ns")
+                .and_then(serde::Value::as_u64)
+                .unwrap_or(0);
+            spans.entry(span.to_string()).or_default().record(dur);
+        }
+    }
+    if files == 0 {
+        return Err(format!(
+            "no trace-*.jsonl sidecars in {} (run with --trace first)",
+            dir.display()
+        ));
+    }
+    let mut snapshots: Vec<ring_obs::HistogramSnapshot> = spans
+        .iter()
+        .map(|(name, histogram)| histogram.snapshot(name))
+        .collect();
+    snapshots.sort_by(|a, b| b.sum_ns.cmp(&a.sum_ns).then_with(|| a.name.cmp(&b.name)));
+    // Shares are of the summed span time, not wall-clock: spans nest
+    // (a `case` contains its `construct_structure`s) and processes run in
+    // parallel, so the column answers "which stage dominates", not "how
+    // long did the run take".
+    let total: u64 = snapshots.iter().map(|s| s.sum_ns).sum();
+    let events: u64 = snapshots.iter().map(|s| s.count).sum();
+    let mut out = String::from(
+        "| span | count | total | share | p50 | p90 | p99 |\n|---|---|---|---|---|---|---|\n",
+    );
+    for snapshot in &snapshots {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.1}% | {} | {} | {} |\n",
+            snapshot.name,
+            snapshot.count,
+            format_ns(snapshot.sum_ns),
+            100.0 * snapshot.sum_ns as f64 / total.max(1) as f64,
+            format_ns(snapshot.p50()),
+            format_ns(snapshot.p90()),
+            format_ns(snapshot.p99()),
+        ));
+    }
+    Ok((out, files, events))
+}
+
+/// Renders a nanosecond quantity with a human-scaled unit (the span table
+/// mixes sub-microsecond lock probes with multi-second shard attempts).
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
 }
 
 /// Rebuilds the spec-affecting options recorded in a manifest, keeping the
@@ -1752,6 +1980,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         render_fig3: None,
         v1_format: false,
         stats: false,
+        trace: false,
+        trace_dir: None,
         positionals: Vec::new(),
     };
     let mut seed_mode: Option<String> = None;
@@ -1771,6 +2001,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--quick" => options.quick = true,
             "--no-jsonl" => options.no_jsonl = true,
             "--stats" => options.stats = true,
+            "--trace" => options.trace = true,
+            "--trace-dir" => {
+                options.trace_dir = Some(value_of("--trace-dir")?);
+                options.trace = true;
+            }
             "--jobs" => {
                 options.jobs = value_of("--jobs")?
                     .parse()

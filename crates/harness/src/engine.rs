@@ -105,11 +105,28 @@ impl SweepEngine {
         sink: Option<&JsonlSink<W>>,
     ) -> Vec<CaseRecord> {
         let structures: SharedStructures = self.store.clone();
+        let obs = ring_obs::global();
+        let structure_wait = obs.histogram("case_structure_wait_ns");
+        let execute = obs.histogram("case_execute_ns");
+        let sink_reorder = obs.histogram("sink_reorder_ns");
         let (records, stats) = run_work_stealing_with_stats(items, self.jobs, |index, item| {
+            let _span = ring_obs::span!("case", index = offset + index);
+            // Split case time into the structure pathway (store waits,
+            // constructions) and protocol execution proper: the store's
+            // thread-local accumulator collects every provider call made
+            // while this case runs on this thread.
+            crate::store::reset_structure_wait();
+            let case_started = std::time::Instant::now();
             let record = item.run_to_record(offset + index, &structures);
+            let case_ns = ring_obs::elapsed_ns(case_started);
+            let wait_ns = crate::store::take_structure_wait_ns();
+            structure_wait.record(wait_ns);
+            execute.record(case_ns.saturating_sub(wait_ns));
             if let Some(sink) = sink {
                 let line = serde_json::to_string(&record).expect("serializable record");
+                let emit_started = std::time::Instant::now();
                 sink.emit(index, &line);
+                sink_reorder.record(ring_obs::elapsed_ns(emit_started));
             }
             record
         });

@@ -97,12 +97,24 @@ where
         let handles: Vec<_> = (0..jobs)
             .map(|w| {
                 scope.spawn(move || {
+                    let worker_started = std::time::Instant::now();
                     let mut produced: Vec<(usize, R)> = Vec::new();
                     let mut steals = 0u64;
+                    let mut busy_ns = 0u64;
                     while let Some((index, stolen)) = next_index(queues, w) {
                         steals += u64::from(stolen);
+                        let item_started = std::time::Instant::now();
                         produced.push((index, worker(index, &items[index])));
+                        busy_ns = busy_ns.saturating_add(ring_obs::elapsed_ns(item_started));
                     }
+                    // One sample per worker per pass: the busy/idle split
+                    // shows how well the striping balanced the load, the
+                    // steal count how hard the thieves had to work.
+                    let obs = ring_obs::global();
+                    obs.histogram("executor_worker_busy_ns").record(busy_ns);
+                    obs.histogram("executor_worker_idle_ns")
+                        .record(ring_obs::elapsed_ns(worker_started).saturating_sub(busy_ns));
+                    obs.histogram("executor_worker_steals").record(steals);
                     (produced, steals)
                 })
             })

@@ -78,6 +78,43 @@ pub const CLAIM_WAIT: Duration = Duration::from_secs(10);
 /// Poll interval while waiting on a claimed key.
 const CLAIM_POLL: Duration = Duration::from_millis(25);
 
+thread_local! {
+    /// Nanoseconds the calling thread has spent inside [`StructureProvider`]
+    /// calls since the last [`reset_structure_wait`]. The engine brackets
+    /// each case with reset/take to split case time into structure-wait
+    /// vs. protocol execution.
+    static STRUCTURE_WAIT_NS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Zeroes the calling thread's structure-wait accumulator.
+pub(crate) fn reset_structure_wait() {
+    STRUCTURE_WAIT_NS.with(|cell| cell.set(0));
+}
+
+/// Reads the calling thread's structure-wait accumulator.
+pub(crate) fn take_structure_wait_ns() -> u64 {
+    STRUCTURE_WAIT_NS.with(|cell| cell.get())
+}
+
+/// Runs one provider call, adding its duration to the calling thread's
+/// structure-wait accumulator.
+fn timed_wait<T>(body: impl FnOnce() -> T) -> T {
+    let started = std::time::Instant::now();
+    let value = body();
+    STRUCTURE_WAIT_NS
+        .with(|cell| cell.set(cell.get().saturating_add(ring_obs::elapsed_ns(started))));
+    value
+}
+
+/// Short stable label for a structure kind (trace-field friendly).
+fn kind_name(kind: StructureKind) -> &'static str {
+    match kind {
+        StructureKind::StrongDistinguisher => "strong",
+        StructureKind::Distinguisher => "distinguisher",
+        StructureKind::SelectiveFamily => "selective",
+    }
+}
+
 /// Disk-tier effectiveness counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize)]
 pub struct StoreStats {
@@ -162,6 +199,15 @@ impl StructureStore {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Counts a tier-2 hit and records the latency of the disk walk that
+    /// produced it (from entering the walk to the successful decode).
+    fn note_tier2_hit(&self, started: std::time::Instant) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        ring_obs::global()
+            .histogram("store_tier2_hit_ns")
+            .record(ring_obs::elapsed_ns(started));
     }
 
     /// The short tag of a kind used in file names.
@@ -370,13 +416,20 @@ impl StructureStore {
         payload: impl Fn(&T) -> Vec<Arc<IdSet>>,
     ) -> (T, Option<String>) {
         let Some(dir) = self.dir.clone() else {
+            let _span = ring_obs::span!(
+                "construct_structure",
+                kind = kind_name(key.kind),
+                universe = key.universe,
+                n = key.n
+            );
             return (construct(), None);
         };
+        let started = std::time::Instant::now();
         let entry_path = dir.join("index").join(Self::index_name(key));
         let mut tier_error = None;
         match self.try_load_keyed(&dir, key, &entry_path) {
             Ok(Some(sets)) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.note_tier2_hit(started);
                 return (decode(sets), None);
             }
             Ok(None) => {}
@@ -394,7 +447,7 @@ impl StructureStore {
             // that race into a load instead of a duplicate construction.
             if let Ok(Some(sets)) = self.try_load_keyed(&dir, key, &entry_path) {
                 std::fs::remove_file(&claim).ok();
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.note_tier2_hit(started);
                 return (decode(sets), None);
             }
         }
@@ -404,7 +457,7 @@ impl StructureStore {
                 std::thread::sleep(CLAIM_POLL);
                 match self.try_load_keyed(&dir, key, &entry_path) {
                     Ok(Some(sets)) => {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.note_tier2_hit(started);
                         return (decode(sets), None);
                     }
                     Ok(None) => {}
@@ -417,13 +470,21 @@ impl StructureStore {
             // Last look before doing the work ourselves: the claimant may
             // have published between the poll and the deadline.
             if let Ok(Some(sets)) = self.try_load_keyed(&dir, key, &entry_path) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.note_tier2_hit(started);
                 return (decode(sets), None);
             }
         }
 
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let value = construct();
+        let value = {
+            let _span = ring_obs::span!(
+                "construct_structure",
+                kind = kind_name(key.kind),
+                universe = key.universe,
+                n = key.n
+            );
+            construct()
+        };
         let sets = payload(&value);
         let published = self
             .publish(&dir, &entry_path, *key, &sets)
@@ -457,6 +518,7 @@ impl StructureStore {
         let mut tier_error = None;
         let mut loaded = None;
         if let Some(dir) = &self.dir {
+            let started = std::time::Instant::now();
             let entry_path = dir.join("index").join(Self::strong_index_name(universe));
             let mut attempts = 0;
             loop {
@@ -465,7 +527,7 @@ impl StructureStore {
                     Ok(Some(entry)) if entry.key == Self::strong_universal_key(universe) => {
                         match Self::load_blob(dir, &entry) {
                             Ok(sets) => {
-                                self.hits.fetch_add(1, Ordering::Relaxed);
+                                self.note_tier2_hit(started);
                                 self.persisted_strong
                                     .lock()
                                     .expect("persisted map")
@@ -820,21 +882,27 @@ fn fail_on_tier_error<T>(value: T, error: Option<String>) -> Result<T, Structure
 
 impl StructureProvider for StructureStore {
     fn strong_distinguisher(&self, universe: u64, seed: u64) -> Arc<SharedStrongDistinguisher> {
-        let (value, error) = self.strong(universe, seed);
-        log_tier_error(&error);
-        value
+        timed_wait(|| {
+            let (value, error) = self.strong(universe, seed);
+            log_tier_error(&error);
+            value
+        })
     }
 
     fn distinguisher(&self, universe: u64, n: usize, seed: u64) -> Arc<Distinguisher> {
-        let (value, error) = self.materialised_distinguisher(universe, n, seed);
-        log_tier_error(&error);
-        value
+        timed_wait(|| {
+            let (value, error) = self.materialised_distinguisher(universe, n, seed);
+            log_tier_error(&error);
+            value
+        })
     }
 
     fn selective_family(&self, universe: u64, n: usize, seed: u64) -> Arc<SelectiveFamily> {
-        let (value, error) = self.materialised_selective_family(universe, n, seed);
-        log_tier_error(&error);
-        value
+        timed_wait(|| {
+            let (value, error) = self.materialised_selective_family(universe, n, seed);
+            log_tier_error(&error);
+            value
+        })
     }
 
     fn try_strong_distinguisher(
@@ -842,8 +910,10 @@ impl StructureProvider for StructureStore {
         universe: u64,
         seed: u64,
     ) -> Result<Arc<SharedStrongDistinguisher>, StructureError> {
-        let (value, error) = self.strong(universe, seed);
-        fail_on_tier_error(value, error)
+        timed_wait(|| {
+            let (value, error) = self.strong(universe, seed);
+            fail_on_tier_error(value, error)
+        })
     }
 
     fn try_distinguisher(
@@ -852,8 +922,10 @@ impl StructureProvider for StructureStore {
         n: usize,
         seed: u64,
     ) -> Result<Arc<Distinguisher>, StructureError> {
-        let (value, error) = self.materialised_distinguisher(universe, n, seed);
-        fail_on_tier_error(value, error)
+        timed_wait(|| {
+            let (value, error) = self.materialised_distinguisher(universe, n, seed);
+            fail_on_tier_error(value, error)
+        })
     }
 
     fn try_selective_family(
@@ -862,8 +934,10 @@ impl StructureProvider for StructureStore {
         n: usize,
         seed: u64,
     ) -> Result<Arc<SelectiveFamily>, StructureError> {
-        let (value, error) = self.materialised_selective_family(universe, n, seed);
-        fail_on_tier_error(value, error)
+        timed_wait(|| {
+            let (value, error) = self.materialised_selective_family(universe, n, seed);
+            fail_on_tier_error(value, error)
+        })
     }
 }
 

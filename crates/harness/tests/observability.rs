@@ -1,0 +1,357 @@
+//! Observability must be output-inert: `--trace` and the metrics layer
+//! may never change a byte of scientific output, at any `--jobs` or
+//! `--shards` value — telemetry goes to per-process sidecar files and
+//! stderr, never to stdout or the shard files. These tests pin that
+//! invariant through the real `ringlab` binary, exercise the `trace
+//! summarize` report, and regression-test the fleet statistics under an
+//! injected worker death (a retried shard reports only its final
+//! successful attempt — earlier attempts never double-count).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// The sweep every test runs: small enough for CI, mixed parities, more
+/// cases than the largest shard count under test.
+const SPEC_FLAGS: &[&str] = &[
+    "--sizes",
+    "9,8,12",
+    "--universe-factors",
+    "4",
+    "--reps",
+    "1",
+    "--seed",
+    "77",
+];
+
+fn ringlab() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ringlab"));
+    // Isolate from crash-injection hooks an outer environment might set.
+    cmd.env_remove("RING_DISTRIB_FAIL_AFTER")
+        .env_remove("RING_DISTRIB_FAIL_ONCE");
+    cmd
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ringlab-obs-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs the untraced single-process reference sweep into `dir`, returning
+/// the JSONL bytes.
+fn reference_bytes(dir: &Path) -> Vec<u8> {
+    let out = dir.join("single.jsonl");
+    let status = ringlab()
+        .args(["sweep", "--jobs", "2", "--jsonl"])
+        .arg(&out)
+        .args(SPEC_FLAGS)
+        .stdout(Stdio::null())
+        .status()
+        .expect("run ringlab");
+    assert!(status.success(), "single-process sweep failed");
+    let bytes = std::fs::read(&out).unwrap();
+    assert!(!bytes.is_empty());
+    bytes
+}
+
+/// The `trace-*.jsonl` sidecar files directly under `dir`.
+fn sidecars(dir: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("trace-") && n.ends_with(".jsonl"))
+        })
+        .collect()
+}
+
+/// The acceptance invariant: sweeps with `--trace` on are byte-identical
+/// to the untraced reference across `--jobs {1,2}` and `--shards {1,3}`,
+/// sidecars appear exactly when tracing is on, and the spans they carry
+/// are well-formed begin/end JSONL.
+#[test]
+fn tracing_is_output_inert_across_jobs_and_shards() {
+    let dir = temp_dir("inert");
+    let reference = reference_bytes(&dir);
+
+    // Thread-parallel single-process runs, traced into an explicit dir.
+    for jobs in [1usize, 2] {
+        let out = dir.join(format!("traced-jobs{jobs}.jsonl"));
+        let trace_dir = dir.join(format!("trace-jobs{jobs}"));
+        let status = ringlab()
+            .args(["sweep", "--jobs", &jobs.to_string(), "--trace", "--jsonl"])
+            .arg(&out)
+            .arg("--trace-dir")
+            .arg(&trace_dir)
+            .args(SPEC_FLAGS)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .expect("run ringlab");
+        assert!(status.success(), "traced sweep failed at --jobs {jobs}");
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            reference,
+            "tracing changed the output bytes at --jobs {jobs}"
+        );
+        let files = sidecars(&trace_dir);
+        assert_eq!(files.len(), 1, "one sidecar per process at --jobs {jobs}");
+        let text = std::fs::read_to_string(&files[0]).unwrap();
+        assert!(
+            text.lines().any(|l| l.contains("\"span\":\"case\"")),
+            "sidecar must carry case spans:\n{text}"
+        );
+    }
+
+    // Orchestrated multi-process runs: `--trace` alone routes every
+    // worker's sidecar into the run directory, next to the shard files —
+    // which must stay byte-identical to the untraced run.
+    for shards in [1usize, 3] {
+        let out = dir.join(format!("traced-shards{shards}.jsonl"));
+        let run_dir = dir.join(format!("run-{shards}"));
+        let status = ringlab()
+            .args([
+                "sweep",
+                "--shards",
+                &shards.to_string(),
+                "--trace",
+                "--jsonl",
+            ])
+            .arg(&out)
+            .arg("--run-dir")
+            .arg(&run_dir)
+            .args(SPEC_FLAGS)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .expect("run ringlab");
+        assert!(status.success(), "traced sweep failed at --shards {shards}");
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            reference,
+            "tracing changed the merged bytes at --shards {shards}"
+        );
+        // The orchestrator plus every worker process wrote a sidecar.
+        assert!(
+            sidecars(&run_dir).len() > shards,
+            "expected orchestrator + {shards} worker sidecar(s) in {}",
+            run_dir.display()
+        );
+        let manifest = ring_distrib::Manifest::load(&run_dir).unwrap();
+        assert!(manifest.is_complete());
+    }
+
+    // Without `--trace`, no sidecar may appear anywhere.
+    let out = dir.join("untraced-shards.jsonl");
+    let run_dir = dir.join("run-untraced");
+    let status = ringlab()
+        .args(["sweep", "--shards", "2", "--jsonl"])
+        .arg(&out)
+        .arg("--run-dir")
+        .arg(&run_dir)
+        .args(SPEC_FLAGS)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("run ringlab");
+    assert!(status.success());
+    assert_eq!(std::fs::read(&out).unwrap(), reference);
+    assert!(
+        sidecars(&run_dir).is_empty(),
+        "untraced runs must not write sidecars"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--jsonl -` with tracing on still streams pure JSONL to stdout: the
+/// trace banner and spans stay on stderr and in the sidecar.
+#[test]
+fn stdout_jsonl_stays_pure_under_tracing() {
+    let dir = temp_dir("stdout");
+    let reference = reference_bytes(&dir);
+    let trace_dir = dir.join("trace");
+    let output = ringlab()
+        .args(["sweep", "--jobs", "2", "--trace", "--jsonl", "-"])
+        .arg("--trace-dir")
+        .arg(&trace_dir)
+        .args(SPEC_FLAGS)
+        .output()
+        .expect("run ringlab");
+    assert!(output.status.success());
+    assert_eq!(
+        output.stdout, reference,
+        "stdout must carry exactly the JSONL stream, traced or not"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("tracing spans to"),
+        "the sidecar path must be announced on stderr:\n{stderr}"
+    );
+    assert_eq!(sidecars(&trace_dir).len(), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `ringlab trace summarize` renders a per-span time-budget table for a
+/// traced run directory, and refuses an untraced one with a hint.
+#[test]
+fn trace_summarize_renders_a_time_budget_table() {
+    let dir = temp_dir("summarize");
+    let out = dir.join("traced.jsonl");
+    let run_dir = dir.join("run");
+    let status = ringlab()
+        .args(["sweep", "--shards", "2", "--trace", "--jsonl"])
+        .arg(&out)
+        .arg("--run-dir")
+        .arg(&run_dir)
+        .args(SPEC_FLAGS)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("run ringlab");
+    assert!(status.success());
+
+    // A traced prebuild contributes `construct_structure` spans (the
+    // sweep's strong structures grow lazily and have no construct site).
+    let store = dir.join("store");
+    let status = ringlab()
+        .args(["structures", "prebuild", "scaling", "--quick"])
+        .arg("--structure-store")
+        .arg(&store)
+        .arg("--trace-dir")
+        .arg(&run_dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("run ringlab structures prebuild");
+    assert!(status.success(), "traced prebuild failed");
+
+    let output = ringlab()
+        .args(["trace", "summarize"])
+        .arg(&run_dir)
+        .output()
+        .expect("run ringlab trace summarize");
+    assert!(output.status.success(), "trace summarize failed");
+    let table = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        table.starts_with("| span | count | total | share | p50 | p90 | p99 |"),
+        "missing table header:\n{table}"
+    );
+    for span in ["case", "shard_attempt", "construct_structure"] {
+        assert!(
+            table.contains(&format!("| {span} |")),
+            "missing `{span}` row:\n{table}"
+        );
+    }
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("trace file(s)"),
+        "summary line missing:\n{stderr}"
+    );
+
+    // An untraced directory is a usage error, not an empty table.
+    let empty = dir.join("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let output = ringlab()
+        .args(["trace", "summarize"])
+        .arg(&empty)
+        .output()
+        .expect("run ringlab trace summarize");
+    assert!(!output.status.success());
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("run with --trace first"),
+        "the failure must tell the user how to produce traces"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The statistics regression: a worker death masked by the per-shard
+/// retry must not change the fleet's `--stats` aggregates — only the
+/// final successful attempt of each shard counts, so the stats line of an
+/// injected run is byte-identical to the clean run's. (A warm shared
+/// store and `--jobs 1` make every counter deterministic.)
+#[test]
+fn retry_after_an_injected_worker_death_reports_identical_fleet_stats() {
+    let dir = temp_dir("retry-stats");
+    let store = dir.join("store");
+
+    // Warm the store so both fleets below load every structure (zero
+    // misses) instead of racing to construct them.
+    let warm = dir.join("warm.jsonl");
+    let status = ringlab()
+        .args(["sweep", "--jobs", "1", "--structure-store"])
+        .arg(&store)
+        .args(["--jsonl"])
+        .arg(&warm)
+        .args(SPEC_FLAGS)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("run ringlab");
+    assert!(status.success(), "store warmup failed");
+    let reference = std::fs::read(&warm).unwrap();
+
+    let stats_line = |tag: &str, env: Option<(&str, &Path)>| -> String {
+        let out = dir.join(format!("{tag}.jsonl"));
+        let run_dir = dir.join(format!("run-{tag}"));
+        let mut cmd = ringlab();
+        cmd.args(["sweep", "--shards", "2", "--jobs", "1", "--retries", "1"])
+            .args(["--stats", "--jsonl"])
+            .arg(&out)
+            .arg("--run-dir")
+            .arg(&run_dir)
+            .arg("--structure-store")
+            .arg(&store)
+            .args(SPEC_FLAGS)
+            .stdout(Stdio::null());
+        if let Some((key, value)) = env {
+            cmd.env(key, value);
+        }
+        let output = cmd.output().expect("run ringlab");
+        assert!(output.status.success(), "sharded run `{tag}` failed");
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            reference,
+            "run `{tag}` diverged from the reference bytes"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        stderr
+            .lines()
+            .find(|l| l.starts_with("ringlab: stats "))
+            .unwrap_or_else(|| panic!("no stats line in `{tag}` stderr:\n{stderr}"))
+            .to_string()
+    };
+
+    let clean = stats_line("clean", None);
+    let marker = dir.join("crash-marker");
+    let injected = stats_line("injected", Some(("RING_DISTRIB_FAIL_ONCE", &marker)));
+    assert!(marker.exists(), "the injected worker never crashed");
+
+    // The injected run really did retry a shard…
+    let manifest = ring_distrib::Manifest::load(&dir.join("run-injected")).unwrap();
+    let attempts: u32 = manifest.shards.iter().map(|s| s.attempts).sum();
+    assert_eq!(attempts, 3, "one shard must have been launched twice");
+
+    // …yet reports exactly the clean run's aggregates: the killed
+    // attempt's counters never leak into the fleet stats.
+    assert_eq!(
+        injected, clean,
+        "a masked worker death must not change the fleet stats"
+    );
+    // And the warm store served everything — misses would betray a
+    // double-counted (or re-run) construction pathway.
+    assert!(
+        clean.contains("\"store\":{\"hits\":"),
+        "stats must carry the store block: {clean}"
+    );
+    assert!(
+        clean.contains("\"misses\":0}"),
+        "a warm store must report zero misses: {clean}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

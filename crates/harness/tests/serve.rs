@@ -375,6 +375,84 @@ fn failed_daemon_runs_resume_to_identical_bytes() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Observability through the service path: workers tracing to sidecar
+/// files still produce byte-identical merged and streamed results, the
+/// daemon exposes a Prometheus `/v1/metrics` endpoint with pool gauges
+/// and run counters, and `/v1/runs/<id>/metrics` serves the run's
+/// aggregated ring-obs/v1 snapshot with its per-shard attempt ledger.
+#[test]
+fn traced_workers_stay_byte_identical_and_the_daemon_serves_metrics() {
+    let dir = temp_dir("metrics");
+    let reference = reference_bytes(&dir);
+    let daemon = start_daemon(&dir, &[]);
+    let trace_dir = dir.join("traces");
+    let workers: Vec<Child> = (0..2)
+        .map(|_| {
+            let mut cmd = ringlab();
+            cmd.args(["worker", "--connect", &daemon.addr, "--trace-dir"])
+                .arg(&trace_dir)
+                .stdout(Stdio::null())
+                .stderr(Stdio::null());
+            cmd.spawn().expect("spawn traced ringlab worker")
+        })
+        .collect();
+    wait_for_workers(&daemon.addr, 2);
+
+    let body = format!("{},\"shards\":2}}", SPEC_BODY.trim_end_matches('}'));
+    let run = submit(&daemon.addr, &body);
+    wait_for_status(&daemon.addr, run, "complete");
+
+    // Tracing never touches the protocol stream or the shard files.
+    let run_dir = daemon.data_dir.join(format!("runs/run-{run:04}"));
+    assert_eq!(
+        std::fs::read(run_dir.join("merged.jsonl")).unwrap(),
+        reference,
+        "traced workers changed the merged bytes"
+    );
+    let (status, streamed) = http(&daemon.addr, "GET", &format!("/v1/runs/{run}/results"), "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        streamed.as_bytes(),
+        reference,
+        "traced workers changed the streamed bytes"
+    );
+    // Each worker process wrote its own span sidecar.
+    let sidecars = std::fs::read_dir(&trace_dir)
+        .expect("trace dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.starts_with("trace-") && name.ends_with(".jsonl")
+        })
+        .count();
+    assert_eq!(sidecars, 2, "one sidecar per worker process");
+
+    // The daemon-wide scrape: Prometheus text with pool gauges, run
+    // counters and the lease-wait histogram.
+    let (status, metrics) = http(&daemon.addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    for needle in [
+        "# TYPE ring_serve_workers_idle gauge",
+        "# TYPE ring_serve_workers_registered gauge",
+        "ring_serve_runs_submitted 1",
+        "# TYPE ring_serve_lease_wait_ns histogram",
+        "ring_serve_lease_wait_ns_count",
+    ] {
+        assert!(metrics.contains(needle), "missing `{needle}`:\n{metrics}");
+    }
+
+    // The per-run drill-down: the aggregated worker snapshot plus the
+    // shard attempt ledger.
+    let (status, body) = http(&daemon.addr, "GET", &format!("/v1/runs/{run}/metrics"), "");
+    assert_eq!(status, 200);
+    for needle in ["ring-obs/v1", "\"shards\"", "\"attempts\"", "cache_hits"] {
+        assert!(body.contains(needle), "missing `{needle}`:\n{body}");
+    }
+
+    shutdown(daemon, workers);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The service rejects what it cannot run — bad JSON, unknown
 /// subcommands, zero-case specs — with a 400 and a reason, and serves its
 /// health and worker inventory endpoints.

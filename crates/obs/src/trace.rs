@@ -1,0 +1,267 @@
+//! Span traces: RAII guards writing structured begin/end events to a
+//! per-process JSONL sidecar.
+//!
+//! The layer is off by default and costs one relaxed atomic load per
+//! [`span!`](crate::span!) site while disabled — the macro's disabled arm
+//! neither allocates nor evaluates its field expressions (they must
+//! therefore be pure). [`init`] opens `<dir>/trace-<pid>.jsonl` and flips
+//! tracing on; [`shutdown`] flushes and flips it off. Every event is one
+//! JSON line:
+//!
+//! ```json
+//! {"event":"begin","span":"case","id":7,"tid":1,"ts_ns":1203,"fields":{"index":3}}
+//! {"event":"end","span":"case","id":7,"tid":1,"ts_ns":90211,"dur_ns":89008}
+//! ```
+//!
+//! Timestamps are nanoseconds since the first trace event of the process
+//! (monotonic clock), thread ids are small per-process ordinals, span ids
+//! pair each `end` with its `begin`. The sidecar is the only output
+//! channel: tracing never writes to stdout, which keeps instrumented runs
+//! byte-identical to uninstrumented ones.
+
+use serde::Value;
+use std::cell::Cell;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ORDINAL: Cell<u64> = const { Cell::new(0) };
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|cell| {
+        let mut id = cell.get();
+        if id == 0 {
+            id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            cell.set(id);
+        }
+        id
+    })
+}
+
+/// Whether tracing is currently on. One relaxed load; this is the entire
+/// disabled-path cost of a [`span!`](crate::span!) site.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Opens the per-process sidecar `<dir>/trace-<pid>.jsonl` (creating
+/// `dir`) and enables tracing. Returns the sidecar path.
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-creation failures.
+pub fn init(dir: &Path) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("trace-{}.jsonl", std::process::id()));
+    let file = File::create(&path)?;
+    epoch();
+    *SINK.lock().expect("trace sink poisoned") = Some(BufWriter::new(file));
+    ENABLED.store(true, Ordering::Release);
+    Ok(path)
+}
+
+/// Disables tracing and flushes and closes the sidecar. Call before
+/// process exit — `BufWriter` buffers are not flushed by `exit`.
+pub fn shutdown() {
+    ENABLED.store(false, Ordering::Release);
+    if let Some(mut sink) = SINK.lock().expect("trace sink poisoned").take() {
+        let _ = sink.flush();
+    }
+}
+
+/// A field value attached to a span's `begin` event.
+#[derive(Clone, Debug)]
+pub enum FieldValue {
+    /// Unsigned integer field.
+    U64(u64),
+    /// Signed integer field.
+    I64(i64),
+    /// Float field.
+    F64(f64),
+    /// String field.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl FieldValue {
+    fn to_json(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => Value::Uint(*v),
+            FieldValue::I64(v) => Value::Int(i128::from(*v)),
+            FieldValue::F64(v) => Value::Float(*v),
+            FieldValue::Str(v) => Value::Str(v.clone()),
+        }
+    }
+}
+
+fn write_event(value: &Value) {
+    let line = serde_json::to_string(value).expect("trace event serializes");
+    let mut sink = SINK.lock().expect("trace sink poisoned");
+    if let Some(out) = sink.as_mut() {
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+    }
+}
+
+/// RAII span guard: emits `begin` on construction (via
+/// [`SpanGuard::begin`]) and `end` with the measured duration on drop.
+/// Use through the [`span!`](crate::span!) macro so disabled tracing costs
+/// one atomic load.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    name: &'static str,
+    id: u64,
+    tid: u64,
+    started: Instant,
+}
+
+impl SpanGuard {
+    /// Starts a span, writing its `begin` event immediately.
+    pub fn begin(name: &'static str, fields: &[(&'static str, FieldValue)]) -> SpanGuard {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let tid = thread_ordinal();
+        let ts_ns = crate::elapsed_ns(epoch());
+        let mut event = vec![
+            ("event".to_string(), Value::Str("begin".to_string())),
+            ("span".to_string(), Value::Str(name.to_string())),
+            ("id".to_string(), Value::Uint(id)),
+            ("tid".to_string(), Value::Uint(tid)),
+            ("ts_ns".to_string(), Value::Uint(ts_ns)),
+        ];
+        if !fields.is_empty() {
+            event.push((
+                "fields".to_string(),
+                Value::Object(
+                    fields
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.to_json()))
+                        .collect(),
+                ),
+            ));
+        }
+        write_event(&Value::Object(event));
+        SpanGuard {
+            active: Some(ActiveSpan {
+                name,
+                id,
+                tid,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// A guard that does nothing — the disabled arm of
+    /// [`span!`](crate::span!).
+    pub fn noop() -> SpanGuard {
+        SpanGuard { active: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else {
+            return;
+        };
+        if !enabled() {
+            return;
+        }
+        let ts_ns = crate::elapsed_ns(epoch());
+        let dur_ns = crate::elapsed_ns(span.started);
+        write_event(&Value::Object(vec![
+            ("event".to_string(), Value::Str("end".to_string())),
+            ("span".to_string(), Value::Str(span.name.to_string())),
+            ("id".to_string(), Value::Uint(span.id)),
+            ("tid".to_string(), Value::Uint(span.tid)),
+            ("ts_ns".to_string(), Value::Uint(ts_ns)),
+            ("dur_ns".to_string(), Value::Uint(dur_ns)),
+        ]));
+    }
+}
+
+/// Opens an RAII span: `span!("name")` or
+/// `span!("name", key = value, …)`.
+///
+/// While tracing is disabled the macro expands to a single relaxed atomic
+/// load and a no-op guard — field expressions are **not evaluated**, so
+/// they must be free of side effects.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        if $crate::trace::enabled() {
+            $crate::trace::SpanGuard::begin($name, &[])
+        } else {
+            $crate::trace::SpanGuard::noop()
+        }
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        if $crate::trace::enabled() {
+            $crate::trace::SpanGuard::begin(
+                $name,
+                &[$((stringify!($key), $crate::trace::FieldValue::from($value))),+],
+            )
+        } else {
+            $crate::trace::SpanGuard::noop()
+        }
+    };
+}

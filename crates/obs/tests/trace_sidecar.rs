@@ -1,0 +1,92 @@
+//! End-to-end check of the span-trace sidecar: init, emit nested and
+//! fielded spans from two threads, shutdown, then parse the JSONL back and
+//! verify the event structure (paired begin/end, monotonic timestamps,
+//! durations, fields). Runs in its own test binary because trace state is
+//! per-process.
+
+use serde::Value;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ring-obs-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sidecar_records_paired_span_events() {
+    let dir = temp_dir("trace");
+    let path = ring_obs::trace::init(&dir).expect("trace init");
+    assert!(path
+        .file_name()
+        .unwrap()
+        .to_str()
+        .unwrap()
+        .starts_with("trace-"));
+
+    {
+        let _outer = ring_obs::span!("merge", shards = 3usize);
+        let _inner = ring_obs::span!("case", index = 7u64, kind = "uniform");
+    }
+    let worker = std::thread::spawn(|| {
+        let _span = ring_obs::span!("construct_structure", n = 64u64);
+    });
+    worker.join().unwrap();
+    ring_obs::trace::shutdown();
+    assert!(!ring_obs::trace::enabled());
+
+    // After shutdown, spans are no-ops and append nothing.
+    let size_after_shutdown = std::fs::metadata(&path).unwrap().len();
+    {
+        let _late = ring_obs::span!("late");
+    }
+    assert_eq!(std::fs::metadata(&path).unwrap().len(), size_after_shutdown);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let events: Vec<Value> = text
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("trace line parses"))
+        .collect();
+    // 3 spans, one begin + one end each.
+    assert_eq!(events.len(), 6);
+
+    let field = |e: &Value, k: &str| e.get(k).and_then(Value::as_u64).unwrap();
+    let kind = |e: &Value| e.get("event").and_then(Value::as_str).unwrap().to_string();
+    let name = |e: &Value| e.get("span").and_then(Value::as_str).unwrap().to_string();
+
+    // Every begin has a matching end with the same id/tid, later ts, and a
+    // dur_ns consistent with the timestamps.
+    let mut names = Vec::new();
+    for begin in events.iter().filter(|e| kind(e) == "begin") {
+        let id = field(begin, "id");
+        let end = events
+            .iter()
+            .find(|e| kind(e) == "end" && field(e, "id") == id)
+            .unwrap_or_else(|| panic!("span {id} has no end event"));
+        assert_eq!(name(begin), name(end));
+        assert_eq!(field(begin, "tid"), field(end, "tid"));
+        assert!(field(end, "ts_ns") >= field(begin, "ts_ns"));
+        assert!(field(end, "dur_ns") <= field(end, "ts_ns"));
+        names.push(name(begin));
+    }
+    names.sort();
+    assert_eq!(names, ["case", "construct_structure", "merge"]);
+
+    // Fields ride on the begin event.
+    let case_begin = events
+        .iter()
+        .find(|e| kind(e) == "begin" && name(e) == "case")
+        .unwrap();
+    let fields = case_begin.get("fields").expect("case has fields");
+    assert_eq!(fields.get("index").and_then(Value::as_u64), Some(7));
+    assert_eq!(fields.get("kind").and_then(Value::as_str), Some("uniform"));
+
+    // The two threads got distinct ordinals.
+    let construct_begin = events
+        .iter()
+        .find(|e| kind(e) == "begin" && name(e) == "construct_structure")
+        .unwrap();
+    assert_ne!(field(case_begin, "tid"), field(construct_begin, "tid"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -314,6 +314,16 @@ fn handle_request(daemon: &Arc<Daemon>, conn: &mut PendingConn, request: &Reques
             ]);
             respond(conn, &http::json_response(200, "OK", &body));
         }
+        ("GET", "/v1/metrics") => {
+            // The whole process registry — daemon counters, worker-pool
+            // gauges, lease-wait histogram — in Prometheus text exposition,
+            // scrapeable by anything that speaks the format.
+            let text = ring_obs::prometheus_text(&ring_obs::global().snapshot());
+            respond(
+                conn,
+                &http::response(200, "OK", "text/plain; version=0.0.4", text.as_bytes()),
+            );
+        }
         ("GET", "/v1/workers") => {
             let mut fields = vec![("schema".to_string(), Value::Str(SCHEMA.to_string()))];
             if let Value::Object(snapshot) = daemon.pool.snapshot() {
@@ -360,14 +370,17 @@ fn handle_request(daemon: &Arc<Daemon>, conn: &mut PendingConn, request: &Reques
     }
 }
 
-/// `GET /v1/runs/<id>` (status + manifest) and `GET /v1/runs/<id>/results`
-/// (streamed JSONL).
+/// `GET /v1/runs/<id>` (status + manifest), `GET /v1/runs/<id>/results`
+/// (streamed JSONL) and `GET /v1/runs/<id>/metrics` (the run's aggregated
+/// ring-obs/v1 snapshot plus a per-shard supervision breakdown).
 fn handle_run_path(daemon: &Arc<Daemon>, conn: &mut PendingConn, path: &str) {
     let rest = &path["/v1/runs/".len()..];
-    let (id_text, results) = match rest.strip_suffix("/results") {
-        Some(id_text) => (id_text, true),
-        None => (rest, false),
-    };
+    let (id_text, results, metrics) =
+        match (rest.strip_suffix("/results"), rest.strip_suffix("/metrics")) {
+            (Some(id_text), _) => (id_text, true, false),
+            (None, Some(id_text)) => (id_text, false, true),
+            (None, None) => (rest, false, false),
+        };
     let Ok(id) = id_text.parse::<usize>() else {
         respond(
             conn,
@@ -388,6 +401,10 @@ fn handle_run_path(daemon: &Arc<Daemon>, conn: &mut PendingConn, path: &str) {
         );
         return;
     };
+    if metrics {
+        respond_run_metrics(conn, id, &dir);
+        return;
+    }
     if results {
         conn.stream.set_nonblocking(false).ok();
         let subscriber = conn
@@ -414,6 +431,54 @@ fn handle_run_path(daemon: &Arc<Daemon>, conn: &mut PendingConn, path: &str) {
         conn,
         &http::json_response(200, "OK", &Value::Object(fields)),
     );
+}
+
+/// Answers `GET /v1/runs/<id>/metrics`: the manifest's aggregated
+/// ring-obs/v1 snapshot (completed shards only, each shard contributing
+/// exactly its final successful attempt) plus a per-shard supervision
+/// breakdown — attempts, attempt duration, watchdog kills, backoff.
+fn respond_run_metrics(conn: &mut PendingConn, id: usize, dir: &std::path::Path) {
+    use serde::Serialize;
+    let manifest = match Manifest::load(dir) {
+        Ok(manifest) => manifest,
+        Err(e) => {
+            respond(
+                conn,
+                &http::error_response(500, "Internal Server Error", &e.to_string()),
+            );
+            return;
+        }
+    };
+    let shards: Vec<Value> = manifest
+        .shards
+        .iter()
+        .map(|shard| {
+            Value::Object(vec![
+                ("shard".to_string(), Value::Uint(shard.shard as u64)),
+                (
+                    "status".to_string(),
+                    Value::Str(shard.status.as_str().to_string()),
+                ),
+                ("attempts".to_string(), Value::Uint(shard.attempts as u64)),
+                ("attempt_ms".to_string(), Value::Uint(shard.attempt_ms)),
+                (
+                    "watchdog_kills".to_string(),
+                    Value::Uint(shard.watchdog_kills),
+                ),
+                ("backoff_ms".to_string(), Value::Uint(shard.backoff_ms)),
+            ])
+        })
+        .collect();
+    let body = Value::Object(vec![
+        ("schema".to_string(), Value::Str(SCHEMA.to_string())),
+        ("run".to_string(), Value::Uint(id as u64)),
+        (
+            "metrics".to_string(),
+            manifest.aggregate_metrics().to_json(),
+        ),
+        ("shards".to_string(), Value::Array(shards)),
+    ]);
+    respond(conn, &http::json_response(200, "OK", &body));
 }
 
 fn run_summary(record: &RunRecord) -> Value {
@@ -498,6 +563,7 @@ fn submit_run(daemon: &Arc<Daemon>, body: &[u8]) -> Result<Value, String> {
 
     daemon.queue.lock().expect("run queue").push_back(id);
     daemon.queue_signal.notify_one();
+    ring_obs::global().counter("serve_runs_submitted").inc();
     eprintln!(
         "ring-serve: run {id} queued ({} cases, {shards} shards, dir {})",
         resolved.total_cases,
@@ -540,11 +606,13 @@ fn scheduler_loop(daemon: &Arc<Daemon>) {
         match execute_run(daemon, run_id) {
             Ok(()) => {
                 set_run_status(daemon, run_id, RunStatus::Complete, None);
+                ring_obs::global().counter("serve_runs_completed").inc();
                 eprintln!("ring-serve: run {run_id} complete");
             }
             Err(reason) => {
                 eprintln!("ring-serve: run {run_id} failed: {reason}");
                 set_run_status(daemon, run_id, RunStatus::Failed, Some(reason));
+                ring_obs::global().counter("serve_runs_failed").inc();
             }
         }
     }

@@ -36,6 +36,20 @@ struct PoolState {
     shutting_down: bool,
 }
 
+impl PoolState {
+    /// Publishes the pool's occupancy to the metrics registry after every
+    /// state change: currently connected (idle + leased), leased and idle
+    /// worker counts — the `/v1/metrics` worker-pool gauges.
+    fn publish_gauges(&self) {
+        let obs = ring_obs::global();
+        obs.gauge("serve_workers_idle").set(self.idle.len() as i64);
+        obs.gauge("serve_workers_leased")
+            .set(self.busy.len() as i64);
+        obs.gauge("serve_workers_registered")
+            .set((self.idle.len() + self.busy.len()) as i64);
+    }
+}
+
 /// The set of registered remote workers.
 ///
 /// `register` adds a connection (the daemon's accept loop, after the hello
@@ -60,6 +74,7 @@ impl WorkerPool {
         let mut state = self.state.lock().expect("pool state");
         state.registered += 1;
         state.idle.push(WorkerConn { name, stream });
+        state.publish_gauges();
         drop(state);
         self.available.notify_one();
     }
@@ -67,11 +82,16 @@ impl WorkerPool {
     /// Leases an idle worker, waiting up to `timeout` for one to appear.
     /// Returns `None` on timeout (or pool shutdown).
     pub fn lease(&self, timeout: Duration) -> Option<WorkerConn> {
-        let deadline = Instant::now() + timeout;
+        let wait_started = Instant::now();
+        let deadline = wait_started + timeout;
         let mut state = self.state.lock().expect("pool state");
         loop {
             if let Some(conn) = state.idle.pop() {
                 state.busy.push(conn.name.clone());
+                state.publish_gauges();
+                ring_obs::global()
+                    .histogram("serve_lease_wait_ns")
+                    .record_duration(wait_started.elapsed());
                 return Some(conn);
             }
             if state.shutting_down {
@@ -98,11 +118,13 @@ impl WorkerPool {
         if state.shutting_down {
             // The pool is draining: dismiss the worker instead of parking
             // the connection.
+            state.publish_gauges();
             send_frame(&conn.stream, &shutdown_frame()).ok();
             conn.stream.shutdown(Shutdown::Both).ok();
             return;
         }
         state.idle.push(conn);
+        state.publish_gauges();
         drop(state);
         self.available.notify_one();
     }
@@ -114,6 +136,7 @@ impl WorkerPool {
         if let Some(at) = state.busy.iter().position(|n| n == name) {
             state.busy.swap_remove(at);
         }
+        state.publish_gauges();
     }
 
     /// Number of currently idle workers.
@@ -150,6 +173,7 @@ impl WorkerPool {
             send_frame(&conn.stream, &shutdown_frame()).ok();
             conn.stream.shutdown(Shutdown::Both).ok();
         }
+        state.publish_gauges();
         drop(state);
         self.available.notify_all();
     }
