@@ -10,7 +10,15 @@
 //! Run with `cargo run --release -p ring-bench --bin bench_combinat`
 //! (optionally `-- --quick` for a CI smoke pass, `-- --out <path>` to
 //! redirect the report).
+//!
+//! Besides the construction-level pairs, the report times the chunked
+//! `IdSet` kernels themselves (union, intersect, popcount,
+//! intersection-count, sampled verification) against their element-wise
+//! oracles. In `--quick` mode the run **fails** (nonzero exit) if any
+//! kernel's word-parallel path is slower than its reference — the CI perf
+//! smoke that keeps the chunked loops honest.
 
+use rand::SeedableRng;
 use ring_combinat::{reference, Distinguisher, IdSet, SelectiveFamily};
 use ring_protocols::coordination::nontrivial::weak_nontrivial_move_even_distinguisher;
 use ring_protocols::{IdAssignment, Network};
@@ -152,6 +160,142 @@ fn main() {
         slow as f64 / fast.max(1) as f64
     );
 
+    // 2b. The chunked IdSet kernels against their element-wise oracles, on
+    //     dense random operands at the full benchmark universe. Cheap
+    //     kernels (popcount, fused pair count) run an inner repeat so both
+    //     sides are timed well above clock granularity; the repeat factor
+    //     cancels in the speedup.
+    let mut kernel_rng = rand::rngs::StdRng::seed_from_u64(11);
+    let ka = reference::random_set_reference(universe, &mut kernel_rng);
+    let kb = reference::random_set_reference(universe, &mut kernel_rng);
+    const INNER: usize = 16;
+
+    let fast = time_median(reps, || {
+        for _ in 0..INNER {
+            let mut c = ka.clone();
+            c.union_with(&kb);
+            std::hint::black_box(&c);
+        }
+    });
+    let slow = time_median(reps, || {
+        for _ in 0..INNER {
+            std::hint::black_box(reference::union_reference(&ka, &kb));
+        }
+    });
+    record_pair(
+        &mut entries,
+        &mut speedups,
+        "idset_union",
+        universe,
+        fast,
+        slow,
+        reps,
+    );
+    println!(
+        "idset_union               N={universe}:       {fast:>12} ns vs {slow:>12} ns  ({:.1}x)",
+        slow as f64 / fast.max(1) as f64
+    );
+
+    let fast = time_median(reps, || {
+        for _ in 0..INNER {
+            let mut c = ka.clone();
+            c.intersect_with(&kb);
+            std::hint::black_box(&c);
+        }
+    });
+    let slow = time_median(reps, || {
+        for _ in 0..INNER {
+            std::hint::black_box(reference::intersection_reference(&ka, &kb));
+        }
+    });
+    record_pair(
+        &mut entries,
+        &mut speedups,
+        "idset_intersect",
+        universe,
+        fast,
+        slow,
+        reps,
+    );
+    println!(
+        "idset_intersect           N={universe}:       {fast:>12} ns vs {slow:>12} ns  ({:.1}x)",
+        slow as f64 / fast.max(1) as f64
+    );
+
+    let fast = time_median(reps, || {
+        for _ in 0..INNER {
+            std::hint::black_box(ka.len());
+        }
+    });
+    let slow = time_median(reps, || {
+        for _ in 0..INNER {
+            std::hint::black_box(reference::len_reference(&ka));
+        }
+    });
+    record_pair(
+        &mut entries,
+        &mut speedups,
+        "idset_len",
+        universe,
+        fast,
+        slow,
+        reps,
+    );
+    println!(
+        "idset_len                 N={universe}:       {fast:>12} ns vs {slow:>12} ns  ({:.1}x)",
+        slow as f64 / fast.max(1) as f64
+    );
+
+    let fast = time_median(reps, || {
+        for _ in 0..INNER {
+            std::hint::black_box(ka.intersection_count(&kb));
+        }
+    });
+    let slow = time_median(reps, || {
+        for _ in 0..INNER {
+            std::hint::black_box(reference::intersection_count_reference(&ka, &kb));
+        }
+    });
+    record_pair(
+        &mut entries,
+        &mut speedups,
+        "idset_intersection_count",
+        universe,
+        fast,
+        slow,
+        reps,
+    );
+    println!(
+        "idset_intersection_count  N={universe}:       {fast:>12} ns vs {slow:>12} ns  ({:.1}x)",
+        slow as f64 / fast.max(1) as f64
+    );
+
+    // 2c. Sampled verification: the harness-scale validity check, whose
+    //     inner loop is the fused intersection-count pair.
+    let verify_d = Distinguisher::random(universe, n, 7);
+    let samples = 4usize;
+    let fast = time_median(reps, || {
+        std::hint::black_box(verify_d.verify_sampled(n, samples, 5))
+    });
+    let slow = time_median(reps, || {
+        std::hint::black_box(reference::verify_sampled_reference(
+            &verify_d, n, samples, 5,
+        ))
+    });
+    record_pair(
+        &mut entries,
+        &mut speedups,
+        "verify_sampled",
+        universe,
+        fast,
+        slow,
+        reps,
+    );
+    println!(
+        "verify_sampled            N={universe} n={n}: {fast:>12} ns vs {slow:>12} ns  ({:.1}x)",
+        slow as f64 / fast.max(1) as f64
+    );
+
     // 3. Bulk IdSet constructors against per-identifier loops.
     let big = 1_000_000u64;
     let fast = time_median(reps, || IdSet::full(big));
@@ -282,6 +426,35 @@ fn main() {
                 "WARNING: {} speedup {:.1}x is below the {floor}x acceptance floor",
                 s.name, s.speedup
             );
+        }
+    }
+
+    // The CI perf smoke: in quick mode, a chunked kernel that fails to
+    // beat its element-wise oracle fails the run. The asserted set is the
+    // kernel pairs (not the construction or round-loop pairs, whose inner
+    // cost is RNG- or simulator-bound), so the gate tests exactly the
+    // word-parallel loops this crate exists for.
+    if quick {
+        let asserted = [
+            "idset_union",
+            "idset_intersect",
+            "idset_len",
+            "idset_intersection_count",
+            "verify_sampled",
+        ];
+        let mut failed = false;
+        for s in &report.speedups {
+            if asserted.contains(&s.name.as_str()) && s.speedup < 1.0 {
+                eprintln!(
+                    "FAIL: {} word-parallel path ({} ns) is slower than its element-wise \
+reference ({} ns)",
+                    s.name, s.fast_ns, s.reference_ns
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
         }
     }
 }

@@ -42,7 +42,16 @@
 //!
 //! An **`obs_traced`** entry re-times the warm engine pass with span
 //! tracing enabled; its ratio against `parallel_cached` is the committed
-//! `obs_overhead` — the cost of `--trace`, which must stay near 1.0.
+//! `obs_overhead` — the cost of `--trace`, which must stay near 1.0. A
+//! **`batched_cached`** entry re-times the same warm pass with same-shape
+//! case batching on (`--batch 16`); its ratio against `parallel_cached`
+//! is the committed `batched_vs_parallel`, which must not fall below 1.0.
+//!
+//! The report carries a `hardware` block (core count, architecture,
+//! detected SIMD features) so the committed trajectory records *where* it
+//! was measured — and the run warns when the parallel entries oversubscribe
+//! the box (`parallel_jobs > available_jobs`), in which case they measure
+//! scheduling overhead rather than thread scaling.
 //!
 //! The bench sweep is the distinguisher-scaling study at large `N`
 //! (`N = 2¹⁷`) with measurement repetitions, so structure construction
@@ -92,15 +101,63 @@ struct CacheSection {
     structures: usize,
 }
 
+/// Provenance of the numbers: what the box running the bench looked like.
+/// Committed with the report so a diff in the trajectory can be told apart
+/// from a diff in the hardware (the `available_jobs: 1` vs
+/// `parallel_jobs: 4` containers this bench has run on produce very
+/// different curves).
+#[derive(Clone, Debug, Serialize)]
+struct Hardware {
+    /// `std::thread::available_parallelism` at bench time.
+    available_jobs: usize,
+    /// Compile-target architecture (`std::env::consts::ARCH`).
+    arch: String,
+    /// Runtime-detected SIMD/popcount features relevant to the chunked
+    /// kernels; empty on non-x86 targets.
+    features: Vec<String>,
+}
+
+fn detect_hardware() -> Hardware {
+    #[allow(unused_mut)]
+    let mut features: Vec<String> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        for name in ["popcnt", "avx2", "bmi2", "avx512f"] {
+            let detected = match name {
+                "popcnt" => std::arch::is_x86_feature_detected!("popcnt"),
+                "avx2" => std::arch::is_x86_feature_detected!("avx2"),
+                "bmi2" => std::arch::is_x86_feature_detected!("bmi2"),
+                "avx512f" => std::arch::is_x86_feature_detected!("avx512f"),
+                _ => false,
+            };
+            if detected {
+                features.push(name.to_string());
+            }
+        }
+    }
+    Hardware {
+        available_jobs: available_jobs(),
+        arch: std::env::consts::ARCH.to_string(),
+        features,
+    }
+}
+
 #[derive(Clone, Debug, Serialize)]
 struct Report {
     schema: String,
     mode: String,
     available_jobs: usize,
     parallel_jobs: usize,
+    /// The box the numbers came from: core count, architecture, detected
+    /// SIMD features.
+    hardware: Hardware,
     entries: Vec<Entry>,
     /// `parallel_cached` vs `serial_fresh` throughput on the bench sweep.
     speedup: f64,
+    /// `batched_cached` vs `parallel_cached` throughput: what `--batch`
+    /// same-shape scheduling buys (or costs) on the warm engine pass at
+    /// the same worker count. Must not fall below 1.0.
+    batched_vs_parallel: f64,
     /// `sharded_cached` vs `parallel_cached` throughput (the steady-state
     /// multi-process pass against the warm single-process engine).
     sharded_vs_parallel: f64,
@@ -133,12 +190,20 @@ struct Report {
 
 /// One warm-up pass (allocator and — where the mode uses one — structure
 /// cache reach steady state, as in `bench_combinat`'s `time_median`), then
-/// one timed pass.
+/// the median of three timed passes — single passes on a shared/1-core
+/// container swing by ±25%, which would drown the ratios the report
+/// commits (`batched_vs_parallel`, `obs_overhead`).
 fn time_run(items: &[WorkItem], mut run: impl FnMut(&[WorkItem])) -> f64 {
     run(items);
-    let start = Instant::now();
-    run(items);
-    start.elapsed().as_secs_f64()
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            run(items);
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
 }
 
 fn cache_section(cache: &StructureCache) -> CacheSection {
@@ -179,9 +244,14 @@ fn bench_config(quick: bool) -> (ScalingSpec, usize) {
 }
 
 fn bench_items(scaling: &ScalingSpec, reps: usize) -> Vec<WorkItem> {
+    // Repetitions are consecutive per scaling point — the order every real
+    // sweep enumerates (reps innermost) and the order same-shape batching
+    // keys on, so `batched_cached` exercises genuine multi-case batches.
     let mut items: Vec<WorkItem> = Vec::new();
-    for _ in 0..reps {
-        items.extend(scaling_items(scaling));
+    for point in scaling_items(scaling) {
+        for _ in 0..reps {
+            items.push(point.clone());
+        }
     }
     items
 }
@@ -435,6 +505,17 @@ fn main() {
         std::hint::black_box(parallel_engine.run::<Vec<u8>>(items, None));
     });
 
+    // 3a. The batched engine: the same warm parallel pass with same-shape
+    //    case batching on (`--batch 16`), so consecutive repetitions of a
+    //    scaling point resolve their structures once per batch instead of
+    //    once per case. Output is byte-identical (pinned by the harness
+    //    and distrib test suites); this entry tracks what the scheduling
+    //    change buys on the construction-dominated sweep.
+    let batched_engine = SweepEngine::new(parallel_jobs).with_batch_limit(16);
+    let batched_cached = time_run(&items, |items| {
+        std::hint::black_box(batched_engine.run::<Vec<u8>>(items, None));
+    });
+
     // 3c. The instrumentation tax: the same warm engine pass with span
     //    tracing enabled (sidecar writes included). Metrics counters are
     //    always on, so `obs_overhead` — the ratio against the untraced
@@ -654,6 +735,13 @@ fn main() {
             cases_per_sec: throughput(parallel_cached),
         },
         Entry {
+            name: "batched_cached".into(),
+            cases: items.len(),
+            jobs: parallel_jobs,
+            elapsed_ms: batched_cached * 1e3,
+            cases_per_sec: throughput(batched_cached),
+        },
+        Entry {
             name: "obs_traced".into(),
             cases: items.len(),
             jobs: parallel_jobs,
@@ -704,6 +792,7 @@ fn main() {
         },
     ];
     let speedup = serial_fresh / parallel_cached.max(1e-9);
+    let batched_vs_parallel = parallel_cached / batched_cached.max(1e-9);
     let sharded_vs_parallel = parallel_cached / sharded_cached.max(1e-9);
     let store_vs_cold = sharded_cold / sharded_store_warm.max(1e-9);
     let seeded_dedup = seeded_v1_equivalent_bytes as f64 / (seeded_store_bytes.max(1)) as f64;
@@ -714,6 +803,7 @@ fn main() {
         );
     }
     println!("sweep speedup (parallel_cached vs serial_fresh): {speedup:.1}x");
+    println!("same-shape batching vs warm parallel engine: {batched_vs_parallel:.2}x");
     println!("sharded steady state vs warm parallel engine: {sharded_vs_parallel:.1}x");
     println!("span tracing tax on the warm engine pass: {obs_overhead:.2}x");
     println!("warm structure store vs storeless cold fleet: {store_vs_cold:.1}x");
@@ -737,12 +827,14 @@ for one-file-per-seed v1 ({seeded_dedup:.2}x smaller)"
     );
 
     let report = Report {
-        schema: "bench-harness/v1".to_string(),
+        schema: "bench-harness/v2".to_string(),
         mode: if quick { "quick" } else { "full" }.to_string(),
         available_jobs: available_jobs(),
         parallel_jobs,
+        hardware: detect_hardware(),
         entries,
         speedup,
+        batched_vs_parallel,
         sharded_vs_parallel,
         obs_overhead,
         store_vs_cold,
@@ -757,10 +849,25 @@ for one-file-per-seed v1 ({seeded_dedup:.2}x smaller)"
     std::fs::write(&out_path, json + "\n").expect("writable report path");
     println!("\nwrote {out_path}");
 
+    if report.parallel_jobs > report.hardware.available_jobs {
+        eprintln!(
+            "WARNING: parallel entries ran {} workers on {} available core(s) — they \
+measure scheduling overhead, not thread scaling; re-run on a multi-core box \
+for the committed curve",
+            report.parallel_jobs, report.hardware.available_jobs
+        );
+    }
     if report.speedup < 3.0 {
         eprintln!(
             "WARNING: sweep speedup {:.1}x is below the 3x acceptance floor",
             report.speedup
+        );
+    }
+    if report.batched_vs_parallel < 1.0 {
+        eprintln!(
+            "WARNING: same-shape batching ({:.2}x) is slower than the plain warm \
+             parallel engine",
+            report.batched_vs_parallel
         );
     }
     if report.standard_sweep_cache.hit_rate <= 0.0 {

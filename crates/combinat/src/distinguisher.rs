@@ -108,11 +108,14 @@ impl Distinguisher {
     }
 
     /// Whether some member of the family separates `x1` and `x2`
-    /// (`|S_i ∩ x1| ≠ |S_i ∩ x2|`).
+    /// (`|S_i ∩ x1| ≠ |S_i ∩ x2|`). Both counts come from one fused pass
+    /// over each set's words ([`IdSet::intersection_count_pair`]), so the
+    /// set is streamed through the cache once rather than twice.
     pub fn distinguishes(&self, x1: &IdSet, x2: &IdSet) -> bool {
-        self.sets
-            .iter()
-            .any(|s| s.intersection_count(x1) != s.intersection_count(x2))
+        self.sets.iter().any(|s| {
+            let (c1, c2) = s.intersection_count_pair(x1, x2);
+            c1 != c2
+        })
     }
 
     /// Exhaustively verifies the distinguisher property for disjoint pairs

@@ -68,6 +68,108 @@ pub fn selective_random_reference(universe: u64, n: usize, seed: u64) -> Selecti
     SelectiveFamily::from_sets(universe, n, sets)
 }
 
+/// Element-wise union oracle for the chunked `union_with` kernel: one
+/// membership test and one conditional insert per identifier.
+pub fn union_reference(a: &IdSet, b: &IdSet) -> IdSet {
+    assert_eq!(a.universe(), b.universe(), "universe mismatch");
+    let mut out = IdSet::empty(a.universe());
+    for id in 1..=a.universe() {
+        if a.contains(id) || b.contains(id) {
+            out.insert(id);
+        }
+    }
+    out
+}
+
+/// Element-wise intersection oracle for the chunked `intersect_with`
+/// kernel.
+pub fn intersection_reference(a: &IdSet, b: &IdSet) -> IdSet {
+    assert_eq!(a.universe(), b.universe(), "universe mismatch");
+    let mut out = IdSet::empty(a.universe());
+    for id in 1..=a.universe() {
+        if a.contains(id) && b.contains(id) {
+            out.insert(id);
+        }
+    }
+    out
+}
+
+/// Element-wise difference oracle for the chunked `difference_with`
+/// kernel.
+pub fn difference_reference(a: &IdSet, b: &IdSet) -> IdSet {
+    assert_eq!(a.universe(), b.universe(), "universe mismatch");
+    let mut out = IdSet::empty(a.universe());
+    for id in 1..=a.universe() {
+        if a.contains(id) && !b.contains(id) {
+            out.insert(id);
+        }
+    }
+    out
+}
+
+/// Element-wise complement oracle for the chunked `complement_in_place`
+/// kernel.
+pub fn complement_reference(a: &IdSet) -> IdSet {
+    let mut out = IdSet::empty(a.universe());
+    for id in 1..=a.universe() {
+        if !a.contains(id) {
+            out.insert(id);
+        }
+    }
+    out
+}
+
+/// Element-wise cardinality oracle for the fused multi-word popcount in
+/// `IdSet::len`.
+pub fn len_reference(a: &IdSet) -> usize {
+    (1..=a.universe()).filter(|&id| a.contains(id)).count()
+}
+
+/// Element-wise intersection-size oracle for `IdSet::intersection_count`
+/// and the fused `IdSet::intersection_count_pair`.
+pub fn intersection_count_reference(a: &IdSet, b: &IdSet) -> usize {
+    assert_eq!(a.universe(), b.universe(), "universe mismatch");
+    (1..=a.universe())
+        .filter(|&id| a.contains(id) && b.contains(id))
+        .count()
+}
+
+/// Element-wise `Distinguisher::verify_sampled`: the identical Fisher–Yates
+/// pair draw (same RNG stream, same buffers), but every separation test
+/// scans identifiers one by one through [`intersection_count_reference`]
+/// instead of streaming chunked words — so the failure count matches the
+/// fast path exactly while the per-set cost is the old O(N) loop.
+pub fn verify_sampled_reference(d: &Distinguisher, n: usize, samples: usize, seed: u64) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<u64> = (1..=d.universe()).collect();
+    let mut x1 = IdSet::empty(d.universe());
+    let mut x2 = IdSet::empty(d.universe());
+    let mut failures = 0;
+    for _ in 0..samples {
+        crate::distinguisher::partial_shuffle(&mut ids, 2 * n, &mut rng);
+        for &id in &ids[..n] {
+            x1.insert(id);
+        }
+        for &id in &ids[n..2 * n] {
+            x2.insert(id);
+        }
+        let separated = (0..d.len()).any(|i| {
+            intersection_count_reference(d.set(i), &x1)
+                != intersection_count_reference(d.set(i), &x2)
+        });
+        if !separated {
+            failures += 1;
+        }
+        for &id in &ids[..n] {
+            x1.remove(id);
+        }
+        for &id in &ids[n..2 * n] {
+            x2.remove(id);
+        }
+    }
+    failures
+}
+
 /// Mirror of `distinguisher::recommended_size`, duplicated so that the
 /// reference path cannot silently drift when the tuned path changes.
 fn reference_recommended_size(universe: u64, n: usize) -> usize {
@@ -90,6 +192,15 @@ mod tests {
         let fast = SelectiveFamily::random(256, 8, 9);
         let slow = selective_random_reference(256, 8, 9);
         assert_eq!(fast.len(), slow.len());
+    }
+
+    #[test]
+    fn sampled_verification_reference_matches_the_fast_path() {
+        let d = Distinguisher::random(256, 4, 9);
+        assert_eq!(
+            d.verify_sampled(4, 16, 5),
+            verify_sampled_reference(&d, 4, 16, 5)
+        );
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Property tests of the chunked `IdSet` kernels: every multi-word loop
+//! (union/intersect/difference/complement, the fused popcounts and the
+//! chunk-skipping iterator) must agree bit-exactly with the element-wise
+//! oracles in `ring_combinat::reference` and preserve canonical form, at
+//! universe sizes straddling both the 64-bit word boundary and the 4-word
+//! (256-bit) chunk boundary.
+
+use proptest::prelude::*;
+use ring_combinat::reference::{
+    complement_reference, difference_reference, intersection_count_reference,
+    intersection_reference, len_reference, union_reference,
+};
+use ring_combinat::shared::splitmix64;
+use ring_combinat::IdSet;
+
+/// One universe below, at and above the word boundary (63/64/65), the chunk
+/// boundary (255/256/257) and the next chunk edge (511/513).
+fn universes() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(63u64),
+        Just(64),
+        Just(65),
+        Just(255),
+        Just(256),
+        Just(257),
+        Just(511),
+        Just(513),
+    ]
+}
+
+/// A deterministic pseudo-random set over `universe`, with a density knob:
+/// `mask_rounds` extra AND-folds sparsify the set so the iterator's
+/// zero-chunk skip path actually fires.
+fn random_set(universe: u64, seed: u64, mask_rounds: u32) -> IdSet {
+    let mut s = IdSet::empty(universe);
+    let mut state = seed;
+    s.fill_with_words(|_| {
+        (0..=mask_rounds).fold(!0u64, |acc, _| {
+            state = splitmix64(state);
+            acc & state
+        })
+    });
+    s
+}
+
+/// Canonical form, checked from the outside: exact word count, no bit for
+/// the nonexistent identifier 0, nothing above the universe.
+fn assert_canonical(s: &IdSet) {
+    assert_eq!(s.words().len() as u64, s.universe() / 64 + 1);
+    assert_eq!(s.words()[0] & 1, 0, "bit for nonexistent id 0 is set");
+    let r = s.universe() % 64;
+    if r != 63 {
+        assert_eq!(
+            s.words()[s.words().len() - 1] & !((1u64 << (r + 1)) - 1),
+            0,
+            "bits beyond the universe are set"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The chunked in-place set algebra matches the element-wise oracles
+    /// bit-for-bit and keeps every result canonical.
+    #[test]
+    fn set_algebra_matches_element_wise_references(
+        (universe, seed, density) in (universes(), any::<u64>(), 0u32..3),
+    ) {
+        let a = random_set(universe, seed, density);
+        let b = random_set(universe, !seed, density);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        prop_assert_eq!(&u, &union_reference(&a, &b));
+        assert_canonical(&u);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        prop_assert_eq!(&i, &intersection_reference(&a, &b));
+        assert_canonical(&i);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        prop_assert_eq!(&d, &difference_reference(&a, &b));
+        assert_canonical(&d);
+
+        let mut c = a.clone();
+        c.complement_in_place();
+        prop_assert_eq!(&c, &complement_reference(&a));
+        assert_canonical(&c);
+    }
+
+    /// The fused popcount kernels (`len`, `is_empty`, `intersection_count`
+    /// and the pair variant) match element-wise counting.
+    #[test]
+    fn popcount_kernels_match_element_wise_counting(
+        (universe, seed, density) in (universes(), any::<u64>(), 0u32..3),
+    ) {
+        let a = random_set(universe, seed, density);
+        let b = random_set(universe, seed.rotate_left(17), density);
+        let c = random_set(universe, seed.rotate_left(41), density);
+
+        prop_assert_eq!(a.len(), len_reference(&a));
+        prop_assert_eq!(a.is_empty(), len_reference(&a) == 0);
+        prop_assert_eq!(IdSet::empty(universe).is_empty(), true);
+        prop_assert_eq!(IdSet::full(universe).len() as u64, universe);
+
+        prop_assert_eq!(a.intersection_count(&b), intersection_count_reference(&a, &b));
+        let (n1, n2) = a.intersection_count_pair(&b, &c);
+        prop_assert_eq!(n1, intersection_count_reference(&a, &b));
+        prop_assert_eq!(n2, intersection_count_reference(&a, &c));
+    }
+
+    /// The chunk-skipping iterator yields exactly the members reported by
+    /// element-wise `contains`, in increasing order — including on sets
+    /// sparse enough to exercise the zero-chunk leap, and on the
+    /// empty/full extremes.
+    #[test]
+    fn iterator_matches_element_wise_scan(
+        (universe, seed, density) in (universes(), any::<u64>(), 0u32..6),
+    ) {
+        let a = random_set(universe, seed, density);
+        let scanned: Vec<u64> = (1..=universe).filter(|&id| a.contains(id)).collect();
+        prop_assert_eq!(a.iter().collect::<Vec<_>>(), scanned);
+
+        prop_assert_eq!(IdSet::empty(universe).iter().count(), 0);
+        prop_assert_eq!(
+            IdSet::full(universe).iter().collect::<Vec<_>>(),
+            (1..=universe).collect::<Vec<_>>()
+        );
+
+        // A single member in the last word forces the skip path across
+        // every interior chunk.
+        let lone = IdSet::from_ids(universe, [universe]);
+        prop_assert_eq!(lone.iter().collect::<Vec<_>>(), vec![universe]);
+    }
+}

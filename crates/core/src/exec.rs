@@ -323,14 +323,20 @@ impl<'a> Network<'a> {
         };
         self.rounds += 1;
         self.last_rotation = Some(rotation);
-        let strip_coll = !self.model.observes_collisions();
+        // Two branch-free linear passes instead of one loop with a
+        // per-agent conditional: the cumulative-distance update is a pure
+        // add-mod streamed over two contiguous slices (vectorisable), and
+        // collision stripping — when the model is blind to collisions —
+        // becomes its own unconditional fill.
         for (acc, obs) in self
             .cumulative_dist
             .iter_mut()
-            .zip(&mut bufs.round.observations)
+            .zip(&bufs.round.observations)
         {
             *acc = (*acc + obs.dist.ticks()) % ring_sim::CIRCUMFERENCE;
-            if strip_coll {
+        }
+        if !self.model.observes_collisions() {
+            for obs in &mut bufs.round.observations {
                 obs.coll = None;
             }
         }

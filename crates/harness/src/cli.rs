@@ -110,6 +110,12 @@
 //!                             retryable launch failure (default 600)
 //!   --connect ADDR            (`worker`) register with a serve daemon
 //!                             and execute its job frames over TCP
+//!   --batch N                 schedule up to N consecutive same-shape
+//!                             cases as one work unit sharing one
+//!                             structure handle (default 1 = off); output
+//!                             is byte-identical at every limit —
+//!                             runtime-only, orchestrators pass it to
+//!                             their workers
 //!   --stats                   print structure-cache / structure-store /
 //!                             executor statistics as JSON on stderr
 //!                             (fleet-wide aggregates for sharded runs)
@@ -159,7 +165,7 @@ const USAGE: &str =
 [--structure-seed-mode fixed|per-case] [--structure-seeds K] \
 [--fault-drops a,b,..] [--fault-crashes K] [--fault-churn K] [--fault-adversarial] \
 [--render-fig3 PATH] [--jsonl PATH|-] [--no-jsonl] [--shards M] [--shard i/M] [--run-dir DIR] [--retries R] \
-[--shard-timeout SECS] [--structure-store [DIR]] [--stats] [--trace] [--trace-dir DIR]
+[--shard-timeout SECS] [--structure-store [DIR]] [--batch N] [--stats] [--trace] [--trace-dir DIR]
        ringlab worker <subcommand> --shard i/M [spec flags] [--structure-store DIR]
        ringlab worker --connect ADDR
        ringlab serve --listen ADDR [--data-dir DIR] [--jobs N] [--retries R] \
@@ -225,6 +231,11 @@ struct Options {
     /// `structures prebuild --format v1`: write the legacy layout.
     v1_format: bool,
     stats: bool,
+    /// `--batch N`: schedule up to N consecutive same-shape cases as one
+    /// work unit sharing one structure handle. Runtime-only — never part
+    /// of the spec fingerprint, never visible in sweep output (batching is
+    /// byte-identical at every limit).
+    batch: usize,
     /// `--trace`: write span-trace sidecars. Runtime-only — never part of
     /// the spec fingerprint, never visible in sweep output.
     trace: bool,
@@ -403,6 +414,7 @@ fn resolve_store_dir(options: &Options, default: impl FnOnce() -> String) -> Opt
 /// handlers stop repeating the store/destination/engine plumbing.
 struct CommonArgs {
     jobs: usize,
+    batch: usize,
     stats: bool,
     store_dir: Option<String>,
     destination: Option<String>,
@@ -420,6 +432,7 @@ impl Options {
     ) -> CommonArgs {
         CommonArgs {
             jobs: self.jobs,
+            batch: self.batch,
             stats: self.stats,
             store_dir: resolve_store_dir(self, store_default),
             destination: if self.no_jsonl {
@@ -435,14 +448,15 @@ impl CommonArgs {
     /// An engine over a disk-backed store (when a directory was resolved)
     /// or a fresh memory-only store.
     fn engine(&self) -> Result<SweepEngine, String> {
-        match self.store_dir.as_deref() {
-            None => Ok(SweepEngine::new(self.jobs)),
+        let engine = match self.store_dir.as_deref() {
+            None => SweepEngine::new(self.jobs),
             Some(dir) => {
                 let store = StructureStore::at(dir)
                     .map_err(|e| format!("cannot open structure store {dir}: {e}"))?;
-                Ok(SweepEngine::with_store(self.jobs, Arc::new(store)))
+                SweepEngine::with_store(self.jobs, Arc::new(store))
             }
-        }
+        };
+        Ok(engine.with_batch_limit(self.batch))
     }
 }
 
@@ -1191,10 +1205,14 @@ fn orchestrate_and_finish(
     let outcome = run_pending_shards(run_dir, manifest, &orchestration, &|range| {
         let mut cmd = Command::new(&exe);
         cmd.args(spec_params.worker_args(jobs_per_worker, range, shard_count, &store_dir));
-        // Tracing rides along runtime-only: worker sidecars land next to
-        // the shard files, the protocol stream stays byte-identical.
+        // Tracing and batching ride along runtime-only: worker sidecars
+        // land next to the shard files, batching only reshapes worker
+        // scheduling — the protocol stream stays byte-identical either way.
         if options.trace {
             cmd.arg("--trace-dir").arg(run_dir);
+        }
+        if options.batch > 1 {
+            cmd.arg("--batch").arg(options.batch.to_string());
         }
         cmd
     })
@@ -1980,6 +1998,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         render_fig3: None,
         v1_format: false,
         stats: false,
+        batch: 1,
         trace: false,
         trace_dir: None,
         positionals: Vec::new(),
@@ -2010,6 +2029,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 options.jobs = value_of("--jobs")?
                     .parse()
                     .map_err(|_| "--jobs expects a non-negative integer".to_string())?;
+            }
+            "--batch" => {
+                options.batch = value_of("--batch")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--batch expects a positive integer".to_string())?;
             }
             "--shards" => {
                 options.shards = value_of("--shards")?

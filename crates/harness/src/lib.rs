@@ -29,6 +29,10 @@
 //! * [`scenario`] / [`engine`] — [`WorkItem`](scenario::WorkItem)s wrap
 //!   the per-case experiment functions of `ring-experiments`;
 //!   [`SweepEngine`](engine::SweepEngine) ties the three layers together.
+//!   With `--batch N` the engine schedules consecutive same-shape cases
+//!   as one [`CaseBatch`](engine::CaseBatch) work unit that resolves its
+//!   shared structures once per batch — a pure scheduling change whose
+//!   output stays byte-identical at every limit.
 //!
 //! [`cli`] exposes everything as the **`ringlab`** binary; the former
 //! per-experiment binaries (`table1` … `repro_all`) are thin wrappers over
@@ -75,7 +79,7 @@ pub mod sink;
 pub mod store;
 
 pub use cache::{CacheStats, StructureCache};
-pub use engine::SweepEngine;
+pub use engine::{plan_batches, CaseBatch, SweepEngine};
 pub use executor::{available_jobs, run_work_stealing};
 pub use scenario::{CaseRecord, WorkItem};
 pub use sink::JsonlSink;

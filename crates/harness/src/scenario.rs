@@ -218,6 +218,19 @@ impl WorkItem {
         }
     }
 
+    /// Whether `other` has the same *shape*: the same experiment family,
+    /// ring/set size, universe and structure-key list. Same-shape items
+    /// draw exactly the same combinatorial structures and exercise the
+    /// same code path, so the engine may batch them through one shared
+    /// structure handle per batch (see `SweepEngine::with_batch_limit`)
+    /// without changing any case's inputs.
+    pub fn same_shape(&self, other: &WorkItem) -> bool {
+        std::mem::discriminant(self) == std::mem::discriminant(other)
+            && self.n() == other.n()
+            && self.universe() == other.universe()
+            && self.structure_keys() == other.structure_keys()
+    }
+
     /// Executes the item, drawing combinatorial structures from the given
     /// provider. Deterministic: the measurements depend only on the item
     /// (and the provider serving bit-identical structures, which both the

@@ -672,6 +672,79 @@ fn faulty_crash_resume_reaches_identical_bytes() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The batching acceptance property: `--batch N` is a pure scheduling
+/// change, so merged output stays byte-identical at jobs {1, 2} × shards
+/// {1, 3}, with and without a shared structure store, for the clean, the
+/// faulty and the seed-diverse spec alike. The orchestrator forwards the
+/// limit to its workers, so the sharded runs exercise batching inside the
+/// worker processes, not just in the parent.
+#[test]
+fn batched_sweeps_are_byte_identical_through_the_real_binary() {
+    let dir = temp_dir("batch");
+    let clean_reference = reference_bytes(&dir);
+    let faulty_reference = faulty_reference_bytes(&dir);
+    let seeded_reference = seeded_reference_bytes(&dir);
+    let variants: [(&str, &str, &[&str], &[u8]); 3] = [
+        ("clean", "sweep", SPEC_FLAGS, &clean_reference),
+        ("faulty", "faults", FAULTY_SPEC_FLAGS, &faulty_reference),
+        ("seeded", "sweep", SEEDED_SPEC_FLAGS, &seeded_reference),
+    ];
+    for (tag, subcommand, spec, reference) in variants {
+        // Single-process batched runs across thread counts.
+        for jobs in [1usize, 2] {
+            let out = dir.join(format!("batch-{tag}-jobs{jobs}.jsonl"));
+            let status = ringlab()
+                .args([subcommand, "--jobs", &jobs.to_string()])
+                .args(["--batch", "16", "--jsonl"])
+                .arg(&out)
+                .args(spec)
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null())
+                .status()
+                .expect("run ringlab");
+            assert!(status.success(), "{tag} batched --jobs {jobs} run failed");
+            assert_eq!(
+                std::fs::read(&out).unwrap(),
+                reference,
+                "{tag} batched output diverged at --jobs {jobs}"
+            );
+        }
+        // Orchestrated fleets: storeless at M = 1, store-backed at M = 3.
+        for shards in [1usize, 3] {
+            let out = dir.join(format!("batch-{tag}-shards{shards}.jsonl"));
+            let run_dir = dir.join(format!("batch-{tag}-run-{shards}"));
+            let mut cmd = ringlab();
+            cmd.args([subcommand, "--shards", &shards.to_string()])
+                .args(["--batch", "16", "--jsonl"])
+                .arg(&out)
+                .arg("--run-dir")
+                .arg(&run_dir);
+            if shards == 3 {
+                cmd.arg("--structure-store")
+                    .arg(dir.join(format!("batch-{tag}-structures")));
+            }
+            let status = cmd
+                .args(spec)
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null())
+                .status()
+                .expect("run ringlab");
+            assert!(
+                status.success(),
+                "{tag} batched sharded sweep failed at M = {shards}"
+            );
+            assert_eq!(
+                std::fs::read(&out).unwrap(),
+                reference,
+                "{tag} batched sharded output diverged at M = {shards}"
+            );
+            let manifest = ring_distrib::Manifest::load(&run_dir).unwrap();
+            assert!(manifest.is_complete());
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `--jsonl -` streams records to stdout with the tables routed to stderr,
 /// so piped output is pure JSONL — for sharded and single-process runs
 /// alike.

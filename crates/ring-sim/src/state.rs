@@ -202,11 +202,14 @@ impl<'a> RingState<'a> {
             });
         }
         bufs.objective.clear();
+        // Direction resolution zips two contiguous slices (directions ×
+        // chiralities) with no per-agent bounds checks, so the optimiser can
+        // vectorise the translation.
         bufs.objective.extend(
             local_directions
                 .iter()
-                .enumerate()
-                .map(|(agent, dir)| dir.to_objective(self.config.chirality(agent))),
+                .zip(self.config.chiralities())
+                .map(|(dir, &chir)| dir.to_objective(chir)),
         );
         self.run_prepared_round(engine, bufs)
     }
@@ -244,7 +247,6 @@ impl<'a> RingState<'a> {
         engine: EngineKind,
         bufs: &mut RoundBuffers,
     ) -> Result<RotationIndex, RingError> {
-        let n = self.len();
         let rotation = AnalyticEngine::new().execute_into(
             self.config,
             &self.slot_of_agent,
@@ -271,24 +273,30 @@ impl<'a> RingState<'a> {
             );
         }
 
+        // Observation writes stream three contiguous slices (chirality,
+        // displacement, collision) into the output vector — one linear pass
+        // with no per-agent indexing, which the optimiser can vectorise.
         bufs.observations.clear();
-        bufs.observations.extend((0..n).map(|agent| {
-            let cw = bufs.scratch.cw_displacement[agent];
-            let dist = match self.config.chirality(agent) {
-                Chirality::Aligned => cw,
-                Chirality::Reversed => {
-                    if cw.is_zero() {
-                        cw
-                    } else {
-                        cw.complement()
-                    }
-                }
-            };
-            Observation {
-                dist,
-                coll: bufs.scratch.first_collision[agent],
-            }
-        }));
+        bufs.observations.extend(
+            self.config
+                .chiralities()
+                .iter()
+                .zip(&bufs.scratch.cw_displacement)
+                .zip(&bufs.scratch.first_collision)
+                .map(|((&chir, &cw), &coll)| {
+                    let dist = match chir {
+                        Chirality::Aligned => cw,
+                        Chirality::Reversed => {
+                            if cw.is_zero() {
+                                cw
+                            } else {
+                                cw.complement()
+                            }
+                        }
+                    };
+                    Observation { dist, coll }
+                }),
+        );
 
         std::mem::swap(&mut self.slot_of_agent, &mut bufs.scratch.new_slot_of_agent);
         self.rounds_executed += 1;
